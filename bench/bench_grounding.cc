@@ -1,0 +1,113 @@
+// A3 — grounding ablation: early condition evaluation during the body
+// join, and connected-component decomposition at solve time.
+
+#include <cstdio>
+
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "mln/solver.h"
+#include "rules/library.h"
+#include "rules/parser.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+using namespace tecore;  // NOLINT
+
+double GroundOnce(datagen::GeneratedKg* kg, const rules::RuleSet& rules,
+                  bool early, size_t* clauses) {
+  ground::GroundingOptions options;
+  options.evaluate_conditions_early = early;
+  Timer timer;
+  ground::Grounder grounder(&kg->graph, rules, options);
+  auto result = grounder.Run();
+  if (!result.ok()) return -1;
+  if (clauses != nullptr) *clauses = result->network.NumClauses();
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A3: grounding & decomposition ablation ===\n\n");
+
+  // A *teammates* join through the shared object (players of the same
+  // club): candidate lists are per-team (hundreds of facts), so the
+  // selective first-atom duration filter prunes a large join when
+  // evaluated early. The trivially-true head keeps the clause count at
+  // zero — this measures pure grounding throughput.
+  auto selective = rules::ParseRules(R"(
+    teammate_probe:
+      quad(x, playsFor, y, t) & quad(x2, playsFor, y, t')
+      [duration(t) > 4, x != x2] -> begin(t) < 3000 .
+  )");
+  if (!selective.ok()) {
+    std::fprintf(stderr, "%s\n", selective.status().ToString().c_str());
+    return 1;
+  }
+
+  Table ground_table({"players", "early-cond ms", "late-cond ms", "speedup",
+                      "clauses (equal)"});
+  bool clauses_match = true;
+  for (size_t players : {1000, 2000, 4000}) {
+    datagen::FootballDbOptions gen;
+    gen.num_players = players;
+    gen.mean_spells = 4.0;  // more spells -> bigger join
+    datagen::GeneratedKg kg1 = datagen::GenerateFootballDb(gen);
+    datagen::GeneratedKg kg2 = datagen::GenerateFootballDb(gen);
+    size_t clauses_early = 0, clauses_late = 0;
+    double early = GroundOnce(&kg1, *selective, true, &clauses_early);
+    double late = GroundOnce(&kg2, *selective, false, &clauses_late);
+    if (early < 0 || late < 0) return 1;
+    clauses_match = clauses_match && clauses_early == clauses_late;
+    ground_table.AddRow({std::to_string(players),
+                         StringPrintf("%.1f", early),
+                         StringPrintf("%.1f", late),
+                         StringPrintf("%.2fx", late / early),
+                         clauses_early == clauses_late ? "yes" : "NO"});
+  }
+  std::printf("%s\n", ground_table.ToAscii().c_str());
+  std::printf("shape (early evaluation prunes the join, same output): %s\n\n",
+              clauses_match ? "MATCH" : "MISMATCH");
+
+  // Component decomposition: exact MAP per component (provably optimal)
+  // vs one monolithic branch & bound under a node budget.
+  auto constraints = rules::FootballConstraints();
+  if (!constraints.ok()) return 1;
+  datagen::FootballDbOptions gen;
+  gen.num_players = 1200;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  ground::Grounder grounder(&kg.graph, *constraints);
+  auto grounding = grounder.Run();
+  if (!grounding.ok()) return 1;
+
+  Table solve_table({"mode", "time ms", "objective", "proof", "components"});
+  double component_objective = 0.0, monolithic_objective = 0.0;
+  for (bool use_components : {true, false}) {
+    mln::MlnSolverOptions options;
+    options.use_components = use_components;
+    options.exact_var_limit = use_components ? 10'000 : 100'000;
+    // The monolithic search cannot prove optimality (its bound is global
+    // and weak); give it a fixed budget and report the anytime result.
+    if (!use_components) options.exact.max_nodes = 2'000'000;
+    Timer timer;
+    mln::MlnMapSolver solver(grounding->network, options);
+    auto solution = solver.Solve();
+    if (!solution.ok()) return 1;
+    (use_components ? component_objective : monolithic_objective) =
+        solution->objective;
+    solve_table.AddRow({use_components ? "per-component" : "monolithic",
+                        StringPrintf("%.0f", timer.ElapsedMillis()),
+                        StringPrintf("%.2f", solution->objective),
+                        solution->optimal ? "proven" : "budget hit",
+                        std::to_string(solution->num_components)});
+  }
+  std::printf("%s\n", solve_table.ToAscii().c_str());
+  std::printf("shape (decomposition: provably optimal AND >= anytime "
+              "monolithic): %s\n",
+              component_objective >= monolithic_objective - 1e-6
+                  ? "MATCH"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// A6 — marginal inference (extension): Gibbs sampling over the ground
+// network, contrasted with the MAP focus of the paper.
+//
+// Checks (i) agreement with exact enumeration on the running example and
+// (ii) throughput at FootballDB scale; prints the posterior of the
+// Chelsea/Napoli conflict pair — the "calibrated output confidence" view.
+
+#include <cmath>
+#include <cstdio>
+
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "mln/gibbs.h"
+#include "rules/library.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+using namespace tecore;  // NOLINT
+}  // namespace
+
+int main() {
+  std::printf("=== A6: marginal inference (Gibbs) ===\n\n");
+
+  // --- running example: posterior of the conflicting pair.
+  rdf::TemporalGraph example = datagen::RunningExampleGraph(false);
+  auto constraints = rules::PaperConstraints();
+  if (!constraints.ok()) return 1;
+  ground::Grounder grounder(&example, *constraints);
+  auto grounding = grounder.Run();
+  if (!grounding.ok()) return 1;
+  mln::GibbsOptions options;
+  options.sample_sweeps = 50000;
+  options.burn_in_sweeps = 5000;
+  auto result = mln::GibbsSampler(grounding->network, options).Run();
+  if (!result.ok()) return 1;
+  std::printf("running example posteriors (50K sweeps, %.0f ms):\n",
+              result->solve_time_ms);
+  for (ground::AtomId a = 0; a < grounding->network.NumAtoms(); ++a) {
+    std::printf("  P=%0.3f  %s\n", result->marginals[a],
+                grounding->network.AtomToString(a, example.dict()).c_str());
+  }
+  const double chelsea = result->marginals[0];
+  const double napoli = result->marginals[4];
+  // Exact pairwise values (enumeration): 0.466 vs 0.345.
+  std::printf("\nconflict pair: P(Chelsea)=%.3f (exact 0.466), "
+              "P(Napoli)=%.3f (exact 0.345)\n", chelsea, napoli);
+  const bool accurate =
+      std::abs(chelsea - 0.466) < 0.02 && std::abs(napoli - 0.345) < 0.02;
+
+  // --- throughput at FootballDB scale.
+  datagen::FootballDbOptions gen;
+  gen.num_players = 2000;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto football = rules::FootballConstraints();
+  if (!football.ok()) return 1;
+  ground::Grounder big_grounder(&kg.graph, *football);
+  auto big = big_grounder.Run();
+  if (!big.ok()) return 1;
+  mln::GibbsOptions big_options;
+  big_options.burn_in_sweeps = 20;
+  big_options.sample_sweeps = 100;
+  Timer timer;
+  auto big_result = mln::GibbsSampler(big->network, big_options).Run();
+  if (!big_result.ok()) return 1;
+  const double atom_updates =
+      static_cast<double>(big->network.NumAtoms()) * 120.0;
+  std::printf("\nFootballDB scale: %s atoms, 120 sweeps in %.0f ms "
+              "(%.1fM atom-updates/s)\n",
+              FormatWithCommas(static_cast<int64_t>(
+                  big->network.NumAtoms())).c_str(),
+              timer.ElapsedMillis(),
+              atom_updates / big_result->solve_time_ms / 1000.0);
+  std::printf("shape (sampler matches exact marginals): %s\n",
+              accurate ? "MATCH" : "MISMATCH");
+  return accurate ? 0 : 1;
+}

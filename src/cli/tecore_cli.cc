@@ -1,0 +1,224 @@
+// tecore-cli — non-interactive command-line front end.
+//
+// The demo paper exposes TeCoRe through a Web UI; this binary exposes the
+// same operations for scripts and CI:
+//
+//   tecore-cli stats    --graph g.tq
+//   tecore-cli complete --graph g.tq --prefix pla
+//   tecore-cli validate --rules r.tcr --solver psl
+//   tecore-cli detect   --graph g.tq --rules r.tcr
+//   tecore-cli solve    --graph g.tq --rules r.tcr --solver mln
+//                       [--threshold 0.5] [--out repaired.tq]
+//   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/session.h"
+#include "datagen/generators.h"
+#include "rdf/io.h"
+#include "rules/library.h"
+#include "rules/parser.h"
+#include "util/string_util.h"
+
+using namespace tecore;  // NOLINT
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tecore-cli "
+               "<stats|complete|suggest|validate|detect|solve|gen>"
+               " [--graph f] [--rules f] [--solver mln|psl]\n"
+               "                  [--threshold x] [--out f] [--dataset d]"
+               " [--size n] [--prefix p]\n");
+  return 2;
+}
+
+/// Minimal --key value argument parser.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+Status LoadInputs(const std::map<std::string, std::string>& flags,
+                  core::Session* session, bool need_rules) {
+  auto graph_it = flags.find("graph");
+  if (graph_it == flags.end()) {
+    return Status::InvalidArgument("--graph is required");
+  }
+  TECORE_RETURN_NOT_OK(session->LoadGraphFile(graph_it->second));
+  if (need_rules) {
+    auto rules_it = flags.find("rules");
+    if (rules_it == flags.end()) {
+      return Status::InvalidArgument("--rules is required");
+    }
+    TECORE_ASSIGN_OR_RETURN(parsed, rules::LoadRulesFile(rules_it->second));
+    session->AddRules(parsed);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  core::Session session;
+
+  if (command == "gen") {
+    const std::string dataset =
+        flags.count("dataset") ? flags["dataset"] : "football";
+    const size_t size =
+        flags.count("size") ? static_cast<size_t>(std::stoull(flags["size"]))
+                            : 0;
+    rdf::TemporalGraph graph;
+    if (dataset == "football") {
+      datagen::FootballDbOptions options;
+      if (size > 0) options.num_players = size;
+      graph = std::move(datagen::GenerateFootballDb(options).graph);
+    } else if (dataset == "wikidata") {
+      datagen::WikidataOptions options;
+      if (size > 0) options.target_facts = size;
+      graph = std::move(datagen::GenerateWikidata(options).graph);
+    } else if (dataset == "example") {
+      graph = datagen::RunningExampleGraph(true);
+    } else {
+      std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+      return 2;
+    }
+    if (!flags.count("out")) {
+      std::fputs(rdf::WriteGraphText(graph).c_str(), stdout);
+      return 0;
+    }
+    Status saved = rdf::SaveGraphFile(graph, flags["out"]);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu facts to %s\n", graph.NumFacts(),
+                flags["out"].c_str());
+    return 0;
+  }
+
+  if (command == "stats") {
+    Status st = LoadInputs(flags, &session, /*need_rules=*/false);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto stats = session.GraphStats();
+    std::printf("%s\n", stats->ToString().c_str());
+    return 0;
+  }
+
+  if (command == "suggest") {
+    Status st = LoadInputs(flags, &session, /*need_rules=*/false);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto suggestions = session.SuggestConstraints();
+    if (!suggestions.ok()) {
+      std::fprintf(stderr, "%s\n", suggestions.status().ToString().c_str());
+      return 1;
+    }
+    for (const core::Suggestion& s : *suggestions) {
+      std::printf("%s\n# evidence: %s\n", s.rule.ToString().c_str(),
+                  s.rationale.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "complete") {
+    Status st = LoadInputs(flags, &session, false);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name :
+         session.CompletePredicate(flags.count("prefix") ? flags["prefix"]
+                                                         : "")) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "validate") {
+    auto rules_it = flags.find("rules");
+    if (rules_it == flags.end()) return Usage();
+    auto parsed = rules::LoadRulesFile(rules_it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    rules::SolverKind solver = flags.count("solver") && flags["solver"] == "psl"
+                                   ? rules::SolverKind::kPsl
+                                   : rules::SolverKind::kMln;
+    auto problems = rules::CollectProblems(*parsed, solver);
+    for (const std::string& problem : problems) {
+      std::printf("%s\n", problem.c_str());
+    }
+    std::printf("%zu rule(s), %zu problem(s)\n", parsed->Size(),
+                problems.size());
+    return problems.empty() ? 0 : 1;
+  }
+
+  if (command == "detect") {
+    Status st = LoadInputs(flags, &session, /*need_rules=*/true);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto report = session.DetectConflicts();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", report->StatsPanel(session.rules()).c_str());
+    return 0;
+  }
+
+  if (command == "solve") {
+    Status st = LoadInputs(flags, &session, /*need_rules=*/true);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    core::ResolveOptions options;
+    if (flags.count("solver") && flags["solver"] == "psl") {
+      options.solver = rules::SolverKind::kPsl;
+    }
+    if (flags.count("threshold")) {
+      options.derived_threshold = std::stod(flags["threshold"]);
+    }
+    auto result = session.Resolve(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->StatsPanel().c_str());
+    if (flags.count("out")) {
+      Status saved =
+          rdf::SaveGraphFile(result->consistent_graph, flags["out"]);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote repaired KG (%zu facts) to %s\n",
+                  result->consistent_graph.NumFacts(), flags["out"].c_str());
+    }
+    return result->feasible ? 0 : 1;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,162 @@
+#include "core/resolver.h"
+
+#include <algorithm>
+
+#include "core/translator.h"
+#include "kb/weighting.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace core {
+
+Resolver::Resolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+                   ResolveOptions options)
+    : graph_(graph), rules_(rules), options_(options) {}
+
+Result<ResolveResult> Resolver::Run() {
+  Timer total_timer;
+  TECORE_ASSIGN_OR_RETURN(
+      translation, Translator::Translate(graph_, rules_, options_.solver,
+                                         options_.grounding));
+  const ground::GroundNetwork& net = translation.grounding.network;
+
+  ResolveResult result;
+  result.ground_atoms = net.NumAtoms();
+  result.ground_clauses = net.NumClauses();
+  result.ground_time_ms = translation.grounding.ground_time_ms;
+
+  // --- MAP inference.
+  std::vector<bool> values;
+  std::vector<double> soft_truth;  // PSL only
+  if (options_.solver == rules::SolverKind::kMln) {
+    mln::MlnMapSolver solver(net, options_.mln);
+    TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
+    values = std::move(solution.atom_values);
+    result.solver_name =
+        std::string("mln/") +
+        std::string(mln::MlnBackendName(options_.mln.backend));
+    result.feasible = solution.feasible;
+    result.optimal = solution.optimal;
+    result.objective = solution.objective;
+    result.num_components = solution.num_components;
+    result.largest_component = solution.largest_component;
+    result.solve_time_ms = solution.solve_time_ms;
+  } else {
+    psl::PslSolver solver(net, options_.psl);
+    TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
+    values = std::move(solution.atom_values);
+    soft_truth = std::move(solution.truth_values);
+    result.solver_name = "npsl/admm";
+    result.feasible = solution.feasible;
+    result.optimal = false;  // convex relaxation + rounding
+    result.objective = solution.objective;
+    result.solve_time_ms = solution.solve_time_ms;
+  }
+
+  // --- Map atoms back to facts.
+  for (rdf::FactId id = 0; id < graph_->NumFacts(); ++id) {
+    const rdf::TemporalFact& f = graph_->fact(id);
+    ground::AtomId atom =
+        net.FindAtom(f.subject, f.predicate, f.object, f.interval);
+    const bool keep =
+        atom != ground::GroundNetwork::kInvalidAtomId && values[atom];
+    if (keep) {
+      result.kept_facts.push_back(id);
+    } else {
+      result.removed_facts.push_back(id);
+    }
+  }
+
+  // Strongest supporting rule weight per derived atom (MLN score).
+  std::vector<double> support;
+  if (soft_truth.empty()) {
+    support.assign(net.NumAtoms(), 0.0);
+    for (const ground::GroundClause& clause : net.clauses()) {
+      if (clause.rule_index < 0) continue;
+      const double w = clause.hard ? kb::kMaxLogOdds : clause.weight;
+      for (int32_t lit : clause.literals) {
+        if (ground::LiteralSign(lit)) {
+          ground::AtomId atom = ground::LiteralAtom(lit);
+          support[atom] = std::max(support[atom], w);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> keep_mask(graph_->NumFacts(), false);
+  for (rdf::FactId id : result.kept_facts) keep_mask[id] = true;
+  result.consistent_graph = graph_->Filter(keep_mask);
+
+  for (ground::AtomId atom = 0; atom < net.NumAtoms(); ++atom) {
+    const ground::GroundAtom& ga = net.atom(atom);
+    if (ga.is_evidence || !values[atom]) continue;
+    const double score = soft_truth.empty()
+                             ? kb::WeightToConfidence(support[atom])
+                             : soft_truth[atom];
+    if (score < options_.derived_threshold) {
+      ++result.derived_below_threshold;
+      continue;
+    }
+    // Materialize into the output graph (confidence = score). The derived
+    // fact's term ids reference the *output* graph's dictionary.
+    rdf::TemporalFact copy(
+        result.consistent_graph.dict().Intern(graph_->dict().Lookup(ga.subject)),
+        result.consistent_graph.dict().Intern(
+            graph_->dict().Lookup(ga.predicate)),
+        result.consistent_graph.dict().Intern(graph_->dict().Lookup(ga.object)),
+        ga.interval, std::clamp(score, 1e-6, 1.0));
+    Result<rdf::FactId> added = result.consistent_graph.Add(copy);
+    (void)added;
+    DerivedFact derived;
+    derived.fact = copy;
+    derived.score = score;
+    result.derived_facts.push_back(std::move(derived));
+  }
+
+  result.total_time_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+std::string ResolveResult::StatsPanel() const {
+  std::string out;
+  out += "=== TeCoRe resolution (" + solver_name + ") ===\n";
+  const size_t input = kept_facts.size() + removed_facts.size();
+  out += StringPrintf("input facts          : %s\n",
+                      FormatWithCommas(static_cast<int64_t>(input)).c_str());
+  out += StringPrintf("kept facts           : %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(kept_facts.size())).c_str());
+  out += StringPrintf("removed (noisy)      : %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(removed_facts.size())).c_str());
+  out += StringPrintf("derived facts        : %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(derived_facts.size())).c_str());
+  if (derived_below_threshold > 0) {
+    out += StringPrintf("below threshold      : %s\n",
+                        FormatWithCommas(static_cast<int64_t>(
+                            derived_below_threshold)).c_str());
+  }
+  out += StringPrintf("ground atoms/clauses : %s / %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(ground_atoms)).c_str(),
+                      FormatWithCommas(
+                          static_cast<int64_t>(ground_clauses)).c_str());
+  if (num_components > 0) {
+    out += StringPrintf("components (largest) : %s (%zu)\n",
+                        FormatWithCommas(static_cast<int64_t>(
+                            num_components)).c_str(),
+                        largest_component);
+  }
+  out += StringPrintf("objective            : %.3f%s\n", objective,
+                      optimal ? " (optimal)" : "");
+  out += StringPrintf("feasible             : %s\n",
+                      feasible ? "yes" : "NO");
+  out += StringPrintf("grounding / solving  : %.1f ms / %.1f ms\n",
+                      ground_time_ms, solve_time_ms);
+  return out;
+}
+
+}  // namespace core
+}  // namespace tecore

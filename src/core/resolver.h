@@ -1,0 +1,91 @@
+#ifndef TECORE_CORE_RESOLVER_H_
+#define TECORE_CORE_RESOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "mln/solver.h"
+#include "psl/solver.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "rules/validator.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace core {
+
+/// \brief Configuration of the resolution pipeline.
+struct ResolveOptions {
+  /// Which backend computes the MAP state.
+  rules::SolverKind solver = rules::SolverKind::kMln;
+  mln::MlnSolverOptions mln;
+  psl::PslSolverOptions psl;
+  ground::GroundingOptions grounding;
+  /// Derived facts with a confidence score below this are removed from the
+  /// output graph (the paper's threshold feature); 0 keeps everything.
+  double derived_threshold = 0.0;
+};
+
+/// \brief A fact derived by the inference rules during MAP.
+struct DerivedFact {
+  /// Term ids reference the dictionary of `ResolveResult::consistent_graph`.
+  rdf::TemporalFact fact;
+  /// Confidence score: the PSL soft truth value, or (for MLN) the sigmoid
+  /// of the strongest supporting rule weight.
+  double score = 0.0;
+};
+
+/// \brief Result of computing the most probable conflict-free temporal KG.
+struct ResolveResult {
+  /// Input facts kept / removed by the MAP state.
+  std::vector<rdf::FactId> kept_facts;
+  std::vector<rdf::FactId> removed_facts;
+  /// Derived facts whose score passed the threshold.
+  std::vector<DerivedFact> derived_facts;
+  size_t derived_below_threshold = 0;
+  /// The expanded, conflict-free output graph G_inferred
+  /// (kept input facts + surviving derived facts).
+  rdf::TemporalGraph consistent_graph;
+
+  // --- diagnostics ---
+  std::string solver_name;
+  bool feasible = false;
+  bool optimal = false;
+  double objective = 0.0;
+  size_t ground_atoms = 0;
+  size_t ground_clauses = 0;
+  size_t num_components = 0;
+  size_t largest_component = 0;
+  double ground_time_ms = 0.0;
+  double solve_time_ms = 0.0;
+  double total_time_ms = 0.0;
+
+  /// \brief Statistics panel like the demo UI's results screen (Fig. 8).
+  std::string StatsPanel() const;
+};
+
+/// \brief TeCoRe's resolution pipeline: map(θ(G), F ∪ C).
+///
+/// Grounds the UTKG with the inference rules and constraints, runs MAP
+/// inference on the chosen backend, and maps the MAP state back to facts:
+/// evidence atoms assigned false are the noisy facts to remove; derived
+/// atoms assigned true materialize the implicit knowledge. The result is
+/// the most probable, expanded, conflict-free temporal KG.
+class Resolver {
+ public:
+  Resolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+           ResolveOptions options = {});
+
+  Result<ResolveResult> Run();
+
+ private:
+  rdf::TemporalGraph* graph_;
+  const rules::RuleSet& rules_;
+  ResolveOptions options_;
+};
+
+}  // namespace core
+}  // namespace tecore
+
+#endif  // TECORE_CORE_RESOLVER_H_

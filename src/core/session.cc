@@ -1,0 +1,87 @@
+#include "core/session.h"
+
+#include "rdf/io.h"
+#include "rules/parser.h"
+#include "rules/validator.h"
+
+namespace tecore {
+namespace core {
+
+Status Session::LoadGraphFile(const std::string& path) {
+  TECORE_ASSIGN_OR_RETURN(graph, rdf::LoadGraphFile(path));
+  graph_ = std::move(graph);
+  return Status::OK();
+}
+
+Status Session::LoadGraphText(std::string_view text) {
+  TECORE_ASSIGN_OR_RETURN(graph, rdf::ParseGraphText(text));
+  graph_ = std::move(graph);
+  return Status::OK();
+}
+
+void Session::SetGraph(rdf::TemporalGraph graph) { graph_ = std::move(graph); }
+
+Result<kb::GraphStatistics> Session::GraphStats() const {
+  if (!graph_) return Status::InvalidArgument("no graph loaded");
+  return kb::ComputeStatistics(*graph_);
+}
+
+std::vector<std::string> Session::CompletePredicate(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  if (!graph_) return out;
+  for (rdf::TermId id : graph_->dict().CompleteIri(prefix)) {
+    // Only offer terms actually used as predicates.
+    if (!graph_->FactsWithPredicate(id).empty()) {
+      out.push_back(graph_->dict().Lookup(id).lexical());
+    }
+  }
+  return out;
+}
+
+Result<size_t> Session::AddRulesText(std::string_view text) {
+  TECORE_ASSIGN_OR_RETURN(parsed, rules::ParseRules(text));
+  const size_t count = parsed.Size();
+  rules_.Merge(parsed);
+  return count;
+}
+
+std::vector<std::string> Session::ValidateRules(
+    rules::SolverKind solver) const {
+  return rules::CollectProblems(rules_, solver);
+}
+
+Result<std::vector<Suggestion>> Session::SuggestConstraints(
+    const SuggestOptions& options) const {
+  if (!graph_) return Status::InvalidArgument("no graph loaded");
+  return core::SuggestConstraints(*graph_, options);
+}
+
+Result<ConflictReport> Session::DetectConflicts() {
+  if (!graph_) return Status::InvalidArgument("no graph loaded");
+  ConflictDetector detector(&*graph_, rules_);
+  return detector.Detect();
+}
+
+Result<ResolveResult> Session::Resolve(const ResolveOptions& options) {
+  if (!graph_) return Status::InvalidArgument("no graph loaded");
+  Resolver resolver(&*graph_, rules_, options);
+  return resolver.Run();
+}
+
+std::string Session::DescribeConflict(const Conflict& conflict) const {
+  std::string out;
+  const rules::Rule& rule = rules_.rules[static_cast<size_t>(
+      conflict.rule_index)];
+  out += "violates " +
+         (rule.name.empty() ? std::string("<unnamed constraint>")
+                            : rule.name) +
+         ":\n";
+  for (rdf::FactId id : conflict.facts) {
+    out += "  " + graph_->FactToString(id) + "\n";
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace tecore

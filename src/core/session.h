@@ -1,0 +1,94 @@
+#ifndef TECORE_CORE_SESSION_H_
+#define TECORE_CORE_SESSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/resolver.h"
+#include "core/suggest.h"
+#include "kb/statistics.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace core {
+
+/// \brief The demo-UI workflow as an API.
+///
+/// The paper's Web UI lets a user (1) select a UTKG, (2) pick or edit
+/// inference rules and constraints (with predicate auto-completion),
+/// (3) compute the most probable conflict-free KG, and (4) browse result
+/// statistics, consistent and conflicting statements. Session exposes the
+/// same steps programmatically; the CLI and examples are thin shells
+/// around it.
+class Session {
+ public:
+  Session() = default;
+
+  // ------------------------------------------------------------- 1. data
+  /// \brief Load a ".tq" file as the session's UTKG.
+  Status LoadGraphFile(const std::string& path);
+  /// \brief Parse ".tq" text as the session's UTKG.
+  Status LoadGraphText(std::string_view text);
+  /// \brief Adopt an existing graph.
+  void SetGraph(rdf::TemporalGraph graph);
+
+  bool HasGraph() const { return graph_.has_value(); }
+  const rdf::TemporalGraph& graph() const { return *graph_; }
+  rdf::TemporalGraph& graph() { return *graph_; }
+
+  /// \brief Descriptive statistics of the loaded UTKG.
+  Result<kb::GraphStatistics> GraphStats() const;
+
+  /// \brief IRIs starting with `prefix` — the auto-completion data of the
+  /// Constraints Editor (Fig. 5).
+  std::vector<std::string> CompletePredicate(const std::string& prefix) const;
+
+  // ------------------------------------------------------------ 2. rules
+  /// \brief Parse and append rules/constraints written in the rule
+  /// language; returns how many were added.
+  Result<size_t> AddRulesText(std::string_view text);
+  /// \brief Append an already-parsed rule set.
+  void AddRules(const rules::RuleSet& rules) { rules_.Merge(rules); }
+  /// \brief Drop all rules.
+  void ClearRules() { rules_ = rules::RuleSet(); }
+
+  const rules::RuleSet& rules() const { return rules_; }
+
+  /// \brief All expressivity problems for the chosen solver (empty = OK).
+  std::vector<std::string> ValidateRules(rules::SolverKind solver) const;
+
+  /// \brief Mine candidate constraints from the loaded UTKG (the paper's
+  /// "automatic suggestion of constraints" demonstration goal).
+  Result<std::vector<Suggestion>> SuggestConstraints(
+      const SuggestOptions& options = {}) const;
+
+  /// \brief Predicate-level satisfiability pre-check of the current
+  /// constraint set (Allen-algebra path consistency).
+  CompatibilityReport AnalyzeRuleCompatibility() const {
+    return AnalyzeConstraintCompatibility(rules_);
+  }
+
+  // ---------------------------------------------------------- 3. compute
+  /// \brief Detect conflicts under the current constraints.
+  Result<ConflictReport> DetectConflicts();
+
+  /// \brief Run the full resolution pipeline.
+  Result<ResolveResult> Resolve(const ResolveOptions& options);
+
+  // ----------------------------------------------------------- 4. browse
+  /// \brief Render a conflict with its facts (for the results browser).
+  std::string DescribeConflict(const Conflict& conflict) const;
+
+ private:
+  std::optional<rdf::TemporalGraph> graph_;
+  rules::RuleSet rules_;
+};
+
+}  // namespace core
+}  // namespace tecore
+
+#endif  // TECORE_CORE_SESSION_H_

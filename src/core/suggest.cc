@@ -1,0 +1,252 @@
+#include "core/suggest.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rules/library.h"
+#include "rules/parser.h"
+#include "temporal/allen.h"
+#include "temporal/allen_network.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace core {
+
+namespace {
+
+/// Pair statistics for one predicate.
+struct PredicateProfile {
+  size_t diff_object_pairs = 0;      // same subject, different objects
+  size_t diff_object_overlaps = 0;   // ... with intersecting intervals
+  size_t overlap_pairs = 0;          // same subject, intersecting intervals
+  size_t overlap_disagreements = 0;  // ... with different objects
+};
+
+}  // namespace
+
+std::vector<Suggestion> SuggestConstraints(const rdf::TemporalGraph& graph,
+                                           const SuggestOptions& options) {
+  std::vector<Suggestion> suggestions;
+  const auto predicate_counts = graph.PredicateCounts();
+
+  // ---- per-predicate pair profiling (disjointness / functionality).
+  for (const auto& [pred, count] : predicate_counts) {
+    if (count < options.min_support) continue;
+    PredicateProfile profile;
+    // Group facts by subject via the subject-predicate index.
+    std::unordered_set<rdf::TermId> seen_subjects;
+    size_t examined = 0;
+    for (rdf::FactId id : graph.FactsWithPredicate(pred)) {
+      if (examined > options.max_subject_sample) break;
+      const rdf::TemporalFact& fact = graph.fact(id);
+      if (!seen_subjects.insert(fact.subject).second) continue;
+      const auto& bucket =
+          graph.FactsWithSubjectPredicate(fact.subject, pred);
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        for (size_t j = i + 1; j < bucket.size(); ++j) {
+          const rdf::TemporalFact& a = graph.fact(bucket[i]);
+          const rdf::TemporalFact& b = graph.fact(bucket[j]);
+          ++examined;
+          const bool overlap = a.interval.Intersects(b.interval);
+          if (a.object != b.object) {
+            ++profile.diff_object_pairs;
+            if (overlap) ++profile.diff_object_overlaps;
+          }
+          if (overlap) {
+            ++profile.overlap_pairs;
+            if (a.object != b.object) ++profile.overlap_disagreements;
+          }
+        }
+      }
+    }
+    const std::string name = graph.dict().Lookup(pred).lexical();
+    if (profile.diff_object_pairs >= options.min_support) {
+      const double violation =
+          static_cast<double>(profile.diff_object_overlaps) /
+          static_cast<double>(profile.diff_object_pairs);
+      if (1.0 - violation >= options.min_confidence) {
+        auto rule = rules::MakeTemporalDisjointness(name);
+        if (rule.ok()) {
+          Suggestion suggestion;
+          suggestion.rule = *rule;
+          suggestion.support = profile.diff_object_pairs;
+          suggestion.violation_rate = violation;
+          suggestion.rationale = StringPrintf(
+              "%zu same-subject '%s' pairs with different objects; only "
+              "%.1f%% overlap in time",
+              profile.diff_object_pairs, name.c_str(), 100.0 * violation);
+          suggestions.push_back(std::move(suggestion));
+        }
+      }
+    }
+    if (profile.overlap_pairs >= options.min_support) {
+      const double violation =
+          static_cast<double>(profile.overlap_disagreements) /
+          static_cast<double>(profile.overlap_pairs);
+      if (1.0 - violation >= options.min_confidence) {
+        auto rule = rules::MakeFunctionalDuringOverlap(name);
+        if (rule.ok()) {
+          Suggestion suggestion;
+          suggestion.rule = *rule;
+          suggestion.support = profile.overlap_pairs;
+          suggestion.violation_rate = violation;
+          suggestion.rationale = StringPrintf(
+              "%zu temporally-overlapping '%s' pairs; %.1f%% disagree on "
+              "the object",
+              profile.overlap_pairs, name.c_str(), 100.0 * violation);
+          suggestions.push_back(std::move(suggestion));
+        }
+      }
+    }
+  }
+
+  // ---- precedence mining over predicate pairs.
+  size_t pairs_examined = 0;
+  for (size_t pi = 0;
+       pi < predicate_counts.size() && pairs_examined < options.max_predicate_pairs;
+       ++pi) {
+    for (size_t qi = 0;
+         qi < predicate_counts.size() && pairs_examined < options.max_predicate_pairs;
+         ++qi) {
+      if (pi == qi) continue;
+      const rdf::TermId p = predicate_counts[pi].first;
+      const rdf::TermId q = predicate_counts[qi].first;
+      ++pairs_examined;
+      size_t support = 0, violations = 0;
+      std::unordered_set<rdf::TermId> seen_subjects;
+      for (rdf::FactId id : graph.FactsWithPredicate(p)) {
+        if (support > options.max_subject_sample) break;
+        const rdf::TemporalFact& fact = graph.fact(id);
+        if (!seen_subjects.insert(fact.subject).second) continue;
+        const auto& p_bucket =
+            graph.FactsWithSubjectPredicate(fact.subject, p);
+        const auto& q_bucket =
+            graph.FactsWithSubjectPredicate(fact.subject, q);
+        for (rdf::FactId pid : p_bucket) {
+          for (rdf::FactId qid : q_bucket) {
+            ++support;
+            if (graph.fact(pid).interval.begin() >=
+                graph.fact(qid).interval.begin()) {
+              ++violations;
+            }
+          }
+        }
+      }
+      if (support < options.min_support) continue;
+      const double violation =
+          static_cast<double>(violations) / static_cast<double>(support);
+      if (1.0 - violation < options.min_confidence) continue;
+      // A begins before B: suggest the begin-precedence constraint.
+      const std::string p_name = graph.dict().Lookup(p).lexical();
+      const std::string q_name = graph.dict().Lookup(q).lexical();
+      auto rule = rules::ParseSingleRule(StringPrintf(
+          "precede_%s_%s: quad(x, %s, y, t) & quad(x, %s, z, t') "
+          "-> begin(t) < begin(t') .",
+          p_name.c_str(), q_name.c_str(), p_name.c_str(), q_name.c_str()));
+      if (!rule.ok()) continue;
+      Suggestion suggestion;
+      suggestion.rule = *rule;
+      suggestion.support = support;
+      suggestion.violation_rate = violation;
+      suggestion.rationale = StringPrintf(
+          "'%s' begins before '%s' on %.1f%% of %zu shared-subject pairs",
+          p_name.c_str(), q_name.c_str(), 100.0 * (1.0 - violation), support);
+      suggestions.push_back(std::move(suggestion));
+    }
+  }
+
+  // Deterministic order: strongest evidence first.
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const Suggestion& a, const Suggestion& b) {
+              if (a.violation_rate != b.violation_rate) {
+                return a.violation_rate < b.violation_rate;
+              }
+              return a.support > b.support;
+            });
+  return suggestions;
+}
+
+CompatibilityReport AnalyzeConstraintCompatibility(
+    const rules::RuleSet& rules) {
+  CompatibilityReport report;
+  // Collect predicates of abstractable constraints:
+  // quad(x, P, _, t) & quad(x, Q, _, t') -> allen(t, t'),  P != Q constant.
+  std::map<std::string, int> predicate_ids;
+  struct Edge {
+    int p, q;
+    temporal::AllenSet relations;
+    const rules::Rule* rule;
+  };
+  std::vector<Edge> edges;
+  for (const rules::Rule& rule : rules.rules) {
+    if (rule.head.kind != rules::HeadKind::kCondition) continue;
+    const auto* allen =
+        std::get_if<logic::AllenAtom>(&*rule.head.condition);
+    if (allen == nullptr) continue;
+    if (rule.body.size() != 2) continue;
+    const logic::QuadAtom& first = rule.body[0];
+    const logic::QuadAtom& second = rule.body[1];
+    if (first.predicate.is_variable() || second.predicate.is_variable()) {
+      continue;
+    }
+    const std::string p_name = first.predicate.constant().lexical();
+    const std::string q_name = second.predicate.constant().lexical();
+    if (p_name == q_name) continue;  // self-pairs need object reasoning
+    // Head must be allen(t, t') over the two body interval variables in
+    // their textual order.
+    if (first.time.kind() != logic::IntervalExpr::Kind::kVar ||
+        second.time.kind() != logic::IntervalExpr::Kind::kVar ||
+        allen->a.kind() != logic::IntervalExpr::Kind::kVar ||
+        allen->b.kind() != logic::IntervalExpr::Kind::kVar) {
+      continue;
+    }
+    temporal::AllenSet relations = allen->relations;
+    int p_var = allen->a.var(), q_var = allen->b.var();
+    if (p_var == second.time.var() && q_var == first.time.var()) {
+      relations = relations.ConverseSet();  // head written swapped
+    } else if (p_var != first.time.var() || q_var != second.time.var()) {
+      continue;
+    }
+    auto intern = [&predicate_ids](const std::string& name) {
+      auto [it, inserted] =
+          predicate_ids.emplace(name, static_cast<int>(predicate_ids.size()));
+      return it->second;
+    };
+    edges.push_back({intern(p_name), intern(q_name), relations, &rule});
+  }
+  if (edges.empty()) return report;
+
+  temporal::AllenNetwork network(static_cast<int>(predicate_ids.size()));
+  for (const Edge& edge : edges) {
+    Status st = network.Constrain(edge.p, edge.q, edge.relations);
+    if (!st.ok()) {
+      report.possibly_consistent = false;
+      report.problems.push_back(st.ToString());
+    }
+  }
+  // Direct contradictions (empty edges) surface before propagation.
+  for (const Edge& edge : edges) {
+    if (network.RelationsBetween(edge.p, edge.q).Empty()) {
+      report.possibly_consistent = false;
+      report.problems.push_back(
+          "constraints on the same predicate pair contradict each other "
+          "(e.g. '" +
+          (edge.rule->name.empty() ? edge.rule->ToString()
+                                   : edge.rule->name) +
+          "' clashes with another constraint)");
+    }
+  }
+  if (report.possibly_consistent && !network.Propagate()) {
+    report.possibly_consistent = false;
+    report.problems.push_back(
+        "constraint set is path-inconsistent: the Allen relations imposed "
+        "between predicates cannot be jointly realized (e.g. a cyclic "
+        "'before' chain)");
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace tecore

@@ -1,0 +1,78 @@
+#ifndef TECORE_CORE_SUGGEST_H_
+#define TECORE_CORE_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace core {
+
+/// \brief A constraint or rule mined from the data, with its evidence.
+///
+/// The paper's demonstration goals include "automatic derivation or
+/// suggestion of constraints and inference rules"; this module implements
+/// that suggestion step: it profiles the UTKG and proposes constraints
+/// whose violation rate in the data is low but non-trivial support exists.
+struct Suggestion {
+  rules::Rule rule;
+  /// Number of fact pairs (or facts) examined for this pattern.
+  size_t support = 0;
+  /// Fraction of examined pairs violating the suggested constraint
+  /// (0 = the data satisfies it perfectly; small values usually indicate
+  /// noise the constraint would catch).
+  double violation_rate = 0.0;
+  /// Human-readable justification for the Constraints Editor.
+  std::string rationale;
+};
+
+/// \brief Mining thresholds.
+struct SuggestOptions {
+  /// Minimum same-subject pairs before a pattern is considered.
+  size_t min_support = 20;
+  /// Suggest a constraint only if it holds on at least this fraction of
+  /// the examined pairs.
+  double min_confidence = 0.75;
+  /// Cap on (first, second) predicate pairs examined for precedence.
+  size_t max_predicate_pairs = 64;
+  /// Sample cap per predicate (bounds quadratic pair enumeration).
+  size_t max_subject_sample = 20'000;
+};
+
+/// \brief Mine disjointness / functionality / precedence constraints.
+///
+/// Patterns searched (the paper's three constraint families):
+///  * temporal disjointness (c2-style): same subject, same predicate,
+///    different objects rarely overlap in time;
+///  * functionality under overlap (c3-style): overlapping same-predicate
+///    facts almost always agree on the object;
+///  * begin-precedence (c1-style): for predicate pairs (P, Q) on shared
+///    subjects, begin(P) almost always precedes begin(Q).
+std::vector<Suggestion> SuggestConstraints(const rdf::TemporalGraph& graph,
+                                           const SuggestOptions& options = {});
+
+/// \brief Result of the predicate-level compatibility analysis.
+struct CompatibilityReport {
+  bool possibly_consistent = true;
+  /// One entry per detected contradiction.
+  std::vector<std::string> problems;
+};
+
+/// \brief Sanity-check a constraint set before grounding.
+///
+/// Constraints of the shape `quad(x,P,·,t) ∧ quad(x,Q,·,t') → allen(t,t')`
+/// are abstracted to a qualitative network over predicates and closed
+/// under composition (path consistency). An empty edge means two
+/// constraints can never be satisfied together on any subject that has
+/// both predicates — the Constraints Editor reports this upfront instead
+/// of grounding a trivially over-constrained program.
+CompatibilityReport AnalyzeConstraintCompatibility(
+    const rules::RuleSet& rules);
+
+}  // namespace core
+}  // namespace tecore
+
+#endif  // TECORE_CORE_SUGGEST_H_

@@ -1,0 +1,20 @@
+#include "core/translator.h"
+
+namespace tecore {
+namespace core {
+
+Result<Translation> Translator::Translate(rdf::TemporalGraph* graph,
+                                          const rules::RuleSet& rules,
+                                          rules::SolverKind solver,
+                                          ground::GroundingOptions options) {
+  TECORE_RETURN_NOT_OK(rules::ValidateRuleSet(rules, solver));
+  ground::Grounder grounder(graph, rules, options);
+  TECORE_ASSIGN_OR_RETURN(grounding, grounder.Run());
+  Translation translation;
+  translation.solver = solver;
+  translation.grounding = std::move(grounding);
+  return translation;
+}
+
+}  // namespace core
+}  // namespace tecore

@@ -1,0 +1,40 @@
+#ifndef TECORE_CORE_TRANSLATOR_H_
+#define TECORE_CORE_TRANSLATOR_H_
+
+#include "ground/grounder.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "rules/validator.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace core {
+
+/// \brief Result of translating (UTKG, rules, constraints) for a solver.
+struct Translation {
+  rules::SolverKind solver = rules::SolverKind::kMln;
+  ground::GroundingResult grounding;
+};
+
+/// \brief The TeCoRe Translator (architecture Fig. 2).
+///
+/// Parses/validates the inputs against the chosen solver's expressivity
+/// ("special care is taken to verify that the input adheres to the
+/// expressivity of the solver") and transforms graph + rules into the
+/// solver's ground representation. Both backends share the ground network;
+/// they diverge in how clauses are interpreted (Boolean weighted clauses
+/// for MLN, Lukasiewicz hinges for PSL).
+class Translator {
+ public:
+  /// \brief Validate and ground. The graph is mutated only through its
+  /// dictionary (interning of rule constants).
+  static Result<Translation> Translate(rdf::TemporalGraph* graph,
+                                       const rules::RuleSet& rules,
+                                       rules::SolverKind solver,
+                                       ground::GroundingOptions options = {});
+};
+
+}  // namespace core
+}  // namespace tecore
+
+#endif  // TECORE_CORE_TRANSLATOR_H_

@@ -1,0 +1,222 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace datagen {
+
+namespace {
+
+using rdf::Term;
+using temporal::Interval;
+
+/// Confidence of a clean extraction.
+double CleanConfidence(Rng* rng) {
+  return 0.7 + 0.3 * rng->NextDouble();  // U(0.7, 1.0)
+}
+
+/// Confidence of an erroneous extraction (overlaps the clean range, so
+/// thresholding alone cannot separate them).
+double NoiseConfidence(Rng* rng) {
+  return 0.4 + 0.4 * rng->NextDouble();  // U(0.4, 0.8)
+}
+
+void AddFact(GeneratedKg* kg, std::string_view s, std::string_view p,
+             const Term& o, Interval iv, double conf, bool noise) {
+  Result<rdf::FactId> id = kg->graph.AddQuad(s, p, o, iv, conf);
+  assert(id.ok());
+  (void)id;
+  kg->is_noise.push_back(noise);
+  if (noise) {
+    ++kg->num_noise;
+  } else {
+    ++kg->num_clean;
+  }
+}
+
+std::string TeamName(size_t i) { return StringPrintf("Team%03zu", i); }
+
+}  // namespace
+
+GeneratedKg GenerateFootballDb(const FootballDbOptions& options) {
+  GeneratedKg kg;
+  Rng rng(options.seed);
+  if (options.emit_team_locations) {
+    // Certain background knowledge: each team is located in a city
+    // (roughly two teams per city, like shared metro areas).
+    for (size_t ti = 0; ti < options.num_teams; ++ti) {
+      AddFact(&kg, TeamName(ti), "locatedIn",
+              Term::Iri(StringPrintf("City%03zu", ti / 2)),
+              Interval(1900, 2017), 1.0, false);
+    }
+  }
+  for (size_t pi = 0; pi < options.num_players; ++pi) {
+    const std::string player = StringPrintf("Player%05zu", pi);
+    const int64_t birth_year = rng.UniformRange(1950, 1995);
+    // Clean birthDate (valid from birth "onwards"; we cap at 2017 like the
+    // paper's CR example).
+    AddFact(&kg, player, "birthDate", Term::IntLiteral(birth_year),
+            Interval(birth_year, 2017), CleanConfidence(&rng), false);
+
+    // Clean career spells: consecutive, non-overlapping.
+    const int spells = 1 + static_cast<int>(rng.Uniform(
+                               static_cast<uint64_t>(
+                                   std::max(1.0, 2.0 * options.mean_spells - 1.0))));
+    int64_t cursor = birth_year + rng.UniformRange(20, 23);
+    std::vector<std::pair<size_t, Interval>> career;
+    for (int si = 0; si < spells && cursor < 2016; ++si) {
+      const int64_t len = rng.UniformRange(1, 6);
+      const int64_t end = std::min<int64_t>(cursor + len, 2017);
+      const size_t team = rng.Uniform(options.num_teams);
+      career.emplace_back(team, Interval(cursor, end));
+      AddFact(&kg, player, "playsFor", Term::Iri(TeamName(team)),
+              Interval(cursor, end), CleanConfidence(&rng), false);
+      cursor = end + 1 + rng.UniformRange(0, 2);
+    }
+
+    // Noise: for each clean fact, inject an erroneous one with
+    // probability noise_rate (expected #noise == noise_rate * #clean).
+    if (!career.empty() && rng.Bernoulli(options.noise_rate)) {
+      // Parallel career: overlaps an existing spell with another team.
+      const auto& [team, iv] = career[rng.PickIndex(career)];
+      size_t other = (team + 1 + rng.Uniform(options.num_teams - 1)) %
+                     options.num_teams;
+      const int64_t shift = rng.UniformRange(-1, 1);
+      const int64_t b = std::max<int64_t>(iv.begin() + shift, 1950);
+      const int64_t e = std::max(b, iv.end() + rng.UniformRange(-1, 1));
+      AddFact(&kg, player, "playsFor", Term::Iri(TeamName(other)),
+              Interval(b, e), NoiseConfidence(&rng), true);
+    }
+    if (rng.Bernoulli(options.noise_rate * 0.5)) {
+      // Conflicting second birth date.
+      int64_t wrong = birth_year + (rng.Bernoulli(0.5) ? 1 : -1) *
+                                       rng.UniformRange(1, 5);
+      AddFact(&kg, player, "birthDate", Term::IntLiteral(wrong),
+              Interval(wrong, 2017), NoiseConfidence(&rng), true);
+    }
+    if (rng.Bernoulli(options.noise_rate * 0.25)) {
+      // Career starting before birth (extraction glitch).
+      const size_t team = rng.Uniform(options.num_teams);
+      const int64_t b = birth_year - rng.UniformRange(1, 10);
+      AddFact(&kg, player, "playsFor", Term::Iri(TeamName(team)),
+              Interval(b, b + rng.UniformRange(0, 3)), NoiseConfidence(&rng),
+              true);
+    }
+  }
+  return kg;
+}
+
+GeneratedKg GenerateWikidata(const WikidataOptions& options) {
+  GeneratedKg kg;
+  Rng rng(options.seed);
+  // Relation mix by share of generated facts; playsFor dominates like the
+  // paper's extract (>4M of 6.3M), the small relations keep their ranks.
+  struct Relation {
+    const char* name;
+    double share;
+  };
+  const Relation kRelations[] = {
+      {"playsFor", 0.72},  {"memberOf", 0.12}, {"spouse", 0.07},
+      {"educatedAt", 0.05}, {"occupation", 0.04},
+  };
+  const size_t num_people =
+      std::max<size_t>(1, options.target_facts / 4);
+  const size_t num_orgs = std::max<size_t>(8, num_people / 50);
+
+  auto person = [&](size_t i) { return StringPrintf("Q%zu", 100000 + i); };
+  auto org = [&](size_t i) { return StringPrintf("Org%05zu", i); };
+
+  // Per (person, relation) timeline cursor so *clean* facts of the same
+  // relation never overlap (the constraints WikidataConstraints() impose
+  // hold on noise-free output; see datagen_test).
+  constexpr int kNumRelations =
+      static_cast<int>(sizeof(kRelations) / sizeof(kRelations[0]));
+  std::unordered_map<uint64_t, int64_t> timeline;
+  auto next_interval = [&](size_t person_idx, int rel_idx) {
+    const uint64_t key =
+        person_idx * static_cast<uint64_t>(kNumRelations) +
+        static_cast<uint64_t>(rel_idx);
+    auto it = timeline.find(key);
+    int64_t cursor =
+        it == timeline.end() ? rng.UniformRange(1960, 1990) : it->second;
+    const int64_t begin = cursor + rng.UniformRange(0, 2);
+    const int64_t end = begin + rng.UniformRange(0, 8);
+    timeline[key] = end + 1;
+    return Interval(begin, end);
+  };
+
+  size_t produced = 0;
+  size_t person_cursor = 0;
+  while (produced < options.target_facts) {
+    const size_t person_idx = person_cursor % num_people;
+    const std::string subj = person(person_idx);
+    ++person_cursor;
+    // Pick a relation by share.
+    double dice = rng.NextDouble();
+    int rel_idx = 0;
+    for (int ri = 0; ri < kNumRelations; ++ri) {
+      if (dice < kRelations[ri].share || ri == kNumRelations - 1) {
+        rel_idx = ri;
+        break;
+      }
+      dice -= kRelations[ri].share;
+    }
+    const Relation& rel = kRelations[rel_idx];
+    const Interval iv = next_interval(person_idx, rel_idx);
+    const std::string obj = org(rng.Uniform(num_orgs));
+    AddFact(&kg, subj, rel.name, Term::Iri(obj), iv, CleanConfidence(&rng),
+            false);
+    ++produced;
+
+    // Conflict injection: an overlapping same-relation fact with a
+    // different object (violates the disjointness constraints).
+    if (produced < options.target_facts &&
+        rng.Bernoulli(options.noise_rate /
+                      std::max(1e-9, 1.0 - options.noise_rate))) {
+      const std::string obj2 = org(rng.Uniform(num_orgs));
+      if (obj2 != obj) {
+        const int64_t b2 = iv.begin() + rng.UniformRange(-1, 1);
+        const int64_t e2 = std::max(b2, iv.end() + rng.UniformRange(-1, 1));
+        AddFact(&kg, subj, rel.name, Term::Iri(obj2), Interval(b2, e2),
+                NoiseConfidence(&rng), true);
+        ++produced;
+      }
+    }
+  }
+  return kg;
+}
+
+rdf::TemporalGraph RunningExampleGraph(bool with_locations) {
+  rdf::TemporalGraph graph;
+  auto add = [&graph](std::string_view s, std::string_view p, const Term& o,
+                      Interval iv, double conf) {
+    Result<rdf::FactId> id = graph.AddQuad(s, p, o, iv, conf);
+    assert(id.ok());
+    (void)id;
+  };
+  add("CR", "coach", Term::Iri("Chelsea"), Interval(2000, 2004), 0.9);
+  add("CR", "coach", Term::Iri("Leicester"), Interval(2015, 2017), 0.7);
+  add("CR", "playsFor", Term::Iri("Palermo"), Interval(1984, 1986), 0.5);
+  add("CR", "birthDate", Term::IntLiteral(1951), Interval(1951, 2017), 1.0);
+  add("CR", "coach", Term::Iri("Napoli"), Interval(2001, 2003), 0.6);
+  if (with_locations) {
+    // Club locations enabling inference rule f2 (livesIn).
+    add("Palermo", "locatedIn", Term::Iri("PalermoCity"),
+        Interval(1900, 2017), 1.0);
+    add("Chelsea", "locatedIn", Term::Iri("London"), Interval(1900, 2017),
+        1.0);
+    add("Leicester", "locatedIn", Term::Iri("LeicesterCity"),
+        Interval(1900, 2017), 1.0);
+    add("Napoli", "locatedIn", Term::Iri("Naples"), Interval(1900, 2017),
+        1.0);
+  }
+  return graph;
+}
+
+}  // namespace datagen
+}  // namespace tecore

@@ -1,0 +1,88 @@
+#ifndef TECORE_DATAGEN_GENERATORS_H_
+#define TECORE_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace tecore {
+namespace datagen {
+
+/// \brief A generated UTKG with ground-truth noise labels.
+///
+/// The original FootballDB crawl and Wikidata extract are not
+/// redistributable; these generators synthesize workloads with the same
+/// relation mix, cardinalities and conflict structure (see DESIGN.md,
+/// substitutions). Because the generator knows which facts it corrupted,
+/// benches can report precision/recall of the repair — something the paper
+/// could only eyeball.
+struct GeneratedKg {
+  rdf::TemporalGraph graph;
+  /// Parallel to fact ids: true if the fact was injected as noise.
+  std::vector<bool> is_noise;
+  size_t num_clean = 0;
+  size_t num_noise = 0;
+};
+
+/// \brief Parameters of the synthetic FootballDB (paper §4: >13K playsFor,
+/// >6K birthDate facts about American-football players).
+struct FootballDbOptions {
+  /// Players; each gets one birthDate and ~2 playsFor spells, so the
+  /// default reproduces the paper's ~19K facts.
+  size_t num_players = 6500;
+  size_t num_teams = 48;
+  /// Average playsFor spells per player (geometric-ish, >= 1).
+  double mean_spells = 2.0;
+  /// Erroneous facts per clean fact ("as many erroneous temporal facts as
+  /// the correct ones" is rate 1.0; the default matches the paper's
+  /// highly-noisy setting).
+  double noise_rate = 1.0;
+  /// Also emit one `locatedIn` fact per team (team -> city). Location
+  /// facts enable f2-style inference rules (livesIn), which couple the
+  /// ground network across players — the workload that separates the
+  /// scalable nPSL backend from exact MLN MAP.
+  bool emit_team_locations = true;
+  uint64_t seed = 20170901;
+};
+
+/// \brief Generate the FootballDB-like UTKG.
+///
+/// Noise kinds: overlapping parallel career (violates playsFor
+/// disjointness), conflicting second birth date (violates functionality),
+/// and pre-birth careers (violates precedence). Erroneous facts get
+/// moderately lower confidence than clean ones, mirroring OIE extractors.
+GeneratedKg GenerateFootballDb(const FootballDbOptions& options);
+
+/// \brief Parameters of the synthetic Wikidata extract (paper §4: 6.3M
+/// temporal facts; playsFor >4M, memberOf >23K, spouse >20K, educatedAt
+/// >6K, occupation >4.5K).
+struct WikidataOptions {
+  /// Total fact target. Default reproduces Fig. 8's 243,157-fact input.
+  size_t target_facts = 243'157;
+  /// Fraction of facts that are injected conflicts; the default lands the
+  /// Fig. 8 conflict share (19,734 / 243,157 ≈ 8.1% conflicting facts,
+  /// each conflict touching ~2 facts; calibrated empirically).
+  double noise_rate = 0.0478;
+  uint64_t seed = 20170902;
+};
+
+/// \brief Generate the Wikidata-mix UTKG.
+GeneratedKg GenerateWikidata(const WikidataOptions& options);
+
+/// \brief The paper's running example (Fig. 1): coach Claudio Raineri.
+///
+///     (1) (CR, coach, Chelsea,   [2000,2004]) 0.9
+///     (2) (CR, coach, Leicester, [2015,2017]) 0.7
+///     (3) (CR, playsFor, Palermo,[1984,1986]) 0.5
+///     (4) (CR, birthDate, 1951,  [1951,2017]) 1.0
+///     (5) (CR, coach, Napoli,    [2001,2003]) 0.6
+///
+/// Plus (optionally) the club locations used by inference rule f2.
+rdf::TemporalGraph RunningExampleGraph(bool with_locations = true);
+
+}  // namespace datagen
+}  // namespace tecore
+
+#endif  // TECORE_DATAGEN_GENERATORS_H_

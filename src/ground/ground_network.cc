@@ -1,0 +1,226 @@
+#include "ground/ground_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace ground {
+
+namespace {
+const std::vector<AtomId> kEmptyAtomList;
+}  // namespace
+
+AtomId GroundNetwork::GetOrAddAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                                   const temporal::Interval& iv,
+                                   bool is_evidence, double prior_weight,
+                                   rdf::FactId source_fact) {
+  QuadKey key{s, p, o, iv.begin(), iv.end()};
+  auto it = atom_index_.find(key);
+  if (it != atom_index_.end()) {
+    GroundAtom& existing = atoms_[it->second];
+    if (is_evidence) {
+      // Merge support from another input fact with the same quad.
+      existing.prior_weight += prior_weight;
+      if (!existing.is_evidence) {
+        existing.is_evidence = true;
+        existing.source_fact = source_fact;
+      }
+    }
+    return it->second;
+  }
+  AtomId id = static_cast<AtomId>(atoms_.size());
+  GroundAtom atom;
+  atom.subject = s;
+  atom.predicate = p;
+  atom.object = o;
+  atom.interval = iv;
+  atom.is_evidence = is_evidence;
+  atom.prior_weight = is_evidence ? prior_weight : 0.0;
+  atom.source_fact = source_fact;
+  atoms_.push_back(atom);
+  atom_index_.emplace(key, id);
+  by_pred_[p].push_back(id);
+  by_pred_subject_[{p, s}].push_back(id);
+  by_pred_object_[{p, o}].push_back(id);
+  return id;
+}
+
+AtomId GroundNetwork::FindAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                               const temporal::Interval& iv) const {
+  QuadKey key{s, p, o, iv.begin(), iv.end()};
+  auto it = atom_index_.find(key);
+  return it == atom_index_.end() ? kInvalidAtomId : it->second;
+}
+
+bool GroundNetwork::AddClause(GroundClause clause) {
+  // Normalize: sort, dedup, drop tautologies (p ∨ ¬p).
+  std::sort(clause.literals.begin(), clause.literals.end());
+  clause.literals.erase(
+      std::unique(clause.literals.begin(), clause.literals.end()),
+      clause.literals.end());
+  for (size_t i = 0; i + 1 < clause.literals.size(); ++i) {
+    if (clause.literals[i] == -clause.literals[i + 1] ||
+        (clause.literals[i] < 0 &&
+         std::binary_search(clause.literals.begin(), clause.literals.end(),
+                            -clause.literals[i]))) {
+      return false;  // tautology
+    }
+  }
+  if (clause.literals.empty()) return false;
+  // Dedup by content hash (includes weight class and origin).
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int32_t lit : clause.literals) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(lit)) + (1ULL << 40));
+  }
+  mix(clause.hard ? 1 : 0);
+  if (!clause.hard) {
+    mix(static_cast<uint64_t>(std::llround(clause.weight * 1e6)));
+  }
+  mix(static_cast<uint64_t>(static_cast<int64_t>(clause.rule_index)) +
+      (1ULL << 20));
+  if (!clause_hashes_.insert(h).second) return false;
+  clauses_.push_back(std::move(clause));
+  return true;
+}
+
+std::vector<AtomId> GroundNetwork::AtomsSince(AtomId since) const {
+  std::vector<AtomId> out;
+  for (AtomId id = since; id < atoms_.size(); ++id) out.push_back(id);
+  return out;
+}
+
+const std::vector<AtomId>& GroundNetwork::AtomsWithPredicate(
+    rdf::TermId p) const {
+  auto it = by_pred_.find(p);
+  return it == by_pred_.end() ? kEmptyAtomList : it->second;
+}
+
+const std::vector<AtomId>& GroundNetwork::AtomsWithPredSubject(
+    rdf::TermId p, rdf::TermId s) const {
+  auto it = by_pred_subject_.find({p, s});
+  return it == by_pred_subject_.end() ? kEmptyAtomList : it->second;
+}
+
+const std::vector<AtomId>& GroundNetwork::AtomsWithPredObject(
+    rdf::TermId p, rdf::TermId o) const {
+  auto it = by_pred_object_.find({p, o});
+  return it == by_pred_object_.end() ? kEmptyAtomList : it->second;
+}
+
+void GroundNetwork::AddPriorClauses(double derived_prior_weight) {
+  for (AtomId id = 0; id < atoms_.size(); ++id) {
+    const GroundAtom& atom = atoms_[id];
+    GroundClause unit;
+    unit.rule_index = -1;
+    unit.hard = false;
+    if (atom.is_evidence) {
+      if (atom.prior_weight > 0) {
+        unit.literals = {PositiveLiteral(id)};
+        unit.weight = atom.prior_weight;
+      } else if (atom.prior_weight < 0) {
+        unit.literals = {NegativeLiteral(id)};
+        unit.weight = -atom.prior_weight;
+      } else {
+        continue;  // confidence 0.5: indifferent
+      }
+    } else {
+      if (derived_prior_weight <= 0) continue;
+      unit.literals = {NegativeLiteral(id)};
+      unit.weight = derived_prior_weight;
+    }
+    AddClause(std::move(unit));
+  }
+}
+
+namespace {
+/// Minimal union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+}  // namespace
+
+std::vector<Component> GroundNetwork::ConnectedComponents() const {
+  UnionFind uf(atoms_.size());
+  for (const GroundClause& clause : clauses_) {
+    for (size_t i = 1; i < clause.literals.size(); ++i) {
+      uf.Union(LiteralAtom(clause.literals[0]),
+               LiteralAtom(clause.literals[i]));
+    }
+  }
+  std::unordered_map<uint32_t, uint32_t> root_to_component;
+  std::vector<Component> components;
+  for (AtomId id = 0; id < atoms_.size(); ++id) {
+    uint32_t root = uf.Find(id);
+    auto [it, inserted] =
+        root_to_component.emplace(root, static_cast<uint32_t>(components.size()));
+    if (inserted) components.emplace_back();
+    components[it->second].atoms.push_back(id);
+  }
+  for (uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+    uint32_t root = uf.Find(LiteralAtom(clauses_[ci].literals[0]));
+    components[root_to_component[root]].clause_indices.push_back(ci);
+  }
+  return components;
+}
+
+double GroundNetwork::TotalSoftWeight() const {
+  double total = 0.0;
+  for (const GroundClause& clause : clauses_) {
+    if (!clause.hard) total += clause.weight;
+  }
+  return total;
+}
+
+std::string GroundNetwork::AtomToString(AtomId id,
+                                        const rdf::Dictionary& dict) const {
+  const GroundAtom& a = atoms_[id];
+  return StringPrintf("(%s, %s, %s, %s)%s",
+                      dict.Lookup(a.subject).ToString().c_str(),
+                      dict.Lookup(a.predicate).ToString().c_str(),
+                      dict.Lookup(a.object).ToString().c_str(),
+                      a.interval.ToString().c_str(),
+                      a.is_evidence ? "" : "*");
+}
+
+std::string GroundNetwork::ClauseToString(const GroundClause& clause,
+                                          const rdf::Dictionary& dict) const {
+  std::string out = clause.hard ? "[hard] " : StringPrintf("[%.3f] ", clause.weight);
+  for (size_t i = 0; i < clause.literals.size(); ++i) {
+    if (i > 0) out += " v ";
+    int32_t lit = clause.literals[i];
+    if (!LiteralSign(lit)) out += "!";
+    out += AtomToString(LiteralAtom(lit), dict);
+  }
+  return out;
+}
+
+}  // namespace ground
+}  // namespace tecore

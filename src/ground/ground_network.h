@@ -1,0 +1,183 @@
+#ifndef TECORE_GROUND_GROUND_NETWORK_H_
+#define TECORE_GROUND_GROUND_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/quad.h"
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace ground {
+
+/// \brief Identifier of a ground atom within a GroundNetwork.
+using AtomId = uint32_t;
+
+/// \brief A ground quad atom: a fully instantiated (s, p, o, [b,e]).
+///
+/// Evidence atoms come from the input UTKG and carry a prior weight
+/// (the sum of the log-odds of their supporting facts); derived atoms are
+/// created by inference-rule heads and have no evidence prior.
+struct GroundAtom {
+  rdf::TermId subject = rdf::kInvalidTermId;
+  rdf::TermId predicate = rdf::kInvalidTermId;
+  rdf::TermId object = rdf::kInvalidTermId;
+  temporal::Interval interval{0, 0};
+  bool is_evidence = false;
+  /// Sum of log-odds of supporting input facts (0 for derived atoms).
+  double prior_weight = 0.0;
+  /// First supporting input fact (kInvalidFactId for derived atoms).
+  rdf::FactId source_fact = rdf::kInvalidFactId;
+};
+
+/// \brief A ground clause: a weighted disjunction of atom literals.
+///
+/// Literals are encoded as +(atom+1) / -(atom+1). A hard clause must be
+/// satisfied by any admissible world; a soft clause contributes `weight`
+/// to the objective when satisfied.
+struct GroundClause {
+  std::vector<int32_t> literals;
+  double weight = 0.0;
+  bool hard = true;
+  /// Index of the rule that produced it; -1 for evidence/derived priors.
+  int32_t rule_index = -1;
+};
+
+/// \brief Literal encoding helpers.
+inline int32_t PositiveLiteral(AtomId atom) {
+  return static_cast<int32_t>(atom) + 1;
+}
+inline int32_t NegativeLiteral(AtomId atom) {
+  return -(static_cast<int32_t>(atom) + 1);
+}
+inline AtomId LiteralAtom(int32_t literal) {
+  return static_cast<AtomId>((literal > 0 ? literal : -literal) - 1);
+}
+inline bool LiteralSign(int32_t literal) { return literal > 0; }
+
+/// \brief A connected component of the ground network.
+///
+/// Real UTKGs decompose into many small components (conflicts are local to
+/// a subject); exact MAP is run per component, which is what makes the
+/// MLN backend tractable without a commercial ILP solver.
+struct Component {
+  std::vector<AtomId> atoms;
+  std::vector<uint32_t> clause_indices;
+};
+
+/// \brief The ground Markov network: interned atoms + deduplicated clauses
+/// with the secondary indexes the grounding joins need.
+class GroundNetwork {
+ public:
+  GroundNetwork() = default;
+  GroundNetwork(const GroundNetwork&) = delete;
+  GroundNetwork& operator=(const GroundNetwork&) = delete;
+  GroundNetwork(GroundNetwork&&) = default;
+  GroundNetwork& operator=(GroundNetwork&&) = default;
+
+  /// \brief Intern a ground atom. If it already exists: evidence support is
+  /// merged (prior weights add up); otherwise the id is returned unchanged.
+  AtomId GetOrAddAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                      const temporal::Interval& iv, bool is_evidence,
+                      double prior_weight, rdf::FactId source_fact);
+
+  /// \brief Find an existing atom (kInvalidAtomId if absent).
+  static constexpr AtomId kInvalidAtomId = UINT32_MAX;
+  AtomId FindAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                  const temporal::Interval& iv) const;
+
+  /// \brief Add a clause after normalization (sort/dedup literals, drop
+  /// tautologies and duplicates). Returns true if the clause was new.
+  bool AddClause(GroundClause clause);
+
+  size_t NumAtoms() const { return atoms_.size(); }
+  size_t NumClauses() const { return clauses_.size(); }
+  const GroundAtom& atom(AtomId id) const { return atoms_[id]; }
+  const std::vector<GroundAtom>& atoms() const { return atoms_; }
+  const std::vector<GroundClause>& clauses() const { return clauses_; }
+
+  /// \brief Ids of atoms added at or after `since` (for semi-naive rounds).
+  std::vector<AtomId> AtomsSince(AtomId since) const;
+
+  /// \brief Index: atoms with the given predicate.
+  const std::vector<AtomId>& AtomsWithPredicate(rdf::TermId p) const;
+  /// \brief Index: atoms with (predicate, subject).
+  const std::vector<AtomId>& AtomsWithPredSubject(rdf::TermId p,
+                                                  rdf::TermId s) const;
+  /// \brief Index: atoms with (predicate, object).
+  const std::vector<AtomId>& AtomsWithPredObject(rdf::TermId p,
+                                                 rdf::TermId o) const;
+
+  /// \brief Append the evidence-prior and derived-prior unit clauses.
+  ///
+  /// Evidence atom with prior w>0: soft unit (+a, w); w<0: soft unit
+  /// (-a, -w). Derived atoms get a small negative prior (-a,
+  /// derived_prior_weight) so MAP prefers minimal models (ties otherwise).
+  void AddPriorClauses(double derived_prior_weight);
+
+  /// \brief Connected components over the "shares a clause" relation.
+  /// Unit clauses attach to the component of their single atom.
+  std::vector<Component> ConnectedComponents() const;
+
+  /// \brief Total weight of all soft clauses (upper bound of the MAP
+  /// objective).
+  double TotalSoftWeight() const;
+
+  /// \brief Render one atom using a dictionary.
+  std::string AtomToString(AtomId id, const rdf::Dictionary& dict) const;
+  /// \brief Render one clause using a dictionary.
+  std::string ClauseToString(const GroundClause& clause,
+                             const rdf::Dictionary& dict) const;
+
+ private:
+  struct QuadKey {
+    rdf::TermId s, p, o;
+    int64_t b, e;
+    bool operator==(const QuadKey& other) const {
+      return s == other.s && p == other.p && o == other.o && b == other.b &&
+             e == other.e;
+    }
+  };
+  struct QuadKeyHash {
+    size_t operator()(const QuadKey& k) const {
+      uint64_t h = 1469598103934665603ULL;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      };
+      mix(k.s);
+      mix(k.p);
+      mix(k.o);
+      mix(static_cast<uint64_t>(k.b));
+      mix(static_cast<uint64_t>(k.e));
+      return static_cast<size_t>(h);
+    }
+  };
+  struct PairHash {
+    size_t operator()(const std::pair<rdf::TermId, rdf::TermId>& p) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) |
+                                   p.second);
+    }
+  };
+
+  std::vector<GroundAtom> atoms_;
+  std::unordered_map<QuadKey, AtomId, QuadKeyHash> atom_index_;
+  std::vector<GroundClause> clauses_;
+  std::unordered_set<uint64_t> clause_hashes_;
+  std::unordered_map<rdf::TermId, std::vector<AtomId>> by_pred_;
+  std::unordered_map<std::pair<rdf::TermId, rdf::TermId>, std::vector<AtomId>,
+                     PairHash>
+      by_pred_subject_;
+  std::unordered_map<std::pair<rdf::TermId, rdf::TermId>, std::vector<AtomId>,
+                     PairHash>
+      by_pred_object_;
+};
+
+}  // namespace ground
+}  // namespace tecore
+
+#endif  // TECORE_GROUND_GROUND_NETWORK_H_

@@ -1,0 +1,391 @@
+#include "ground/grounder.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "kb/weighting.h"
+#include "logic/eval.h"
+#include "rules/validator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace ground {
+
+namespace {
+
+using logic::Binding;
+using logic::EntityArg;
+using logic::IntervalExpr;
+using logic::QuadAtom;
+using logic::VarId;
+
+/// A body/head entity position with rule constants pre-interned.
+struct CompiledArg {
+  bool is_var = false;
+  VarId var = -1;
+  rdf::TermId term = rdf::kInvalidTermId;
+};
+
+struct CompiledQuad {
+  CompiledArg subject, predicate, object;
+  const IntervalExpr* time = nullptr;
+  /// True when `time` is a plain variable (binds on match).
+  bool time_is_var = false;
+  VarId time_var = -1;
+};
+
+struct CompiledRule {
+  const rules::Rule* rule = nullptr;
+  int32_t rule_index = -1;
+  std::vector<CompiledQuad> body;
+  std::vector<CompiledQuad> head_quads;
+  /// conditions_at[i] = indexes of rule->conditions fully bound after body
+  /// atom i has matched (early evaluation schedule).
+  std::vector<std::vector<size_t>> conditions_at;
+};
+
+/// Collects all variables of a condition atom.
+void ConditionVars(const logic::ConditionAtom& cond, std::vector<VarId>* out) {
+  if (const auto* allen = std::get_if<logic::AllenAtom>(&cond)) {
+    allen->a.CollectVars(out);
+    allen->b.CollectVars(out);
+  } else if (const auto* numeric = std::get_if<logic::NumericAtom>(&cond)) {
+    numeric->lhs.CollectVars(out);
+    numeric->rhs.CollectVars(out);
+  } else {
+    const auto& cmp = std::get<logic::TermCompareAtom>(cond);
+    if (cmp.lhs.is_variable()) out->push_back(cmp.lhs.var());
+    if (cmp.rhs.is_variable()) out->push_back(cmp.rhs.var());
+  }
+}
+
+/// The actual matcher; one instance per Run() call.
+class GroundingEngine {
+ public:
+  GroundingEngine(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+                  const GroundingOptions& options, GroundingResult* result)
+      : graph_(graph), rules_(rules), options_(options), result_(result) {}
+
+  Status Execute() {
+    Timer timer;
+    TECORE_RETURN_NOT_OK(Compile());
+    SeedEvidence();
+    // Fixpoint rounds: keep re-grounding while new atoms/clauses appear.
+    size_t prev_atoms = 0, prev_clauses = 0;
+    for (int round = 0; round < options_.max_rounds; ++round) {
+      result_->rounds = round + 1;
+      for (CompiledRule& cr : compiled_) {
+        TECORE_RETURN_NOT_OK(GroundRule(cr));
+      }
+      size_t atoms = result_->network.NumAtoms();
+      size_t clauses = result_->network.NumClauses();
+      if (atoms == prev_atoms && clauses == prev_clauses) break;
+      prev_atoms = atoms;
+      prev_clauses = clauses;
+      if (atoms > options_.max_atoms) {
+        return Status::OutOfRange(
+            StringPrintf("grounding exceeded max_atoms (%zu)", atoms));
+      }
+      if (clauses > options_.max_clauses) {
+        return Status::OutOfRange(
+            StringPrintf("grounding exceeded max_clauses (%zu)", clauses));
+      }
+    }
+    if (options_.add_evidence_priors) {
+      result_->network.AddPriorClauses(options_.derived_prior_weight);
+    }
+    result_->ground_time_ms = timer.ElapsedMillis();
+    return Status::OK();
+  }
+
+ private:
+  Status Compile() {
+    for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
+      const rules::Rule& rule = rules_.rules[ri];
+      TECORE_RETURN_NOT_OK(rules::ValidateRule(rule));
+      CompiledRule cr;
+      cr.rule = &rule;
+      cr.rule_index = static_cast<int32_t>(ri);
+      for (const QuadAtom& atom : rule.body) {
+        cr.body.push_back(CompileQuad(atom));
+      }
+      for (const QuadAtom& atom : rule.head.quads) {
+        cr.head_quads.push_back(CompileQuad(atom));
+      }
+      // Early-evaluation schedule for side conditions.
+      cr.conditions_at.resize(rule.body.size());
+      std::vector<bool> bound(rule.vars.NumVars(), false);
+      std::vector<bool> scheduled(rule.conditions.size(), false);
+      for (size_t bi = 0; bi < rule.body.size(); ++bi) {
+        std::vector<VarId> evars, ivars;
+        rule.body[bi].CollectVars(&evars, &ivars);
+        for (VarId v : evars) bound[v] = true;
+        for (VarId v : ivars) bound[v] = true;
+        for (size_t ci = 0; ci < rule.conditions.size(); ++ci) {
+          if (scheduled[ci]) continue;
+          std::vector<VarId> needed;
+          ConditionVars(rule.conditions[ci], &needed);
+          bool ready = true;
+          for (VarId v : needed) {
+            if (!bound[v]) {
+              ready = false;
+              break;
+            }
+          }
+          if (ready) {
+            scheduled[ci] = true;
+            size_t slot = options_.evaluate_conditions_early
+                              ? bi
+                              : rule.body.size() - 1;
+            cr.conditions_at[slot].push_back(ci);
+          }
+        }
+      }
+      // Unscheduled conditions would use unbound vars; the validator
+      // guarantees this cannot happen.
+      compiled_.push_back(std::move(cr));
+    }
+    return Status::OK();
+  }
+
+  CompiledQuad CompileQuad(const QuadAtom& atom) {
+    CompiledQuad cq;
+    auto compile_arg = [this](const EntityArg& arg) {
+      CompiledArg out;
+      if (arg.is_variable()) {
+        out.is_var = true;
+        out.var = arg.var();
+      } else {
+        out.term = graph_->dict().Intern(arg.constant());
+      }
+      return out;
+    };
+    cq.subject = compile_arg(atom.subject);
+    cq.predicate = compile_arg(atom.predicate);
+    cq.object = compile_arg(atom.object);
+    cq.time = &atom.time;
+    cq.time_is_var = atom.time.kind() == IntervalExpr::Kind::kVar;
+    if (cq.time_is_var) cq.time_var = atom.time.var();
+    return cq;
+  }
+
+  void SeedEvidence() {
+    for (rdf::FactId id = 0; id < graph_->NumFacts(); ++id) {
+      const rdf::TemporalFact& f = graph_->fact(id);
+      result_->network.GetOrAddAtom(
+          f.subject, f.predicate, f.object, f.interval, /*is_evidence=*/true,
+          kb::FactPriorWeight(f.confidence, options_.fact_weighting), id);
+    }
+  }
+
+  Status GroundRule(CompiledRule& cr) {
+    Binding binding(cr.rule->vars);
+    std::vector<AtomId> matched(cr.rule->body.size(), 0);
+    return MatchBody(cr, 0, &binding, &matched);
+  }
+
+  /// Resolve a compiled entity arg under the current binding.
+  /// Returns kInvalidTermId when the position is an unbound variable.
+  static rdf::TermId ResolveArg(const CompiledArg& arg,
+                                const Binding& binding) {
+    if (!arg.is_var) return arg.term;
+    return binding.HasEntity(arg.var) ? binding.entity(arg.var)
+                                      : rdf::kInvalidTermId;
+  }
+
+  Status MatchBody(CompiledRule& cr, size_t index, Binding* binding,
+                   std::vector<AtomId>* matched) {
+    if (index == cr.body.size()) {
+      return Emit(cr, *binding, *matched);
+    }
+    const CompiledQuad& pattern = cr.body[index];
+    const GroundNetwork& net = result_->network;
+
+    const rdf::TermId p = ResolveArg(pattern.predicate, *binding);
+    const rdf::TermId s = ResolveArg(pattern.subject, *binding);
+    const rdf::TermId o = ResolveArg(pattern.object, *binding);
+
+    // Choose the most selective available index. The list is snapshotted by
+    // value: Emit() may add derived atoms, which rehashes/reallocates the
+    // underlying index vectors. Atoms derived during this pass are picked up
+    // by the next fixpoint round.
+    std::vector<AtomId> candidates;
+    if (p != rdf::kInvalidTermId && s != rdf::kInvalidTermId) {
+      candidates = net.AtomsWithPredSubject(p, s);
+    } else if (p != rdf::kInvalidTermId && o != rdf::kInvalidTermId) {
+      candidates = net.AtomsWithPredObject(p, o);
+    } else if (p != rdf::kInvalidTermId) {
+      candidates = net.AtomsWithPredicate(p);
+    } else {
+      // Variable predicate: full scan (rare; documented as slow).
+      candidates.resize(net.NumAtoms());
+      for (AtomId i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    }
+
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      AtomId atom_id = candidates[ci];
+      const GroundAtom& atom = result_->network.atom(atom_id);
+      // --- match entity positions, recording fresh bindings for undo.
+      bool bound_s = false, bound_p = false, bound_o = false,
+           bound_t = false;
+      if (!TryBindEntity(pattern.subject, atom.subject, binding, &bound_s) ||
+          !TryBindEntity(pattern.predicate, atom.predicate, binding,
+                         &bound_p) ||
+          !TryBindEntity(pattern.object, atom.object, binding, &bound_o) ||
+          !TryBindTime(pattern, atom.interval, binding, &bound_t)) {
+        UndoBindings(pattern, bound_s, bound_p, bound_o, bound_t, binding);
+        continue;
+      }
+      (*matched)[index] = atom_id;
+      // --- early side-condition evaluation.
+      bool conditions_hold = true;
+      for (size_t cond_idx : cr.conditions_at[index]) {
+        auto held = logic::EvalCondition(cr.rule->conditions[cond_idx],
+                                         *binding, &graph_->dict());
+        if (!held.ok()) {
+          // Type errors (e.g. arithmetic over an IRI) mean "no match" for
+          // this grounding rather than a hard failure.
+          conditions_hold = false;
+          break;
+        }
+        if (!*held) {
+          conditions_hold = false;
+          break;
+        }
+      }
+      if (conditions_hold) {
+        TECORE_RETURN_NOT_OK(MatchBody(cr, index + 1, binding, matched));
+      }
+      UndoBindings(pattern, bound_s, bound_p, bound_o, bound_t, binding);
+    }
+    return Status::OK();
+  }
+
+  static bool TryBindEntity(const CompiledArg& arg, rdf::TermId value,
+                            Binding* binding, bool* fresh) {
+    *fresh = false;
+    if (!arg.is_var) return arg.term == value;
+    if (binding->HasEntity(arg.var)) return binding->entity(arg.var) == value;
+    binding->BindEntity(arg.var, value);
+    *fresh = true;
+    return true;
+  }
+
+  bool TryBindTime(const CompiledQuad& pattern,
+                   const temporal::Interval& value, Binding* binding,
+                   bool* fresh) {
+    *fresh = false;
+    if (pattern.time_is_var) {
+      if (binding->HasInterval(pattern.time_var)) {
+        return binding->interval(pattern.time_var) == value;
+      }
+      binding->BindInterval(pattern.time_var, value);
+      *fresh = true;
+      return true;
+    }
+    // Expression or constant: evaluate and compare.
+    auto expected = logic::EvalInterval(*pattern.time, *binding);
+    return expected.has_value() && *expected == value;
+  }
+
+  static void UndoBindings(const CompiledQuad& pattern, bool bound_s,
+                           bool bound_p, bool bound_o, bool bound_t,
+                           Binding* binding) {
+    if (bound_s) binding->UnbindEntity(pattern.subject.var);
+    if (bound_p) binding->UnbindEntity(pattern.predicate.var);
+    if (bound_o) binding->UnbindEntity(pattern.object.var);
+    if (bound_t) binding->UnbindInterval(pattern.time_var);
+  }
+
+  Status Emit(CompiledRule& cr, const Binding& binding,
+              const std::vector<AtomId>& matched) {
+    // Deduplicate groundings across fixpoint rounds (a rule re-matches the
+    // same atoms every round; clauses dedup anyway, but counters and head
+    // evaluation must fire once per distinct grounding).
+    {
+      uint64_t h = 1469598103934665603ULL;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      };
+      mix(static_cast<uint64_t>(cr.rule_index) + 1);
+      for (AtomId atom : matched) mix(atom + (1ULL << 33));
+      if (!seen_groundings_.insert(h).second) return Status::OK();
+    }
+    const rules::Rule& rule = *cr.rule;
+    GroundClause clause;
+    clause.rule_index = cr.rule_index;
+    clause.hard = rule.hard;
+    clause.weight = rule.weight;
+    for (AtomId atom : matched) {
+      clause.literals.push_back(NegativeLiteral(atom));
+    }
+    switch (rule.head.kind) {
+      case rules::HeadKind::kFalse:
+        break;
+      case rules::HeadKind::kCondition: {
+        auto held =
+            logic::EvalCondition(*rule.head.condition, binding, &graph_->dict());
+        if (!held.ok()) {
+          // Evaluation type error: treat the head as unsatisfied.
+        } else if (*held) {
+          ++result_->num_satisfied_heads;
+          return Status::OK();  // grounding satisfied; no clause
+        }
+        break;
+      }
+      case rules::HeadKind::kQuads: {
+        for (const CompiledQuad& head : cr.head_quads) {
+          rdf::TermId s = ResolveArg(head.subject, binding);
+          rdf::TermId p = ResolveArg(head.predicate, binding);
+          rdf::TermId o = ResolveArg(head.object, binding);
+          if (s == rdf::kInvalidTermId || p == rdf::kInvalidTermId ||
+              o == rdf::kInvalidTermId) {
+            return Status::Internal(
+                "unbound variable in head (validator should have caught)");
+          }
+          auto iv = logic::EvalInterval(*head.time, binding);
+          if (!iv.has_value()) {
+            // Empty intersection: the derived fact has no valid time; the
+            // implication is treated as vacuous for this grounding.
+            return Status::OK();
+          }
+          AtomId head_atom = result_->network.GetOrAddAtom(
+              s, p, o, *iv, /*is_evidence=*/false, 0.0, rdf::kInvalidFactId);
+          clause.literals.push_back(PositiveLiteral(head_atom));
+        }
+        break;
+      }
+    }
+    if (result_->network.AddClause(std::move(clause))) {
+      ++result_->num_groundings;
+    }
+    return Status::OK();
+  }
+
+  rdf::TemporalGraph* graph_;
+  const rules::RuleSet& rules_;
+  const GroundingOptions& options_;
+  GroundingResult* result_;
+  std::vector<CompiledRule> compiled_;
+  std::unordered_set<uint64_t> seen_groundings_;
+};
+
+}  // namespace
+
+Grounder::Grounder(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+                   GroundingOptions options)
+    : graph_(graph), rules_(rules), options_(options) {}
+
+Result<GroundingResult> Grounder::Run() {
+  GroundingResult result;
+  GroundingEngine engine(graph_, rules_, options_, &result);
+  TECORE_RETURN_NOT_OK(engine.Execute());
+  return result;
+}
+
+}  // namespace ground
+}  // namespace tecore

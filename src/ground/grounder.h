@@ -1,0 +1,79 @@
+#ifndef TECORE_GROUND_GROUNDER_H_
+#define TECORE_GROUND_GROUNDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ground/ground_network.h"
+#include "kb/weighting.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace ground {
+
+/// \brief Knobs of the grounding engine.
+struct GroundingOptions {
+  /// Fixpoint bound for derived-atom rounds (rules feeding rules).
+  int max_rounds = 10;
+  /// Safety guards against pathological rule sets.
+  size_t max_atoms = 10'000'000;
+  size_t max_clauses = 50'000'000;
+  /// Small penalty on derived atoms so MAP prefers minimal models.
+  double derived_prior_weight = 0.05;
+  /// Emit confidence-derived unit clauses for evidence atoms.
+  bool add_evidence_priors = true;
+  /// Confidence -> weight scheme for those unit clauses (see
+  /// kb/weighting.h; the default reproduces the paper's running example).
+  kb::FactWeighting fact_weighting = kb::FactWeighting::kConfidence;
+  /// Evaluate side conditions as soon as their variables are bound during
+  /// the body join (strongly prunes); disable only for the A3 ablation.
+  bool evaluate_conditions_early = true;
+};
+
+/// \brief Outcome of grounding: the network plus bookkeeping.
+struct GroundingResult {
+  GroundNetwork network;
+  int rounds = 0;
+  /// Rule matches that produced a (possibly deduplicated) clause.
+  size_t num_groundings = 0;
+  /// Groundings skipped because an evaluable head was satisfied.
+  size_t num_satisfied_heads = 0;
+  double ground_time_ms = 0.0;
+};
+
+/// \brief The grounding engine.
+///
+/// Translates (UTKG, rules, constraints) into a ground network by
+/// index-nested-loop joins over the atom store. Inference-rule heads create
+/// *derived* atoms which can feed other rules' bodies, so grounding runs
+/// semi-naive rounds to a fixpoint (bounded by `max_rounds`).
+///
+/// Constraints whose heads are evaluable (Allen / arithmetic / equality)
+/// are resolved at grounding time: a grounding with a satisfied head is
+/// dropped; an unsatisfied head yields the clause ¬b1 ∨ ... ∨ ¬bn — i.e. a
+/// conflict among the matched facts (this is exactly how TeCoRe's conflict
+/// detection works).
+///
+/// The grounder interns rule constants into the graph's dictionary, hence
+/// takes the graph by mutable pointer; the fact list itself is not touched.
+class Grounder {
+ public:
+  Grounder(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+           GroundingOptions options = {});
+
+  /// \brief Run grounding to fixpoint and return the network.
+  Result<GroundingResult> Run();
+
+ private:
+  rdf::TemporalGraph* graph_;
+  const rules::RuleSet& rules_;
+  GroundingOptions options_;
+};
+
+}  // namespace ground
+}  // namespace tecore
+
+#endif  // TECORE_GROUND_GROUNDER_H_

@@ -1,0 +1,166 @@
+#include "ilp/branch_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tecore {
+namespace ilp {
+
+namespace {
+
+/// Evaluate feasibility of an integral point against the rows.
+bool RowsFeasible(const std::vector<LinearRow>& rows,
+                  const std::vector<int>& x) {
+  for (const LinearRow& row : rows) {
+    double lhs = 0.0;
+    for (const auto& [v, c] : row.coefs) lhs += c * x[static_cast<size_t>(v)];
+    switch (row.op) {
+      case RowOp::kLe:
+        if (lhs > row.rhs + 1e-6) return false;
+        break;
+      case RowOp::kGe:
+        if (lhs < row.rhs - 1e-6) return false;
+        break;
+      case RowOp::kEq:
+        if (std::abs(lhs - row.rhs) > 1e-6) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+class BbSearch {
+ public:
+  BbSearch(const IlpProblem& problem, const BranchBoundSolver::Options& opts)
+      : problem_(problem), options_(opts), simplex_(opts.lp) {}
+
+  IlpResult Run() {
+    std::vector<int> fixed(static_cast<size_t>(problem_.num_vars), -1);
+    Dfs(&fixed);
+    result_.nodes = nodes_;
+    return result_;
+  }
+
+ private:
+  /// Solve the LP relaxation with the current fixings.
+  LpResult SolveRelaxation(const std::vector<int>& fixed) {
+    LpProblem lp;
+    lp.num_vars = problem_.num_vars;
+    lp.objective = problem_.objective;
+    lp.upper_bounds.assign(static_cast<size_t>(problem_.num_vars), 1.0);
+    lp.rows = problem_.rows;
+    for (int v = 0; v < problem_.num_vars; ++v) {
+      if (fixed[static_cast<size_t>(v)] >= 0) {
+        LinearRow row;
+        row.coefs = {{v, 1.0}};
+        row.op = RowOp::kEq;
+        row.rhs = fixed[static_cast<size_t>(v)];
+        lp.rows.push_back(std::move(row));
+      }
+    }
+    LpResult res = simplex_.Solve(lp);
+    result_.lp_iterations += res.iterations;
+    return res;
+  }
+
+  void TryIncumbent(const std::vector<int>& x) {
+    if (!RowsFeasible(problem_.rows, x)) return;
+    double obj = 0.0;
+    for (int v = 0; v < problem_.num_vars; ++v) {
+      obj += problem_.objective[static_cast<size_t>(v)] *
+             x[static_cast<size_t>(v)];
+    }
+    if (!result_.feasible || obj > result_.objective + 1e-12) {
+      result_.feasible = true;
+      result_.objective = obj;
+      result_.x = x;
+    }
+  }
+
+  void Dfs(std::vector<int>* fixed) {
+    if (++nodes_ > options_.max_nodes) {
+      hit_limit_ = true;
+      return;
+    }
+    LpResult relax = SolveRelaxation(*fixed);
+    if (relax.status == LpStatus::kInfeasible) return;
+    if (relax.status != LpStatus::kOptimal) {
+      // Unbounded cannot happen with [0,1] bounds; iteration limit: give up
+      // on this subtree but flag the result as non-optimal.
+      hit_limit_ = true;
+      return;
+    }
+    if (result_.feasible && relax.objective <= result_.objective + 1e-9) {
+      return;  // bound: relaxation can't beat incumbent
+    }
+    // Most fractional variable.
+    int branch_var = -1;
+    double best_frac = options_.integrality_eps;
+    for (int v = 0; v < problem_.num_vars; ++v) {
+      const double value = relax.x[static_cast<size_t>(v)];
+      const double frac = std::min(value, 1.0 - value);
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      std::vector<int> x(static_cast<size_t>(problem_.num_vars));
+      for (int v = 0; v < problem_.num_vars; ++v) {
+        x[static_cast<size_t>(v)] =
+            relax.x[static_cast<size_t>(v)] > 0.5 ? 1 : 0;
+      }
+      TryIncumbent(x);
+      return;
+    }
+    // Rounding heuristic for an early incumbent.
+    {
+      std::vector<int> rounded(static_cast<size_t>(problem_.num_vars));
+      for (int v = 0; v < problem_.num_vars; ++v) {
+        rounded[static_cast<size_t>(v)] =
+            relax.x[static_cast<size_t>(v)] >= 0.5 ? 1 : 0;
+      }
+      TryIncumbent(rounded);
+    }
+    // Branch: try the side the relaxation leans toward first.
+    const int lean =
+        relax.x[static_cast<size_t>(branch_var)] >= 0.5 ? 1 : 0;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      (*fixed)[static_cast<size_t>(branch_var)] =
+          attempt == 0 ? lean : 1 - lean;
+      Dfs(fixed);
+      if (hit_limit_) break;
+    }
+    (*fixed)[static_cast<size_t>(branch_var)] = -1;
+  }
+
+  const IlpProblem& problem_;
+  const BranchBoundSolver::Options& options_;
+  SimplexSolver simplex_;
+  IlpResult result_;
+  uint64_t nodes_ = 0;
+  bool hit_limit_ = false;
+
+ public:
+  bool hit_limit() const { return hit_limit_; }
+};
+
+}  // namespace
+
+IlpResult BranchBoundSolver::Solve(const IlpProblem& problem) const {
+  if (problem.num_vars == 0) {
+    IlpResult result;
+    result.feasible = RowsFeasible(problem.rows, {});
+    result.optimal = true;
+    return result;
+  }
+  BbSearch search(problem, options_);
+  IlpResult result = search.Run();
+  result.optimal = result.feasible && !search.hit_limit();
+  return result;
+}
+
+}  // namespace ilp
+}  // namespace tecore

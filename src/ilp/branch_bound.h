@@ -1,0 +1,58 @@
+#ifndef TECORE_ILP_BRANCH_BOUND_H_
+#define TECORE_ILP_BRANCH_BOUND_H_
+
+#include "ilp/lp.h"
+
+namespace tecore {
+namespace ilp {
+
+/// \brief A 0/1 integer linear program: maximize c^T x, x binary.
+struct IlpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<LinearRow> rows;
+
+  int AddVar(double obj_coef) {
+    objective.push_back(obj_coef);
+    return num_vars++;
+  }
+  void AddRow(LinearRow row) { rows.push_back(std::move(row)); }
+};
+
+/// \brief ILP solution.
+struct IlpResult {
+  bool feasible = false;
+  bool optimal = false;
+  std::vector<int> x;  // 0/1 values
+  double objective = 0.0;
+  uint64_t nodes = 0;
+  uint64_t lp_iterations = 0;
+};
+
+/// \brief Exact 0/1 ILP via LP-relaxation branch & bound.
+///
+/// This is the stand-in for the Gurobi backend the paper's nRockIt solver
+/// uses: same MAP-as-ILP formulation, same cutting-plane loop on top, only
+/// the underlying engine is our own simplex. DFS with most-fractional
+/// branching, LP-bound pruning, and an incumbent from rounding.
+class BranchBoundSolver {
+ public:
+  struct Options {
+    uint64_t max_nodes = 1'000'000;
+    double integrality_eps = 1e-6;
+    SimplexSolver::Options lp;
+  };
+
+  BranchBoundSolver() = default;
+  explicit BranchBoundSolver(Options options) : options_(options) {}
+
+  IlpResult Solve(const IlpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ilp
+}  // namespace tecore
+
+#endif  // TECORE_ILP_BRANCH_BOUND_H_

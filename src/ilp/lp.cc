@@ -1,0 +1,203 @@
+#include "ilp/lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tecore {
+namespace ilp {
+
+// Tableau layout: rows = constraints, columns = structural vars + slack /
+// surplus + artificial vars + rhs. Objective row kept separately with
+// Big-M penalties on artificials. Maximization.
+LpResult SimplexSolver::Solve(const LpProblem& problem) const {
+  LpResult result;
+  const double kEps = options_.eps;
+
+  // Materialize upper-bound rows (x_i <= ub_i) when ub is finite and the
+  // variable actually appears anywhere.
+  std::vector<LinearRow> rows = problem.rows;
+  for (int v = 0; v < problem.num_vars; ++v) {
+    double ub = v < static_cast<int>(problem.upper_bounds.size())
+                    ? problem.upper_bounds[static_cast<size_t>(v)]
+                    : 1.0;
+    if (std::isfinite(ub)) {
+      LinearRow row;
+      row.coefs = {{v, 1.0}};
+      row.op = RowOp::kLe;
+      row.rhs = ub;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  const int n = problem.num_vars;
+
+  // Count extra columns: one slack/surplus per inequality, one artificial
+  // per >= or == row (and per <= row with negative rhs after normalization).
+  // First normalize rhs >= 0.
+  std::vector<LinearRow> norm = rows;
+  for (LinearRow& row : norm) {
+    if (row.rhs < 0) {
+      for (auto& [v, c] : row.coefs) c = -c;
+      row.rhs = -row.rhs;
+      row.op = row.op == RowOp::kLe ? RowOp::kGe
+               : row.op == RowOp::kGe ? RowOp::kLe
+                                       : RowOp::kEq;
+    }
+  }
+  int num_slack = 0, num_artificial = 0;
+  for (const LinearRow& row : norm) {
+    if (row.op != RowOp::kEq) ++num_slack;
+    if (row.op != RowOp::kLe) ++num_artificial;
+  }
+  const int total_cols = n + num_slack + num_artificial;
+
+  // Build dense tableau: m rows x (total_cols + 1), last column = rhs.
+  std::vector<std::vector<double>> tab(
+      static_cast<size_t>(m),
+      std::vector<double>(static_cast<size_t>(total_cols) + 1, 0.0));
+  std::vector<double> obj(static_cast<size_t>(total_cols), 0.0);
+  for (int v = 0; v < n; ++v) {
+    obj[static_cast<size_t>(v)] = problem.objective[static_cast<size_t>(v)];
+  }
+
+  std::vector<int> basis(static_cast<size_t>(m), -1);
+  int slack_cursor = n;
+  int artificial_cursor = n + num_slack;
+  for (int r = 0; r < m; ++r) {
+    const LinearRow& row = norm[static_cast<size_t>(r)];
+    for (const auto& [v, c] : row.coefs) {
+      tab[static_cast<size_t>(r)][static_cast<size_t>(v)] += c;
+    }
+    tab[static_cast<size_t>(r)][static_cast<size_t>(total_cols)] = row.rhs;
+    switch (row.op) {
+      case RowOp::kLe:
+        tab[static_cast<size_t>(r)][static_cast<size_t>(slack_cursor)] = 1.0;
+        basis[static_cast<size_t>(r)] = slack_cursor++;
+        break;
+      case RowOp::kGe:
+        tab[static_cast<size_t>(r)][static_cast<size_t>(slack_cursor)] = -1.0;
+        ++slack_cursor;
+        tab[static_cast<size_t>(r)][static_cast<size_t>(artificial_cursor)] =
+            1.0;
+        obj[static_cast<size_t>(artificial_cursor)] = -options_.big_m;
+        basis[static_cast<size_t>(r)] = artificial_cursor++;
+        break;
+      case RowOp::kEq:
+        tab[static_cast<size_t>(r)][static_cast<size_t>(artificial_cursor)] =
+            1.0;
+        obj[static_cast<size_t>(artificial_cursor)] = -options_.big_m;
+        basis[static_cast<size_t>(r)] = artificial_cursor++;
+        break;
+    }
+  }
+
+  // Reduced-cost row: z_j - c_j computed from scratch each iteration would
+  // be O(m * cols); keep it incremental via the standard tableau method:
+  // we store the objective row and eliminate basic columns up front.
+  std::vector<double> zrow(static_cast<size_t>(total_cols) + 1, 0.0);
+  for (int j = 0; j < total_cols; ++j) {
+    zrow[static_cast<size_t>(j)] = -obj[static_cast<size_t>(j)];
+  }
+  for (int r = 0; r < m; ++r) {
+    const int b = basis[static_cast<size_t>(r)];
+    const double cb = obj[static_cast<size_t>(b)];
+    if (cb == 0.0) continue;
+    for (int j = 0; j <= total_cols; ++j) {
+      zrow[static_cast<size_t>(j)] +=
+          cb * tab[static_cast<size_t>(r)][static_cast<size_t>(j)];
+    }
+  }
+
+  uint64_t iter = 0;
+  while (true) {
+    if (++iter > options_.max_iterations) {
+      result.status = LpStatus::kIterationLimit;
+      result.iterations = iter;
+      return result;
+    }
+    // Entering column: Bland's rule (first with negative reduced cost).
+    int enter = -1;
+    for (int j = 0; j < total_cols; ++j) {
+      if (zrow[static_cast<size_t>(j)] < -kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) break;  // optimal
+    // Leaving row: min ratio, ties by smallest basis index (Bland).
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const double a = tab[static_cast<size_t>(r)][static_cast<size_t>(enter)];
+      if (a > kEps) {
+        const double ratio =
+            tab[static_cast<size_t>(r)][static_cast<size_t>(total_cols)] / a;
+        if (leave < 0 || ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps &&
+             basis[static_cast<size_t>(r)] <
+                 basis[static_cast<size_t>(leave)])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave < 0) {
+      result.status = LpStatus::kUnbounded;
+      result.iterations = iter;
+      return result;
+    }
+    // Pivot.
+    const double pivot =
+        tab[static_cast<size_t>(leave)][static_cast<size_t>(enter)];
+    auto& prow = tab[static_cast<size_t>(leave)];
+    for (double& v : prow) v /= pivot;
+    for (int r = 0; r < m; ++r) {
+      if (r == leave) continue;
+      const double factor =
+          tab[static_cast<size_t>(r)][static_cast<size_t>(enter)];
+      if (std::abs(factor) <= kEps) continue;
+      auto& rrow = tab[static_cast<size_t>(r)];
+      for (int j = 0; j <= total_cols; ++j) {
+        rrow[static_cast<size_t>(j)] -= factor * prow[static_cast<size_t>(j)];
+      }
+    }
+    const double zfactor = zrow[static_cast<size_t>(enter)];
+    if (std::abs(zfactor) > 0) {
+      for (int j = 0; j <= total_cols; ++j) {
+        zrow[static_cast<size_t>(j)] -=
+            zfactor * prow[static_cast<size_t>(j)];
+      }
+    }
+    basis[static_cast<size_t>(leave)] = enter;
+  }
+
+  // Check artificial variables: any left basic at a positive level means
+  // the original problem is infeasible.
+  result.x.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = basis[static_cast<size_t>(r)];
+    const double value =
+        tab[static_cast<size_t>(r)][static_cast<size_t>(total_cols)];
+    if (b >= n + num_slack && value > 1e-6) {
+      result.status = LpStatus::kInfeasible;
+      result.iterations = iter;
+      return result;
+    }
+    if (b < n) {
+      result.x[static_cast<size_t>(b)] = value;
+    }
+  }
+  double objective = 0.0;
+  for (int v = 0; v < n; ++v) {
+    objective += problem.objective[static_cast<size_t>(v)] *
+                 result.x[static_cast<size_t>(v)];
+  }
+  result.status = LpStatus::kOptimal;
+  result.objective = objective;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace ilp
+}  // namespace tecore

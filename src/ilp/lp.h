@@ -1,0 +1,84 @@
+#ifndef TECORE_ILP_LP_H_
+#define TECORE_ILP_LP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace ilp {
+
+/// \brief Relational operator of a linear constraint row.
+enum class RowOp : uint8_t { kLe, kGe, kEq };
+
+/// \brief One linear constraint: sum(coef_i * x_i) op rhs.
+struct LinearRow {
+  std::vector<std::pair<int, double>> coefs;  // (variable, coefficient)
+  RowOp op = RowOp::kLe;
+  double rhs = 0.0;
+};
+
+/// \brief A linear program: maximize c^T x subject to rows, 0 <= x <= ub.
+///
+/// Upper bounds are handled as explicit rows internally; suitable for the
+/// small per-component LPs of cutting-plane MAP inference (all variables
+/// live in [0,1]).
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;      // size num_vars, maximize
+  std::vector<LinearRow> rows;
+  std::vector<double> upper_bounds;   // size num_vars (default 1.0)
+
+  /// \brief Add a variable with the given objective coefficient and upper
+  /// bound; returns its index.
+  int AddVar(double obj_coef, double upper = 1.0) {
+    objective.push_back(obj_coef);
+    upper_bounds.push_back(upper);
+    return num_vars++;
+  }
+  void AddRow(LinearRow row) { rows.push_back(std::move(row)); }
+};
+
+/// \brief Termination state of the simplex.
+enum class LpStatus : uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// \brief LP solution.
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  uint64_t iterations = 0;
+};
+
+/// \brief Dense single-phase (Big-M) primal simplex with Bland's rule.
+///
+/// Built for exactness on small instances, not industrial scale: the
+/// cutting-plane loop keeps per-component tableaus tiny. Deterministic.
+class SimplexSolver {
+ public:
+  struct Options {
+    uint64_t max_iterations = 200'000;
+    double big_m = 1e7;
+    double eps = 1e-9;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  LpResult Solve(const LpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ilp
+}  // namespace tecore
+
+#endif  // TECORE_ILP_LP_H_

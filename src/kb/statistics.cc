@@ -1,0 +1,72 @@
+#include "kb/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace kb {
+
+GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph) {
+  GraphStatistics stats;
+  stats.num_facts = graph.NumFacts();
+  std::unordered_set<rdf::TermId> subjects, objects;
+  double conf_sum = 0.0;
+  double duration_sum = 0.0;
+  stats.min_time = stats.num_facts == 0 ? 0 : INT64_MAX;
+  stats.max_time = stats.num_facts == 0 ? 0 : INT64_MIN;
+  for (const rdf::TemporalFact& f : graph.facts()) {
+    subjects.insert(f.subject);
+    objects.insert(f.object);
+    conf_sum += f.confidence;
+    duration_sum += static_cast<double>(f.interval.Duration());
+    stats.min_time = std::min(stats.min_time, f.interval.begin());
+    stats.max_time = std::max(stats.max_time, f.interval.end());
+    int bin = static_cast<int>(f.confidence * 10.0 - 1e-9);
+    bin = std::clamp(bin, 0, 9);
+    ++stats.confidence_histogram[static_cast<size_t>(bin)];
+  }
+  stats.num_distinct_subjects = subjects.size();
+  stats.num_distinct_objects = objects.size();
+  auto pred_counts = graph.PredicateCounts();
+  stats.num_distinct_predicates = pred_counts.size();
+  for (const auto& [pred, count] : pred_counts) {
+    stats.predicate_counts.emplace_back(graph.dict().Lookup(pred).ToString(),
+                                        count);
+  }
+  if (stats.num_facts > 0) {
+    stats.mean_confidence = conf_sum / static_cast<double>(stats.num_facts);
+    stats.mean_interval_duration =
+        duration_sum / static_cast<double>(stats.num_facts);
+  }
+  return stats;
+}
+
+std::string GraphStatistics::ToString() const {
+  std::string out;
+  out += StringPrintf("temporal facts        : %s\n",
+                      FormatWithCommas(static_cast<int64_t>(num_facts)).c_str());
+  out += StringPrintf("distinct subjects     : %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(num_distinct_subjects)).c_str());
+  out += StringPrintf("distinct predicates   : %zu\n", num_distinct_predicates);
+  out += StringPrintf("distinct objects      : %s\n",
+                      FormatWithCommas(
+                          static_cast<int64_t>(num_distinct_objects)).c_str());
+  out += StringPrintf("mean confidence       : %.3f\n", mean_confidence);
+  out += StringPrintf("time domain           : [%lld, %lld]\n",
+                      static_cast<long long>(min_time),
+                      static_cast<long long>(max_time));
+  out += StringPrintf("mean interval length  : %.1f\n", mean_interval_duration);
+  Table table({"predicate", "facts"});
+  for (const auto& [name, count] : predicate_counts) {
+    table.AddRow({name, FormatWithCommas(static_cast<int64_t>(count))});
+  }
+  out += table.ToAscii();
+  return out;
+}
+
+}  // namespace kb
+}  // namespace tecore

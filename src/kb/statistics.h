@@ -1,0 +1,41 @@
+#ifndef TECORE_KB_STATISTICS_H_
+#define TECORE_KB_STATISTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace tecore {
+namespace kb {
+
+/// \brief Descriptive statistics of a UTKG — the data behind the demo UI's
+/// statistics panel (paper Fig. 8).
+struct GraphStatistics {
+  size_t num_facts = 0;
+  size_t num_distinct_subjects = 0;
+  size_t num_distinct_predicates = 0;
+  size_t num_distinct_objects = 0;
+  /// (predicate name, fact count), most frequent first.
+  std::vector<std::pair<std::string, size_t>> predicate_counts;
+  /// Confidence histogram over 10 equal bins (0,0.1], (0.1,0.2], ... (0.9,1].
+  std::array<size_t, 10> confidence_histogram{};
+  double mean_confidence = 0.0;
+  /// Earliest begin / latest end over all validity intervals.
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  double mean_interval_duration = 0.0;
+
+  /// \brief Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// \brief Compute statistics in one pass over the graph.
+GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph);
+
+}  // namespace kb
+}  // namespace tecore
+
+#endif  // TECORE_KB_STATISTICS_H_

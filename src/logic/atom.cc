@@ -1,0 +1,233 @@
+#include "logic/atom.h"
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace logic {
+
+// ---------------------------------------------------------------- IntervalExpr
+
+IntervalExpr IntervalExpr::Var(VarId id) {
+  IntervalExpr e;
+  e.kind_ = Kind::kVar;
+  e.var_ = id;
+  return e;
+}
+
+IntervalExpr IntervalExpr::Const(temporal::Interval iv) {
+  IntervalExpr e;
+  e.kind_ = Kind::kConst;
+  e.const_ = iv;
+  return e;
+}
+
+IntervalExpr IntervalExpr::Intersect(IntervalExpr a, IntervalExpr b) {
+  IntervalExpr e;
+  e.kind_ = Kind::kIntersect;
+  e.children_[0] = std::make_shared<IntervalExpr>(std::move(a));
+  e.children_[1] = std::make_shared<IntervalExpr>(std::move(b));
+  return e;
+}
+
+IntervalExpr IntervalExpr::Hull(IntervalExpr a, IntervalExpr b) {
+  IntervalExpr e;
+  e.kind_ = Kind::kHull;
+  e.children_[0] = std::make_shared<IntervalExpr>(std::move(a));
+  e.children_[1] = std::make_shared<IntervalExpr>(std::move(b));
+  return e;
+}
+
+void IntervalExpr::CollectVars(std::vector<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kVar:
+      out->push_back(var_);
+      break;
+    case Kind::kConst:
+      break;
+    case Kind::kIntersect:
+    case Kind::kHull:
+      children_[0]->CollectVars(out);
+      children_[1]->CollectVars(out);
+      break;
+  }
+}
+
+std::string IntervalExpr::ToString(const VarTable& vars) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return vars.name(var_);
+    case Kind::kConst:
+      return const_.ToString();
+    case Kind::kIntersect:
+      return "intersect(" + children_[0]->ToString(vars) + "," +
+             children_[1]->ToString(vars) + ")";
+    case Kind::kHull:
+      return "hull(" + children_[0]->ToString(vars) + "," +
+             children_[1]->ToString(vars) + ")";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------- ArithExpr
+
+ArithExpr ArithExpr::Number(int64_t value) {
+  ArithExpr e;
+  e.kind_ = Kind::kNumber;
+  e.number_ = value;
+  return e;
+}
+
+ArithExpr ArithExpr::EntityVar(VarId id) {
+  ArithExpr e;
+  e.kind_ = Kind::kEntityVar;
+  e.var_ = id;
+  return e;
+}
+
+ArithExpr ArithExpr::Begin(IntervalExpr expr) {
+  ArithExpr e;
+  e.kind_ = Kind::kBegin;
+  e.interval_ = std::make_shared<IntervalExpr>(std::move(expr));
+  return e;
+}
+
+ArithExpr ArithExpr::End(IntervalExpr expr) {
+  ArithExpr e;
+  e.kind_ = Kind::kEnd;
+  e.interval_ = std::make_shared<IntervalExpr>(std::move(expr));
+  return e;
+}
+
+ArithExpr ArithExpr::Duration(IntervalExpr expr) {
+  ArithExpr e;
+  e.kind_ = Kind::kDuration;
+  e.interval_ = std::make_shared<IntervalExpr>(std::move(expr));
+  return e;
+}
+
+ArithExpr ArithExpr::Add(ArithExpr a, ArithExpr b) {
+  ArithExpr e;
+  e.kind_ = Kind::kAdd;
+  e.children_[0] = std::make_shared<ArithExpr>(std::move(a));
+  e.children_[1] = std::make_shared<ArithExpr>(std::move(b));
+  return e;
+}
+
+ArithExpr ArithExpr::Sub(ArithExpr a, ArithExpr b) {
+  ArithExpr e;
+  e.kind_ = Kind::kSub;
+  e.children_[0] = std::make_shared<ArithExpr>(std::move(a));
+  e.children_[1] = std::make_shared<ArithExpr>(std::move(b));
+  return e;
+}
+
+void ArithExpr::CollectVars(std::vector<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kNumber:
+      break;
+    case Kind::kEntityVar:
+      out->push_back(var_);
+      break;
+    case Kind::kBegin:
+    case Kind::kEnd:
+    case Kind::kDuration:
+      interval_->CollectVars(out);
+      break;
+    case Kind::kAdd:
+    case Kind::kSub:
+      children_[0]->CollectVars(out);
+      children_[1]->CollectVars(out);
+      break;
+  }
+}
+
+std::string ArithExpr::ToString(const VarTable& vars) const {
+  switch (kind_) {
+    case Kind::kNumber:
+      return std::to_string(number_);
+    case Kind::kEntityVar:
+      return vars.name(var_);
+    case Kind::kBegin:
+      return "begin(" + interval_->ToString(vars) + ")";
+    case Kind::kEnd:
+      return "end(" + interval_->ToString(vars) + ")";
+    case Kind::kDuration:
+      return "duration(" + interval_->ToString(vars) + ")";
+    case Kind::kAdd:
+      return children_[0]->ToString(vars) + " + " +
+             children_[1]->ToString(vars);
+    case Kind::kSub:
+      return children_[0]->ToString(vars) + " - " +
+             children_[1]->ToString(vars);
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------------- atoms
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+namespace {
+std::string EntityArgToString(const EntityArg& arg, const VarTable& vars) {
+  return arg.is_variable() ? vars.name(arg.var()) : arg.constant().ToString();
+}
+}  // namespace
+
+void QuadAtom::CollectVars(std::vector<VarId>* entity_vars,
+                           std::vector<VarId>* interval_vars) const {
+  if (subject.is_variable()) entity_vars->push_back(subject.var());
+  if (predicate.is_variable()) entity_vars->push_back(predicate.var());
+  if (object.is_variable()) entity_vars->push_back(object.var());
+  time.CollectVars(interval_vars);
+}
+
+std::string QuadAtom::ToString(const VarTable& vars) const {
+  return "quad(" + EntityArgToString(subject, vars) + ", " +
+         EntityArgToString(predicate, vars) + ", " +
+         EntityArgToString(object, vars) + ", " + time.ToString(vars) + ")";
+}
+
+std::string AllenAtom::ToString(const VarTable& vars) const {
+  std::string name =
+      !display_name.empty()
+          ? display_name
+          : (relations.Count() == 1
+                 ? std::string(
+                       temporal::AllenRelationName(relations.Members()[0]))
+                 : relations.ToString());
+  return name + "(" + a.ToString(vars) + ", " + b.ToString(vars) + ")";
+}
+
+std::string NumericAtom::ToString(const VarTable& vars) const {
+  return lhs.ToString(vars) + " " + std::string(CompareOpName(op)) + " " +
+         rhs.ToString(vars);
+}
+
+std::string TermCompareAtom::ToString(const VarTable& vars) const {
+  return EntityArgToString(lhs, vars) + (equal ? " = " : " != ") +
+         EntityArgToString(rhs, vars);
+}
+
+std::string ConditionToString(const ConditionAtom& atom,
+                              const VarTable& vars) {
+  return std::visit([&vars](const auto& a) { return a.ToString(vars); }, atom);
+}
+
+}  // namespace logic
+}  // namespace tecore

@@ -1,0 +1,196 @@
+#ifndef TECORE_LOGIC_ATOM_H_
+#define TECORE_LOGIC_ATOM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "logic/variable.h"
+#include "rdf/term.h"
+#include "temporal/allen.h"
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace logic {
+
+/// \brief An entity-position argument: a variable or an RDF term constant.
+///
+/// Constants are kept as full rdf::Term values (not dictionary ids) because
+/// rules are parsed independently of any particular graph; the grounder
+/// interns them against the target graph's dictionary.
+class EntityArg {
+ public:
+  static EntityArg Var(VarId id) { return EntityArg(id, rdf::Term()); }
+  static EntityArg Const(rdf::Term term) {
+    return EntityArg(kNoVar, std::move(term));
+  }
+
+  bool is_variable() const { return var_ != kNoVar; }
+  VarId var() const { return var_; }
+  const rdf::Term& constant() const { return term_; }
+
+  bool operator==(const EntityArg& other) const {
+    return var_ == other.var_ && term_ == other.term_;
+  }
+
+ private:
+  static constexpr VarId kNoVar = -1;
+  EntityArg(VarId var, rdf::Term term) : var_(var), term_(std::move(term)) {}
+
+  VarId var_;
+  rdf::Term term_;
+};
+
+/// \brief An interval-position expression.
+///
+/// Grammar: interval variable | interval literal | intersect(e1,e2) |
+/// hull(e1,e2). `intersect` realizes the paper's derived-interval heads
+/// (`t'' = t ∩ t'` in rule f2); it evaluates to "no value" when the operand
+/// intervals are disjoint, in which case the grounding is skipped.
+class IntervalExpr {
+ public:
+  enum class Kind : uint8_t { kVar, kConst, kIntersect, kHull };
+
+  static IntervalExpr Var(VarId id);
+  static IntervalExpr Const(temporal::Interval iv);
+  static IntervalExpr Intersect(IntervalExpr a, IntervalExpr b);
+  static IntervalExpr Hull(IntervalExpr a, IntervalExpr b);
+
+  Kind kind() const { return kind_; }
+  VarId var() const { return var_; }
+  const temporal::Interval& constant() const { return const_; }
+  const IntervalExpr& left() const { return *children_[0]; }
+  const IntervalExpr& right() const { return *children_[1]; }
+
+  /// \brief Variables referenced anywhere in this expression.
+  void CollectVars(std::vector<VarId>* out) const;
+
+  /// \brief Pretty form using the supplied variable names.
+  std::string ToString(const VarTable& vars) const;
+
+ private:
+  IntervalExpr() : kind_(Kind::kVar), var_(-1), const_(0, 0) {}
+
+  Kind kind_;
+  VarId var_;
+  temporal::Interval const_;
+  std::shared_ptr<IntervalExpr> children_[2];
+};
+
+/// \brief Numeric (arithmetic) expression over interval endpoints and
+/// integer-valued entity variables.
+///
+/// Supports the paper's arithmetic conditions, e.g. `t' - t < 20` in rule
+/// f3 and `age > 40`. A bare interval variable in numeric context denotes
+/// its begin() (the paper's loose `t' - t` notation); `begin(t)`, `end(t)`
+/// and `duration(t)` are explicit accessors. An entity variable in numeric
+/// context must be bound to an integer literal at grounding time.
+class ArithExpr {
+ public:
+  enum class Kind : uint8_t {
+    kNumber,    ///< integer constant
+    kEntityVar, ///< entity variable holding an int literal
+    kBegin,     ///< begin(interval expr)
+    kEnd,       ///< end(interval expr)
+    kDuration,  ///< duration(interval expr)
+    kAdd,
+    kSub,
+  };
+
+  static ArithExpr Number(int64_t value);
+  static ArithExpr EntityVar(VarId id);
+  static ArithExpr Begin(IntervalExpr e);
+  static ArithExpr End(IntervalExpr e);
+  static ArithExpr Duration(IntervalExpr e);
+  static ArithExpr Add(ArithExpr a, ArithExpr b);
+  static ArithExpr Sub(ArithExpr a, ArithExpr b);
+
+  Kind kind() const { return kind_; }
+  int64_t number() const { return number_; }
+  VarId var() const { return var_; }
+  const IntervalExpr& interval() const { return *interval_; }
+  const ArithExpr& left() const { return *children_[0]; }
+  const ArithExpr& right() const { return *children_[1]; }
+
+  void CollectVars(std::vector<VarId>* out) const;
+  std::string ToString(const VarTable& vars) const;
+
+ private:
+  ArithExpr() = default;
+
+  Kind kind_ = Kind::kNumber;
+  int64_t number_ = 0;
+  VarId var_ = -1;
+  std::shared_ptr<IntervalExpr> interval_;
+  std::shared_ptr<ArithExpr> children_[2];
+};
+
+/// \brief Comparison operator for numeric and term comparisons.
+enum class CompareOp : uint8_t {
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+};
+
+/// \brief Name like "<" or "!=".
+std::string_view CompareOpName(CompareOp op);
+
+/// \brief A quad atom `quad(s, p, o, t)` — the atomic formula of UTKGs.
+struct QuadAtom {
+  EntityArg subject = EntityArg::Const(rdf::Term());
+  EntityArg predicate = EntityArg::Const(rdf::Term());
+  EntityArg object = EntityArg::Const(rdf::Term());
+  IntervalExpr time = IntervalExpr::Const(temporal::Interval(0, 0));
+
+  void CollectVars(std::vector<VarId>* entity_vars,
+                   std::vector<VarId>* interval_vars) const;
+  std::string ToString(const VarTable& vars) const;
+};
+
+/// \brief An Allen-relation atom over two interval expressions, e.g.
+/// `overlaps(t, t')`, `before(t, t')`, or the derived `disjoint(t, t')`
+/// (= before|after|meets|met-by) and `intersects(t, t')`.
+struct AllenAtom {
+  temporal::AllenSet relations;
+  IntervalExpr a = IntervalExpr::Const(temporal::Interval(0, 0));
+  IntervalExpr b = IntervalExpr::Const(temporal::Interval(0, 0));
+  /// Display name as written by the user (e.g. "disjoint").
+  std::string display_name;
+
+  std::string ToString(const VarTable& vars) const;
+};
+
+/// \brief A numeric comparison atom, e.g. `end(t) - begin(t') < 20`.
+struct NumericAtom {
+  CompareOp op = CompareOp::kLt;
+  ArithExpr lhs = ArithExpr::Number(0);
+  ArithExpr rhs = ArithExpr::Number(0);
+
+  std::string ToString(const VarTable& vars) const;
+};
+
+/// \brief An entity (in)equality atom, e.g. `y != z` (constraint c2) or
+/// `y = z` (equality-generating head of constraint c3).
+struct TermCompareAtom {
+  bool equal = true;  ///< true: '=', false: '!='
+  EntityArg lhs = EntityArg::Const(rdf::Term());
+  EntityArg rhs = EntityArg::Const(rdf::Term());
+
+  std::string ToString(const VarTable& vars) const;
+};
+
+/// \brief Any evaluable (non-quad) atom: Allen, numeric, or term compare.
+using ConditionAtom = std::variant<AllenAtom, NumericAtom, TermCompareAtom>;
+
+/// \brief Pretty form of any condition atom.
+std::string ConditionToString(const ConditionAtom& atom, const VarTable& vars);
+
+}  // namespace logic
+}  // namespace tecore
+
+#endif  // TECORE_LOGIC_ATOM_H_

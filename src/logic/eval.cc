@@ -1,0 +1,136 @@
+#include "logic/eval.h"
+
+namespace tecore {
+namespace logic {
+
+std::optional<temporal::Interval> EvalInterval(const IntervalExpr& expr,
+                                               const Binding& binding) {
+  switch (expr.kind()) {
+    case IntervalExpr::Kind::kVar:
+      if (!binding.HasInterval(expr.var())) return std::nullopt;
+      return binding.interval(expr.var());
+    case IntervalExpr::Kind::kConst:
+      return expr.constant();
+    case IntervalExpr::Kind::kIntersect: {
+      auto a = EvalInterval(expr.left(), binding);
+      auto b = EvalInterval(expr.right(), binding);
+      if (!a || !b) return std::nullopt;
+      return a->Intersect(*b);
+    }
+    case IntervalExpr::Kind::kHull: {
+      auto a = EvalInterval(expr.left(), binding);
+      auto b = EvalInterval(expr.right(), binding);
+      if (!a || !b) return std::nullopt;
+      return a->Hull(*b);
+    }
+  }
+  return std::nullopt;
+}
+
+Result<int64_t> EvalArith(const ArithExpr& expr, const Binding& binding,
+                          const rdf::Dictionary& dict) {
+  switch (expr.kind()) {
+    case ArithExpr::Kind::kNumber:
+      return expr.number();
+    case ArithExpr::Kind::kEntityVar: {
+      if (!binding.HasEntity(expr.var())) {
+        return Status::Internal("arithmetic over unbound entity variable");
+      }
+      const rdf::Term& term = dict.Lookup(binding.entity(expr.var()));
+      if (!term.is_int()) {
+        return Status::InvalidArgument(
+            "arithmetic over non-integer term: " + term.ToString());
+      }
+      return term.int_value();
+    }
+    case ArithExpr::Kind::kBegin: {
+      auto iv = EvalInterval(expr.interval(), binding);
+      if (!iv) return Status::Internal("begin() of undefined interval");
+      return iv->begin();
+    }
+    case ArithExpr::Kind::kEnd: {
+      auto iv = EvalInterval(expr.interval(), binding);
+      if (!iv) return Status::Internal("end() of undefined interval");
+      return iv->end();
+    }
+    case ArithExpr::Kind::kDuration: {
+      auto iv = EvalInterval(expr.interval(), binding);
+      if (!iv) return Status::Internal("duration() of undefined interval");
+      return iv->Duration();
+    }
+    case ArithExpr::Kind::kAdd: {
+      TECORE_ASSIGN_OR_RETURN(lhs, EvalArith(expr.left(), binding, dict));
+      TECORE_ASSIGN_OR_RETURN(rhs, EvalArith(expr.right(), binding, dict));
+      return lhs + rhs;
+    }
+    case ArithExpr::Kind::kSub: {
+      TECORE_ASSIGN_OR_RETURN(lhs, EvalArith(expr.left(), binding, dict));
+      TECORE_ASSIGN_OR_RETURN(rhs, EvalArith(expr.right(), binding, dict));
+      return lhs - rhs;
+    }
+  }
+  return Status::Internal("unreachable arithmetic kind");
+}
+
+std::optional<bool> EvalAllen(const AllenAtom& atom, const Binding& binding) {
+  auto a = EvalInterval(atom.a, binding);
+  auto b = EvalInterval(atom.b, binding);
+  if (!a || !b) return std::nullopt;
+  return atom.relations.Holds(*a, *b);
+}
+
+Result<bool> EvalNumeric(const NumericAtom& atom, const Binding& binding,
+                         const rdf::Dictionary& dict) {
+  TECORE_ASSIGN_OR_RETURN(lhs, EvalArith(atom.lhs, binding, dict));
+  TECORE_ASSIGN_OR_RETURN(rhs, EvalArith(atom.rhs, binding, dict));
+  switch (atom.op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return Status::Internal("unreachable comparison op");
+}
+
+Result<bool> EvalTermCompare(const TermCompareAtom& atom,
+                             const Binding& binding, rdf::Dictionary* dict) {
+  auto resolve = [&](const EntityArg& arg) -> Result<rdf::TermId> {
+    if (arg.is_variable()) {
+      if (!binding.HasEntity(arg.var())) {
+        return Status::Internal("comparison over unbound entity variable");
+      }
+      return binding.entity(arg.var());
+    }
+    return dict->Intern(arg.constant());
+  };
+  TECORE_ASSIGN_OR_RETURN(lhs, resolve(atom.lhs));
+  TECORE_ASSIGN_OR_RETURN(rhs, resolve(atom.rhs));
+  return atom.equal ? (lhs == rhs) : (lhs != rhs);
+}
+
+Result<bool> EvalCondition(const ConditionAtom& atom, const Binding& binding,
+                           rdf::Dictionary* dict) {
+  if (const auto* allen = std::get_if<AllenAtom>(&atom)) {
+    auto v = EvalAllen(*allen, binding);
+    if (!v) {
+      return Status::Internal(
+          "Allen condition over undefined interval expression");
+    }
+    return *v;
+  }
+  if (const auto* numeric = std::get_if<NumericAtom>(&atom)) {
+    return EvalNumeric(*numeric, binding, *dict);
+  }
+  return EvalTermCompare(std::get<TermCompareAtom>(atom), binding, dict);
+}
+
+}  // namespace logic
+}  // namespace tecore

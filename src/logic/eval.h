@@ -1,0 +1,77 @@
+#ifndef TECORE_LOGIC_EVAL_H_
+#define TECORE_LOGIC_EVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "logic/atom.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace logic {
+
+/// \brief A (partial) assignment of the variables of one rule.
+///
+/// Entity variables bind to dictionary TermIds of a concrete graph;
+/// interval variables bind to concrete intervals. Built incrementally by
+/// the grounder's join loop.
+class Binding {
+ public:
+  explicit Binding(const VarTable& vars)
+      : entity_(vars.NumVars(), rdf::kInvalidTermId),
+        interval_(vars.NumVars(), std::nullopt) {}
+
+  bool HasEntity(VarId v) const { return entity_[v] != rdf::kInvalidTermId; }
+  rdf::TermId entity(VarId v) const { return entity_[v]; }
+  void BindEntity(VarId v, rdf::TermId id) { entity_[v] = id; }
+  void UnbindEntity(VarId v) { entity_[v] = rdf::kInvalidTermId; }
+
+  bool HasInterval(VarId v) const { return interval_[v].has_value(); }
+  const temporal::Interval& interval(VarId v) const { return *interval_[v]; }
+  void BindInterval(VarId v, const temporal::Interval& iv) {
+    interval_[v] = iv;
+  }
+  void UnbindInterval(VarId v) { interval_[v] = std::nullopt; }
+
+ private:
+  std::vector<rdf::TermId> entity_;
+  std::vector<std::optional<temporal::Interval>> interval_;
+};
+
+/// \brief Evaluate an interval expression under a binding.
+///
+/// Returns nullopt when the expression has no value: an unbound variable or
+/// an empty intersection (the paper's `t ∩ t'` heads simply produce no
+/// derived fact in that case).
+std::optional<temporal::Interval> EvalInterval(const IntervalExpr& expr,
+                                               const Binding& binding);
+
+/// \brief Evaluate a numeric expression under a binding.
+///
+/// Entity variables must be bound to integer literals of `dict`; otherwise
+/// an error is returned (the rule author compared a non-numeric term).
+Result<int64_t> EvalArith(const ArithExpr& expr, const Binding& binding,
+                          const rdf::Dictionary& dict);
+
+/// \brief Evaluate an Allen atom under a binding (nullopt if some operand
+/// has no value).
+std::optional<bool> EvalAllen(const AllenAtom& atom, const Binding& binding);
+
+/// \brief Evaluate a numeric comparison under a binding.
+Result<bool> EvalNumeric(const NumericAtom& atom, const Binding& binding,
+                         const rdf::Dictionary& dict);
+
+/// \brief Evaluate a term (in)equality under a binding. The grounder ensures
+/// both sides are bound; constants are interned against `dict`.
+Result<bool> EvalTermCompare(const TermCompareAtom& atom,
+                             const Binding& binding, rdf::Dictionary* dict);
+
+/// \brief Evaluate any condition atom; used by the grounder's filter step.
+Result<bool> EvalCondition(const ConditionAtom& atom, const Binding& binding,
+                           rdf::Dictionary* dict);
+
+}  // namespace logic
+}  // namespace tecore
+
+#endif  // TECORE_LOGIC_EVAL_H_

@@ -1,0 +1,71 @@
+#ifndef TECORE_LOGIC_VARIABLE_H_
+#define TECORE_LOGIC_VARIABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace logic {
+
+/// \brief Sort (type) of a logical variable.
+///
+/// TeCoRe's rule language is two-sorted: entity variables range over RDF
+/// terms, interval variables over validity intervals. The fourth argument
+/// of a quad atom is always of interval sort.
+enum class Sort : uint8_t { kEntity = 0, kInterval = 1 };
+
+/// \brief Index of a variable within its rule's VarTable.
+using VarId = int;
+
+/// \brief Per-rule variable scope: names, sorts, stable indexes.
+class VarTable {
+ public:
+  /// \brief Find the variable `name`, or add it with the given sort.
+  /// Returns an error if it exists with a different sort.
+  Result<VarId> FindOrAdd(const std::string& name, Sort sort) {
+    for (VarId i = 0; i < static_cast<VarId>(names_.size()); ++i) {
+      if (names_[i] == name) {
+        if (sorts_[i] != sort) {
+          return Status::InvalidArgument(
+              "variable '" + name + "' used with two different sorts");
+        }
+        return i;
+      }
+    }
+    names_.push_back(name);
+    sorts_.push_back(sort);
+    return static_cast<VarId>(names_.size()) - 1;
+  }
+
+  /// \brief Find an existing variable by name.
+  Result<VarId> Find(const std::string& name) const {
+    for (VarId i = 0; i < static_cast<VarId>(names_.size()); ++i) {
+      if (names_[i] == name) return i;
+    }
+    return Status::NotFound("unknown variable: " + name);
+  }
+
+  int NumVars() const { return static_cast<int>(names_.size()); }
+  const std::string& name(VarId id) const { return names_[id]; }
+  Sort sort(VarId id) const { return sorts_[id]; }
+
+  /// \brief Ids of all variables of the given sort.
+  std::vector<VarId> VarsOfSort(Sort sort) const {
+    std::vector<VarId> out;
+    for (VarId i = 0; i < NumVars(); ++i) {
+      if (sorts_[i] == sort) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Sort> sorts_;
+};
+
+}  // namespace logic
+}  // namespace tecore
+
+#endif  // TECORE_LOGIC_VARIABLE_H_

@@ -1,0 +1,275 @@
+#include "maxsat/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace tecore {
+namespace maxsat {
+
+namespace {
+
+constexpr int kUnassigned = -1;
+
+/// Search state shared across the DFS.
+///
+/// Unit propagation is event-driven: Assign() pushes clauses that just
+/// became unit onto a worklist instead of rescanning the clause database,
+/// and variable selection walks a static order with a monotone cursor, so
+/// per-node cost is proportional to the touched occurrence lists only.
+class Search {
+ public:
+  Search(const Wcnf& instance, const ExactSolverOptions& options)
+      : wcnf_(instance), options_(options) {
+    const int n = wcnf_.num_vars();
+    values_.assign(static_cast<size_t>(n), kUnassigned);
+    pos_occurrences_.resize(static_cast<size_t>(n));
+    neg_occurrences_.resize(static_cast<size_t>(n));
+    clause_sat_count_.assign(wcnf_.NumClauses(), 0);
+    clause_free_count_.resize(wcnf_.NumClauses());
+    for (size_t ci = 0; ci < wcnf_.NumClauses(); ++ci) {
+      const WClause& clause = wcnf_.clause(ci);
+      clause_free_count_[ci] = static_cast<int>(clause.lits.size());
+      for (Literal lit : clause.lits) {
+        auto& bucket = LitSign(lit)
+                           ? pos_occurrences_[static_cast<size_t>(LitVar(lit))]
+                           : neg_occurrences_[static_cast<size_t>(LitVar(lit))];
+        bucket.push_back(static_cast<uint32_t>(ci));
+      }
+    }
+    // Static branching order: variables in the most clauses first, weighted
+    // by clause weight (hard counts as a large constant).
+    std::vector<double> score(static_cast<size_t>(n), 0.0);
+    for (size_t ci = 0; ci < wcnf_.NumClauses(); ++ci) {
+      const WClause& clause = wcnf_.clause(ci);
+      const double w = clause.hard ? 1e4 : clause.weight;
+      for (Literal lit : clause.lits) {
+        score[static_cast<size_t>(LitVar(lit))] += w;
+      }
+    }
+    order_.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) order_[static_cast<size_t>(i)] = i;
+    std::sort(order_.begin(), order_.end(), [&score](int a, int b) {
+      return score[static_cast<size_t>(a)] > score[static_cast<size_t>(b)];
+    });
+
+    best_cost_ = std::numeric_limits<double>::infinity();
+  }
+
+  MaxSatResult Run() {
+    Timer timer;
+    MaxSatResult result;
+    timed_out_ = false;
+    Dfs(0, 0.0);
+    result.search_steps = nodes_;
+    result.solve_time_ms = timer.ElapsedMillis();
+    if (std::isinf(best_cost_)) {
+      // Hard clauses unsatisfiable (or search aborted before any leaf —
+      // only possible with absurdly tight limits).
+      result.feasible = false;
+      result.optimal = !timed_out_;
+      result.assignment.assign(static_cast<size_t>(wcnf_.num_vars()), false);
+      return result;
+    }
+    result.feasible = true;
+    result.optimal = !timed_out_;
+    result.assignment = best_assignment_;
+    result.violated_weight = best_cost_;
+    result.satisfied_weight = wcnf_.TotalSoftWeight() - best_cost_;
+    return result;
+  }
+
+ private:
+  bool LimitHit() {
+    if (nodes_ > options_.max_nodes) {
+      timed_out_ = true;
+      return true;
+    }
+    if (options_.time_limit_ms > 0 && (nodes_ & 255) == 0) {
+      if (limit_timer_.ElapsedMillis() > options_.time_limit_ms) {
+        timed_out_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Assign var=value, update counters, accumulate newly falsified soft
+  /// weight into *delta, and push clauses that became unit (hard, one free
+  /// literal, unsatisfied) onto *units. Returns false on a hard conflict.
+  bool AssignOne(int var, bool value, double* delta,
+                 std::vector<uint32_t>* units) {
+    values_[static_cast<size_t>(var)] = value ? 1 : 0;
+    trail_.push_back(var);
+    const auto& satisfied_bucket =
+        value ? pos_occurrences_[static_cast<size_t>(var)]
+              : neg_occurrences_[static_cast<size_t>(var)];
+    const auto& reduced_bucket =
+        value ? neg_occurrences_[static_cast<size_t>(var)]
+              : pos_occurrences_[static_cast<size_t>(var)];
+    for (uint32_t ci : satisfied_bucket) {
+      ++clause_sat_count_[ci];
+      --clause_free_count_[ci];
+    }
+    bool hard_conflict = false;
+    for (uint32_t ci : reduced_bucket) {
+      --clause_free_count_[ci];
+      if (clause_sat_count_[ci] != 0) continue;
+      const WClause& clause = wcnf_.clause(ci);
+      if (clause_free_count_[ci] == 0) {
+        if (clause.hard) {
+          hard_conflict = true;
+        } else {
+          *delta += clause.weight;
+        }
+      } else if (clause_free_count_[ci] == 1 && clause.hard) {
+        units->push_back(ci);
+      }
+    }
+    return !hard_conflict;
+  }
+
+  void UndoOne() {
+    const int var = trail_.back();
+    trail_.pop_back();
+    const bool value = values_[static_cast<size_t>(var)] == 1;
+    values_[static_cast<size_t>(var)] = kUnassigned;
+    const auto& satisfied_bucket =
+        value ? pos_occurrences_[static_cast<size_t>(var)]
+              : neg_occurrences_[static_cast<size_t>(var)];
+    const auto& reduced_bucket =
+        value ? neg_occurrences_[static_cast<size_t>(var)]
+              : pos_occurrences_[static_cast<size_t>(var)];
+    for (uint32_t ci : satisfied_bucket) {
+      --clause_sat_count_[ci];
+      ++clause_free_count_[ci];
+    }
+    for (uint32_t ci : reduced_bucket) {
+      ++clause_free_count_[ci];
+    }
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail_.size() > mark) UndoOne();
+  }
+
+  /// Assign var=value and chase hard-unit implications to a fixpoint.
+  /// Returns false on a hard conflict (state still undone by caller).
+  bool AssignWithPropagation(int var, bool value, double* delta) {
+    std::vector<uint32_t> units;
+    if (!AssignOne(var, value, delta, &units)) return false;
+    for (size_t head = 0; head < units.size(); ++head) {
+      const uint32_t ci = units[head];
+      if (clause_sat_count_[ci] != 0 || clause_free_count_[ci] != 1) {
+        continue;  // stale entry
+      }
+      const WClause& clause = wcnf_.clause(ci);
+      Literal forced = 0;
+      for (Literal lit : clause.lits) {
+        if (values_[static_cast<size_t>(LitVar(lit))] == kUnassigned) {
+          forced = lit;
+          break;
+        }
+      }
+      if (forced == 0) continue;  // raced with another propagation
+      if (!AssignOne(LitVar(forced), LitSign(forced), delta, &units)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int PickVariable(size_t from, size_t* position) const {
+    for (size_t i = from; i < order_.size(); ++i) {
+      if (values_[static_cast<size_t>(order_[i])] == kUnassigned) {
+        *position = i;
+        return order_[i];
+      }
+    }
+    *position = order_.size();
+    return -1;
+  }
+
+  /// Weight of currently-unsatisfied clauses that assigning `value` would
+  /// satisfy — used for branching polarity.
+  double PolarityScore(int var, bool value) const {
+    double score = 0.0;
+    const auto& bucket = value ? pos_occurrences_[static_cast<size_t>(var)]
+                               : neg_occurrences_[static_cast<size_t>(var)];
+    for (uint32_t ci : bucket) {
+      if (clause_sat_count_[ci] == 0) {
+        const WClause& clause = wcnf_.clause(ci);
+        score += clause.hard ? 1e4 : clause.weight;
+      }
+    }
+    return score;
+  }
+
+  void Dfs(size_t order_from, double cost) {
+    ++nodes_;
+    if (LimitHit()) return;
+    if (cost >= best_cost_) return;  // bound
+
+    size_t position = order_from;
+    const int var = PickVariable(order_from, &position);
+    if (var < 0) {
+      // Complete feasible assignment (hard conflicts pruned en route).
+      best_cost_ = cost;
+      best_assignment_.resize(values_.size());
+      for (size_t i = 0; i < values_.size(); ++i) {
+        best_assignment_[i] = values_[i] == 1;
+      }
+      return;
+    }
+    const bool first = PolarityScore(var, true) >= PolarityScore(var, false);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const bool value = attempt == 0 ? first : !first;
+      const size_t mark = trail_.size();
+      double extra = 0.0;
+      const bool ok = AssignWithPropagation(var, value, &extra);
+      if (ok && cost + extra < best_cost_) {
+        Dfs(position + 1, cost + extra);
+      }
+      UndoTo(mark);
+      if (LimitHit()) return;
+    }
+  }
+
+  const Wcnf& wcnf_;
+  const ExactSolverOptions& options_;
+  std::vector<int8_t> values_;
+  std::vector<std::vector<uint32_t>> pos_occurrences_;
+  std::vector<std::vector<uint32_t>> neg_occurrences_;
+  std::vector<int> clause_sat_count_;
+  std::vector<int> clause_free_count_;
+  std::vector<int> order_;
+  std::vector<int> trail_;
+  std::vector<bool> best_assignment_;
+  double best_cost_ = 0.0;
+  uint64_t nodes_ = 0;
+  bool timed_out_ = false;
+  Timer limit_timer_;
+};
+
+}  // namespace
+
+ExactMaxSatSolver::ExactMaxSatSolver(const Wcnf& instance,
+                                     ExactSolverOptions options)
+    : instance_(instance), options_(options) {}
+
+MaxSatResult ExactMaxSatSolver::Solve() {
+  if (instance_.num_vars() == 0) {
+    MaxSatResult result;
+    result.feasible = true;
+    result.optimal = true;
+    result.satisfied_weight = instance_.TotalSoftWeight();
+    return result;
+  }
+  Search search(instance_, options_);
+  return search.Run();
+}
+
+}  // namespace maxsat
+}  // namespace tecore

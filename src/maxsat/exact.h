@@ -1,0 +1,46 @@
+#ifndef TECORE_MAXSAT_EXACT_H_
+#define TECORE_MAXSAT_EXACT_H_
+
+#include "maxsat/wcnf.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace maxsat {
+
+/// \brief Limits for the exact solver.
+struct ExactSolverOptions {
+  /// Abort optimality proof after this many branch nodes (result is then
+  /// the best found, flagged optimal=false).
+  uint64_t max_nodes = 20'000'000;
+  /// Wall-clock budget in milliseconds (0 = unlimited).
+  double time_limit_ms = 0.0;
+};
+
+/// \brief Exact weighted partial MaxSAT by branch & bound.
+///
+/// DFS over variables (static most-constrained-first order) with:
+///  * unit propagation on hard clauses,
+///  * incremental falsified-weight lower bound,
+///  * best-first value ordering (try the polarity satisfying more weight).
+///
+/// Designed for the small connected components a ground TeCoRe network
+/// decomposes into (typically < 50 variables per component); the WalkSAT
+/// solver covers pathological large components.
+class ExactMaxSatSolver {
+ public:
+  explicit ExactMaxSatSolver(const Wcnf& instance,
+                             ExactSolverOptions options = {});
+
+  /// \brief Solve. Returns an infeasible result (feasible=false) only when
+  /// the hard clauses are unsatisfiable.
+  MaxSatResult Solve();
+
+ private:
+  const Wcnf& instance_;
+  ExactSolverOptions options_;
+};
+
+}  // namespace maxsat
+}  // namespace tecore
+
+#endif  // TECORE_MAXSAT_EXACT_H_

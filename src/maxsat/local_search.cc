@@ -1,0 +1,254 @@
+#include "maxsat/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace tecore {
+namespace maxsat {
+
+namespace {
+
+/// Incremental clause-state tracker for flips.
+class FlipState {
+ public:
+  FlipState(const Wcnf& wcnf, std::vector<bool> assignment)
+      : wcnf_(wcnf), assignment_(std::move(assignment)) {
+    const int n = wcnf_.num_vars();
+    pos_occ_.resize(static_cast<size_t>(n));
+    neg_occ_.resize(static_cast<size_t>(n));
+    sat_count_.assign(wcnf_.NumClauses(), 0);
+    for (size_t ci = 0; ci < wcnf_.NumClauses(); ++ci) {
+      const WClause& clause = wcnf_.clause(ci);
+      for (Literal lit : clause.lits) {
+        (LitSign(lit) ? pos_occ_ : neg_occ_)[static_cast<size_t>(LitVar(lit))]
+            .push_back(static_cast<uint32_t>(ci));
+        if (assignment_[static_cast<size_t>(LitVar(lit))] == LitSign(lit)) {
+          ++sat_count_[ci];
+        }
+      }
+      if (sat_count_[ci] == 0) MarkUnsat(ci);
+    }
+  }
+
+  const std::vector<bool>& assignment() const { return assignment_; }
+  double penalty() const { return penalty_; }
+  size_t hard_violations() const { return hard_violations_; }
+  double soft_violated() const { return soft_violated_; }
+  const std::vector<uint32_t>& unsat_clauses() const { return unsat_list_; }
+
+  /// Penalty delta if `var` were flipped (break - make).
+  double FlipDelta(int var, double hard_penalty) const {
+    double delta = 0.0;
+    const bool value = assignment_[static_cast<size_t>(var)];
+    // Clauses currently satisfied only by this literal become unsat.
+    const auto& supporting =
+        value ? pos_occ_[static_cast<size_t>(var)]
+              : neg_occ_[static_cast<size_t>(var)];
+    for (uint32_t ci : supporting) {
+      if (sat_count_[ci] == 1) {
+        delta += Weight(ci, hard_penalty);
+      }
+    }
+    // Clauses with no satisfied literal gain one.
+    const auto& gaining = value ? neg_occ_[static_cast<size_t>(var)]
+                                : pos_occ_[static_cast<size_t>(var)];
+    for (uint32_t ci : gaining) {
+      if (sat_count_[ci] == 0) {
+        delta -= Weight(ci, hard_penalty);
+      }
+    }
+    return delta;
+  }
+
+  void Flip(int var, double hard_penalty) {
+    const bool value = assignment_[static_cast<size_t>(var)];
+    const auto& losing = value ? pos_occ_[static_cast<size_t>(var)]
+                               : neg_occ_[static_cast<size_t>(var)];
+    for (uint32_t ci : losing) {
+      if (--sat_count_[ci] == 0) {
+        MarkUnsat(ci);
+        penalty_ += Weight(ci, hard_penalty);
+        Account(ci, +1);
+      }
+    }
+    const auto& gaining = value ? neg_occ_[static_cast<size_t>(var)]
+                                : pos_occ_[static_cast<size_t>(var)];
+    for (uint32_t ci : gaining) {
+      if (sat_count_[ci]++ == 0) {
+        MarkSat(ci);
+        penalty_ -= Weight(ci, hard_penalty);
+        Account(ci, -1);
+      }
+    }
+    assignment_[static_cast<size_t>(var)] = !value;
+  }
+
+  void RecomputePenalty(double hard_penalty) {
+    penalty_ = 0.0;
+    hard_violations_ = 0;
+    soft_violated_ = 0.0;
+    for (uint32_t ci : unsat_list_) {
+      penalty_ += Weight(ci, hard_penalty);
+      Account(ci, +1);
+    }
+  }
+
+ private:
+  double Weight(uint32_t ci, double hard_penalty) const {
+    const WClause& clause = wcnf_.clause(ci);
+    return clause.hard ? hard_penalty : clause.weight;
+  }
+
+  void Account(uint32_t ci, int direction) {
+    const WClause& clause = wcnf_.clause(ci);
+    if (clause.hard) {
+      hard_violations_ += static_cast<size_t>(direction);
+    } else {
+      soft_violated_ += direction * clause.weight;
+    }
+  }
+
+  void MarkUnsat(uint32_t ci) {
+    unsat_pos_.resize(std::max<size_t>(unsat_pos_.size(), ci + 1), SIZE_MAX);
+    unsat_pos_[ci] = unsat_list_.size();
+    unsat_list_.push_back(ci);
+  }
+
+  void MarkSat(uint32_t ci) {
+    size_t pos = unsat_pos_[ci];
+    uint32_t last = unsat_list_.back();
+    unsat_list_[pos] = last;
+    unsat_pos_[last] = pos;
+    unsat_list_.pop_back();
+    unsat_pos_[ci] = SIZE_MAX;
+  }
+
+  const Wcnf& wcnf_;
+  std::vector<bool> assignment_;
+  std::vector<std::vector<uint32_t>> pos_occ_;
+  std::vector<std::vector<uint32_t>> neg_occ_;
+  std::vector<int> sat_count_;
+  std::vector<uint32_t> unsat_list_;
+  std::vector<size_t> unsat_pos_;
+  double penalty_ = 0.0;
+  size_t hard_violations_ = 0;
+  double soft_violated_ = 0.0;
+};
+
+}  // namespace
+
+WalkSatSolver::WalkSatSolver(const Wcnf& instance, WalkSatOptions options)
+    : instance_(instance), options_(options) {}
+
+MaxSatResult WalkSatSolver::Solve() {
+  // Default initialization: satisfy the heavier polarity of each variable's
+  // unit clauses (i.e. keep facts the evidence says to keep).
+  const int n = instance_.num_vars();
+  std::vector<double> polarity(static_cast<size_t>(n), 0.0);
+  for (const WClause& clause : instance_.clauses()) {
+    if (clause.lits.size() != 1) continue;
+    const double w = clause.hard ? options_.hard_penalty : clause.weight;
+    polarity[static_cast<size_t>(LitVar(clause.lits[0]))] +=
+        LitSign(clause.lits[0]) ? w : -w;
+  }
+  std::vector<bool> initial(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    initial[static_cast<size_t>(i)] = polarity[static_cast<size_t>(i)] >= 0;
+  }
+  return SolveFrom(initial);
+}
+
+MaxSatResult WalkSatSolver::SolveFrom(const std::vector<bool>& initial) {
+  Timer timer;
+  Rng rng(options_.seed);
+  MaxSatResult best;
+  best.feasible = false;
+  double best_penalty = std::numeric_limits<double>::infinity();
+  uint64_t total_flips = 0;
+  const uint64_t effective_flips = std::min(
+      options_.max_flips,
+      std::max(options_.min_flips,
+               options_.flips_per_clause * instance_.NumClauses()));
+  const uint64_t stall_limit = options_.stall_limit > 0
+                                   ? options_.stall_limit
+                                   : std::max<uint64_t>(effective_flips / 4, 256);
+
+  for (int restart = 0; restart < std::max(1, options_.restarts); ++restart) {
+    std::vector<bool> start = initial;
+    if (restart > 0) {
+      // Perturb 10% of the variables.
+      for (size_t i = 0; i < start.size(); ++i) {
+        if (rng.Bernoulli(0.1)) start[i] = !start[i];
+      }
+    }
+    FlipState state(instance_, std::move(start));
+    state.RecomputePenalty(options_.hard_penalty);
+
+    uint64_t stalled = 0;
+    auto consider = [&]() {
+      const double penalty = state.penalty();
+      if (penalty < best_penalty) {
+        best_penalty = penalty;
+        best.assignment = state.assignment();
+        best.feasible = state.hard_violations() == 0;
+        best.violated_weight = state.soft_violated();
+        best.satisfied_weight =
+            instance_.TotalSoftWeight() - state.soft_violated();
+        stalled = 0;
+      } else {
+        ++stalled;
+      }
+    };
+    consider();
+
+    const uint64_t flips_per_restart =
+        effective_flips / static_cast<uint64_t>(std::max(1, options_.restarts));
+    for (uint64_t flip = 0; flip < flips_per_restart && stalled < stall_limit;
+         ++flip) {
+      const auto& unsat = state.unsat_clauses();
+      if (unsat.empty()) break;  // everything satisfied: optimum of 0
+      // Prefer violated hard clauses.
+      uint32_t chosen = unsat[rng.PickIndex(unsat)];
+      for (int tries = 0; tries < 4; ++tries) {
+        if (instance_.clause(chosen).hard) break;
+        uint32_t other = unsat[rng.PickIndex(unsat)];
+        if (instance_.clause(other).hard) {
+          chosen = other;
+          break;
+        }
+      }
+      const WClause& clause = instance_.clause(chosen);
+      int flip_var;
+      if (rng.Bernoulli(options_.noise)) {
+        flip_var = LitVar(clause.lits[rng.PickIndex(clause.lits)]);
+      } else {
+        double best_delta = std::numeric_limits<double>::infinity();
+        flip_var = LitVar(clause.lits[0]);
+        for (Literal lit : clause.lits) {
+          double delta = state.FlipDelta(LitVar(lit), options_.hard_penalty);
+          if (delta < best_delta) {
+            best_delta = delta;
+            flip_var = LitVar(lit);
+          }
+        }
+      }
+      state.Flip(flip_var, options_.hard_penalty);
+      ++total_flips;
+      consider();
+    }
+    if (best_penalty == 0.0) break;
+  }
+  best.search_steps = total_flips;
+  best.solve_time_ms = timer.ElapsedMillis();
+  best.optimal = false;  // local search never proves optimality
+  if (best.assignment.empty()) {
+    best.assignment.assign(static_cast<size_t>(instance_.num_vars()), false);
+  }
+  return best;
+}
+
+}  // namespace maxsat
+}  // namespace tecore

@@ -1,0 +1,57 @@
+#ifndef TECORE_MAXSAT_LOCAL_SEARCH_H_
+#define TECORE_MAXSAT_LOCAL_SEARCH_H_
+
+#include "maxsat/wcnf.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace maxsat {
+
+/// \brief Parameters of the stochastic local search.
+struct WalkSatOptions {
+  /// Upper bound on total flips across restarts.
+  uint64_t max_flips = 200'000;
+  /// The effective budget also scales with instance size:
+  /// min(max_flips, max(min_flips, flips_per_clause * #clauses)) — small
+  /// components should not burn the full global budget.
+  uint64_t flips_per_clause = 200;
+  uint64_t min_flips = 2'000;
+  /// Give up on a restart after this many flips without improvement
+  /// (0 = effective budget / 4).
+  uint64_t stall_limit = 0;
+  /// Probability of a random (noise) flip instead of the greedy one.
+  double noise = 0.2;
+  /// Restarts with fresh initializations.
+  int restarts = 3;
+  /// Penalty weight treated as the "weight" of a hard clause.
+  double hard_penalty = 1e6;
+  uint64_t seed = 42;
+};
+
+/// \brief Weighted WalkSAT for large components.
+///
+/// Minimizes hard_penalty * (#violated hard) + violated soft weight by
+/// repeatedly picking a violated clause (hard ones preferred) and flipping
+/// one of its variables — the greedy least-damage one, or a random one with
+/// probability `noise`. Keeps the best *feasible* assignment seen; if no
+/// feasible assignment is found the best-penalty assignment is returned
+/// with feasible=false.
+class WalkSatSolver {
+ public:
+  WalkSatSolver(const Wcnf& instance, WalkSatOptions options = {});
+
+  MaxSatResult Solve();
+
+  /// \brief Solve starting from a caller-provided assignment (e.g. the
+  /// rounded PSL solution or an all-evidence-true state).
+  MaxSatResult SolveFrom(const std::vector<bool>& initial);
+
+ private:
+  const Wcnf& instance_;
+  WalkSatOptions options_;
+};
+
+}  // namespace maxsat
+}  // namespace tecore
+
+#endif  // TECORE_MAXSAT_LOCAL_SEARCH_H_

@@ -1,0 +1,80 @@
+#include "maxsat/wcnf.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace maxsat {
+
+void Wcnf::AddHard(std::vector<Literal> lits) {
+  assert(!lits.empty());
+  WClause clause;
+  clause.lits = std::move(lits);
+  clause.hard = true;
+  for (Literal lit : clause.lits) EnsureVars(LitVar(lit) + 1);
+  clauses_.push_back(std::move(clause));
+  ++num_hard_;
+}
+
+void Wcnf::AddSoft(std::vector<Literal> lits, double weight) {
+  assert(!lits.empty());
+  assert(weight > 0 && "soft clause weights must be positive");
+  WClause clause;
+  clause.lits = std::move(lits);
+  clause.hard = false;
+  clause.weight = weight;
+  for (Literal lit : clause.lits) EnsureVars(LitVar(lit) + 1);
+  total_soft_weight_ += weight;
+  clauses_.push_back(std::move(clause));
+}
+
+namespace {
+bool ClauseSatisfied(const WClause& clause,
+                     const std::vector<bool>& assignment) {
+  for (Literal lit : clause.lits) {
+    if (assignment[static_cast<size_t>(LitVar(lit))] == LitSign(lit)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+double Wcnf::ViolatedSoftWeight(const std::vector<bool>& assignment,
+                                size_t* hard_violations) const {
+  assert(assignment.size() == static_cast<size_t>(num_vars_));
+  double violated = 0.0;
+  size_t hard_bad = 0;
+  for (const WClause& clause : clauses_) {
+    if (ClauseSatisfied(clause, assignment)) continue;
+    if (clause.hard) {
+      ++hard_bad;
+    } else {
+      violated += clause.weight;
+    }
+  }
+  if (hard_violations != nullptr) *hard_violations = hard_bad;
+  return violated;
+}
+
+bool Wcnf::IsFeasible(const std::vector<bool>& assignment) const {
+  size_t hard_bad = 0;
+  ViolatedSoftWeight(assignment, &hard_bad);
+  return hard_bad == 0;
+}
+
+std::string Wcnf::ToString() const {
+  std::string out =
+      StringPrintf("p wcnf %d %zu\n", num_vars_, clauses_.size());
+  for (const WClause& clause : clauses_) {
+    out += clause.hard ? "h" : StringPrintf("%.6g", clause.weight);
+    for (Literal lit : clause.lits) out += StringPrintf(" %d", lit);
+    out += " 0\n";
+  }
+  return out;
+}
+
+}  // namespace maxsat
+}  // namespace tecore

@@ -1,0 +1,95 @@
+#ifndef TECORE_MAXSAT_WCNF_H_
+#define TECORE_MAXSAT_WCNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace maxsat {
+
+/// \brief Literal encoding: +(var+1) positive, -(var+1) negative.
+using Literal = int32_t;
+
+inline Literal PosLit(int var) { return var + 1; }
+inline Literal NegLit(int var) { return -(var + 1); }
+inline int LitVar(Literal lit) { return (lit > 0 ? lit : -lit) - 1; }
+inline bool LitSign(Literal lit) { return lit > 0; }
+
+/// \brief One weighted clause.
+struct WClause {
+  std::vector<Literal> lits;
+  double weight = 0.0;  ///< meaningful when !hard
+  bool hard = true;
+};
+
+/// \brief A weighted partial MaxSAT instance.
+///
+/// MAP inference in an MLN reduces to weighted partial MaxSAT: find an
+/// assignment satisfying all hard clauses that maximizes the total weight
+/// of satisfied soft clauses. This container is solver-agnostic and
+/// independent of the grounding layer so the solvers are reusable.
+class Wcnf {
+ public:
+  Wcnf() = default;
+  explicit Wcnf(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  /// \brief Ensure the instance has at least `n` variables.
+  void EnsureVars(int n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+
+  /// \brief Add a hard clause (must hold in any admissible assignment).
+  void AddHard(std::vector<Literal> lits);
+  /// \brief Add a soft clause with a positive weight.
+  void AddSoft(std::vector<Literal> lits, double weight);
+
+  size_t NumClauses() const { return clauses_.size(); }
+  size_t NumHard() const { return num_hard_; }
+  size_t NumSoft() const { return clauses_.size() - num_hard_; }
+  const std::vector<WClause>& clauses() const { return clauses_; }
+  const WClause& clause(size_t i) const { return clauses_[i]; }
+
+  /// \brief Total weight of all soft clauses.
+  double TotalSoftWeight() const { return total_soft_weight_; }
+
+  /// \brief Weight of soft clauses *violated* by `assignment` (size must be
+  /// num_vars); sets `hard_violations` if given.
+  double ViolatedSoftWeight(const std::vector<bool>& assignment,
+                            size_t* hard_violations = nullptr) const;
+
+  /// \brief True iff `assignment` satisfies every hard clause.
+  bool IsFeasible(const std::vector<bool>& assignment) const;
+
+  /// \brief WDIMACS-like text dump (top weight printed as 'h').
+  std::string ToString() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<WClause> clauses_;
+  size_t num_hard_ = 0;
+  double total_soft_weight_ = 0.0;
+};
+
+/// \brief Solution of a MaxSAT solver.
+struct MaxSatResult {
+  /// All hard clauses satisfied.
+  bool feasible = false;
+  /// Proven optimal (exact solver finished within limits).
+  bool optimal = false;
+  std::vector<bool> assignment;
+  /// Weight of satisfied / violated soft clauses under `assignment`.
+  double satisfied_weight = 0.0;
+  double violated_weight = 0.0;
+  /// Search effort: branch-and-bound nodes or local-search flips.
+  uint64_t search_steps = 0;
+  double solve_time_ms = 0.0;
+};
+
+}  // namespace maxsat
+}  // namespace tecore
+
+#endif  // TECORE_MAXSAT_WCNF_H_

@@ -1,0 +1,216 @@
+#include "mln/cutting_plane.h"
+
+#include <unordered_map>
+
+#include "mln/translation.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace mln {
+
+namespace {
+
+bool ClauseSatisfied(const maxsat::WClause& clause,
+                     const std::vector<bool>& assignment) {
+  for (maxsat::Literal lit : clause.lits) {
+    if (assignment[static_cast<size_t>(maxsat::LitVar(lit))] ==
+        maxsat::LitSign(lit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+maxsat::MaxSatResult FinishResult(const maxsat::Wcnf& wcnf,
+                                  std::vector<bool> assignment, bool optimal,
+                                  double elapsed_ms, uint64_t steps) {
+  maxsat::MaxSatResult result;
+  size_t hard_bad = 0;
+  result.violated_weight = wcnf.ViolatedSoftWeight(assignment, &hard_bad);
+  result.satisfied_weight = wcnf.TotalSoftWeight() - result.violated_weight;
+  result.feasible = hard_bad == 0;
+  result.optimal = optimal && result.feasible;
+  result.assignment = std::move(assignment);
+  result.solve_time_ms = elapsed_ms;
+  result.search_steps = steps;
+  return result;
+}
+
+/// Minimal union-find over global variable ids.
+class VarUnionFind {
+ public:
+  int Find(int x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    int root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      int next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<int, int> parent_;
+};
+
+}  // namespace
+
+maxsat::MaxSatResult SolveWithCpa(const maxsat::Wcnf& wcnf,
+                                  ilp::BranchBoundSolver::Options ilp_options,
+                                  CpaStats* stats) {
+  Timer timer;
+  ilp::BranchBoundSolver solver(ilp_options);
+  CpaStats local_stats;
+  const int n = wcnf.num_vars();
+
+  // Folded unit-soft objective per variable; variables outside the active
+  // ILPs are fixed by this sign (RockIt-style lazy variable instantiation).
+  std::vector<double> unit_obj(static_cast<size_t>(n), 0.0);
+  std::vector<bool> is_unit(wcnf.NumClauses(), false);
+  for (size_t ci = 0; ci < wcnf.NumClauses(); ++ci) {
+    const maxsat::WClause& clause = wcnf.clause(ci);
+    if (!clause.hard && clause.lits.size() == 1) {
+      is_unit[ci] = true;
+      const maxsat::Literal lit = clause.lits[0];
+      unit_obj[static_cast<size_t>(maxsat::LitVar(lit))] +=
+          maxsat::LitSign(lit) ? clause.weight : -clause.weight;
+    }
+  }
+  std::vector<bool> assignment(static_cast<size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    assignment[static_cast<size_t>(v)] = unit_obj[static_cast<size_t>(v)] > 0;
+  }
+
+  std::vector<bool> active(wcnf.NumClauses(), false);
+  std::vector<uint32_t> active_list;
+  bool optimal = true;
+  uint64_t steps = 0;
+  while (true) {
+    ++local_stats.iterations;
+    // Activate every non-unit clause the current assignment violates.
+    size_t newly_activated = 0;
+    for (size_t ci = 0; ci < wcnf.NumClauses(); ++ci) {
+      if (active[ci] || is_unit[ci]) continue;
+      if (!ClauseSatisfied(wcnf.clause(ci), assignment)) {
+        active[ci] = true;
+        active_list.push_back(static_cast<uint32_t>(ci));
+        ++newly_activated;
+      }
+    }
+    local_stats.clauses_activated += newly_activated;
+    if (newly_activated == 0) break;
+
+    // The active clauses decompose into independent variable clusters;
+    // solve each cluster's reduced ILP separately (the block structure an
+    // industrial solver would detect internally).
+    VarUnionFind uf;
+    for (uint32_t ci : active_list) {
+      const maxsat::WClause& clause = wcnf.clause(ci);
+      const int first = maxsat::LitVar(clause.lits[0]);
+      for (maxsat::Literal lit : clause.lits) {
+        uf.Union(first, maxsat::LitVar(lit));
+      }
+    }
+    std::unordered_map<int, std::vector<uint32_t>> clusters;
+    for (uint32_t ci : active_list) {
+      clusters[uf.Find(maxsat::LitVar(wcnf.clause(ci).lits[0]))].push_back(ci);
+    }
+
+    bool infeasible = false;
+    for (const auto& [root, clause_ids] : clusters) {
+      ilp::IlpProblem problem;
+      // Maps a global WCNF variable to its ILP index. z variables share the
+      // ILP index space, so the index must come from AddVar itself.
+      std::unordered_map<int, int> var_map;          // global -> ilp index
+      std::vector<std::pair<int, int>> structural;   // (ilp index, global)
+      auto map_var = [&](int global) {
+        auto it = var_map.find(global);
+        if (it != var_map.end()) return it->second;
+        const int index =
+            problem.AddVar(unit_obj[static_cast<size_t>(global)]);
+        var_map.emplace(global, index);
+        structural.emplace_back(index, global);
+        return index;
+      };
+      for (uint32_t ci : clause_ids) {
+        const maxsat::WClause& clause = wcnf.clause(ci);
+        ilp::LinearRow row;
+        double constant = 0.0;
+        for (maxsat::Literal lit : clause.lits) {
+          const int local = map_var(maxsat::LitVar(lit));
+          if (maxsat::LitSign(lit)) {
+            row.coefs.emplace_back(local, 1.0);
+          } else {
+            row.coefs.emplace_back(local, -1.0);
+            constant += 1.0;
+          }
+        }
+        row.op = ilp::RowOp::kGe;
+        if (clause.hard) {
+          row.rhs = 1.0 - constant;
+        } else {
+          const int z = problem.AddVar(clause.weight);
+          row.coefs.emplace_back(z, -1.0);
+          row.rhs = 0.0 - constant;
+        }
+        problem.AddRow(std::move(row));
+      }
+      ilp::IlpResult ilp_result = solver.Solve(problem);
+      steps += ilp_result.nodes;
+      local_stats.total_bb_nodes += ilp_result.nodes;
+      if (!ilp_result.feasible) {
+        infeasible = true;
+        break;
+      }
+      optimal = optimal && ilp_result.optimal;
+      for (const auto& [index, global] : structural) {
+        assignment[static_cast<size_t>(global)] =
+            ilp_result.x[static_cast<size_t>(index)] == 1;
+      }
+    }
+    if (infeasible) {
+      optimal = false;
+      break;
+    }
+  }
+  local_stats.final_active_clauses = active_list.size();
+  if (stats != nullptr) *stats = local_stats;
+  return FinishResult(wcnf, std::move(assignment), optimal,
+                      timer.ElapsedMillis(), steps);
+}
+
+maxsat::MaxSatResult SolveWithIlpDirect(
+    const maxsat::Wcnf& wcnf, ilp::BranchBoundSolver::Options ilp_options,
+    uint64_t* bb_nodes) {
+  Timer timer;
+  ilp::BranchBoundSolver solver(ilp_options);
+  ilp::IlpProblem problem = BuildIlp(wcnf);
+  ilp::IlpResult ilp_result = solver.Solve(problem);
+  if (bb_nodes != nullptr) *bb_nodes = ilp_result.nodes;
+  if (!ilp_result.feasible) {
+    maxsat::MaxSatResult result;
+    result.feasible = false;
+    result.assignment.assign(static_cast<size_t>(wcnf.num_vars()), false);
+    result.solve_time_ms = timer.ElapsedMillis();
+    result.search_steps = ilp_result.nodes;
+    return result;
+  }
+  std::vector<bool> assignment(static_cast<size_t>(wcnf.num_vars()), false);
+  for (int v = 0; v < wcnf.num_vars(); ++v) {
+    assignment[static_cast<size_t>(v)] =
+        v < static_cast<int>(ilp_result.x.size()) &&
+        ilp_result.x[static_cast<size_t>(v)] == 1;
+  }
+  return FinishResult(wcnf, std::move(assignment), ilp_result.optimal,
+                      timer.ElapsedMillis(), ilp_result.nodes);
+}
+
+}  // namespace mln
+}  // namespace tecore

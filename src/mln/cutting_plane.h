@@ -1,0 +1,40 @@
+#ifndef TECORE_MLN_CUTTING_PLANE_H_
+#define TECORE_MLN_CUTTING_PLANE_H_
+
+#include "ilp/branch_bound.h"
+#include "maxsat/wcnf.h"
+
+namespace tecore {
+namespace mln {
+
+/// \brief Statistics of a cutting-plane run.
+struct CpaStats {
+  int iterations = 0;
+  size_t clauses_activated = 0;
+  size_t final_active_clauses = 0;
+  uint64_t total_bb_nodes = 0;
+};
+
+/// \brief Cutting-plane inference (CPA) over the ILP backend — the
+/// scalability trick of RockIt.
+///
+/// Starts from an ILP containing only the folded unit-clause objective;
+/// repeatedly solves, then *activates* (adds to the ILP) every clause the
+/// current solution violates, until no inactive clause is violated. Each
+/// reduced problem relaxes the original by assuming omitted soft clauses
+/// satisfied and omitted hard clauses non-binding, so at convergence the
+/// solution is MAP-optimal for the full instance.
+maxsat::MaxSatResult SolveWithCpa(const maxsat::Wcnf& wcnf,
+                                  ilp::BranchBoundSolver::Options ilp_options,
+                                  CpaStats* stats = nullptr);
+
+/// \brief Single-shot ILP solve of the full encoding (no cutting planes);
+/// the A2 ablation baseline.
+maxsat::MaxSatResult SolveWithIlpDirect(
+    const maxsat::Wcnf& wcnf, ilp::BranchBoundSolver::Options ilp_options,
+    uint64_t* bb_nodes = nullptr);
+
+}  // namespace mln
+}  // namespace tecore
+
+#endif  // TECORE_MLN_CUTTING_PLANE_H_

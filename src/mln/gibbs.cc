@@ -1,0 +1,104 @@
+#include "mln/gibbs.h"
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace mln {
+
+GibbsSampler::GibbsSampler(const ground::GroundNetwork& network,
+                           GibbsOptions options)
+    : network_(network), options_(std::move(options)) {}
+
+Result<GibbsResult> GibbsSampler::Run() {
+  Timer timer;
+  const size_t n = network_.NumAtoms();
+  GibbsResult result;
+  result.marginals.assign(n, 0.0);
+  if (n == 0) return result;
+  if (!options_.initial_state.empty() &&
+      options_.initial_state.size() != n) {
+    return Status::InvalidArgument(
+        "initial_state size does not match the network's atom count");
+  }
+
+  // Occurrence lists: per atom, the clauses it appears in (with sign).
+  const auto& clauses = network_.clauses();
+  std::vector<std::vector<uint32_t>> pos_occ(n), neg_occ(n);
+  std::vector<double> weight(clauses.size(), 0.0);
+  for (uint32_t ci = 0; ci < clauses.size(); ++ci) {
+    const ground::GroundClause& clause = clauses[ci];
+    weight[ci] = clause.hard ? options_.hard_weight : clause.weight;
+    for (int32_t lit : clause.literals) {
+      const ground::AtomId atom = ground::LiteralAtom(lit);
+      (ground::LiteralSign(lit) ? pos_occ : neg_occ)[atom].push_back(ci);
+    }
+  }
+
+  // State + per-clause satisfied-literal counters.
+  std::vector<bool> state =
+      options_.initial_state.empty() ? std::vector<bool>(n, false)
+                                     : options_.initial_state;
+  std::vector<int> sat_count(clauses.size(), 0);
+  for (uint32_t ci = 0; ci < clauses.size(); ++ci) {
+    for (int32_t lit : clauses[ci].literals) {
+      if (state[ground::LiteralAtom(lit)] == ground::LiteralSign(lit)) {
+        ++sat_count[ci];
+      }
+    }
+  }
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> true_counts(n, 0);
+
+  // ΔE for flipping atom `a` to true, given the rest of the state:
+  // clauses where `a` appears positively gain satisfaction if currently
+  // unsatisfied ignoring a; negatives symmetric.
+  auto delta_energy = [&](size_t a) {
+    double delta = 0.0;
+    const bool current = state[a];
+    for (uint32_t ci : pos_occ[a]) {
+      const int others = sat_count[ci] - (current ? 1 : 0);
+      if (others == 0) delta += weight[ci];  // a=1 satisfies it, a=0 not
+    }
+    for (uint32_t ci : neg_occ[a]) {
+      const int others = sat_count[ci] - (current ? 0 : 1);
+      if (others == 0) delta -= weight[ci];  // a=0 satisfies it, a=1 not
+    }
+    return delta;
+  };
+
+  auto set_atom = [&](size_t a, bool value) {
+    if (state[a] == value) return;
+    for (uint32_t ci : pos_occ[a]) sat_count[ci] += value ? 1 : -1;
+    for (uint32_t ci : neg_occ[a]) sat_count[ci] += value ? -1 : 1;
+    state[a] = value;
+    ++result.flips_accepted;
+  };
+
+  const int total_sweeps = options_.burn_in_sweeps + options_.sample_sweeps;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (size_t a = 0; a < n; ++a) {
+      const double delta = delta_energy(a);
+      const double p_true = 1.0 / (1.0 + std::exp(-delta));
+      set_atom(a, rng.NextDouble() < p_true);
+    }
+    if (sweep >= options_.burn_in_sweeps) {
+      for (size_t a = 0; a < n; ++a) {
+        if (state[a]) ++true_counts[a];
+      }
+    }
+  }
+  result.sweeps = total_sweeps;
+  for (size_t a = 0; a < n; ++a) {
+    result.marginals[a] = static_cast<double>(true_counts[a]) /
+                          static_cast<double>(options_.sample_sweeps);
+  }
+  result.solve_time_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace mln
+}  // namespace tecore

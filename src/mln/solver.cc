@@ -1,0 +1,111 @@
+#include "mln/solver.h"
+
+#include <algorithm>
+
+#include "mln/cutting_plane.h"
+#include "mln/translation.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace mln {
+
+namespace {
+
+maxsat::MaxSatResult SolveWcnf(const maxsat::Wcnf& wcnf,
+                               const MlnSolverOptions& options) {
+  const bool oversized =
+      static_cast<size_t>(wcnf.num_vars()) > options.exact_var_limit;
+  switch (options.backend) {
+    case MlnBackend::kWalkSat:
+      return maxsat::WalkSatSolver(wcnf, options.walksat).Solve();
+    case MlnBackend::kExactMaxSat:
+      if (oversized) {
+        return maxsat::WalkSatSolver(wcnf, options.walksat).Solve();
+      }
+      return maxsat::ExactMaxSatSolver(wcnf, options.exact).Solve();
+    case MlnBackend::kIlpCpa:
+      if (oversized) {
+        return maxsat::WalkSatSolver(wcnf, options.walksat).Solve();
+      }
+      return SolveWithCpa(wcnf, options.ilp);
+    case MlnBackend::kIlpDirect:
+      if (oversized) {
+        return maxsat::WalkSatSolver(wcnf, options.walksat).Solve();
+      }
+      return SolveWithIlpDirect(wcnf, options.ilp);
+  }
+  return maxsat::MaxSatResult{};
+}
+
+}  // namespace
+
+std::string_view MlnBackendName(MlnBackend backend) {
+  switch (backend) {
+    case MlnBackend::kExactMaxSat:
+      return "exact-maxsat";
+    case MlnBackend::kWalkSat:
+      return "walksat";
+    case MlnBackend::kIlpCpa:
+      return "ilp-cpa";
+    case MlnBackend::kIlpDirect:
+      return "ilp-direct";
+  }
+  return "?";
+}
+
+MlnMapSolver::MlnMapSolver(const ground::GroundNetwork& network,
+                           MlnSolverOptions options)
+    : network_(network), options_(options) {}
+
+Result<MlnSolution> MlnMapSolver::Solve() {
+  Timer timer;
+  MlnSolution solution;
+  solution.atom_values.assign(network_.NumAtoms(), false);
+  solution.feasible = true;
+  solution.optimal = true;
+
+  if (!options_.use_components) {
+    maxsat::Wcnf wcnf = BuildWcnf(network_);
+    maxsat::MaxSatResult result = SolveWcnf(wcnf, options_);
+    solution.atom_values = result.assignment;
+    solution.objective = result.satisfied_weight;
+    solution.violated_weight = result.violated_weight;
+    solution.feasible = result.feasible;
+    solution.optimal = result.optimal;
+    solution.num_components = 1;
+    solution.largest_component = network_.NumAtoms();
+    solution.search_steps = result.search_steps;
+    solution.solve_time_ms = timer.ElapsedMillis();
+    return solution;
+  }
+
+  std::vector<ground::Component> components = network_.ConnectedComponents();
+  solution.num_components = components.size();
+  for (const ground::Component& component : components) {
+    solution.largest_component =
+        std::max(solution.largest_component, component.atoms.size());
+    if (component.clause_indices.empty()) {
+      // Isolated atoms with no clauses at all: default to false (derived)
+      // — evidence atoms always have at least their prior clause.
+      continue;
+    }
+    std::vector<ground::AtomId> atom_map;
+    maxsat::Wcnf wcnf = BuildComponentWcnf(network_, component, &atom_map);
+    maxsat::MaxSatResult result = SolveWcnf(wcnf, options_);
+    solution.feasible = solution.feasible && result.feasible;
+    solution.optimal = solution.optimal && result.optimal;
+    solution.objective += result.satisfied_weight;
+    solution.violated_weight += result.violated_weight;
+    solution.search_steps += result.search_steps;
+    for (size_t local = 0; local < atom_map.size(); ++local) {
+      solution.atom_values[atom_map[local]] =
+          local < result.assignment.size() && result.assignment[local];
+    }
+  }
+  solution.solve_time_ms = timer.ElapsedMillis();
+  return solution;
+}
+
+}  // namespace mln
+}  // namespace tecore

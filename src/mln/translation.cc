@@ -1,0 +1,107 @@
+#include "mln/translation.h"
+
+#include <unordered_map>
+
+namespace tecore {
+namespace mln {
+
+namespace {
+
+void AppendClauses(const ground::GroundNetwork& network,
+                   const std::vector<uint32_t>* clause_subset,
+                   const std::unordered_map<ground::AtomId, int>* renumber,
+                   maxsat::Wcnf* wcnf) {
+  auto translate = [&](const ground::GroundClause& clause) {
+    std::vector<maxsat::Literal> lits;
+    lits.reserve(clause.literals.size());
+    for (int32_t lit : clause.literals) {
+      ground::AtomId atom = ground::LiteralAtom(lit);
+      int var = renumber == nullptr
+                    ? static_cast<int>(atom)
+                    : renumber->at(atom);
+      lits.push_back(ground::LiteralSign(lit) ? maxsat::PosLit(var)
+                                              : maxsat::NegLit(var));
+    }
+    if (clause.hard) {
+      wcnf->AddHard(std::move(lits));
+    } else if (clause.weight > 0) {
+      wcnf->AddSoft(std::move(lits), clause.weight);
+    }
+  };
+  if (clause_subset != nullptr) {
+    for (uint32_t ci : *clause_subset) translate(network.clauses()[ci]);
+  } else {
+    for (const auto& clause : network.clauses()) translate(clause);
+  }
+}
+
+}  // namespace
+
+maxsat::Wcnf BuildWcnf(const ground::GroundNetwork& network) {
+  maxsat::Wcnf wcnf(static_cast<int>(network.NumAtoms()));
+  AppendClauses(network, nullptr, nullptr, &wcnf);
+  return wcnf;
+}
+
+maxsat::Wcnf BuildComponentWcnf(const ground::GroundNetwork& network,
+                                const ground::Component& component,
+                                std::vector<ground::AtomId>* atom_map) {
+  std::unordered_map<ground::AtomId, int> renumber;
+  renumber.reserve(component.atoms.size());
+  atom_map->clear();
+  atom_map->reserve(component.atoms.size());
+  for (ground::AtomId atom : component.atoms) {
+    renumber.emplace(atom, static_cast<int>(atom_map->size()));
+    atom_map->push_back(atom);
+  }
+  maxsat::Wcnf wcnf(static_cast<int>(component.atoms.size()));
+  AppendClauses(network, &component.clause_indices, &renumber, &wcnf);
+  return wcnf;
+}
+
+ilp::IlpProblem BuildIlp(const maxsat::Wcnf& wcnf,
+                         const std::vector<bool>& include_clause) {
+  ilp::IlpProblem problem;
+  for (int v = 0; v < wcnf.num_vars(); ++v) {
+    problem.AddVar(0.0);
+  }
+  for (size_t ci = 0; ci < wcnf.NumClauses(); ++ci) {
+    if (!include_clause.empty() && !include_clause[ci]) continue;
+    const maxsat::WClause& clause = wcnf.clause(ci);
+    if (!clause.hard && clause.lits.size() == 1) {
+      // Unit soft clause folds into the objective.
+      const maxsat::Literal lit = clause.lits[0];
+      const int var = maxsat::LitVar(lit);
+      problem.objective[static_cast<size_t>(var)] +=
+          maxsat::LitSign(lit) ? clause.weight : -clause.weight;
+      // (the constant term for negative literals is dropped; objective
+      // values are compared, not absolute)
+      continue;
+    }
+    ilp::LinearRow row;
+    double constant = 0.0;
+    for (maxsat::Literal lit : clause.lits) {
+      const int var = maxsat::LitVar(lit);
+      if (maxsat::LitSign(lit)) {
+        row.coefs.emplace_back(var, 1.0);
+      } else {
+        row.coefs.emplace_back(var, -1.0);
+        constant += 1.0;
+      }
+    }
+    row.op = ilp::RowOp::kGe;
+    if (clause.hard) {
+      row.rhs = 1.0 - constant;
+      problem.AddRow(std::move(row));
+    } else {
+      const int z = problem.AddVar(clause.weight);
+      row.coefs.emplace_back(z, -1.0);
+      row.rhs = 0.0 - constant;
+      problem.AddRow(std::move(row));
+    }
+  }
+  return problem;
+}
+
+}  // namespace mln
+}  // namespace tecore

@@ -1,0 +1,186 @@
+#include "psl/admm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace tecore {
+namespace psl {
+
+namespace {
+
+/// A factor is a potential or hard constraint with local state.
+struct Factor {
+  // Static description.
+  std::vector<int> vars;
+  std::vector<double> coefs;
+  double offset = 0.0;
+  double weight = 0.0;   // < 0 marks a hard constraint
+  bool squared = false;
+  double coef_norm_sq = 0.0;
+  // ADMM state.
+  std::vector<double> y;  // local copy
+  std::vector<double> u;  // scaled dual
+};
+
+}  // namespace
+
+AdmmSolver::AdmmSolver(const HlMrf& mrf, AdmmOptions options)
+    : mrf_(mrf), options_(options) {}
+
+AdmmResult AdmmSolver::Solve() {
+  Timer timer;
+  AdmmResult result;
+  const int n = mrf_.num_vars();
+  result.x.assign(static_cast<size_t>(n), 0.5);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Materialize factors.
+  std::vector<Factor> factors;
+  factors.reserve(mrf_.potentials().size() + mrf_.constraints().size());
+  auto add_factor = [&factors](const std::vector<std::pair<int, double>>& cs,
+                               double offset, double weight, bool squared) {
+    Factor f;
+    f.vars.reserve(cs.size());
+    f.coefs.reserve(cs.size());
+    for (const auto& [v, c] : cs) {
+      f.vars.push_back(v);
+      f.coefs.push_back(c);
+      f.coef_norm_sq += c * c;
+    }
+    f.offset = offset;
+    f.weight = weight;
+    f.squared = squared;
+    f.y.assign(cs.size(), 0.5);
+    f.u.assign(cs.size(), 0.0);
+    factors.push_back(std::move(f));
+  };
+  for (const HingePotential& pot : mrf_.potentials()) {
+    add_factor(pot.coefs, pot.offset, pot.weight, pot.squared);
+  }
+  for (const HardLinearConstraint& con : mrf_.constraints()) {
+    add_factor(con.coefs, con.offset, -1.0, false);
+  }
+
+  // Per-variable factor counts for the consensus average.
+  std::vector<double> counts(static_cast<size_t>(n), 0.0);
+  for (const Factor& f : factors) {
+    for (int v : f.vars) counts[static_cast<size_t>(v)] += 1.0;
+  }
+
+  std::vector<double>& z = result.x;
+  std::vector<double> z_old(z);
+  std::vector<double> accum(static_cast<size_t>(n), 0.0);
+  const double rho = options_.rho;
+
+  int iter = 0;
+  for (iter = 1; iter <= options_.max_iterations; ++iter) {
+    // ---- local steps.
+    for (Factor& f : factors) {
+      const size_t k = f.vars.size();
+      // v = z_f - u
+      double dot = f.offset;
+      for (size_t i = 0; i < k; ++i) {
+        f.y[i] = z[static_cast<size_t>(f.vars[i])] - f.u[i];
+        dot += f.coefs[i] * f.y[i];
+      }
+      if (f.weight < 0) {
+        // Hard constraint: project v onto {a^T y + b <= 0}.
+        if (dot > 0 && f.coef_norm_sq > 0) {
+          const double scale = dot / f.coef_norm_sq;
+          for (size_t i = 0; i < k; ++i) f.y[i] -= scale * f.coefs[i];
+        }
+      } else if (dot > 0 && f.coef_norm_sq > 0) {
+        if (f.squared) {
+          // min w (a^T y + b)^2 + rho/2 ||y - v||^2 (closed form).
+          const double s = dot / (1.0 + (2.0 * f.weight / rho) * f.coef_norm_sq);
+          const double scale = (2.0 * f.weight / rho) * s;
+          for (size_t i = 0; i < k; ++i) f.y[i] -= scale * f.coefs[i];
+        } else {
+          // Linear hinge: try the interior gradient step.
+          const double step = f.weight / rho;
+          const double dot_after = dot - step * f.coef_norm_sq;
+          if (dot_after >= 0) {
+            for (size_t i = 0; i < k; ++i) f.y[i] -= step * f.coefs[i];
+          } else {
+            // Project onto the hinge boundary a^T y + b = 0.
+            const double scale = dot / f.coef_norm_sq;
+            for (size_t i = 0; i < k; ++i) f.y[i] -= scale * f.coefs[i];
+          }
+        }
+      }
+      // else: hinge inactive at v; y = v already.
+    }
+
+    // ---- consensus step.
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (Factor& f : factors) {
+      for (size_t i = 0; i < f.vars.size(); ++i) {
+        accum[static_cast<size_t>(f.vars[i])] += f.y[i] + f.u[i];
+      }
+    }
+    std::swap(z_old, z);
+    for (int v = 0; v < n; ++v) {
+      const double c = counts[static_cast<size_t>(v)];
+      double value = c > 0 ? accum[static_cast<size_t>(v)] / c
+                           : z_old[static_cast<size_t>(v)];
+      z[static_cast<size_t>(v)] = std::clamp(value, 0.0, 1.0);
+    }
+
+    // ---- dual step.
+    for (Factor& f : factors) {
+      for (size_t i = 0; i < f.vars.size(); ++i) {
+        f.u[i] += f.y[i] - z[static_cast<size_t>(f.vars[i])];
+      }
+    }
+
+    // ---- convergence check.
+    if (iter % options_.check_every == 0) {
+      double primal_sq = 0.0, local_norm_sq = 0.0, z_norm_sq = 0.0;
+      size_t total_copies = 0;
+      for (const Factor& f : factors) {
+        for (size_t i = 0; i < f.vars.size(); ++i) {
+          const double zi = z[static_cast<size_t>(f.vars[i])];
+          const double diff = f.y[i] - zi;
+          primal_sq += diff * diff;
+          local_norm_sq += f.y[i] * f.y[i];
+          z_norm_sq += zi * zi;
+          ++total_copies;
+        }
+      }
+      double dual_sq = 0.0;
+      for (int v = 0; v < n; ++v) {
+        const double diff = z[static_cast<size_t>(v)] -
+                            z_old[static_cast<size_t>(v)];
+        dual_sq += counts[static_cast<size_t>(v)] * diff * diff;
+      }
+      dual_sq *= rho * rho;
+      const double primal = std::sqrt(primal_sq);
+      const double dual = std::sqrt(dual_sq);
+      const double eps_primal =
+          std::sqrt(static_cast<double>(total_copies)) * options_.epsilon_abs +
+          options_.epsilon_rel *
+              std::max(std::sqrt(local_norm_sq), std::sqrt(z_norm_sq));
+      const double eps_dual =
+          std::sqrt(static_cast<double>(total_copies)) * options_.epsilon_abs +
+          options_.epsilon_rel * rho * std::sqrt(z_norm_sq);
+      result.primal_residual = primal;
+      result.dual_residual = dual;
+      if (primal <= eps_primal && dual <= eps_dual) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.iterations = std::min(iter, options_.max_iterations);
+  result.energy = mrf_.Energy(z);
+  result.solve_time_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace psl
+}  // namespace tecore

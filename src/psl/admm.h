@@ -1,0 +1,51 @@
+#ifndef TECORE_PSL_ADMM_H_
+#define TECORE_PSL_ADMM_H_
+
+#include "psl/hlmrf.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace psl {
+
+/// \brief ADMM configuration (defaults follow the PSL reference solver).
+struct AdmmOptions {
+  double rho = 1.0;           ///< augmented-Lagrangian step size
+  int max_iterations = 2000;
+  /// Convergence thresholds on the scaled primal/dual residuals.
+  double epsilon_abs = 1e-4;
+  double epsilon_rel = 1e-3;
+  /// Check residuals every k iterations (they cost a full pass).
+  int check_every = 10;
+};
+
+/// \brief Result of consensus optimization.
+struct AdmmResult {
+  std::vector<double> x;  ///< consensus MAP state in [0,1]^n
+  bool converged = false;
+  int iterations = 0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  double energy = 0.0;
+  double solve_time_ms = 0.0;
+};
+
+/// \brief Consensus ADMM for HL-MRF MAP (Bach et al. 2015).
+///
+/// Every potential and hard constraint owns a local copy of its variables;
+/// local steps have closed forms (hinge prox / hyperplane projection), the
+/// consensus step averages local copies and clips to [0,1]. Deterministic.
+class AdmmSolver {
+ public:
+  explicit AdmmSolver(const HlMrf& mrf, AdmmOptions options = {});
+
+  AdmmResult Solve();
+
+ private:
+  const HlMrf& mrf_;
+  AdmmOptions options_;
+};
+
+}  // namespace psl
+}  // namespace tecore
+
+#endif  // TECORE_PSL_ADMM_H_

@@ -1,0 +1,75 @@
+#include "psl/hlmrf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tecore {
+namespace psl {
+
+void HlMrf::AddPotential(HingePotential potential) {
+  for (const auto& [v, c] : potential.coefs) EnsureVars(v + 1);
+  potentials_.push_back(std::move(potential));
+}
+
+void HlMrf::AddConstraint(HardLinearConstraint constraint) {
+  for (const auto& [v, c] : constraint.coefs) EnsureVars(v + 1);
+  constraints_.push_back(std::move(constraint));
+}
+
+double HlMrf::Energy(const std::vector<double>& x) const {
+  double energy = 0.0;
+  for (const HingePotential& pot : potentials_) {
+    double value = pot.offset;
+    for (const auto& [v, c] : pot.coefs) value += c * x[static_cast<size_t>(v)];
+    double hinge = std::max(0.0, value);
+    energy += pot.weight * (pot.squared ? hinge * hinge : hinge);
+  }
+  return energy;
+}
+
+double HlMrf::ConstraintViolation(const std::vector<double>& x) const {
+  double violation = 0.0;
+  for (const HardLinearConstraint& con : constraints_) {
+    double value = con.offset;
+    for (const auto& [v, c] : con.coefs) value += c * x[static_cast<size_t>(v)];
+    violation += std::max(0.0, value);
+  }
+  return violation;
+}
+
+HlMrf BuildHlMrf(const ground::GroundNetwork& network, bool squared) {
+  HlMrf mrf(static_cast<int>(network.NumAtoms()));
+  for (const ground::GroundClause& clause : network.clauses()) {
+    // Distance to satisfaction of the disjunction.
+    std::vector<std::pair<int, double>> coefs;
+    double offset = 1.0;
+    coefs.reserve(clause.literals.size());
+    for (int32_t lit : clause.literals) {
+      const int var = static_cast<int>(ground::LiteralAtom(lit));
+      if (ground::LiteralSign(lit)) {
+        coefs.emplace_back(var, -1.0);
+      } else {
+        coefs.emplace_back(var, 1.0);
+        offset -= 1.0;
+      }
+    }
+    if (clause.hard) {
+      // Must be satisfied: distance <= 0.
+      HardLinearConstraint con;
+      con.coefs = std::move(coefs);
+      con.offset = offset;
+      mrf.AddConstraint(std::move(con));
+    } else if (clause.weight > 0) {
+      HingePotential pot;
+      pot.coefs = std::move(coefs);
+      pot.offset = offset;
+      pot.weight = clause.weight;
+      pot.squared = squared;
+      mrf.AddPotential(std::move(pot));
+    }
+  }
+  return mrf;
+}
+
+}  // namespace psl
+}  // namespace tecore

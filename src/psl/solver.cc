@@ -1,0 +1,108 @@
+#include "psl/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace tecore {
+namespace psl {
+
+namespace {
+
+bool ClauseSatisfied(const ground::GroundClause& clause,
+                     const std::vector<bool>& values) {
+  for (int32_t lit : clause.literals) {
+    if (values[ground::LiteralAtom(lit)] == ground::LiteralSign(lit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PslSolver::PslSolver(const ground::GroundNetwork& network,
+                     PslSolverOptions options)
+    : network_(network), options_(options) {}
+
+Result<PslSolution> PslSolver::Solve() {
+  Timer timer;
+  PslSolution solution;
+
+  HlMrf mrf = BuildHlMrf(network_, options_.squared_hinges);
+  AdmmSolver admm(mrf, options_.admm);
+  AdmmResult admm_result = admm.Solve();
+  solution.truth_values = admm_result.x;
+  solution.energy = admm_result.energy;
+  solution.admm_converged = admm_result.converged;
+  solution.admm_iterations = admm_result.iterations;
+
+  // Discretize.
+  const size_t n = network_.NumAtoms();
+  solution.atom_values.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    solution.atom_values[i] = solution.truth_values[i] >= options_.threshold;
+  }
+
+  // Greedy repair: per-atom signed prior weight == cost of keeping the atom
+  // "true" (negative prior) or "false" (positive prior).
+  if (options_.repair) {
+    std::vector<double> prior(n, 0.0);
+    for (const ground::GroundClause& clause : network_.clauses()) {
+      if (clause.hard || clause.literals.size() != 1) continue;
+      const int32_t lit = clause.literals[0];
+      prior[ground::LiteralAtom(lit)] +=
+          ground::LiteralSign(lit) ? clause.weight : -clause.weight;
+    }
+    for (int pass = 0; pass < options_.max_repair_passes; ++pass) {
+      size_t flips_this_pass = 0;
+      for (const ground::GroundClause& clause : network_.clauses()) {
+        if (!clause.hard || ClauseSatisfied(clause, solution.atom_values)) {
+          continue;
+        }
+        // Flip the literal whose flip has the lowest prior cost.
+        int32_t best_lit = clause.literals[0];
+        double best_cost = 1e300;
+        for (int32_t lit : clause.literals) {
+          const ground::AtomId atom = ground::LiteralAtom(lit);
+          // Making `lit` true means setting atom = sign(lit).
+          const double cost = ground::LiteralSign(lit)
+                                  ? -prior[atom]   // pay when prior says false
+                                  : prior[atom];   // pay when prior says true
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_lit = lit;
+          }
+        }
+        solution.atom_values[ground::LiteralAtom(best_lit)] =
+            ground::LiteralSign(best_lit);
+        ++flips_this_pass;
+      }
+      solution.repair_flips += flips_this_pass;
+      if (flips_this_pass == 0) break;
+    }
+  }
+
+  // Score the Boolean state against the weighted ground clauses.
+  double satisfied = 0.0, violated = 0.0;
+  bool feasible = true;
+  for (const ground::GroundClause& clause : network_.clauses()) {
+    const bool sat = ClauseSatisfied(clause, solution.atom_values);
+    if (clause.hard) {
+      feasible = feasible && sat;
+    } else if (sat) {
+      satisfied += clause.weight;
+    } else {
+      violated += clause.weight;
+    }
+  }
+  solution.objective = satisfied;
+  solution.violated_weight = violated;
+  solution.feasible = feasible;
+  solution.solve_time_ms = timer.ElapsedMillis();
+  return solution;
+}
+
+}  // namespace psl
+}  // namespace tecore

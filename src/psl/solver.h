@@ -1,0 +1,68 @@
+#ifndef TECORE_PSL_SOLVER_H_
+#define TECORE_PSL_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_network.h"
+#include "psl/admm.h"
+#include "psl/hlmrf.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace psl {
+
+/// \brief nPSL solver configuration.
+struct PslSolverOptions {
+  AdmmOptions admm;
+  /// Use squared hinges (smoother, slightly slower per iteration).
+  bool squared_hinges = false;
+  /// Soft-truth threshold for discretization.
+  double threshold = 0.5;
+  /// Greedy repair of hard clauses violated after rounding.
+  bool repair = true;
+  int max_repair_passes = 20;
+};
+
+/// \brief Outcome of the PSL pipeline.
+struct PslSolution {
+  /// Continuous MAP state (soft truth values in [0,1]).
+  std::vector<double> truth_values;
+  /// Discretized (and repaired) Boolean state, index == AtomId.
+  std::vector<bool> atom_values;
+  /// Convex objective value (hinge energy) of the continuous state.
+  double energy = 0.0;
+  /// Satisfied soft weight of the Boolean state, comparable to the MLN
+  /// solver's objective.
+  double objective = 0.0;
+  double violated_weight = 0.0;
+  bool feasible = false;
+  bool admm_converged = false;
+  int admm_iterations = 0;
+  size_t repair_flips = 0;
+  double solve_time_ms = 0.0;
+};
+
+/// \brief nPSL: scalable approximate MAP via the convex HL-MRF relaxation.
+///
+/// Pipeline: translate ground network -> HL-MRF, run consensus ADMM,
+/// threshold soft truths at 0.5, then greedily repair any hard ground
+/// clause the rounding broke (flip the literal with the cheapest prior
+/// cost). Trades the MLN solver's exactness for near-linear scaling — the
+/// paper's expressiveness-vs-scalability axis.
+class PslSolver {
+ public:
+  PslSolver(const ground::GroundNetwork& network,
+            PslSolverOptions options = {});
+
+  Result<PslSolution> Solve();
+
+ private:
+  const ground::GroundNetwork& network_;
+  PslSolverOptions options_;
+};
+
+}  // namespace psl
+}  // namespace tecore
+
+#endif  // TECORE_PSL_SOLVER_H_

@@ -1,0 +1,46 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+Result<TermId> Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) {
+    return Status::NotFound("term not in dictionary: " + term.ToString());
+  }
+  return it->second;
+}
+
+Result<TermId> Dictionary::FindIri(std::string_view name) const {
+  return Find(Term::Iri(std::string(name)));
+}
+
+const Term& Dictionary::Lookup(TermId id) const {
+  assert(id < terms_.size());
+  return terms_[id];
+}
+
+std::vector<TermId> Dictionary::CompleteIri(std::string_view prefix) const {
+  std::vector<TermId> out;
+  for (TermId id = 0; id < terms_.size(); ++id) {
+    const Term& t = terms_[id];
+    if (t.is_iri() && StartsWith(t.lexical(), prefix)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace tecore

@@ -1,0 +1,65 @@
+#ifndef TECORE_RDF_DICTIONARY_H_
+#define TECORE_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace rdf {
+
+/// \brief Bidirectional term dictionary (string interning).
+///
+/// Every term in a graph is stored once; facts reference terms by dense
+/// TermId. Grounding, indexing and solving all operate on ids; strings are
+/// only materialized at the I/O boundary — the standard dictionary-encoding
+/// design of RDF stores.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable, not copyable (graphs can be large).
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// \brief Intern a term, returning its id (existing id if already known).
+  TermId Intern(const Term& term);
+
+  /// \brief Convenience: intern a bare IRI.
+  TermId InternIri(std::string_view name) {
+    return Intern(Term::Iri(std::string(name)));
+  }
+
+  /// \brief Convenience: intern an integer literal.
+  TermId InternInt(int64_t value) { return Intern(Term::IntLiteral(value)); }
+
+  /// \brief Lookup an existing term's id without interning.
+  Result<TermId> Find(const Term& term) const;
+
+  /// \brief Lookup an existing IRI's id without interning.
+  Result<TermId> FindIri(std::string_view name) const;
+
+  /// \brief The term for an id. Id must be valid.
+  const Term& Lookup(TermId id) const;
+
+  /// \brief Number of distinct terms.
+  size_t Size() const { return terms_.size(); }
+
+  /// \brief All IRIs whose lexical form starts with `prefix` (the data
+  /// source behind the Constraints Editor's predicate auto-completion).
+  std::vector<TermId> CompleteIri(std::string_view prefix) const;
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace rdf
+}  // namespace tecore
+
+#endif  // TECORE_RDF_DICTIONARY_H_

@@ -1,0 +1,117 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rdf {
+
+namespace {
+const std::vector<FactId> kEmptyFactList;
+}  // namespace
+
+Result<FactId> TemporalGraph::Add(const TemporalFact& fact) {
+  if (fact.confidence <= 0.0 || fact.confidence > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("confidence must be in (0,1], got %g", fact.confidence));
+  }
+  if (fact.subject == kInvalidTermId || fact.predicate == kInvalidTermId ||
+      fact.object == kInvalidTermId) {
+    return Status::InvalidArgument("fact references an invalid term id");
+  }
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(fact);
+  by_predicate_[fact.predicate].push_back(id);
+  by_subject_[fact.subject].push_back(id);
+  by_subject_predicate_[{fact.subject, fact.predicate}].push_back(id);
+  temporal_index_.erase(fact.predicate);  // invalidate lazy index
+  return id;
+}
+
+Result<FactId> TemporalGraph::AddQuad(std::string_view subject,
+                                      std::string_view predicate,
+                                      const Term& object,
+                                      temporal::Interval interval,
+                                      double confidence) {
+  TemporalFact fact(dict_.InternIri(subject), dict_.InternIri(predicate),
+                    dict_.Intern(object), interval, confidence);
+  return Add(fact);
+}
+
+const std::vector<FactId>& TemporalGraph::FactsWithPredicate(
+    TermId predicate) const {
+  auto it = by_predicate_.find(predicate);
+  return it == by_predicate_.end() ? kEmptyFactList : it->second;
+}
+
+const std::vector<FactId>& TemporalGraph::FactsWithSubject(
+    TermId subject) const {
+  auto it = by_subject_.find(subject);
+  return it == by_subject_.end() ? kEmptyFactList : it->second;
+}
+
+const std::vector<FactId>& TemporalGraph::FactsWithSubjectPredicate(
+    TermId subject, TermId predicate) const {
+  auto it = by_subject_predicate_.find({subject, predicate});
+  return it == by_subject_predicate_.end() ? kEmptyFactList : it->second;
+}
+
+std::vector<FactId> TemporalGraph::FactsIntersecting(
+    TermId predicate, const temporal::Interval& probe) const {
+  auto it = temporal_index_.find(predicate);
+  if (it == temporal_index_.end()) {
+    // Build the interval tree for this predicate on first use.
+    std::vector<std::pair<temporal::Interval, uint32_t>> entries;
+    for (FactId id : FactsWithPredicate(predicate)) {
+      entries.emplace_back(facts_[id].interval, id);
+    }
+    temporal::IntervalTree tree;
+    tree.Build(std::move(entries));
+    it = temporal_index_.emplace(predicate, std::move(tree)).first;
+  }
+  return it->second.FindIntersecting(probe);
+}
+
+std::vector<std::pair<TermId, size_t>> TemporalGraph::PredicateCounts() const {
+  std::vector<std::pair<TermId, size_t>> out;
+  out.reserve(by_predicate_.size());
+  for (const auto& [pred, ids] : by_predicate_) {
+    out.emplace_back(pred, ids.size());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+TemporalGraph TemporalGraph::Filter(const std::vector<bool>& keep) const {
+  TemporalGraph out;
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    if (id < keep.size() && keep[id]) {
+      const TemporalFact& f = facts_[id];
+      TemporalFact copy(out.dict_.Intern(dict_.Lookup(f.subject)),
+                        out.dict_.Intern(dict_.Lookup(f.predicate)),
+                        out.dict_.Intern(dict_.Lookup(f.object)), f.interval,
+                        f.confidence);
+      Result<FactId> added = out.Add(copy);
+      (void)added;  // inputs were valid, copies are valid
+    }
+  }
+  return out;
+}
+
+std::string TemporalGraph::FactToString(FactId id) const {
+  return FactToString(facts_[id]);
+}
+
+std::string TemporalGraph::FactToString(const TemporalFact& fact) const {
+  return StringPrintf(
+      "(%s, %s, %s, %s) %.2f", dict_.Lookup(fact.subject).ToString().c_str(),
+      dict_.Lookup(fact.predicate).ToString().c_str(),
+      dict_.Lookup(fact.object).ToString().c_str(),
+      fact.interval.ToString().c_str(), fact.confidence);
+}
+
+}  // namespace rdf
+}  // namespace tecore

@@ -1,0 +1,107 @@
+#ifndef TECORE_RDF_GRAPH_H_
+#define TECORE_RDF_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/quad.h"
+#include "temporal/interval.h"
+#include "temporal/interval_tree.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace rdf {
+
+/// \brief In-memory uncertain temporal knowledge graph (UTKG).
+///
+/// A dictionary-encoded quad store with secondary indexes:
+///  * by predicate           — drives per-relation grounding scans,
+///  * by (predicate,subject) — drives join lookups while grounding,
+///  * per-predicate interval tree — drives temporal-overlap probes.
+///
+/// Facts are append-only; resolution produces *new* graphs (via `Filter`)
+/// rather than mutating, which keeps all indexes immutable after load.
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  TemporalGraph(const TemporalGraph&) = delete;
+  TemporalGraph& operator=(const TemporalGraph&) = delete;
+  TemporalGraph(TemporalGraph&&) = default;
+  TemporalGraph& operator=(TemporalGraph&&) = default;
+
+  /// \brief The term dictionary (mutable: interning happens through it).
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// \brief Append a fact; returns its id. Confidence must be in (0,1].
+  Result<FactId> Add(const TemporalFact& fact);
+
+  /// \brief Convenience: intern bare-IRI subject/predicate and a term
+  /// object, then append.
+  Result<FactId> AddQuad(std::string_view subject, std::string_view predicate,
+                         const Term& object, temporal::Interval interval,
+                         double confidence);
+
+  /// \brief Convenience for IRI objects.
+  Result<FactId> AddQuad(std::string_view subject, std::string_view predicate,
+                         std::string_view object, temporal::Interval interval,
+                         double confidence) {
+    return AddQuad(subject, predicate, Term::Iri(std::string(object)),
+                   interval, confidence);
+  }
+
+  size_t NumFacts() const { return facts_.size(); }
+  const TemporalFact& fact(FactId id) const { return facts_[id]; }
+  const std::vector<TemporalFact>& facts() const { return facts_; }
+
+  /// \brief Ids of facts with the given predicate ("" -> empty).
+  const std::vector<FactId>& FactsWithPredicate(TermId predicate) const;
+
+  /// \brief Ids of facts with the given subject.
+  const std::vector<FactId>& FactsWithSubject(TermId subject) const;
+
+  /// \brief Ids of facts with the given (subject, predicate) pair.
+  const std::vector<FactId>& FactsWithSubjectPredicate(TermId subject,
+                                                       TermId predicate) const;
+
+  /// \brief Ids of facts with predicate `p` whose interval intersects
+  /// `probe` (uses the per-predicate interval tree; built lazily).
+  std::vector<FactId> FactsIntersecting(TermId predicate,
+                                        const temporal::Interval& probe) const;
+
+  /// \brief Distinct predicates with their fact counts, most frequent first.
+  std::vector<std::pair<TermId, size_t>> PredicateCounts() const;
+
+  /// \brief New graph containing exactly the facts where keep[id] is true.
+  /// The dictionary is rebuilt (new graph is self-contained).
+  TemporalGraph Filter(const std::vector<bool>& keep) const;
+
+  /// \brief Render one fact as "(s, p, o, [b,e]) conf".
+  std::string FactToString(FactId id) const;
+  std::string FactToString(const TemporalFact& fact) const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<TermId, TermId>& p) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  Dictionary dict_;
+  std::vector<TemporalFact> facts_;
+  std::unordered_map<TermId, std::vector<FactId>> by_predicate_;
+  std::unordered_map<TermId, std::vector<FactId>> by_subject_;
+  std::unordered_map<std::pair<TermId, TermId>, std::vector<FactId>, PairHash>
+      by_subject_predicate_;
+  // Lazily-built per-predicate temporal indexes.
+  mutable std::unordered_map<TermId, temporal::IntervalTree> temporal_index_;
+};
+
+}  // namespace rdf
+}  // namespace tecore
+
+#endif  // TECORE_RDF_GRAPH_H_

@@ -1,0 +1,51 @@
+#ifndef TECORE_RDF_QUAD_H_
+#define TECORE_RDF_QUAD_H_
+
+#include <cstdint>
+
+#include "rdf/term.h"
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace rdf {
+
+/// \brief Index of a fact within its TemporalGraph.
+using FactId = uint32_t;
+
+/// \brief Sentinel for "no fact".
+inline constexpr FactId kInvalidFactId = UINT32_MAX;
+
+/// \brief An uncertain temporal fact: (s, p, o, [b,e]) with confidence.
+///
+/// The unit of a UTKG (paper Fig. 1), e.g.
+/// `(CR, coach, Chelsea, [2000,2004]) 0.9`. Confidence is in (0, 1]; a
+/// confidence of exactly 1.0 is treated as certain (hard evidence) by the
+/// translator.
+struct TemporalFact {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+  temporal::Interval interval{0, 0};
+  double confidence = 1.0;
+
+  TemporalFact() = default;
+  TemporalFact(TermId s, TermId p, TermId o, temporal::Interval iv,
+               double conf)
+      : subject(s), predicate(p), object(o), interval(iv), confidence(conf) {}
+
+  /// \brief Triple part equality (ignores interval and confidence).
+  bool SameTriple(const TemporalFact& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+
+  bool operator==(const TemporalFact& other) const {
+    return SameTriple(other) && interval == other.interval &&
+           confidence == other.confidence;
+  }
+};
+
+}  // namespace rdf
+}  // namespace tecore
+
+#endif  // TECORE_RDF_QUAD_H_

@@ -1,0 +1,114 @@
+#include "rdf/query.h"
+
+#include <algorithm>
+
+namespace tecore {
+namespace rdf {
+
+namespace {
+
+bool Matches(const TemporalGraph& graph, const TemporalFact& fact,
+             const QuadPattern& pattern) {
+  if (pattern.subject && fact.subject != *pattern.subject) return false;
+  if (pattern.predicate && fact.predicate != *pattern.predicate) return false;
+  if (pattern.object && fact.object != *pattern.object) return false;
+  if (fact.confidence < pattern.min_confidence) return false;
+  if (pattern.window &&
+      !pattern.window_relation.Holds(fact.interval, *pattern.window)) {
+    return false;
+  }
+  (void)graph;
+  return true;
+}
+
+}  // namespace
+
+std::vector<FactId> MatchPattern(const TemporalGraph& graph,
+                                 const QuadPattern& pattern) {
+  std::vector<FactId> out;
+  auto filter_into = [&](const std::vector<FactId>& candidates) {
+    for (FactId id : candidates) {
+      if (Matches(graph, graph.fact(id), pattern)) out.push_back(id);
+    }
+  };
+
+  if (pattern.predicate && pattern.subject) {
+    filter_into(
+        graph.FactsWithSubjectPredicate(*pattern.subject, *pattern.predicate));
+  } else if (pattern.subject) {
+    filter_into(graph.FactsWithSubject(*pattern.subject));
+  } else if (pattern.predicate) {
+    // If the window only accepts intersecting relations, the interval tree
+    // can pre-filter; otherwise scan the predicate list.
+    const bool intersecting_only =
+        pattern.window &&
+        pattern.window_relation
+            .Intersect(temporal::AllenSet::Disjoint())
+            .Empty();
+    if (intersecting_only) {
+      std::vector<FactId> candidates =
+          graph.FactsIntersecting(*pattern.predicate, *pattern.window);
+      std::sort(candidates.begin(), candidates.end());
+      filter_into(candidates);
+    } else {
+      filter_into(graph.FactsWithPredicate(*pattern.predicate));
+    }
+  } else {
+    for (FactId id = 0; id < graph.NumFacts(); ++id) {
+      if (Matches(graph, graph.fact(id), pattern)) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+QuadPattern MakePattern(const TemporalGraph& graph,
+                        std::optional<std::string> subject,
+                        std::optional<std::string> predicate,
+                        std::optional<std::string> object) {
+  QuadPattern pattern;
+  // Unknown names mean "cannot match anything": encode with an id that no
+  // fact uses (kInvalidTermId).
+  auto resolve = [&graph](const std::optional<std::string>& name)
+      -> std::optional<TermId> {
+    if (!name) return std::nullopt;
+    auto id = graph.dict().FindIri(*name);
+    return id.ok() ? *id : kInvalidTermId;
+  };
+  pattern.subject = resolve(subject);
+  pattern.predicate = resolve(predicate);
+  pattern.object = resolve(object);
+  return pattern;
+}
+
+TemporalGraph SnapshotAt(const TemporalGraph& graph, temporal::TimePoint t) {
+  std::vector<bool> keep(graph.NumFacts(), false);
+  for (FactId id = 0; id < graph.NumFacts(); ++id) {
+    keep[id] = graph.fact(id).interval.Contains(t);
+  }
+  return graph.Filter(keep);
+}
+
+TemporalGraph Slice(const TemporalGraph& graph,
+                    const temporal::Interval& window) {
+  std::vector<bool> keep(graph.NumFacts(), false);
+  for (FactId id = 0; id < graph.NumFacts(); ++id) {
+    keep[id] = graph.fact(id).interval.Intersects(window);
+  }
+  return graph.Filter(keep);
+}
+
+std::vector<FactId> Timeline(const TemporalGraph& graph, TermId subject,
+                             TermId predicate) {
+  std::vector<FactId> out = graph.FactsWithSubjectPredicate(subject, predicate);
+  std::sort(out.begin(), out.end(), [&graph](FactId a, FactId b) {
+    const auto& fa = graph.fact(a);
+    const auto& fb = graph.fact(b);
+    if (fa.interval != fb.interval) return fa.interval < fb.interval;
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace tecore

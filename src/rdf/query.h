@@ -1,0 +1,62 @@
+#ifndef TECORE_RDF_QUERY_H_
+#define TECORE_RDF_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "temporal/allen.h"
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace rdf {
+
+/// \brief A single temporal quad pattern.
+///
+/// Unset positions are wildcards. The temporal part filters by the Allen
+/// relation(s) between the *fact's* validity interval and the pattern's
+/// `window` — e.g. `window_relation = AllenSet::Intersecting()` finds
+/// everything alive inside the window, `{kDuring, kEquals, kStarts,
+/// kFinishes}` everything fully contained, `{kBefore}` everything that
+/// ended before it.
+struct QuadPattern {
+  std::optional<TermId> subject;
+  std::optional<TermId> predicate;
+  std::optional<TermId> object;
+  std::optional<temporal::Interval> window;
+  temporal::AllenSet window_relation = temporal::AllenSet::Intersecting();
+  double min_confidence = 0.0;
+};
+
+/// \brief Ids of the facts matching `pattern`, in fact-id order.
+///
+/// Chooses the best index automatically: (predicate,subject) /
+/// (predicate) / (subject) lookups when bound, the per-predicate interval
+/// tree when only the window is selective, full scan otherwise.
+std::vector<FactId> MatchPattern(const TemporalGraph& graph,
+                                 const QuadPattern& pattern);
+
+/// \brief Convenience: build a pattern from lexical names (names that are
+/// not in the dictionary yield an unmatchable pattern, not an error).
+QuadPattern MakePattern(const TemporalGraph& graph,
+                        std::optional<std::string> subject,
+                        std::optional<std::string> predicate,
+                        std::optional<std::string> object);
+
+/// \brief The sub-KG of facts whose validity contains time point `t`
+/// ("what did the knowledge graph believe at time t?").
+TemporalGraph SnapshotAt(const TemporalGraph& graph, temporal::TimePoint t);
+
+/// \brief The sub-KG of facts intersecting the window.
+TemporalGraph Slice(const TemporalGraph& graph,
+                    const temporal::Interval& window);
+
+/// \brief Per-subject temporal history of one predicate, sorted by
+/// interval begin: the "career timeline" view of the demo UI.
+std::vector<FactId> Timeline(const TemporalGraph& graph, TermId subject,
+                             TermId predicate);
+
+}  // namespace rdf
+}  // namespace tecore
+
+#endif  // TECORE_RDF_QUERY_H_

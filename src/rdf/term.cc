@@ -1,0 +1,28 @@
+#include "rdf/term.h"
+
+namespace tecore {
+namespace rdf {
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return lexical_;
+    case TermKind::kLiteral: {
+      std::string out = "\"";
+      for (char c : lexical_) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out += '"';
+      return out;
+    }
+    case TermKind::kIntLiteral:
+      return lexical_;
+    case TermKind::kBlank:
+      return "_:" + lexical_;
+  }
+  return lexical_;
+}
+
+}  // namespace rdf
+}  // namespace tecore

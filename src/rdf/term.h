@@ -1,0 +1,86 @@
+#ifndef TECORE_RDF_TERM_H_
+#define TECORE_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace tecore {
+namespace rdf {
+
+/// \brief Dense dictionary-encoded identifier of an RDF term.
+using TermId = uint32_t;
+
+/// \brief Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// \brief Kind of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,        ///< Resource identifier (we accept bare names as IRIs).
+  kLiteral = 1,    ///< String literal.
+  kIntLiteral = 2, ///< Integer literal (years, ages, counts...).
+  kBlank = 3,      ///< Blank node.
+};
+
+/// \brief An RDF term: IRI, (string|integer) literal, or blank node.
+///
+/// TeCoRe treats knowledge graphs "loosely" as RDF graphs (paper §2): bare
+/// identifiers such as `CR` or `coach` are IRIs; quoted strings are
+/// literals; bare integers are integer literals.
+class Term {
+ public:
+  Term() : kind_(TermKind::kIri) {}
+
+  static Term Iri(std::string name) {
+    return Term(TermKind::kIri, std::move(name), 0);
+  }
+  static Term Literal(std::string value) {
+    return Term(TermKind::kLiteral, std::move(value), 0);
+  }
+  static Term IntLiteral(int64_t value) {
+    return Term(TermKind::kIntLiteral, std::to_string(value), value);
+  }
+  static Term Blank(std::string label) {
+    return Term(TermKind::kBlank, std::move(label), 0);
+  }
+
+  TermKind kind() const { return kind_; }
+  /// \brief Lexical form (IRI text, literal value, blank label).
+  const std::string& lexical() const { return lexical_; }
+  /// \brief Integer value; only meaningful for kIntLiteral.
+  int64_t int_value() const { return int_value_; }
+
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_int() const { return kind_ == TermKind::kIntLiteral; }
+
+  /// \brief Serialized form: IRIs bare, literals quoted, ints bare digits,
+  /// blanks prefixed "_:".
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && lexical_ == other.lexical_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+ private:
+  Term(TermKind kind, std::string lexical, int64_t int_value)
+      : kind_(kind), lexical_(std::move(lexical)), int_value_(int_value) {}
+
+  TermKind kind_;
+  std::string lexical_;
+  int64_t int_value_ = 0;
+};
+
+/// \brief Hash functor for Term (kind + lexical).
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t h = std::hash<std::string>()(t.lexical());
+    return h * 31 + static_cast<size_t>(t.kind());
+  }
+};
+
+}  // namespace rdf
+}  // namespace tecore
+
+#endif  // TECORE_RDF_TERM_H_

@@ -1,0 +1,323 @@
+#include "rules/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rules {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kAnd:
+      return "'&'";
+    case TokenKind::kOr:
+      return "'|'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kCap:
+      return "'∩'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Incremental scanner with UTF-8 awareness for the operator glyphs.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      TECORE_RETURN_NOT_OK(Next(&tok));
+      tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  /// Consume `utf8` if the input starts with it here.
+  bool Match(std::string_view utf8) {
+    if (src_.substr(pos_).substr(0, utf8.size()) != utf8) return false;
+    for (size_t i = 0; i < utf8.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#' || (c == '/' && Peek(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Next(Token* tok) {
+    // Unicode operators first (multi-byte).
+    if (Match("∧")) {  // ∧
+      tok->kind = TokenKind::kAnd;
+      return Status::OK();
+    }
+    if (Match("∨")) {  // ∨
+      tok->kind = TokenKind::kOr;
+      return Status::OK();
+    }
+    if (Match("→")) {  // →
+      tok->kind = TokenKind::kArrow;
+      return Status::OK();
+    }
+    if (Match("≠")) {  // ≠
+      tok->kind = TokenKind::kNe;
+      return Status::OK();
+    }
+    if (Match("≤")) {  // ≤
+      tok->kind = TokenKind::kLe;
+      return Status::OK();
+    }
+    if (Match("≥")) {  // ≥
+      tok->kind = TokenKind::kGe;
+      return Status::OK();
+    }
+    if (Match("∩")) {  // ∩
+      tok->kind = TokenKind::kCap;
+      return Status::OK();
+    }
+    if (Match("⊥")) {  // ⊥ (falsum) -> identifier "false"
+      tok->kind = TokenKind::kIdent;
+      tok->text = "false";
+      return Status::OK();
+    }
+
+    char c = Peek();
+    // Numbers: digits, or '.' followed by a digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber(tok);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '?') {
+      return LexIdent(tok);
+    }
+    if (c == '"') return LexString(tok);
+
+    Advance();
+    switch (c) {
+      case '(':
+        tok->kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        tok->kind = TokenKind::kRParen;
+        return Status::OK();
+      case '[':
+        tok->kind = TokenKind::kLBracket;
+        return Status::OK();
+      case ']':
+        tok->kind = TokenKind::kRBracket;
+        return Status::OK();
+      case ',':
+        tok->kind = TokenKind::kComma;
+        return Status::OK();
+      case '.':
+        tok->kind = TokenKind::kDot;
+        return Status::OK();
+      case ':':
+        tok->kind = TokenKind::kColon;
+        return Status::OK();
+      case ';':
+        tok->kind = TokenKind::kSemicolon;
+        return Status::OK();
+      case '^':
+        tok->kind = TokenKind::kCap;
+        return Status::OK();
+      case '+':
+        tok->kind = TokenKind::kPlus;
+        return Status::OK();
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          tok->kind = TokenKind::kArrow;
+        } else {
+          tok->kind = TokenKind::kMinus;
+        }
+        return Status::OK();
+      case '&':
+        if (Peek() == '&') Advance();
+        tok->kind = TokenKind::kAnd;
+        return Status::OK();
+      case '|':
+        if (Peek() == '|') Advance();
+        tok->kind = TokenKind::kOr;
+        return Status::OK();
+      case '=':
+        if (Peek() == '=') Advance();
+        tok->kind = TokenKind::kEq;
+        return Status::OK();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+          return Status::OK();
+        }
+        return Status::ParseError(
+            StringPrintf("line %d: unexpected '!'", tok->line));
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kLe;
+        } else {
+          tok->kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kGe;
+        } else {
+          tok->kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      default:
+        return Status::ParseError(StringPrintf(
+            "line %d col %d: unexpected character '%c'", tok->line,
+            tok->column, c));
+    }
+  }
+
+  Status LexNumber(Token* tok) {
+    tok->kind = TokenKind::kNumber;
+    std::string text;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    // Fraction only when '.' is followed by a digit ('.'+non-digit is the
+    // statement terminator).
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      text.push_back(Advance());
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    tok->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexIdent(Token* tok) {
+    tok->kind = TokenKind::kIdent;
+    std::string text;
+    if (Peek() == '?') text.push_back(Advance());  // SPARQL-style variable
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    while (Peek() == '\'') text.push_back(Advance());  // primes: t', t''
+    if (text.empty() || text == "?") {
+      return Status::ParseError(
+          StringPrintf("line %d: empty identifier", tok->line));
+    }
+    tok->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    tok->kind = TokenKind::kString;
+    Advance();  // opening quote
+    std::string text;
+    while (!AtEnd()) {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        text.push_back(Advance());
+        continue;
+      }
+      if (c == '"') {
+        tok->text = std::move(text);
+        return Status::OK();
+      }
+      text.push_back(c);
+    }
+    return Status::ParseError(
+        StringPrintf("line %d: unterminated string", tok->line));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Scanner(source).Run();
+}
+
+}  // namespace rules
+}  // namespace tecore

@@ -1,0 +1,62 @@
+#ifndef TECORE_RULES_LEXER_H_
+#define TECORE_RULES_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace rules {
+
+/// \brief Token kinds of the rule language.
+enum class TokenKind : uint8_t {
+  kIdent,     ///< identifier (may contain primes: t, t', t'')
+  kNumber,    ///< integer or decimal literal
+  kString,    ///< double-quoted string literal
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,       ///< statement terminator
+  kColon,
+  kSemicolon,
+  kArrow,     ///< -> or →
+  kAnd,       ///< & && ∧
+  kOr,        ///< | ∨
+  kEq,        ///< =
+  kNe,        ///< != ≠
+  kLt,
+  kLe,        ///< <= ≤
+  kGt,
+  kGe,        ///< >= ≥
+  kPlus,
+  kMinus,
+  kCap,       ///< ^ or ∩ (interval intersection)
+  kEof,
+};
+
+/// \brief One token with its lexeme and source position.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+/// \brief Human-readable token-kind name for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+/// \brief Tokenize rule-language source text.
+///
+/// Understands `//` and `#` line comments; numbers like `2`, `2.5`, `.5`;
+/// identifiers with trailing primes (`t''`); and the Unicode operators the
+/// paper's notation uses (∧ ∨ → ≠ ≤ ≥ ∩). A standalone '.' is a statement
+/// terminator, not part of a number.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace rules
+}  // namespace tecore
+
+#endif  // TECORE_RULES_LEXER_H_

@@ -1,0 +1,124 @@
+#include "rules/library.h"
+
+#include "rules/parser.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rules {
+
+Result<RuleSet> PaperInferenceRules() {
+  // Fig. 4 of the paper, in the concrete syntax of this implementation.
+  // f3's age condition is written begin(t) - begin(t') (career start minus
+  // birth year); the paper's `t' - t` shorthand denotes the same quantity.
+  return ParseRules(R"(
+    f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)  w = 2.5 .
+    f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t')
+        [intersects(t, t')] -> quad(x, livesIn, z, t ^ t')  w = 1.6 .
+    f3: quad(x, playsFor, y, t) & quad(x, birthDate, z, t')
+        [t - t' < 20] -> quad(x, type, TeenPlayer, t)  w = 2.9 .
+  )");
+}
+
+Result<RuleSet> PaperConstraints() {
+  // Fig. 6 of the paper: all hard (w = inf).
+  return ParseRules(R"(
+    c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t')
+        -> before(t, t') .
+    c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z
+        -> disjoint(t, t') .
+    c3: quad(x, bornIn, y, t) & quad(x, bornIn, z, t')
+        [intersects(t, t')] -> y = z .
+  )");
+}
+
+Result<Rule> MakeTemporalDisjointness(const std::string& predicate) {
+  return ParseSingleRule(StringPrintf(
+      "disjoint_%s: quad(x, %s, y, t) & quad(x, %s, z, t') & y != z "
+      "-> disjoint(t, t') .",
+      predicate.c_str(), predicate.c_str(), predicate.c_str()));
+}
+
+Result<Rule> MakeFunctionalDuringOverlap(const std::string& predicate) {
+  return ParseSingleRule(StringPrintf(
+      "functional_%s: quad(x, %s, y, t) & quad(x, %s, z, t') "
+      "[intersects(t, t')] -> y = z .",
+      predicate.c_str(), predicate.c_str(), predicate.c_str()));
+}
+
+Result<Rule> MakePrecedence(const std::string& first,
+                            const std::string& second) {
+  return ParseSingleRule(StringPrintf(
+      "precede_%s_%s: quad(x, %s, y, t) & quad(x, %s, z, t') "
+      "-> before(t, t') .",
+      first.c_str(), second.c_str(), first.c_str(), second.c_str()));
+}
+
+Result<Rule> MakeInclusion(const std::string& sub_predicate,
+                           const std::string& super_predicate, double weight,
+                           bool hard) {
+  if (hard) {
+    return ParseSingleRule(StringPrintf(
+        "incl_%s_%s: quad(x, %s, y, t) -> quad(x, %s, y, t) .",
+        sub_predicate.c_str(), super_predicate.c_str(), sub_predicate.c_str(),
+        super_predicate.c_str()));
+  }
+  return ParseSingleRule(StringPrintf(
+      "incl_%s_%s: quad(x, %s, y, t) -> quad(x, %s, y, t) w = %g .",
+      sub_predicate.c_str(), super_predicate.c_str(), sub_predicate.c_str(),
+      super_predicate.c_str(), weight));
+}
+
+Result<RuleSet> FootballConstraints() {
+  // FootballDB has two key relations (paper §4): playsFor and birthDate.
+  return ParseRules(R"(
+    # American-football players play for one franchise at a time.
+    no_parallel_careers:
+      quad(x, playsFor, y, t) & quad(x, playsFor, z, t') & y != z
+      -> disjoint(t, t') .
+    # A player has exactly one birth date.
+    functional_birthDate:
+      quad(x, birthDate, y, t) & quad(x, birthDate, z, t')
+      -> y = z .
+    # You are born before your career starts. (The validity interval of a
+    # birthDate fact spans [birthYear, now], so the constraint compares
+    # interval *begins* rather than requiring Allen's before.)
+    born_before_playing:
+      quad(x, birthDate, y, t) & quad(x, playsFor, z, t')
+      -> begin(t) < begin(t') .
+  )");
+}
+
+Result<RuleSet> FootballInferenceRules() {
+  return ParseRules(R"(
+    fb1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)  w = 2.5 .
+    fb2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t')
+         [intersects(t, t')] -> quad(x, livesIn, z, t ^ t')  w = 1.6 .
+    fb3: quad(x, playsFor, y, t) & quad(x, birthDate, z, t')
+         [t - t' < 20] -> quad(x, type, TeenPlayer, t)  w = 2.9 .
+  )");
+}
+
+Result<RuleSet> WikidataConstraints() {
+  // Relations per the paper's §4 Wikidata extract: playsFor, educatedAt,
+  // memberOf, occupation, spouse.
+  return ParseRules(R"(
+    wd_playsFor_disjoint:
+      quad(x, playsFor, y, t) & quad(x, playsFor, z, t') & y != z
+      -> disjoint(t, t') .
+    wd_educatedAt_disjoint:
+      quad(x, educatedAt, y, t) & quad(x, educatedAt, z, t') & y != z
+      -> disjoint(t, t') .
+    wd_spouse_functional:
+      quad(x, spouse, y, t) & quad(x, spouse, z, t') & y != z
+      -> disjoint(t, t') .
+    wd_birthDate_functional:
+      quad(x, birthDate, y, t) & quad(x, birthDate, z, t')
+      -> y = z .
+    wd_born_before_membership:
+      quad(x, birthDate, y, t) & quad(x, memberOf, z, t')
+      -> begin(t) < begin(t') .
+  )");
+}
+
+}  // namespace rules
+}  // namespace tecore

@@ -1,0 +1,75 @@
+#ifndef TECORE_RULES_LIBRARY_H_
+#define TECORE_RULES_LIBRARY_H_
+
+#include <string>
+
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace rules {
+
+/// \brief Ready-made rules & constraints: the paper's running example and
+/// parameterized builders for its three constraint families
+/// ((i) inclusion dependencies with inequalities, (ii) (in)equality-
+/// generating dependencies, (iii) disjointness constraints).
+///
+/// All builders go through the rule parser, so their output is exactly what
+/// a user could type in the Constraints Editor.
+
+/// \brief The paper's Fig. 4 inference rules f1–f3 (worksFor inclusion,
+/// livesIn with interval intersection, TeenPlayer with age arithmetic).
+Result<RuleSet> PaperInferenceRules();
+
+/// \brief The paper's Fig. 6 constraints c1–c3 (born-before-death,
+/// no-parallel-coaching, unique-birthplace).
+Result<RuleSet> PaperConstraints();
+
+/// \brief c2 family / disjointness constraint: a subject cannot stand in
+/// `predicate` to two different objects at overlapping times.
+///
+///     quad(x, P, y, t) & quad(x, P, z, t') & y != z -> disjoint(t, t')
+Result<Rule> MakeTemporalDisjointness(const std::string& predicate);
+
+/// \brief c3 family / equality-generating dependency: `predicate` is
+/// functional whenever intervals share a point.
+///
+///     quad(x, P, y, t) & quad(x, P, z, t') & intersects(t, t') -> y = z
+Result<Rule> MakeFunctionalDuringOverlap(const std::string& predicate);
+
+/// \brief c1 family / inclusion dependency with inequality: any `first`
+/// interval must lie strictly before any `second` interval of the same
+/// subject.
+///
+///     quad(x, P1, y, t) & quad(x, P2, z, t') -> before(t, t')
+Result<Rule> MakePrecedence(const std::string& first,
+                            const std::string& second);
+
+/// \brief f1 family / weighted inclusion: P1 implies P2 over the same
+/// interval, with the given weight (hard if `weight` < 0 is *not* allowed;
+/// pass `hard=true` for a deterministic inclusion).
+Result<Rule> MakeInclusion(const std::string& sub_predicate,
+                           const std::string& super_predicate, double weight,
+                           bool hard = false);
+
+/// \brief Domain-specific set used by the FootballDB experiments:
+/// no-parallel-careers for `playsFor`, functional `birthDate`, and
+/// birth-before-career precedence.
+Result<RuleSet> FootballConstraints();
+
+/// \brief FootballDB analogues of the paper's Fig. 4 inference rules:
+/// playsFor⊑worksFor, livesIn via team location (interval intersection),
+/// and TeenPlayer via age arithmetic. The livesIn rule joins players
+/// through shared `locatedIn` facts, coupling the ground network — the
+/// workload where PSL's scalability advantage over exact MLN MAP shows.
+Result<RuleSet> FootballInferenceRules();
+
+/// \brief Constraint set used by the Wikidata-mix experiments (Fig. 8):
+/// disjointness for playsFor/educatedAt, functional birthDate/bornIn/spouse
+/// -overlap, plus spouse symmetry inclusion.
+Result<RuleSet> WikidataConstraints();
+
+}  // namespace rules
+}  // namespace tecore
+
+#endif  // TECORE_RULES_LIBRARY_H_

@@ -1,0 +1,528 @@
+#include "rules/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "rules/lexer.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rules {
+
+namespace {
+
+using logic::AllenAtom;
+using logic::ArithExpr;
+using logic::CompareOp;
+using logic::ConditionAtom;
+using logic::EntityArg;
+using logic::IntervalExpr;
+using logic::NumericAtom;
+using logic::QuadAtom;
+using logic::Sort;
+using logic::TermCompareAtom;
+using logic::VarId;
+
+/// Variable convention: ?prefixed, or single lowercase letter + digits +
+/// primes (x, t, t', t1). Everything else is a constant.
+bool IsVariableName(const std::string& text) {
+  if (!text.empty() && text[0] == '?') return true;
+  if (text.empty()) return false;
+  if (!std::islower(static_cast<unsigned char>(text[0]))) return false;
+  size_t i = 1;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  while (i < text.size() && text[i] == '\'') ++i;
+  return i == text.size();
+}
+
+std::string CanonicalVarName(const std::string& text) {
+  return text[0] == '?' ? text.substr(1) : text;
+}
+
+/// An operand of a comparison, classified for numeric/term dispatch.
+struct Operand {
+  bool pure_entity = false;              // single ident/string, no operators
+  std::optional<EntityArg> entity;       // set iff pure_entity
+  std::optional<ArithExpr> arith;        // set if usable in arithmetic
+  std::string source;                    // for diagnostics
+};
+
+class RuleParser {
+ public:
+  explicit RuleParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<RuleSet> ParseAll() {
+    RuleSet set;
+    while (!Check(TokenKind::kEof)) {
+      // Skip stray statement separators.
+      if (Accept(TokenKind::kDot) || Accept(TokenKind::kSemicolon)) continue;
+      TECORE_ASSIGN_OR_RETURN(rule, ParseRule());
+      set.rules.push_back(std::move(rule));
+      if (!Check(TokenKind::kEof)) {
+        if (!Accept(TokenKind::kDot) && !Accept(TokenKind::kSemicolon)) {
+          return ErrorHere("expected '.' or ';' after rule");
+        }
+      }
+    }
+    return set;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    // Optional "label :" prefix.
+    if (Check(TokenKind::kIdent) && CheckAhead(1, TokenKind::kColon)) {
+      rule.name = Cur().text;
+      Bump();
+      Bump();
+    }
+    // Optional "weight :" prefix.
+    if (Check(TokenKind::kNumber) && CheckAhead(1, TokenKind::kColon)) {
+      double w = 0;
+      if (!ParseDouble(Cur().text, &w)) return ErrorHere("bad weight");
+      rule.weight = w;
+      rule.hard = false;
+      Bump();
+      Bump();
+    }
+    // Body: conjuncts until '[' (condition block) or '->'.
+    while (true) {
+      if (Check(TokenKind::kArrow) || Check(TokenKind::kLBracket)) break;
+      TECORE_RETURN_NOT_OK(ParseConjunct(&rule));
+      if (Accept(TokenKind::kAnd) || Accept(TokenKind::kComma)) continue;
+      break;
+    }
+    if (rule.body.empty()) {
+      return ErrorHere("rule body must contain at least one quad atom");
+    }
+    // Optional "[ conditions ]" block.
+    if (Accept(TokenKind::kLBracket)) {
+      while (true) {
+        TECORE_ASSIGN_OR_RETURN(cond, ParseConditionAtom(&rule));
+        rule.conditions.push_back(std::move(cond));
+        if (Accept(TokenKind::kComma) || Accept(TokenKind::kAnd)) continue;
+        break;
+      }
+      TECORE_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "condition block"));
+    }
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kArrow, "rule"));
+    TECORE_RETURN_NOT_OK(ParseHead(&rule));
+    // Optional "w = number|inf" suffix.
+    if (Check(TokenKind::kIdent) && Cur().text == "w" &&
+        CheckAhead(1, TokenKind::kEq)) {
+      Bump();
+      Bump();
+      if (Check(TokenKind::kIdent) &&
+          (Cur().text == "inf" || Cur().text == "infinity" ||
+           Cur().text == "hard")) {
+        rule.hard = true;
+        Bump();
+      } else if (Check(TokenKind::kNumber)) {
+        double w = 0;
+        if (!ParseDouble(Cur().text, &w)) return ErrorHere("bad weight");
+        rule.weight = w;
+        rule.hard = false;
+        Bump();
+      } else {
+        return ErrorHere("expected weight value after 'w ='");
+      }
+    }
+    return rule;
+  }
+
+ private:
+  // ------------------------------------------------------------ primitives
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Bump() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Check(TokenKind kind) const { return Cur().kind == kind; }
+  bool CheckAhead(size_t n, TokenKind kind) const {
+    return Ahead(n).kind == kind;
+  }
+  bool Accept(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Bump();
+    return true;
+  }
+  Status Expect(TokenKind kind, const char* context) {
+    if (!Accept(kind)) {
+      return Status::ParseError(StringPrintf(
+          "line %d: expected %s in %s, found %s '%s'", Cur().line,
+          std::string(TokenKindName(kind)).c_str(), context,
+          std::string(TokenKindName(Cur().kind)).c_str(), Cur().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ErrorHere(const std::string& message) const {
+    return Status::ParseError(StringPrintf(
+        "line %d: %s (at %s '%s')", Cur().line, message.c_str(),
+        std::string(TokenKindName(Cur().kind)).c_str(), Cur().text.c_str()));
+  }
+
+  // ------------------------------------------------------------- conjuncts
+  Status ParseConjunct(Rule* rule) {
+    if (Check(TokenKind::kIdent) && Cur().text == "quad" &&
+        CheckAhead(1, TokenKind::kLParen)) {
+      TECORE_ASSIGN_OR_RETURN(atom, ParseQuadAtom(rule));
+      rule->body.push_back(std::move(atom));
+      return Status::OK();
+    }
+    TECORE_ASSIGN_OR_RETURN(cond, ParseConditionAtom(rule));
+    rule->conditions.push_back(std::move(cond));
+    return Status::OK();
+  }
+
+  Status ParseHead(Rule* rule) {
+    if (Check(TokenKind::kIdent) && Cur().text == "false") {
+      Bump();
+      rule->head.kind = HeadKind::kFalse;
+      return Status::OK();
+    }
+    if (Check(TokenKind::kIdent) && Cur().text == "quad" &&
+        CheckAhead(1, TokenKind::kLParen)) {
+      rule->head.kind = HeadKind::kQuads;
+      while (true) {
+        TECORE_ASSIGN_OR_RETURN(atom, ParseQuadAtom(rule));
+        rule->head.quads.push_back(std::move(atom));
+        if (!Accept(TokenKind::kOr)) break;
+      }
+      return Status::OK();
+    }
+    rule->head.kind = HeadKind::kCondition;
+    TECORE_ASSIGN_OR_RETURN(cond, ParseConditionAtom(rule));
+    rule->head.condition = std::move(cond);
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------ quad atoms
+  Result<QuadAtom> ParseQuadAtom(Rule* rule) {
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kIdent, "quad atom"));  // 'quad'
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kLParen, "quad atom"));
+    QuadAtom atom;
+    TECORE_ASSIGN_OR_RETURN(s, ParseEntityArg(rule));
+    atom.subject = s;
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kComma, "quad atom"));
+    TECORE_ASSIGN_OR_RETURN(p, ParseEntityArg(rule));
+    atom.predicate = p;
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kComma, "quad atom"));
+    TECORE_ASSIGN_OR_RETURN(o, ParseEntityArg(rule));
+    atom.object = o;
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kComma, "quad atom"));
+    TECORE_ASSIGN_OR_RETURN(time, ParseIntervalExpr(rule, /*allow_alias=*/true));
+    atom.time = time;
+    TECORE_RETURN_NOT_OK(Expect(TokenKind::kRParen, "quad atom"));
+    return atom;
+  }
+
+  Result<EntityArg> ParseEntityArg(Rule* rule) {
+    if (Check(TokenKind::kString)) {
+      EntityArg arg = EntityArg::Const(rdf::Term::Literal(Cur().text));
+      Bump();
+      return arg;
+    }
+    bool negative = Accept(TokenKind::kMinus);
+    if (Check(TokenKind::kNumber)) {
+      int64_t value = 0;
+      if (!ParseInt64(Cur().text, &value)) {
+        return ErrorHere("entity positions accept only integer literals");
+      }
+      Bump();
+      return EntityArg::Const(rdf::Term::IntLiteral(negative ? -value : value));
+    }
+    if (negative) return ErrorHere("unexpected '-'");
+    if (!Check(TokenKind::kIdent)) {
+      return ErrorHere("expected entity argument");
+    }
+    std::string text = Cur().text;
+    Bump();
+    if (IsVariableName(text)) {
+      TECORE_ASSIGN_OR_RETURN(
+          var, rule->vars.FindOrAdd(CanonicalVarName(text), Sort::kEntity));
+      return EntityArg::Var(var);
+    }
+    return EntityArg::Const(rdf::Term::Iri(text));
+  }
+
+  // ------------------------------------------------------- interval  exprs
+  Result<IntervalExpr> ParseIntervalExpr(Rule* rule, bool allow_alias) {
+    // Alias sugar: "t'' = expr" (value is the expr; alias is cosmetic).
+    if (allow_alias && Check(TokenKind::kIdent) &&
+        IsVariableName(Cur().text) && CheckAhead(1, TokenKind::kEq)) {
+      Bump();
+      Bump();
+      return ParseIntervalExpr(rule, /*allow_alias=*/false);
+    }
+    TECORE_ASSIGN_OR_RETURN(first, ParseIntervalPrimary(rule));
+    IntervalExpr expr = first;
+    while (Accept(TokenKind::kCap)) {
+      TECORE_ASSIGN_OR_RETURN(next, ParseIntervalPrimary(rule));
+      expr = IntervalExpr::Intersect(std::move(expr), std::move(next));
+    }
+    return expr;
+  }
+
+  Result<IntervalExpr> ParseIntervalPrimary(Rule* rule) {
+    if (Accept(TokenKind::kLBracket)) {
+      // Interval literal [b] or [b,e].
+      TECORE_ASSIGN_OR_RETURN(b, ParseSignedInt());
+      int64_t e = b;
+      if (Accept(TokenKind::kComma)) {
+        TECORE_ASSIGN_OR_RETURN(e2, ParseSignedInt());
+        e = e2;
+      }
+      TECORE_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "interval literal"));
+      TECORE_ASSIGN_OR_RETURN(iv, temporal::Interval::Make(b, e));
+      return IntervalExpr::Const(iv);
+    }
+    if (!Check(TokenKind::kIdent)) {
+      return ErrorHere("expected interval expression");
+    }
+    std::string text = Cur().text;
+    if ((text == "intersect" || text == "hull") &&
+        CheckAhead(1, TokenKind::kLParen)) {
+      Bump();
+      Bump();
+      TECORE_ASSIGN_OR_RETURN(a, ParseIntervalExpr(rule, false));
+      TECORE_RETURN_NOT_OK(Expect(TokenKind::kComma, text.c_str()));
+      TECORE_ASSIGN_OR_RETURN(b, ParseIntervalExpr(rule, false));
+      TECORE_RETURN_NOT_OK(Expect(TokenKind::kRParen, text.c_str()));
+      return text == "intersect"
+                 ? IntervalExpr::Intersect(std::move(a), std::move(b))
+                 : IntervalExpr::Hull(std::move(a), std::move(b));
+    }
+    if (!IsVariableName(text)) {
+      return ErrorHere("interval position expects a variable, literal, or "
+                       "intersect/hull expression");
+    }
+    Bump();
+    TECORE_ASSIGN_OR_RETURN(
+        var, rule->vars.FindOrAdd(CanonicalVarName(text), Sort::kInterval));
+    return IntervalExpr::Var(var);
+  }
+
+  Result<int64_t> ParseSignedInt() {
+    bool negative = Accept(TokenKind::kMinus);
+    if (!Check(TokenKind::kNumber)) return ErrorHere("expected integer");
+    int64_t value = 0;
+    if (!ParseInt64(Cur().text, &value)) return ErrorHere("expected integer");
+    Bump();
+    return negative ? -value : value;
+  }
+
+  // -------------------------------------------------------------- condition
+  Result<ConditionAtom> ParseConditionAtom(Rule* rule) {
+    // Allen atom: NAME '(' expr ',' expr ')'.
+    if (Check(TokenKind::kIdent) && CheckAhead(1, TokenKind::kLParen)) {
+      const std::string& name = Cur().text;
+      temporal::AllenSet set;
+      bool is_allen = true;
+      if (name == "disjoint") {
+        set = temporal::AllenSet::Disjoint();
+      } else if (name == "intersects") {
+        set = temporal::AllenSet::Intersecting();
+      } else {
+        auto rel = temporal::ParseAllenRelation(name);
+        if (rel.ok()) {
+          set = temporal::AllenSet(*rel);
+        } else {
+          is_allen = false;
+        }
+      }
+      if (is_allen) {
+        AllenAtom atom;
+        atom.relations = set;
+        atom.display_name = name;
+        Bump();
+        Bump();
+        TECORE_ASSIGN_OR_RETURN(a, ParseIntervalExpr(rule, false));
+        atom.a = a;
+        TECORE_RETURN_NOT_OK(Expect(TokenKind::kComma, "Allen atom"));
+        TECORE_ASSIGN_OR_RETURN(b, ParseIntervalExpr(rule, false));
+        atom.b = b;
+        TECORE_RETURN_NOT_OK(Expect(TokenKind::kRParen, "Allen atom"));
+        return ConditionAtom(std::move(atom));
+      }
+    }
+    // Otherwise a comparison.
+    TECORE_ASSIGN_OR_RETURN(lhs, ParseOperand(rule));
+    CompareOp op;
+    if (Accept(TokenKind::kLt)) {
+      op = CompareOp::kLt;
+    } else if (Accept(TokenKind::kLe)) {
+      op = CompareOp::kLe;
+    } else if (Accept(TokenKind::kGt)) {
+      op = CompareOp::kGt;
+    } else if (Accept(TokenKind::kGe)) {
+      op = CompareOp::kGe;
+    } else if (Accept(TokenKind::kEq)) {
+      op = CompareOp::kEq;
+    } else if (Accept(TokenKind::kNe)) {
+      op = CompareOp::kNe;
+    } else {
+      return ErrorHere("expected comparison operator");
+    }
+    TECORE_ASSIGN_OR_RETURN(rhs, ParseOperand(rule));
+
+    const bool relational = op == CompareOp::kLt || op == CompareOp::kLe ||
+                            op == CompareOp::kGt || op == CompareOp::kGe;
+    if (!relational && lhs.pure_entity && rhs.pure_entity) {
+      TermCompareAtom atom;
+      atom.equal = (op == CompareOp::kEq);
+      atom.lhs = *lhs.entity;
+      atom.rhs = *rhs.entity;
+      return ConditionAtom(std::move(atom));
+    }
+    if (!lhs.arith.has_value() || !rhs.arith.has_value()) {
+      return Status::ParseError(
+          "comparison mixes a non-numeric term with arithmetic: '" +
+          lhs.source + "' vs '" + rhs.source + "'");
+    }
+    NumericAtom atom;
+    atom.op = op;
+    atom.lhs = *lhs.arith;
+    atom.rhs = *rhs.arith;
+    return ConditionAtom(std::move(atom));
+  }
+
+  Result<Operand> ParseOperand(Rule* rule) {
+    TECORE_ASSIGN_OR_RETURN(first, ParseOperandTerm(rule, /*negated=*/false));
+    Operand acc = first;
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      bool subtract = Check(TokenKind::kMinus);
+      Bump();
+      TECORE_ASSIGN_OR_RETURN(next, ParseOperandTerm(rule, false));
+      if (!acc.arith.has_value() || !next.arith.has_value()) {
+        return Status::ParseError("arithmetic over non-numeric operand: '" +
+                                  acc.source + "'/'" + next.source + "'");
+      }
+      acc.arith = subtract ? ArithExpr::Sub(*acc.arith, *next.arith)
+                           : ArithExpr::Add(*acc.arith, *next.arith);
+      acc.pure_entity = false;
+      acc.entity.reset();
+      acc.source += subtract ? " - " : " + ";
+      acc.source += next.source;
+    }
+    return acc;
+  }
+
+  Result<Operand> ParseOperandTerm(Rule* rule, bool negated) {
+    Operand out;
+    if (Accept(TokenKind::kMinus)) {
+      return ParseOperandTerm(rule, !negated);
+    }
+    if (Check(TokenKind::kNumber)) {
+      int64_t value = 0;
+      if (!ParseInt64(Cur().text, &value)) {
+        double d = 0;
+        if (!ParseDouble(Cur().text, &d)) return ErrorHere("bad number");
+        value = static_cast<int64_t>(d);
+      }
+      out.source = Cur().text;
+      Bump();
+      out.arith = ArithExpr::Number(negated ? -value : value);
+      return out;
+    }
+    if (Check(TokenKind::kString)) {
+      out.source = "\"" + Cur().text + "\"";
+      out.pure_entity = !negated;
+      out.entity = EntityArg::Const(rdf::Term::Literal(Cur().text));
+      Bump();
+      return out;
+    }
+    if (!Check(TokenKind::kIdent)) {
+      return ErrorHere("expected operand");
+    }
+    std::string text = Cur().text;
+    // Interval accessors.
+    if ((text == "begin" || text == "end" || text == "duration") &&
+        CheckAhead(1, TokenKind::kLParen)) {
+      Bump();
+      Bump();
+      TECORE_ASSIGN_OR_RETURN(iv, ParseIntervalExpr(rule, false));
+      TECORE_RETURN_NOT_OK(Expect(TokenKind::kRParen, text.c_str()));
+      ArithExpr expr = text == "begin"  ? ArithExpr::Begin(iv)
+                       : text == "end" ? ArithExpr::End(iv)
+                                       : ArithExpr::Duration(iv);
+      out.arith = negated ? ArithExpr::Sub(ArithExpr::Number(0), expr) : expr;
+      out.source = text + "(...)";
+      return out;
+    }
+    Bump();
+    out.source = text;
+    if (IsVariableName(text)) {
+      std::string name = CanonicalVarName(text);
+      // Use the existing sort; default new condition variables to entity.
+      Result<VarId> existing = rule->vars.Find(name);
+      VarId var;
+      Sort sort;
+      if (existing.ok()) {
+        var = *existing;
+        sort = rule->vars.sort(var);
+      } else {
+        TECORE_ASSIGN_OR_RETURN(added, rule->vars.FindOrAdd(name, Sort::kEntity));
+        var = added;
+        sort = Sort::kEntity;
+      }
+      if (sort == Sort::kInterval) {
+        // Bare interval variable in numeric context denotes its begin().
+        out.arith = ArithExpr::Begin(IntervalExpr::Var(var));
+        if (negated) {
+          out.arith = ArithExpr::Sub(ArithExpr::Number(0), *out.arith);
+        }
+      } else {
+        out.pure_entity = !negated;
+        out.entity = EntityArg::Var(var);
+        out.arith = ArithExpr::EntityVar(var);
+        if (negated) {
+          out.arith = ArithExpr::Sub(ArithExpr::Number(0), *out.arith);
+        }
+      }
+      return out;
+    }
+    // Constant: IRI (pure entity; usable in arithmetic only if integer,
+    // which an IRI is not).
+    out.pure_entity = !negated;
+    out.entity = EntityArg::Const(rdf::Term::Iri(text));
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RuleSet> ParseRules(std::string_view source) {
+  TECORE_ASSIGN_OR_RETURN(tokens, Tokenize(source));
+  return RuleParser(std::move(tokens)).ParseAll();
+}
+
+Result<Rule> ParseSingleRule(std::string_view source) {
+  TECORE_ASSIGN_OR_RETURN(set, ParseRules(source));
+  if (set.rules.size() != 1) {
+    return Status::ParseError(
+        StringPrintf("expected exactly one rule, found %zu",
+                     set.rules.size()));
+  }
+  return std::move(set.rules[0]);
+}
+
+Result<RuleSet> LoadRulesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open rules file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseRules(buf.str());
+}
+
+}  // namespace rules
+}  // namespace tecore

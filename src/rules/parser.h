@@ -1,0 +1,71 @@
+#ifndef TECORE_RULES_PARSER_H_
+#define TECORE_RULES_PARSER_H_
+
+#include <string>
+
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace rules {
+
+/// \brief Parser for TeCoRe's Datalog-based rule & constraint language.
+///
+/// Grammar (statements end with '.' or ';'):
+///
+///     statement := [label ':'] [weight ':'] body ['[' conds ']'] '->' head
+///                  ['w' '=' (number | 'inf')] ('.' | ';')
+///     body      := conjunct (('&' | '∧' | ',') conjunct)*
+///     conjunct  := quad_atom | condition
+///     quad_atom := 'quad' '(' entity ',' entity ',' entity ',' ivl_expr ')'
+///     head      := 'false' | quad_atom ('|' quad_atom)* | condition
+///     condition := allen_atom | comparison
+///     allen_atom:= ALLEN '(' ivl_expr ',' ivl_expr ')'
+///     ivl_expr  := [alias '='] primary (('∩' | '^') primary)*
+///     primary   := IVAR | '[' int [',' int] ']'
+///                | ('intersect' | 'hull') '(' ivl_expr ',' ivl_expr ')'
+///     comparison:= operand OP operand        OP in < <= > >= = !=
+///     operand   := term (('+' | '-') term)*
+///     term      := number | var | constant | string
+///                | ('begin' | 'end' | 'duration') '(' ivl_expr ')'
+///
+/// Conventions:
+///  * A bare identifier is a **variable** iff it is a single lowercase
+///    letter optionally followed by digits and primes (x, y, z, t, t', t1).
+///    `?name` is always a variable. Anything else (CR, playsFor, Chelsea)
+///    is an IRI constant; quoted strings are literals; bare integers are
+///    integer literals.
+///  * ALLEN is one of Allen's 13 relation names (before, meets, overlaps,
+///    starts, during, finishes, equals + converses spelled finished-by /
+///    finishedBy etc.) or the derived sets `disjoint` (no shared point) and
+///    `intersects` (some shared point).
+///  * A rule with no weight annotation is **hard** (w = ∞); `w = 2.5` or a
+///    `2.5 :` prefix makes it soft. The paper's Fig. 4/6 rules are written
+///    verbatim this way, e.g.:
+///
+///        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)  w = 2.5 .
+///        c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z
+///            -> disjoint(t, t') .
+///
+///  * In an interval position, `t'' = t ∩ t'` is accepted; the alias name
+///    is cosmetic (display only), the value is the expression.
+///  * In numeric context a bare interval variable denotes its `begin()`
+///    (so the paper's `t' - t < 20` parses as written); `begin/end/duration`
+///    are explicit accessors.
+///  * Comparisons between two plain identifiers/strings are term
+///    (in)equality (`y != z`); anything involving numbers, arithmetic or
+///    interval accessors is numeric.
+
+/// \brief Parse a whole rule program.
+Result<RuleSet> ParseRules(std::string_view source);
+
+/// \brief Parse exactly one rule/constraint.
+Result<Rule> ParseSingleRule(std::string_view source);
+
+/// \brief Load and parse a rule file from disk.
+Result<RuleSet> LoadRulesFile(const std::string& path);
+
+}  // namespace rules
+}  // namespace tecore
+
+#endif  // TECORE_RULES_PARSER_H_

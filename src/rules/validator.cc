@@ -1,0 +1,180 @@
+#include "rules/validator.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rules {
+
+namespace {
+
+using logic::VarId;
+
+/// Collect the variables a condition atom references.
+void CollectConditionVars(const logic::ConditionAtom& cond,
+                          std::vector<VarId>* entity_vars,
+                          std::vector<VarId>* interval_vars) {
+  if (const auto* allen = std::get_if<logic::AllenAtom>(&cond)) {
+    allen->a.CollectVars(interval_vars);
+    allen->b.CollectVars(interval_vars);
+    return;
+  }
+  if (const auto* numeric = std::get_if<logic::NumericAtom>(&cond)) {
+    // ArithExpr mixes the sorts; split by the rule's VarTable later.
+    numeric->lhs.CollectVars(entity_vars);
+    numeric->rhs.CollectVars(entity_vars);
+    return;
+  }
+  const auto& cmp = std::get<logic::TermCompareAtom>(cond);
+  if (cmp.lhs.is_variable()) entity_vars->push_back(cmp.lhs.var());
+  if (cmp.rhs.is_variable()) entity_vars->push_back(cmp.rhs.var());
+}
+
+}  // namespace
+
+std::string_view SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kMln:
+      return "mln";
+    case SolverKind::kPsl:
+      return "psl";
+  }
+  return "?";
+}
+
+Status ValidateRule(const Rule& rule) {
+  const std::string label =
+      rule.name.empty() ? "<unnamed rule>" : "rule '" + rule.name + "'";
+  if (rule.body.empty()) {
+    return Status::InvalidArgument(label + ": empty body");
+  }
+  if (!rule.hard) {
+    if (!std::isfinite(rule.weight)) {
+      return Status::InvalidArgument(label + ": non-finite weight");
+    }
+    if (rule.weight < 0) {
+      return Status::Unsupported(
+          label + ": negative weights are not supported; negate the rule");
+    }
+  }
+
+  // Simulate left-to-right binding through the body.
+  std::set<VarId> bound;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const logic::QuadAtom& atom = rule.body[i];
+    std::vector<VarId> time_vars;
+    atom.time.CollectVars(&time_vars);
+    const bool time_is_fresh_var =
+        atom.time.kind() == logic::IntervalExpr::Kind::kVar &&
+        bound.find(atom.time.var()) == bound.end();
+    if (!time_is_fresh_var) {
+      // Expression / repeated variable: operands must already be bound.
+      for (VarId v : time_vars) {
+        if (bound.find(v) == bound.end()) {
+          return Status::InvalidArgument(StringPrintf(
+              "%s: body atom %zu uses interval variable '%s' before it is "
+              "bound",
+              label.c_str(), i + 1, rule.vars.name(v).c_str()));
+        }
+      }
+    }
+    // Entity variables and a fresh time variable now become bound.
+    if (atom.subject.is_variable()) bound.insert(atom.subject.var());
+    if (atom.predicate.is_variable()) bound.insert(atom.predicate.var());
+    if (atom.object.is_variable()) bound.insert(atom.object.var());
+    if (time_is_fresh_var) bound.insert(atom.time.var());
+  }
+
+  auto check_all_bound = [&](const std::vector<VarId>& vars,
+                             const char* where) -> Status {
+    for (VarId v : vars) {
+      if (bound.find(v) == bound.end()) {
+        return Status::InvalidArgument(StringPrintf(
+            "%s: %s uses variable '%s' that does not occur in the body",
+            label.c_str(), where, rule.vars.name(v).c_str()));
+      }
+    }
+    return Status::OK();
+  };
+
+  for (const auto& cond : rule.conditions) {
+    std::vector<VarId> evars, ivars;
+    CollectConditionVars(cond, &evars, &ivars);
+    evars.insert(evars.end(), ivars.begin(), ivars.end());
+    TECORE_RETURN_NOT_OK(check_all_bound(evars, "condition"));
+  }
+
+  switch (rule.head.kind) {
+    case HeadKind::kFalse:
+      break;
+    case HeadKind::kCondition: {
+      std::vector<VarId> evars, ivars;
+      CollectConditionVars(*rule.head.condition, &evars, &ivars);
+      evars.insert(evars.end(), ivars.begin(), ivars.end());
+      TECORE_RETURN_NOT_OK(check_all_bound(evars, "head condition"));
+      break;
+    }
+    case HeadKind::kQuads: {
+      if (rule.head.quads.empty()) {
+        return Status::Internal(label + ": kQuads head with no atoms");
+      }
+      for (const logic::QuadAtom& atom : rule.head.quads) {
+        std::vector<VarId> evars, ivars;
+        atom.CollectVars(&evars, &ivars);
+        evars.insert(evars.end(), ivars.begin(), ivars.end());
+        TECORE_RETURN_NOT_OK(check_all_bound(evars, "head atom"));
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateForSolver(const Rule& rule, SolverKind solver) {
+  TECORE_RETURN_NOT_OK(ValidateRule(rule));
+  const std::string label =
+      rule.name.empty() ? "<unnamed rule>" : "rule '" + rule.name + "'";
+  switch (solver) {
+    case SolverKind::kMln:
+      return Status::OK();
+    case SolverKind::kPsl:
+      if (rule.head.kind == HeadKind::kQuads && rule.head.quads.size() > 1) {
+        return Status::Unsupported(
+            label +
+            ": PSL restricts rules to a single head atom (disjunctive heads "
+            "require the MLN solver)");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown solver kind");
+}
+
+Status ValidateRuleSet(const RuleSet& set, SolverKind solver) {
+  for (size_t i = 0; i < set.rules.size(); ++i) {
+    Status st = ValidateForSolver(set.rules[i], solver);
+    if (!st.ok()) {
+      return Status(st).ok()
+                 ? Status::OK()
+                 : Status::InvalidArgument(
+                       StringPrintf("rule #%zu: ", i + 1) + st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> CollectProblems(const RuleSet& set,
+                                         SolverKind solver) {
+  std::vector<std::string> problems;
+  for (size_t i = 0; i < set.rules.size(); ++i) {
+    Status st = ValidateForSolver(set.rules[i], solver);
+    if (!st.ok()) {
+      problems.push_back(StringPrintf("rule #%zu: ", i + 1) + st.ToString());
+    }
+  }
+  return problems;
+}
+
+}  // namespace rules
+}  // namespace tecore

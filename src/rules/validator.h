@@ -1,0 +1,55 @@
+#ifndef TECORE_RULES_VALIDATOR_H_
+#define TECORE_RULES_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace rules {
+
+/// \brief Probabilistic-FOL solver families TeCoRe can translate to.
+///
+/// Mirrors the paper's architecture (Fig. 2): the Translator verifies that
+/// the input "adheres to the expressivity of the solver" before dispatch.
+enum class SolverKind : uint8_t {
+  kMln,  ///< Markov Logic Networks via nRockIt-style exact MAP (expressive).
+  kPsl,  ///< Probabilistic Soft Logic via hinge-loss MRF + ADMM (scalable).
+};
+
+/// \brief Name ("mln"/"psl") of a solver kind.
+std::string_view SolverKindName(SolverKind kind);
+
+/// \brief Structural checks shared by all solvers.
+///
+/// Verifies, per rule:
+///  * *safety / range restriction*: considering body atoms left to right,
+///    every interval expression in a body atom is either a fresh variable
+///    (which the match binds) or built from already-bound variables;
+///  * every variable used in conditions or the head occurs in the body;
+///  * soft weights are finite and non-negative (negative weights are not
+///    supported by the MAP pipelines; rewrite the rule's polarity instead);
+///  * heads of kind kQuads contain at least one atom.
+Status ValidateRule(const Rule& rule);
+
+/// \brief Solver-specific expressivity check (includes ValidateRule).
+///
+/// PSL restricts formulas to rules with conjunctive bodies and a single
+/// (non-disjunctive) head atom; MLN accepts disjunctive heads as well.
+Status ValidateForSolver(const Rule& rule, SolverKind solver);
+
+/// \brief Validate every rule; returns the first error annotated with the
+/// offending rule's name/index, or OK.
+Status ValidateRuleSet(const RuleSet& set, SolverKind solver);
+
+/// \brief All per-rule problems (empty if the set is valid) — used by the
+/// CLI to report every issue at once, like the demo UI's editor.
+std::vector<std::string> CollectProblems(const RuleSet& set,
+                                         SolverKind solver);
+
+}  // namespace rules
+}  // namespace tecore
+
+#endif  // TECORE_RULES_VALIDATOR_H_

@@ -1,0 +1,188 @@
+#include "temporal/allen.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace temporal {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumAllenRelations> kNames = {
+    "before",      "meets",       "overlaps",      "starts",  "during",
+    "finishes",    "equals",      "finished-by",   "contains", "started-by",
+    "overlapped-by", "met-by",    "after",
+};
+
+}  // namespace
+
+std::string_view AllenRelationName(AllenRelation r) {
+  return kNames[static_cast<uint8_t>(r)];
+}
+
+Result<AllenRelation> ParseAllenRelation(std::string_view name) {
+  // Normalize: lower-case and drop '-'/'_' so both "overlapped-by" and
+  // "overlappedBy" parse.
+  std::string norm;
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;
+    norm.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    std::string cand;
+    for (char c : kNames[i]) {
+      if (c == '-') continue;
+      cand.push_back(c);
+    }
+    if (norm == cand) return static_cast<AllenRelation>(i);
+  }
+  // Common aliases used in the paper's constraint language.
+  if (norm == "overlap") return AllenRelation::kOverlaps;
+  if (norm == "equal") return AllenRelation::kEquals;
+  if (norm == "contain") return AllenRelation::kContains;
+  return Status::ParseError("unknown Allen relation: '" + std::string(name) +
+                            "'");
+}
+
+AllenRelation Converse(AllenRelation r) {
+  // The enum is laid out symmetrically around kEquals (index 6).
+  return static_cast<AllenRelation>(kNumAllenRelations - 1 -
+                                    static_cast<uint8_t>(r));
+}
+
+AllenRelation RelationBetween(const Interval& a, const Interval& b) {
+  // Classic endpoint case analysis on the half-open view [s, e).
+  const TimePoint as = a.begin(), ae = a.end_exclusive();
+  const TimePoint bs = b.begin(), be = b.end_exclusive();
+  if (ae < bs) return AllenRelation::kBefore;
+  if (ae == bs) return AllenRelation::kMeets;
+  if (bs < as) {
+    // Mirror case: compute on swapped operands and take the converse.
+    return Converse(RelationBetween(b, a));
+  }
+  // Here as <= bs and ae > bs (they share a point), with as <= bs.
+  if (as == bs) {
+    if (ae == be) return AllenRelation::kEquals;
+    return ae < be ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  // as < bs and overlap exists.
+  if (ae < be) return AllenRelation::kOverlaps;
+  if (ae == be) return AllenRelation::kFinishedBy;
+  return AllenRelation::kContains;
+}
+
+AllenSet AllenSet::Intersecting() {
+  AllenSet s = All();
+  return AllenSet(static_cast<uint16_t>(s.bits() & ~Disjoint().bits()));
+}
+
+AllenSet AllenSet::Disjoint() {
+  AllenSet s;
+  s.Add(AllenRelation::kBefore)
+      .Add(AllenRelation::kAfter)
+      .Add(AllenRelation::kMeets)
+      .Add(AllenRelation::kMetBy);
+  return s;
+}
+
+AllenSet AllenSet::ConverseSet() const {
+  AllenSet out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if ((bits_ >> i) & 1u) out.Add(Converse(static_cast<AllenRelation>(i)));
+  }
+  return out;
+}
+
+std::vector<AllenRelation> AllenSet::Members() const {
+  std::vector<AllenRelation> out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if ((bits_ >> i) & 1u) out.push_back(static_cast<AllenRelation>(i));
+  }
+  return out;
+}
+
+std::string AllenSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (AllenRelation r : Members()) {
+    if (!first) out += ",";
+    out += std::string(AllenRelationName(r));
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Composition table, computed once by small-model enumeration.
+class CompositionTable {
+ public:
+  static const CompositionTable& Get() {
+    static CompositionTable table;
+    return table;
+  }
+
+  AllenSet Lookup(AllenRelation r1, AllenRelation r2) const {
+    return table_[static_cast<uint8_t>(r1)][static_cast<uint8_t>(r2)];
+  }
+
+ private:
+  CompositionTable() {
+    // Enumerate all intervals with endpoints in {0..11} on the half-open
+    // view (s < e). Any qualitative configuration of three intervals
+    // involves at most 6 distinct endpoint values, so it embeds into this
+    // domain; the enumeration is therefore complete.
+    constexpr int kDomain = 12;
+    std::vector<Interval> ivs;
+    for (int s = 0; s < kDomain; ++s) {
+      for (int e = s; e < kDomain; ++e) {
+        ivs.emplace_back(s, e);  // closed [s,e] == half-open [s,e+1)
+      }
+    }
+    // rel[i][j] memoizes RelationBetween(ivs[i], ivs[j]).
+    const size_t n = ivs.size();
+    std::vector<std::vector<uint8_t>> rel(n, std::vector<uint8_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        rel[i][j] = static_cast<uint8_t>(RelationBetween(ivs[i], ivs[j]));
+      }
+    }
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = 0; b < n; ++b) {
+        const uint8_t r1 = rel[a][b];
+        for (size_t c = 0; c < n; ++c) {
+          const uint8_t r2 = rel[b][c];
+          table_[r1][r2].Add(static_cast<AllenRelation>(rel[a][c]));
+        }
+      }
+    }
+  }
+
+  AllenSet table_[kNumAllenRelations][kNumAllenRelations];
+};
+
+}  // namespace
+
+AllenSet ComposeBasic(AllenRelation r1, AllenRelation r2) {
+  return CompositionTable::Get().Lookup(r1, r2);
+}
+
+AllenSet AllenSet::Compose(AllenSet other) const {
+  AllenSet out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if (!((bits_ >> i) & 1u)) continue;
+    for (int j = 0; j < kNumAllenRelations; ++j) {
+      if (!((other.bits_ >> j) & 1u)) continue;
+      out = out.Union(ComposeBasic(static_cast<AllenRelation>(i),
+                                   static_cast<AllenRelation>(j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,133 @@
+#ifndef TECORE_TEMPORAL_ALLEN_H_
+#define TECORE_TEMPORAL_ALLEN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace temporal {
+
+/// \brief The 13 basic relations of Allen's interval algebra.
+///
+/// Relations are evaluated on the half-open view of closed discrete
+/// intervals, so e.g. [2000,2004] kMeets [2005,2010]. Values are bit indexes
+/// into AllenSet.
+enum class AllenRelation : uint8_t {
+  kBefore = 0,        ///< A ends strictly before B begins (with a gap).
+  kMeets = 1,         ///< A ends exactly where B begins.
+  kOverlaps = 2,      ///< A starts first, they overlap, B ends last.
+  kStarts = 3,        ///< Same start, A ends first.
+  kDuring = 4,        ///< A strictly inside B.
+  kFinishes = 5,      ///< Same end, A starts later.
+  kEquals = 6,        ///< Identical intervals.
+  kFinishedBy = 7,    ///< Converse of kFinishes.
+  kContains = 8,      ///< Converse of kDuring.
+  kStartedBy = 9,     ///< Converse of kStarts.
+  kOverlappedBy = 10, ///< Converse of kOverlaps.
+  kMetBy = 11,        ///< Converse of kMeets.
+  kAfter = 12,        ///< Converse of kBefore.
+};
+
+/// \brief Number of basic Allen relations.
+inline constexpr int kNumAllenRelations = 13;
+
+/// \brief Canonical lower-case name, e.g. "before", "overlapped-by".
+std::string_view AllenRelationName(AllenRelation r);
+
+/// \brief Parse a relation name (accepts "overlapped-by"/"overlappedBy").
+Result<AllenRelation> ParseAllenRelation(std::string_view name);
+
+/// \brief The converse relation (A r B  <=>  B converse(r) A).
+AllenRelation Converse(AllenRelation r);
+
+/// \brief Compute the unique basic relation holding between two intervals.
+AllenRelation RelationBetween(const Interval& a, const Interval& b);
+
+/// \brief A set of basic Allen relations, represented as a 13-bit mask.
+///
+/// General (indefinite) temporal knowledge is a disjunction of basic
+/// relations; AllenSet supports the algebra's operations: intersection,
+/// union, converse, and composition.
+class AllenSet {
+ public:
+  constexpr AllenSet() : bits_(0) {}
+  constexpr explicit AllenSet(uint16_t bits) : bits_(bits & kAllMask) {}
+  /// \brief Singleton set {r}.
+  constexpr AllenSet(AllenRelation r)  // NOLINT(runtime/explicit)
+      : bits_(static_cast<uint16_t>(1u << static_cast<uint8_t>(r))) {}
+
+  /// \brief The full (uninformative) set of all 13 relations.
+  static constexpr AllenSet All() { return AllenSet(kAllMask); }
+  /// \brief The empty (inconsistent) set.
+  static constexpr AllenSet None() { return AllenSet(); }
+
+  /// \brief The set of relations implying a shared time point
+  /// (everything except before/after/meets/met-by).
+  static AllenSet Intersecting();
+  /// \brief {before, after, meets, met-by}: no shared time point.
+  static AllenSet Disjoint();
+
+  bool Contains(AllenRelation r) const {
+    return (bits_ >> static_cast<uint8_t>(r)) & 1u;
+  }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcount(bits_); }
+  uint16_t bits() const { return bits_; }
+
+  AllenSet& Add(AllenRelation r) {
+    bits_ |= static_cast<uint16_t>(1u << static_cast<uint8_t>(r));
+    return *this;
+  }
+
+  AllenSet Union(AllenSet other) const {
+    return AllenSet(static_cast<uint16_t>(bits_ | other.bits_));
+  }
+  AllenSet Intersect(AllenSet other) const {
+    return AllenSet(static_cast<uint16_t>(bits_ & other.bits_));
+  }
+  /// \brief Converse of every member.
+  AllenSet ConverseSet() const;
+
+  /// \brief Composition: all r3 s.t. exist A,B,C with A r1 B, B r2 C, A r3 C
+  /// for some r1 in this set and r2 in `other` (table-driven, exact).
+  AllenSet Compose(AllenSet other) const;
+
+  /// \brief True if `RelationBetween(a,b)` is a member; evaluates a
+  /// disjunctive temporal condition on concrete intervals.
+  bool Holds(const Interval& a, const Interval& b) const {
+    return Contains(RelationBetween(a, b));
+  }
+
+  /// \brief Members in enum order.
+  std::vector<AllenRelation> Members() const;
+
+  /// \brief "{before,meets}" style rendering.
+  std::string ToString() const;
+
+  bool operator==(AllenSet other) const { return bits_ == other.bits_; }
+  bool operator!=(AllenSet other) const { return bits_ != other.bits_; }
+
+ private:
+  static constexpr uint16_t kAllMask = (1u << kNumAllenRelations) - 1;
+  uint16_t bits_;
+};
+
+/// \brief Composition of two basic relations (memoized table lookup).
+///
+/// The 13x13 composition table is *derived*, not hand-typed: on first use it
+/// is computed by exhaustively enumerating interval triples over a small
+/// integer domain, which is sound and complete because any qualitative
+/// configuration of three intervals uses at most six distinct endpoint
+/// values and is therefore order-isomorphic to one over {0..11}.
+AllenSet ComposeBasic(AllenRelation r1, AllenRelation r2);
+
+}  // namespace temporal
+}  // namespace tecore
+
+#endif  // TECORE_TEMPORAL_ALLEN_H_

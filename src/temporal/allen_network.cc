@@ -1,0 +1,99 @@
+#include "temporal/allen_network.h"
+
+#include <deque>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace temporal {
+
+AllenNetwork::AllenNetwork(int num_vars)
+    : num_vars_(num_vars),
+      edges_(static_cast<size_t>(num_vars) * num_vars, AllenSet::All()) {
+  for (int i = 0; i < num_vars_; ++i) {
+    edges_[Index(i, i)] = AllenSet(AllenRelation::kEquals);
+  }
+}
+
+Status AllenNetwork::Constrain(int i, int j, AllenSet relations) {
+  if (i < 0 || j < 0 || i >= num_vars_ || j >= num_vars_) {
+    return Status::OutOfRange(
+        StringPrintf("variable out of range: (%d,%d) with %d vars", i, j,
+                     num_vars_));
+  }
+  if (i == j) {
+    if (!relations.Contains(AllenRelation::kEquals)) {
+      return Status::InvalidArgument(
+          "self-edge must permit 'equals'; constraint is trivially "
+          "inconsistent");
+    }
+    return Status::OK();
+  }
+  edges_[Index(i, j)] = edges_[Index(i, j)].Intersect(relations);
+  edges_[Index(j, i)] = edges_[Index(i, j)].ConverseSet();
+  return Status::OK();
+}
+
+AllenSet AllenNetwork::RelationsBetween(int i, int j) const {
+  return edges_[Index(i, j)];
+}
+
+bool AllenNetwork::Propagate() {
+  // PC-2: maintain a work queue of edges whose label shrank.
+  std::deque<std::pair<int, int>> queue;
+  for (int i = 0; i < num_vars_; ++i) {
+    for (int j = i + 1; j < num_vars_; ++j) {
+      queue.emplace_back(i, j);
+    }
+  }
+  auto revise = [this](int i, int j, int k) {
+    // C(i,j) <- C(i,j) ∩ C(i,k) ∘ C(k,j)
+    AllenSet refined = edges_[Index(i, j)].Intersect(
+        edges_[Index(i, k)].Compose(edges_[Index(k, j)]));
+    if (refined == edges_[Index(i, j)]) return false;
+    edges_[Index(i, j)] = refined;
+    edges_[Index(j, i)] = refined.ConverseSet();
+    return true;
+  };
+  while (!queue.empty()) {
+    auto [i, j] = queue.front();
+    queue.pop_front();
+    for (int k = 0; k < num_vars_; ++k) {
+      if (k == i || k == j) continue;
+      // Edge (i,j) changed; re-derive (i,k) and (k,j) through it.
+      if (revise(i, k, j)) {
+        if (edges_[Index(i, k)].Empty()) return false;
+        queue.emplace_back(i, k);
+      }
+      if (revise(k, j, i)) {
+        if (edges_[Index(k, j)].Empty()) return false;
+        queue.emplace_back(k, j);
+      }
+    }
+    if (edges_[Index(i, j)].Empty()) return false;
+  }
+  return PossiblyConsistent();
+}
+
+bool AllenNetwork::PossiblyConsistent() const {
+  for (const AllenSet& e : edges_) {
+    if (e.Empty()) return false;
+  }
+  return true;
+}
+
+std::string AllenNetwork::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_vars_; ++i) {
+    for (int j = i + 1; j < num_vars_; ++j) {
+      const AllenSet& e = edges_[Index(i, j)];
+      if (e == AllenSet::All()) continue;
+      out += StringPrintf("t%d -> t%d : ", i, j) + e.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace tecore

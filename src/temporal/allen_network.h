@@ -1,0 +1,61 @@
+#ifndef TECORE_TEMPORAL_ALLEN_NETWORK_H_
+#define TECORE_TEMPORAL_ALLEN_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "temporal/allen.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace temporal {
+
+/// \brief Qualitative temporal constraint network over Allen's algebra.
+///
+/// Nodes are interval variables; the edge (i,j) holds the set of basic
+/// relations still possible between them. `Propagate()` runs path
+/// consistency (PC-2 style queue algorithm): C(i,j) <- C(i,j) ∩ (C(i,k) ∘
+/// C(k,j)). TeCoRe uses this to validate user constraint sets before
+/// grounding: a rule set whose Allen conditions are jointly path-inconsistent
+/// can never have a model, which the Constraints Editor reports upfront.
+class AllenNetwork {
+ public:
+  /// \brief Create a network with `num_vars` interval variables, all edges
+  /// initialized to the full relation set.
+  explicit AllenNetwork(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  /// \brief Constrain edge (i,j) to `relations` (and (j,i) to the converse).
+  /// Intersects with the existing constraint.
+  Status Constrain(int i, int j, AllenSet relations);
+
+  /// \brief Current relation set on edge (i,j).
+  AllenSet RelationsBetween(int i, int j) const;
+
+  /// \brief Run path consistency to a fixpoint.
+  ///
+  /// Returns false if some edge became empty (the network is inconsistent).
+  /// Note path consistency is complete for *pointizable* relation sets but
+  /// only a sound approximation in general Allen algebra; an inconsistency
+  /// report is always correct, a "consistent" answer may be optimistic.
+  bool Propagate();
+
+  /// \brief True if no edge is empty (after the last Propagate call).
+  bool PossiblyConsistent() const;
+
+  /// \brief Human-readable dump of all non-trivial edges.
+  std::string ToString() const;
+
+ private:
+  int Index(int i, int j) const { return i * num_vars_ + j; }
+
+  int num_vars_;
+  std::vector<AllenSet> edges_;  // row-major num_vars x num_vars
+};
+
+}  // namespace temporal
+}  // namespace tecore
+
+#endif  // TECORE_TEMPORAL_ALLEN_NETWORK_H_

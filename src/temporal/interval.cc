@@ -1,0 +1,74 @@
+#include "temporal/interval.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace temporal {
+
+Interval::Interval(TimePoint begin, TimePoint end) : begin_(begin), end_(end) {
+  assert(begin <= end && "Interval requires begin <= end");
+}
+
+Result<Interval> Interval::Make(TimePoint begin, TimePoint end) {
+  if (begin > end) {
+    return Status::InvalidArgument(
+        StringPrintf("interval begin %lld > end %lld",
+                     static_cast<long long>(begin),
+                     static_cast<long long>(end)));
+  }
+  if (begin < kMinTime || end > kMaxTime) {
+    return Status::OutOfRange("interval endpoints outside the time domain");
+  }
+  return Interval(begin, end);
+}
+
+Result<Interval> Interval::Parse(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.size() < 3 || s.front() != '[' || s.back() != ']') {
+    return Status::ParseError("interval must look like [b,e] or [t]: '" +
+                              std::string(text) + "'");
+  }
+  s = s.substr(1, s.size() - 2);
+  size_t comma = s.find(',');
+  int64_t b = 0, e = 0;
+  if (comma == std::string_view::npos) {
+    if (!ParseInt64(Trim(s), &b)) {
+      return Status::ParseError("bad time point in interval: '" +
+                                std::string(text) + "'");
+    }
+    e = b;
+  } else {
+    if (!ParseInt64(Trim(s.substr(0, comma)), &b) ||
+        !ParseInt64(Trim(s.substr(comma + 1)), &e)) {
+      return Status::ParseError("bad time point in interval: '" +
+                                std::string(text) + "'");
+    }
+  }
+  return Make(b, e);
+}
+
+std::optional<Interval> Interval::Intersect(const Interval& other) const {
+  TimePoint b = begin_ > other.begin_ ? begin_ : other.begin_;
+  TimePoint e = end_ < other.end_ ? end_ : other.end_;
+  if (b > e) return std::nullopt;
+  return Interval(b, e);
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  TimePoint b = begin_ < other.begin_ ? begin_ : other.begin_;
+  TimePoint e = end_ > other.end_ ? end_ : other.end_;
+  return Interval(b, e);
+}
+
+std::string Interval::ToString() const {
+  if (begin_ == end_) {
+    return StringPrintf("[%lld]", static_cast<long long>(begin_));
+  }
+  return StringPrintf("[%lld,%lld]", static_cast<long long>(begin_),
+                      static_cast<long long>(end_));
+}
+
+}  // namespace temporal
+}  // namespace tecore

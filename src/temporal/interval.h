@@ -1,0 +1,111 @@
+#ifndef TECORE_TEMPORAL_INTERVAL_H_
+#define TECORE_TEMPORAL_INTERVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace temporal {
+
+/// \brief A point in the discrete, linearly ordered time domain T.
+///
+/// The paper assumes a finite, discrete time domain (days, minutes, years...).
+/// TeCoRe is granularity-agnostic: a TimePoint is just an integer tick.
+using TimePoint = int64_t;
+
+/// \brief Smallest representable time point (used as an open lower bound).
+inline constexpr TimePoint kMinTime = INT64_MIN / 4;
+/// \brief Largest representable time point (used as an open upper bound).
+inline constexpr TimePoint kMaxTime = INT64_MAX / 4;
+
+/// \brief A closed, non-empty interval [begin, end] of discrete time points.
+///
+/// Facts in a UTKG carry a validity interval, e.g.
+/// `(CR, coach, Chelsea, [2000,2004])`. Internally Allen's relations are
+/// evaluated on the half-open view [begin, end+1), which makes the discrete
+/// algebra coincide with the classical continuous one (e.g. [2000,2004]
+/// *meets* [2005,2010]).
+class Interval {
+ public:
+  /// \brief Constructs [begin, end]; requires begin <= end.
+  Interval(TimePoint begin, TimePoint end);
+
+  /// \brief Degenerate single-point interval [t, t].
+  static Interval Point(TimePoint t) { return Interval(t, t); }
+
+  /// \brief Checked factory: error if begin > end or outside domain bounds.
+  static Result<Interval> Make(TimePoint begin, TimePoint end);
+
+  /// \brief Parse "[b,e]" or "[b]" (point). Whitespace-tolerant.
+  static Result<Interval> Parse(std::string_view text);
+
+  TimePoint begin() const { return begin_; }
+  TimePoint end() const { return end_; }
+
+  /// \brief Exclusive end of the half-open view (end() + 1).
+  TimePoint end_exclusive() const { return end_ + 1; }
+
+  /// \brief Number of time points covered (end - begin + 1).
+  int64_t Duration() const { return end_ - begin_ + 1; }
+
+  /// \brief True if `t` lies inside [begin, end].
+  bool Contains(TimePoint t) const { return begin_ <= t && t <= end_; }
+
+  /// \brief True if `other` is fully inside this interval (non-strict).
+  bool Contains(const Interval& other) const {
+    return begin_ <= other.begin_ && other.end_ <= end_;
+  }
+
+  /// \brief True if the two intervals share at least one time point.
+  bool Intersects(const Interval& other) const {
+    return begin_ <= other.end_ && other.begin_ <= end_;
+  }
+
+  /// \brief Intersection if non-empty.
+  std::optional<Interval> Intersect(const Interval& other) const;
+
+  /// \brief Smallest interval containing both (the convex hull).
+  Interval Hull(const Interval& other) const;
+
+  /// \brief True if this ends strictly before `other` begins (gap allowed).
+  bool StrictlyBefore(const Interval& other) const {
+    return end_ < other.begin_;
+  }
+
+  /// \brief "[b,e]" (or "[t]" for points).
+  std::string ToString() const;
+
+  bool operator==(const Interval& other) const {
+    return begin_ == other.begin_ && end_ == other.end_;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+  /// \brief Lexicographic (begin, end) order; useful for canonical sorting.
+  bool operator<(const Interval& other) const {
+    return begin_ != other.begin_ ? begin_ < other.begin_ : end_ < other.end_;
+  }
+
+ private:
+  TimePoint begin_;
+  TimePoint end_;
+};
+
+}  // namespace temporal
+}  // namespace tecore
+
+namespace std {
+template <>
+struct hash<tecore::temporal::Interval> {
+  size_t operator()(const tecore::temporal::Interval& iv) const {
+    uint64_t h = static_cast<uint64_t>(iv.begin()) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(iv.end()) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std
+
+#endif  // TECORE_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,132 @@
+#include "temporal/interval_set.h"
+
+#include <algorithm>
+
+namespace tecore {
+namespace temporal {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  if (intervals_.empty()) return;
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  Interval cur = intervals_.front();
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    const Interval& next = intervals_[i];
+    // Merge overlapping or adjacent ([1,2] + [3,4] -> [1,4] in discrete time).
+    if (next.begin() <= cur.end() + 1) {
+      cur = Interval(cur.begin(), std::max(cur.end(), next.end()));
+    } else {
+      merged.push_back(cur);
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+  intervals_ = std::move(merged);
+}
+
+void IntervalSet::Add(const Interval& iv) {
+  intervals_.push_back(iv);
+  Normalize();
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    auto common = a.Intersect(b);
+    if (common) out.push_back(*common);
+    if (a.end() < b.end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t j = 0;
+  for (const Interval& a : intervals_) {
+    TimePoint cursor = a.begin();
+    // Advance past subtrahend intervals that end before `a` begins.
+    while (j < other.intervals_.size() &&
+           other.intervals_[j].end() < a.begin()) {
+      ++j;
+    }
+    size_t k = j;
+    while (k < other.intervals_.size() &&
+           other.intervals_[k].begin() <= a.end()) {
+      const Interval& b = other.intervals_[k];
+      if (b.begin() > cursor) {
+        out.emplace_back(cursor, b.begin() - 1);
+      }
+      cursor = std::max(cursor, b.end() + 1);
+      if (cursor > a.end()) break;
+      ++k;
+    }
+    if (cursor <= a.end()) out.emplace_back(cursor, a.end());
+  }
+  return IntervalSet(std::move(out));
+}
+
+bool IntervalSet::Contains(TimePoint t) const {
+  // Binary search on begin(); candidate is the last interval starting <= t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.begin(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+bool IntervalSet::Covers(const Interval& iv) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), iv.begin(),
+      [](TimePoint v, const Interval& member) { return v < member.begin(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(iv);
+}
+
+bool IntervalSet::Intersects(const Interval& iv) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), iv.end(),
+      [](TimePoint v, const Interval& member) { return v < member.begin(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Intersects(iv);
+}
+
+int64_t IntervalSet::TotalDuration() const {
+  int64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.Duration();
+  return total;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,68 @@
+#ifndef TECORE_TEMPORAL_INTERVAL_SET_H_
+#define TECORE_TEMPORAL_INTERVAL_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace temporal {
+
+/// \brief A normalized union of disjoint, non-adjacent closed intervals.
+///
+/// Used wherever a fact's validity is the union of several spells (e.g. a
+/// player with two stints at the same club) and for temporal coverage
+/// arithmetic in the data generators and statistics.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// \brief Build from arbitrary (possibly overlapping) intervals.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  /// \brief Add one interval, re-normalizing (merges overlaps/adjacency).
+  void Add(const Interval& iv);
+
+  /// \brief Set-union with another set.
+  IntervalSet Union(const IntervalSet& other) const;
+
+  /// \brief Set-intersection with another set.
+  IntervalSet Intersect(const IntervalSet& other) const;
+
+  /// \brief Set-difference this \ other.
+  IntervalSet Subtract(const IntervalSet& other) const;
+
+  /// \brief True if `t` is covered.
+  bool Contains(TimePoint t) const;
+
+  /// \brief True if every point of `iv` is covered.
+  bool Covers(const Interval& iv) const;
+
+  /// \brief True if some member intersects `iv`.
+  bool Intersects(const Interval& iv) const;
+
+  /// \brief Total number of covered time points.
+  int64_t TotalDuration() const;
+
+  bool Empty() const { return intervals_.empty(); }
+  size_t Size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// \brief "{[a,b],[c,d]}" rendering.
+  std::string ToString() const;
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  void Normalize();
+
+  // Sorted, pairwise disjoint, non-adjacent.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace temporal
+}  // namespace tecore
+
+#endif  // TECORE_TEMPORAL_INTERVAL_SET_H_

@@ -1,0 +1,45 @@
+#include "temporal/interval_tree.h"
+
+#include <algorithm>
+
+namespace tecore {
+namespace temporal {
+
+void IntervalTree::Build(std::vector<std::pair<Interval, PayloadId>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  nodes_.clear();
+  nodes_.reserve(entries.size());
+  for (const auto& [iv, id] : entries) {
+    Node n;
+    n.interval = iv;
+    n.id = id;
+    n.max_end = iv.end();
+    nodes_.push_back(n);
+  }
+  if (!nodes_.empty()) BuildMaxEnd(0, nodes_.size());
+}
+
+TimePoint IntervalTree::BuildMaxEnd(size_t lo, size_t hi) {
+  if (lo >= hi) return kMinTime;
+  const size_t mid = lo + (hi - lo) / 2;
+  TimePoint max_end = nodes_[mid].interval.end();
+  max_end = std::max(max_end, BuildMaxEnd(lo, mid));
+  max_end = std::max(max_end, BuildMaxEnd(mid + 1, hi));
+  nodes_[mid].max_end = max_end;
+  return max_end;
+}
+
+std::vector<IntervalTree::PayloadId> IntervalTree::Stab(TimePoint t) const {
+  return FindIntersecting(Interval::Point(t));
+}
+
+std::vector<IntervalTree::PayloadId> IntervalTree::FindIntersecting(
+    const Interval& probe) const {
+  std::vector<PayloadId> out;
+  VisitIntersecting(probe, [&out](PayloadId id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,78 @@
+#ifndef TECORE_TEMPORAL_INTERVAL_TREE_H_
+#define TECORE_TEMPORAL_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace temporal {
+
+/// \brief Static augmented interval tree mapping intervals to payload ids.
+///
+/// Backs the temporal index of the quad store: given a probe interval, find
+/// every stored fact whose validity interval intersects it (the workhorse of
+/// temporal-disjointness constraint grounding). Build once, query many times.
+///
+/// Implementation: intervals sorted by begin, implicit balanced binary
+/// layout, each node augmented with the max end() of its subtree.
+class IntervalTree {
+ public:
+  /// \brief Payload identifier (typically a fact index).
+  using PayloadId = uint32_t;
+
+  IntervalTree() = default;
+
+  /// \brief Build from (interval, id) pairs; invalidates previous content.
+  void Build(std::vector<std::pair<Interval, PayloadId>> entries);
+
+  /// \brief Number of stored intervals.
+  size_t Size() const { return nodes_.size(); }
+  bool Empty() const { return nodes_.empty(); }
+
+  /// \brief Ids of all intervals containing `t`, in unspecified order.
+  std::vector<PayloadId> Stab(TimePoint t) const;
+
+  /// \brief Ids of all intervals intersecting `probe`.
+  std::vector<PayloadId> FindIntersecting(const Interval& probe) const;
+
+  /// \brief Visit ids of intervals intersecting `probe` without allocating.
+  template <typename Visitor>
+  void VisitIntersecting(const Interval& probe, Visitor&& visit) const {
+    if (!nodes_.empty()) VisitRec(0, nodes_.size(), probe, visit);
+  }
+
+ private:
+  struct Node {
+    Interval interval{0, 0};
+    PayloadId id = 0;
+    TimePoint max_end = 0;  // max end() within [lo, hi) subtree rooted here
+  };
+
+  // The tree is stored as a sorted array; node of range [lo, hi) is the
+  // middle element, children are the halves (a "balanced BST by midpoint").
+  template <typename Visitor>
+  void VisitRec(size_t lo, size_t hi, const Interval& probe,
+                Visitor& visit) const {
+    if (lo >= hi) return;
+    const size_t mid = lo + (hi - lo) / 2;
+    const Node& node = nodes_[mid];
+    if (node.max_end < probe.begin()) return;  // nothing here can intersect
+    VisitRec(lo, mid, probe, visit);
+    if (node.interval.Intersects(probe)) visit(node.id);
+    // Right subtree begins at begin() >= node.begin; prune when past probe.
+    if (node.interval.begin() <= probe.end()) {
+      VisitRec(mid + 1, hi, probe, visit);
+    }
+  }
+
+  TimePoint BuildMaxEnd(size_t lo, size_t hi);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace temporal
+}  // namespace tecore
+
+#endif  // TECORE_TEMPORAL_INTERVAL_TREE_H_

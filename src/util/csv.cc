@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tecore {
+
+namespace {
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += CsvEscape(header_[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Table::ToAscii() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string rule = "+";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+}  // namespace tecore

@@ -1,0 +1,37 @@
+#ifndef TECORE_UTIL_CSV_H_
+#define TECORE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace tecore {
+
+/// \brief Small tabular report builder used by benches and the CLI.
+///
+/// Collects rows of strings and renders either CSV (machine-readable bench
+/// output) or an aligned ASCII table (human-readable, mimicking the demo UI's
+/// statistics panel).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// \brief Append one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// \brief Render as RFC-4180-ish CSV (quotes fields containing , " or \n).
+  std::string ToCsv() const;
+
+  /// \brief Render as an aligned ASCII table with a header rule.
+  std::string ToAscii() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_CSV_H_

@@ -1,0 +1,52 @@
+#ifndef TECORE_UTIL_LOGGING_H_
+#define TECORE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tecore {
+
+/// \brief Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// \brief Emit one log line (used by the TECORE_LOG macro).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+
+/// \brief Stream collector that emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tecore
+
+/// \brief Stream-style logging: TECORE_LOG(kInfo) << "grounded " << n;
+#define TECORE_LOG(level)                                              \
+  if (::tecore::LogLevel::level < ::tecore::GetLogLevel()) {           \
+  } else                                                               \
+    ::tecore::internal::LogStream(::tecore::LogLevel::level, __FILE__, \
+                                  __LINE__)
+
+#endif  // TECORE_UTIL_LOGGING_H_

@@ -1,0 +1,110 @@
+#ifndef TECORE_UTIL_RANDOM_H_
+#define TECORE_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tecore {
+
+/// \brief Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// All randomized components in TeCoRe (data generators, WalkSAT, noise
+/// models) take an explicit seed so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// \brief Re-seed the generator deterministically.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to expand the seed into four non-zero state words.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// \brief Next 64 uniform random bits.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Bernoulli draw with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Approximately normal draw (Irwin-Hall with 12 uniforms).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return mean + stddev * (sum - 6.0);
+  }
+
+  /// \brief Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// \brief Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  size_t PickIndex(const Container& c) {
+    assert(!c.empty());
+    return static_cast<size_t>(Uniform(c.size()));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_RANDOM_H_

@@ -1,0 +1,148 @@
+#ifndef TECORE_UTIL_STATUS_H_
+#define TECORE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tecore {
+
+/// \brief Error category for a failed operation.
+///
+/// Mirrors the RocksDB/Arrow convention of returning a rich status object
+/// instead of throwing for expected failure modes (parse errors, lookups,
+/// validation failures). `kOk` is the success sentinel.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kUnsupported,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+  kTimeout,
+};
+
+/// \brief Human-readable name of a status code (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// Cheap to copy in the OK case (no message allocation). Use the static
+/// constructors: `Status::OK()`, `Status::ParseError("...")`, etc.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing `value()` on an error result is a programming error (asserts in
+/// debug builds). Follows the Arrow `Result<T>` shape.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Value or a fallback if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// \brief Propagate a non-OK Status from an expression (RocksDB idiom).
+#define TECORE_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::tecore::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// \brief Assign from a Result or propagate its error Status.
+#define TECORE_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto lhs##_result = (expr);               \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto& lhs = *lhs##_result
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef TECORE_UTIL_STRING_UTIL_H_
+#define TECORE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tecore {
+
+/// \brief Split `input` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// \brief Split `input` on any run of ASCII whitespace, dropping empties.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// \brief Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// \brief Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Lower-case an ASCII string.
+std::string ToLower(std::string_view s);
+
+/// \brief Parse a signed 64-bit integer; returns false on any trailing junk.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// \brief Parse a double; returns false on any trailing junk.
+bool ParseDouble(std::string_view s, double* out);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Format a count with thousands separators, e.g. 243157 -> "243,157".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_STRING_UTIL_H_

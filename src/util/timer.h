@@ -1,0 +1,41 @@
+#ifndef TECORE_UTIL_TIMER_H_
+#define TECORE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tecore {
+
+/// \brief Simple monotonic wall-clock timer for benchmarks and statistics.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restart the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time in milliseconds since construction/Reset.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// \brief Elapsed time in microseconds since construction/Reset.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// \brief Elapsed time in seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_TIMER_H_

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "temporal/allen_network.h"
+
+namespace tecore {
+namespace temporal {
+namespace {
+
+TEST(AllenNetwork, TrivialNetworkIsConsistent) {
+  AllenNetwork net(3);
+  EXPECT_TRUE(net.Propagate());
+  EXPECT_TRUE(net.PossiblyConsistent());
+}
+
+TEST(AllenNetwork, TransitivityOfBefore) {
+  AllenNetwork net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kBefore)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, AllenSet(AllenRelation::kBefore)).ok());
+  ASSERT_TRUE(net.Propagate());
+  // 0 before 2 is forced.
+  EXPECT_EQ(net.RelationsBetween(0, 2), AllenSet(AllenRelation::kBefore));
+  // And the converse edge mirrors it.
+  EXPECT_EQ(net.RelationsBetween(2, 0), AllenSet(AllenRelation::kAfter));
+}
+
+TEST(AllenNetwork, DetectsCyclicInconsistency) {
+  // t0 < t1 < t2 < t0 is impossible.
+  AllenNetwork net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kBefore)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, AllenSet(AllenRelation::kBefore)).ok());
+  ASSERT_TRUE(net.Constrain(2, 0, AllenSet(AllenRelation::kBefore)).ok());
+  EXPECT_FALSE(net.Propagate());
+  EXPECT_FALSE(net.PossiblyConsistent());
+}
+
+TEST(AllenNetwork, DuringChainRefinesEnclosure) {
+  AllenNetwork net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kDuring)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, AllenSet(AllenRelation::kDuring)).ok());
+  ASSERT_TRUE(net.Propagate());
+  EXPECT_EQ(net.RelationsBetween(0, 2), AllenSet(AllenRelation::kDuring));
+}
+
+TEST(AllenNetwork, ConstraintIntersectionNarrows) {
+  AllenNetwork net(2);
+  AllenSet either;
+  either.Add(AllenRelation::kBefore).Add(AllenRelation::kMeets);
+  ASSERT_TRUE(net.Constrain(0, 1, either).ok());
+  AllenSet other;
+  other.Add(AllenRelation::kMeets).Add(AllenRelation::kOverlaps);
+  ASSERT_TRUE(net.Constrain(0, 1, other).ok());
+  EXPECT_EQ(net.RelationsBetween(0, 1), AllenSet(AllenRelation::kMeets));
+}
+
+TEST(AllenNetwork, EmptyEdgeConstraintIsInconsistent) {
+  AllenNetwork net(2);
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kBefore)).ok());
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kAfter)).ok());
+  EXPECT_FALSE(net.PossiblyConsistent());
+  EXPECT_FALSE(net.Propagate());
+}
+
+TEST(AllenNetwork, RejectsOutOfRangeAndBadSelfEdge) {
+  AllenNetwork net(2);
+  EXPECT_EQ(net.Constrain(0, 5, AllenSet::All()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(net.Constrain(0, 0, AllenSet(AllenRelation::kBefore)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(net.Constrain(0, 0, AllenSet::All()).ok());
+}
+
+TEST(AllenNetwork, PaperConstraintPatternIsSatisfiable) {
+  // birthDate before deathDate; career during life; all jointly fine.
+  AllenNetwork net(3);  // 0=life, 1=career, 2=death-point
+  ASSERT_TRUE(net.Constrain(1, 0, AllenSet(AllenRelation::kDuring)).ok());
+  ASSERT_TRUE(net.Constrain(0, 2, AllenSet(AllenRelation::kMeets)).ok());
+  ASSERT_TRUE(net.Propagate());
+  // career must be before or at least not after the death point.
+  EXPECT_FALSE(net.RelationsBetween(1, 2).Contains(AllenRelation::kAfter));
+}
+
+TEST(AllenNetwork, ToStringShowsRefinedEdges) {
+  AllenNetwork net(2);
+  ASSERT_TRUE(net.Constrain(0, 1, AllenSet(AllenRelation::kBefore)).ok());
+  std::string dump = net.ToString();
+  EXPECT_NE(dump.find("before"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "temporal/allen.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace temporal {
+namespace {
+
+TEST(AllenRelation, ThirteenBasicRelationsOnCanonicalPairs) {
+  // One canonical witness per relation (closed intervals; half-open view
+  // makes adjacent discrete intervals "meet").
+  EXPECT_EQ(RelationBetween({0, 1}, {3, 4}), AllenRelation::kBefore);
+  EXPECT_EQ(RelationBetween({0, 1}, {2, 4}), AllenRelation::kMeets);
+  EXPECT_EQ(RelationBetween({0, 2}, {2, 4}), AllenRelation::kOverlaps);
+  EXPECT_EQ(RelationBetween({0, 1}, {0, 4}), AllenRelation::kStarts);
+  EXPECT_EQ(RelationBetween({1, 2}, {0, 4}), AllenRelation::kDuring);
+  EXPECT_EQ(RelationBetween({2, 4}, {0, 4}), AllenRelation::kFinishes);
+  EXPECT_EQ(RelationBetween({0, 4}, {0, 4}), AllenRelation::kEquals);
+  EXPECT_EQ(RelationBetween({0, 4}, {2, 4}), AllenRelation::kFinishedBy);
+  EXPECT_EQ(RelationBetween({0, 4}, {1, 2}), AllenRelation::kContains);
+  EXPECT_EQ(RelationBetween({0, 4}, {0, 1}), AllenRelation::kStartedBy);
+  EXPECT_EQ(RelationBetween({2, 4}, {0, 2}), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(RelationBetween({2, 4}, {0, 1}), AllenRelation::kMetBy);
+  EXPECT_EQ(RelationBetween({3, 4}, {0, 1}), AllenRelation::kAfter);
+}
+
+TEST(AllenRelation, PaperExample) {
+  // Chelsea [2000,2004] vs Napoli [2001,2003]: coach spells overlap
+  // (contains), hence the c2 conflict.
+  Interval chelsea(2000, 2004), napoli(2001, 2003);
+  EXPECT_EQ(RelationBetween(chelsea, napoli), AllenRelation::kContains);
+  EXPECT_TRUE(AllenSet::Intersecting().Holds(chelsea, napoli));
+  EXPECT_FALSE(AllenSet::Disjoint().Holds(chelsea, napoli));
+  // Chelsea vs Leicester [2015,2017] are disjoint.
+  EXPECT_TRUE(AllenSet::Disjoint().Holds(chelsea, Interval(2015, 2017)));
+}
+
+/// Property: for every pair, exactly one basic relation holds (JEPD).
+class AllenPairSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(AllenPairSweep, ExactlyOneRelationHolds) {
+  auto [ab, ae, bb, be] = GetParam();
+  if (ab > ae || bb > be) GTEST_SKIP();
+  Interval a(ab, ae), b(bb, be);
+  AllenRelation r = RelationBetween(a, b);
+  int holds = 0;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if (AllenSet(static_cast<AllenRelation>(i)).Holds(a, b)) ++holds;
+  }
+  EXPECT_EQ(holds, 1);
+  // And the converse holds in the swapped direction.
+  EXPECT_EQ(RelationBetween(b, a), Converse(r));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallDomain, AllenPairSweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 4),
+                       ::testing::Range(0, 4), ::testing::Range(0, 4)));
+
+TEST(AllenConverse, IsAnInvolutionPairedAroundEquals) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    AllenRelation r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(Converse(Converse(r)), r);
+  }
+  EXPECT_EQ(Converse(AllenRelation::kEquals), AllenRelation::kEquals);
+  EXPECT_EQ(Converse(AllenRelation::kBefore), AllenRelation::kAfter);
+  EXPECT_EQ(Converse(AllenRelation::kMeets), AllenRelation::kMetBy);
+  EXPECT_EQ(Converse(AllenRelation::kOverlaps), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(Converse(AllenRelation::kStarts), AllenRelation::kStartedBy);
+  EXPECT_EQ(Converse(AllenRelation::kDuring), AllenRelation::kContains);
+  EXPECT_EQ(Converse(AllenRelation::kFinishes), AllenRelation::kFinishedBy);
+}
+
+TEST(AllenNames, RoundTripThroughParser) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    AllenRelation r = static_cast<AllenRelation>(i);
+    auto parsed = ParseAllenRelation(AllenRelationName(r));
+    ASSERT_TRUE(parsed.ok()) << AllenRelationName(r);
+    EXPECT_EQ(*parsed, r);
+  }
+  // CamelCase aliases.
+  EXPECT_EQ(*ParseAllenRelation("overlappedBy"), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(*ParseAllenRelation("finished_by"), AllenRelation::kFinishedBy);
+  EXPECT_EQ(*ParseAllenRelation("overlap"), AllenRelation::kOverlaps);
+  EXPECT_FALSE(ParseAllenRelation("sideways").ok());
+}
+
+TEST(AllenComposition, KnownIdentities) {
+  // before ∘ before = {before}
+  EXPECT_EQ(ComposeBasic(AllenRelation::kBefore, AllenRelation::kBefore),
+            AllenSet(AllenRelation::kBefore));
+  // equals is the identity of composition.
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    AllenRelation r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(ComposeBasic(AllenRelation::kEquals, r), AllenSet(r));
+    EXPECT_EQ(ComposeBasic(r, AllenRelation::kEquals), AllenSet(r));
+  }
+  // meets ∘ met-by contains equals (A meets B, B met-by C allows A = C).
+  EXPECT_TRUE(ComposeBasic(AllenRelation::kMeets, AllenRelation::kMetBy)
+                  .Contains(AllenRelation::kEquals));
+  // before ∘ after is the full set (no information).
+  EXPECT_EQ(ComposeBasic(AllenRelation::kBefore, AllenRelation::kAfter),
+            AllenSet::All());
+  // during ∘ during = {during}.
+  EXPECT_EQ(ComposeBasic(AllenRelation::kDuring, AllenRelation::kDuring),
+            AllenSet(AllenRelation::kDuring));
+  // overlaps ∘ overlaps = {before, meets, overlaps}.
+  AllenSet expected;
+  expected.Add(AllenRelation::kBefore)
+      .Add(AllenRelation::kMeets)
+      .Add(AllenRelation::kOverlaps);
+  EXPECT_EQ(ComposeBasic(AllenRelation::kOverlaps, AllenRelation::kOverlaps),
+            expected);
+}
+
+TEST(AllenComposition, SoundOnRandomTriples) {
+  // Property: for random concrete triples, rel(A,C) is always a member of
+  // rel(A,B) ∘ rel(B,C).
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto make = [&rng]() {
+      int64_t b = rng.UniformRange(0, 30);
+      return Interval(b, b + rng.UniformRange(0, 10));
+    };
+    Interval a = make(), b = make(), c = make();
+    AllenSet composed =
+        ComposeBasic(RelationBetween(a, b), RelationBetween(b, c));
+    EXPECT_TRUE(composed.Contains(RelationBetween(a, c)))
+        << a.ToString() << " " << b.ToString() << " " << c.ToString();
+  }
+}
+
+TEST(AllenComposition, ConverseAntiHomomorphism) {
+  // (r1 ∘ r2)^-1 == r2^-1 ∘ r1^-1 for all basic pairs.
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    for (int j = 0; j < kNumAllenRelations; ++j) {
+      AllenRelation r1 = static_cast<AllenRelation>(i);
+      AllenRelation r2 = static_cast<AllenRelation>(j);
+      EXPECT_EQ(ComposeBasic(r1, r2).ConverseSet(),
+                ComposeBasic(Converse(r2), Converse(r1)));
+    }
+  }
+}
+
+TEST(AllenSet, SetAlgebra) {
+  AllenSet disjoint = AllenSet::Disjoint();
+  AllenSet intersecting = AllenSet::Intersecting();
+  EXPECT_EQ(disjoint.Count() + intersecting.Count(), kNumAllenRelations);
+  EXPECT_TRUE(disjoint.Intersect(intersecting).Empty());
+  EXPECT_EQ(disjoint.Union(intersecting), AllenSet::All());
+  EXPECT_EQ(disjoint.ConverseSet(), disjoint);  // symmetric set
+  EXPECT_EQ(AllenSet::None().Count(), 0);
+  EXPECT_TRUE(AllenSet::None().Empty());
+}
+
+TEST(AllenSet, ToStringListsMembers) {
+  AllenSet s;
+  s.Add(AllenRelation::kBefore).Add(AllenRelation::kMeets);
+  EXPECT_EQ(s.ToString(), "{before,meets}");
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace tecore

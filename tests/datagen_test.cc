@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "kb/statistics.h"
+
+namespace tecore {
+namespace datagen {
+namespace {
+
+TEST(RunningExample, MatchesFigure1) {
+  rdf::TemporalGraph graph = RunningExampleGraph(false);
+  ASSERT_EQ(graph.NumFacts(), 5u);
+  EXPECT_EQ(graph.FactToString(0),
+            "(CR, coach, Chelsea, [2000,2004]) 0.90");
+  EXPECT_EQ(graph.FactToString(4), "(CR, coach, Napoli, [2001,2003]) 0.60");
+  rdf::TemporalGraph with_locations = RunningExampleGraph(true);
+  EXPECT_EQ(with_locations.NumFacts(), 9u);
+}
+
+TEST(FootballDb, ReproducesPaperCardinalities) {
+  FootballDbOptions options;  // defaults aim at the paper's >13K / >6K
+  GeneratedKg kg = GenerateFootballDb(options);
+  auto counts = kg.graph.PredicateCounts();
+  size_t plays_for = 0, birth_date = 0;
+  for (const auto& [pred, count] : counts) {
+    const std::string name = kg.graph.dict().Lookup(pred).lexical();
+    if (name == "playsFor") plays_for = count;
+    if (name == "birthDate") birth_date = count;
+  }
+  EXPECT_GT(plays_for, 13'000u);
+  EXPECT_GT(birth_date, 6'000u);
+  EXPECT_EQ(kg.num_clean + kg.num_noise, kg.graph.NumFacts());
+  EXPECT_EQ(kg.is_noise.size(), kg.graph.NumFacts());
+}
+
+TEST(FootballDb, NoiseRateIsRespected) {
+  FootballDbOptions options;
+  options.num_players = 2000;
+  options.noise_rate = 1.0;  // "as many erroneous facts as correct ones"
+  GeneratedKg kg = GenerateFootballDb(options);
+  // noise kinds fire with rates 1.0 / 0.5 / 0.25 per player against ~3
+  // clean facts per player; expect a substantial noise share.
+  double ratio = static_cast<double>(kg.num_noise) /
+                 static_cast<double>(kg.num_clean);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 1.0);
+
+  FootballDbOptions clean_options;
+  clean_options.num_players = 500;
+  clean_options.noise_rate = 0.0;
+  GeneratedKg clean = GenerateFootballDb(clean_options);
+  EXPECT_EQ(clean.num_noise, 0u);
+}
+
+TEST(FootballDb, DeterministicForSeed) {
+  FootballDbOptions options;
+  options.num_players = 200;
+  GeneratedKg a = GenerateFootballDb(options);
+  GeneratedKg b = GenerateFootballDb(options);
+  ASSERT_EQ(a.graph.NumFacts(), b.graph.NumFacts());
+  for (rdf::FactId id = 0; id < a.graph.NumFacts(); ++id) {
+    EXPECT_EQ(a.graph.FactToString(id), b.graph.FactToString(id));
+  }
+  options.seed = 999;
+  GeneratedKg c = GenerateFootballDb(options);
+  EXPECT_NE(a.graph.NumFacts(), c.graph.NumFacts());
+}
+
+TEST(FootballDb, CleanFactsAreTemporallyConsistent) {
+  FootballDbOptions options;
+  options.num_players = 300;
+  options.noise_rate = 0.0;
+  GeneratedKg kg = GenerateFootballDb(options);
+  // Careers never overlap for a clean player: group by subject.
+  const auto& dict = kg.graph.dict();
+  auto plays_for = dict.FindIri("playsFor");
+  ASSERT_TRUE(plays_for.ok());
+  for (const auto& fact : kg.graph.facts()) {
+    if (fact.predicate != *plays_for) continue;
+    for (rdf::FactId other_id :
+         kg.graph.FactsWithSubjectPredicate(fact.subject, *plays_for)) {
+      const auto& other = kg.graph.fact(other_id);
+      if (&other == &fact) continue;
+      if (other.object != fact.object) {
+        EXPECT_FALSE(fact.interval.Intersects(other.interval))
+            << kg.graph.FactToString(fact) << " vs "
+            << kg.graph.FactToString(other);
+      }
+    }
+  }
+}
+
+TEST(Wikidata, HitsTargetSizeAndMix) {
+  WikidataOptions options;
+  options.target_facts = 20'000;
+  GeneratedKg kg = GenerateWikidata(options);
+  EXPECT_NEAR(static_cast<double>(kg.graph.NumFacts()), 20'000, 2.0);
+  kb::GraphStatistics stats = kb::ComputeStatistics(kg.graph);
+  // playsFor dominates, as in the paper's extract.
+  EXPECT_EQ(stats.predicate_counts[0].first, "playsFor");
+  EXPECT_GT(stats.predicate_counts[0].second, kg.graph.NumFacts() / 2);
+  // All five relations are present.
+  EXPECT_EQ(stats.num_distinct_predicates, 5u);
+}
+
+TEST(Wikidata, NoiseShareScalesWithRate) {
+  WikidataOptions low;
+  low.target_facts = 30'000;
+  low.noise_rate = 0.01;
+  WikidataOptions high = low;
+  high.noise_rate = 0.10;
+  GeneratedKg a = GenerateWikidata(low);
+  GeneratedKg b = GenerateWikidata(high);
+  EXPECT_LT(a.num_noise * 5, b.num_noise);
+}
+
+TEST(Wikidata, DefaultsAimAtFigure8) {
+  WikidataOptions options;
+  EXPECT_EQ(options.target_facts, 243'157u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace tecore

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/resolver.h"
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "rdf/io.h"
+#include "rules/parser.h"
+#include "rules/validator.h"
+
+namespace tecore {
+namespace {
+
+// Targeted coverage of less-travelled paths across modules.
+
+TEST(ParserEdge, SemicolonSeparatesStatements) {
+  auto set = rules::ParseRules(
+      "quad(x, p1, y, t) -> false ; quad(x, p2, y, t) -> false");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->Size(), 2u);
+}
+
+TEST(ParserEdge, HardKeywordAndInfinityAliases) {
+  for (const char* weight : {"inf", "infinity", "hard"}) {
+    auto rule = rules::ParseSingleRule(
+        std::string("quad(x, p, y, t) -> false w = ") + weight + " .");
+    ASSERT_TRUE(rule.ok()) << weight;
+    EXPECT_TRUE(rule->hard) << weight;
+  }
+}
+
+TEST(ParserEdge, NegativeIntervalLiteral) {
+  auto rule = rules::ParseSingleRule(
+      "quad(x, era, y, [-44, -27]) -> false .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body[0].time.constant(), temporal::Interval(-44, -27));
+}
+
+TEST(ParserEdge, StringLiteralObject) {
+  auto rule = rules::ParseSingleRule(
+      "quad(x, label, \"the Tinkerman\", t) -> false .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body[0].object.constant().kind(),
+            rdf::TermKind::kLiteral);
+}
+
+TEST(ParserEdge, HullExpression) {
+  auto rule = rules::ParseSingleRule(
+      "quad(x, p, y, t) & quad(x, q, z, t') -> "
+      "quad(x, spans, y, hull(t, t')) w = 1 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.quads[0].time.kind(),
+            logic::IntervalExpr::Kind::kHull);
+}
+
+TEST(ParserEdge, ConditionWithEndAccessorAndAddition) {
+  auto rule = rules::ParseSingleRule(
+      "quad(x, p, y, t) [end(t) + 5 < 2000] -> false .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rules::ValidateRule(*rule).ok());
+}
+
+TEST(GrounderEdge, VariablePredicateFullScan) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  // p is a variable predicate: matches every fact; the reflexivity head
+  // is trivially satisfiable, so we count atoms only.
+  auto rules = rules::ParseRules(
+      "quad(x, p, y, t) -> quad(x, p, y, t) w = 1 .");
+  ASSERT_TRUE(rules.ok());
+  ground::GroundingOptions options;
+  options.add_evidence_priors = false;
+  ground::Grounder grounder(&graph, *rules, options);
+  auto result = grounder.Run();
+  ASSERT_TRUE(result.ok());
+  // Head == body atom: tautological clauses are dropped, no derived atoms.
+  EXPECT_EQ(result->network.NumAtoms(), graph.NumFacts());
+  EXPECT_EQ(result->network.NumClauses(), 0u);
+}
+
+TEST(GrounderEdge, HullHeadDerivesSpanningFact) {
+  rdf::TemporalGraph graph;
+  ASSERT_TRUE(graph.AddQuad("a", "pp", "b", temporal::Interval(1, 2), 0.9).ok());
+  ASSERT_TRUE(graph.AddQuad("a", "qq", "b", temporal::Interval(8, 9), 0.9).ok());
+  auto rules = rules::ParseRules(
+      "quad(x, pp, y, t) & quad(x, qq, y, t') -> "
+      "quad(x, spans, y, hull(t, t')) w = 1 .");
+  ASSERT_TRUE(rules.ok());
+  ground::GroundingOptions options;
+  options.add_evidence_priors = false;
+  ground::Grounder grounder(&graph, *rules, options);
+  auto result = grounder.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->network.NumAtoms(), 3u);
+  EXPECT_EQ(result->network.atom(2).interval, temporal::Interval(1, 9));
+}
+
+TEST(GrounderEdge, ConstantSubjectPattern) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto rules = rules::ParseRules(
+      "quad(CR, coach, y, t) & quad(CR, coach, z, t') & y != z "
+      "-> disjoint(t, t') .");
+  ASSERT_TRUE(rules.ok());
+  ground::GroundingOptions options;
+  options.add_evidence_priors = false;
+  ground::Grounder grounder(&graph, *rules, options);
+  auto result = grounder.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->network.NumClauses(), 1u);  // the Chelsea/Napoli clash
+}
+
+TEST(GrounderEdge, SoftConstraintEmitsWeightedConflictClause) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto rules = rules::ParseRules(
+      "soft_c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') w = 1.5 .");
+  ASSERT_TRUE(rules.ok());
+  ground::GroundingOptions options;
+  options.add_evidence_priors = false;
+  ground::Grounder grounder(&graph, *rules, options);
+  auto result = grounder.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->network.NumClauses(), 1u);
+  EXPECT_FALSE(result->network.clauses()[0].hard);
+  EXPECT_DOUBLE_EQ(result->network.clauses()[0].weight, 1.5);
+}
+
+TEST(ResolverEdge, SoftConstraintCanBeOverridden) {
+  // With a weak soft constraint, keeping both conflicting facts can beat
+  // dropping one: 0.6 (Napoli kept) > 0.2 (constraint satisfied).
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto weak = rules::ParseRules(
+      "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') w = 0.2 .");
+  ASSERT_TRUE(weak.ok());
+  core::ResolveOptions options;
+  core::Resolver resolver(&graph, *weak, options);
+  auto result = resolver.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->removed_facts.empty());
+
+  // A strong soft constraint behaves like the hard one.
+  rdf::TemporalGraph graph2 = datagen::RunningExampleGraph(false);
+  auto strong = rules::ParseRules(
+      "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') w = 5 .");
+  ASSERT_TRUE(strong.ok());
+  core::Resolver resolver2(&graph2, *strong, options);
+  auto result2 = resolver2.Run();
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->removed_facts.size(), 1u);
+}
+
+TEST(ResolverEdge, InfeasibleHardEvidenceStillReportsFaithfully) {
+  // Two confidence-1.0 facts in conflict: priors are soft (clamped), so
+  // the problem stays feasible and the MAP drops one of them.
+  rdf::TemporalGraph graph;
+  ASSERT_TRUE(graph
+                  .AddQuad("x", "coach", "A", temporal::Interval(0, 5), 1.0)
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddQuad("x", "coach", "B", temporal::Interval(2, 7), 1.0)
+                  .ok());
+  auto constraints = rules::ParseRules(
+      "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') .");
+  ASSERT_TRUE(constraints.ok());
+  core::ResolveOptions options;
+  core::Resolver resolver(&graph, *constraints, options);
+  auto result = resolver.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  EXPECT_EQ(result->removed_facts.size(), 1u);
+}
+
+TEST(IoEdge, CommentInsideStringIsKept) {
+  auto graph = rdf::ParseGraphText(
+      "CR label \"the # is not a comment\" [2000] 0.9 .\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(0).object).lexical(),
+            "the # is not a comment");
+}
+
+TEST(IoEdge, WindowsLineEndingsAndTrailingBlankLines) {
+  auto graph = rdf::ParseGraphText(
+      "CR coach Chelsea [2000,2004] 0.9 .\r\n\r\n\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumFacts(), 1u);
+}
+
+TEST(ValidatorEdge, VariablePredicateInHeadIsAllowedWhenBound) {
+  auto rule = rules::ParseSingleRule(
+      "quad(x, p, y, t) -> quad(y, p, x, t) w = 1 .");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rules::ValidateRule(*rule).ok());
+}
+
+}  // namespace
+}  // namespace tecore

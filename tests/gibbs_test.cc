@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "mln/gibbs.h"
+#include "mln/solver.h"
+#include "rules/library.h"
+
+namespace tecore {
+namespace mln {
+namespace {
+
+/// Exact marginals by enumerating all worlds of a small network under the
+/// log-linear distribution (hard clauses mapped to `hard_weight` to match
+/// the sampler's target distribution exactly).
+std::vector<double> ExactMarginals(const ground::GroundNetwork& net,
+                                   double hard_weight) {
+  const size_t n = net.NumAtoms();
+  std::vector<double> numerator(n, 0.0);
+  double z = 0.0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double score = 0.0;
+    for (const ground::GroundClause& clause : net.clauses()) {
+      bool satisfied = false;
+      for (int32_t lit : clause.literals) {
+        const bool value = (mask >> ground::LiteralAtom(lit)) & 1;
+        if (value == ground::LiteralSign(lit)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) score += clause.hard ? hard_weight : clause.weight;
+    }
+    const double p = std::exp(score);
+    z += p;
+    for (size_t a = 0; a < n; ++a) {
+      if ((mask >> a) & 1) numerator[a] += p;
+    }
+  }
+  for (double& v : numerator) v /= z;
+  return numerator;
+}
+
+ground::GroundingResult GroundRunningExample() {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto constraints = rules::PaperConstraints();
+  EXPECT_TRUE(constraints.ok());
+  ground::Grounder grounder(&graph, *constraints);
+  auto result = grounder.Run();
+  EXPECT_TRUE(result.ok());
+  return std::move(*result);
+}
+
+TEST(Gibbs, SingleAtomMatchesSigmoid) {
+  ground::GroundNetwork net;
+  ground::AtomId atom =
+      net.GetOrAddAtom(0, 1, 2, temporal::Interval(0, 1), true, 1.5, 0);
+  net.AddPriorClauses(0.0);
+  (void)atom;
+  GibbsOptions options;
+  options.sample_sweeps = 20000;
+  auto result = GibbsSampler(net, options).Run();
+  ASSERT_TRUE(result.ok());
+  // P(x=1) = sigmoid(1.5) ≈ 0.8176.
+  EXPECT_NEAR(result->marginals[0], 1.0 / (1.0 + std::exp(-1.5)), 0.02);
+}
+
+TEST(Gibbs, MatchesExactEnumerationOnRunningExample) {
+  ground::GroundingResult grounding = GroundRunningExample();
+  const auto& net = grounding.network;
+  ASSERT_LE(net.NumAtoms(), 12u) << "exact enumeration needs a small net";
+  GibbsOptions options;
+  options.sample_sweeps = 30000;
+  options.burn_in_sweeps = 2000;
+  auto result = GibbsSampler(net, options).Run();
+  ASSERT_TRUE(result.ok());
+  std::vector<double> exact = ExactMarginals(net, options.hard_weight);
+  for (size_t a = 0; a < net.NumAtoms(); ++a) {
+    EXPECT_NEAR(result->marginals[a], exact[a], 0.03) << "atom " << a;
+  }
+}
+
+TEST(Gibbs, ConflictingFactsShareProbabilityMass) {
+  // Chelsea (0.9) and Napoli (0.6) cannot both hold: the posterior should
+  // clearly favour Chelsea, and their joint mass can't exceed 1 by much
+  // (soft-hard constraint leaves a tiny both-false/both-true residue).
+  ground::GroundingResult grounding = GroundRunningExample();
+  GibbsOptions options;
+  options.sample_sweeps = 20000;
+  auto result = GibbsSampler(grounding.network, options).Run();
+  ASSERT_TRUE(result.ok());
+  const double chelsea = result->marginals[0];
+  const double napoli = result->marginals[4];
+  // With confidence-scale weights the posterior is diffuse (the exact
+  // pairwise distribution gives P(Chelsea)=0.466, P(Napoli)=0.345): the
+  // ordering holds, and the conflict caps their joint mass.
+  EXPECT_GT(chelsea, napoli + 0.05);
+  EXPECT_LT(napoli, 0.5);
+  EXPECT_LT(chelsea + napoli, 1.0);
+}
+
+TEST(Gibbs, DeterministicForSeed) {
+  ground::GroundingResult grounding = GroundRunningExample();
+  GibbsOptions options;
+  options.sample_sweeps = 500;
+  auto a = GibbsSampler(grounding.network, options).Run();
+  auto b = GibbsSampler(grounding.network, options).Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->marginals, b->marginals);
+  options.seed += 1;
+  auto c = GibbsSampler(grounding.network, options).Run();
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->marginals, c->marginals);
+}
+
+TEST(Gibbs, MarginalsAreProbabilities) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = 50;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto constraints = rules::FootballConstraints();
+  ASSERT_TRUE(constraints.ok());
+  ground::Grounder grounder(&kg.graph, *constraints);
+  auto grounding = grounder.Run();
+  ASSERT_TRUE(grounding.ok());
+  GibbsOptions options;
+  options.sample_sweeps = 200;
+  options.burn_in_sweeps = 50;
+  auto result = GibbsSampler(grounding->network, options).Run();
+  ASSERT_TRUE(result.ok());
+  for (double m : result->marginals) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(Gibbs, MapStateInitializationIsAccepted) {
+  ground::GroundingResult grounding = GroundRunningExample();
+  MlnMapSolver solver(grounding.network);
+  auto map_solution = solver.Solve();
+  ASSERT_TRUE(map_solution.ok());
+  GibbsOptions options;
+  options.initial_state = map_solution->atom_values;
+  options.sample_sweeps = 500;
+  auto result = GibbsSampler(grounding.network, options).Run();
+  ASSERT_TRUE(result.ok());
+  // The MAP preference (Chelsea over Napoli) shows in the posterior too.
+  EXPECT_GT(result->marginals[0], result->marginals[4]);
+
+  GibbsOptions bad;
+  bad.initial_state = {true};  // wrong size
+  EXPECT_FALSE(GibbsSampler(grounding.network, bad).Run().ok());
+}
+
+TEST(Gibbs, EmptyNetwork) {
+  ground::GroundNetwork net;
+  auto result = GibbsSampler(net).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->marginals.empty());
+}
+
+}  // namespace
+}  // namespace mln
+}  // namespace tecore

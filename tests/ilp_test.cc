@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ilp/branch_bound.h"
+#include "ilp/lp.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace ilp {
+namespace {
+
+TEST(Simplex, SolvesTextbookLp) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y in [0, 10].
+  // Optimum at (4, 0) with objective 12.
+  LpProblem lp;
+  lp.AddVar(3.0, 10.0);
+  lp.AddVar(2.0, 10.0);
+  lp.AddRow({{{0, 1.0}, {1, 1.0}}, RowOp::kLe, 4.0});
+  lp.AddRow({{{0, 1.0}, {1, 3.0}}, RowOp::kLe, 6.0});
+  LpResult result = SimplexSolver().Solve(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 12.0, 1e-6);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-6);
+}
+
+TEST(Simplex, HandlesGeAndEqRows) {
+  // max x + y  s.t. x + y = 1, x >= 0.25, bounds [0,1].
+  LpProblem lp;
+  lp.AddVar(1.0);
+  lp.AddVar(1.0);
+  lp.AddRow({{{0, 1.0}, {1, 1.0}}, RowOp::kEq, 1.0});
+  lp.AddRow({{{0, 1.0}}, RowOp::kGe, 0.25});
+  LpResult result = SimplexSolver().Solve(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-6);
+  EXPECT_GE(result.x[0], 0.25 - 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  lp.AddVar(1.0);
+  lp.AddRow({{{0, 1.0}}, RowOp::kGe, 2.0});  // x >= 2 but x <= 1
+  LpResult result = SimplexSolver().Solve(lp);
+  EXPECT_EQ(result.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -0.5  <=>  x >= 0.5.
+  LpProblem lp;
+  lp.AddVar(-1.0);  // minimize x
+  lp.AddRow({{{0, -1.0}}, RowOp::kLe, -0.5});
+  LpResult result = SimplexSolver().Solve(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 0.5, 1e-6);
+}
+
+TEST(Simplex, BoundsAreRespected) {
+  LpProblem lp;
+  lp.AddVar(1.0, 0.7);
+  LpResult result = SimplexSolver().Solve(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 0.7, 1e-6);
+}
+
+/// Brute-force 0/1 reference.
+double BruteForceIlp(const IlpProblem& problem, bool* feasible) {
+  double best = -std::numeric_limits<double>::infinity();
+  *feasible = false;
+  for (uint64_t mask = 0; mask < (1ULL << problem.num_vars); ++mask) {
+    std::vector<int> x(static_cast<size_t>(problem.num_vars));
+    for (int v = 0; v < problem.num_vars; ++v) x[static_cast<size_t>(v)] = (mask >> v) & 1;
+    bool ok = true;
+    for (const LinearRow& row : problem.rows) {
+      double lhs = 0;
+      for (const auto& [v, c] : row.coefs) lhs += c * x[static_cast<size_t>(v)];
+      if ((row.op == RowOp::kLe && lhs > row.rhs + 1e-9) ||
+          (row.op == RowOp::kGe && lhs < row.rhs - 1e-9) ||
+          (row.op == RowOp::kEq && std::abs(lhs - row.rhs) > 1e-9)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    *feasible = true;
+    double obj = 0;
+    for (int v = 0; v < problem.num_vars; ++v) {
+      obj += problem.objective[static_cast<size_t>(v)] * x[static_cast<size_t>(v)];
+    }
+    best = std::max(best, obj);
+  }
+  return best;
+}
+
+TEST(BranchBound, SolvesSmallKnapsack) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary).
+  IlpProblem problem;
+  problem.AddVar(10);
+  problem.AddVar(6);
+  problem.AddVar(4);
+  problem.AddRow({{{0, 1.0}, {1, 1.0}, {2, 1.0}}, RowOp::kLe, 2.0});
+  IlpResult result = BranchBoundSolver().Solve(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_NEAR(result.objective, 16.0, 1e-9);
+  EXPECT_EQ(result.x[0], 1);
+  EXPECT_EQ(result.x[1], 1);
+  EXPECT_EQ(result.x[2], 0);
+}
+
+TEST(BranchBound, DetectsInfeasibility) {
+  IlpProblem problem;
+  problem.AddVar(1);
+  problem.AddRow({{{0, 1.0}}, RowOp::kGe, 2.0});  // binary can't reach 2
+  IlpResult result = BranchBoundSolver().Solve(problem);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(BranchBound, MatchesBruteForceOnRandomInstances) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 40; ++trial) {
+    IlpProblem problem;
+    const int n = 2 + static_cast<int>(rng.Uniform(7));
+    for (int v = 0; v < n; ++v) {
+      problem.AddVar(rng.UniformRange(-5, 10));
+    }
+    const int m = 1 + static_cast<int>(rng.Uniform(6));
+    for (int r = 0; r < m; ++r) {
+      LinearRow row;
+      for (int v = 0; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) {
+          row.coefs.emplace_back(v, static_cast<double>(rng.UniformRange(-3, 3)));
+        }
+      }
+      if (row.coefs.empty()) row.coefs.emplace_back(0, 1.0);
+      row.op = rng.Bernoulli(0.5) ? RowOp::kLe : RowOp::kGe;
+      row.rhs = static_cast<double>(rng.UniformRange(-2, 4));
+      problem.AddRow(std::move(row));
+    }
+    bool expected_feasible = false;
+    double expected = BruteForceIlp(problem, &expected_feasible);
+    IlpResult result = BranchBoundSolver().Solve(problem);
+    EXPECT_EQ(result.feasible, expected_feasible);
+    if (expected_feasible && result.feasible) {
+      EXPECT_TRUE(result.optimal);
+      EXPECT_NEAR(result.objective, expected, 1e-6);
+    }
+  }
+}
+
+TEST(BranchBound, EmptyProblem) {
+  IlpProblem problem;
+  IlpResult result = BranchBoundSolver().Solve(problem);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace ilp
+}  // namespace tecore

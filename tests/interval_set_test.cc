@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "temporal/interval_set.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace temporal {
+namespace {
+
+TEST(IntervalSet, NormalizesOverlapsAndAdjacency) {
+  IntervalSet s({{1, 3}, {2, 5}, {6, 8}, {12, 14}});
+  // [1,3]+[2,5] merge; [6,8] is adjacent to [2,5] in discrete time.
+  ASSERT_EQ(s.Size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(1, 8));
+  EXPECT_EQ(s.intervals()[1], Interval(12, 14));
+}
+
+TEST(IntervalSet, AddKeepsNormalForm) {
+  IntervalSet s;
+  s.Add({10, 12});
+  s.Add({1, 2});
+  s.Add({4, 8});
+  s.Add({3, 3});  // bridges [1,2] and [4,8]
+  ASSERT_EQ(s.Size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(1, 8));
+}
+
+TEST(IntervalSet, UnionIntersectSubtract) {
+  IntervalSet a({{1, 5}, {10, 15}});
+  IntervalSet b({{4, 11}});
+  IntervalSet u = a.Union(b);
+  ASSERT_EQ(u.Size(), 1u);
+  EXPECT_EQ(u.intervals()[0], Interval(1, 15));
+
+  IntervalSet i = a.Intersect(b);
+  ASSERT_EQ(i.Size(), 2u);
+  EXPECT_EQ(i.intervals()[0], Interval(4, 5));
+  EXPECT_EQ(i.intervals()[1], Interval(10, 11));
+
+  IntervalSet d = a.Subtract(b);
+  ASSERT_EQ(d.Size(), 2u);
+  EXPECT_EQ(d.intervals()[0], Interval(1, 3));
+  EXPECT_EQ(d.intervals()[1], Interval(12, 15));
+}
+
+TEST(IntervalSet, SubtractSplitsInTheMiddle) {
+  IntervalSet a({{1, 10}});
+  IntervalSet b({{4, 6}});
+  IntervalSet d = a.Subtract(b);
+  ASSERT_EQ(d.Size(), 2u);
+  EXPECT_EQ(d.intervals()[0], Interval(1, 3));
+  EXPECT_EQ(d.intervals()[1], Interval(7, 10));
+}
+
+TEST(IntervalSet, MembershipQueries) {
+  IntervalSet s({{1, 5}, {10, 15}});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(7));
+  EXPECT_TRUE(s.Covers(Interval(11, 14)));
+  EXPECT_FALSE(s.Covers(Interval(4, 11)));
+  EXPECT_TRUE(s.Intersects(Interval(5, 7)));
+  EXPECT_FALSE(s.Intersects(Interval(6, 9)));
+  EXPECT_EQ(s.TotalDuration(), 5 + 6);
+}
+
+TEST(IntervalSet, EmptySetBehaviour) {
+  IntervalSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Intersects(Interval(0, 100)));
+  EXPECT_EQ(s.TotalDuration(), 0);
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_EQ(s.Union(s), s);
+  EXPECT_EQ(s.Intersect(s), s);
+}
+
+TEST(IntervalSet, PropertyAgainstPointwiseModel) {
+  // Property test: set operations agree with a bitset model over a small
+  // universe, across random inputs.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_set = [&rng]() {
+      std::vector<Interval> ivs;
+      const int n = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        int64_t b = rng.UniformRange(0, 40);
+        ivs.emplace_back(b, b + rng.UniformRange(0, 8));
+      }
+      return IntervalSet(std::move(ivs));
+    };
+    IntervalSet a = random_set(), b = random_set();
+    auto model = [](const IntervalSet& s, TimePoint t) {
+      return s.Contains(t);
+    };
+    IntervalSet u = a.Union(b), i = a.Intersect(b), d = a.Subtract(b);
+    for (TimePoint t = -2; t <= 52; ++t) {
+      EXPECT_EQ(model(u, t), model(a, t) || model(b, t)) << "t=" << t;
+      EXPECT_EQ(model(i, t), model(a, t) && model(b, t)) << "t=" << t;
+      EXPECT_EQ(model(d, t), model(a, t) && !model(b, t)) << "t=" << t;
+    }
+    // Normal form: members sorted, disjoint, non-adjacent.
+    for (size_t k = 1; k < u.Size(); ++k) {
+      EXPECT_GT(u.intervals()[k].begin(), u.intervals()[k - 1].end() + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "temporal/interval.h"
+
+namespace tecore {
+namespace temporal {
+namespace {
+
+TEST(Interval, BasicAccessors) {
+  Interval iv(2000, 2004);
+  EXPECT_EQ(iv.begin(), 2000);
+  EXPECT_EQ(iv.end(), 2004);
+  EXPECT_EQ(iv.end_exclusive(), 2005);
+  EXPECT_EQ(iv.Duration(), 5);
+  EXPECT_EQ(iv.ToString(), "[2000,2004]");
+}
+
+TEST(Interval, PointInterval) {
+  Interval p = Interval::Point(1951);
+  EXPECT_EQ(p.begin(), p.end());
+  EXPECT_EQ(p.Duration(), 1);
+  EXPECT_EQ(p.ToString(), "[1951]");
+}
+
+TEST(Interval, MakeRejectsInverted) {
+  EXPECT_FALSE(Interval::Make(5, 3).ok());
+  EXPECT_EQ(Interval::Make(5, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Interval::Make(3, 3).ok());
+}
+
+TEST(Interval, ContainsPointAndInterval) {
+  Interval iv(10, 20);
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(20));
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_FALSE(iv.Contains(21));
+  EXPECT_TRUE(iv.Contains(Interval(12, 18)));
+  EXPECT_TRUE(iv.Contains(Interval(10, 20)));
+  EXPECT_FALSE(iv.Contains(Interval(5, 15)));
+}
+
+TEST(Interval, IntersectsAndIntersect) {
+  Interval a(2000, 2004), b(2001, 2003), c(2015, 2017);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  auto common = a.Intersect(b);
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, Interval(2001, 2003));
+  EXPECT_FALSE(a.Intersect(c).has_value());
+  // Single shared point.
+  auto point = Interval(1, 5).Intersect(Interval(5, 9));
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(*point, Interval(5, 5));
+}
+
+TEST(Interval, HullCoversBoth) {
+  Interval a(1, 3), b(10, 12);
+  EXPECT_EQ(a.Hull(b), Interval(1, 12));
+  EXPECT_EQ(b.Hull(a), Interval(1, 12));
+  EXPECT_EQ(a.Hull(a), a);
+}
+
+TEST(Interval, StrictOrder) {
+  EXPECT_TRUE(Interval(1, 2).StrictlyBefore(Interval(4, 5)));
+  EXPECT_FALSE(Interval(1, 4).StrictlyBefore(Interval(4, 5)));
+  EXPECT_TRUE(Interval(1, 2) < Interval(1, 3));
+  EXPECT_TRUE(Interval(1, 9) < Interval(2, 3));
+}
+
+TEST(Interval, ParseRoundTrip) {
+  auto iv = Interval::Parse("[2000,2004]");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(*iv, Interval(2000, 2004));
+  auto pt = Interval::Parse(" [ 1951 ] ");
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, Interval(1951, 1951));
+  auto ws = Interval::Parse("[ 10 , 20 ]");
+  ASSERT_TRUE(ws.ok());
+  EXPECT_EQ(*ws, Interval(10, 20));
+  auto negative = Interval::Parse("[-5,-1]");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(*negative, Interval(-5, -1));
+}
+
+TEST(Interval, ParseErrors) {
+  EXPECT_FALSE(Interval::Parse("2000,2004").ok());
+  EXPECT_FALSE(Interval::Parse("[2000,2004").ok());
+  EXPECT_FALSE(Interval::Parse("[b,e]").ok());
+  EXPECT_FALSE(Interval::Parse("[5,3]").ok());
+  EXPECT_FALSE(Interval::Parse("[]").ok());
+}
+
+TEST(Interval, HashDistinguishes) {
+  std::hash<Interval> h;
+  EXPECT_NE(h(Interval(1, 2)), h(Interval(1, 3)));
+  EXPECT_EQ(h(Interval(1, 2)), h(Interval(1, 2)));
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace tecore

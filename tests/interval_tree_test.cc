@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "temporal/interval_tree.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace temporal {
+namespace {
+
+TEST(IntervalTree, EmptyTree) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_TRUE(tree.Stab(5).empty());
+  EXPECT_TRUE(tree.FindIntersecting(Interval(0, 10)).empty());
+}
+
+TEST(IntervalTree, SingleInterval) {
+  IntervalTree tree;
+  tree.Build({{Interval(2000, 2004), 7}});
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Stab(2002), std::vector<IntervalTree::PayloadId>{7});
+  EXPECT_TRUE(tree.Stab(2005).empty());
+  EXPECT_EQ(tree.FindIntersecting(Interval(2004, 2010)).size(), 1u);
+  EXPECT_TRUE(tree.FindIntersecting(Interval(2005, 2010)).empty());
+}
+
+TEST(IntervalTree, RunningExampleOverlaps) {
+  IntervalTree tree;
+  tree.Build({{Interval(2000, 2004), 1},
+              {Interval(2015, 2017), 2},
+              {Interval(2001, 2003), 5}});
+  auto hits = tree.FindIntersecting(Interval(2001, 2003));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<IntervalTree::PayloadId>{1, 5}));
+}
+
+TEST(IntervalTree, MatchesBruteForceOnRandomData) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(200);
+    std::vector<std::pair<Interval, IntervalTree::PayloadId>> entries;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t b = rng.UniformRange(0, 500);
+      entries.emplace_back(Interval(b, b + rng.UniformRange(0, 50)),
+                           static_cast<IntervalTree::PayloadId>(i));
+    }
+    IntervalTree tree;
+    tree.Build(entries);
+    for (int q = 0; q < 20; ++q) {
+      int64_t b = rng.UniformRange(0, 520);
+      Interval probe(b, b + rng.UniformRange(0, 60));
+      std::vector<IntervalTree::PayloadId> expected;
+      for (const auto& [iv, id] : entries) {
+        if (iv.Intersects(probe)) expected.push_back(id);
+      }
+      auto actual = tree.FindIntersecting(probe);
+      std::sort(expected.begin(), expected.end());
+      std::sort(actual.begin(), actual.end());
+      EXPECT_EQ(actual, expected);
+    }
+  }
+}
+
+TEST(IntervalTree, VisitorEarlyTermination) {
+  IntervalTree tree;
+  tree.Build({{Interval(0, 10), 0}, {Interval(5, 15), 1}});
+  int count = 0;
+  tree.VisitIntersecting(Interval(6, 8), [&count](uint32_t) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(IntervalTree, RebuildReplacesContent) {
+  IntervalTree tree;
+  tree.Build({{Interval(0, 10), 0}});
+  tree.Build({{Interval(100, 110), 1}});
+  EXPECT_TRUE(tree.Stab(5).empty());
+  EXPECT_EQ(tree.Stab(105).size(), 1u);
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace tecore

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "logic/atom.h"
+#include "logic/eval.h"
+#include "logic/variable.h"
+
+namespace tecore {
+namespace logic {
+namespace {
+
+using temporal::Interval;
+
+TEST(VarTable, SortsAreEnforced) {
+  VarTable vars;
+  auto x = vars.FindOrAdd("x", Sort::kEntity);
+  ASSERT_TRUE(x.ok());
+  auto x_again = vars.FindOrAdd("x", Sort::kEntity);
+  ASSERT_TRUE(x_again.ok());
+  EXPECT_EQ(*x, *x_again);
+  EXPECT_FALSE(vars.FindOrAdd("x", Sort::kInterval).ok());
+  EXPECT_EQ(vars.NumVars(), 1);
+  EXPECT_FALSE(vars.Find("y").ok());
+  auto t = vars.FindOrAdd("t", Sort::kInterval);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(vars.VarsOfSort(Sort::kInterval),
+            std::vector<VarId>{*t});
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() {
+    x_ = *vars_.FindOrAdd("x", Sort::kEntity);
+    t_ = *vars_.FindOrAdd("t", Sort::kInterval);
+    u_ = *vars_.FindOrAdd("u", Sort::kInterval);
+  }
+
+  VarTable vars_;
+  VarId x_, t_, u_;
+  rdf::Dictionary dict_;
+};
+
+TEST_F(EvalTest, IntervalExpressions) {
+  Binding binding(vars_);
+  binding.BindInterval(t_, Interval(2000, 2004));
+  binding.BindInterval(u_, Interval(2001, 2003));
+
+  auto var_value = EvalInterval(IntervalExpr::Var(t_), binding);
+  ASSERT_TRUE(var_value.has_value());
+  EXPECT_EQ(*var_value, Interval(2000, 2004));
+
+  auto intersect = EvalInterval(
+      IntervalExpr::Intersect(IntervalExpr::Var(t_), IntervalExpr::Var(u_)),
+      binding);
+  ASSERT_TRUE(intersect.has_value());
+  EXPECT_EQ(*intersect, Interval(2001, 2003));
+
+  auto hull = EvalInterval(
+      IntervalExpr::Hull(IntervalExpr::Var(t_),
+                         IntervalExpr::Const(Interval(2010, 2012))),
+      binding);
+  ASSERT_TRUE(hull.has_value());
+  EXPECT_EQ(*hull, Interval(2000, 2012));
+
+  // Disjoint intersection -> no value.
+  auto empty = EvalInterval(
+      IntervalExpr::Intersect(IntervalExpr::Var(t_),
+                              IntervalExpr::Const(Interval(2010, 2012))),
+      binding);
+  EXPECT_FALSE(empty.has_value());
+
+  // Unbound variable -> no value.
+  Binding unbound(vars_);
+  EXPECT_FALSE(EvalInterval(IntervalExpr::Var(t_), unbound).has_value());
+}
+
+TEST_F(EvalTest, ArithmeticOverIntervalsAndInts) {
+  Binding binding(vars_);
+  binding.BindInterval(t_, Interval(1984, 1986));
+  binding.BindEntity(x_, dict_.InternInt(1951));
+
+  auto begin = EvalArith(ArithExpr::Begin(IntervalExpr::Var(t_)), binding,
+                         dict_);
+  ASSERT_TRUE(begin.ok());
+  EXPECT_EQ(*begin, 1984);
+
+  auto duration = EvalArith(ArithExpr::Duration(IntervalExpr::Var(t_)),
+                            binding, dict_);
+  ASSERT_TRUE(duration.ok());
+  EXPECT_EQ(*duration, 3);
+
+  // begin(t) - x = 1984 - 1951 = 33 (CR's age at career start).
+  auto age = EvalArith(
+      ArithExpr::Sub(ArithExpr::Begin(IntervalExpr::Var(t_)),
+                     ArithExpr::EntityVar(x_)),
+      binding, dict_);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(*age, 33);
+
+  // Arithmetic over an IRI-valued entity is a type error.
+  Binding bad(vars_);
+  bad.BindEntity(x_, dict_.InternIri("Chelsea"));
+  bad.BindInterval(t_, Interval(0, 1));
+  EXPECT_FALSE(EvalArith(ArithExpr::EntityVar(x_), bad, dict_).ok());
+}
+
+TEST_F(EvalTest, NumericComparisonOps) {
+  Binding binding(vars_);
+  binding.BindInterval(t_, Interval(10, 20));
+  auto check = [&](CompareOp op, int64_t rhs, bool expected) {
+    NumericAtom atom;
+    atom.op = op;
+    atom.lhs = ArithExpr::Begin(IntervalExpr::Var(t_));
+    atom.rhs = ArithExpr::Number(rhs);
+    auto result = EvalNumeric(atom, binding, dict_);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, expected) << static_cast<int>(op) << " " << rhs;
+  };
+  check(CompareOp::kLt, 11, true);
+  check(CompareOp::kLt, 10, false);
+  check(CompareOp::kLe, 10, true);
+  check(CompareOp::kGt, 9, true);
+  check(CompareOp::kGe, 10, true);
+  check(CompareOp::kEq, 10, true);
+  check(CompareOp::kNe, 10, false);
+}
+
+TEST_F(EvalTest, AllenConditionEvaluation) {
+  Binding binding(vars_);
+  binding.BindInterval(t_, Interval(2000, 2004));
+  binding.BindInterval(u_, Interval(2001, 2003));
+  AllenAtom disjoint;
+  disjoint.relations = temporal::AllenSet::Disjoint();
+  disjoint.a = IntervalExpr::Var(t_);
+  disjoint.b = IntervalExpr::Var(u_);
+  auto value = EvalAllen(disjoint, binding);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_FALSE(*value);  // they overlap
+
+  AllenAtom contains;
+  contains.relations = temporal::AllenSet(temporal::AllenRelation::kContains);
+  contains.a = IntervalExpr::Var(t_);
+  contains.b = IntervalExpr::Var(u_);
+  value = EvalAllen(contains, binding);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(*value);
+}
+
+TEST_F(EvalTest, TermCompare) {
+  Binding binding(vars_);
+  binding.BindEntity(x_, dict_.InternIri("Chelsea"));
+  TermCompareAtom same;
+  same.equal = true;
+  same.lhs = EntityArg::Var(x_);
+  same.rhs = EntityArg::Const(rdf::Term::Iri("Chelsea"));
+  auto eq = EvalTermCompare(same, binding, &dict_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+
+  TermCompareAtom diff;
+  diff.equal = false;
+  diff.lhs = EntityArg::Var(x_);
+  diff.rhs = EntityArg::Const(rdf::Term::Iri("Napoli"));
+  auto ne = EvalTermCompare(diff, binding, &dict_);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_TRUE(*ne);
+}
+
+TEST_F(EvalTest, ConditionVariantDispatch) {
+  Binding binding(vars_);
+  binding.BindInterval(t_, Interval(1, 2));
+  binding.BindInterval(u_, Interval(5, 6));
+  AllenAtom before;
+  before.relations = temporal::AllenSet(temporal::AllenRelation::kBefore);
+  before.a = IntervalExpr::Var(t_);
+  before.b = IntervalExpr::Var(u_);
+  ConditionAtom cond(before);
+  auto value = EvalCondition(cond, binding, &dict_);
+  ASSERT_TRUE(value.ok());
+  EXPECT_TRUE(*value);
+}
+
+TEST(AtomToString, RendersReadably) {
+  VarTable vars;
+  VarId x = *vars.FindOrAdd("x", Sort::kEntity);
+  VarId t = *vars.FindOrAdd("t", Sort::kInterval);
+  QuadAtom atom;
+  atom.subject = EntityArg::Var(x);
+  atom.predicate = EntityArg::Const(rdf::Term::Iri("coach"));
+  atom.object = EntityArg::Const(rdf::Term::Iri("Chelsea"));
+  atom.time = IntervalExpr::Var(t);
+  EXPECT_EQ(atom.ToString(vars), "quad(x, coach, Chelsea, t)");
+
+  ArithExpr age = ArithExpr::Sub(ArithExpr::Begin(IntervalExpr::Var(t)),
+                                 ArithExpr::Number(1951));
+  EXPECT_EQ(age.ToString(vars), "begin(t) - 1951");
+}
+
+TEST(CollectVars, FindsAllVariables) {
+  VarTable vars;
+  VarId x = *vars.FindOrAdd("x", Sort::kEntity);
+  VarId t = *vars.FindOrAdd("t", Sort::kInterval);
+  VarId u = *vars.FindOrAdd("u", Sort::kInterval);
+  QuadAtom atom;
+  atom.subject = EntityArg::Var(x);
+  atom.predicate = EntityArg::Const(rdf::Term::Iri("p"));
+  atom.object = EntityArg::Const(rdf::Term::Iri("o"));
+  atom.time = IntervalExpr::Intersect(IntervalExpr::Var(t),
+                                      IntervalExpr::Var(u));
+  std::vector<VarId> evars, ivars;
+  atom.CollectVars(&evars, &ivars);
+  EXPECT_EQ(evars, std::vector<VarId>{x});
+  EXPECT_EQ(ivars, (std::vector<VarId>{t, u}));
+}
+
+}  // namespace
+}  // namespace logic
+}  // namespace tecore

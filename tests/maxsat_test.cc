@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "maxsat/exact.h"
+#include "maxsat/local_search.h"
+#include "maxsat/wcnf.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace maxsat {
+namespace {
+
+/// Brute-force reference: minimum violated soft weight over feasible
+/// assignments; infinity when hard clauses are unsatisfiable.
+double BruteForceOptimum(const Wcnf& wcnf) {
+  const int n = wcnf.num_vars();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<bool> assignment(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) assignment[static_cast<size_t>(v)] = (mask >> v) & 1;
+    size_t hard_bad = 0;
+    double violated = wcnf.ViolatedSoftWeight(assignment, &hard_bad);
+    if (hard_bad == 0) best = std::min(best, violated);
+  }
+  return best;
+}
+
+Wcnf RandomInstance(Rng* rng, int num_vars, int num_clauses,
+                    double hard_fraction) {
+  Wcnf wcnf(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    const int len = 1 + static_cast<int>(rng->Uniform(3));
+    std::vector<Literal> lits;
+    for (int i = 0; i < len; ++i) {
+      int var = static_cast<int>(rng->Uniform(static_cast<uint64_t>(num_vars)));
+      lits.push_back(rng->Bernoulli(0.5) ? PosLit(var) : NegLit(var));
+    }
+    if (rng->Bernoulli(hard_fraction)) {
+      wcnf.AddHard(std::move(lits));
+    } else {
+      wcnf.AddSoft(std::move(lits), 0.1 + rng->NextDouble() * 3.0);
+    }
+  }
+  return wcnf;
+}
+
+TEST(Wcnf, BookkeepingAndEvaluation) {
+  Wcnf wcnf;
+  wcnf.AddHard({PosLit(0), NegLit(1)});
+  wcnf.AddSoft({PosLit(1)}, 2.0);
+  wcnf.AddSoft({NegLit(0), PosLit(2)}, 1.5);
+  EXPECT_EQ(wcnf.num_vars(), 3);
+  EXPECT_EQ(wcnf.NumHard(), 1u);
+  EXPECT_EQ(wcnf.NumSoft(), 2u);
+  EXPECT_DOUBLE_EQ(wcnf.TotalSoftWeight(), 3.5);
+
+  std::vector<bool> assignment{true, true, false};
+  size_t hard_bad = 9;
+  double violated = wcnf.ViolatedSoftWeight(assignment, &hard_bad);
+  EXPECT_EQ(hard_bad, 0u);  // x0 satisfies the hard clause
+  EXPECT_DOUBLE_EQ(violated, 1.5);
+  EXPECT_TRUE(wcnf.IsFeasible(assignment));
+
+  std::string dimacs = wcnf.ToString();
+  EXPECT_NE(dimacs.find("p wcnf 3 3"), std::string::npos);
+  EXPECT_NE(dimacs.find("h 1 -2 0"), std::string::npos);
+}
+
+TEST(ExactSolver, TrivialAndUnsatisfiable) {
+  Wcnf empty;
+  MaxSatResult result = ExactMaxSatSolver(empty).Solve();
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+
+  Wcnf unsat;
+  unsat.AddHard({PosLit(0)});
+  unsat.AddHard({NegLit(0)});
+  result = ExactMaxSatSolver(unsat).Solve();
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ExactSolver, PicksTheHeavierSide) {
+  // Conflict between two unit softs: keep the heavier one.
+  Wcnf wcnf;
+  wcnf.AddHard({NegLit(0), NegLit(1)});  // not both
+  wcnf.AddSoft({PosLit(0)}, 0.9);
+  wcnf.AddSoft({PosLit(1)}, 0.6);
+  MaxSatResult result = ExactMaxSatSolver(wcnf).Solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_TRUE(result.assignment[0]);
+  EXPECT_FALSE(result.assignment[1]);
+  EXPECT_NEAR(result.violated_weight, 0.6, 1e-12);
+}
+
+TEST(ExactSolver, UnitPropagationChains) {
+  // Hard chain forces everything.
+  Wcnf wcnf;
+  wcnf.AddHard({PosLit(0)});
+  wcnf.AddHard({NegLit(0), PosLit(1)});
+  wcnf.AddHard({NegLit(1), PosLit(2)});
+  wcnf.AddSoft({NegLit(2)}, 5.0);  // must be violated
+  MaxSatResult result = ExactMaxSatSolver(wcnf).Solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.assignment[0]);
+  EXPECT_TRUE(result.assignment[1]);
+  EXPECT_TRUE(result.assignment[2]);
+  EXPECT_NEAR(result.violated_weight, 5.0, 1e-12);
+}
+
+TEST(ExactSolver, MatchesBruteForceOnRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    Wcnf wcnf = RandomInstance(&rng, 2 + static_cast<int>(rng.Uniform(9)),
+                               3 + static_cast<int>(rng.Uniform(20)), 0.3);
+    double expected = BruteForceOptimum(wcnf);
+    MaxSatResult result = ExactMaxSatSolver(wcnf).Solve();
+    if (std::isinf(expected)) {
+      EXPECT_FALSE(result.feasible) << wcnf.ToString();
+    } else {
+      ASSERT_TRUE(result.feasible) << wcnf.ToString();
+      EXPECT_TRUE(result.optimal);
+      EXPECT_NEAR(result.violated_weight, expected, 1e-9) << wcnf.ToString();
+      // Reported weights must match a re-evaluation of the assignment.
+      size_t hard_bad = 0;
+      EXPECT_NEAR(wcnf.ViolatedSoftWeight(result.assignment, &hard_bad),
+                  result.violated_weight, 1e-9);
+      EXPECT_EQ(hard_bad, 0u);
+    }
+  }
+}
+
+TEST(ExactSolver, NodeLimitDegradesGracefully) {
+  Rng rng(5);
+  Wcnf wcnf = RandomInstance(&rng, 18, 60, 0.2);
+  ExactSolverOptions options;
+  options.max_nodes = 50;
+  MaxSatResult result = ExactMaxSatSolver(wcnf, options).Solve();
+  // May or may not find the optimum, but must not claim optimality.
+  EXPECT_FALSE(result.optimal && result.search_steps > options.max_nodes);
+}
+
+TEST(WalkSat, SolvesEasyInstancesExactly) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Wcnf wcnf = RandomInstance(&rng, 2 + static_cast<int>(rng.Uniform(7)),
+                               3 + static_cast<int>(rng.Uniform(12)), 0.2);
+    double expected = BruteForceOptimum(wcnf);
+    if (std::isinf(expected)) continue;  // local search can't prove unsat
+    WalkSatOptions options;
+    options.max_flips = 20000;
+    options.seed = 1000 + static_cast<uint64_t>(trial);
+    MaxSatResult result = WalkSatSolver(wcnf, options).Solve();
+    ASSERT_TRUE(result.feasible) << wcnf.ToString();
+    // Local search reaches the optimum on these tiny instances.
+    EXPECT_NEAR(result.violated_weight, expected, 1e-9) << wcnf.ToString();
+    EXPECT_FALSE(result.optimal);  // but never claims proof
+  }
+}
+
+TEST(WalkSat, RespectsInitialAssignmentPreference) {
+  // Pure soft units: greedy init already optimal; zero flips needed.
+  Wcnf wcnf;
+  wcnf.AddSoft({PosLit(0)}, 2.0);
+  wcnf.AddSoft({NegLit(1)}, 2.0);
+  MaxSatResult result = WalkSatSolver(wcnf).Solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.assignment[0]);
+  EXPECT_FALSE(result.assignment[1]);
+  EXPECT_NEAR(result.violated_weight, 0.0, 1e-12);
+}
+
+TEST(WalkSat, FindsFeasibilityOnHardConstraints) {
+  // A small pigeonhole-free hard instance; WalkSAT must satisfy all.
+  Wcnf wcnf;
+  wcnf.AddHard({PosLit(0), PosLit(1)});
+  wcnf.AddHard({NegLit(0), NegLit(1)});
+  wcnf.AddHard({PosLit(2)});
+  WalkSatOptions options;
+  options.max_flips = 10000;
+  MaxSatResult result = WalkSatSolver(wcnf, options).Solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+  EXPECT_TRUE(result.assignment[2]);
+}
+
+}  // namespace
+}  // namespace maxsat
+}  // namespace tecore

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "psl/admm.h"
+#include "psl/hlmrf.h"
+#include "psl/solver.h"
+#include "rules/library.h"
+
+namespace tecore {
+namespace psl {
+namespace {
+
+TEST(HlMrf, EnergyOfHinges) {
+  HlMrf mrf(2);
+  // max(0, 1 - x0): distance of unit clause (+x0).
+  HingePotential pot;
+  pot.coefs = {{0, -1.0}};
+  pot.offset = 1.0;
+  pot.weight = 2.0;
+  mrf.AddPotential(pot);
+  EXPECT_NEAR(mrf.Energy({0.0, 0.0}), 2.0, 1e-12);
+  EXPECT_NEAR(mrf.Energy({1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(mrf.Energy({0.25, 0.0}), 1.5, 1e-12);
+  // Squared version.
+  pot.squared = true;
+  HlMrf mrf2(1);
+  mrf2.AddPotential(pot);
+  EXPECT_NEAR(mrf2.Energy({0.5}), 2.0 * 0.25, 1e-12);
+}
+
+TEST(HlMrf, BuildFromNetworkTranslatesClauses) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto constraints = rules::PaperConstraints();
+  ASSERT_TRUE(constraints.ok());
+  ground::Grounder grounder(&graph, *constraints);
+  auto grounding = grounder.Run();
+  ASSERT_TRUE(grounding.ok());
+  HlMrf mrf = BuildHlMrf(grounding->network);
+  // One hard constraint (the Chelsea/Napoli clash) + soft unit priors.
+  EXPECT_EQ(mrf.constraints().size(), 1u);
+  EXPECT_EQ(mrf.potentials().size(), graph.NumFacts());
+  EXPECT_EQ(mrf.num_vars(), static_cast<int>(grounding->network.NumAtoms()));
+}
+
+TEST(Admm, SingleUnitPotentialDrivesVariableUp) {
+  // minimize 2*max(0, 1-x) over [0,1]: optimum x=1, energy 0.
+  HlMrf mrf(1);
+  HingePotential pot;
+  pot.coefs = {{0, -1.0}};
+  pot.offset = 1.0;
+  pot.weight = 2.0;
+  mrf.AddPotential(pot);
+  AdmmResult result = AdmmSolver(mrf).Solve();
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.energy, 0.0, 1e-2);
+}
+
+TEST(Admm, CompetingPotentialsBalanceByWeight) {
+  // w_up*max(0,1-x) + w_down*max(0,x): linear, optimum at x=1 since
+  // w_up > w_down.
+  HlMrf mrf(1);
+  HingePotential up;
+  up.coefs = {{0, -1.0}};
+  up.offset = 1.0;
+  up.weight = 3.0;
+  mrf.AddPotential(up);
+  HingePotential down;
+  down.coefs = {{0, 1.0}};
+  down.offset = 0.0;
+  down.weight = 1.0;
+  mrf.AddPotential(down);
+  AdmmResult result = AdmmSolver(mrf).Solve();
+  EXPECT_NEAR(result.x[0], 1.0, 5e-2);
+}
+
+TEST(Admm, SquaredHingesSplitTheDifference) {
+  // w*(1-x)^2 + w*x^2 has the interior optimum x = 0.5.
+  HlMrf mrf(1);
+  HingePotential up;
+  up.coefs = {{0, -1.0}};
+  up.offset = 1.0;
+  up.weight = 1.0;
+  up.squared = true;
+  mrf.AddPotential(up);
+  HingePotential down;
+  down.coefs = {{0, 1.0}};
+  down.offset = 0.0;
+  down.weight = 1.0;
+  down.squared = true;
+  mrf.AddPotential(down);
+  AdmmResult result = AdmmSolver(mrf).Solve();
+  EXPECT_NEAR(result.x[0], 0.5, 1e-2);
+}
+
+TEST(Admm, HardConstraintEnforced) {
+  // Drive both variables up, but constrain x0 + x1 <= 1.
+  HlMrf mrf(2);
+  for (int v = 0; v < 2; ++v) {
+    HingePotential pot;
+    pot.coefs = {{v, -1.0}};
+    pot.offset = 1.0;
+    pot.weight = v == 0 ? 2.0 : 1.0;  // x0 pulled harder
+    mrf.AddPotential(pot);
+  }
+  HardLinearConstraint con;  // x0 + x1 - 1 <= 0
+  con.coefs = {{0, 1.0}, {1, 1.0}};
+  con.offset = -1.0;
+  mrf.AddConstraint(con);
+  AdmmOptions options;
+  options.max_iterations = 5000;
+  AdmmResult result = AdmmSolver(mrf, options).Solve();
+  EXPECT_LE(result.x[0] + result.x[1], 1.0 + 5e-2);
+  EXPECT_GT(result.x[0], result.x[1]);  // heavier pull wins
+}
+
+TEST(Admm, EmptyProblemConverges) {
+  HlMrf mrf(0);
+  AdmmResult result = AdmmSolver(mrf).Solve();
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.x.empty());
+}
+
+TEST(PslSolver, RunningExampleConflictResolved) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(false);
+  auto constraints = rules::PaperConstraints();
+  ASSERT_TRUE(constraints.ok());
+  ground::Grounder grounder(&graph, *constraints);
+  auto grounding = grounder.Run();
+  ASSERT_TRUE(grounding.ok());
+  PslSolver solver(grounding->network);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->feasible);
+  // Napoli (conf 0.6, atom 4) dropped; Chelsea (0.9, atom 0) kept.
+  EXPECT_TRUE(solution->atom_values[0]);
+  EXPECT_FALSE(solution->atom_values[4]);
+}
+
+TEST(PslSolver, RepairFixesRoundingViolations) {
+  // Symmetric conflict (equal confidences) can round to both-true;
+  // repair must drop one.
+  rdf::TemporalGraph graph;
+  ASSERT_TRUE(graph
+                  .AddQuad("x", "coach", "A", temporal::Interval(0, 10), 0.8)
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddQuad("x", "coach", "B", temporal::Interval(5, 15), 0.8)
+                  .ok());
+  auto constraints = rules::PaperConstraints();
+  ASSERT_TRUE(constraints.ok());
+  ground::Grounder grounder(&graph, *constraints);
+  auto grounding = grounder.Run();
+  ASSERT_TRUE(grounding.ok());
+  PslSolver solver(grounding->network);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->feasible);
+  EXPECT_FALSE(solution->atom_values[0] && solution->atom_values[1]);
+}
+
+TEST(PslSolver, TruthValuesStayInUnitInterval) {
+  rdf::TemporalGraph graph = datagen::RunningExampleGraph(true);
+  auto inference = rules::PaperInferenceRules();
+  auto constraints = rules::PaperConstraints();
+  ASSERT_TRUE(inference.ok());
+  ASSERT_TRUE(constraints.ok());
+  rules::RuleSet rules = *inference;
+  rules.Merge(*constraints);
+  ground::Grounder grounder(&graph, rules);
+  auto grounding = grounder.Run();
+  ASSERT_TRUE(grounding.ok());
+  PslSolver solver(grounding->network);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.ok());
+  for (double v : solution->truth_values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(solution->truth_values.size(), solution->atom_values.size());
+}
+
+}  // namespace
+}  // namespace psl
+}  // namespace tecore

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/generators.h"
+#include "rdf/query.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace rdf {
+namespace {
+
+using temporal::AllenRelation;
+using temporal::AllenSet;
+using temporal::Interval;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : graph_(datagen::RunningExampleGraph(false)) {}
+
+  TermId Id(const std::string& name) {
+    auto id = graph_.dict().FindIri(name);
+    EXPECT_TRUE(id.ok()) << name;
+    return id.ok() ? *id : kInvalidTermId;
+  }
+
+  TemporalGraph graph_;
+};
+
+TEST_F(QueryTest, PredicateWildcardPattern) {
+  QuadPattern pattern;
+  pattern.predicate = Id("coach");
+  auto hits = MatchPattern(graph_, pattern);
+  EXPECT_EQ(hits.size(), 3u);  // Chelsea, Leicester, Napoli
+}
+
+TEST_F(QueryTest, SubjectPredicateAndObject) {
+  QuadPattern pattern;
+  pattern.subject = Id("CR");
+  pattern.predicate = Id("coach");
+  pattern.object = Id("Chelsea");
+  auto hits = MatchPattern(graph_, pattern);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(graph_.fact(hits[0]).interval, Interval(2000, 2004));
+}
+
+TEST_F(QueryTest, WindowIntersecting) {
+  QuadPattern pattern;
+  pattern.predicate = Id("coach");
+  pattern.window = Interval(2001, 2003);
+  auto hits = MatchPattern(graph_, pattern);
+  EXPECT_EQ(hits.size(), 2u);  // Chelsea + Napoli overlap it
+}
+
+TEST_F(QueryTest, WindowBeforeRelation) {
+  QuadPattern pattern;
+  pattern.predicate = Id("coach");
+  pattern.window = Interval(2015, 2017);
+  pattern.window_relation = AllenSet(AllenRelation::kBefore);
+  auto hits = MatchPattern(graph_, pattern);
+  // Chelsea [2000,2004] and Napoli [2001,2003] both end well before 2015.
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(QueryTest, ConfidenceFloor) {
+  QuadPattern pattern;
+  pattern.predicate = Id("coach");
+  pattern.min_confidence = 0.65;
+  auto hits = MatchPattern(graph_, pattern);
+  EXPECT_EQ(hits.size(), 2u);  // Napoli (0.6) filtered out
+}
+
+TEST_F(QueryTest, MakePatternUnknownNameMatchesNothing) {
+  QuadPattern pattern = MakePattern(graph_, std::nullopt, "noSuchPredicate",
+                                    std::nullopt);
+  EXPECT_TRUE(MatchPattern(graph_, pattern).empty());
+}
+
+TEST_F(QueryTest, SnapshotAtPointInTime) {
+  TemporalGraph snapshot = SnapshotAt(graph_, 2002);
+  // Alive in 2002: Chelsea spell, birthDate, Napoli spell.
+  EXPECT_EQ(snapshot.NumFacts(), 3u);
+  TemporalGraph snapshot_84 = SnapshotAt(graph_, 1985);
+  EXPECT_EQ(snapshot_84.NumFacts(), 2u);  // Palermo + birthDate
+}
+
+TEST_F(QueryTest, SliceWindow) {
+  TemporalGraph slice = Slice(graph_, Interval(2014, 2016));
+  EXPECT_EQ(slice.NumFacts(), 2u);  // Leicester + birthDate
+}
+
+TEST_F(QueryTest, TimelineSortsByBegin) {
+  auto timeline = Timeline(graph_, Id("CR"), Id("coach"));
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(graph_.fact(timeline[0]).interval.begin(), 2000);
+  EXPECT_EQ(graph_.fact(timeline[1]).interval.begin(), 2001);
+  EXPECT_EQ(graph_.fact(timeline[2]).interval.begin(), 2015);
+}
+
+TEST(QueryProperty, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(2211);
+  datagen::WikidataOptions gen;
+  gen.target_facts = 3000;
+  datagen::GeneratedKg kg = datagen::GenerateWikidata(gen);
+  const TemporalGraph& graph = kg.graph;
+  auto pred_counts = graph.PredicateCounts();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    QuadPattern pattern;
+    if (rng.Bernoulli(0.7)) {
+      pattern.predicate =
+          pred_counts[rng.PickIndex(pred_counts)].first;
+    }
+    if (rng.Bernoulli(0.4)) {
+      pattern.subject = graph.fact(static_cast<FactId>(
+          rng.Uniform(graph.NumFacts()))).subject;
+    }
+    if (rng.Bernoulli(0.6)) {
+      int64_t b = rng.UniformRange(1960, 2010);
+      pattern.window = Interval(b, b + rng.UniformRange(0, 10));
+      if (rng.Bernoulli(0.3)) {
+        pattern.window_relation = temporal::AllenSet::Disjoint();
+      }
+    }
+    if (rng.Bernoulli(0.3)) pattern.min_confidence = 0.6;
+
+    std::vector<FactId> expected;
+    for (FactId id = 0; id < graph.NumFacts(); ++id) {
+      const TemporalFact& f = graph.fact(id);
+      if (pattern.subject && f.subject != *pattern.subject) continue;
+      if (pattern.predicate && f.predicate != *pattern.predicate) continue;
+      if (pattern.object && f.object != *pattern.object) continue;
+      if (f.confidence < pattern.min_confidence) continue;
+      if (pattern.window &&
+          !pattern.window_relation.Holds(f.interval, *pattern.window)) {
+        continue;
+      }
+      expected.push_back(id);
+    }
+    auto actual = MatchPattern(graph, pattern);
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace tecore

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/io.h"
+
+namespace tecore {
+namespace rdf {
+namespace {
+
+TEST(Term, KindsAndToString) {
+  EXPECT_EQ(Term::Iri("CR").ToString(), "CR");
+  EXPECT_EQ(Term::IntLiteral(1951).ToString(), "1951");
+  EXPECT_EQ(Term::Literal("a \"b\"").ToString(), "\"a \\\"b\\\"\"");
+  EXPECT_EQ(Term::Blank("n1").ToString(), "_:n1");
+  EXPECT_TRUE(Term::IntLiteral(5).is_int());
+  EXPECT_EQ(Term::IntLiteral(-7).int_value(), -7);
+  // Same lexical form, different kinds -> different terms.
+  EXPECT_NE(Term::Iri("1951"), Term::IntLiteral(1951));
+}
+
+TEST(Dictionary, InterningIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("coach");
+  TermId b = dict.InternIri("coach");
+  TermId c = dict.InternIri("playsFor");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dict.Size(), 2u);
+  EXPECT_EQ(dict.Lookup(a).lexical(), "coach");
+}
+
+TEST(Dictionary, FindDoesNotIntern) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.FindIri("nope").ok());
+  EXPECT_EQ(dict.Size(), 0u);
+  dict.InternIri("yes");
+  EXPECT_TRUE(dict.FindIri("yes").ok());
+}
+
+TEST(Dictionary, PrefixCompletion) {
+  Dictionary dict;
+  dict.InternIri("playsFor");
+  dict.InternIri("playedIn");
+  dict.InternIri("coach");
+  dict.Intern(Term::Literal("plays"));  // literal: not offered
+  auto hits = dict.CompleteIri("play");
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(TemporalGraph, AddAndIndexes) {
+  TemporalGraph g;
+  auto f1 = g.AddQuad("CR", "coach", "Chelsea", temporal::Interval(2000, 2004),
+                      0.9);
+  auto f2 = g.AddQuad("CR", "coach", "Napoli", temporal::Interval(2001, 2003),
+                      0.6);
+  auto f3 = g.AddQuad("CR", "playsFor", "Palermo",
+                      temporal::Interval(1984, 1986), 0.5);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ(g.NumFacts(), 3u);
+
+  TermId coach = *g.dict().FindIri("coach");
+  TermId cr = *g.dict().FindIri("CR");
+  EXPECT_EQ(g.FactsWithPredicate(coach).size(), 2u);
+  EXPECT_EQ(g.FactsWithSubject(cr).size(), 3u);
+  EXPECT_EQ(g.FactsWithSubjectPredicate(cr, coach).size(), 2u);
+  EXPECT_TRUE(g.FactsWithPredicate(9999).empty());
+}
+
+TEST(TemporalGraph, RejectsBadConfidence) {
+  TemporalGraph g;
+  EXPECT_FALSE(
+      g.AddQuad("a", "p", "b", temporal::Interval(0, 1), 0.0).ok());
+  EXPECT_FALSE(
+      g.AddQuad("a", "p", "b", temporal::Interval(0, 1), 1.5).ok());
+  EXPECT_TRUE(
+      g.AddQuad("a", "p", "b", temporal::Interval(0, 1), 1.0).ok());
+}
+
+TEST(TemporalGraph, TemporalIndexFindsOverlaps) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Chelsea",
+                        temporal::Interval(2000, 2004), 0.9)
+                  .ok());
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Leicester",
+                        temporal::Interval(2015, 2017), 0.7)
+                  .ok());
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Napoli",
+                        temporal::Interval(2001, 2003), 0.6)
+                  .ok());
+  TermId coach = *g.dict().FindIri("coach");
+  auto hits = g.FactsIntersecting(coach, temporal::Interval(2001, 2002));
+  EXPECT_EQ(hits.size(), 2u);
+  // Index updates when facts are added afterwards.
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Valencia",
+                        temporal::Interval(1997, 1999), 0.8)
+                  .ok());
+  hits = g.FactsIntersecting(coach, temporal::Interval(1998, 2002));
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(TemporalGraph, PredicateCountsSorted) {
+  TemporalGraph g;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(g.AddQuad("s" + std::to_string(i), "playsFor", "T",
+                          temporal::Interval(0, 1), 0.9)
+                    .ok());
+  }
+  ASSERT_TRUE(
+      g.AddQuad("s0", "birthDate", Term::IntLiteral(1980),
+                temporal::Interval(1980, 2017), 1.0)
+          .ok());
+  auto counts = g.PredicateCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].second, 3u);  // playsFor first (most frequent)
+}
+
+TEST(TemporalGraph, FilterRebuildsCompactGraph) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.AddQuad("a", "p", "b", temporal::Interval(0, 1), 0.9).ok());
+  ASSERT_TRUE(g.AddQuad("c", "q", "d", temporal::Interval(2, 3), 0.8).ok());
+  ASSERT_TRUE(g.AddQuad("e", "p", "f", temporal::Interval(4, 5), 0.7).ok());
+  TemporalGraph filtered = g.Filter({true, false, true});
+  EXPECT_EQ(filtered.NumFacts(), 2u);
+  // Dictionary is rebuilt: the filtered graph resolves its own ids.
+  EXPECT_TRUE(filtered.dict().FindIri("a").ok());
+  EXPECT_FALSE(filtered.dict().FindIri("c").ok());
+  EXPECT_EQ(filtered.FactToString(0).substr(0, 2), "(a");
+}
+
+TEST(RdfIo, ParsesTheRunningExample) {
+  auto graph = ParseGraphText(R"(
+    # Fig. 1 of the paper
+    CR coach Chelsea [2000,2004] 0.9 .
+    CR coach Leicester [2015,2017] 0.7 .
+    CR playsFor Palermo [1984,1986] 0.5 .
+    CR birthDate 1951 [1951,2017] 1.0 .
+    CR coach Napoli [2001,2003] 0.6 .
+  )");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumFacts(), 5u);
+  const TemporalFact& birth = graph->fact(3);
+  EXPECT_TRUE(graph->dict().Lookup(birth.object).is_int());
+  EXPECT_EQ(graph->dict().Lookup(birth.object).int_value(), 1951);
+  EXPECT_EQ(birth.interval, temporal::Interval(1951, 2017));
+}
+
+TEST(RdfIo, HandlesStringsPointsAndDefaults) {
+  auto graph = ParseGraphText(R"(
+    CR label "Claudio Ranieri, the coach" [1951] .
+    CR knows _:someone [2000,2001]
+  )");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumFacts(), 2u);
+  EXPECT_EQ(graph->fact(0).interval, temporal::Interval(1951, 1951));
+  EXPECT_DOUBLE_EQ(graph->fact(1).confidence, 1.0);  // default
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(0).object).kind(),
+            TermKind::kLiteral);
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(1).object).kind(),
+            TermKind::kBlank);
+}
+
+TEST(RdfIo, ReportsLineNumbersOnErrors) {
+  auto graph = ParseGraphText("CR coach Chelsea [2000,2004] 0.9 .\nbroken\n");
+  EXPECT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(RdfIo, RejectsNonIriPredicate) {
+  auto graph = ParseGraphText("CR \"coach\" Chelsea [2000,2004] 0.9 .");
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(RdfIo, WriteParseRoundTrip) {
+  auto graph = ParseGraphText(R"(
+    CR coach Chelsea [2000,2004] 0.9 .
+    CR birthDate 1951 [1951,2017] 1.0 .
+    CR label "Mister 5,000 volts" [1951,2017] 0.5 .
+  )");
+  ASSERT_TRUE(graph.ok());
+  std::string text = WriteGraphText(*graph);
+  auto reparsed = ParseGraphText(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  ASSERT_EQ(reparsed->NumFacts(), graph->NumFacts());
+  for (FactId id = 0; id < graph->NumFacts(); ++id) {
+    EXPECT_EQ(graph->FactToString(id), reparsed->FactToString(id));
+  }
+}
+
+TEST(RdfIo, FileRoundTrip) {
+  auto graph = ParseGraphText("CR coach Chelsea [2000,2004] 0.9 .\n");
+  ASSERT_TRUE(graph.ok());
+  const std::string path = ::testing::TempDir() + "/tecore_io_test.tq";
+  ASSERT_TRUE(SaveGraphFile(*graph, path).ok());
+  auto loaded = LoadGraphFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumFacts(), 1u);
+  EXPECT_FALSE(LoadGraphFile("/nonexistent/path.tq").ok());
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace tecore

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "rules/ast.h"
+#include "rules/lexer.h"
+#include "rules/library.h"
+#include "rules/parser.h"
+
+namespace tecore {
+namespace rules {
+namespace {
+
+using logic::AllenAtom;
+
+TEST(Lexer, TokenizesOperatorsAndIdentifiers) {
+  auto tokens = Tokenize("quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens->front().text, "quad");
+  // quad ( x , playsFor , y , t ) -> quad ( x , worksFor , y , t ) EOF
+  EXPECT_EQ(tokens->size(), 22u);
+}
+
+TEST(Lexer, HandlesPrimedVariables) {
+  auto tokens = Tokenize("t' t'' x1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "t'");
+  EXPECT_EQ((*tokens)[1].text, "t''");
+  EXPECT_EQ((*tokens)[2].text, "x1");
+}
+
+TEST(Lexer, HandlesUnicodeOperators) {
+  auto tokens = Tokenize("a ∧ b → c ≠ d ∩ e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kAnd);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kArrow);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kCap);
+}
+
+TEST(Lexer, DistinguishesFloatFromStatementDot) {
+  auto tokens = Tokenize("w = 2.5 .");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[2].text, "2.5");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kDot);
+}
+
+TEST(Lexer, SkipsComments) {
+  auto tokens = Tokenize("# a comment\nx // more\ny");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_EQ((*tokens)[1].text, "y");
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  auto tokens = Tokenize("\"oops");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(Parser, ParsesInclusionRuleF1) {
+  auto rule = ParseSingleRule(
+      "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->name, "f1");
+  EXPECT_FALSE(rule->hard);
+  EXPECT_DOUBLE_EQ(rule->weight, 2.5);
+  ASSERT_EQ(rule->body.size(), 1u);
+  EXPECT_EQ(rule->head.kind, HeadKind::kQuads);
+  ASSERT_EQ(rule->head.quads.size(), 1u);
+  EXPECT_TRUE(rule->IsInferenceRule());
+  // x, y are entity vars; t is interval sort.
+  EXPECT_EQ(rule->vars.NumVars(), 3);
+  EXPECT_EQ(rule->vars.sort(*rule->vars.Find("t")), logic::Sort::kInterval);
+}
+
+TEST(Parser, ParsesIntervalIntersectionHead) {
+  auto rule = ParseSingleRule(
+      "f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t') "
+      "[intersects(t, t')] -> quad(x, livesIn, z, t ^ t') w = 1.6 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->conditions.size(), 1u);
+  ASSERT_EQ(rule->head.quads.size(), 1u);
+  EXPECT_EQ(rule->head.quads[0].time.kind(),
+            logic::IntervalExpr::Kind::kIntersect);
+}
+
+TEST(Parser, ParsesAliasFormOfIntersection) {
+  // The paper's notation: t'' = t ∩ t'.
+  auto rule = ParseSingleRule(
+      "quad(x, worksFor, y, t) ∧ quad(y, locatedIn, z, t') "
+      "∧ intersects(t, t') → quad(x, livesIn, z, t'' = t ∩ t') w = 1.6 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.quads[0].time.kind(),
+            logic::IntervalExpr::Kind::kIntersect);
+}
+
+TEST(Parser, ParsesArithmeticCondition) {
+  auto rule = ParseSingleRule(
+      "f3: quad(x, playsFor, y, t) & quad(x, birthDate, z, t') "
+      "[t - t' < 20] -> quad(x, type, TeenPlayer, t) w = 2.9 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->conditions.size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<logic::NumericAtom>(rule->conditions[0]));
+}
+
+TEST(Parser, ParsesHardConstraintWithAllenHead) {
+  auto rule = ParseSingleRule(
+      "c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t') "
+      "-> before(t, t') .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->hard);
+  EXPECT_TRUE(rule->IsConstraint());
+  EXPECT_EQ(rule->head.kind, HeadKind::kCondition);
+  ASSERT_TRUE(rule->head.condition.has_value());
+  EXPECT_TRUE(std::holds_alternative<AllenAtom>(*rule->head.condition));
+}
+
+TEST(Parser, ParsesDisjointnessConstraintC2) {
+  auto rule = ParseSingleRule(
+      "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  // y != z goes into conditions, not the body.
+  EXPECT_EQ(rule->body.size(), 2u);
+  ASSERT_EQ(rule->conditions.size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<logic::TermCompareAtom>(rule->conditions[0]));
+  const auto& head = std::get<AllenAtom>(*rule->head.condition);
+  EXPECT_EQ(head.relations, temporal::AllenSet::Disjoint());
+}
+
+TEST(Parser, ParsesEqualityGeneratingHeadC3) {
+  auto rule = ParseSingleRule(
+      "c3: quad(x, bornIn, y, t) & quad(x, bornIn, z, t') "
+      "[overlaps(t, t')] -> y = z .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.kind, HeadKind::kCondition);
+  EXPECT_TRUE(
+      std::holds_alternative<logic::TermCompareAtom>(*rule->head.condition));
+}
+
+TEST(Parser, ParsesFalseHead) {
+  auto rule = ParseSingleRule(
+      "quad(x, spouse, y, t) & quad(x, spouse, x, t') -> false .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.kind, HeadKind::kFalse);
+}
+
+TEST(Parser, ParsesDisjunctiveHead) {
+  auto rule = ParseSingleRule(
+      "quad(x, memberOf, y, t) -> quad(x, worksFor, y, t) | "
+      "quad(x, affiliatedWith, y, t) w = 1.0 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->head.quads.size(), 2u);
+}
+
+TEST(Parser, ParsesIntervalLiteralInBody) {
+  auto rule = ParseSingleRule(
+      "quad(x, coach, y, [2000,2004]) -> quad(x, worksFor, y, [2000,2004]) "
+      "w = 1 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body[0].time.kind(), logic::IntervalExpr::Kind::kConst);
+  EXPECT_EQ(rule->body[0].time.constant(), temporal::Interval(2000, 2004));
+}
+
+TEST(Parser, ParsesWeightPrefixForm) {
+  auto rule =
+      ParseSingleRule("2.5: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_FALSE(rule->hard);
+  EXPECT_DOUBLE_EQ(rule->weight, 2.5);
+}
+
+TEST(Parser, ParsesMultipleRules) {
+  auto set = ParseRules(R"(
+    f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5 .
+    c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z
+        -> disjoint(t, t') .
+  )");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->Size(), 2u);
+  EXPECT_EQ(set->InferenceRules().size(), 1u);
+  EXPECT_EQ(set->Constraints().size(), 1u);
+}
+
+TEST(Parser, VariableConventionDistinguishesConstants) {
+  auto rule = ParseSingleRule(
+      "quad(CR, coach, y, t) -> quad(CR, worksFor, y, t) w = 1 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_FALSE(rule->body[0].subject.is_variable());  // CR is a constant
+  EXPECT_TRUE(rule->body[0].object.is_variable());    // y is a variable
+}
+
+TEST(Parser, QuestionMarkAlwaysVariable) {
+  auto rule = ParseSingleRule(
+      "quad(?player, coach, y, t) -> quad(?player, worksFor, y, t) w = 1 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->body[0].subject.is_variable());
+}
+
+TEST(Parser, IntegerObjectLiteral) {
+  auto rule = ParseSingleRule(
+      "quad(x, birthDate, 1951, t) -> quad(x, bornInYear, 1951, t) w = 1 .");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->body[0].object.constant().is_int());
+  EXPECT_EQ(rule->body[0].object.constant().int_value(), 1951);
+}
+
+TEST(Parser, ErrorsOnMissingArrow) {
+  auto rule = ParseSingleRule("quad(x, coach, y, t) w = 2 .");
+  EXPECT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, ErrorsOnEmptyBody) {
+  auto rule = ParseSingleRule("-> quad(x, coach, y, t) .");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(Parser, ErrorsOnSortConflict) {
+  // t used both as interval (4th position) and entity (object).
+  auto rule = ParseSingleRule("quad(x, coach, t, t) -> false .");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(Parser, RoundTripsThroughToString) {
+  const char* text =
+      "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+      "-> disjoint(t, t') .";
+  auto rule = ParseSingleRule(text);
+  ASSERT_TRUE(rule.ok());
+  auto reparsed = ParseSingleRule(rule->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\nrendered: " << rule->ToString();
+  EXPECT_EQ(reparsed->body.size(), rule->body.size());
+  EXPECT_EQ(reparsed->conditions.size(), rule->conditions.size());
+  EXPECT_EQ(reparsed->head.kind, rule->head.kind);
+}
+
+TEST(Library, PaperRuleSetsParse) {
+  auto inference = PaperInferenceRules();
+  ASSERT_TRUE(inference.ok()) << inference.status().ToString();
+  EXPECT_EQ(inference->Size(), 3u);
+  auto constraints = PaperConstraints();
+  ASSERT_TRUE(constraints.ok()) << constraints.status().ToString();
+  EXPECT_EQ(constraints->Size(), 3u);
+  for (const Rule& rule : constraints->rules) {
+    EXPECT_TRUE(rule.hard);
+    EXPECT_TRUE(rule.IsConstraint());
+  }
+}
+
+TEST(Library, BuildersProduceValidRules) {
+  auto disjoint = MakeTemporalDisjointness("coach");
+  ASSERT_TRUE(disjoint.ok());
+  auto functional = MakeFunctionalDuringOverlap("bornIn");
+  ASSERT_TRUE(functional.ok());
+  auto precede = MakePrecedence("birthDate", "playsFor");
+  ASSERT_TRUE(precede.ok());
+  auto incl = MakeInclusion("playsFor", "worksFor", 2.5);
+  ASSERT_TRUE(incl.ok());
+  EXPECT_FALSE(incl->hard);
+  auto hard_incl = MakeInclusion("playsFor", "worksFor", 0, /*hard=*/true);
+  ASSERT_TRUE(hard_incl.ok());
+  EXPECT_TRUE(hard_incl->hard);
+}
+
+TEST(Library, FootballAndWikidataSetsParse) {
+  auto football = FootballConstraints();
+  ASSERT_TRUE(football.ok()) << football.status().ToString();
+  EXPECT_EQ(football->Size(), 3u);
+  auto wikidata = WikidataConstraints();
+  ASSERT_TRUE(wikidata.ok()) << wikidata.status().ToString();
+  EXPECT_EQ(wikidata->Size(), 5u);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace tecore

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "core/session.h"
+#include "core/suggest.h"
+#include "datagen/generators.h"
+#include "rules/library.h"
+#include "rules/parser.h"
+#include "util/random.h"
+
+namespace tecore {
+namespace core {
+namespace {
+
+/// Finds a suggestion whose rule name starts with `prefix`; nullptr if none.
+const Suggestion* FindByPrefix(const std::vector<Suggestion>& suggestions,
+                               const std::string& prefix) {
+  for (const Suggestion& s : suggestions) {
+    if (s.rule.name.rfind(prefix, 0) == 0) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SuggestConstraints, FindsDisjointnessOnCleanCareers) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = 500;
+  gen.noise_rate = 0.0;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto suggestions = SuggestConstraints(kg.graph);
+  const Suggestion* disjoint = FindByPrefix(suggestions, "disjoint_playsFor");
+  ASSERT_NE(disjoint, nullptr);
+  EXPECT_EQ(disjoint->violation_rate, 0.0);  // clean data: no overlaps
+  EXPECT_GT(disjoint->support, 20u);
+  EXPECT_TRUE(disjoint->rule.IsConstraint());
+}
+
+TEST(SuggestConstraints, FindsBirthBeforePlaying) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = 400;
+  gen.noise_rate = 0.0;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto suggestions = SuggestConstraints(kg.graph);
+  const Suggestion* precede =
+      FindByPrefix(suggestions, "precede_birthDate_playsFor");
+  ASSERT_NE(precede, nullptr);
+  EXPECT_EQ(precede->violation_rate, 0.0);
+  // The reverse direction must NOT be suggested.
+  EXPECT_EQ(FindByPrefix(suggestions, "precede_playsFor_birthDate"), nullptr);
+}
+
+TEST(SuggestConstraints, ToleratesModerateNoise) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = 500;
+  gen.noise_rate = 0.4;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto suggestions = SuggestConstraints(kg.graph);
+  const Suggestion* disjoint = FindByPrefix(suggestions, "disjoint_playsFor");
+  ASSERT_NE(disjoint, nullptr);
+  EXPECT_GT(disjoint->violation_rate, 0.0);  // injected overlaps
+  EXPECT_LT(disjoint->violation_rate, 0.25);
+}
+
+TEST(SuggestConstraints, SilentOnChaoticPredicate) {
+  // Random overlapping memberships with many objects: no constraint holds.
+  rdf::TemporalGraph graph;
+  Rng rng(7);
+  for (int s = 0; s < 40; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      int64_t b = rng.UniformRange(2000, 2004);  // heavy overlap
+      ASSERT_TRUE(graph
+                      .AddQuad("s" + std::to_string(s), "tag",
+                               "o" + std::to_string(rng.UniformRange(0, 9)),
+                               temporal::Interval(b, b + 5), 0.9)
+                      .ok());
+    }
+  }
+  auto suggestions = SuggestConstraints(graph);
+  EXPECT_EQ(FindByPrefix(suggestions, "disjoint_tag"), nullptr);
+  EXPECT_EQ(FindByPrefix(suggestions, "functional_tag"), nullptr);
+}
+
+TEST(SuggestConstraints, RespectsMinSupport) {
+  rdf::TemporalGraph graph;
+  // Only 3 disjoint same-subject pairs: under any sane support threshold.
+  ASSERT_TRUE(graph.AddQuad("a", "p", "x", temporal::Interval(0, 1), 0.9).ok());
+  ASSERT_TRUE(graph.AddQuad("a", "p", "y", temporal::Interval(3, 4), 0.9).ok());
+  ASSERT_TRUE(graph.AddQuad("a", "p", "z", temporal::Interval(6, 7), 0.9).ok());
+  SuggestOptions options;
+  options.min_support = 20;
+  EXPECT_TRUE(SuggestConstraints(graph, options).empty());
+  // Lowering the threshold surfaces it.
+  options.min_support = 2;
+  EXPECT_NE(FindByPrefix(SuggestConstraints(graph, options), "disjoint_p"),
+            nullptr);
+}
+
+TEST(SuggestConstraints, SuggestedRulesDetectInjectedNoise) {
+  // End-to-end: mine constraints on noisy data, then use them to detect.
+  datagen::FootballDbOptions gen;
+  gen.num_players = 400;
+  gen.noise_rate = 1.0;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto suggestions = SuggestConstraints(kg.graph);
+  ASSERT_FALSE(suggestions.empty());
+  rules::RuleSet mined;
+  for (const Suggestion& s : suggestions) mined.rules.push_back(s.rule);
+  ConflictDetector detector(&kg.graph, mined);
+  auto report = detector.Detect();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->NumConflicts(), 0u);
+}
+
+TEST(Compatibility, ConsistentPaperConstraints) {
+  auto constraints = rules::PaperConstraints();
+  ASSERT_TRUE(constraints.ok());
+  CompatibilityReport report =
+      AnalyzeConstraintCompatibility(*constraints);
+  EXPECT_TRUE(report.possibly_consistent) << report.problems.front();
+}
+
+TEST(Compatibility, DetectsDirectContradiction) {
+  auto rules = rules::ParseRules(R"(
+    a_before_b: quad(x, birthDate, y, t) & quad(x, deathDate, z, t')
+        -> before(t, t') .
+    b_before_a: quad(x, birthDate, y, t) & quad(x, deathDate, z, t')
+        -> after(t, t') .
+  )");
+  ASSERT_TRUE(rules.ok());
+  CompatibilityReport report = AnalyzeConstraintCompatibility(*rules);
+  EXPECT_FALSE(report.possibly_consistent);
+  EXPECT_FALSE(report.problems.empty());
+}
+
+TEST(Compatibility, DetectsCyclicBeforeChain) {
+  auto rules = rules::ParseRules(R"(
+    r1: quad(x, pa, y, t) & quad(x, pb, z, t') -> before(t, t') .
+    r2: quad(x, pb, y, t) & quad(x, pc, z, t') -> before(t, t') .
+    r3: quad(x, pc, y, t) & quad(x, pa, z, t') -> before(t, t') .
+  )");
+  ASSERT_TRUE(rules.ok());
+  CompatibilityReport report = AnalyzeConstraintCompatibility(*rules);
+  EXPECT_FALSE(report.possibly_consistent);
+}
+
+TEST(Compatibility, HandlesSwappedHeadArguments) {
+  // Head written as allen(t', t): converse must be applied. These two say
+  // the same thing, so the set stays consistent.
+  auto rules = rules::ParseRules(R"(
+    r1: quad(x, pa, y, t) & quad(x, pb, z, t') -> before(t, t') .
+    r2: quad(x, pa, y, t) & quad(x, pb, z, t') -> after(t', t) .
+  )");
+  ASSERT_TRUE(rules.ok());
+  CompatibilityReport report = AnalyzeConstraintCompatibility(*rules);
+  EXPECT_TRUE(report.possibly_consistent)
+      << (report.problems.empty() ? "" : report.problems.front());
+}
+
+TEST(Compatibility, IgnoresNonAbstractableRules) {
+  // Inference rules, same-predicate constraints, and arithmetic heads are
+  // out of scope for the predicate-level analysis.
+  auto rules = rules::ParseRules(R"(
+    f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5 .
+    c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z
+        -> disjoint(t, t') .
+    num: quad(x, pa, y, t) & quad(x, pb, z, t') -> begin(t) < begin(t') .
+  )");
+  ASSERT_TRUE(rules.ok());
+  CompatibilityReport report = AnalyzeConstraintCompatibility(*rules);
+  EXPECT_TRUE(report.possibly_consistent);
+}
+
+TEST(SessionIntegration, SuggestAndAnalyze) {
+  Session session;
+  EXPECT_FALSE(session.SuggestConstraints().ok());  // no graph
+  datagen::FootballDbOptions gen;
+  gen.num_players = 300;
+  gen.noise_rate = 0.0;
+  session.SetGraph(std::move(datagen::GenerateFootballDb(gen).graph));
+  auto suggestions = session.SuggestConstraints();
+  ASSERT_TRUE(suggestions.ok());
+  EXPECT_FALSE(suggestions->empty());
+  auto added = session.AddRulesText(suggestions->front().rule.ToString());
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_TRUE(session.AnalyzeRuleCompatibility().possibly_consistent);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tecore

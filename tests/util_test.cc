@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tecore {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status parse = Status::ParseError("bad token");
+  EXPECT_FALSE(parse.ok());
+  EXPECT_EQ(parse.code(), StatusCode::kParseError);
+  EXPECT_EQ(parse.ToString(), "ParseError: bad token");
+  EXPECT_EQ(parse.message(), "bad token");
+}
+
+TEST(Status, EqualityAndCodeNames) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value_or(7), 42);
+
+  Result<int> error(Status::NotFound("nope"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.value_or(7), 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  TECORE_ASSIGN_OR_RETURN(half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(Result, MacroPropagation) {
+  auto good = QuarterOf(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(QuarterOf(7).ok());
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, TrimAndCase) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_TRUE(StartsWith("playsFor", "plays"));
+  EXPECT_FALSE(StartsWith("p", "plays"));
+  EXPECT_TRUE(EndsWith("file.tq", ".tq"));
+}
+
+TEST(StringUtil, ParseNumbers) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("42x", &i));
+  EXPECT_FALSE(ParseInt64("", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_FALSE(ParseDouble("2.5.6", &d));
+}
+
+TEST(StringUtil, PrintfAndCommas) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatWithCommas(243157), "243,157");
+  EXPECT_EQ(FormatWithCommas(19734), "19,734");
+  EXPECT_EQ(FormatWithCommas(12), "12");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithCommas(0), "0");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  // Different seed diverges (overwhelmingly likely).
+  bool diverged = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "2"});
+  t.AddRow({"with\"quote", "3"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST(Table, AsciiAlignment) {
+  Table t({"a", "long_header"});
+  t.AddRow({"xxxxxx", "1"});
+  std::string ascii = t.ToAscii();
+  // Header rule present and every line same width.
+  EXPECT_NE(ascii.find("+--"), std::string::npos);
+  size_t first_nl = ascii.find('\n');
+  std::string first_line = ascii.substr(0, first_nl);
+  for (size_t pos = 0; pos < ascii.size();) {
+    size_t nl = ascii.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_line.size());
+    pos = nl + 1;
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.ElapsedMicros(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace tecore

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "rules/library.h"
+#include "rules/parser.h"
+#include "rules/validator.h"
+
+namespace tecore {
+namespace rules {
+namespace {
+
+Rule MustParse(const std::string& text) {
+  auto rule = ParseSingleRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString() << " in: " << text;
+  return rule.ok() ? *rule : Rule{};
+}
+
+TEST(Validator, AcceptsThePaperRules) {
+  auto inference = PaperInferenceRules();
+  auto constraints = PaperConstraints();
+  ASSERT_TRUE(inference.ok());
+  ASSERT_TRUE(constraints.ok());
+  for (const Rule& rule : inference->rules) {
+    EXPECT_TRUE(ValidateForSolver(rule, SolverKind::kMln).ok()) << rule.ToString();
+    EXPECT_TRUE(ValidateForSolver(rule, SolverKind::kPsl).ok()) << rule.ToString();
+  }
+  for (const Rule& rule : constraints->rules) {
+    EXPECT_TRUE(ValidateForSolver(rule, SolverKind::kMln).ok());
+    EXPECT_TRUE(ValidateForSolver(rule, SolverKind::kPsl).ok());
+  }
+}
+
+TEST(Validator, RejectsHeadVariableNotInBody) {
+  Rule rule = MustParse(
+      "quad(x, coach, y, t) -> quad(x, coach, z, t) w = 1 .");
+  Status st = ValidateRule(rule);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'z'"), std::string::npos);
+}
+
+TEST(Validator, RejectsConditionVariableNotInBody) {
+  Rule rule = MustParse(
+      "quad(x, coach, y, t) [y != q] -> false .");
+  // q is a condition-introduced entity var never bound by the body.
+  EXPECT_FALSE(ValidateRule(rule).ok());
+}
+
+TEST(Validator, RejectsNegativeWeights) {
+  Rule rule = MustParse(
+      "quad(x, coach, y, t) -> quad(x, worksFor, y, t) w = 1 .");
+  rule.weight = -2.0;
+  Status st = ValidateRule(rule);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(Validator, RejectsIntervalExpressionOverUnboundVars) {
+  // First body atom's time is an expression over t' which binds later.
+  Rule rule = MustParse(
+      "quad(x, coach, y, t ^ t') & quad(x, coach, z, t') -> false .");
+  EXPECT_FALSE(ValidateRule(rule).ok());
+}
+
+TEST(Validator, AcceptsIntervalExpressionOverBoundVars) {
+  Rule rule = MustParse(
+      "quad(x, coach, y, t) & quad(x, coach, z, t') & "
+      "quad(x, managed, w, t ^ t') -> false .");
+  EXPECT_TRUE(ValidateRule(rule).ok());
+}
+
+TEST(Validator, PslRejectsDisjunctiveHeads) {
+  Rule rule = MustParse(
+      "quad(x, memberOf, y, t) -> quad(x, worksFor, y, t) | "
+      "quad(x, advises, y, t) w = 1 .");
+  EXPECT_TRUE(ValidateForSolver(rule, SolverKind::kMln).ok());
+  Status st = ValidateForSolver(rule, SolverKind::kPsl);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(Validator, RuleSetAnnotatesRuleIndex) {
+  auto set = ParseRules(R"(
+    quad(x, coach, y, t) -> quad(x, worksFor, y, t) w = 1 .
+    quad(x, coach, y, t) -> quad(x, coach, z, t) w = 1 .
+  )");
+  ASSERT_TRUE(set.ok());
+  Status st = ValidateRuleSet(*set, SolverKind::kMln);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("#2"), std::string::npos);
+}
+
+TEST(Validator, CollectProblemsListsAll) {
+  auto set = ParseRules(R"(
+    quad(x, coach, y, t) -> quad(x, coach, z, t) w = 1 .
+    quad(x, coach, y, t) -> quad(q, coach, y, t) w = 1 .
+    quad(x, coach, y, t) -> quad(x, worksFor, y, t) w = 1 .
+  )");
+  ASSERT_TRUE(set.ok());
+  auto problems = CollectProblems(*set, SolverKind::kMln);
+  EXPECT_EQ(problems.size(), 2u);
+  EXPECT_TRUE(CollectProblems(*set, SolverKind::kMln).size() ==
+              CollectProblems(*set, SolverKind::kPsl).size());
+}
+
+TEST(Validator, SolverKindNames) {
+  EXPECT_EQ(SolverKindName(SolverKind::kMln), "mln");
+  EXPECT_EQ(SolverKindName(SolverKind::kPsl), "psl");
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace tecore
