@@ -1,13 +1,20 @@
-// A3 — grounding ablation: early condition evaluation during the body
-// join, and connected-component decomposition at solve time.
+// A3 — grounding ablations: semi-naive delta evaluation of the fixpoint,
+// early condition evaluation during the body join, and connected-component
+// decomposition at solve time.
+//
+// `--json out.json` additionally writes the measurements machine-readably
+// (see util/bench_json.h) so successive PRs can track the perf trajectory.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "datagen/generators.h"
 #include "ground/grounder.h"
 #include "mln/solver.h"
 #include "rules/library.h"
 #include "rules/parser.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -16,22 +23,86 @@ namespace {
 using namespace tecore;  // NOLINT
 
 double GroundOnce(datagen::GeneratedKg* kg, const rules::RuleSet& rules,
-                  bool early, size_t* clauses) {
-  ground::GroundingOptions options;
-  options.evaluate_conditions_early = early;
+                  const ground::GroundingOptions& options, size_t* atoms,
+                  size_t* clauses) {
   Timer timer;
   ground::Grounder grounder(&kg->graph, rules, options);
   auto result = grounder.Run();
   if (!result.ok()) return -1;
+  if (atoms != nullptr) *atoms = result->network.NumAtoms();
   if (clauses != nullptr) *clauses = result->network.NumClauses();
   return timer.ElapsedMillis();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: bench_grounding [--json out]\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    }
+  }
+  BenchJson json("bench_grounding");
+
   std::printf("=== A3: grounding & decomposition ablation ===\n\n");
 
+  // ------------------------------------------------- semi-naive fixpoint
+  // The full F ∪ C rule set chains inference rules (playsFor -> worksFor
+  // -> livesIn), so grounding runs several fixpoint rounds. Naive
+  // evaluation re-grounds every rule against all atoms each round and
+  // deduplicates; semi-naive only enumerates bindings touching the
+  // round's frontier — same network by construction, much less join work.
+  auto constraints = rules::FootballConstraints();
+  auto inference = rules::FootballInferenceRules();
+  if (!constraints.ok() || !inference.ok()) {
+    std::fprintf(stderr, "rules failed to parse\n");
+    return 1;
+  }
+  rules::RuleSet full = *constraints;
+  full.Merge(*inference);
+
+  Table delta_table({"players", "naive ms", "semi-naive ms", "speedup",
+                     "network (equal)"});
+  bool networks_match = true;
+  for (size_t players : {500, 1000, 2000}) {
+    datagen::FootballDbOptions gen;
+    gen.num_players = players;
+    datagen::GeneratedKg kg1 = datagen::GenerateFootballDb(gen);
+    datagen::GeneratedKg kg2 = datagen::GenerateFootballDb(gen);
+    ground::GroundingOptions naive_options;
+    naive_options.semi_naive = false;
+    ground::GroundingOptions delta_options;
+    size_t atoms_naive = 0, clauses_naive = 0;
+    size_t atoms_delta = 0, clauses_delta = 0;
+    double naive =
+        GroundOnce(&kg1, full, naive_options, &atoms_naive, &clauses_naive);
+    double delta =
+        GroundOnce(&kg2, full, delta_options, &atoms_delta, &clauses_delta);
+    if (naive < 0 || delta < 0) return 1;
+    const bool match =
+        atoms_naive == atoms_delta && clauses_naive == clauses_delta;
+    networks_match = networks_match && match;
+    delta_table.AddRow({std::to_string(players), StringPrintf("%.1f", naive),
+                        StringPrintf("%.1f", delta),
+                        StringPrintf("%.2fx", naive / delta),
+                        match ? "yes" : "NO"});
+    json.NewRecord(StringPrintf("seminaive/players=%zu", players));
+    json.Metric("naive_ms", naive);
+    json.Metric("seminaive_ms", delta);
+    json.Metric("speedup", naive / delta);
+    json.Metric("atoms", static_cast<double>(atoms_delta));
+    json.Metric("clauses", static_cast<double>(clauses_delta));
+  }
+  std::printf("%s\n", delta_table.ToAscii().c_str());
+  std::printf("shape (delta evaluation, same ground network): %s\n\n",
+              networks_match ? "MATCH" : "MISMATCH");
+
+  // ------------------------------------------------ condition evaluation
   // A *teammates* join through the shared object (players of the same
   // club): candidate lists are per-team (hundreds of facts), so the
   // selective first-atom duration filter prunes a large join when
@@ -56,9 +127,15 @@ int main() {
     gen.mean_spells = 4.0;  // more spells -> bigger join
     datagen::GeneratedKg kg1 = datagen::GenerateFootballDb(gen);
     datagen::GeneratedKg kg2 = datagen::GenerateFootballDb(gen);
+    ground::GroundingOptions early_options;
+    early_options.evaluate_conditions_early = true;
+    ground::GroundingOptions late_options;
+    late_options.evaluate_conditions_early = false;
     size_t clauses_early = 0, clauses_late = 0;
-    double early = GroundOnce(&kg1, *selective, true, &clauses_early);
-    double late = GroundOnce(&kg2, *selective, false, &clauses_late);
+    double early =
+        GroundOnce(&kg1, *selective, early_options, nullptr, &clauses_early);
+    double late =
+        GroundOnce(&kg2, *selective, late_options, nullptr, &clauses_late);
     if (early < 0 || late < 0) return 1;
     clauses_match = clauses_match && clauses_early == clauses_late;
     ground_table.AddRow({std::to_string(players),
@@ -66,6 +143,10 @@ int main() {
                          StringPrintf("%.1f", late),
                          StringPrintf("%.2fx", late / early),
                          clauses_early == clauses_late ? "yes" : "NO"});
+    json.NewRecord(StringPrintf("conditions/players=%zu", players));
+    json.Metric("early_ms", early);
+    json.Metric("late_ms", late);
+    json.Metric("speedup", late / early);
   }
   std::printf("%s\n", ground_table.ToAscii().c_str());
   std::printf("shape (early evaluation prunes the join, same output): %s\n\n",
@@ -73,8 +154,6 @@ int main() {
 
   // Component decomposition: exact MAP per component (provably optimal)
   // vs one monolithic branch & bound under a node budget.
-  auto constraints = rules::FootballConstraints();
-  if (!constraints.ok()) return 1;
   datagen::FootballDbOptions gen;
   gen.num_players = 1200;
   datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
@@ -95,13 +174,19 @@ int main() {
     mln::MlnMapSolver solver(grounding->network, options);
     auto solution = solver.Solve();
     if (!solution.ok()) return 1;
+    const double ms = timer.ElapsedMillis();
     (use_components ? component_objective : monolithic_objective) =
         solution->objective;
     solve_table.AddRow({use_components ? "per-component" : "monolithic",
-                        StringPrintf("%.0f", timer.ElapsedMillis()),
+                        StringPrintf("%.0f", ms),
                         StringPrintf("%.2f", solution->objective),
                         solution->optimal ? "proven" : "budget hit",
                         std::to_string(solution->num_components)});
+    json.NewRecord(use_components ? "solve/per-component"
+                                  : "solve/monolithic");
+    json.Metric("time_ms", ms);
+    json.Metric("objective", solution->objective);
+    json.Metric("components", static_cast<double>(solution->num_components));
   }
   std::printf("%s\n", solve_table.ToAscii().c_str());
   std::printf("shape (decomposition: provably optimal AND >= anytime "
@@ -109,5 +194,10 @@ int main() {
               component_objective >= monolithic_objective - 1e-6
                   ? "MATCH"
                   : "MISMATCH");
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

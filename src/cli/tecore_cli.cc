@@ -8,10 +8,11 @@
 //   tecore-cli validate --rules r.tcr --solver psl
 //   tecore-cli detect   --graph g.tq --rules r.tcr
 //   tecore-cli solve    --graph g.tq --rules r.tcr --solver mln
-//                       [--threshold 0.5] [--out repaired.tq]
+//                       [--threshold 0.5] [--threads N] [--out repaired.tq]
 //   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -32,8 +33,8 @@ int Usage() {
                "usage: tecore-cli "
                "<stats|complete|suggest|validate|detect|solve|gen>"
                " [--graph f] [--rules f] [--solver mln|psl]\n"
-               "                  [--threshold x] [--out f] [--dataset d]"
-               " [--size n] [--prefix p]\n");
+               "                  [--threshold x] [--threads n] [--out f]"
+               " [--dataset d] [--size n] [--prefix p]\n");
   return 2;
 }
 
@@ -200,6 +201,16 @@ int main(int argc, char** argv) {
     }
     if (flags.count("threshold")) {
       options.derived_threshold = std::stod(flags["threshold"]);
+    }
+    if (flags.count("threads")) {
+      char* end = nullptr;
+      const long threads = std::strtol(flags["threads"].c_str(), &end, 10);
+      if (*flags["threads"].c_str() == '\0' || *end != '\0') {
+        std::fprintf(stderr, "invalid --threads value '%s'\n",
+                     flags["threads"].c_str());
+        return 2;
+      }
+      options.num_threads = static_cast<int>(threads);
     }
     auto result = session.Resolve(options);
     if (!result.ok()) {

@@ -30,7 +30,12 @@ Result<ResolveResult> Resolver::Run() {
   std::vector<bool> values;
   std::vector<double> soft_truth;  // PSL only
   if (options_.solver == rules::SolverKind::kMln) {
-    mln::MlnMapSolver solver(net, options_.mln);
+    mln::MlnSolverOptions mln_options = options_.mln;
+    // 0 means "inherit": keep a directly-set solver option.
+    if (options_.num_threads != 0) {
+      mln_options.num_threads = options_.num_threads;
+    }
+    mln::MlnMapSolver solver(net, mln_options);
     TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
     values = std::move(solution.atom_values);
     result.solver_name =
@@ -43,7 +48,11 @@ Result<ResolveResult> Resolver::Run() {
     result.largest_component = solution.largest_component;
     result.solve_time_ms = solution.solve_time_ms;
   } else {
-    psl::PslSolver solver(net, options_.psl);
+    psl::PslSolverOptions psl_options = options_.psl;
+    if (options_.num_threads != 0) {
+      psl_options.num_threads = options_.num_threads;
+    }
+    psl::PslSolver solver(net, psl_options);
     TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
     values = std::move(solution.atom_values);
     soft_truth = std::move(solution.truth_values);
@@ -51,6 +60,8 @@ Result<ResolveResult> Resolver::Run() {
     result.feasible = solution.feasible;
     result.optimal = false;  // convex relaxation + rounding
     result.objective = solution.objective;
+    result.num_components = solution.num_components;
+    result.largest_component = solution.largest_component;
     result.solve_time_ms = solution.solve_time_ms;
   }
 

@@ -25,6 +25,10 @@ struct ResolveOptions {
   /// Derived facts with a confidence score below this are removed from the
   /// output graph (the paper's threshold feature); 0 keeps everything.
   double derived_threshold = 0.0;
+  /// Executors for per-component MAP solving, forwarded to the MLN/PSL
+  /// solver options: 0 = auto (hardware threads), 1 = sequential. Results
+  /// are deterministic for any value.
+  int num_threads = 0;
 };
 
 /// \brief A fact derived by the inference rules during MAP.

@@ -103,6 +103,11 @@ class GroundNetwork {
   /// \brief Ids of atoms added at or after `since` (for semi-naive rounds).
   std::vector<AtomId> AtomsSince(AtomId since) const;
 
+  /// The secondary indexes below return references that stay valid across
+  /// later GetOrAddAtom calls (the maps are node-based), and each list is
+  /// sorted ascending because atoms are only ever appended — the grounder
+  /// relies on both properties for its zero-copy bounded candidate views.
+
   /// \brief Index: atoms with the given predicate.
   const std::vector<AtomId>& AtomsWithPredicate(rdf::TermId p) const;
   /// \brief Index: atoms with (predicate, subject).

@@ -35,6 +35,9 @@ struct CompiledQuad {
   /// True when `time` is a plain variable (binds on match).
   bool time_is_var = false;
   VarId time_var = -1;
+  /// Variables a non-var time expression needs before it can be evaluated
+  /// (empty for plain variables and constants).
+  std::vector<VarId> time_expr_vars;
 };
 
 struct CompiledRule {
@@ -42,9 +45,10 @@ struct CompiledRule {
   int32_t rule_index = -1;
   std::vector<CompiledQuad> body;
   std::vector<CompiledQuad> head_quads;
-  /// conditions_at[i] = indexes of rule->conditions fully bound after body
-  /// atom i has matched (early evaluation schedule).
-  std::vector<std::vector<size_t>> conditions_at;
+  /// cond_vars[i] = variables condition i needs; a condition is evaluated
+  /// as soon as all of them are bound (early mode) or after the full body
+  /// has matched (late mode).
+  std::vector<std::vector<VarId>> cond_vars;
 };
 
 /// Collects all variables of a condition atom.
@@ -62,6 +66,49 @@ void ConditionVars(const logic::ConditionAtom& cond, std::vector<VarId>* out) {
   }
 }
 
+/// A bounded, zero-copy view over the candidate atoms of one body pattern.
+///
+/// Either a slice [begin, end) of one of the network's secondary index
+/// vectors, or (variable-predicate scans) the raw id range [lo, hi). Index
+/// vectors are append-only and sorted by atom id, and the network's hash
+/// maps never invalidate element references, so the view stays valid while
+/// Emit() appends atoms mid-iteration — entries past `end` are simply not
+/// visited this pass (they belong to the next semi-naive delta).
+struct CandidateView {
+  const std::vector<AtomId>* list = nullptr;  // null => identity over [lo,hi)
+  size_t begin = 0, end = 0;
+  AtomId lo = 0, hi = 0;
+
+  size_t size() const {
+    return list != nullptr ? end - begin : static_cast<size_t>(hi - lo);
+  }
+  AtomId at(size_t i) const {
+    return list != nullptr ? (*list)[begin + i] : lo + static_cast<AtomId>(i);
+  }
+};
+
+/// Delta-restriction of one semi-naive pass: body atom `delta_pos` matches
+/// only atoms in [old_end, all_end); positions before it only [0, old_end);
+/// positions after it [0, all_end). Every grounding therefore contains at
+/// least one frontier atom and is derived exactly once across all passes
+/// and rounds.
+struct PassContext {
+  bool semi_naive = false;
+  size_t delta_pos = 0;
+  AtomId old_end = 0;
+  AtomId all_end = 0;
+
+  void RangeFor(size_t body_index, AtomId* lo, AtomId* hi) const {
+    if (!semi_naive) {
+      *lo = 0;
+      *hi = UINT32_MAX;  // clipped to NumAtoms() at view-build time
+      return;
+    }
+    *lo = body_index == delta_pos ? old_end : 0;
+    *hi = body_index < delta_pos ? old_end : all_end;
+  }
+};
+
 /// The actual matcher; one instance per Run() call.
 class GroundingEngine {
  public:
@@ -73,18 +120,22 @@ class GroundingEngine {
     Timer timer;
     TECORE_RETURN_NOT_OK(Compile());
     SeedEvidence();
-    // Fixpoint rounds: keep re-grounding while new atoms/clauses appear.
+    // Fixpoint rounds. Semi-naive: each round grounds only bindings that
+    // touch the frontier (atoms added last round), so a round with an
+    // empty frontier can produce nothing and the loop stops as soon as a
+    // round adds no atoms. Naive: re-ground everything until atom and
+    // clause counts stabilize (kept for the equivalence ablation).
+    AtomId delta_begin = 0;
     size_t prev_atoms = 0, prev_clauses = 0;
     for (int round = 0; round < options_.max_rounds; ++round) {
       result_->rounds = round + 1;
+      const AtomId round_limit = static_cast<AtomId>(result_->network.NumAtoms());
       for (CompiledRule& cr : compiled_) {
-        TECORE_RETURN_NOT_OK(GroundRule(cr));
+        TECORE_RETURN_NOT_OK(
+            GroundRule(cr, delta_begin, round_limit, /*first_round=*/round == 0));
       }
       size_t atoms = result_->network.NumAtoms();
       size_t clauses = result_->network.NumClauses();
-      if (atoms == prev_atoms && clauses == prev_clauses) break;
-      prev_atoms = atoms;
-      prev_clauses = clauses;
       if (atoms > options_.max_atoms) {
         return Status::OutOfRange(
             StringPrintf("grounding exceeded max_atoms (%zu)", atoms));
@@ -92,6 +143,14 @@ class GroundingEngine {
       if (clauses > options_.max_clauses) {
         return Status::OutOfRange(
             StringPrintf("grounding exceeded max_clauses (%zu)", clauses));
+      }
+      if (options_.semi_naive) {
+        if (atoms == round_limit) break;  // empty next frontier: fixpoint
+        delta_begin = round_limit;
+      } else {
+        if (atoms == prev_atoms && clauses == prev_clauses) break;
+        prev_atoms = atoms;
+        prev_clauses = clauses;
       }
     }
     if (options_.add_evidence_priors) {
@@ -106,6 +165,10 @@ class GroundingEngine {
     for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
       const rules::Rule& rule = rules_.rules[ri];
       TECORE_RETURN_NOT_OK(rules::ValidateRule(rule));
+      if (rule.body.size() > 64 || rule.conditions.size() > 64) {
+        return Status::InvalidArgument(
+            "rule body/conditions exceed 64 atoms (unsupported)");
+      }
       CompiledRule cr;
       cr.rule = &rule;
       cr.rule_index = static_cast<int32_t>(ri);
@@ -115,37 +178,14 @@ class GroundingEngine {
       for (const QuadAtom& atom : rule.head.quads) {
         cr.head_quads.push_back(CompileQuad(atom));
       }
-      // Early-evaluation schedule for side conditions.
-      cr.conditions_at.resize(rule.body.size());
-      std::vector<bool> bound(rule.vars.NumVars(), false);
-      std::vector<bool> scheduled(rule.conditions.size(), false);
-      for (size_t bi = 0; bi < rule.body.size(); ++bi) {
-        std::vector<VarId> evars, ivars;
-        rule.body[bi].CollectVars(&evars, &ivars);
-        for (VarId v : evars) bound[v] = true;
-        for (VarId v : ivars) bound[v] = true;
-        for (size_t ci = 0; ci < rule.conditions.size(); ++ci) {
-          if (scheduled[ci]) continue;
-          std::vector<VarId> needed;
-          ConditionVars(rule.conditions[ci], &needed);
-          bool ready = true;
-          for (VarId v : needed) {
-            if (!bound[v]) {
-              ready = false;
-              break;
-            }
-          }
-          if (ready) {
-            scheduled[ci] = true;
-            size_t slot = options_.evaluate_conditions_early
-                              ? bi
-                              : rule.body.size() - 1;
-            cr.conditions_at[slot].push_back(ci);
-          }
-        }
+      cr.cond_vars.resize(rule.conditions.size());
+      for (size_t ci = 0; ci < rule.conditions.size(); ++ci) {
+        ConditionVars(rule.conditions[ci], &cr.cond_vars[ci]);
+        std::sort(cr.cond_vars[ci].begin(), cr.cond_vars[ci].end());
+        cr.cond_vars[ci].erase(
+            std::unique(cr.cond_vars[ci].begin(), cr.cond_vars[ci].end()),
+            cr.cond_vars[ci].end());
       }
-      // Unscheduled conditions would use unbound vars; the validator
-      // guarantees this cannot happen.
       compiled_.push_back(std::move(cr));
     }
     return Status::OK();
@@ -168,7 +208,11 @@ class GroundingEngine {
     cq.object = compile_arg(atom.object);
     cq.time = &atom.time;
     cq.time_is_var = atom.time.kind() == IntervalExpr::Kind::kVar;
-    if (cq.time_is_var) cq.time_var = atom.time.var();
+    if (cq.time_is_var) {
+      cq.time_var = atom.time.var();
+    } else {
+      atom.time.CollectVars(&cq.time_expr_vars);
+    }
     return cq;
   }
 
@@ -181,10 +225,45 @@ class GroundingEngine {
     }
   }
 
-  Status GroundRule(CompiledRule& cr) {
-    Binding binding(cr.rule->vars);
-    std::vector<AtomId> matched(cr.rule->body.size(), 0);
-    return MatchBody(cr, 0, &binding, &matched);
+  Status GroundRule(CompiledRule& cr, AtomId delta_begin, AtomId round_limit,
+                    bool first_round) {
+    if (cr.body.empty()) {
+      // Degenerate body-less rule: fires exactly once, in the first round.
+      if (first_round) {
+        Binding binding(cr.rule->vars);
+        std::vector<AtomId> matched;
+        std::vector<bool> cond_done(cr.rule->conditions.size(), false);
+        return FinishMatch(cr, &binding, &matched, &cond_done);
+      }
+      return Status::OK();
+    }
+    if (!options_.semi_naive) {
+      PassContext ctx;
+      ctx.semi_naive = false;
+      Binding binding(cr.rule->vars);
+      std::vector<AtomId> matched(cr.body.size(), 0);
+      std::vector<bool> cond_done(cr.rule->conditions.size(), false);
+      return MatchBody(cr, ctx, /*depth=*/0, /*matched_mask=*/0, &binding,
+                       &matched, &cond_done);
+    }
+    // One pass per body position taking the frontier role. Round 0 has
+    // old_end == 0, so only the d == 0 pass can match (later passes need a
+    // non-empty "old" region) — the full evidence join runs exactly once.
+    for (size_t d = 0; d < cr.body.size(); ++d) {
+      if (delta_begin >= round_limit) break;     // empty frontier
+      if (d > 0 && delta_begin == 0) break;      // empty old region
+      PassContext ctx;
+      ctx.semi_naive = true;
+      ctx.delta_pos = d;
+      ctx.old_end = delta_begin;
+      ctx.all_end = round_limit;
+      Binding binding(cr.rule->vars);
+      std::vector<AtomId> matched(cr.body.size(), 0);
+      std::vector<bool> cond_done(cr.rule->conditions.size(), false);
+      TECORE_RETURN_NOT_OK(MatchBody(cr, ctx, /*depth=*/0, /*matched_mask=*/0,
+                                     &binding, &matched, &cond_done));
+    }
+    return Status::OK();
   }
 
   /// Resolve a compiled entity arg under the current binding.
@@ -196,37 +275,107 @@ class GroundingEngine {
                                       : rdf::kInvalidTermId;
   }
 
-  Status MatchBody(CompiledRule& cr, size_t index, Binding* binding,
-                   std::vector<AtomId>* matched) {
-    if (index == cr.body.size()) {
-      return Emit(cr, *binding, *matched);
+  static bool VarBound(const Binding& binding, VarId v) {
+    return binding.HasEntity(v) || binding.HasInterval(v);
+  }
+
+  /// True when the pattern's time position can be evaluated/matched under
+  /// the current binding (plain variables always can: they bind or compare).
+  static bool TimeReady(const CompiledQuad& pattern, const Binding& binding) {
+    if (pattern.time_is_var) return true;
+    for (VarId v : pattern.time_expr_vars) {
+      if (!binding.HasInterval(v)) return false;
     }
-    const CompiledQuad& pattern = cr.body[index];
+    return true;
+  }
+
+  /// Build the candidate view for `pattern` restricted to atom ids
+  /// [lo, hi), using the most selective available secondary index.
+  CandidateView MakeView(const CompiledQuad& pattern, const Binding& binding,
+                         AtomId lo, AtomId hi) const {
     const GroundNetwork& net = result_->network;
+    const rdf::TermId p = ResolveArg(pattern.predicate, binding);
+    const rdf::TermId s = ResolveArg(pattern.subject, binding);
+    const rdf::TermId o = ResolveArg(pattern.object, binding);
 
-    const rdf::TermId p = ResolveArg(pattern.predicate, *binding);
-    const rdf::TermId s = ResolveArg(pattern.subject, *binding);
-    const rdf::TermId o = ResolveArg(pattern.object, *binding);
-
-    // Choose the most selective available index. The list is snapshotted by
-    // value: Emit() may add derived atoms, which rehashes/reallocates the
-    // underlying index vectors. Atoms derived during this pass are picked up
-    // by the next fixpoint round.
-    std::vector<AtomId> candidates;
+    const std::vector<AtomId>* list = nullptr;
     if (p != rdf::kInvalidTermId && s != rdf::kInvalidTermId) {
-      candidates = net.AtomsWithPredSubject(p, s);
+      list = &net.AtomsWithPredSubject(p, s);
     } else if (p != rdf::kInvalidTermId && o != rdf::kInvalidTermId) {
-      candidates = net.AtomsWithPredObject(p, o);
+      list = &net.AtomsWithPredObject(p, o);
     } else if (p != rdf::kInvalidTermId) {
-      candidates = net.AtomsWithPredicate(p);
+      list = &net.AtomsWithPredicate(p);
     } else {
-      // Variable predicate: full scan (rare; documented as slow).
-      candidates.resize(net.NumAtoms());
-      for (AtomId i = 0; i < candidates.size(); ++i) candidates[i] = i;
+      // Variable predicate: iterate raw atom ids, no materialization.
+      CandidateView view;
+      view.lo = lo;
+      view.hi = std::max(lo, std::min<AtomId>(
+                                 hi, static_cast<AtomId>(net.NumAtoms())));
+      return view;
     }
+    CandidateView view;
+    view.list = list;
+    // Index lists are sorted (atoms are appended with increasing ids), so
+    // the [lo, hi) restriction is a contiguous slice.
+    view.begin = static_cast<size_t>(
+        std::lower_bound(list->begin(), list->end(), lo) - list->begin());
+    view.end = static_cast<size_t>(
+        std::lower_bound(list->begin(), list->end(), hi) - list->begin());
+    return view;
+  }
 
-    for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      AtomId atom_id = candidates[ci];
+  /// Pick the next body atom to match: the unmatched, evaluable pattern
+  /// with the fewest candidates under the current binding (cheap dynamic
+  /// join ordering — the frontier-restricted atom usually wins). Falls
+  /// back to the lowest unmatched index when nothing is evaluable, which
+  /// reproduces the strict left-to-right semantics for rules the
+  /// validator's ordering guarantee does not cover.
+  size_t PickNext(const CompiledRule& cr, const PassContext& ctx,
+                  uint64_t matched_mask, const Binding& binding,
+                  CandidateView* view) const {
+    size_t best = SIZE_MAX;
+    size_t best_count = 0;
+    CandidateView best_view;
+    for (size_t i = 0; i < cr.body.size(); ++i) {
+      if (matched_mask & (1ULL << i)) continue;
+      if (!TimeReady(cr.body[i], binding)) continue;
+      AtomId lo, hi;
+      ctx.RangeFor(i, &lo, &hi);
+      CandidateView candidate = MakeView(cr.body[i], binding, lo, hi);
+      if (best == SIZE_MAX || candidate.size() < best_count) {
+        best = i;
+        best_count = candidate.size();
+        best_view = candidate;
+      }
+    }
+    if (best == SIZE_MAX) {
+      // No pattern is evaluable yet: take the first unmatched one.
+      for (size_t i = 0; i < cr.body.size(); ++i) {
+        if (matched_mask & (1ULL << i)) continue;
+        AtomId lo, hi;
+        ctx.RangeFor(i, &lo, &hi);
+        *view = MakeView(cr.body[i], binding, lo, hi);
+        return i;
+      }
+    }
+    *view = best_view;
+    return best;
+  }
+
+  Status MatchBody(CompiledRule& cr, const PassContext& ctx, size_t depth,
+                   uint64_t matched_mask, Binding* binding,
+                   std::vector<AtomId>* matched,
+                   std::vector<bool>* cond_done) {
+    if (depth == cr.body.size()) {
+      return FinishMatch(cr, binding, matched, cond_done);
+    }
+    CandidateView view;
+    const size_t index = PickNext(cr, ctx, matched_mask, *binding, &view);
+    const CompiledQuad& pattern = cr.body[index];
+    const uint64_t next_mask = matched_mask | (1ULL << index);
+
+    for (size_t vi = 0; vi < view.size(); ++vi) {
+      const AtomId atom_id = view.at(vi);
       const GroundAtom& atom = result_->network.atom(atom_id);
       // --- match entity positions, recording fresh bindings for undo.
       bool bound_s = false, bound_p = false, bound_o = false,
@@ -240,28 +389,62 @@ class GroundingEngine {
         continue;
       }
       (*matched)[index] = atom_id;
-      // --- early side-condition evaluation.
+      // --- early side-condition evaluation: fire every condition whose
+      // variables just became fully bound (strongly prunes the join).
       bool conditions_hold = true;
-      for (size_t cond_idx : cr.conditions_at[index]) {
-        auto held = logic::EvalCondition(cr.rule->conditions[cond_idx],
-                                         *binding, &graph_->dict());
-        if (!held.ok()) {
-          // Type errors (e.g. arithmetic over an IRI) mean "no match" for
-          // this grounding rather than a hard failure.
-          conditions_hold = false;
-          break;
-        }
-        if (!*held) {
-          conditions_hold = false;
-          break;
+      uint64_t newly_done = 0;
+      if (options_.evaluate_conditions_early) {
+        for (size_t ci = 0; ci < cr.cond_vars.size(); ++ci) {
+          if ((*cond_done)[ci]) continue;
+          bool ready = true;
+          for (VarId v : cr.cond_vars[ci]) {
+            if (!VarBound(*binding, v)) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) continue;
+          (*cond_done)[ci] = true;
+          newly_done |= 1ULL << ci;  // bounded: conditions fit a rule body
+          if (!EvalConditionAsFilter(cr, ci, *binding)) {
+            conditions_hold = false;
+            break;
+          }
         }
       }
       if (conditions_hold) {
-        TECORE_RETURN_NOT_OK(MatchBody(cr, index + 1, binding, matched));
+        Status st =
+            MatchBody(cr, ctx, depth + 1, next_mask, binding, matched,
+                      cond_done);
+        if (!st.ok()) return st;
+      }
+      for (size_t ci = 0; ci < cr.cond_vars.size(); ++ci) {
+        if (newly_done & (1ULL << ci)) (*cond_done)[ci] = false;
       }
       UndoBindings(pattern, bound_s, bound_p, bound_o, bound_t, binding);
     }
     return Status::OK();
+  }
+
+  /// Evaluate condition `ci` as a pure filter: type errors (e.g.
+  /// arithmetic over an IRI) mean "no match" rather than a hard failure.
+  bool EvalConditionAsFilter(const CompiledRule& cr, size_t ci,
+                             const Binding& binding) {
+    auto held = logic::EvalCondition(cr.rule->conditions[ci], binding,
+                                     &graph_->dict());
+    return held.ok() && *held;
+  }
+
+  /// Full body matched: evaluate any remaining conditions (all of them in
+  /// late mode), then emit the grounding.
+  Status FinishMatch(CompiledRule& cr, Binding* binding,
+                     std::vector<AtomId>* matched,
+                     std::vector<bool>* cond_done) {
+    for (size_t ci = 0; ci < cr.cond_vars.size(); ++ci) {
+      if ((*cond_done)[ci]) continue;
+      if (!EvalConditionAsFilter(cr, ci, *binding)) return Status::OK();
+    }
+    return Emit(cr, *binding, *matched);
   }
 
   static bool TryBindEntity(const CompiledArg& arg, rdf::TermId value,
@@ -302,10 +485,11 @@ class GroundingEngine {
 
   Status Emit(CompiledRule& cr, const Binding& binding,
               const std::vector<AtomId>& matched) {
-    // Deduplicate groundings across fixpoint rounds (a rule re-matches the
-    // same atoms every round; clauses dedup anyway, but counters and head
-    // evaluation must fire once per distinct grounding).
-    {
+    // Semi-naive passes derive each grounding exactly once (every tuple
+    // has a unique first frontier position), so no dedup is needed. The
+    // naive path re-matches everything every round and must dedup so
+    // counters and head evaluation fire once per distinct grounding.
+    if (!options_.semi_naive) {
       uint64_t h = 1469598103934665603ULL;
       auto mix = [&h](uint64_t v) {
         h ^= v;
@@ -371,7 +555,7 @@ class GroundingEngine {
   const GroundingOptions& options_;
   GroundingResult* result_;
   std::vector<CompiledRule> compiled_;
-  std::unordered_set<uint64_t> seen_groundings_;
+  std::unordered_set<uint64_t> seen_groundings_;  // naive mode only
 };
 
 }  // namespace

@@ -31,6 +31,12 @@ struct GroundingOptions {
   /// Evaluate side conditions as soon as their variables are bound during
   /// the body join (strongly prunes); disable only for the A3 ablation.
   bool evaluate_conditions_early = true;
+  /// Semi-naive delta evaluation: each fixpoint round only enumerates
+  /// bindings where at least one body atom comes from the frontier (atoms
+  /// added in the previous round), so nothing is re-derived and no
+  /// cross-round dedup set is needed. Disable only for the naive-vs-delta
+  /// equivalence ablation; results are identical by construction.
+  bool semi_naive = true;
 };
 
 /// \brief Outcome of grounding: the network plus bookkeeping.

@@ -5,6 +5,7 @@
 #include "mln/cutting_plane.h"
 #include "mln/translation.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tecore {
@@ -82,17 +83,39 @@ Result<MlnSolution> MlnMapSolver::Solve() {
 
   std::vector<ground::Component> components = network_.ConnectedComponents();
   solution.num_components = components.size();
-  for (const ground::Component& component : components) {
-    solution.largest_component =
-        std::max(solution.largest_component, component.atoms.size());
+
+  // Components are independent subproblems; solve them concurrently and
+  // merge in component order so objectives/flip sets are identical to the
+  // sequential run (every backend is deterministic given its options).
+  struct ComponentSolution {
+    maxsat::MaxSatResult result;
+    std::vector<ground::AtomId> atom_map;
+    bool solved = false;
+  };
+  std::vector<ComponentSolution> solved(components.size());
+  // Never spawn more executors than there are components to solve.
+  util::ThreadPool pool(static_cast<int>(
+      std::min<size_t>(util::ResolveThreadCount(options_.num_threads),
+                       std::max<size_t>(components.size(), 1))));
+  pool.ParallelFor(components.size(), [&](size_t i) {
+    const ground::Component& component = components[i];
     if (component.clause_indices.empty()) {
       // Isolated atoms with no clauses at all: default to false (derived)
       // — evidence atoms always have at least their prior clause.
-      continue;
+      return;
     }
-    std::vector<ground::AtomId> atom_map;
-    maxsat::Wcnf wcnf = BuildComponentWcnf(network_, component, &atom_map);
-    maxsat::MaxSatResult result = SolveWcnf(wcnf, options_);
+    ComponentSolution& out = solved[i];
+    maxsat::Wcnf wcnf = BuildComponentWcnf(network_, component, &out.atom_map);
+    out.result = SolveWcnf(wcnf, options_);
+    out.solved = true;
+  });
+
+  for (size_t i = 0; i < components.size(); ++i) {
+    solution.largest_component =
+        std::max(solution.largest_component, components[i].atoms.size());
+    if (!solved[i].solved) continue;
+    const maxsat::MaxSatResult& result = solved[i].result;
+    const std::vector<ground::AtomId>& atom_map = solved[i].atom_map;
     solution.feasible = solution.feasible && result.feasible;
     solution.optimal = solution.optimal && result.optimal;
     solution.objective += result.satisfied_weight;

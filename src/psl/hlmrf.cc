@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 namespace tecore {
 namespace psl {
@@ -37,36 +38,69 @@ double HlMrf::ConstraintViolation(const std::vector<double>& x) const {
   return violation;
 }
 
+namespace {
+
+/// Relax one ground clause into `mrf`, renumbering atoms through
+/// `renumber` when given (component translation) or 1:1 otherwise.
+void RelaxClause(const ground::GroundClause& clause,
+                 const std::unordered_map<ground::AtomId, int>* renumber,
+                 bool squared, HlMrf* mrf) {
+  // Distance to satisfaction of the disjunction.
+  std::vector<std::pair<int, double>> coefs;
+  double offset = 1.0;
+  coefs.reserve(clause.literals.size());
+  for (int32_t lit : clause.literals) {
+    const ground::AtomId atom = ground::LiteralAtom(lit);
+    const int var = renumber == nullptr ? static_cast<int>(atom)
+                                        : renumber->at(atom);
+    if (ground::LiteralSign(lit)) {
+      coefs.emplace_back(var, -1.0);
+    } else {
+      coefs.emplace_back(var, 1.0);
+      offset -= 1.0;
+    }
+  }
+  if (clause.hard) {
+    // Must be satisfied: distance <= 0.
+    HardLinearConstraint con;
+    con.coefs = std::move(coefs);
+    con.offset = offset;
+    mrf->AddConstraint(std::move(con));
+  } else if (clause.weight > 0) {
+    HingePotential pot;
+    pot.coefs = std::move(coefs);
+    pot.offset = offset;
+    pot.weight = clause.weight;
+    pot.squared = squared;
+    mrf->AddPotential(std::move(pot));
+  }
+}
+
+}  // namespace
+
 HlMrf BuildHlMrf(const ground::GroundNetwork& network, bool squared) {
   HlMrf mrf(static_cast<int>(network.NumAtoms()));
   for (const ground::GroundClause& clause : network.clauses()) {
-    // Distance to satisfaction of the disjunction.
-    std::vector<std::pair<int, double>> coefs;
-    double offset = 1.0;
-    coefs.reserve(clause.literals.size());
-    for (int32_t lit : clause.literals) {
-      const int var = static_cast<int>(ground::LiteralAtom(lit));
-      if (ground::LiteralSign(lit)) {
-        coefs.emplace_back(var, -1.0);
-      } else {
-        coefs.emplace_back(var, 1.0);
-        offset -= 1.0;
-      }
-    }
-    if (clause.hard) {
-      // Must be satisfied: distance <= 0.
-      HardLinearConstraint con;
-      con.coefs = std::move(coefs);
-      con.offset = offset;
-      mrf.AddConstraint(std::move(con));
-    } else if (clause.weight > 0) {
-      HingePotential pot;
-      pot.coefs = std::move(coefs);
-      pot.offset = offset;
-      pot.weight = clause.weight;
-      pot.squared = squared;
-      mrf.AddPotential(std::move(pot));
-    }
+    RelaxClause(clause, nullptr, squared, &mrf);
+  }
+  return mrf;
+}
+
+HlMrf BuildComponentHlMrf(const ground::GroundNetwork& network,
+                          const ground::Component& component,
+                          std::vector<ground::AtomId>* atom_map,
+                          bool squared) {
+  std::unordered_map<ground::AtomId, int> renumber;
+  renumber.reserve(component.atoms.size());
+  atom_map->clear();
+  atom_map->reserve(component.atoms.size());
+  for (ground::AtomId atom : component.atoms) {
+    renumber.emplace(atom, static_cast<int>(atom_map->size()));
+    atom_map->push_back(atom);
+  }
+  HlMrf mrf(static_cast<int>(component.atoms.size()));
+  for (uint32_t ci : component.clause_indices) {
+    RelaxClause(network.clauses()[ci], &renumber, squared, &mrf);
   }
   return mrf;
 }

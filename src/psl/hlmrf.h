@@ -71,6 +71,14 @@ class HlMrf {
 /// linear for MAP).
 HlMrf BuildHlMrf(const ground::GroundNetwork& network, bool squared = false);
 
+/// \brief nPSL translation of a single connected component; atoms are
+/// renumbered densely, with the local->global map returned through
+/// `atom_map` (mirrors mln::BuildComponentWcnf).
+HlMrf BuildComponentHlMrf(const ground::GroundNetwork& network,
+                          const ground::Component& component,
+                          std::vector<ground::AtomId>* atom_map,
+                          bool squared = false);
+
 }  // namespace psl
 }  // namespace tecore
 

@@ -1,0 +1,79 @@
+#ifndef TECORE_UTIL_BENCH_JSON_H_
+#define TECORE_UTIL_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace tecore {
+
+/// \brief Machine-readable benchmark output (BENCH_*.json).
+///
+/// Collects named records of numeric metrics and renders them as a stable,
+/// diff-friendly JSON document so successive PRs can track the perf
+/// trajectory. Keys are code-controlled identifiers; only minimal string
+/// escaping is applied.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  /// \brief Start a new record (e.g. one workload size / configuration).
+  void NewRecord(const std::string& name) {
+    records_.push_back({name, {}});
+  }
+
+  /// \brief Add one metric to the latest record.
+  void Metric(const std::string& key, double value) {
+    records_.back().second.emplace_back(key, value);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"benchmark\": \"" + Escape(benchmark_) +
+                      "\",\n  \"records\": [\n";
+    for (size_t ri = 0; ri < records_.size(); ++ri) {
+      out += "    {\"name\": \"" + Escape(records_[ri].first) + "\"";
+      for (const auto& [key, value] : records_[ri].second) {
+        out += StringPrintf(", \"%s\": %.6g", Escape(key).c_str(), value);
+      }
+      out += ri + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// \brief Write the document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      records_;
+};
+
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_BENCH_JSON_H_

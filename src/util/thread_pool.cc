@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tecore {
+namespace util {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested == 0) return HardwareThreads();
+  return std::min(std::max(requested, 1), 256);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(1, num_threads) - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t executors =
+      std::min(static_cast<size_t>(num_threads()), n);
+  if (executors <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared atomic counter: each executor claims the next unprocessed index
+  // until the range is exhausted. Component sizes are heavy-tailed, so
+  // index-at-a-time claiming doubles as load balancing.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, n, &fn] {
+    size_t i;
+    while ((i = next->fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
+  };
+  for (size_t t = 0; t + 1 < executors; ++t) Submit(drain);
+  drain();  // the calling thread participates
+  Wait();
+}
+
+}  // namespace util
+}  // namespace tecore

@@ -1,0 +1,66 @@
+#ifndef TECORE_UTIL_THREAD_POOL_H_
+#define TECORE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tecore {
+namespace util {
+
+/// \brief Number of hardware threads (always >= 1).
+int HardwareThreads();
+
+/// \brief Map a thread-count option to an executor count: 0 means "auto"
+/// (hardware concurrency), anything else is clamped to >= 1.
+int ResolveThreadCount(int requested);
+
+/// \brief A small fixed-size thread pool with chunked self-scheduling.
+///
+/// Construction spawns `num_threads - 1` workers; the calling thread is
+/// the remaining executor and participates in ParallelFor, so
+/// ThreadPool(1) runs everything inline with zero threading overhead.
+/// Tasks must not throw (the codebase is exception-free by convention).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// \brief Total executors (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// \brief Enqueue one task for the worker threads.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until every submitted task has finished.
+  void Wait();
+
+  /// \brief Run `fn(i)` for every i in [0, n), distributing iterations
+  /// across all executors via an atomic work counter (cheap dynamic load
+  /// balancing — components have wildly varying sizes). The call returns
+  /// once every iteration has completed. `fn` may be invoked from multiple
+  /// threads concurrently but each index is processed exactly once.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace util
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+// Per-component MAP solving is parallelized with a chunked thread pool;
+// components are independent and results are merged in component order, so
+// a 4-thread run must be indistinguishable from a sequential run: same
+// objective, same flip set (atom values), same diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "ground/grounder.h"
+#include "mln/solver.h"
+#include "psl/solver.h"
+#include "rules/library.h"
+#include "util/thread_pool.h"
+
+namespace tecore {
+namespace {
+
+ground::GroundingResult GroundFootball(size_t players, bool with_inference) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = players;
+  datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+  auto constraints = rules::FootballConstraints();
+  EXPECT_TRUE(constraints.ok());
+  rules::RuleSet rules = *constraints;
+  if (with_inference) {
+    auto inference = rules::FootballInferenceRules();
+    EXPECT_TRUE(inference.ok());
+    rules.Merge(*inference);
+  }
+  ground::Grounder grounder(&kg.graph, rules);
+  auto result = grounder.Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) pool.Submit([&] { ++done; });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(util::ResolveThreadCount(0), 1);  // auto
+  EXPECT_EQ(util::ResolveThreadCount(1), 1);
+  EXPECT_EQ(util::ResolveThreadCount(4), 4);
+}
+
+TEST(ParallelDeterminism, MlnObjectiveAndFlipSetMatchSequential) {
+  ground::GroundingResult grounding = GroundFootball(600, false);
+  mln::MlnSolverOptions sequential;
+  sequential.num_threads = 1;
+  mln::MlnSolverOptions parallel;
+  parallel.num_threads = 4;
+
+  mln::MlnMapSolver seq_solver(grounding.network, sequential);
+  auto seq = seq_solver.Solve();
+  ASSERT_TRUE(seq.ok());
+  mln::MlnMapSolver par_solver(grounding.network, parallel);
+  auto par = par_solver.Solve();
+  ASSERT_TRUE(par.ok());
+
+  EXPECT_EQ(seq->objective, par->objective);  // bit-identical, not approx
+  EXPECT_EQ(seq->violated_weight, par->violated_weight);
+  EXPECT_EQ(seq->atom_values, par->atom_values);
+  EXPECT_EQ(seq->feasible, par->feasible);
+  EXPECT_EQ(seq->optimal, par->optimal);
+  EXPECT_EQ(seq->num_components, par->num_components);
+  EXPECT_EQ(seq->largest_component, par->largest_component);
+  EXPECT_EQ(seq->search_steps, par->search_steps);
+  EXPECT_GT(seq->num_components, 1u);
+}
+
+TEST(ParallelDeterminism, MlnWalkSatBackendIsDeterministicToo) {
+  ground::GroundingResult grounding = GroundFootball(600, false);
+  mln::MlnSolverOptions sequential;
+  sequential.backend = mln::MlnBackend::kWalkSat;
+  sequential.num_threads = 1;
+  mln::MlnSolverOptions parallel = sequential;
+  parallel.num_threads = 4;
+
+  mln::MlnMapSolver seq_solver(grounding.network, sequential);
+  auto seq = seq_solver.Solve();
+  ASSERT_TRUE(seq.ok());
+  mln::MlnMapSolver par_solver(grounding.network, parallel);
+  auto par = par_solver.Solve();
+  ASSERT_TRUE(par.ok());
+
+  // WalkSAT reseeds per component from the options, so thread interleaving
+  // cannot leak into the search trajectory.
+  EXPECT_EQ(seq->objective, par->objective);
+  EXPECT_EQ(seq->atom_values, par->atom_values);
+}
+
+TEST(ParallelDeterminism, PslTruthValuesMatchSequential) {
+  ground::GroundingResult grounding = GroundFootball(600, false);
+  psl::PslSolverOptions sequential;
+  sequential.num_threads = 1;
+  psl::PslSolverOptions parallel;
+  parallel.num_threads = 4;
+
+  psl::PslSolver seq_solver(grounding.network, sequential);
+  auto seq = seq_solver.Solve();
+  ASSERT_TRUE(seq.ok());
+  psl::PslSolver par_solver(grounding.network, parallel);
+  auto par = par_solver.Solve();
+  ASSERT_TRUE(par.ok());
+
+  EXPECT_EQ(seq->truth_values, par->truth_values);  // bit-identical
+  EXPECT_EQ(seq->atom_values, par->atom_values);
+  EXPECT_EQ(seq->objective, par->objective);
+  EXPECT_EQ(seq->energy, par->energy);
+  EXPECT_EQ(seq->repair_flips, par->repair_flips);
+  EXPECT_EQ(seq->num_components, par->num_components);
+}
+
+TEST(ParallelDeterminism, PslComponentDecompositionMatchesMonolithic) {
+  // The consensus problem is separable: per-component ADMM and monolithic
+  // ADMM round to the same Boolean state on the decoupled workload.
+  ground::GroundingResult grounding = GroundFootball(600, false);
+  psl::PslSolverOptions component_options;
+  psl::PslSolverOptions monolithic_options;
+  monolithic_options.use_components = false;
+
+  psl::PslSolver comp_solver(grounding.network, component_options);
+  auto comp = comp_solver.Solve();
+  ASSERT_TRUE(comp.ok());
+  psl::PslSolver mono_solver(grounding.network, monolithic_options);
+  auto mono = mono_solver.Solve();
+  ASSERT_TRUE(mono.ok());
+
+  EXPECT_EQ(comp->feasible, mono->feasible);
+  // Objectives agree up to rounding noise of the relaxation.
+  EXPECT_NEAR(comp->objective, mono->objective,
+              0.01 * std::max(1.0, mono->objective));
+}
+
+}  // namespace
+}  // namespace tecore
