@@ -152,6 +152,52 @@ int main(int argc, char** argv) {
   std::printf("shape (early evaluation prunes the join, same output): %s\n\n",
               clauses_match ? "MATCH" : "MISMATCH");
 
+  // --------------------------------------------- ground-thread scaling
+  // The per-rule semi-naive passes of each fixpoint round run on the
+  // thread pool against a frozen snapshot and merge deterministically, so
+  // the network must be identical at every thread count; the wall time is
+  // what scales (flat on a 1-core container — see docs/benchmarks.md).
+  Table scale_table(
+      {"ground threads", "time ms", "speedup", "network (equal)"});
+  {
+    rules::RuleSet scaling_rules = *constraints;
+    scaling_rules.Merge(*inference);
+    datagen::FootballDbOptions gen_scale;
+    gen_scale.num_players = 2000;
+    double base_ms = 0.0;
+    size_t base_atoms = 0, base_clauses = 0;
+    bool scale_match = true;
+    for (int threads : {1, 2, 4}) {
+      datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen_scale);
+      ground::GroundingOptions options;
+      options.num_threads = threads;
+      size_t atoms = 0, clauses = 0;
+      const double ms =
+          GroundOnce(&kg, scaling_rules, options, &atoms, &clauses);
+      if (ms < 0) return 1;
+      if (threads == 1) {
+        base_ms = ms;
+        base_atoms = atoms;
+        base_clauses = clauses;
+      }
+      const bool match = atoms == base_atoms && clauses == base_clauses;
+      scale_match = scale_match && match;
+      scale_table.AddRow({std::to_string(threads), StringPrintf("%.1f", ms),
+                          StringPrintf("%.2fx", base_ms / ms),
+                          match ? "yes" : "NO"});
+      json.NewRecord(StringPrintf("ground_threads/threads=%d", threads));
+      json.Metric("threads", static_cast<double>(threads));
+      json.Metric("time_ms", ms);
+      json.Metric("speedup_vs_1t", base_ms / ms);
+      json.Metric("atoms", static_cast<double>(atoms));
+      json.Metric("clauses", static_cast<double>(clauses));
+    }
+    std::printf("%s\n", scale_table.ToAscii().c_str());
+    std::printf("shape (parallel grounding, identical network): %s\n\n",
+                scale_match ? "MATCH" : "MISMATCH");
+    if (!scale_match) return 1;
+  }
+
   // Component decomposition: exact MAP per component (provably optimal)
   // vs one monolithic branch & bound under a node budget.
   datagen::FootballDbOptions gen;

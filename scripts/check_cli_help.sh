@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CLI help coverage: the usage text must mention every plumbed option and
+# every subcommand, so an option added in code but forgotten in --help
+# fails the build.
+#
+# Usage: scripts/check_cli_help.sh [path/to/tecore-cli]
+set -u
+
+CLI="${1:-build/tecore-cli}"
+if [[ ! -x "$CLI" ]]; then
+  echo "error: '$CLI' not found or not executable (build first)" >&2
+  exit 2
+fi
+
+# tecore-cli with no arguments prints usage to stderr and exits 2.
+USAGE="$("$CLI" 2>&1)"
+
+FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
+       --out --dataset --size --prefix)
+COMMANDS=(stats complete suggest validate detect solve gen)
+
+# Token-anchored match so a flag is not satisfied by a longer flag that
+# merely contains it (or a subcommand by an unrelated word).
+mentions() {
+  grep -qE "(^|[^[:alnum:]_-])$1([^[:alnum:]_-]|\$)" <<<"$USAGE"
+}
+
+missing=0
+for flag in "${FLAGS[@]}"; do
+  if ! mentions "$flag"; then
+    echo "usage text does not mention plumbed option: $flag" >&2
+    missing=1
+  fi
+done
+for command in "${COMMANDS[@]}"; do
+  if ! mentions "$command"; then
+    echo "usage text does not mention subcommand: $command" >&2
+    missing=1
+  fi
+done
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "--- actual usage text ---" >&2
+  printf '%s\n' "$USAGE" >&2
+  exit 1
+fi
+echo "usage text mentions all ${#FLAGS[@]} options and ${#COMMANDS[@]} subcommands"

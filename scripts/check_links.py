@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Markdown link hygiene: every relative link in the repo's docs must
+point at a file that exists, so doc rot fails the build.
+
+Checks README.md, ROADMAP.md and docs/**/*.md (plus any extra paths
+given on the command line). External links (http/https/mailto) are not
+fetched; anchors are stripped before the existence check.
+
+Usage: scripts/check_links.py [file.md ...]
+Exit:  0 when all relative links resolve, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) and [text](target "title") — excluding images' alt text
+# edge cases is not needed; ![alt](target) matches the same shape and is
+# checked the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def candidate_files(argv):
+    if argv:
+        return [Path(p) for p in argv]
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def display_path(path):
+    try:
+        return str(path.resolve().relative_to(REPO))
+    except ValueError:  # explicitly-passed file outside the repo
+        return str(path)
+
+
+def check_file(path):
+    errors = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"{display_path(path)}: unreadable ({error})"]
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            rel = target.split("#", 1)[0]
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(f"{display_path(path)}:{lineno}: "
+                              f"broken link '{target}'")
+    return errors
+
+
+def main(argv):
+    all_errors = []
+    files = candidate_files(argv)
+    for path in files:
+        all_errors += check_file(path)
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s), "
+          f"{len(all_errors)} broken link(s)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

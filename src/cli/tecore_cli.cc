@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -33,9 +34,28 @@ int Usage() {
                "usage: tecore-cli "
                "<stats|complete|suggest|validate|detect|solve|gen>"
                " [--graph f] [--rules f] [--solver mln|psl]\n"
-               "                  [--threshold x] [--threads n] [--out f]"
-               " [--dataset d] [--size n] [--prefix p]\n");
+               "                  [--threshold x] [--threads n]"
+               " [--ground-threads n] [--out f]"
+               " [--dataset d] [--size n] [--prefix p]\n"
+               "  --threads n        executors for per-component MAP solving"
+               " (0 = auto)\n"
+               "  --ground-threads n executors for the semi-naive grounding"
+               " passes (0 = auto)\n"
+               "  results are bit-identical for every thread count\n");
   return 2;
+}
+
+/// Strict base-10 int flag parser; returns false on any garbage,
+/// including values outside int range.
+bool ParseIntFlag(const std::string& value, int* out) {
+  int64_t parsed = 0;
+  if (!ParseInt64(value, &parsed) ||
+      parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
 }
 
 /// Minimal --key value argument parser.
@@ -180,7 +200,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    auto report = session.DetectConflicts();
+    ground::GroundingOptions grounding;
+    if (flags.count("ground-threads") &&
+        !ParseIntFlag(flags["ground-threads"], &grounding.num_threads)) {
+      std::fprintf(stderr, "invalid --ground-threads value '%s'\n",
+                   flags["ground-threads"].c_str());
+      return 2;
+    }
+    auto report = session.DetectConflicts(grounding);
     if (!report.ok()) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
@@ -202,15 +229,17 @@ int main(int argc, char** argv) {
     if (flags.count("threshold")) {
       options.derived_threshold = std::stod(flags["threshold"]);
     }
-    if (flags.count("threads")) {
-      char* end = nullptr;
-      const long threads = std::strtol(flags["threads"].c_str(), &end, 10);
-      if (*flags["threads"].c_str() == '\0' || *end != '\0') {
-        std::fprintf(stderr, "invalid --threads value '%s'\n",
-                     flags["threads"].c_str());
-        return 2;
-      }
-      options.num_threads = static_cast<int>(threads);
+    if (flags.count("threads") &&
+        !ParseIntFlag(flags["threads"], &options.num_threads)) {
+      std::fprintf(stderr, "invalid --threads value '%s'\n",
+                   flags["threads"].c_str());
+      return 2;
+    }
+    if (flags.count("ground-threads") &&
+        !ParseIntFlag(flags["ground-threads"], &options.ground_threads)) {
+      std::fprintf(stderr, "invalid --ground-threads value '%s'\n",
+                   flags["ground-threads"].c_str());
+      return 2;
     }
     auto result = session.Resolve(options);
     if (!result.ok()) {

@@ -16,9 +16,14 @@ Resolver::Resolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
 
 Result<ResolveResult> Resolver::Run() {
   Timer total_timer;
+  ground::GroundingOptions grounding = options_.grounding;
+  // 0 means "inherit": keep a directly-set grounding option.
+  if (options_.ground_threads != 0) {
+    grounding.num_threads = options_.ground_threads;
+  }
   TECORE_ASSIGN_OR_RETURN(
-      translation, Translator::Translate(graph_, rules_, options_.solver,
-                                         options_.grounding));
+      translation,
+      Translator::Translate(graph_, rules_, options_.solver, grounding));
   const ground::GroundNetwork& net = translation.grounding.network;
 
   ResolveResult result;

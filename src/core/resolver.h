@@ -29,6 +29,11 @@ struct ResolveOptions {
   /// solver options: 0 = auto (hardware threads), 1 = sequential. Results
   /// are deterministic for any value.
   int num_threads = 0;
+  /// Executors for the semi-naive grounding passes, forwarded to
+  /// `grounding.num_threads` when nonzero (0 keeps a directly-set
+  /// grounding option, which itself defaults to auto). The ground network
+  /// is bit-identical for any value.
+  int ground_threads = 0;
 };
 
 /// \brief A fact derived by the inference rules during MAP.

@@ -57,9 +57,10 @@ Result<std::vector<Suggestion>> Session::SuggestConstraints(
   return core::SuggestConstraints(*graph_, options);
 }
 
-Result<ConflictReport> Session::DetectConflicts() {
+Result<ConflictReport> Session::DetectConflicts(
+    ground::GroundingOptions grounding) {
   if (!graph_) return Status::InvalidArgument("no graph loaded");
-  ConflictDetector detector(&*graph_, rules_);
+  ConflictDetector detector(&*graph_, rules_, grounding);
   return detector.Detect();
 }
 

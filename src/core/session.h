@@ -74,7 +74,8 @@ class Session {
 
   // ---------------------------------------------------------- 3. compute
   /// \brief Detect conflicts under the current constraints.
-  Result<ConflictReport> DetectConflicts();
+  Result<ConflictReport> DetectConflicts(
+      ground::GroundingOptions grounding = {});
 
   /// \brief Run the full resolution pipeline.
   Result<ResolveResult> Resolve(const ResolveOptions& options);

@@ -1,6 +1,7 @@
 #include "ground/grounder.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -9,6 +10,7 @@
 #include "rules/validator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tecore {
@@ -109,6 +111,35 @@ struct PassContext {
   }
 };
 
+/// A head atom resolved during a parallel pass but not yet interned into
+/// the network (interning is deferred to the deterministic merge phase).
+struct ResolvedQuad {
+  rdf::TermId subject, predicate, object;
+  temporal::Interval interval{0, 0};
+};
+
+/// One grounding produced by a parallel pass, replayed at merge time in
+/// exactly the order the sequential engine would have emitted it.
+struct PendingGrounding {
+  /// Matched body atoms (become negative literals).
+  std::vector<AtomId> matched;
+  /// Resolved head quads to intern (become positive literals).
+  std::vector<ResolvedQuad> heads;
+  /// False when a later head quad had an empty time intersection: the
+  /// sequential engine has already interned the earlier head atoms by that
+  /// point, so the merge must too, but the clause itself is dropped.
+  bool emit_clause = true;
+};
+
+/// Everything one parallel (rule, pass) task produces. Tasks only ever
+/// write their own PassOutput; the shared network stays frozen until the
+/// merge phase.
+struct PassOutput {
+  std::vector<PendingGrounding> pending;
+  size_t num_satisfied_heads = 0;
+  Status status = Status::OK();
+};
+
 /// The actual matcher; one instance per Run() call.
 class GroundingEngine {
  public:
@@ -120,6 +151,15 @@ class GroundingEngine {
     Timer timer;
     TECORE_RETURN_NOT_OK(Compile());
     SeedEvidence();
+    // Parallel grounding applies to the semi-naive path only: its passes
+    // read a frozen snapshot of the round (atom ids below `round_limit`)
+    // and each grounding is derived exactly once, so pass outputs can be
+    // replayed in canonical order with no cross-pass dedup. The naive
+    // ablation path shares one dedup set across rules and stays sequential.
+    const int ground_threads = util::ResolveThreadCount(options_.num_threads);
+    const bool parallel = options_.semi_naive && ground_threads > 1;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (parallel) pool = std::make_unique<util::ThreadPool>(ground_threads);
     // Fixpoint rounds. Semi-naive: each round grounds only bindings that
     // touch the frontier (atoms added last round), so a round with an
     // empty frontier can produce nothing and the loop stops as soon as a
@@ -130,9 +170,14 @@ class GroundingEngine {
     for (int round = 0; round < options_.max_rounds; ++round) {
       result_->rounds = round + 1;
       const AtomId round_limit = static_cast<AtomId>(result_->network.NumAtoms());
-      for (CompiledRule& cr : compiled_) {
-        TECORE_RETURN_NOT_OK(
-            GroundRule(cr, delta_begin, round_limit, /*first_round=*/round == 0));
+      if (parallel) {
+        TECORE_RETURN_NOT_OK(GroundRoundParallel(
+            pool.get(), delta_begin, round_limit, /*first_round=*/round == 0));
+      } else {
+        for (const CompiledRule& cr : compiled_) {
+          TECORE_RETURN_NOT_OK(GroundRule(cr, delta_begin, round_limit,
+                                          /*first_round=*/round == 0));
+        }
       }
       size_t atoms = result_->network.NumAtoms();
       size_t clauses = result_->network.NumClauses();
@@ -225,26 +270,18 @@ class GroundingEngine {
     }
   }
 
-  Status GroundRule(CompiledRule& cr, AtomId delta_begin, AtomId round_limit,
-                    bool first_round) {
+  Status GroundRule(const CompiledRule& cr, AtomId delta_begin,
+                    AtomId round_limit, bool first_round) {
     if (cr.body.empty()) {
       // Degenerate body-less rule: fires exactly once, in the first round.
-      if (first_round) {
-        Binding binding(cr.rule->vars);
-        std::vector<AtomId> matched;
-        std::vector<bool> cond_done(cr.rule->conditions.size(), false);
-        return FinishMatch(cr, &binding, &matched, &cond_done);
-      }
+      if (first_round) return RunPass(cr, PassContext{}, /*body_less=*/true,
+                                      /*out=*/nullptr);
       return Status::OK();
     }
     if (!options_.semi_naive) {
       PassContext ctx;
       ctx.semi_naive = false;
-      Binding binding(cr.rule->vars);
-      std::vector<AtomId> matched(cr.body.size(), 0);
-      std::vector<bool> cond_done(cr.rule->conditions.size(), false);
-      return MatchBody(cr, ctx, /*depth=*/0, /*matched_mask=*/0, &binding,
-                       &matched, &cond_done);
+      return RunPass(cr, ctx, /*body_less=*/false, /*out=*/nullptr);
     }
     // One pass per body position taking the frontier role. Round 0 has
     // old_end == 0, so only the d == 0 pass can match (later passes need a
@@ -257,13 +294,81 @@ class GroundingEngine {
       ctx.delta_pos = d;
       ctx.old_end = delta_begin;
       ctx.all_end = round_limit;
-      Binding binding(cr.rule->vars);
-      std::vector<AtomId> matched(cr.body.size(), 0);
-      std::vector<bool> cond_done(cr.rule->conditions.size(), false);
-      TECORE_RETURN_NOT_OK(MatchBody(cr, ctx, /*depth=*/0, /*matched_mask=*/0,
-                                     &binding, &matched, &cond_done));
+      TECORE_RETURN_NOT_OK(RunPass(cr, ctx, /*body_less=*/false,
+                                   /*out=*/nullptr));
     }
     return Status::OK();
+  }
+
+  /// One matcher pass: fresh binding state, then the recursive body join.
+  /// With `out == nullptr` emissions go straight into the network (the
+  /// sequential path); otherwise they are collected into `out` for the
+  /// deterministic merge.
+  Status RunPass(const CompiledRule& cr, const PassContext& ctx,
+                 bool body_less, PassOutput* out) {
+    Binding binding(cr.rule->vars);
+    std::vector<AtomId> matched(cr.body.size(), 0);
+    std::vector<bool> cond_done(cr.rule->conditions.size(), false);
+    if (body_less) return FinishMatch(cr, &binding, &matched, &cond_done, out);
+    return MatchBody(cr, ctx, /*depth=*/0, /*matched_mask=*/0, &binding,
+                     &matched, &cond_done, out);
+  }
+
+  /// One parallel semi-naive round: enumerate the (rule, pass) tasks in
+  /// canonical order, run them concurrently against the frozen network
+  /// prefix [0, round_limit), then replay their emissions sequentially in
+  /// that same canonical order. Atom and clause interning happens only in
+  /// the replay, so ids come out exactly as in a sequential run.
+  Status GroundRoundParallel(util::ThreadPool* pool, AtomId delta_begin,
+                             AtomId round_limit, bool first_round) {
+    struct PassTask {
+      const CompiledRule* cr = nullptr;
+      PassContext ctx;
+      bool body_less = false;
+    };
+    std::vector<PassTask> tasks;
+    for (const CompiledRule& cr : compiled_) {
+      if (cr.body.empty()) {
+        if (first_round) {
+          PassTask task;
+          task.cr = &cr;
+          task.body_less = true;
+          tasks.push_back(task);
+        }
+        continue;
+      }
+      for (size_t d = 0; d < cr.body.size(); ++d) {
+        if (delta_begin >= round_limit) break;   // empty frontier
+        if (d > 0 && delta_begin == 0) break;    // empty old region
+        PassTask task;
+        task.cr = &cr;
+        task.ctx.semi_naive = true;
+        task.ctx.delta_pos = d;
+        task.ctx.old_end = delta_begin;
+        task.ctx.all_end = round_limit;
+        tasks.push_back(task);
+      }
+    }
+    std::vector<PassOutput> outputs(tasks.size());
+    pool->ParallelFor(tasks.size(), [&](size_t i) {
+      outputs[i].status = RunPass(*tasks[i].cr, tasks[i].ctx,
+                                  tasks[i].body_less, &outputs[i]);
+    });
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      TECORE_RETURN_NOT_OK(outputs[i].status);
+      MergeOutput(*tasks[i].cr, outputs[i]);
+    }
+    return Status::OK();
+  }
+
+  /// Replay one pass's collected groundings into the network; both
+  /// emission paths funnel through ApplyGrounding, so the mutation
+  /// sequence is the sequential one by construction.
+  void MergeOutput(const CompiledRule& cr, const PassOutput& out) {
+    result_->num_satisfied_heads += out.num_satisfied_heads;
+    for (const PendingGrounding& pg : out.pending) {
+      ApplyGrounding(cr, pg.matched, pg.heads, pg.emit_clause);
+    }
   }
 
   /// Resolve a compiled entity arg under the current binding.
@@ -362,12 +467,12 @@ class GroundingEngine {
     return best;
   }
 
-  Status MatchBody(CompiledRule& cr, const PassContext& ctx, size_t depth,
-                   uint64_t matched_mask, Binding* binding,
-                   std::vector<AtomId>* matched,
-                   std::vector<bool>* cond_done) {
+  Status MatchBody(const CompiledRule& cr, const PassContext& ctx,
+                   size_t depth, uint64_t matched_mask, Binding* binding,
+                   std::vector<AtomId>* matched, std::vector<bool>* cond_done,
+                   PassOutput* out) {
     if (depth == cr.body.size()) {
-      return FinishMatch(cr, binding, matched, cond_done);
+      return FinishMatch(cr, binding, matched, cond_done, out);
     }
     CandidateView view;
     const size_t index = PickNext(cr, ctx, matched_mask, *binding, &view);
@@ -413,9 +518,8 @@ class GroundingEngine {
         }
       }
       if (conditions_hold) {
-        Status st =
-            MatchBody(cr, ctx, depth + 1, next_mask, binding, matched,
-                      cond_done);
+        Status st = MatchBody(cr, ctx, depth + 1, next_mask, binding, matched,
+                              cond_done, out);
         if (!st.ok()) return st;
       }
       for (size_t ci = 0; ci < cr.cond_vars.size(); ++ci) {
@@ -437,14 +541,14 @@ class GroundingEngine {
 
   /// Full body matched: evaluate any remaining conditions (all of them in
   /// late mode), then emit the grounding.
-  Status FinishMatch(CompiledRule& cr, Binding* binding,
+  Status FinishMatch(const CompiledRule& cr, Binding* binding,
                      std::vector<AtomId>* matched,
-                     std::vector<bool>* cond_done) {
+                     std::vector<bool>* cond_done, PassOutput* out) {
     for (size_t ci = 0; ci < cr.cond_vars.size(); ++ci) {
       if ((*cond_done)[ci]) continue;
       if (!EvalConditionAsFilter(cr, ci, *binding)) return Status::OK();
     }
-    return Emit(cr, *binding, *matched);
+    return Emit(cr, *binding, *matched, out);
   }
 
   static bool TryBindEntity(const CompiledArg& arg, rdf::TermId value,
@@ -483,12 +587,89 @@ class GroundingEngine {
     if (bound_t) binding->UnbindInterval(pattern.time_var);
   }
 
-  Status Emit(CompiledRule& cr, const Binding& binding,
-              const std::vector<AtomId>& matched) {
+  /// Shared head evaluation: resolve the rule head under `binding` without
+  /// touching the network. On return, `*satisfied` is true when an
+  /// evaluable head held (grounding discharged, no clause); otherwise
+  /// `heads` holds the resolved quads to intern, and `*emit_clause` is
+  /// false when a head quad had an empty time intersection — the clause is
+  /// dropped, but head atoms resolved before it must still be interned
+  /// (the historical emission order interns them as it goes).
+  Status EvalHead(const CompiledRule& cr, const Binding& binding,
+                  bool* satisfied, std::vector<ResolvedQuad>* heads,
+                  bool* emit_clause) {
+    *satisfied = false;
+    *emit_clause = true;
+    heads->clear();
+    const rules::Rule& rule = *cr.rule;
+    switch (rule.head.kind) {
+      case rules::HeadKind::kFalse:
+        break;
+      case rules::HeadKind::kCondition: {
+        auto held =
+            logic::EvalCondition(*rule.head.condition, binding, &graph_->dict());
+        // Evaluation type error: treat the head as unsatisfied.
+        if (held.ok() && *held) *satisfied = true;
+        break;
+      }
+      case rules::HeadKind::kQuads: {
+        for (const CompiledQuad& head : cr.head_quads) {
+          ResolvedQuad quad;
+          quad.subject = ResolveArg(head.subject, binding);
+          quad.predicate = ResolveArg(head.predicate, binding);
+          quad.object = ResolveArg(head.object, binding);
+          if (quad.subject == rdf::kInvalidTermId ||
+              quad.predicate == rdf::kInvalidTermId ||
+              quad.object == rdf::kInvalidTermId) {
+            return Status::Internal(
+                "unbound variable in head (validator should have caught)");
+          }
+          auto iv = logic::EvalInterval(*head.time, binding);
+          if (!iv.has_value()) {
+            *emit_clause = false;
+            break;
+          }
+          quad.interval = *iv;
+          heads->push_back(quad);
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Intern one grounding's head atoms and add its clause — the single
+  /// network-mutation sequence shared by the sequential path and the
+  /// parallel merge.
+  void ApplyGrounding(const CompiledRule& cr,
+                      const std::vector<AtomId>& matched,
+                      const std::vector<ResolvedQuad>& heads,
+                      bool emit_clause) {
+    GroundClause clause;
+    clause.rule_index = cr.rule_index;
+    clause.hard = cr.rule->hard;
+    clause.weight = cr.rule->weight;
+    for (AtomId atom : matched) {
+      clause.literals.push_back(NegativeLiteral(atom));
+    }
+    for (const ResolvedQuad& head : heads) {
+      AtomId head_atom = result_->network.GetOrAddAtom(
+          head.subject, head.predicate, head.object, head.interval,
+          /*is_evidence=*/false, 0.0, rdf::kInvalidFactId);
+      clause.literals.push_back(PositiveLiteral(head_atom));
+    }
+    if (!emit_clause) return;
+    if (result_->network.AddClause(std::move(clause))) {
+      ++result_->num_groundings;
+    }
+  }
+
+  Status Emit(const CompiledRule& cr, const Binding& binding,
+              const std::vector<AtomId>& matched, PassOutput* out) {
     // Semi-naive passes derive each grounding exactly once (every tuple
     // has a unique first frontier position), so no dedup is needed. The
     // naive path re-matches everything every round and must dedup so
-    // counters and head evaluation fire once per distinct grounding.
+    // counters and head evaluation fire once per distinct grounding
+    // (naive mode is always sequential, so `out` is null there).
     if (!options_.semi_naive) {
       uint64_t h = 1469598103934665603ULL;
       auto mix = [&h](uint64_t v) {
@@ -499,54 +680,29 @@ class GroundingEngine {
       for (AtomId atom : matched) mix(atom + (1ULL << 33));
       if (!seen_groundings_.insert(h).second) return Status::OK();
     }
-    const rules::Rule& rule = *cr.rule;
-    GroundClause clause;
-    clause.rule_index = cr.rule_index;
-    clause.hard = rule.hard;
-    clause.weight = rule.weight;
-    for (AtomId atom : matched) {
-      clause.literals.push_back(NegativeLiteral(atom));
+    // Collect mode needs its own heads buffer (Emit runs concurrently);
+    // the sequential path reuses a scratch member to stay allocation-lean.
+    std::vector<ResolvedQuad> local_heads;
+    std::vector<ResolvedQuad>& heads =
+        out != nullptr ? local_heads : scratch_heads_;
+    bool satisfied = false, emit_clause = true;
+    TECORE_RETURN_NOT_OK(
+        EvalHead(cr, binding, &satisfied, &heads, &emit_clause));
+    if (satisfied) {
+      ++(out != nullptr ? out->num_satisfied_heads
+                        : result_->num_satisfied_heads);
+      return Status::OK();  // grounding satisfied; no clause
     }
-    switch (rule.head.kind) {
-      case rules::HeadKind::kFalse:
-        break;
-      case rules::HeadKind::kCondition: {
-        auto held =
-            logic::EvalCondition(*rule.head.condition, binding, &graph_->dict());
-        if (!held.ok()) {
-          // Evaluation type error: treat the head as unsatisfied.
-        } else if (*held) {
-          ++result_->num_satisfied_heads;
-          return Status::OK();  // grounding satisfied; no clause
-        }
-        break;
-      }
-      case rules::HeadKind::kQuads: {
-        for (const CompiledQuad& head : cr.head_quads) {
-          rdf::TermId s = ResolveArg(head.subject, binding);
-          rdf::TermId p = ResolveArg(head.predicate, binding);
-          rdf::TermId o = ResolveArg(head.object, binding);
-          if (s == rdf::kInvalidTermId || p == rdf::kInvalidTermId ||
-              o == rdf::kInvalidTermId) {
-            return Status::Internal(
-                "unbound variable in head (validator should have caught)");
-          }
-          auto iv = logic::EvalInterval(*head.time, binding);
-          if (!iv.has_value()) {
-            // Empty intersection: the derived fact has no valid time; the
-            // implication is treated as vacuous for this grounding.
-            return Status::OK();
-          }
-          AtomId head_atom = result_->network.GetOrAddAtom(
-              s, p, o, *iv, /*is_evidence=*/false, 0.0, rdf::kInvalidFactId);
-          clause.literals.push_back(PositiveLiteral(head_atom));
-        }
-        break;
-      }
+    if (!emit_clause && heads.empty()) return Status::OK();  // fully vacuous
+    if (out != nullptr) {
+      PendingGrounding pg;
+      pg.matched = matched;
+      pg.heads = std::move(local_heads);
+      pg.emit_clause = emit_clause;
+      out->pending.push_back(std::move(pg));
+      return Status::OK();
     }
-    if (result_->network.AddClause(std::move(clause))) {
-      ++result_->num_groundings;
-    }
+    ApplyGrounding(cr, matched, heads, emit_clause);
     return Status::OK();
   }
 
@@ -556,6 +712,7 @@ class GroundingEngine {
   GroundingResult* result_;
   std::vector<CompiledRule> compiled_;
   std::unordered_set<uint64_t> seen_groundings_;  // naive mode only
+  std::vector<ResolvedQuad> scratch_heads_;       // sequential Emit only
 };
 
 }  // namespace

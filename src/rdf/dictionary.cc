@@ -7,18 +7,99 @@
 namespace tecore {
 namespace rdf {
 
+namespace {
+
+/// floor(log2(n)) for n >= 1.
+inline size_t FloorLog2(uint64_t n) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - static_cast<size_t>(__builtin_clzll(n));
+#else
+  size_t r = 0;
+  while (n >>= 1) ++r;
+  return r;
+#endif
+}
+
+}  // namespace
+
+Dictionary::Dictionary()
+    : shards_(new Shard[kNumShards]),
+      buckets_(new std::atomic<Term*>[kNumBuckets]) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Dictionary::Dictionary(Dictionary&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      buckets_(std::move(other.buckets_)),
+      next_id_(other.next_id_.load(std::memory_order_relaxed)) {
+  other.next_id_.store(0, std::memory_order_relaxed);
+}
+
+Dictionary::~Dictionary() {
+  if (buckets_ != nullptr) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      delete[] buckets_[b].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this != &other) {
+    // Free the current store's buckets.
+    if (buckets_ != nullptr) {
+      for (size_t b = 0; b < kNumBuckets; ++b) {
+        delete[] buckets_[b].load(std::memory_order_relaxed);
+      }
+    }
+    shards_ = std::move(other.shards_);
+    buckets_ = std::move(other.buckets_);
+    next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    other.next_id_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Dictionary::Locate(TermId id, size_t* bucket, size_t* offset) {
+  const uint64_t n = static_cast<uint64_t>(id) + (1ULL << kFirstBucketBits);
+  const size_t h = FloorLog2(n);
+  *bucket = h - kFirstBucketBits;
+  *offset = static_cast<size_t>(n - (1ULL << h));
+}
+
+Term* Dictionary::SlotFor(TermId id) {
+  size_t bucket, offset;
+  Locate(id, &bucket, &offset);
+  Term* base = buckets_[bucket].load(std::memory_order_acquire);
+  if (base == nullptr) {
+    std::lock_guard<std::mutex> lock(bucket_alloc_mutex_);
+    base = buckets_[bucket].load(std::memory_order_relaxed);
+    if (base == nullptr) {
+      base = new Term[1ULL << (kFirstBucketBits + bucket)];
+      buckets_[bucket].store(base, std::memory_order_release);
+    }
+  }
+  return base + offset;
+}
+
 TermId Dictionary::Intern(const Term& term) {
-  auto it = index_.find(term);
-  if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(term);
-  index_.emplace(term, id);
+  Shard& shard = shards_[ShardFor(term)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(term);
+  if (it != shard.index.end()) return it->second;
+  const TermId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  *SlotFor(id) = term;
+  shard.index.emplace(term, id);
   return id;
 }
 
 Result<TermId> Dictionary::Find(const Term& term) const {
-  auto it = index_.find(term);
-  if (it == index_.end()) {
+  Shard& shard = shards_[ShardFor(term)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(term);
+  if (it == shard.index.end()) {
     return Status::NotFound("term not in dictionary: " + term.ToString());
   }
   return it->second;
@@ -29,14 +110,17 @@ Result<TermId> Dictionary::FindIri(std::string_view name) const {
 }
 
 const Term& Dictionary::Lookup(TermId id) const {
-  assert(id < terms_.size());
-  return terms_[id];
+  assert(id < Size());
+  size_t bucket, offset;
+  Locate(id, &bucket, &offset);
+  return buckets_[bucket].load(std::memory_order_acquire)[offset];
 }
 
 std::vector<TermId> Dictionary::CompleteIri(std::string_view prefix) const {
   std::vector<TermId> out;
-  for (TermId id = 0; id < terms_.size(); ++id) {
-    const Term& t = terms_[id];
+  const TermId size = static_cast<TermId>(Size());
+  for (TermId id = 0; id < size; ++id) {
+    const Term& t = Lookup(id);
     if (t.is_iri() && StartsWith(t.lexical(), prefix)) out.push_back(id);
   }
   return out;

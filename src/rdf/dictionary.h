@@ -1,6 +1,10 @@
 #ifndef TECORE_RDF_DICTIONARY_H_
 #define TECORE_RDF_DICTIONARY_H_
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,17 +21,37 @@ namespace rdf {
 /// TermId. Grounding, indexing and solving all operate on ids; strings are
 /// only materialized at the I/O boundary — the standard dictionary-encoding
 /// design of RDF stores.
+///
+/// Interning is thread-safe and sharded: the term -> id index is split into
+/// kNumShards hash-partitioned maps, each behind its own mutex, so
+/// concurrent Intern() calls for different terms rarely contend (the
+/// property-graph-loader idiom). Ids come from a single atomic allocator,
+/// so they stay dense — every id in [0, Size()) names exactly one term —
+/// and a single-threaded caller still sees ids in insertion order 0,1,2,…
+/// exactly as before. Under concurrent interning the id *order* depends on
+/// the interleaving, but the id <-> term mapping itself is always
+/// consistent.
+///
+/// Terms live in a doubling-bucket store with stable addresses, addressed
+/// through a fixed directory of atomic pointers: Lookup() is lock-free and
+/// the `const Term&` it returns is never invalidated by later interning.
+/// Lookup(id) is safe for any id obtained from a completed Intern()/Find()
+/// call; whole-dictionary iteration (Size(), CompleteIri()) additionally
+/// assumes no interning is in flight on other threads.
 class Dictionary {
  public:
-  Dictionary() = default;
+  Dictionary();
 
-  // Movable, not copyable (graphs can be large).
+  // Movable, not copyable (graphs can be large). Moving is not thread-safe:
+  // no concurrent access to either side during the move.
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
+  ~Dictionary();
 
   /// \brief Intern a term, returning its id (existing id if already known).
+  /// Safe to call concurrently from multiple threads.
   TermId Intern(const Term& term);
 
   /// \brief Convenience: intern a bare IRI.
@@ -44,19 +68,50 @@ class Dictionary {
   /// \brief Lookup an existing IRI's id without interning.
   Result<TermId> FindIri(std::string_view name) const;
 
-  /// \brief The term for an id. Id must be valid.
+  /// \brief The term for an id. Id must come from a completed Intern/Find.
   const Term& Lookup(TermId id) const;
 
-  /// \brief Number of distinct terms.
-  size_t Size() const { return terms_.size(); }
+  /// \brief Number of distinct terms (quiescent value; see class comment).
+  size_t Size() const { return next_id_.load(std::memory_order_acquire); }
 
   /// \brief All IRIs whose lexical form starts with `prefix` (the data
   /// source behind the Constraints Editor's predicate auto-completion).
   std::vector<TermId> CompleteIri(std::string_view prefix) const;
 
  private:
-  std::vector<Term> terms_;
-  std::unordered_map<Term, TermId, TermHash> index_;
+  /// Shard count (power of two). 16 shards keep the per-shard collision
+  /// probability low for typical loader/grounder thread counts while the
+  /// single-threaded path pays only one uncontended lock per Intern.
+  static constexpr size_t kNumShards = 16;
+
+  /// Term storage: bucket 0 holds kFirstBucketSize slots, every further
+  /// bucket doubles the total, so kNumBuckets buckets cover the whole
+  /// 32-bit id space with a directory small enough to preallocate.
+  static constexpr size_t kFirstBucketBits = 8;  // 256 slots in bucket 0
+  static constexpr size_t kNumBuckets = 32 - kFirstBucketBits + 1;
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Term, TermId, TermHash> index;
+  };
+
+  static size_t ShardFor(const Term& term) {
+    // Re-mix the map hash so shard selection uses the top bits and the
+    // per-shard map still sees well-distributed low bits.
+    const uint64_t h = static_cast<uint64_t>(TermHash()(term));
+    return static_cast<size_t>((h * 0x9E3779B97F4A7C15ULL) >> 60);
+  }
+
+  /// Bucket/offset of an id in the doubling-bucket store.
+  static void Locate(TermId id, size_t* bucket, size_t* offset);
+
+  /// Slot for a freshly allocated id; allocates its bucket if needed.
+  Term* SlotFor(TermId id);
+
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<std::atomic<Term*>[]> buckets_;
+  std::mutex bucket_alloc_mutex_;
+  std::atomic<TermId> next_id_{0};
 };
 
 }  // namespace rdf

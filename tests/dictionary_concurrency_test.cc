@@ -1,0 +1,170 @@
+// The sharded dictionary must behave exactly like the old single-map
+// implementation under single-threaded use (dense ids in insertion order)
+// and stay consistent under concurrent interning: every id in [0, Size())
+// names exactly one term, the same term always gets the same id on every
+// thread, and string <-> id round trips agree with a single-threaded
+// reference run on the same term universe.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace rdf {
+namespace {
+
+/// The shared term universe: IRIs, literals and ints with many cross-thread
+/// duplicates so the shards see real get-vs-insert races.
+std::vector<Term> TermUniverse(size_t n) {
+  std::vector<Term> terms;
+  terms.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0:
+        terms.push_back(Term::Iri(StringPrintf("iri_%zu", i / 3 % 500)));
+        break;
+      case 1:
+        terms.push_back(
+            Term::Literal(StringPrintf("lit_%zu", i / 3 % 311)));
+        break;
+      default:
+        terms.push_back(Term::IntLiteral(static_cast<int64_t>(i / 3 % 97)));
+        break;
+    }
+  }
+  return terms;
+}
+
+TEST(DictionaryConcurrency, SingleThreadedIdsAreInsertionOrdered) {
+  // The exact contract the grounder's canonical-order merge relies on.
+  Dictionary dict;
+  EXPECT_EQ(dict.InternIri("a"), 0u);
+  EXPECT_EQ(dict.InternIri("b"), 1u);
+  EXPECT_EQ(dict.InternIri("a"), 0u);
+  EXPECT_EQ(dict.InternInt(7), 2u);
+  EXPECT_EQ(dict.Size(), 3u);
+}
+
+TEST(DictionaryConcurrency, HammeredInterningStaysDenseAndConsistent) {
+  const size_t kThreads = 8;
+  const std::vector<Term> universe = TermUniverse(9000);
+
+  Dictionary dict;
+  std::vector<std::vector<TermId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t].reserve(universe.size());
+      // Each thread walks the universe from a different offset so shard
+      // access patterns differ but the interned term set is identical.
+      for (size_t i = 0; i < universe.size(); ++i) {
+        const Term& term = universe[(i + t * 1013) % universe.size()];
+        ids[t].push_back(dict.Intern(term));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Same size as a single-threaded reference run over the same universe.
+  Dictionary reference;
+  for (const Term& term : universe) reference.Intern(term);
+  ASSERT_EQ(dict.Size(), reference.Size());
+
+  // Ids are dense: every id in [0, Size()) is hit by some Lookup round
+  // trip, and each stored term maps back to its own id exactly once.
+  std::vector<int> seen(dict.Size(), 0);
+  for (TermId id = 0; id < dict.Size(); ++id) {
+    const Term& term = dict.Lookup(id);
+    auto found = dict.Find(term);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, id) << "round trip broke for id " << id;
+    ++seen[id];
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+
+  // Every thread observed the same term -> id mapping.
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < universe.size(); ++i) {
+      const Term& term = universe[(i + t * 1013) % universe.size()];
+      EXPECT_EQ(dict.Lookup(ids[t][i]), term);
+    }
+  }
+
+  // The interned term *set* matches the single-threaded reference (ids may
+  // be permuted across runs; the mapping itself must agree as a set).
+  std::map<std::string, TermId> concurrent_terms, reference_terms;
+  for (TermId id = 0; id < dict.Size(); ++id) {
+    concurrent_terms[dict.Lookup(id).ToString()] = id;
+  }
+  for (TermId id = 0; id < reference.Size(); ++id) {
+    reference_terms[reference.Lookup(id).ToString()] = id;
+  }
+  ASSERT_EQ(concurrent_terms.size(), reference_terms.size());
+  for (const auto& [text, id] : reference_terms) {
+    EXPECT_EQ(concurrent_terms.count(text), 1u) << text;
+  }
+}
+
+TEST(DictionaryConcurrency, ConcurrentFindDuringInterning) {
+  // Readers racing writers on ids they already hold must never observe a
+  // torn term. Writers publish ids through the per-shard map; this thread
+  // re-reads its own completed interns while others keep inserting.
+  const std::vector<Term> universe = TermUniverse(3000);
+  Dictionary dict;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = 0; i < universe.size(); ++i) {
+        const Term& term = universe[(i + t * 677) % universe.size()];
+        TermId id = dict.Intern(term);
+        EXPECT_EQ(dict.Lookup(id), term);
+        auto found = dict.Find(term);
+        EXPECT_TRUE(found.ok());
+        EXPECT_EQ(*found, id);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+}
+
+TEST(DictionaryConcurrency, CompleteIriStillWorksAfterConcurrentLoad) {
+  Dictionary dict;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&dict, t] {
+      for (size_t i = 0; i < 200; ++i) {
+        dict.InternIri(StringPrintf("plays_%zu", i));
+        dict.InternIri(StringPrintf("coach_%zu_%zu", t, i));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(dict.CompleteIri("plays_").size(), 200u);
+  EXPECT_EQ(dict.CompleteIri("coach_").size(), 800u);
+}
+
+TEST(DictionaryConcurrency, MovePreservesContents) {
+  Dictionary dict;
+  TermId a = dict.InternIri("alpha");
+  dict.InternIri("beta");
+  Dictionary moved = std::move(dict);
+  EXPECT_EQ(moved.Size(), 2u);
+  EXPECT_EQ(moved.Lookup(a).lexical(), "alpha");
+  Dictionary assigned;
+  assigned.InternIri("gamma");
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.Size(), 2u);
+  ASSERT_TRUE(assigned.FindIri("beta").ok());
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace tecore

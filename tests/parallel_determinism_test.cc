@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <vector>
 
+#include "core/resolver.h"
 #include "datagen/generators.h"
 #include "ground/grounder.h"
 #include "mln/solver.h"
@@ -19,7 +21,8 @@
 namespace tecore {
 namespace {
 
-ground::GroundingResult GroundFootball(size_t players, bool with_inference) {
+ground::GroundingResult GroundFootball(size_t players, bool with_inference,
+                                       int ground_threads = 0) {
   datagen::FootballDbOptions gen;
   gen.num_players = players;
   datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
@@ -31,10 +34,43 @@ ground::GroundingResult GroundFootball(size_t players, bool with_inference) {
     EXPECT_TRUE(inference.ok());
     rules.Merge(*inference);
   }
-  ground::Grounder grounder(&kg.graph, rules);
+  ground::GroundingOptions options;
+  options.num_threads = ground_threads;
+  ground::Grounder grounder(&kg.graph, rules, options);
   auto result = grounder.Run();
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(*result);
+}
+
+/// Bit-identical network comparison: atom ids, atom payloads, clause
+/// order, literals, weights — the parallel-grounding determinism contract,
+/// strictly stronger than the canonicalized equivalence check.
+void ExpectNetworksBitIdentical(const ground::GroundingResult& a,
+                                const ground::GroundingResult& b) {
+  ASSERT_EQ(a.network.NumAtoms(), b.network.NumAtoms());
+  ASSERT_EQ(a.network.NumClauses(), b.network.NumClauses());
+  EXPECT_EQ(a.num_groundings, b.num_groundings);
+  EXPECT_EQ(a.num_satisfied_heads, b.num_satisfied_heads);
+  EXPECT_EQ(a.rounds, b.rounds);
+  for (ground::AtomId id = 0; id < a.network.NumAtoms(); ++id) {
+    const ground::GroundAtom& x = a.network.atom(id);
+    const ground::GroundAtom& y = b.network.atom(id);
+    ASSERT_EQ(x.subject, y.subject) << "atom " << id;
+    ASSERT_EQ(x.predicate, y.predicate) << "atom " << id;
+    ASSERT_EQ(x.object, y.object) << "atom " << id;
+    ASSERT_EQ(x.interval, y.interval) << "atom " << id;
+    ASSERT_EQ(x.is_evidence, y.is_evidence) << "atom " << id;
+    ASSERT_EQ(x.prior_weight, y.prior_weight) << "atom " << id;
+    ASSERT_EQ(x.source_fact, y.source_fact) << "atom " << id;
+  }
+  for (size_t ci = 0; ci < a.network.NumClauses(); ++ci) {
+    const ground::GroundClause& x = a.network.clauses()[ci];
+    const ground::GroundClause& y = b.network.clauses()[ci];
+    ASSERT_EQ(x.literals, y.literals) << "clause " << ci;
+    ASSERT_EQ(x.weight, y.weight) << "clause " << ci;
+    ASSERT_EQ(x.hard, y.hard) << "clause " << ci;
+    ASSERT_EQ(x.rule_index, y.rule_index) << "clause " << ci;
+  }
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
@@ -59,6 +95,62 @@ TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_GE(util::ResolveThreadCount(0), 1);  // auto
   EXPECT_EQ(util::ResolveThreadCount(1), 1);
   EXPECT_EQ(util::ResolveThreadCount(4), 4);
+}
+
+TEST(ParallelDeterminism, GroundingBitIdenticalAcrossThreadCounts) {
+  // The chained inference rules force several fixpoint rounds, so this
+  // covers the parallel pass + canonical merge across rounds, not just the
+  // round-0 evidence join.
+  ground::GroundingResult one = GroundFootball(300, true, 1);
+  ground::GroundingResult two = GroundFootball(300, true, 2);
+  ground::GroundingResult four = GroundFootball(300, true, 4);
+  EXPECT_GT(one.rounds, 1);
+  ExpectNetworksBitIdentical(one, two);
+  ExpectNetworksBitIdentical(one, four);
+}
+
+TEST(ParallelDeterminism, GroundingBitIdenticalOnWikidata) {
+  datagen::WikidataOptions gen;
+  gen.target_facts = 3000;
+  auto constraints = rules::WikidataConstraints();
+  ASSERT_TRUE(constraints.ok());
+  std::vector<ground::GroundingResult> results;
+  for (int threads : {1, 2, 4}) {
+    datagen::GeneratedKg kg = datagen::GenerateWikidata(gen);
+    ground::GroundingOptions options;
+    options.num_threads = threads;
+    ground::Grounder grounder(&kg.graph, *constraints, options);
+    auto result = grounder.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(std::move(*result));
+  }
+  ExpectNetworksBitIdentical(results[0], results[1]);
+  ExpectNetworksBitIdentical(results[0], results[2]);
+}
+
+TEST(ParallelDeterminism, EndToEndResolveMatchesAcrossGroundThreads) {
+  // Full pipeline determinism: grounding threads and solver threads both
+  // vary, output graphs must be byte-identical.
+  auto constraints = rules::FootballConstraints();
+  ASSERT_TRUE(constraints.ok());
+  std::vector<std::string> outputs;
+  for (int threads : {1, 4}) {
+    datagen::FootballDbOptions gen;
+    gen.num_players = 200;
+    datagen::GeneratedKg kg = datagen::GenerateFootballDb(gen);
+    core::ResolveOptions options;
+    options.num_threads = threads;
+    options.ground_threads = threads;
+    core::Resolver resolver(&kg.graph, *constraints, options);
+    auto result = resolver.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::string rendered;
+    for (rdf::FactId id = 0; id < result->consistent_graph.NumFacts(); ++id) {
+      rendered += result->consistent_graph.FactToString(id) + "\n";
+    }
+    outputs.push_back(std::move(rendered));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
 }
 
 TEST(ParallelDeterminism, MlnObjectiveAndFlipSetMatchSequential) {
