@@ -16,7 +16,7 @@ fi
 USAGE="$("$CLI" 2>&1)"
 
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
-       --out --dataset --size --prefix)
+       --edits --out --dataset --size --prefix)
 COMMANDS=(stats complete suggest validate detect solve gen)
 
 # Token-anchored match so a flag is not satisfied by a longer flag that

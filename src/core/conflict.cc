@@ -33,7 +33,7 @@ Result<ConflictReport> ConflictDetector::Detect() {
   TECORE_ASSIGN_OR_RETURN(grounding, grounder.Run());
 
   ConflictReport report;
-  report.num_input_facts = graph_->NumFacts();
+  report.num_input_facts = graph_->NumLiveFacts();
   report.per_rule_counts.assign(rules_.rules.size(), 0);
   std::unordered_set<rdf::FactId> seen;
   const ground::GroundNetwork& net = grounding.network;

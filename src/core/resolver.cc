@@ -10,53 +10,53 @@
 namespace tecore {
 namespace core {
 
-Resolver::Resolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
-                   ResolveOptions options)
-    : graph_(graph), rules_(rules), options_(options) {}
+namespace {
 
-Result<ResolveResult> Resolver::Run() {
-  Timer total_timer;
-  ground::GroundingOptions grounding = options_.grounding;
-  // 0 means "inherit": keep a directly-set grounding option.
-  if (options_.ground_threads != 0) {
-    grounding.num_threads = options_.ground_threads;
-  }
-  TECORE_ASSIGN_OR_RETURN(
-      translation,
-      Translator::Translate(graph_, rules_, options_.solver, grounding));
-  const ground::GroundNetwork& net = translation.grounding.network;
-
+/// MAP inference + mapping the state back to facts: the assembly shared by
+/// the from-scratch pipeline (Resolver::Run) and the incremental one
+/// (IncrementalResolver), which is what keeps their outputs bit-identical
+/// by construction. Optional solution caches enable component splicing.
+Result<ResolveResult> SolveAndAssemble(rdf::TemporalGraph* graph,
+                                       const ground::GroundNetwork& net,
+                                       const ResolveOptions& options,
+                                       mln::MlnComponentCache* mln_cache,
+                                       psl::PslComponentCache* psl_cache) {
   ResolveResult result;
   result.ground_atoms = net.NumAtoms();
   result.ground_clauses = net.NumClauses();
-  result.ground_time_ms = translation.grounding.ground_time_ms;
 
   // --- MAP inference.
   std::vector<bool> values;
   std::vector<double> soft_truth;  // PSL only
-  if (options_.solver == rules::SolverKind::kMln) {
-    mln::MlnSolverOptions mln_options = options_.mln;
+  if (options.solver == rules::SolverKind::kMln) {
+    mln::MlnSolverOptions mln_options = options.mln;
     // 0 means "inherit": keep a directly-set solver option.
-    if (options_.num_threads != 0) {
-      mln_options.num_threads = options_.num_threads;
+    if (options.num_threads != 0) {
+      mln_options.num_threads = options.num_threads;
     }
+    mln_options.component_cache = mln_cache;
     mln::MlnMapSolver solver(net, mln_options);
     TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
     values = std::move(solution.atom_values);
     result.solver_name =
         std::string("mln/") +
-        std::string(mln::MlnBackendName(options_.mln.backend));
+        std::string(mln::MlnBackendName(options.mln.backend));
     result.feasible = solution.feasible;
     result.optimal = solution.optimal;
     result.objective = solution.objective;
     result.num_components = solution.num_components;
     result.largest_component = solution.largest_component;
     result.solve_time_ms = solution.solve_time_ms;
-  } else {
-    psl::PslSolverOptions psl_options = options_.psl;
-    if (options_.num_threads != 0) {
-      psl_options.num_threads = options_.num_threads;
+    if (mln_cache != nullptr) {
+      result.spliced_components = mln_cache->hits;
+      result.dirty_components = mln_cache->misses;
     }
+  } else {
+    psl::PslSolverOptions psl_options = options.psl;
+    if (options.num_threads != 0) {
+      psl_options.num_threads = options.num_threads;
+    }
+    psl_options.component_cache = psl_cache;
     psl::PslSolver solver(net, psl_options);
     TECORE_ASSIGN_OR_RETURN(solution, solver.Solve());
     values = std::move(solution.atom_values);
@@ -68,11 +68,16 @@ Result<ResolveResult> Resolver::Run() {
     result.num_components = solution.num_components;
     result.largest_component = solution.largest_component;
     result.solve_time_ms = solution.solve_time_ms;
+    if (psl_cache != nullptr) {
+      result.spliced_components = psl_cache->hits;
+      result.dirty_components = psl_cache->misses;
+    }
   }
 
-  // --- Map atoms back to facts.
-  for (rdf::FactId id = 0; id < graph_->NumFacts(); ++id) {
-    const rdf::TemporalFact& f = graph_->fact(id);
+  // --- Map atoms back to facts (retracted facts are out of the game).
+  for (rdf::FactId id = 0; id < graph->NumFacts(); ++id) {
+    if (!graph->is_live(id)) continue;
+    const rdf::TemporalFact& f = graph->fact(id);
     ground::AtomId atom =
         net.FindAtom(f.subject, f.predicate, f.object, f.interval);
     const bool keep =
@@ -100,9 +105,9 @@ Result<ResolveResult> Resolver::Run() {
     }
   }
 
-  std::vector<bool> keep_mask(graph_->NumFacts(), false);
+  std::vector<bool> keep_mask(graph->NumFacts(), false);
   for (rdf::FactId id : result.kept_facts) keep_mask[id] = true;
-  result.consistent_graph = graph_->Filter(keep_mask);
+  result.consistent_graph = graph->Filter(keep_mask);
 
   for (ground::AtomId atom = 0; atom < net.NumAtoms(); ++atom) {
     const ground::GroundAtom& ga = net.atom(atom);
@@ -110,17 +115,17 @@ Result<ResolveResult> Resolver::Run() {
     const double score = soft_truth.empty()
                              ? kb::WeightToConfidence(support[atom])
                              : soft_truth[atom];
-    if (score < options_.derived_threshold) {
+    if (score < options.derived_threshold) {
       ++result.derived_below_threshold;
       continue;
     }
     // Materialize into the output graph (confidence = score). The derived
     // fact's term ids reference the *output* graph's dictionary.
     rdf::TemporalFact copy(
-        result.consistent_graph.dict().Intern(graph_->dict().Lookup(ga.subject)),
+        result.consistent_graph.dict().Intern(graph->dict().Lookup(ga.subject)),
         result.consistent_graph.dict().Intern(
-            graph_->dict().Lookup(ga.predicate)),
-        result.consistent_graph.dict().Intern(graph_->dict().Lookup(ga.object)),
+            graph->dict().Lookup(ga.predicate)),
+        result.consistent_graph.dict().Intern(graph->dict().Lookup(ga.object)),
         ga.interval, std::clamp(score, 1e-6, 1.0));
     Result<rdf::FactId> added = result.consistent_graph.Add(copy);
     (void)added;
@@ -129,9 +134,77 @@ Result<ResolveResult> Resolver::Run() {
     derived.score = score;
     result.derived_facts.push_back(std::move(derived));
   }
-
-  result.total_time_ms = total_timer.ElapsedMillis();
   return result;
+}
+
+}  // namespace
+
+Resolver::Resolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+                   ResolveOptions options)
+    : graph_(graph), rules_(rules), options_(options) {}
+
+Result<ResolveResult> Resolver::Run() {
+  Timer total_timer;
+  ground::GroundingOptions grounding = options_.grounding;
+  // 0 means "inherit": keep a directly-set grounding option.
+  if (options_.ground_threads != 0) {
+    grounding.num_threads = options_.ground_threads;
+  }
+  TECORE_ASSIGN_OR_RETURN(
+      translation,
+      Translator::Translate(graph_, rules_, options_.solver, grounding));
+  TECORE_ASSIGN_OR_RETURN(
+      result, SolveAndAssemble(graph_, translation.grounding.network,
+                               options_, nullptr, nullptr));
+  result.ground_time_ms = translation.grounding.ground_time_ms;
+  result.total_time_ms = total_timer.ElapsedMillis();
+  return std::move(result);
+}
+
+IncrementalResolver::IncrementalResolver(rdf::TemporalGraph* graph,
+                                         const rules::RuleSet& rules,
+                                         ResolveOptions options)
+    : graph_(graph), rules_(rules), options_(options) {}
+
+Result<ResolveResult> IncrementalResolver::Initialize() {
+  Timer total_timer;
+  TECORE_RETURN_NOT_OK(rules::ValidateRuleSet(rules_, options_.solver));
+  ground::GroundingOptions grounding = options_.grounding;
+  if (options_.ground_threads != 0) {
+    grounding.num_threads = options_.ground_threads;
+  }
+  ground::IncrementalGrounder grounder(graph_, rules_, grounding);
+  TECORE_ASSIGN_OR_RETURN(stats, grounder.Initialize(&state_));
+  TECORE_ASSIGN_OR_RETURN(
+      result, SolveAndAssemble(graph_, state_.network, options_, &mln_cache_,
+                               &psl_cache_));
+  initialized_ = true;
+  result.ground_time_ms = stats.ground_time_ms;
+  result.total_time_ms = total_timer.ElapsedMillis();
+  return std::move(result);
+}
+
+Result<ResolveResult> IncrementalResolver::ApplyEdits(
+    const std::vector<GraphEdit>& edits) {
+  if (!initialized_) {
+    return Status::InvalidArgument(
+        "IncrementalResolver::ApplyEdits before Initialize()");
+  }
+  Timer total_timer;
+  TECORE_RETURN_NOT_OK(ApplyGraphEdits(edits, graph_).status());
+  ground::GroundingOptions grounding = options_.grounding;
+  if (options_.ground_threads != 0) {
+    grounding.num_threads = options_.ground_threads;
+  }
+  ground::IncrementalGrounder grounder(graph_, rules_, grounding);
+  TECORE_ASSIGN_OR_RETURN(stats, grounder.Update(&state_));
+  last_update_stats_ = stats;
+  TECORE_ASSIGN_OR_RETURN(
+      result, SolveAndAssemble(graph_, state_.network, options_, &mln_cache_,
+                               &psl_cache_));
+  result.ground_time_ms = stats.delta_ground_ms + stats.rebuild_ms;
+  result.total_time_ms = total_timer.ElapsedMillis();
+  return std::move(result);
 }
 
 std::string ResolveResult::StatsPanel() const {
@@ -164,6 +237,13 @@ std::string ResolveResult::StatsPanel() const {
                         FormatWithCommas(static_cast<int64_t>(
                             num_components)).c_str(),
                         largest_component);
+  }
+  if (spliced_components + dirty_components > 0) {
+    out += StringPrintf("spliced / re-solved  : %s / %s\n",
+                        FormatWithCommas(static_cast<int64_t>(
+                            spliced_components)).c_str(),
+                        FormatWithCommas(static_cast<int64_t>(
+                            dirty_components)).c_str());
   }
   out += StringPrintf("objective            : %.3f%s\n", objective,
                       optimal ? " (optimal)" : "");

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "core/edits.h"
 #include "ground/grounder.h"
+#include "ground/incremental.h"
 #include "mln/solver.h"
 #include "psl/solver.h"
 #include "rdf/graph.h"
@@ -69,6 +71,10 @@ struct ResolveResult {
   double ground_time_ms = 0.0;
   double solve_time_ms = 0.0;
   double total_time_ms = 0.0;
+  /// Incremental re-solve only: components whose cached MAP state was
+  /// spliced (signature unchanged) vs. components actually re-solved.
+  size_t spliced_components = 0;
+  size_t dirty_components = 0;
 
   /// \brief Statistics panel like the demo UI's results screen (Fig. 8).
   std::string StatsPanel() const;
@@ -92,6 +98,59 @@ class Resolver {
   rdf::TemporalGraph* graph_;
   const rules::RuleSet& rules_;
   ResolveOptions options_;
+};
+
+/// \brief The interactive counterpart of Resolver: keeps the ground
+/// network and per-component MAP solutions alive across KG edits so a
+/// single-fact change re-pays only the delta.
+///
+/// Initialize() runs the full pipeline once (recording grounding
+/// provenance); each ApplyEdits() then (1) applies the edits to the graph,
+/// (2) folds them into the maintained network via delta grounding plus a
+/// DRed-style liveness sweep (ground::IncrementalGrounder), and (3)
+/// re-solves only the components whose content signature changed, splicing
+/// cached solutions for the rest.
+///
+/// Determinism contract: every ApplyEdits() result — atom ids and clause
+/// layout of the maintained network, kept/removed fact sets, derived
+/// facts, and the objective — is bit-identical to a from-scratch
+/// Resolver::Run on the edited KB (at any thread count). The network
+/// canonicalization (GroundNetwork::Canonicalize) is what makes that an
+/// equality of bytes rather than an equivalence up to reordering.
+///
+/// The rule set must not change between calls; solver options are fixed at
+/// construction (callers wanting different options start a new instance).
+class IncrementalResolver {
+ public:
+  IncrementalResolver(rdf::TemporalGraph* graph, const rules::RuleSet& rules,
+                      ResolveOptions options = {});
+
+  /// \brief Full pipeline run; seeds the incremental state and caches.
+  Result<ResolveResult> Initialize();
+
+  /// \brief Apply `edits` to the graph and re-solve incrementally. Also
+  /// folds in any out-of-band graph mutations made since the last call
+  /// (the liveness sweep re-reads the graph).
+  Result<ResolveResult> ApplyEdits(const std::vector<GraphEdit>& edits);
+
+  bool initialized() const { return initialized_; }
+  /// \brief The maintained canonical ground network (diagnostics/tests).
+  const ground::GroundNetwork& network() const { return state_.network; }
+  const ResolveOptions& options() const { return options_; }
+  /// \brief Grounding diagnostics of the last ApplyEdits call.
+  const ground::IncrementalUpdateStats& last_update_stats() const {
+    return last_update_stats_;
+  }
+
+ private:
+  rdf::TemporalGraph* graph_;
+  const rules::RuleSet& rules_;
+  ResolveOptions options_;
+  ground::IncrementalGroundState state_;
+  ground::IncrementalUpdateStats last_update_stats_;
+  mln::MlnComponentCache mln_cache_;
+  psl::PslComponentCache psl_cache_;
+  bool initialized_ = false;
 };
 
 }  // namespace core

@@ -1,11 +1,13 @@
 #ifndef TECORE_CORE_SESSION_H_
 #define TECORE_CORE_SESSION_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/conflict.h"
+#include "core/edits.h"
 #include "core/resolver.h"
 #include "core/suggest.h"
 #include "kb/statistics.h"
@@ -52,9 +54,15 @@ class Session {
   /// language; returns how many were added.
   Result<size_t> AddRulesText(std::string_view text);
   /// \brief Append an already-parsed rule set.
-  void AddRules(const rules::RuleSet& rules) { rules_.Merge(rules); }
+  void AddRules(const rules::RuleSet& rules) {
+    rules_.Merge(rules);
+    ResetIncremental();
+  }
   /// \brief Drop all rules.
-  void ClearRules() { rules_ = rules::RuleSet(); }
+  void ClearRules() {
+    rules_ = rules::RuleSet();
+    ResetIncremental();
+  }
 
   const rules::RuleSet& rules() const { return rules_; }
 
@@ -80,6 +88,25 @@ class Session {
   /// \brief Run the full resolution pipeline.
   Result<ResolveResult> Resolve(const ResolveOptions& options);
 
+  /// \brief Apply KG edits and re-solve incrementally: only components the
+  /// edits dirty are re-solved, cached MAP states are spliced for the rest
+  /// (see IncrementalResolver for the determinism contract). The first
+  /// call (or a call with changed options) pays one full pipeline run to
+  /// seed the state. Loading a new graph or touching the rules resets it.
+  Result<ResolveResult> ApplyEdits(const std::vector<GraphEdit>& edits,
+                                   const ResolveOptions& options);
+
+  /// \brief Parse and apply an edit script (`+`/`-` prefixed fact lines).
+  Result<ResolveResult> ApplyEditScript(std::string_view script,
+                                        const ResolveOptions& options);
+
+  /// \brief The live incremental state, if any (diagnostics/tests).
+  const IncrementalResolver* incremental() const {
+    return incremental_.get();
+  }
+  /// \brief Drop the incremental state (next ApplyEdits re-seeds).
+  void ResetIncremental() { incremental_.reset(); }
+
   // ----------------------------------------------------------- 4. browse
   /// \brief Render a conflict with its facts (for the results browser).
   std::string DescribeConflict(const Conflict& conflict) const;
@@ -87,6 +114,7 @@ class Session {
  private:
   std::optional<rdf::TemporalGraph> graph_;
   rules::RuleSet rules_;
+  std::unique_ptr<IncrementalResolver> incremental_;
 };
 
 }  // namespace core

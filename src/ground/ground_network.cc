@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/string_util.h"
 
@@ -10,7 +11,39 @@ namespace ground {
 
 namespace {
 const std::vector<AtomId> kEmptyAtomList;
+
+/// Content hash used for clause dedup (literals + weight class + origin).
+uint64_t ClauseContentHash(const GroundClause& clause) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int32_t lit : clause.literals) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(lit)) + (1ULL << 40));
+  }
+  mix(clause.hard ? 1 : 0);
+  if (!clause.hard) {
+    mix(static_cast<uint64_t>(std::llround(clause.weight * 1e6)));
+  }
+  mix(static_cast<uint64_t>(static_cast<int64_t>(clause.rule_index)) +
+      (1ULL << 20));
+  return h;
+}
+
 }  // namespace
+
+bool CanonicalClauseLess(const GroundClause& a, const GroundClause& b) {
+  if (a.literals != b.literals) return a.literals < b.literals;
+  if (a.rule_index != b.rule_index) return a.rule_index < b.rule_index;
+  if (a.hard != b.hard) return a.hard;
+  return a.weight < b.weight;
+}
+
+bool ClauseContentEquals(const GroundClause& a, const GroundClause& b) {
+  return a.literals == b.literals && a.rule_index == b.rule_index &&
+         a.hard == b.hard && a.weight == b.weight;
+}
 
 AtomId GroundNetwork::GetOrAddAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                                    const temporal::Interval& iv,
@@ -54,37 +87,27 @@ AtomId GroundNetwork::FindAtom(rdf::TermId s, rdf::TermId p, rdf::TermId o,
   return it == atom_index_.end() ? kInvalidAtomId : it->second;
 }
 
-bool GroundNetwork::AddClause(GroundClause clause) {
+bool GroundNetwork::NormalizeClause(GroundClause* clause) {
   // Normalize: sort, dedup, drop tautologies (p ∨ ¬p).
-  std::sort(clause.literals.begin(), clause.literals.end());
-  clause.literals.erase(
-      std::unique(clause.literals.begin(), clause.literals.end()),
-      clause.literals.end());
-  for (size_t i = 0; i + 1 < clause.literals.size(); ++i) {
-    if (clause.literals[i] == -clause.literals[i + 1] ||
-        (clause.literals[i] < 0 &&
-         std::binary_search(clause.literals.begin(), clause.literals.end(),
-                            -clause.literals[i]))) {
+  std::sort(clause->literals.begin(), clause->literals.end());
+  clause->literals.erase(
+      std::unique(clause->literals.begin(), clause->literals.end()),
+      clause->literals.end());
+  for (size_t i = 0; i + 1 < clause->literals.size(); ++i) {
+    if (clause->literals[i] == -clause->literals[i + 1] ||
+        (clause->literals[i] < 0 &&
+         std::binary_search(clause->literals.begin(), clause->literals.end(),
+                            -clause->literals[i]))) {
       return false;  // tautology
     }
   }
-  if (clause.literals.empty()) return false;
+  return !clause->literals.empty();
+}
+
+bool GroundNetwork::AddClause(GroundClause clause) {
+  if (!NormalizeClause(&clause)) return false;
   // Dedup by content hash (includes weight class and origin).
-  uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  for (int32_t lit : clause.literals) {
-    mix(static_cast<uint64_t>(static_cast<int64_t>(lit)) + (1ULL << 40));
-  }
-  mix(clause.hard ? 1 : 0);
-  if (!clause.hard) {
-    mix(static_cast<uint64_t>(std::llround(clause.weight * 1e6)));
-  }
-  mix(static_cast<uint64_t>(static_cast<int64_t>(clause.rule_index)) +
-      (1ULL << 20));
-  if (!clause_hashes_.insert(h).second) return false;
+  if (!clause_hashes_.insert(ClauseContentHash(clause)).second) return false;
   clauses_.push_back(std::move(clause));
   return true;
 }
@@ -134,8 +157,209 @@ void GroundNetwork::AddPriorClauses(double derived_prior_weight) {
       unit.literals = {NegativeLiteral(id)};
       unit.weight = derived_prior_weight;
     }
-    AddClause(std::move(unit));
+    // Direct append: unit priors are already normalized, cannot be
+    // tautologies, and cannot collide with rule clauses (rule_index -1) or
+    // each other (one per atom) — skipping AddClause's dedup hashing
+    // shaves a measurable slice off every (re)build.
+    clauses_.push_back(std::move(unit));
   }
+}
+
+namespace {
+/// Lexical sort key of one atom: dictionary-independent (two dictionaries
+/// interning the same terms in different orders yield the same key order).
+struct AtomLexicalKey {
+  std::string s, p, o;
+  uint8_t s_kind = 0, p_kind = 0, o_kind = 0;
+  int64_t begin = 0, end = 0;
+  AtomId id = 0;
+
+  bool operator<(const AtomLexicalKey& other) const {
+    if (s != other.s) return s < other.s;
+    if (s_kind != other.s_kind) return s_kind < other.s_kind;
+    if (p != other.p) return p < other.p;
+    if (p_kind != other.p_kind) return p_kind < other.p_kind;
+    if (o != other.o) return o < other.o;
+    if (o_kind != other.o_kind) return o_kind < other.o_kind;
+    if (begin != other.begin) return begin < other.begin;
+    return end < other.end;
+  }
+};
+
+AtomLexicalKey MakeLexicalKey(const GroundAtom& atom,
+                              const rdf::Dictionary& dict, AtomId id) {
+  AtomLexicalKey key;
+  const rdf::Term& s = dict.Lookup(atom.subject);
+  const rdf::Term& p = dict.Lookup(atom.predicate);
+  const rdf::Term& o = dict.Lookup(atom.object);
+  key.s = s.lexical();
+  key.s_kind = static_cast<uint8_t>(s.kind());
+  key.p = p.lexical();
+  key.p_kind = static_cast<uint8_t>(p.kind());
+  key.o = o.lexical();
+  key.o_kind = static_cast<uint8_t>(o.kind());
+  key.begin = atom.interval.begin();
+  key.end = atom.interval.end();
+  key.id = id;
+  return key;
+}
+}  // namespace
+
+void SortAtomIdsLexical(const GroundNetwork& network,
+                        const rdf::Dictionary& dict,
+                        std::vector<AtomId>* ids) {
+  std::vector<AtomLexicalKey> keys;
+  keys.reserve(ids->size());
+  for (AtomId id : *ids) {
+    keys.push_back(MakeLexicalKey(network.atom(id), dict, id));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) (*ids)[i] = keys[i].id;
+}
+
+std::vector<AtomId> GroundNetwork::Canonicalize(const rdf::Dictionary& dict) {
+  const AtomId n = static_cast<AtomId>(atoms_.size());
+  // Evidence atoms are a prefix (seeded before any rule fires) and are
+  // already canonically ordered: first-supporting-fact order.
+  AtomId evidence_end = 0;
+  while (evidence_end < n && atoms_[evidence_end].is_evidence) ++evidence_end;
+
+  std::vector<AtomId> derived;
+  derived.reserve(n - evidence_end);
+  for (AtomId id = evidence_end; id < n; ++id) derived.push_back(id);
+  SortAtomIdsLexical(*this, dict, &derived);
+
+  std::vector<AtomId> remap(n);
+  for (AtomId id = 0; id < evidence_end; ++id) remap[id] = id;
+  for (size_t i = 0; i < derived.size(); ++i) {
+    remap[derived[i]] = evidence_end + static_cast<AtomId>(i);
+  }
+
+  // Permute the atom store and rebuild every index over the new ids.
+  std::vector<GroundAtom> reordered(n);
+  for (AtomId id = 0; id < n; ++id) reordered[remap[id]] = atoms_[id];
+  atoms_ = std::move(reordered);
+  atom_index_.clear();
+  by_pred_.clear();
+  by_pred_subject_.clear();
+  by_pred_object_.clear();
+  for (AtomId id = 0; id < n; ++id) {
+    const GroundAtom& a = atoms_[id];
+    atom_index_.emplace(
+        QuadKey{a.subject, a.predicate, a.object, a.interval.begin(),
+                a.interval.end()},
+        id);
+    by_pred_[a.predicate].push_back(id);
+    by_pred_subject_[{a.predicate, a.subject}].push_back(id);
+    by_pred_object_[{a.predicate, a.object}].push_back(id);
+  }
+
+  // Remap clause literals (re-sorting each clause) and restore the dedup
+  // hashes, which are literal-dependent.
+  clause_hashes_.clear();
+  for (GroundClause& clause : clauses_) {
+    for (int32_t& lit : clause.literals) {
+      const AtomId atom = remap[LiteralAtom(lit)];
+      lit = LiteralSign(lit) ? PositiveLiteral(atom) : NegativeLiteral(atom);
+    }
+    std::sort(clause.literals.begin(), clause.literals.end());
+    clause_hashes_.insert(ClauseContentHash(clause));
+  }
+  SortClausesCanonical();
+  return remap;
+}
+
+void GroundNetwork::SortClausesCanonical() {
+  std::sort(clauses_.begin(), clauses_.end(), CanonicalClauseLess);
+}
+
+std::vector<AtomId> GroundNetwork::CanonicalizeAppendedEvidence(
+    AtomId appended_begin) {
+  const AtomId n = static_cast<AtomId>(atoms_.size());
+  const AtomId k = n - appended_begin;
+  std::vector<AtomId> remap(n);
+  AtomId evidence_end = 0;
+  while (evidence_end < appended_begin && atoms_[evidence_end].is_evidence) {
+    ++evidence_end;
+  }
+  for (AtomId id = 0; id < evidence_end; ++id) remap[id] = id;
+  for (AtomId id = evidence_end; id < appended_begin; ++id) remap[id] = id + k;
+  for (AtomId id = appended_begin; id < n; ++id) {
+    remap[id] = evidence_end + (id - appended_begin);
+  }
+  if (k == 0) return remap;
+
+  // Rotate the atom store: [evidence][appended evidence][derived].
+  std::rotate(atoms_.begin() + evidence_end, atoms_.begin() + appended_begin,
+              atoms_.end());
+  for (auto& [key, id] : atom_index_) id = remap[id];
+  // Secondary index lists of pre-existing atoms stay sorted under the
+  // monotone shift; lists the appended atoms touched carry their entries
+  // at the tail (append order) and need one local re-sort.
+  auto remap_lists = [&remap, appended_begin](auto* index_map) {
+    for (auto& [key, list] : *index_map) {
+      const bool touched = !list.empty() && list.back() >= appended_begin;
+      for (AtomId& id : list) id = remap[id];
+      if (touched) std::sort(list.begin(), list.end());
+    }
+  };
+  remap_lists(&by_pred_);
+  remap_lists(&by_pred_subject_);
+  remap_lists(&by_pred_object_);
+  // Clause literals: the remap is monotone on pre-existing atoms (and
+  // appended atoms appear in no existing clause), so per-clause literal
+  // order and the canonical clause order are both preserved.
+  for (GroundClause& clause : clauses_) {
+    for (int32_t& lit : clause.literals) {
+      const AtomId atom = remap[LiteralAtom(lit)];
+      lit = LiteralSign(lit) ? PositiveLiteral(atom) : NegativeLiteral(atom);
+    }
+  }
+  // Dedup hashes are literal-dependent and only serve AddClause; the
+  // fast-path owner appends clauses via MergeCanonicalClauses instead.
+  clause_hashes_.clear();
+  return remap;
+}
+
+void GroundNetwork::DropPriorClauses() {
+  while (!clauses_.empty() && clauses_.back().rule_index < 0) {
+    clauses_.pop_back();
+  }
+}
+
+void GroundNetwork::MergeCanonicalClauses(std::vector<GroundClause> extra) {
+  const size_t old_size = clauses_.size();
+  clauses_.reserve(old_size + extra.size());
+  for (GroundClause& clause : extra) clauses_.push_back(std::move(clause));
+  std::inplace_merge(clauses_.begin(), clauses_.begin() + old_size,
+                     clauses_.end(), CanonicalClauseLess);
+}
+
+Signature GroundNetwork::ComponentSignature(const Component& component) const {
+  Signature sig;
+  sig.Mix(component.atoms.size());
+  // component.atoms is ascending, so local ids resolve by binary search.
+  auto local = [&component](AtomId atom) {
+    return static_cast<uint64_t>(
+        std::lower_bound(component.atoms.begin(), component.atoms.end(),
+                         atom) -
+        component.atoms.begin());
+  };
+  for (uint32_t ci : component.clause_indices) {
+    const GroundClause& clause = clauses_[ci];
+    sig.Mix(static_cast<uint64_t>(static_cast<int64_t>(clause.rule_index)) +
+            (1ULL << 20));
+    sig.Mix(clause.hard ? 0x9e3779b97f4a7c15ULL : 0x85ebca6b0dd94bb3ULL);
+    uint64_t weight_bits = 0;
+    static_assert(sizeof(weight_bits) == sizeof(clause.weight));
+    std::memcpy(&weight_bits, &clause.weight, sizeof(weight_bits));
+    sig.Mix(weight_bits);
+    sig.Mix(clause.literals.size());
+    for (int32_t lit : clause.literals) {
+      sig.Mix((local(LiteralAtom(lit)) << 1) | (LiteralSign(lit) ? 1 : 0));
+    }
+  }
+  return sig;
 }
 
 namespace {

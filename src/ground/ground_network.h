@@ -47,6 +47,14 @@ struct GroundClause {
   int32_t rule_index = -1;
 };
 
+/// \brief The canonical clause order: (literals, rule_index, hard,
+/// weight). A total order on distinct clauses (two clauses equal on every
+/// field would have been deduplicated).
+bool CanonicalClauseLess(const GroundClause& a, const GroundClause& b);
+
+/// \brief Field-wise clause equality (the dedup relation).
+bool ClauseContentEquals(const GroundClause& a, const GroundClause& b);
+
 /// \brief Literal encoding helpers.
 inline int32_t PositiveLiteral(AtomId atom) {
   return static_cast<int32_t>(atom) + 1;
@@ -58,6 +66,43 @@ inline AtomId LiteralAtom(int32_t literal) {
   return static_cast<AtomId>((literal > 0 ? literal : -literal) - 1);
 }
 inline bool LiteralSign(int32_t literal) { return literal > 0; }
+
+/// \brief One rule grounding, kept as provenance for incremental
+/// maintenance: `matched` are the body atoms (negative literals of the
+/// emitted clause), `heads` the interned head atoms (positive literals).
+///
+/// A grounding with `emit_clause == false` produced no clause (a head quad
+/// had an empty time intersection, or the clause was a tautology) but its
+/// interned head atoms still exist — it is derivation support, which is
+/// why the clause list alone cannot drive DRed-style deletion.
+struct StoredGrounding {
+  int32_t rule_index = -1;
+  std::vector<AtomId> matched;
+  std::vector<AtomId> heads;
+  bool emit_clause = true;
+};
+
+/// \brief 128-bit content signature (two independent FNV-1a streams); used
+/// to key per-component MAP solution caches.
+struct Signature {
+  uint64_t lo = 1469598103934665603ULL;
+  uint64_t hi = 0xcbf29ce484222325ULL ^ 0x9e3779b97f4a7c15ULL;
+
+  void Mix(uint64_t v) {
+    lo = (lo ^ v) * 1099511628211ULL;
+    hi = (hi ^ (v + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
+    hi ^= hi >> 29;
+  }
+  bool operator==(const Signature& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+struct SignatureHash {
+  size_t operator()(const Signature& s) const {
+    return static_cast<size_t>(s.lo ^ (s.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
 
 /// \brief A connected component of the ground network.
 ///
@@ -94,6 +139,12 @@ class GroundNetwork {
   /// tautologies and duplicates). Returns true if the clause was new.
   bool AddClause(GroundClause clause);
 
+  /// \brief Normalize a clause in place: sort and dedup literals, report
+  /// whether it should be kept (false = tautology or empty). The exact
+  /// rules AddClause applies, exposed so incremental maintenance can
+  /// normalize identically without the dedup-hash side effects.
+  static bool NormalizeClause(GroundClause* clause);
+
   size_t NumAtoms() const { return atoms_.size(); }
   size_t NumClauses() const { return clauses_.size(); }
   const GroundAtom& atom(AtomId id) const { return atoms_[id]; }
@@ -123,6 +174,51 @@ class GroundNetwork {
   /// (-a, -w). Derived atoms get a small negative prior (-a,
   /// derived_prior_weight) so MAP prefers minimal models (ties otherwise).
   void AddPriorClauses(double derived_prior_weight);
+
+  /// \brief Canonical finalization: permute the derived-atom block into
+  /// lexical (subject, predicate, object, interval) order, remap every
+  /// clause literal, and sort the clause list with `SortClausesCanonical`.
+  ///
+  /// After this the network is a pure function of its *content* — the same
+  /// atoms and clauses produce bit-identical layout no matter how they
+  /// were discovered (naive, semi-naive, parallel, or incremental
+  /// maintenance), which is what makes the incremental re-solve contract
+  /// ("bit-identical to a from-scratch run") checkable as plain equality.
+  /// Lexical keys (not term ids) keep the order independent of dictionary
+  /// interning history. Requires the evidence atoms to form a prefix (the
+  /// grounder seeds them first) and must run before AddPriorClauses.
+  /// Returns the old-id -> new-id permutation.
+  std::vector<AtomId> Canonicalize(const rdf::Dictionary& dict);
+
+  /// \brief Sort clauses by (literals, rule_index, hard, weight) — a total
+  /// order on distinct clauses. Part of the canonical form.
+  void SortClausesCanonical();
+
+  /// \brief Fast-path canonical restore after a delta pass appended only
+  /// *fresh evidence* atoms (ids [appended_begin, NumAtoms()); no merges
+  /// into existing atoms, no new derived atoms): rotates the appended
+  /// block in front of the derived block and shifts derived ids up. The
+  /// induced literal remap is monotone on pre-existing atoms, so sorted
+  /// clause lists stay canonically sorted — this is what makes a pure
+  /// insertion O(remap) instead of O(rebuild). Call DropPriorClauses()
+  /// first; returns the old-id -> new-id permutation.
+  std::vector<AtomId> CanonicalizeAppendedEvidence(AtomId appended_begin);
+
+  /// \brief Truncate the trailing prior-clause block (rule_index < 0), the
+  /// inverse of AddPriorClauses.
+  void DropPriorClauses();
+
+  /// \brief Merge canonically-sorted, normalized clauses into the sorted
+  /// clause list (fast-path insertion of delta clauses).
+  void MergeCanonicalClauses(std::vector<GroundClause> extra);
+
+  /// \brief Content signature of one component under *local* atom
+  /// numbering (position in `component.atoms`): clause literals, weights,
+  /// hardness and rule indices, in clause order. Two components with equal
+  /// signatures pose the same MAP subproblem, so a cached solution for one
+  /// is valid for the other — the key of the incremental re-solve's
+  /// dirty-component check.
+  Signature ComponentSignature(const Component& component) const;
 
   /// \brief Connected components over the "shares a clause" relation.
   /// Unit clauses attach to the component of their single atom.
@@ -181,6 +277,14 @@ class GroundNetwork {
                      PairHash>
       by_pred_object_;
 };
+
+/// \brief Sort atom ids by the canonical lexical key (subject, predicate,
+/// object lexical forms + kinds, then interval). Dictionary-independent:
+/// the relative order is the same no matter the interning history — the
+/// property the incremental rebuild relies on to reproduce a from-scratch
+/// `Canonicalize` without sharing its dictionary.
+void SortAtomIdsLexical(const GroundNetwork& network,
+                        const rdf::Dictionary& dict, std::vector<AtomId>* ids);
 
 }  // namespace ground
 }  // namespace tecore

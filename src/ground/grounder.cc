@@ -149,8 +149,66 @@ class GroundingEngine {
 
   Status Execute() {
     Timer timer;
+    net_ = &result_->network;
+    if (options_.collect_groundings) collected_ = &result_->groundings;
     TECORE_RETURN_NOT_OK(Compile());
     SeedEvidence();
+    TECORE_RETURN_NOT_OK(
+        RunFixpoint(/*initial_delta_begin=*/0, /*fire_body_less=*/true));
+    if (options_.canonical_network) {
+      std::vector<AtomId> remap = net_->Canonicalize(graph_->dict());
+      if (collected_ != nullptr) {
+        for (StoredGrounding& grounding : *collected_) {
+          for (AtomId& atom : grounding.matched) atom = remap[atom];
+          for (AtomId& atom : grounding.heads) atom = remap[atom];
+        }
+      }
+    }
+    if (options_.add_evidence_priors) {
+      net_->AddPriorClauses(options_.derived_prior_weight);
+    }
+    result_->ground_time_ms = timer.ElapsedMillis();
+    return Status::OK();
+  }
+
+  /// Delta mode: seed evidence atoms for graph facts [first_new_fact, end)
+  /// and run the semi-naive fixpoint with the frontier starting at the
+  /// pre-seed atom count. Groundings are collected, never applied: the
+  /// caller owns clause reconstruction.
+  Status ExecuteDelta(GroundNetwork* network, rdf::FactId first_new_fact,
+                      DeltaGroundingResult* delta) {
+    Timer timer;
+    net_ = network;
+    collected_ = &delta->groundings;
+    add_clauses_ = false;
+    TECORE_RETURN_NOT_OK(Compile());
+    delta->frontier_begin = static_cast<AtomId>(net_->NumAtoms());
+    for (rdf::FactId id = first_new_fact; id < graph_->NumFacts(); ++id) {
+      if (!graph_->is_live(id)) continue;
+      const rdf::TemporalFact& f = graph_->fact(id);
+      const AtomId atom = net_->GetOrAddAtom(
+          f.subject, f.predicate, f.object, f.interval,
+          /*is_evidence=*/true,
+          kb::FactPriorWeight(f.confidence, options_.fact_weighting), id);
+      if (atom < delta->frontier_begin) delta->merged_into_existing = true;
+    }
+    delta->seeded_end = static_cast<AtomId>(net_->NumAtoms());
+    TECORE_RETURN_NOT_OK(RunFixpoint(delta->frontier_begin,
+                                     /*fire_body_less=*/false));
+    delta->rounds = result_->rounds;
+    delta->ground_time_ms = timer.ElapsedMillis();
+    return Status::OK();
+  }
+
+ private:
+  /// Fixpoint rounds over `net_`. Semi-naive: each round grounds only
+  /// bindings that touch the frontier (atoms at or past `delta_begin`), so
+  /// a round with an empty frontier can produce nothing and the loop stops
+  /// as soon as a round adds no atoms. Naive: re-ground everything until
+  /// atom and clause counts stabilize (kept for the equivalence ablation).
+  /// `fire_body_less` lets round 0 fire body-less rules (full runs only —
+  /// an incremental delta must not re-fire them).
+  Status RunFixpoint(AtomId initial_delta_begin, bool fire_body_less) {
     // Parallel grounding applies to the semi-naive path only: its passes
     // read a frozen snapshot of the round (atom ids below `round_limit`)
     // and each grounding is derived exactly once, so pass outputs can be
@@ -160,27 +218,24 @@ class GroundingEngine {
     const bool parallel = options_.semi_naive && ground_threads > 1;
     std::unique_ptr<util::ThreadPool> pool;
     if (parallel) pool = std::make_unique<util::ThreadPool>(ground_threads);
-    // Fixpoint rounds. Semi-naive: each round grounds only bindings that
-    // touch the frontier (atoms added last round), so a round with an
-    // empty frontier can produce nothing and the loop stops as soon as a
-    // round adds no atoms. Naive: re-ground everything until atom and
-    // clause counts stabilize (kept for the equivalence ablation).
-    AtomId delta_begin = 0;
+    AtomId delta_begin = initial_delta_begin;
     size_t prev_atoms = 0, prev_clauses = 0;
     for (int round = 0; round < options_.max_rounds; ++round) {
       result_->rounds = round + 1;
-      const AtomId round_limit = static_cast<AtomId>(result_->network.NumAtoms());
+      const bool body_less_round = round == 0 && fire_body_less;
+      const AtomId round_limit = static_cast<AtomId>(net_->NumAtoms());
       if (parallel) {
-        TECORE_RETURN_NOT_OK(GroundRoundParallel(
-            pool.get(), delta_begin, round_limit, /*first_round=*/round == 0));
+        TECORE_RETURN_NOT_OK(GroundRoundParallel(pool.get(), delta_begin,
+                                                 round_limit,
+                                                 body_less_round));
       } else {
         for (const CompiledRule& cr : compiled_) {
-          TECORE_RETURN_NOT_OK(GroundRule(cr, delta_begin, round_limit,
-                                          /*first_round=*/round == 0));
+          TECORE_RETURN_NOT_OK(
+              GroundRule(cr, delta_begin, round_limit, body_less_round));
         }
       }
-      size_t atoms = result_->network.NumAtoms();
-      size_t clauses = result_->network.NumClauses();
+      size_t atoms = net_->NumAtoms();
+      size_t clauses = net_->NumClauses();
       if (atoms > options_.max_atoms) {
         return Status::OutOfRange(
             StringPrintf("grounding exceeded max_atoms (%zu)", atoms));
@@ -198,14 +253,8 @@ class GroundingEngine {
         prev_clauses = clauses;
       }
     }
-    if (options_.add_evidence_priors) {
-      result_->network.AddPriorClauses(options_.derived_prior_weight);
-    }
-    result_->ground_time_ms = timer.ElapsedMillis();
     return Status::OK();
   }
-
- private:
   Status Compile() {
     for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
       const rules::Rule& rule = rules_.rules[ri];
@@ -263,8 +312,9 @@ class GroundingEngine {
 
   void SeedEvidence() {
     for (rdf::FactId id = 0; id < graph_->NumFacts(); ++id) {
+      if (!graph_->is_live(id)) continue;
       const rdf::TemporalFact& f = graph_->fact(id);
-      result_->network.GetOrAddAtom(
+      net_->GetOrAddAtom(
           f.subject, f.predicate, f.object, f.interval, /*is_evidence=*/true,
           kb::FactPriorWeight(f.confidence, options_.fact_weighting), id);
     }
@@ -398,7 +448,7 @@ class GroundingEngine {
   /// [lo, hi), using the most selective available secondary index.
   CandidateView MakeView(const CompiledQuad& pattern, const Binding& binding,
                          AtomId lo, AtomId hi) const {
-    const GroundNetwork& net = result_->network;
+    const GroundNetwork& net = *net_;
     const rdf::TermId p = ResolveArg(pattern.predicate, binding);
     const rdf::TermId s = ResolveArg(pattern.subject, binding);
     const rdf::TermId o = ResolveArg(pattern.object, binding);
@@ -481,7 +531,7 @@ class GroundingEngine {
 
     for (size_t vi = 0; vi < view.size(); ++vi) {
       const AtomId atom_id = view.at(vi);
-      const GroundAtom& atom = result_->network.atom(atom_id);
+      const GroundAtom& atom = net_->atom(atom_id);
       // --- match entity positions, recording fresh bindings for undo.
       bool bound_s = false, bound_p = false, bound_o = false,
            bound_t = false;
@@ -637,9 +687,10 @@ class GroundingEngine {
     return Status::OK();
   }
 
-  /// Intern one grounding's head atoms and add its clause — the single
-  /// network-mutation sequence shared by the sequential path and the
-  /// parallel merge.
+  /// Intern one grounding's head atoms, record its provenance, and add its
+  /// clause — the single network-mutation sequence shared by the
+  /// sequential path, the parallel merge, and the delta-grounding path
+  /// (which records but defers clause construction to the caller).
   void ApplyGrounding(const CompiledRule& cr,
                       const std::vector<AtomId>& matched,
                       const std::vector<ResolvedQuad>& heads,
@@ -651,14 +702,25 @@ class GroundingEngine {
     for (AtomId atom : matched) {
       clause.literals.push_back(NegativeLiteral(atom));
     }
+    std::vector<AtomId> head_atoms;
+    head_atoms.reserve(heads.size());
     for (const ResolvedQuad& head : heads) {
-      AtomId head_atom = result_->network.GetOrAddAtom(
+      AtomId head_atom = net_->GetOrAddAtom(
           head.subject, head.predicate, head.object, head.interval,
           /*is_evidence=*/false, 0.0, rdf::kInvalidFactId);
       clause.literals.push_back(PositiveLiteral(head_atom));
+      head_atoms.push_back(head_atom);
     }
-    if (!emit_clause) return;
-    if (result_->network.AddClause(std::move(clause))) {
+    if (collected_ != nullptr) {
+      StoredGrounding grounding;
+      grounding.rule_index = cr.rule_index;
+      grounding.matched = matched;
+      grounding.heads = std::move(head_atoms);
+      grounding.emit_clause = emit_clause;
+      collected_->push_back(std::move(grounding));
+    }
+    if (!emit_clause || !add_clauses_) return;
+    if (net_->AddClause(std::move(clause))) {
       ++result_->num_groundings;
     }
   }
@@ -710,6 +772,13 @@ class GroundingEngine {
   const rules::RuleSet& rules_;
   const GroundingOptions& options_;
   GroundingResult* result_;
+  /// The network being grown: &result_->network for full runs, the
+  /// caller's maintained network for delta runs.
+  GroundNetwork* net_ = nullptr;
+  /// Grounding provenance sink (null = not recording).
+  std::vector<StoredGrounding>* collected_ = nullptr;
+  /// Full runs add clauses as they go; delta runs only intern atoms.
+  bool add_clauses_ = true;
   std::vector<CompiledRule> compiled_;
   std::unordered_set<uint64_t> seen_groundings_;  // naive mode only
   std::vector<ResolvedQuad> scratch_heads_;       // sequential Emit only
@@ -726,6 +795,19 @@ Result<GroundingResult> Grounder::Run() {
   GroundingEngine engine(graph_, rules_, options_, &result);
   TECORE_RETURN_NOT_OK(engine.Execute());
   return result;
+}
+
+Result<DeltaGroundingResult> Grounder::GroundDelta(GroundNetwork* network,
+                                                   rdf::FactId first_new_fact) {
+  // Delta grounding *is* semi-naive frontier evaluation; the naive
+  // ablation has no incremental counterpart.
+  GroundingOptions options = options_;
+  options.semi_naive = true;
+  GroundingResult scratch;
+  DeltaGroundingResult delta;
+  GroundingEngine engine(graph_, rules_, options, &scratch);
+  TECORE_RETURN_NOT_OK(engine.ExecuteDelta(network, first_new_fact, &delta));
+  return delta;
 }
 
 }  // namespace ground

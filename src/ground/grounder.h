@@ -45,6 +45,16 @@ struct GroundingOptions {
   /// thread count. Only the semi-naive path parallelizes; the naive
   /// ablation path always runs sequentially.
   int num_threads = 0;
+  /// Finish with GroundNetwork::Canonicalize: the network becomes a pure
+  /// function of its content, independent of discovery order. This is the
+  /// precondition of the incremental re-solve determinism contract (an
+  /// incrementally maintained network must be bit-identical to this one),
+  /// so it defaults to on; disable only for ordering-sensitive ablations.
+  bool canonical_network = true;
+  /// Record every grounding (rule index, matched body atoms, interned head
+  /// atoms) in GroundingResult::groundings — the provenance the
+  /// incremental pipeline replays for DRed-style retraction.
+  bool collect_groundings = false;
 };
 
 /// \brief Outcome of grounding: the network plus bookkeeping.
@@ -55,6 +65,27 @@ struct GroundingResult {
   size_t num_groundings = 0;
   /// Groundings skipped because an evaluable head was satisfied.
   size_t num_satisfied_heads = 0;
+  double ground_time_ms = 0.0;
+  /// Provenance of every grounding (only when
+  /// GroundingOptions::collect_groundings; atom ids are post-canonical).
+  std::vector<StoredGrounding> groundings;
+};
+
+/// \brief Outcome of one delta-grounding pass (see Grounder::GroundDelta).
+struct DeltaGroundingResult {
+  /// Groundings discovered from the edited-fact frontier; ids reference
+  /// the network that was passed in (with its newly appended atoms).
+  std::vector<StoredGrounding> groundings;
+  int rounds = 0;
+  /// First atom id seeded by this delta (the frontier start).
+  AtomId frontier_begin = 0;
+  /// Atom count right after evidence seeding: ids [frontier_begin,
+  /// seeded_end) are the new evidence atoms, [seeded_end, NumAtoms()) the
+  /// new derived atoms.
+  AtomId seeded_end = 0;
+  /// True when an inserted fact's quad merged into a pre-existing atom
+  /// (its prior/evidence status changed — disables the fast rebuild path).
+  bool merged_into_existing = false;
   double ground_time_ms = 0.0;
 };
 
@@ -80,6 +111,20 @@ class Grounder {
 
   /// \brief Run grounding to fixpoint and return the network.
   Result<GroundingResult> Run();
+
+  /// \brief Delta grounding for the incremental pipeline: `network`
+  /// already holds the previous atoms (canonical layout); graph facts
+  /// [first_new_fact, NumFacts) are the insertions. Seeds their evidence
+  /// atoms and runs the semi-naive fixpoint with the frontier restricted
+  /// to those (and transitively derived) atoms, so join work scales with
+  /// the edit, not the KB. Every discovered grounding contains at least
+  /// one new atom and is returned — clauses and priors are NOT added to
+  /// `network`; the caller rebuilds the canonical solve network.
+  /// Retractions are invisible here by design: grounding is monotone, so
+  /// the caller's liveness mark-sweep prunes groundings that touch
+  /// retracted facts afterwards.
+  Result<DeltaGroundingResult> GroundDelta(GroundNetwork* network,
+                                           rdf::FactId first_new_fact);
 
  private:
   rdf::TemporalGraph* graph_;

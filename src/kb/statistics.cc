@@ -11,13 +11,15 @@ namespace kb {
 
 GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph) {
   GraphStatistics stats;
-  stats.num_facts = graph.NumFacts();
+  stats.num_facts = graph.NumLiveFacts();
   std::unordered_set<rdf::TermId> subjects, objects;
   double conf_sum = 0.0;
   double duration_sum = 0.0;
   stats.min_time = stats.num_facts == 0 ? 0 : INT64_MAX;
   stats.max_time = stats.num_facts == 0 ? 0 : INT64_MIN;
-  for (const rdf::TemporalFact& f : graph.facts()) {
+  for (rdf::FactId id = 0; id < graph.NumFacts(); ++id) {
+    if (!graph.is_live(id)) continue;
+    const rdf::TemporalFact& f = graph.fact(id);
     subjects.insert(f.subject);
     objects.insert(f.object);
     conf_sum += f.confidence;

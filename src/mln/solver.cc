@@ -93,6 +93,31 @@ Result<MlnSolution> MlnMapSolver::Solve() {
     bool solved = false;
   };
   std::vector<ComponentSolution> solved(components.size());
+  // With a component cache attached, splice the stored solution of every
+  // component whose content signature is unchanged (a cached result is
+  // bit-identical to re-solving — the backends are deterministic) and
+  // spend solver time only on the dirty ones.
+  MlnComponentCache* cache = options_.component_cache;
+  std::vector<ground::Signature> signatures(cache != nullptr
+                                                ? components.size()
+                                                : 0);
+  if (cache != nullptr) {
+    cache->hits = 0;
+    cache->misses = 0;
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (components[i].clause_indices.empty()) continue;
+      signatures[i] = network_.ComponentSignature(components[i]);
+      auto it = cache->entries.find(signatures[i]);
+      if (it != cache->entries.end()) {
+        solved[i].result = it->second;
+        solved[i].atom_map = components[i].atoms;
+        solved[i].solved = true;
+        ++cache->hits;
+      } else {
+        ++cache->misses;
+      }
+    }
+  }
   // Never spawn more executors than there are components to solve.
   util::ThreadPool pool(static_cast<int>(
       std::min<size_t>(util::ResolveThreadCount(options_.num_threads),
@@ -105,10 +130,22 @@ Result<MlnSolution> MlnMapSolver::Solve() {
       return;
     }
     ComponentSolution& out = solved[i];
+    if (out.solved) return;  // spliced from the cache
     maxsat::Wcnf wcnf = BuildComponentWcnf(network_, component, &out.atom_map);
     out.result = SolveWcnf(wcnf, options_);
     out.solved = true;
   });
+  if (cache != nullptr) {
+    // Bound retained entries: once stale signatures dominate, rebuild the
+    // cache from the components actually present.
+    if (cache->entries.size() > 4 * components.size() + 1024) {
+      cache->entries.clear();
+    }
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (!solved[i].solved) continue;
+      cache->entries.emplace(signatures[i], solved[i].result);
+    }
+  }
 
   for (size_t i = 0; i < components.size(); ++i) {
     solution.largest_component =

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ground/ground_network.h"
@@ -30,6 +31,23 @@ enum class MlnBackend : uint8_t {
 
 std::string_view MlnBackendName(MlnBackend backend);
 
+/// \brief Cache of per-component MAP solutions keyed by the component's
+/// content signature (local clause structure + weights).
+///
+/// Backends are deterministic, so a cached result is bit-identical to
+/// re-solving — which is how the incremental re-solve pipeline splices
+/// solutions of clean components while paying solver time only for the
+/// ones an edit dirtied. Entries are valid as long as the solver options
+/// are unchanged; the owner must clear the cache when they change.
+struct MlnComponentCache {
+  std::unordered_map<ground::Signature, maxsat::MaxSatResult,
+                     ground::SignatureHash>
+      entries;
+  /// Per-Solve() statistics (reset at each call).
+  size_t hits = 0;
+  size_t misses = 0;
+};
+
 /// \brief Solver configuration.
 struct MlnSolverOptions {
   MlnBackend backend = MlnBackend::kExactMaxSat;
@@ -47,6 +65,9 @@ struct MlnSolverOptions {
   maxsat::ExactSolverOptions exact;
   maxsat::WalkSatOptions walksat;
   ilp::BranchBoundSolver::Options ilp;
+  /// Optional per-component solution cache (see MlnComponentCache); only
+  /// consulted on the per-component path. Not owned.
+  MlnComponentCache* component_cache = nullptr;
 };
 
 /// \brief MAP solution over the ground network's atoms.

@@ -59,6 +59,29 @@ Result<PslSolution> PslSolver::Solve() {
       bool solved = false;
     };
     std::vector<ComponentRun> runs(components.size());
+    // Splice cached ADMM results for components whose content signature is
+    // unchanged (see PslComponentCache); solve only the dirty ones.
+    PslComponentCache* cache = options_.component_cache;
+    std::vector<ground::Signature> signatures(cache != nullptr
+                                                  ? components.size()
+                                                  : 0);
+    if (cache != nullptr) {
+      cache->hits = 0;
+      cache->misses = 0;
+      for (size_t i = 0; i < components.size(); ++i) {
+        if (components[i].clause_indices.empty()) continue;
+        signatures[i] = network_.ComponentSignature(components[i]);
+        auto it = cache->entries.find(signatures[i]);
+        if (it != cache->entries.end()) {
+          runs[i].result = it->second;
+          runs[i].atom_map = components[i].atoms;
+          runs[i].solved = true;
+          ++cache->hits;
+        } else {
+          ++cache->misses;
+        }
+      }
+    }
     // Never spawn more executors than there are components to solve.
     util::ThreadPool pool(static_cast<int>(
         std::min<size_t>(util::ResolveThreadCount(options_.num_threads),
@@ -66,12 +89,22 @@ Result<PslSolution> PslSolver::Solve() {
     pool.ParallelFor(components.size(), [&](size_t i) {
       if (components[i].clause_indices.empty()) return;
       ComponentRun& run = runs[i];
+      if (run.solved) return;  // spliced from the cache
       HlMrf mrf = BuildComponentHlMrf(network_, components[i], &run.atom_map,
                                       options_.squared_hinges);
       AdmmSolver admm(mrf, options_.admm);
       run.result = admm.Solve();
       run.solved = true;
     });
+    if (cache != nullptr) {
+      if (cache->entries.size() > 4 * components.size() + 1024) {
+        cache->entries.clear();
+      }
+      for (size_t i = 0; i < components.size(); ++i) {
+        if (!runs[i].solved) continue;
+        cache->entries.emplace(signatures[i], runs[i].result);
+      }
+    }
     for (size_t i = 0; i < components.size(); ++i) {
       solution.largest_component =
           std::max(solution.largest_component, components[i].atoms.size());

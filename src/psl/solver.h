@@ -2,6 +2,7 @@
 #define TECORE_PSL_SOLVER_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "ground/ground_network.h"
@@ -11,6 +12,18 @@
 
 namespace tecore {
 namespace psl {
+
+/// \brief Cache of per-component ADMM results keyed by the component's
+/// content signature — the PSL counterpart of mln::MlnComponentCache.
+/// ADMM is deterministic, so a cached result is bit-identical to
+/// re-solving; entries assume unchanged solver options.
+struct PslComponentCache {
+  std::unordered_map<ground::Signature, AdmmResult, ground::SignatureHash>
+      entries;
+  /// Per-Solve() statistics (reset at each call).
+  size_t hits = 0;
+  size_t misses = 0;
+};
 
 /// \brief nPSL solver configuration.
 struct PslSolverOptions {
@@ -34,6 +47,9 @@ struct PslSolverOptions {
   /// 1 = sequential. Deterministic for any thread count (results are
   /// scattered into pre-sized vectors and reduced in component order).
   int num_threads = 0;
+  /// Optional per-component ADMM cache (see PslComponentCache); only
+  /// consulted on the per-component path. Not owned.
+  PslComponentCache* component_cache = nullptr;
 };
 
 /// \brief Outcome of the PSL pipeline.

@@ -26,7 +26,51 @@ Result<FactId> TemporalGraph::Add(const TemporalFact& fact) {
   by_subject_[fact.subject].push_back(id);
   by_subject_predicate_[{fact.subject, fact.predicate}].push_back(id);
   temporal_index_.erase(fact.predicate);  // invalidate lazy index
+  ++num_live_;
+  ++edit_epoch_;
   return id;
+}
+
+namespace {
+void EraseFactId(std::vector<FactId>* ids, FactId id) {
+  auto it = std::find(ids->begin(), ids->end(), id);
+  if (it != ids->end()) ids->erase(it);
+}
+}  // namespace
+
+Status TemporalGraph::Retract(FactId id) {
+  if (id >= facts_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("cannot retract fact %u: out of range", id));
+  }
+  if (!is_live(id)) {
+    return Status::InvalidArgument(
+        StringPrintf("fact %u is already retracted", id));
+  }
+  if (live_.size() < facts_.size()) live_.resize(facts_.size(), true);
+  live_[id] = false;
+  --num_live_;
+  ++edit_epoch_;
+  const TemporalFact& f = facts_[id];
+  EraseFactId(&by_predicate_[f.predicate], id);
+  EraseFactId(&by_subject_[f.subject], id);
+  EraseFactId(&by_subject_predicate_[{f.subject, f.predicate}], id);
+  temporal_index_.erase(f.predicate);  // invalidate lazy index
+  return Status::OK();
+}
+
+size_t TemporalGraph::LiveRank(FactId id) const {
+  size_t rank = 0;
+  for (FactId i = 0; i < id && i < facts_.size(); ++i) {
+    if (is_live(i)) ++rank;
+  }
+  return rank;
+}
+
+TemporalGraph TemporalGraph::CompactLive() const {
+  std::vector<bool> keep(facts_.size(), false);
+  for (FactId id = 0; id < facts_.size(); ++id) keep[id] = is_live(id);
+  return Filter(keep);
 }
 
 Result<FactId> TemporalGraph::AddQuad(std::string_view subject,
@@ -88,7 +132,7 @@ std::vector<std::pair<TermId, size_t>> TemporalGraph::PredicateCounts() const {
 TemporalGraph TemporalGraph::Filter(const std::vector<bool>& keep) const {
   TemporalGraph out;
   for (FactId id = 0; id < facts_.size(); ++id) {
-    if (id < keep.size() && keep[id]) {
+    if (id < keep.size() && keep[id] && is_live(id)) {
       const TemporalFact& f = facts_[id];
       TemporalFact copy(out.dict_.Intern(dict_.Lookup(f.subject)),
                         out.dict_.Intern(dict_.Lookup(f.predicate)),

@@ -21,8 +21,11 @@ namespace rdf {
 ///  * by (predicate,subject) — drives join lookups while grounding,
 ///  * per-predicate interval tree — drives temporal-overlap probes.
 ///
-/// Facts are append-only; resolution produces *new* graphs (via `Filter`)
-/// rather than mutating, which keeps all indexes immutable after load.
+/// Facts are stored append-only; `Retract` tombstones a fact in place
+/// (indexes drop it, iteration must skip it via `is_live`) so fact ids
+/// stay stable across edits — the property the incremental re-solve
+/// pipeline keys its caches on. Every mutation bumps `edit_epoch`.
+/// Resolution still produces *new* graphs (via `Filter`).
 class TemporalGraph {
  public:
   TemporalGraph() = default;
@@ -53,9 +56,31 @@ class TemporalGraph {
                    interval, confidence);
   }
 
+  /// \brief Tombstone a fact: drops it from every index and from live
+  /// iteration while keeping ids of later facts stable. Retracting an
+  /// already-dead or out-of-range id is an error.
+  Status Retract(FactId id);
+
   size_t NumFacts() const { return facts_.size(); }
   const TemporalFact& fact(FactId id) const { return facts_[id]; }
   const std::vector<TemporalFact>& facts() const { return facts_; }
+
+  /// \brief True when `id` has not been retracted.
+  bool is_live(FactId id) const {
+    return id < facts_.size() && (id >= live_.size() || live_[id]);
+  }
+  /// \brief Number of live (non-retracted) facts.
+  size_t NumLiveFacts() const { return num_live_; }
+  /// \brief Position of a live fact among live facts in id order — the id
+  /// the fact would have in `CompactLive()`'s output.
+  size_t LiveRank(FactId id) const;
+  /// \brief Monotone counter bumped by every Add/Retract; lets cached
+  /// derived state (grounding, MAP solutions) detect staleness.
+  uint64_t edit_epoch() const { return edit_epoch_; }
+
+  /// \brief New self-contained graph holding exactly the live facts, in id
+  /// order. Equivalent to what a fresh parse of the edited KB would load.
+  TemporalGraph CompactLive() const;
 
   /// \brief Ids of facts with the given predicate ("" -> empty).
   const std::vector<FactId>& FactsWithPredicate(TermId predicate) const;
@@ -93,6 +118,11 @@ class TemporalGraph {
 
   Dictionary dict_;
   std::vector<TemporalFact> facts_;
+  /// Liveness bitmap, grown lazily: ids >= live_.size() are live. Kept in
+  /// lockstep with num_live_ and edit_epoch_ by Add/Retract.
+  std::vector<bool> live_;
+  size_t num_live_ = 0;
+  uint64_t edit_epoch_ = 0;
   std::unordered_map<TermId, std::vector<FactId>> by_predicate_;
   std::unordered_map<TermId, std::vector<FactId>> by_subject_;
   std::unordered_map<std::pair<TermId, TermId>, std::vector<FactId>, PairHash>

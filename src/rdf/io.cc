@@ -68,9 +68,17 @@ Term TermFromToken(const std::string& token) {
 
 }  // namespace
 
-Result<FactId> ParseFactLine(std::string_view line, TemporalGraph* graph) {
+Result<TemporalFact> ParseFactText(std::string_view line,
+                                   TemporalGraph* graph) {
   TECORE_ASSIGN_OR_RETURN(tokens, TokenizeLine(line));
   if (!tokens.empty() && tokens.back() == ".") tokens.pop_back();
+  // The statement terminator may also be attached to the last token
+  // (`s p o [1,2].` in the examples' style). Quoted literals keep their
+  // dot: a trailing `.` after a closing quote tokenizes separately above.
+  if (!tokens.empty() && tokens.back().size() > 1 &&
+      tokens.back().back() == '.' && tokens.back().front() != '"') {
+    tokens.back().pop_back();
+  }
   if (tokens.size() < 4 || tokens.size() > 5) {
     return Status::ParseError(
         "expected 's p o [b,e] [conf]' , got " +
@@ -92,10 +100,39 @@ Result<FactId> ParseFactLine(std::string_view line, TemporalGraph* graph) {
     return Status::ParseError("predicate must be an IRI in: '" +
                               std::string(line) + "'");
   }
-  TemporalFact fact(graph->dict().Intern(subject),
-                    graph->dict().Intern(predicate),
-                    graph->dict().Intern(object), interval, confidence);
+  return TemporalFact(graph->dict().Intern(subject),
+                      graph->dict().Intern(predicate),
+                      graph->dict().Intern(object), interval, confidence);
+}
+
+Result<FactId> ParseFactLine(std::string_view line, TemporalGraph* graph) {
+  TECORE_ASSIGN_OR_RETURN(fact, ParseFactText(line, graph));
   return graph->Add(fact);
+}
+
+std::string_view StripTqComment(std::string_view line) {
+  // A '#' starts a comment unless it sits inside a string literal. Escape
+  // sequences consume the next character, so `"ends with \\"` closes the
+  // string and `"a \" b"` does not — the same rules TokenizeLine applies.
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '#') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
 }
 
 Result<TemporalGraph> ParseGraphText(std::string_view text) {
@@ -108,18 +145,7 @@ Result<TemporalGraph> ParseGraphText(std::string_view text) {
     std::string_view raw = text.substr(start, end - start);
     start = end + 1;
     ++line_no;
-    // Strip comments ('#' outside of a string literal).
-    bool in_string = false;
-    size_t cut = raw.size();
-    for (size_t i = 0; i < raw.size(); ++i) {
-      if (raw[i] == '"' && (i == 0 || raw[i - 1] != '\\')) {
-        in_string = !in_string;
-      } else if (raw[i] == '#' && !in_string) {
-        cut = i;
-        break;
-      }
-    }
-    std::string_view line = Trim(raw.substr(0, cut));
+    std::string_view line = Trim(StripTqComment(raw));
     if (line.empty()) continue;
     Result<FactId> fact = ParseFactLine(line, &graph);
     if (!fact.ok()) {
@@ -133,6 +159,7 @@ Result<TemporalGraph> ParseGraphText(std::string_view text) {
 std::string WriteGraphText(const TemporalGraph& graph) {
   std::string out;
   for (FactId id = 0; id < graph.NumFacts(); ++id) {
+    if (!graph.is_live(id)) continue;
     const TemporalFact& f = graph.fact(id);
     out += graph.dict().Lookup(f.subject).ToString();
     out += ' ';
@@ -141,7 +168,12 @@ std::string WriteGraphText(const TemporalGraph& graph) {
     out += graph.dict().Lookup(f.object).ToString();
     out += ' ';
     out += f.interval.ToString();
-    out += StringPrintf(" %g .\n", f.confidence);
+    // Shortest round-trip-exact confidence: "%g" (6 significant digits)
+    // silently perturbed confidences on save/load and with them the
+    // resolution objective.
+    out += ' ';
+    out += FormatDoubleExact(f.confidence);
+    out += " .\n";
   }
   return out;
 }

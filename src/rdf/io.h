@@ -33,6 +33,16 @@ Result<TemporalGraph> ParseGraphText(std::string_view text);
 /// \brief Parse one fact line into `graph`. Returns the new fact's id.
 Result<FactId> ParseFactLine(std::string_view line, TemporalGraph* graph);
 
+/// \brief Parse one fact line, interning its terms into `graph`'s
+/// dictionary but *not* appending the fact (edit scripts retract by
+/// parsed quad, so they need the fact without the side effect).
+Result<TemporalFact> ParseFactText(std::string_view line,
+                                   TemporalGraph* graph);
+
+/// \brief Strip a '#' comment, honouring string literals and their escape
+/// sequences (the exact rules the tokenizer uses).
+std::string_view StripTqComment(std::string_view line);
+
 /// \brief Serialize the whole graph in ".tq" format.
 std::string WriteGraphText(const TemporalGraph& graph);
 

@@ -105,6 +105,17 @@ std::string StringPrintf(const char* fmt, ...) {
   return out;
 }
 
+std::string FormatDoubleExact(double value) {
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::string out = StringPrintf("%.*g", precision, value);
+    double parsed = 0.0;
+    if (ParseDouble(out, &parsed) && parsed == value) return out;
+  }
+  // Unreachable for finite doubles (17 significant digits always suffice);
+  // keep a deterministic fallback for the pathological cases.
+  return StringPrintf("%.17g", value);
+}
+
 std::string FormatWithCommas(int64_t value) {
   std::string digits = std::to_string(value < 0 ? -value : value);
   std::string out;

@@ -39,6 +39,11 @@ bool ParseDouble(std::string_view s, double* out);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// \brief Shortest decimal form of `value` that parses back to the exact
+/// same double (tries %.15g, %.16g, %.17g). Serializers must use this
+/// instead of "%g" so save/load round-trips are bit-exact.
+std::string FormatDoubleExact(double value);
+
 /// \brief Format a count with thousands separators, e.g. 243157 -> "243,157".
 std::string FormatWithCommas(int64_t value);
 

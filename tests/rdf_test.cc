@@ -191,6 +191,120 @@ TEST(RdfIo, WriteParseRoundTrip) {
   }
 }
 
+TEST(RdfIo, CommentStripperTracksEscapes) {
+  // Regression: a literal ending in an escaped backslash used to leave the
+  // comment stripper "inside" the string, so the trailing comment became a
+  // parse error.
+  auto graph = ParseGraphText(
+      "CR label \"ends with \\\\\" [1,2] 0.5 . # trailing comment\n"
+      "CR label \"a \\\" # not a comment\" [3,4] . # real comment\n"
+      "CR label \"inline # hash\" [5] .\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_EQ(graph->NumFacts(), 3u);
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(0).object).lexical(),
+            "ends with \\");
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(1).object).lexical(),
+            "a \" # not a comment");
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(2).object).lexical(),
+            "inline # hash");
+}
+
+TEST(RdfIo, AttachedStatementTerminator) {
+  // Regression: the '.' terminator attached to the interval (the examples'
+  // style) used to fail with "expected 's p o [b,e] [conf]'".
+  auto graph = ParseGraphText(
+      "CR coach Chelsea [2000,2004].\n"
+      "CR coach Leicester [2015,2017] 0.7.\n"
+      "CR label \"dot inside.\" [1,2] .\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_EQ(graph->NumFacts(), 3u);
+  EXPECT_EQ(graph->fact(0).interval, temporal::Interval(2000, 2004));
+  EXPECT_DOUBLE_EQ(graph->fact(1).confidence, 0.7);
+  // A quoted literal keeps its dot.
+  EXPECT_EQ(graph->dict().Lookup(graph->fact(2).object).lexical(),
+            "dot inside.");
+}
+
+TEST(RdfIo, ConfidenceRoundTripIsExact) {
+  // Regression: "%g" wrote 6 significant digits, silently perturbing
+  // confidences (and with them resolution objectives) on save/load.
+  TemporalGraph g;
+  const double confidences[] = {0.123456789, 0.1 + 0.2 - 0.2,
+                                0.9999999999999999, 1e-9, 1.0,
+                                0x1.23456789abcdep-1};
+  for (double conf : confidences) {
+    ASSERT_TRUE(g.AddQuad("s", "p", "o" + std::to_string(g.NumFacts()),
+                          temporal::Interval(0, 1), conf)
+                    .ok());
+  }
+  auto reparsed = ParseGraphText(WriteGraphText(g));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->NumFacts(), g.NumFacts());
+  for (FactId id = 0; id < g.NumFacts(); ++id) {
+    // Bit-exact, not approximately equal.
+    EXPECT_EQ(g.fact(id).confidence, reparsed->fact(id).confidence)
+        << "fact " << id;
+  }
+}
+
+TEST(RdfIo, RoundTripIsBitExact) {
+  // The full contract: Parse(Write(g)) reproduces every fact bit-exactly —
+  // escaped quotes/backslashes, '#' inside strings, negative times,
+  // single-point intervals, high-precision confidences.
+  auto graph = ParseGraphText(
+      "CR label \"quote \\\" backslash \\\\ both \\\\\\\"\" [1,2] "
+      "0.123456789012345678 .\n"
+      "CR label \"# looks like a comment\" [-40,-2] 0.6 .\n"
+      "era began _:b0 [-4000] 0.25 .\n"
+      "CR coach Chelsea [2000,2004] 0.9000000000000001 .\n"
+      "CR birthDate 1951 [1951] .\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const std::string text = WriteGraphText(*graph);
+  auto reparsed = ParseGraphText(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  ASSERT_EQ(reparsed->NumFacts(), graph->NumFacts());
+  for (FactId id = 0; id < graph->NumFacts(); ++id) {
+    const TemporalFact& a = graph->fact(id);
+    const TemporalFact& b = reparsed->fact(id);
+    EXPECT_EQ(graph->dict().Lookup(a.subject), reparsed->dict().Lookup(b.subject));
+    EXPECT_EQ(graph->dict().Lookup(a.predicate),
+              reparsed->dict().Lookup(b.predicate));
+    EXPECT_EQ(graph->dict().Lookup(a.object), reparsed->dict().Lookup(b.object));
+    EXPECT_EQ(a.interval, b.interval);
+    EXPECT_EQ(a.confidence, b.confidence);  // bitwise
+  }
+  // Writing the reparsed graph must reproduce the text byte-for-byte (the
+  // serializer is a fixed point).
+  EXPECT_EQ(WriteGraphText(*reparsed), text);
+}
+
+TEST(TemporalGraph, RetractTombstonesAndKeepsIdsStable) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.AddQuad("a", "p", "b", temporal::Interval(0, 1), 0.9).ok());
+  ASSERT_TRUE(g.AddQuad("c", "p", "d", temporal::Interval(2, 3), 0.8).ok());
+  ASSERT_TRUE(g.AddQuad("e", "q", "f", temporal::Interval(4, 5), 0.7).ok());
+  const uint64_t epoch = g.edit_epoch();
+  ASSERT_TRUE(g.Retract(1).ok());
+  EXPECT_GT(g.edit_epoch(), epoch);
+  EXPECT_EQ(g.NumFacts(), 3u);       // ids stay stable
+  EXPECT_EQ(g.NumLiveFacts(), 2u);   // iteration skips the tombstone
+  EXPECT_FALSE(g.is_live(1));
+  EXPECT_TRUE(g.is_live(2));
+  EXPECT_EQ(g.LiveRank(2), 1u);
+  // Indexes drop the fact...
+  TermId p = *g.dict().FindIri("p");
+  EXPECT_EQ(g.FactsWithPredicate(p).size(), 1u);
+  // ...and serialization skips it.
+  EXPECT_EQ(WriteGraphText(g).find("c p d"), std::string::npos);
+  // Double-retract and out-of-range are errors.
+  EXPECT_FALSE(g.Retract(1).ok());
+  EXPECT_FALSE(g.Retract(99).ok());
+  // CompactLive renumbers densely.
+  TemporalGraph compact = g.CompactLive();
+  EXPECT_EQ(compact.NumFacts(), 2u);
+  EXPECT_EQ(compact.FactToString(1).substr(0, 2), "(e");
+}
+
 TEST(RdfIo, FileRoundTrip) {
   auto graph = ParseGraphText("CR coach Chelsea [2000,2004] 0.9 .\n");
   ASSERT_TRUE(graph.ok());
