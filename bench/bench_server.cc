@@ -1,0 +1,274 @@
+// tecore-server throughput: requests/sec over loopback HTTP against an
+// in-process server, for a read-only workload (snapshot reads: graph
+// info, stats, completion, cached conflicts) and a mixed workload (the
+// same reads while one client streams edit batches through /v1/edits).
+//
+// The read path never takes the writer lock — the number to watch is how
+// little read throughput degrades when the mixed workload turns writes
+// on. Keep-alive connections, one per client thread.
+//
+// `--json out.json` writes the measurements machine-readably
+// (BENCH_server.json); `--smoke` shrinks the workload for CI.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/generators.h"
+#include "rules/library.h"
+#include "server/http_server.h"
+#include "server/routes.h"
+#include "util/bench_json.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+using namespace tecore;  // NOLINT
+
+/// Keep-alive HTTP client on one blocking socket.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// One request/response round trip; returns the HTTP status (0 = I/O
+  /// failure).
+  int Round(const std::string& method, const std::string& path,
+            const std::string& body = "") {
+    const std::string request = StringPrintf(
+        "%s %s HTTP/1.1\r\nHost: bench\r\nContent-Length: %zu\r\n\r\n%s",
+        method.c_str(), path.c_str(), body.size(), body.c_str());
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n =
+          ::send(fd_, request.data() + sent, request.size() - sent, 0);
+      if (n <= 0) return 0;
+      sent += static_cast<size_t>(n);
+    }
+    // Read one framed response off the keep-alive connection.
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return 0;
+    }
+    int status = 0;
+    std::sscanf(buffer_.c_str(), "HTTP/1.1 %d", &status);
+    size_t content_length = 0;
+    const char* cl = std::strstr(buffer_.c_str(), "Content-Length:");
+    if (cl != nullptr && cl < buffer_.c_str() + header_end) {
+      content_length = static_cast<size_t>(std::atoll(cl + 15));
+    }
+    while (buffer_.size() < header_end + 4 + content_length) {
+      if (!Fill()) return 0;
+    }
+    buffer_.erase(0, header_end + 4 + content_length);
+    return status;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+const char* kReadPaths[] = {"/v1/graph", "/v1/stats",
+                            "/v1/complete?prefix=plays", "/v1/conflicts"};
+
+/// Run `clients` reader threads for `requests_each` requests; returns
+/// total successful requests.
+size_t RunReaders(int port, int clients, size_t requests_each,
+                  std::atomic<bool>* failed) {
+  std::atomic<size_t> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([port, requests_each, c, &completed, &failed] {
+      Client client(port);
+      if (!client.ok()) {
+        failed->store(true);
+        return;
+      }
+      for (size_t i = 0; i < requests_each; ++i) {
+        const char* path = kReadPaths[(i + static_cast<size_t>(c)) % 4];
+        if (client.Round("GET", path) != 200) {
+          failed->store(true);
+          return;
+        }
+        ++completed;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return completed.load();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: bench_server [--json out] [--smoke]\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_server [--json out] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  const size_t players = smoke ? 100 : 400;
+  const size_t requests_each = smoke ? 200 : 2000;
+  const size_t edit_batches = smoke ? 10 : 50;
+
+  api::Engine engine;
+  datagen::FootballDbOptions gen;
+  gen.num_players = players;
+  engine.SetGraph(std::move(datagen::GenerateFootballDb(gen).graph));
+  auto constraints = rules::FootballConstraints();
+  if (!constraints.ok()) {
+    std::fprintf(stderr, "failed to seed rules\n");
+    return 1;
+  }
+  engine.AddRules(*constraints);
+  // Seed a solve so /v1 read traffic browses a real result, and warm the
+  // conflict cache once (later GETs are cache hits, as in steady state).
+  auto seeded = engine.Solve(core::ResolveOptions());
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "%s\n", seeded.status().ToString().c_str());
+    return 1;
+  }
+  (void)engine.snapshot()->DetectConflicts();
+
+  server::HttpServer::Options options;
+  options.port = 0;
+  options.num_threads = 8;
+  server::HttpServer http(options, server::MakeApiHandler(&engine));
+  auto port = http.Start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
+    return 1;
+  }
+
+  BenchJson bench("server_throughput");
+  std::printf("bench_server: %zu players, %zu req/client, port %d\n",
+              players, requests_each, *port);
+
+  // ---- read-only scaling ----
+  for (int clients : {1, 2, 4}) {
+    std::atomic<bool> failed{false};
+    Timer timer;
+    const size_t completed =
+        RunReaders(*port, clients, requests_each, &failed);
+    const double ms = timer.ElapsedMillis();
+    if (failed.load()) {
+      std::fprintf(stderr, "read workload failed\n");
+      return 1;
+    }
+    const double rps = 1000.0 * static_cast<double>(completed) / ms;
+    bench.NewRecord(StringPrintf("readonly/clients=%d", clients));
+    bench.Metric("clients", clients);
+    bench.Metric("requests", static_cast<double>(completed));
+    bench.Metric("total_ms", ms);
+    bench.Metric("requests_per_sec", rps);
+    std::printf("  readonly clients=%d: %zu req in %.1f ms (%.0f req/s)\n",
+                clients, completed, ms, rps);
+  }
+
+  // ---- mixed: 3 readers + 1 edit client ----
+  {
+    std::atomic<bool> failed{false};
+    std::atomic<bool> readers_done{false};
+    std::atomic<size_t> edits_done{0};
+    double edit_ms_total = 0.0;
+    std::thread editor([&] {
+      Client client(*port);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      Timer edit_timer;
+      for (size_t b = 0; b < edit_batches && !readers_done.load(); ++b) {
+        const std::string script = StringPrintf(
+            "{\"script\":\"+ benchPlayer%zu playsFor team%zu "
+            "[%zu,%zu] 0.8 .\\n\"}",
+            b, b % 8, 1990 + b % 20, 1994 + b % 20);
+        if (client.Round("POST", "/v1/edits", script) != 200) {
+          failed.store(true);
+          return;
+        }
+        ++edits_done;
+      }
+      edit_ms_total = edit_timer.ElapsedMillis();
+    });
+    Timer timer;
+    const size_t completed = RunReaders(*port, 3, requests_each, &failed);
+    const double ms = timer.ElapsedMillis();
+    readers_done.store(true);
+    editor.join();
+    if (failed.load()) {
+      std::fprintf(stderr, "mixed workload failed\n");
+      return 1;
+    }
+    const double rps = 1000.0 * static_cast<double>(completed) / ms;
+    const size_t edits = edits_done.load();
+    bench.NewRecord("mixed/readers=3+editor=1");
+    bench.Metric("read_requests", static_cast<double>(completed));
+    bench.Metric("total_ms", ms);
+    bench.Metric("read_requests_per_sec", rps);
+    bench.Metric("edit_batches", static_cast<double>(edits));
+    bench.Metric("edit_ms_mean",
+                 edits == 0 ? 0.0 : edit_ms_total / static_cast<double>(edits));
+    std::printf(
+        "  mixed readers=3: %zu req in %.1f ms (%.0f req/s), "
+        "%zu edit batches (%.1f ms/batch)\n",
+        completed, ms, rps, edits,
+        edits == 0 ? 0.0 : edit_ms_total / static_cast<double>(edits));
+  }
+
+  http.Stop();
+
+  if (!json_path.empty()) {
+    if (!bench.WriteFile(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

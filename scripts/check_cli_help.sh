@@ -16,8 +16,8 @@ fi
 USAGE="$("$CLI" 2>&1)"
 
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
-       --edits --out --dataset --size --prefix)
-COMMANDS=(stats complete suggest validate detect solve gen)
+       --edits --out --dataset --size --prefix --version --host --port)
+COMMANDS=(stats complete suggest validate detect solve gen serve version)
 
 # Token-anchored match so a flag is not satisfied by a longer flag that
 # merely contains it (or a subcommand by an unrelated word).

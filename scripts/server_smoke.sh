@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# tecore-server smoke: start the server on an ephemeral port, drive the
+# paper's demo workflow (load graph -> add rules -> detect -> solve ->
+# edit -> browse) over HTTP with curl, assert JSON shape with python3,
+# and check clean shutdown on SIGTERM.
+#
+# Usage: scripts/server_smoke.sh [path/to/tecore-server]
+set -u
+
+SERVER="${1:-build/tecore-server}"
+if [[ ! -x "$SERVER" ]]; then
+  echo "error: '$SERVER' not found or not executable (build first)" >&2
+  exit 2
+fi
+
+WORKDIR="$(mktemp -d)"
+LOG="$WORKDIR/server.log"
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+"$SERVER" --port 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The startup line is stable by contract: parse the ephemeral port.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(grep -oE 'listening on http://127\.0\.0\.1:[0-9]+' "$LOG" \
+          | grep -oE '[0-9]+$' || true)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "server did not start; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+BASE="http://127.0.0.1:$PORT/v1"
+echo "server up on port $PORT"
+
+fail=0
+
+# request <name> <expected-status> <python-shape-assertion> <curl args...>
+request() {
+  local name="$1" expected="$2" assertion="$3"
+  shift 3
+  local body status
+  body="$(curl -sS -w '\n%{http_code}' "$@" 2>>"$LOG")"
+  status="${body##*$'\n'}"
+  body="${body%$'\n'*}"
+  if [[ "$status" != "$expected" ]]; then
+    echo "FAIL $name: expected HTTP $expected, got $status: $body" >&2
+    fail=1
+    return
+  fi
+  if ! python3 -c "
+import json, sys
+r = json.loads(sys.argv[1])
+assert $assertion, r
+" "$body"; then
+    echo "FAIL $name: shape assertion '$assertion' on: $body" >&2
+    fail=1
+    return
+  fi
+  echo "ok   $name"
+}
+
+# 1. select a UTKG.
+request "POST /v1/graph" 200 \
+  "r['version'] == 1 and r['num_facts'] == 5 and r['has_graph']" \
+  -X POST "$BASE/graph" -d '{"text":"CR coach Chelsea [2000,2004] 0.9 .\nCR coach Leicester [2015,2017] 0.7 .\nCR playsFor Palermo [1984,1986] 0.5 .\nCR birthDate 1951 [1951,2017] 1.0 .\nCR coach Napoli [2001,2003] 0.6 .\n"}'
+request "GET /v1/graph" 200 "r['num_live_facts'] == 5" "$BASE/graph"
+request "GET /v1/stats" 200 "r['stats']['num_facts'] == 5" "$BASE/stats"
+
+# 2. rules, with predicate auto-completion.
+request "GET /v1/complete" 200 "r['completions'] == ['coach']" \
+  "$BASE/complete?prefix=coa"
+request "POST /v1/rules" 200 "r['added'] == 1 and r['num_rules'] == 1" \
+  -X POST "$BASE/rules" -d '{"text":"c2: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z -> disjoint(t, t2) ."}'
+request "GET /v1/rules" 200 "r['rules'][0]['kind'] == 'constraint'" \
+  "$BASE/rules"
+request "GET /v1/suggest" 200 "'suggestions' in r" "$BASE/suggest"
+
+# 3. compute.
+request "GET /v1/conflicts" 200 \
+  "r['num_conflicts'] == 1 and r['conflicts'][0]['rule'] == 'c2'" \
+  "$BASE/conflicts"
+request "POST /v1/solve" 200 \
+  "r['feasible'] and r['removed'] == 1 and 'Napoli' in r['removed_facts'][0]" \
+  -X POST "$BASE/solve" -d '{"solver":"mln"}'
+request "POST /v1/edits" 200 \
+  "r['inserted'] == 1 and r['feasible'] and r['version'] > 3" \
+  -X POST "$BASE/edits" -d '{"script":"+ CR coach Bari [2006,2008] 0.5 .\n"}'
+
+# 4. browse after the edit.
+request "GET /v1/stats (post-edit)" 200 "r['stats']['num_facts'] == 6" \
+  "$BASE/stats"
+
+# Error paths.
+request "404" 404 "r['code'] == 'NotFound'" "$BASE/nope"
+request "405" 405 "r['code'] == 'MethodNotAllowed'" -X DELETE "$BASE/solve"
+request "400 bad json" 400 "r['code'] in ('ParseError','InvalidArgument')" \
+  -X POST "$BASE/graph" -d '{oops'
+
+# Clean shutdown: SIGTERM must terminate the process promptly.
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: server did not shut down on SIGTERM" >&2
+  kill -9 "$SERVER_PID"
+  fail=1
+elif ! grep -q "shutting down" "$LOG"; then
+  echo "FAIL: no clean shutdown message" >&2
+  fail=1
+else
+  echo "ok   clean shutdown"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "server smoke passed (all 8 /v1 endpoints + error paths + shutdown)"

@@ -1,0 +1,303 @@
+#include "api/engine.h"
+
+#include <algorithm>
+
+#include "rdf/io.h"
+#include "rules/parser.h"
+
+namespace tecore {
+namespace api {
+
+namespace {
+
+/// Result-relevant equality of grounding options (thread counts excluded:
+/// detection output is thread-count-independent by contract). Gate for the
+/// snapshot's compute-once conflict cache.
+bool SameDetectConfig(const ground::GroundingOptions& a,
+                      const ground::GroundingOptions& b) {
+  return a.max_rounds == b.max_rounds && a.max_atoms == b.max_atoms &&
+         a.max_clauses == b.max_clauses &&
+         a.derived_prior_weight == b.derived_prior_weight &&
+         a.add_evidence_priors == b.add_evidence_priors &&
+         a.fact_weighting == b.fact_weighting &&
+         a.evaluate_conditions_early == b.evaluate_conditions_early &&
+         a.semi_naive == b.semi_naive &&
+         a.canonical_network == b.canonical_network;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Snapshot
+
+std::vector<std::string> Snapshot::CompletePredicate(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  if (!predicates) return out;
+  // predicates is sorted: the matches form one contiguous range.
+  auto begin = std::lower_bound(predicates->begin(), predicates->end(), prefix,
+                                [](const std::string& p, std::string_view pre) {
+                                  return std::string_view(p) < pre;
+                                });
+  for (auto it = begin; it != predicates->end(); ++it) {
+    if (it->compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const core::ConflictReport>> Snapshot::DetectConflicts(
+    const ground::GroundingOptions& grounding) const {
+  if (!graph) return Status::InvalidArgument("no graph loaded");
+  // Detection only *reads* the frozen graph apart from thread-safe term
+  // interning, so running it on the const snapshot graph is sound; the
+  // detector's signature is non-const because the grounder shares it with
+  // mutating pipelines.
+  rdf::TemporalGraph* g = const_cast<rdf::TemporalGraph*>(graph.get());
+  const bool cacheable = SameDetectConfig(grounding, detect_grounding_);
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(conflict_mutex_);
+    if (conflict_status_.has_value()) {
+      if (!conflict_status_->ok()) return *conflict_status_;
+      return conflict_report_;
+    }
+    core::ConflictDetector detector(g, *rules, grounding);
+    auto report = detector.Detect();
+    conflict_status_ = report.ok() ? Status::OK() : report.status();
+    if (!report.ok()) return report.status();
+    conflict_report_ =
+        std::make_shared<const core::ConflictReport>(std::move(*report));
+    return conflict_report_;
+  }
+  core::ConflictDetector detector(g, *rules, grounding);
+  TECORE_ASSIGN_OR_RETURN(report, detector.Detect());
+  return std::shared_ptr<const core::ConflictReport>(
+      std::make_shared<const core::ConflictReport>(std::move(report)));
+}
+
+std::string Snapshot::DescribeConflict(const core::Conflict& conflict) const {
+  std::string out;
+  if (!rules || conflict.rule_index < 0 ||
+      static_cast<size_t>(conflict.rule_index) >= rules->rules.size()) {
+    out += "violates <unknown constraint>:\n";
+  } else {
+    const rules::Rule& rule =
+        rules->rules[static_cast<size_t>(conflict.rule_index)];
+    out += "violates " +
+           (rule.name.empty() ? std::string("<unnamed constraint>")
+                              : rule.name) +
+           ":\n";
+  }
+  if (graph) {
+    for (rdf::FactId id : conflict.facts) {
+      out += "  " + graph->FactToString(id) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::vector<core::Suggestion>> Snapshot::SuggestConstraints(
+    const core::SuggestOptions& options) const {
+  if (!graph) return Status::InvalidArgument("no graph loaded");
+  return core::SuggestConstraints(*graph, options);
+}
+
+// ------------------------------------------------------------------ Engine
+
+Engine::Engine(Options options) : options_(std::move(options)) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->rules = std::make_shared<const rules::RuleSet>();
+  snap->predicates = std::make_shared<const std::vector<std::string>>();
+  snap->detect_grounding_ = options_.detect_grounding;
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const Snapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+Result<kb::GraphStatistics> Engine::GraphStats() const {
+  auto snap = snapshot();
+  if (!snap->has_graph()) return Status::InvalidArgument("no graph loaded");
+  return *snap->stats;
+}
+
+std::shared_ptr<const Snapshot> Engine::Publish(
+    std::shared_ptr<const core::ResolveResult> result,
+    const core::ResolveOptions& result_options, bool graph_changed) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = ++version_;
+  if (!graph_.has_value()) {
+    snap->predicates = std::make_shared<const std::vector<std::string>>();
+  } else if (!graph_changed && snapshot_->has_graph()) {
+    // Rule-only write: the previous snapshot's frozen graph, statistics
+    // and completion index are immutable and still describe the KB —
+    // share them instead of paying an O(graph) clone under the writer
+    // lock. (snapshot_ is only replaced under writer_mutex_, which we
+    // hold, so the unlocked read is safe.)
+    snap->graph = snapshot_->graph;
+    snap->stats = snapshot_->stats;
+    snap->predicates = snapshot_->predicates;
+  } else {
+    auto frozen = std::make_shared<rdf::TemporalGraph>(graph_->Clone());
+    frozen->WarmTemporalIndexes();
+    auto stats = std::make_shared<const kb::GraphStatistics>(
+        kb::ComputeStatistics(*frozen));
+    auto predicates = std::make_shared<std::vector<std::string>>();
+    for (const auto& [pred, count] : frozen->PredicateCounts()) {
+      if (count == 0) continue;  // all facts of this predicate retracted
+      predicates->push_back(frozen->dict().Lookup(pred).lexical());
+    }
+    std::sort(predicates->begin(), predicates->end());
+    snap->graph = std::move(frozen);
+    snap->stats = std::move(stats);
+    snap->predicates = std::move(predicates);
+  }
+  snap->rules = std::make_shared<const rules::RuleSet>(rules_);
+  snap->result = std::move(result);
+  snap->result_options = result_options;
+  snap->detect_grounding_ = options_.detect_grounding;
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = snap;
+  return snap;
+}
+
+Result<std::shared_ptr<const Snapshot>> Engine::LoadGraphFile(
+    const std::string& path) {
+  TECORE_ASSIGN_OR_RETURN(graph, rdf::LoadGraphFile(path));
+  return SetGraph(std::move(graph));
+}
+
+Result<std::shared_ptr<const Snapshot>> Engine::LoadGraphText(
+    std::string_view text) {
+  TECORE_ASSIGN_OR_RETURN(graph, rdf::ParseGraphText(text));
+  return SetGraph(std::move(graph));
+}
+
+std::shared_ptr<const Snapshot> Engine::SetGraph(rdf::TemporalGraph graph) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  graph_ = std::move(graph);
+  incremental_.reset();
+  return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/true);
+}
+
+Result<Engine::RulesOutcome> Engine::AddRulesText(std::string_view text) {
+  TECORE_ASSIGN_OR_RETURN(parsed, rules::ParseRules(text));
+  RulesOutcome outcome;
+  outcome.added = parsed.Size();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  rules_.Merge(parsed);
+  incremental_.reset();
+  outcome.snapshot =
+      Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  return outcome;
+}
+
+std::shared_ptr<const Snapshot> Engine::AddRules(
+    const rules::RuleSet& rules) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  rules_.Merge(rules);
+  incremental_.reset();
+  return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+}
+
+std::shared_ptr<const Snapshot> Engine::ClearRules() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  rules_ = rules::RuleSet();
+  incremental_.reset();
+  return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+}
+
+void Engine::ResetIncremental() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  incremental_.reset();
+}
+
+Result<SolveOutcome> Engine::Solve(const core::ResolveOptions& options) {
+  {
+    auto snap = snapshot();
+    if (snap->has_result() &&
+        core::SameResolveConfig(snap->result_options, options)) {
+      return SolveOutcome{snap->version, /*cached=*/true, snap->result, snap};
+    }
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
+  // Re-check: a competing writer may have solved while we waited.
+  {
+    auto snap = snapshot();
+    if (snap->has_result() &&
+        core::SameResolveConfig(snap->result_options, options)) {
+      return SolveOutcome{snap->version, /*cached=*/true, snap->result, snap};
+    }
+  }
+  incremental_ =
+      std::make_unique<core::IncrementalResolver>(&*graph_, rules_, options);
+  auto seeded = incremental_->Initialize();
+  if (!seeded.ok()) {
+    incremental_.reset();
+    return seeded.status();
+  }
+  auto shared =
+      std::make_shared<const core::ResolveResult>(std::move(*seeded));
+  // Solving never adds or retracts facts (grounding only interns terms
+  // into the master dictionary), so the frozen graph is reusable.
+  auto snap = Publish(shared, options, /*graph_changed=*/false);
+  return SolveOutcome{snap->version, /*cached=*/false, std::move(shared),
+                      std::move(snap)};
+}
+
+Result<EditOutcome> Engine::ApplyEdits(
+    const std::vector<core::GraphEdit>& edits,
+    const core::ResolveOptions& options) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return ApplyEditsLocked(edits, options);
+}
+
+Result<EditOutcome> Engine::ApplyEditScript(
+    std::string_view script, const core::ResolveOptions& options) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
+  // Interns new terms into the master dictionary; published snapshots own
+  // cloned dictionaries, so readers never observe the interning.
+  TECORE_ASSIGN_OR_RETURN(edits, core::ParseEditScript(script, &*graph_));
+  return ApplyEditsLocked(edits, options);
+}
+
+Result<EditOutcome> Engine::ApplyEditsLocked(
+    const std::vector<core::GraphEdit>& edits,
+    const core::ResolveOptions& options) {
+  if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
+  if (incremental_ != nullptr &&
+      !core::SameResolveConfig(incremental_->options(), options)) {
+    incremental_.reset();
+  }
+  if (incremental_ == nullptr) {
+    incremental_ =
+        std::make_unique<core::IncrementalResolver>(&*graph_, rules_, options);
+    auto seeded = incremental_->Initialize();
+    if (!seeded.ok()) {
+      incremental_.reset();
+      return seeded.status();
+    }
+  }
+  const size_t live_before = graph_->NumLiveFacts();
+  auto result = incremental_->ApplyEdits(edits);
+  if (!result.ok()) return result.status();  // atomic: nothing published
+  EditOutcome outcome;
+  for (const core::GraphEdit& edit : edits) {
+    if (edit.kind == core::GraphEdit::Kind::kInsert) ++outcome.applied.inserted;
+  }
+  outcome.applied.retracted =
+      live_before + outcome.applied.inserted - graph_->NumLiveFacts();
+  auto shared =
+      std::make_shared<const core::ResolveResult>(std::move(*result));
+  auto snap = Publish(shared, options, /*graph_changed=*/true);
+  outcome.version = snap->version;
+  outcome.result = std::move(shared);
+  outcome.snapshot = std::move(snap);
+  return outcome;
+}
+
+}  // namespace api
+}  // namespace tecore

@@ -1,0 +1,240 @@
+#ifndef TECORE_API_ENGINE_H_
+#define TECORE_API_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/edits.h"
+#include "core/resolver.h"
+#include "core/suggest.h"
+#include "kb/statistics.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "rules/validator.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace api {
+
+/// \brief An immutable, cheaply-shared view of the knowledge base at one
+/// version.
+///
+/// A Snapshot is published atomically by the Engine after every successful
+/// write and is never mutated afterwards (the lazily-computed conflict
+/// report is the one internally-synchronized exception). Readers grab the
+/// current snapshot in O(1) and keep using it for as long as they like —
+/// later writes publish *new* snapshots and never touch this one, so a
+/// browse of solve results can never observe a torn state.
+///
+/// The fact/term ids of `graph` are interchangeable with the writer-side
+/// graph the cached `result` was computed against (see
+/// rdf::TemporalGraph::Clone), which is what makes
+/// `graph->FactToString(result->kept_facts[i])` well-defined here.
+class Snapshot {
+ public:
+  /// Monotonically increasing publish version; 0 = pristine engine.
+  uint64_t version = 0;
+  /// The frozen UTKG; null until a graph was loaded. Temporal indexes are
+  /// pre-warmed, so all graph reads (including interval probes) are
+  /// mutation-free; grounding against it only ever *interns* new terms,
+  /// which the sharded dictionary supports concurrently.
+  std::shared_ptr<const rdf::TemporalGraph> graph;
+  /// The rule set active at publish time.
+  std::shared_ptr<const rules::RuleSet> rules;
+  /// Precomputed graph statistics (null iff `graph` is null).
+  std::shared_ptr<const kb::GraphStatistics> stats;
+  /// Sorted lexical forms of every IRI used as a predicate — the
+  /// auto-completion data, precomputed so readers never iterate the
+  /// dictionary (whole-dictionary iteration is not safe while another
+  /// reader's grounding interns terms).
+  std::shared_ptr<const std::vector<std::string>> predicates;
+  /// The most recent resolve result, if any, and the options it was
+  /// computed under.
+  std::shared_ptr<const core::ResolveResult> result;
+  core::ResolveOptions result_options;
+
+  bool has_graph() const { return graph != nullptr; }
+  bool has_result() const { return result != nullptr; }
+
+  /// \brief IRIs used as predicates whose lexical form starts with
+  /// `prefix` (the Constraints Editor's auto-completion).
+  std::vector<std::string> CompletePredicate(std::string_view prefix) const;
+
+  /// \brief Conflict detection against this snapshot. The report for
+  /// `grounding` options equal to the engine's detection defaults is
+  /// computed once and cached (subsequent calls are O(1)); custom options
+  /// compute a fresh report. Thread-safe.
+  Result<std::shared_ptr<const core::ConflictReport>> DetectConflicts(
+      const ground::GroundingOptions& grounding = {}) const;
+
+  /// \brief Render one conflict with its facts (results browser).
+  std::string DescribeConflict(const core::Conflict& conflict) const;
+
+  /// \brief Mine candidate constraints (read-only).
+  Result<std::vector<core::Suggestion>> SuggestConstraints(
+      const core::SuggestOptions& options = {}) const;
+
+ private:
+  friend class Engine;
+
+  /// Grounding options the cached conflict path was published with.
+  ground::GroundingOptions detect_grounding_;
+
+  // Lazy conflict-report cache (default detection options only).
+  mutable std::mutex conflict_mutex_;
+  mutable std::shared_ptr<const core::ConflictReport> conflict_report_;
+  mutable std::optional<Status> conflict_status_;
+};
+
+/// \brief A (version, result) pair from Solve — the two always come from
+/// the same publish, so callers can report self-consistent state even
+/// while concurrent writers advance the engine.
+struct SolveOutcome {
+  uint64_t version = 0;
+  /// True when served from the snapshot cache without re-solving.
+  bool cached = false;
+  std::shared_ptr<const core::ResolveResult> result;
+  /// The snapshot `result` belongs to (same publish as `version`); fact
+  /// ids in the result are ids of `snapshot->graph`.
+  std::shared_ptr<const Snapshot> snapshot;
+};
+
+/// \brief Outcome of a write that re-solved the KB.
+struct EditOutcome {
+  uint64_t version = 0;
+  core::EditApplication applied;
+  std::shared_ptr<const core::ResolveResult> result;
+  /// The snapshot this edit batch published.
+  std::shared_ptr<const Snapshot> snapshot;
+};
+
+/// \brief Thread-safe service facade over the TeCoRe pipeline.
+///
+/// Concurrency contract (single-writer / many-reader):
+///  * *Reads* (`snapshot()`, `Stats()`, `CompletePredicate()`,
+///    `DetectConflicts()`, `SuggestConstraints()`, `CachedResult()`) never
+///    take the writer lock: they copy the current snapshot pointer and
+///    work on frozen state, so they never block writes and writes never
+///    tear them.
+///  * *Writes* (`LoadGraph*`, `SetGraph`, `AddRules*`, `ClearRules`,
+///    `Solve`, `ApplyEdits`, `ApplyEditScript`) are serialized on an
+///    internal writer mutex. Each successful write publishes a new
+///    snapshot atomically with a monotonically increasing version.
+///
+/// Determinism: `ApplyEdits` goes through core::IncrementalResolver, so
+/// every published result is bit-identical to a from-scratch resolve of
+/// the edited KB (at any thread count) — the PR 3 contract, now extended
+/// to concurrent service traffic.
+class Engine {
+ public:
+  struct Options {
+    /// Grounding options used by the cached conflict-detection path.
+    ground::GroundingOptions detect_grounding;
+  };
+
+  explicit Engine(Options options = {});
+
+  // --------------------------------------------------------------- reads
+  /// \brief The current snapshot (never null; version 0 when pristine).
+  std::shared_ptr<const Snapshot> snapshot() const;
+  /// \brief Version of the current snapshot.
+  uint64_t version() const { return snapshot()->version; }
+
+  /// \brief Statistics of the current graph.
+  Result<kb::GraphStatistics> GraphStats() const;
+
+  // -------------------------------------------------------------- writes
+  // Each write returns the exact snapshot it published, so callers can
+  // report the state their write produced even when a competing writer
+  // publishes again before they read.
+
+  /// \brief Load a ".tq" file as the KB (resets rules-independent state:
+  /// incremental resolver and cached result).
+  Result<std::shared_ptr<const Snapshot>> LoadGraphFile(
+      const std::string& path);
+  /// \brief Parse ".tq" text as the KB.
+  Result<std::shared_ptr<const Snapshot>> LoadGraphText(
+      std::string_view text);
+  /// \brief Adopt an existing graph.
+  std::shared_ptr<const Snapshot> SetGraph(rdf::TemporalGraph graph);
+
+  /// \brief Outcome of appending rules from text.
+  struct RulesOutcome {
+    size_t added = 0;
+    std::shared_ptr<const Snapshot> snapshot;
+  };
+  /// \brief Parse and append rules; returns how many were added.
+  Result<RulesOutcome> AddRulesText(std::string_view text);
+  /// \brief Append an already-parsed rule set.
+  std::shared_ptr<const Snapshot> AddRules(const rules::RuleSet& rules);
+  /// \brief Drop all rules.
+  std::shared_ptr<const Snapshot> ClearRules();
+
+  /// \brief Compute (or return the cached) most probable conflict-free
+  /// KG. A result computed under result-equivalent options is served from
+  /// the snapshot without re-solving; otherwise the full pipeline runs
+  /// under the writer lock and the result is published.
+  Result<SolveOutcome> Solve(const core::ResolveOptions& options);
+
+  /// \brief Apply KG edits and re-solve incrementally (only dirty
+  /// components are re-solved; cached component solutions are spliced).
+  /// Edits' term ids must reference this engine's graph dictionary — use
+  /// `ApplyEditScript` for textual edits.
+  Result<EditOutcome> ApplyEdits(const std::vector<core::GraphEdit>& edits,
+                                 const core::ResolveOptions& options);
+
+  /// \brief Parse an edit script (`+`/`-` fact lines) against the live
+  /// graph and apply it atomically.
+  Result<EditOutcome> ApplyEditScript(std::string_view script,
+                                      const core::ResolveOptions& options);
+
+  /// \brief Drop the incremental state (next ApplyEdits re-seeds).
+  void ResetIncremental();
+
+  /// \brief The live incremental state, if any. Writer-side diagnostics
+  /// for tests; not synchronized with concurrent writes.
+  const core::IncrementalResolver* incremental_for_tests() const {
+    return incremental_.get();
+  }
+
+ private:
+  /// Build a snapshot from the current writer state and publish it,
+  /// returning it. When `graph_changed` is false the previous snapshot's
+  /// frozen graph/stats/completion data are reused (rule-only writes must
+  /// not pay an O(graph) clone). Caller must hold writer_mutex_.
+  std::shared_ptr<const Snapshot> Publish(
+      std::shared_ptr<const core::ResolveResult> result,
+      const core::ResolveOptions& result_options, bool graph_changed);
+
+  /// Edit-application body shared by ApplyEdits/ApplyEditScript.
+  /// Caller must hold writer_mutex_.
+  Result<EditOutcome> ApplyEditsLocked(
+      const std::vector<core::GraphEdit>& edits,
+      const core::ResolveOptions& options);
+
+  Options options_;
+
+  /// Serializes all writes (graph/rule mutations and solving).
+  std::mutex writer_mutex_;
+  // Writer-side master state. The master graph is mutated in place by the
+  // incremental resolver; published snapshots hold id-preserving clones.
+  std::optional<rdf::TemporalGraph> graph_;
+  rules::RuleSet rules_;
+  std::unique_ptr<core::IncrementalResolver> incremental_;
+  uint64_t version_ = 0;
+
+  /// Guards only the snapshot pointer swap (held for pointer-copy time).
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
+}  // namespace api
+}  // namespace tecore
+
+#endif  // TECORE_API_ENGINE_H_

@@ -1,0 +1,358 @@
+#include "api/types.h"
+
+#include <algorithm>
+
+#include "api/version.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace api {
+
+using util::Json;
+
+// ------------------------------------------------------------- requests
+
+Result<SolveRequest> SolveRequest::FromJson(const Json& json) {
+  SolveRequest req;
+  if (json.is_null()) return req;  // empty body -> defaults
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  const std::string solver = json.GetString("solver", "mln");
+  if (solver == "mln") {
+    req.options.solver = rules::SolverKind::kMln;
+  } else if (solver == "psl") {
+    req.options.solver = rules::SolverKind::kPsl;
+  } else {
+    return Status::InvalidArgument(
+        StringPrintf("unknown solver '%s' (expected mln|psl)",
+                     solver.c_str()));
+  }
+  req.options.derived_threshold =
+      json.GetNumber("threshold", req.options.derived_threshold);
+  req.options.num_threads = static_cast<int>(
+      json.GetInt("threads", req.options.num_threads));
+  req.options.ground_threads = static_cast<int>(
+      json.GetInt("ground_threads", req.options.ground_threads));
+  const int64_t max_facts =
+      json.GetInt("max_facts", static_cast<int64_t>(req.max_facts));
+  if (max_facts < 0) {
+    return Status::InvalidArgument("max_facts must be >= 0");
+  }
+  req.max_facts = static_cast<size_t>(max_facts);
+  return req;
+}
+
+Result<EditsRequest> EditsRequest::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  EditsRequest req;
+  req.script = json.GetString("script", "");
+  if (req.script.empty()) {
+    return Status::InvalidArgument(
+        "missing 'script' ('+ fact' inserts, '- fact' retracts)");
+  }
+  TECORE_ASSIGN_OR_RETURN(solve, SolveRequest::FromJson(json));
+  req.solve = std::move(solve);
+  return req;
+}
+
+Result<GraphRequest> GraphRequest::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  GraphRequest req;
+  req.text = json.GetString("text", "");
+  req.path = json.GetString("path", "");
+  if (req.text.empty() == req.path.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of 'text' (inline .tq) or 'path' (server-side file) "
+        "must be set");
+  }
+  return req;
+}
+
+Result<RulesRequest> RulesRequest::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  RulesRequest req;
+  req.text = json.GetString("text", "");
+  if (req.text.empty()) {
+    return Status::InvalidArgument("missing 'text' (rule-language source)");
+  }
+  return req;
+}
+
+Result<SuggestRequest> SuggestRequest::FromJson(const Json& json) {
+  SuggestRequest req;
+  if (json.is_null()) return req;
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  req.options.min_support = static_cast<size_t>(json.GetInt(
+      "min_support", static_cast<int64_t>(req.options.min_support)));
+  req.options.min_confidence =
+      json.GetNumber("min_confidence", req.options.min_confidence);
+  req.options.max_predicate_pairs = static_cast<size_t>(
+      json.GetInt("max_predicate_pairs",
+                  static_cast<int64_t>(req.options.max_predicate_pairs)));
+  req.options.max_subject_sample = static_cast<size_t>(
+      json.GetInt("max_subject_sample",
+                  static_cast<int64_t>(req.options.max_subject_sample)));
+  return req;
+}
+
+// ------------------------------------------------------------ responses
+
+Json ResponseEnvelope(uint64_t version) {
+  Json out = Json::Object();
+  out.Set("version", Json::Int(static_cast<int64_t>(version)));
+  out.Set("tecore", Json::Str(kTecoreVersion));
+  return out;
+}
+
+Json GraphInfoJson(const Snapshot& snapshot) {
+  Json out = ResponseEnvelope(snapshot.version);
+  out.Set("has_graph", Json::Bool(snapshot.has_graph()));
+  if (snapshot.has_graph()) {
+    out.Set("num_facts",
+            Json::Int(static_cast<int64_t>(snapshot.graph->NumFacts())));
+    out.Set("num_live_facts",
+            Json::Int(static_cast<int64_t>(snapshot.graph->NumLiveFacts())));
+    out.Set("num_terms",
+            Json::Int(static_cast<int64_t>(snapshot.graph->dict().Size())));
+    out.Set("edit_epoch", Json::Int(static_cast<int64_t>(
+                              snapshot.graph->edit_epoch())));
+  }
+  out.Set("num_rules", Json::Int(static_cast<int64_t>(snapshot.rules->Size())));
+  out.Set("has_result", Json::Bool(snapshot.has_result()));
+  return out;
+}
+
+Json StatsJson(const Snapshot& snapshot) {
+  Json out = ResponseEnvelope(snapshot.version);
+  const kb::GraphStatistics& s = *snapshot.stats;
+  Json stats = Json::Object();
+  stats.Set("num_facts", Json::Int(static_cast<int64_t>(s.num_facts)));
+  stats.Set("num_distinct_subjects",
+            Json::Int(static_cast<int64_t>(s.num_distinct_subjects)));
+  stats.Set("num_distinct_predicates",
+            Json::Int(static_cast<int64_t>(s.num_distinct_predicates)));
+  stats.Set("num_distinct_objects",
+            Json::Int(static_cast<int64_t>(s.num_distinct_objects)));
+  Json counts = Json::Array();
+  for (const auto& [name, count] : s.predicate_counts) {
+    Json entry = Json::Object();
+    entry.Set("predicate", Json::Str(name));
+    entry.Set("count", Json::Int(static_cast<int64_t>(count)));
+    counts.Append(std::move(entry));
+  }
+  stats.Set("predicate_counts", std::move(counts));
+  Json histogram = Json::Array();
+  for (size_t bin : s.confidence_histogram) {
+    histogram.Append(Json::Int(static_cast<int64_t>(bin)));
+  }
+  stats.Set("confidence_histogram", std::move(histogram));
+  stats.Set("mean_confidence", Json::Number(s.mean_confidence));
+  stats.Set("min_time", Json::Int(s.min_time));
+  stats.Set("max_time", Json::Int(s.max_time));
+  stats.Set("mean_interval_duration", Json::Number(s.mean_interval_duration));
+  out.Set("stats", std::move(stats));
+  return out;
+}
+
+Json RulesJson(const Snapshot& snapshot) {
+  Json out = ResponseEnvelope(snapshot.version);
+  Json rules = Json::Array();
+  for (const rules::Rule& rule : snapshot.rules->rules) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(rule.name));
+    entry.Set("kind", Json::Str(rule.IsConstraint() ? "constraint"
+                                                    : "inference_rule"));
+    entry.Set("hard", Json::Bool(rule.hard));
+    if (!rule.hard) entry.Set("weight", Json::Number(rule.weight));
+    entry.Set("text", Json::Str(rule.ToString()));
+    rules.Append(std::move(entry));
+  }
+  out.Set("num_rules", Json::Int(static_cast<int64_t>(rules.Size())));
+  out.Set("rules", std::move(rules));
+  return out;
+}
+
+Json CompleteJson(const Snapshot& snapshot, const std::string& prefix) {
+  Json out = ResponseEnvelope(snapshot.version);
+  out.Set("prefix", Json::Str(prefix));
+  Json completions = Json::Array();
+  for (const std::string& name : snapshot.CompletePredicate(prefix)) {
+    completions.Append(Json::Str(name));
+  }
+  out.Set("completions", std::move(completions));
+  return out;
+}
+
+Json SuggestJson(const Snapshot& snapshot,
+                 const std::vector<core::Suggestion>& suggestions) {
+  Json out = ResponseEnvelope(snapshot.version);
+  Json items = Json::Array();
+  for (const core::Suggestion& s : suggestions) {
+    Json entry = Json::Object();
+    entry.Set("rule", Json::Str(s.rule.ToString()));
+    entry.Set("support", Json::Int(static_cast<int64_t>(s.support)));
+    entry.Set("violation_rate", Json::Number(s.violation_rate));
+    entry.Set("rationale", Json::Str(s.rationale));
+    items.Append(std::move(entry));
+  }
+  out.Set("num_suggestions", Json::Int(static_cast<int64_t>(items.Size())));
+  out.Set("suggestions", std::move(items));
+  return out;
+}
+
+Json ConflictsJson(const Snapshot& snapshot,
+                   const core::ConflictReport& report, size_t limit) {
+  Json out = ResponseEnvelope(snapshot.version);
+  out.Set("num_input_facts",
+          Json::Int(static_cast<int64_t>(report.num_input_facts)));
+  out.Set("num_conflicts",
+          Json::Int(static_cast<int64_t>(report.NumConflicts())));
+  out.Set("num_conflicting_facts",
+          Json::Int(static_cast<int64_t>(report.NumConflictingFacts())));
+  out.Set("detect_time_ms", Json::Number(report.detect_time_ms));
+  Json per_rule = Json::Array();
+  for (size_t i = 0; i < report.per_rule_counts.size(); ++i) {
+    if (report.per_rule_counts[i] == 0) continue;
+    const rules::Rule& rule = snapshot.rules->rules[i];
+    Json entry = Json::Object();
+    entry.Set("rule", Json::Str(rule.name.empty()
+                                    ? StringPrintf("#%zu", i)
+                                    : rule.name));
+    entry.Set("count",
+              Json::Int(static_cast<int64_t>(report.per_rule_counts[i])));
+    per_rule.Append(std::move(entry));
+  }
+  out.Set("per_rule", std::move(per_rule));
+  Json conflicts = Json::Array();
+  const size_t listed = std::min(limit, report.conflicts.size());
+  for (size_t i = 0; i < listed; ++i) {
+    const core::Conflict& c = report.conflicts[i];
+    Json entry = Json::Object();
+    const rules::Rule& rule =
+        snapshot.rules->rules[static_cast<size_t>(c.rule_index)];
+    entry.Set("rule", Json::Str(rule.name.empty()
+                                    ? StringPrintf("#%d", c.rule_index)
+                                    : rule.name));
+    Json facts = Json::Array();
+    for (rdf::FactId id : c.facts) {
+      facts.Append(Json::Str(snapshot.graph->FactToString(id)));
+    }
+    entry.Set("facts", std::move(facts));
+    conflicts.Append(std::move(entry));
+  }
+  out.Set("conflicts", std::move(conflicts));
+  out.Set("truncated", Json::Bool(listed < report.conflicts.size()));
+  return out;
+}
+
+Json SolveJson(uint64_t version, const rdf::TemporalGraph& graph,
+               const core::ResolveResult& result, size_t max_facts,
+               bool cached) {
+  Json out = ResponseEnvelope(version);
+  out.Set("solver", Json::Str(result.solver_name));
+  out.Set("cached", Json::Bool(cached));
+  out.Set("feasible", Json::Bool(result.feasible));
+  out.Set("optimal", Json::Bool(result.optimal));
+  out.Set("objective", Json::Number(result.objective));
+  out.Set("kept", Json::Int(static_cast<int64_t>(result.kept_facts.size())));
+  out.Set("removed",
+          Json::Int(static_cast<int64_t>(result.removed_facts.size())));
+  out.Set("derived",
+          Json::Int(static_cast<int64_t>(result.derived_facts.size())));
+  out.Set("derived_below_threshold",
+          Json::Int(static_cast<int64_t>(result.derived_below_threshold)));
+  out.Set("ground_atoms",
+          Json::Int(static_cast<int64_t>(result.ground_atoms)));
+  out.Set("ground_clauses",
+          Json::Int(static_cast<int64_t>(result.ground_clauses)));
+  out.Set("num_components",
+          Json::Int(static_cast<int64_t>(result.num_components)));
+  out.Set("largest_component",
+          Json::Int(static_cast<int64_t>(result.largest_component)));
+  out.Set("spliced_components",
+          Json::Int(static_cast<int64_t>(result.spliced_components)));
+  out.Set("dirty_components",
+          Json::Int(static_cast<int64_t>(result.dirty_components)));
+  out.Set("ground_time_ms", Json::Number(result.ground_time_ms));
+  out.Set("solve_time_ms", Json::Number(result.solve_time_ms));
+  out.Set("total_time_ms", Json::Number(result.total_time_ms));
+  // The facts themselves, capped: removed (the noisy ones) and derived
+  // (the materialized implicit knowledge) are what the results browser
+  // shows; kept facts are usually the bulk, listed last under the same cap.
+  Json removed = Json::Array();
+  for (size_t i = 0; i < result.removed_facts.size() && i < max_facts; ++i) {
+    removed.Append(Json::Str(graph.FactToString(result.removed_facts[i])));
+  }
+  out.Set("removed_facts", std::move(removed));
+  Json derived = Json::Array();
+  for (size_t i = 0; i < result.derived_facts.size() && i < max_facts; ++i) {
+    const core::DerivedFact& df = result.derived_facts[i];
+    Json entry = Json::Object();
+    // Derived facts reference the dictionary of the output graph.
+    entry.Set("fact", Json::Str(result.consistent_graph.FactToString(df.fact)));
+    entry.Set("score", Json::Number(df.score));
+    derived.Append(std::move(entry));
+  }
+  out.Set("derived_facts", std::move(derived));
+  Json kept = Json::Array();
+  for (size_t i = 0; i < result.kept_facts.size() && i < max_facts; ++i) {
+    kept.Append(Json::Str(graph.FactToString(result.kept_facts[i])));
+  }
+  out.Set("kept_facts", std::move(kept));
+  out.Set("truncated",
+          Json::Bool(result.removed_facts.size() > max_facts ||
+                     result.derived_facts.size() > max_facts ||
+                     result.kept_facts.size() > max_facts));
+  return out;
+}
+
+Json EditsJson(uint64_t version, const rdf::TemporalGraph& graph,
+               const core::EditApplication& applied,
+               const core::ResolveResult& result, size_t max_facts) {
+  Json out = SolveJson(version, graph, result, max_facts, /*cached=*/false);
+  out.Set("inserted", Json::Int(static_cast<int64_t>(applied.inserted)));
+  out.Set("retracted", Json::Int(static_cast<int64_t>(applied.retracted)));
+  return out;
+}
+
+Json ErrorJson(const Status& status) {
+  Json out = Json::Object();
+  out.Set("error", Json::Str(status.message()));
+  out.Set("code", Json::Str(StatusCodeName(status.code())));
+  return out;
+}
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kUnsupported:
+      return 501;
+    case StatusCode::kTimeout:
+      return 504;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    default:
+      return 500;
+  }
+}
+
+}  // namespace api
+}  // namespace tecore

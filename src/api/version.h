@@ -1,0 +1,18 @@
+#ifndef TECORE_API_VERSION_H_
+#define TECORE_API_VERSION_H_
+
+namespace tecore {
+namespace api {
+
+/// \brief Library/binary release version (SemVer), reported by
+/// `tecore-cli --version` and every server response envelope.
+inline constexpr const char kTecoreVersion[] = "0.4.0";
+
+/// \brief Wire-protocol major version — the `/v1` in endpoint paths.
+/// Bumped only on breaking changes to the request/response schemas.
+inline constexpr int kApiMajorVersion = 1;
+
+}  // namespace api
+}  // namespace tecore
+
+#endif  // TECORE_API_VERSION_H_

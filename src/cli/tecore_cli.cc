@@ -1,7 +1,8 @@
 // tecore-cli — non-interactive command-line front end.
 //
 // The demo paper exposes TeCoRe through a Web UI; this binary exposes the
-// same operations for scripts and CI:
+// same operations for scripts and CI, as a thin shell over the same
+// thread-safe api::Engine the server uses:
 //
 //   tecore-cli stats    --graph g.tq
 //   tecore-cli complete --graph g.tq --prefix pla
@@ -11,25 +12,39 @@
 //                       [--threshold 0.5] [--threads N] [--out repaired.tq]
 //                       [--edits script.tq]
 //   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
+//   tecore-cli serve    [--port 8080] [--graph g.tq] [--rules r.tcr]
+//   tecore-cli version  (also: --version)
 //
 // `--edits` applies a KG edit script (lines `+ <fact>` / `- <fact>`) after
 // an initial solve and re-solves incrementally: only the connected
 // components the edits dirty are re-solved, cached MAP states are spliced
 // for the rest, and the result is bit-identical to re-running the full
 // pipeline on the edited KG.
+//
+// `serve` starts the JSON-over-HTTP service (same flags as the
+// tecore-server binary; see docs/api.md for the /v1 endpoint reference).
+//
+// Unknown subcommands and unknown or valueless flags are errors (usage to
+// stderr, exit 2); structural failures exit 1.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 
+#include "api/engine.h"
+#include "api/version.h"
 #include "core/session.h"
 #include "datagen/generators.h"
 #include "rdf/io.h"
 #include "rules/library.h"
 #include "rules/parser.h"
+#include "server/serve.h"
+#include "util/file.h"
 #include "util/string_util.h"
 
 using namespace tecore;  // NOLINT
@@ -39,10 +54,11 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: tecore-cli "
-               "<stats|complete|suggest|validate|detect|solve|gen>"
-               " [--graph f] [--rules f] [--solver mln|psl]\n"
-               "                  [--threshold x] [--threads n]"
-               " [--ground-threads n] [--edits f] [--out f]"
+               "<stats|complete|suggest|validate|detect|solve|gen|serve"
+               "|version>\n"
+               "                  [--graph f] [--rules f] [--solver mln|psl]"
+               " [--threshold x] [--threads n]\n"
+               "                  [--ground-threads n] [--edits f] [--out f]"
                " [--dataset d] [--size n] [--prefix p]\n"
                "  --threads n        executors for per-component MAP solving"
                " (0 = auto)\n"
@@ -53,8 +69,17 @@ int Usage() {
                "                     and re-solve incrementally (only dirty"
                " components are re-solved)\n"
                "  results are bit-identical for every thread count and for"
-               " incremental vs full re-solve\n");
+               " incremental vs full re-solve\n"
+               "  serve              start the /v1 JSON HTTP service"
+               " ([--host h] [--port n]; docs/api.md)\n"
+               "  version | --version  print the release version\n");
   return 2;
+}
+
+int PrintVersion() {
+  std::printf("tecore-cli %s (api v%d)\n", api::kTecoreVersion,
+              api::kApiMajorVersion);
+  return 0;
 }
 
 /// Strict base-10 int flag parser; returns false on any garbage,
@@ -70,16 +95,30 @@ bool ParseIntFlag(const std::string& value, int* out) {
   return true;
 }
 
-/// Minimal --key value argument parser.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
+/// Minimal --key value argument parser, strict: every argument must be a
+/// known `--flag value` pair. Returns false (after printing the problem)
+/// on unknown flags, bare words, or a flag without a value.
+bool ParseFlags(int argc, char** argv, int first,
+                std::initializer_list<const char*> known,
+                std::map<std::string, std::string>* flags) {
+  const std::set<std::string> known_set(known.begin(), known.end());
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return false;
     }
+    const std::string name = argv[i] + 2;
+    if (known_set.count(name) == 0) {
+      std::fprintf(stderr, "unknown flag '--%s'\n", name.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '--%s'\n", name.c_str());
+      return false;
+    }
+    (*flags)[name] = argv[++i];
   }
-  return flags;
+  return true;
 }
 
 Status LoadInputs(const std::map<std::string, std::string>& flags,
@@ -105,10 +144,24 @@ Status LoadInputs(const std::map<std::string, std::string>& flags,
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  auto flags = ParseFlags(argc, argv, 2);
+
+  if (command == "version" || command == "--version") return PrintVersion();
+  if (command == "--help" || command == "-h" || command == "help") {
+    Usage();
+    return 0;
+  }
+  if (command == "serve") {
+    // serve owns its flag set (shared with the tecore-server binary).
+    return server::RunServe(argc, argv, 2);
+  }
+
+  std::map<std::string, std::string> flags;
   core::Session session;
 
   if (command == "gen") {
+    if (!ParseFlags(argc, argv, 2, {"dataset", "size", "out"}, &flags)) {
+      return Usage();
+    }
     const std::string dataset =
         flags.count("dataset") ? flags["dataset"] : "football";
     const size_t size =
@@ -144,6 +197,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "stats") {
+    if (!ParseFlags(argc, argv, 2, {"graph"}, &flags)) return Usage();
     Status st = LoadInputs(flags, &session, /*need_rules=*/false);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -155,6 +209,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "suggest") {
+    if (!ParseFlags(argc, argv, 2, {"graph"}, &flags)) return Usage();
     Status st = LoadInputs(flags, &session, /*need_rules=*/false);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -173,6 +228,9 @@ int main(int argc, char** argv) {
   }
 
   if (command == "complete") {
+    if (!ParseFlags(argc, argv, 2, {"graph", "prefix"}, &flags)) {
+      return Usage();
+    }
     Status st = LoadInputs(flags, &session, false);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -187,6 +245,9 @@ int main(int argc, char** argv) {
   }
 
   if (command == "validate") {
+    if (!ParseFlags(argc, argv, 2, {"rules", "solver"}, &flags)) {
+      return Usage();
+    }
     auto rules_it = flags.find("rules");
     if (rules_it == flags.end()) return Usage();
     auto parsed = rules::LoadRulesFile(rules_it->second);
@@ -207,6 +268,10 @@ int main(int argc, char** argv) {
   }
 
   if (command == "detect") {
+    if (!ParseFlags(argc, argv, 2, {"graph", "rules", "ground-threads"},
+                    &flags)) {
+      return Usage();
+    }
     Status st = LoadInputs(flags, &session, /*need_rules=*/true);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -229,6 +294,12 @@ int main(int argc, char** argv) {
   }
 
   if (command == "solve") {
+    if (!ParseFlags(argc, argv, 2,
+                    {"graph", "rules", "solver", "threshold", "threads",
+                     "ground-threads", "edits", "out"},
+                    &flags)) {
+      return Usage();
+    }
     Status st = LoadInputs(flags, &session, /*need_rules=*/true);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -255,11 +326,13 @@ int main(int argc, char** argv) {
     }
     auto run = [&]() -> Result<core::ResolveResult> {
       if (!flags.count("edits")) return session.Resolve(options);
-      TECORE_ASSIGN_OR_RETURN(
-          edits, core::LoadEditScriptFile(flags["edits"], &session.graph()));
-      std::printf("applying %zu edit(s) from %s (incremental re-solve)\n",
-                  edits.size(), flags["edits"].c_str());
-      return session.ApplyEdits(edits, options);
+      // The mutable-graph parse path is gone: read the script and let the
+      // engine parse+apply it atomically under its writer lock.
+      TECORE_ASSIGN_OR_RETURN(script,
+                              util::ReadFileToString(flags["edits"]));
+      std::printf("applying edit script %s (incremental re-solve)\n",
+                  flags["edits"].c_str());
+      return session.ApplyEditScript(script, options);
     };
     auto result = run();
     if (!result.ok()) {
@@ -280,5 +353,6 @@ int main(int argc, char** argv) {
     return result->feasible ? 0 : 1;
   }
 
+  std::fprintf(stderr, "unknown subcommand '%s'\n", command.c_str());
   return Usage();
 }

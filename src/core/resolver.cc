@@ -207,6 +207,71 @@ Result<ResolveResult> IncrementalResolver::ApplyEdits(
   return std::move(result);
 }
 
+ResolveResult ResolveResult::Clone() const {
+  ResolveResult out;
+  out.kept_facts = kept_facts;
+  out.removed_facts = removed_facts;
+  out.derived_facts = derived_facts;
+  out.derived_below_threshold = derived_below_threshold;
+  out.consistent_graph = consistent_graph.Clone();
+  out.solver_name = solver_name;
+  out.feasible = feasible;
+  out.optimal = optimal;
+  out.objective = objective;
+  out.ground_atoms = ground_atoms;
+  out.ground_clauses = ground_clauses;
+  out.num_components = num_components;
+  out.largest_component = largest_component;
+  out.ground_time_ms = ground_time_ms;
+  out.solve_time_ms = solve_time_ms;
+  out.total_time_ms = total_time_ms;
+  out.spliced_components = spliced_components;
+  out.dirty_components = dirty_components;
+  return out;
+}
+
+bool SameResolveConfig(const ResolveOptions& a, const ResolveOptions& b) {
+  const bool mln_same =
+      a.mln.backend == b.mln.backend &&
+      a.mln.exact_var_limit == b.mln.exact_var_limit &&
+      a.mln.use_components == b.mln.use_components &&
+      a.mln.exact.max_nodes == b.mln.exact.max_nodes &&
+      a.mln.exact.time_limit_ms == b.mln.exact.time_limit_ms &&
+      a.mln.walksat.max_flips == b.mln.walksat.max_flips &&
+      a.mln.walksat.flips_per_clause == b.mln.walksat.flips_per_clause &&
+      a.mln.walksat.min_flips == b.mln.walksat.min_flips &&
+      a.mln.walksat.stall_limit == b.mln.walksat.stall_limit &&
+      a.mln.walksat.noise == b.mln.walksat.noise &&
+      a.mln.walksat.restarts == b.mln.walksat.restarts &&
+      a.mln.walksat.hard_penalty == b.mln.walksat.hard_penalty &&
+      a.mln.walksat.seed == b.mln.walksat.seed &&
+      a.mln.ilp.max_nodes == b.mln.ilp.max_nodes &&
+      a.mln.ilp.integrality_eps == b.mln.ilp.integrality_eps &&
+      a.mln.ilp.lp.max_iterations == b.mln.ilp.lp.max_iterations &&
+      a.mln.ilp.lp.big_m == b.mln.ilp.lp.big_m &&
+      a.mln.ilp.lp.eps == b.mln.ilp.lp.eps;
+  const bool psl_same =
+      a.psl.squared_hinges == b.psl.squared_hinges &&
+      a.psl.threshold == b.psl.threshold && a.psl.repair == b.psl.repair &&
+      a.psl.max_repair_passes == b.psl.max_repair_passes &&
+      a.psl.use_components == b.psl.use_components &&
+      a.psl.admm.rho == b.psl.admm.rho &&
+      a.psl.admm.max_iterations == b.psl.admm.max_iterations &&
+      a.psl.admm.epsilon_abs == b.psl.admm.epsilon_abs &&
+      a.psl.admm.epsilon_rel == b.psl.admm.epsilon_rel &&
+      a.psl.admm.check_every == b.psl.admm.check_every;
+  const bool grounding_same =
+      a.grounding.fact_weighting == b.grounding.fact_weighting &&
+      a.grounding.derived_prior_weight == b.grounding.derived_prior_weight &&
+      a.grounding.add_evidence_priors == b.grounding.add_evidence_priors &&
+      a.grounding.max_rounds == b.grounding.max_rounds &&
+      a.grounding.evaluate_conditions_early ==
+          b.grounding.evaluate_conditions_early &&
+      a.grounding.semi_naive == b.grounding.semi_naive;
+  return a.solver == b.solver && a.derived_threshold == b.derived_threshold &&
+         mln_same && psl_same && grounding_same;
+}
+
 std::string ResolveResult::StatsPanel() const {
   std::string out;
   out += "=== TeCoRe resolution (" + solver_name + ") ===\n";

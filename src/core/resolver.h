@@ -38,6 +38,14 @@ struct ResolveOptions {
   int ground_threads = 0;
 };
 
+/// \brief Result-relevant equality of resolve configurations: true when a
+/// result computed under `a` is reusable for a request under `b` (every
+/// knob that can change a solver's output is compared; thread counts are
+/// excluded on purpose — results are thread-count-independent by
+/// contract). Gates the incremental-state reuse in Session/Engine and the
+/// snapshot solve cache.
+bool SameResolveConfig(const ResolveOptions& a, const ResolveOptions& b);
+
 /// \brief A fact derived by the inference rules during MAP.
 struct DerivedFact {
   /// Term ids reference the dictionary of `ResolveResult::consistent_graph`.
@@ -78,6 +86,11 @@ struct ResolveResult {
 
   /// \brief Statistics panel like the demo UI's results screen (Fig. 8).
   std::string StatsPanel() const;
+
+  /// \brief Deep copy. ResolveResult is move-only because
+  /// `consistent_graph` is; this clones the graph id-preservingly so
+  /// by-value callers (Session) can copy out of a shared snapshot.
+  ResolveResult Clone() const;
 };
 
 /// \brief TeCoRe's resolution pipeline: map(θ(G), F ∪ C).

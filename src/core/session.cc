@@ -1,164 +1,52 @@
 #include "core/session.h"
 
-#include "rdf/io.h"
-#include "rules/parser.h"
 #include "rules/validator.h"
 
 namespace tecore {
 namespace core {
 
-Status Session::LoadGraphFile(const std::string& path) {
-  TECORE_ASSIGN_OR_RETURN(graph, rdf::LoadGraphFile(path));
-  graph_ = std::move(graph);
-  ResetIncremental();
-  return Status::OK();
-}
-
-Status Session::LoadGraphText(std::string_view text) {
-  TECORE_ASSIGN_OR_RETURN(graph, rdf::ParseGraphText(text));
-  graph_ = std::move(graph);
-  ResetIncremental();
-  return Status::OK();
-}
-
-void Session::SetGraph(rdf::TemporalGraph graph) {
-  graph_ = std::move(graph);
-  ResetIncremental();
-}
-
-Result<kb::GraphStatistics> Session::GraphStats() const {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  return kb::ComputeStatistics(*graph_);
-}
-
-std::vector<std::string> Session::CompletePredicate(
-    const std::string& prefix) const {
-  std::vector<std::string> out;
-  if (!graph_) return out;
-  for (rdf::TermId id : graph_->dict().CompleteIri(prefix)) {
-    // Only offer terms actually used as predicates.
-    if (!graph_->FactsWithPredicate(id).empty()) {
-      out.push_back(graph_->dict().Lookup(id).lexical());
-    }
-  }
-  return out;
-}
-
 Result<size_t> Session::AddRulesText(std::string_view text) {
-  TECORE_ASSIGN_OR_RETURN(parsed, rules::ParseRules(text));
-  const size_t count = parsed.Size();
-  rules_.Merge(parsed);
-  return count;
+  TECORE_ASSIGN_OR_RETURN(outcome, engine_.AddRulesText(text));
+  snap_ = std::move(outcome.snapshot);
+  return outcome.added;
 }
 
 std::vector<std::string> Session::ValidateRules(
     rules::SolverKind solver) const {
-  return rules::CollectProblems(rules_, solver);
-}
-
-Result<std::vector<Suggestion>> Session::SuggestConstraints(
-    const SuggestOptions& options) const {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  return core::SuggestConstraints(*graph_, options);
+  return rules::CollectProblems(rules(), solver);
 }
 
 Result<ConflictReport> Session::DetectConflicts(
     ground::GroundingOptions grounding) {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  ConflictDetector detector(&*graph_, rules_, grounding);
-  return detector.Detect();
+  TECORE_ASSIGN_OR_RETURN(report, snap().DetectConflicts(grounding));
+  return *report;  // copy out of the shared snapshot cache
 }
+
+// Adopting outcome.snapshot (not a re-fetched engine_.snapshot()) keeps
+// the cached snapshot and the returned result from the same publish even
+// if another thread is driving engine() concurrently. The Clone() copies
+// the result out of the shared snapshot to preserve the by-value return
+// of the pre-service-layer API; callers that care about the extra
+// O(result) copy should use engine().Solve() and share the pointer.
 
 Result<ResolveResult> Session::Resolve(const ResolveOptions& options) {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  Resolver resolver(&*graph_, rules_, options);
-  return resolver.Run();
+  TECORE_ASSIGN_OR_RETURN(outcome, engine_.Solve(options));
+  snap_ = std::move(outcome.snapshot);
+  return outcome.result->Clone();
 }
-
-namespace {
-/// "Same result-relevant configuration" check for reusing incremental
-/// state (and with it cached per-component MAP solutions) across
-/// ApplyEdits calls. Every knob that can change a solver's output must be
-/// compared here — a missed field would splice solutions computed under
-/// the old configuration. Thread counts are excluded on purpose: results
-/// are thread-count-independent by contract.
-bool SameResolveConfig(const ResolveOptions& a, const ResolveOptions& b) {
-  const bool mln_same =
-      a.mln.backend == b.mln.backend &&
-      a.mln.exact_var_limit == b.mln.exact_var_limit &&
-      a.mln.use_components == b.mln.use_components &&
-      a.mln.exact.max_nodes == b.mln.exact.max_nodes &&
-      a.mln.exact.time_limit_ms == b.mln.exact.time_limit_ms &&
-      a.mln.walksat.max_flips == b.mln.walksat.max_flips &&
-      a.mln.walksat.flips_per_clause == b.mln.walksat.flips_per_clause &&
-      a.mln.walksat.min_flips == b.mln.walksat.min_flips &&
-      a.mln.walksat.stall_limit == b.mln.walksat.stall_limit &&
-      a.mln.walksat.noise == b.mln.walksat.noise &&
-      a.mln.walksat.restarts == b.mln.walksat.restarts &&
-      a.mln.walksat.hard_penalty == b.mln.walksat.hard_penalty &&
-      a.mln.walksat.seed == b.mln.walksat.seed &&
-      a.mln.ilp.max_nodes == b.mln.ilp.max_nodes &&
-      a.mln.ilp.integrality_eps == b.mln.ilp.integrality_eps &&
-      a.mln.ilp.lp.max_iterations == b.mln.ilp.lp.max_iterations &&
-      a.mln.ilp.lp.big_m == b.mln.ilp.lp.big_m &&
-      a.mln.ilp.lp.eps == b.mln.ilp.lp.eps;
-  const bool psl_same =
-      a.psl.squared_hinges == b.psl.squared_hinges &&
-      a.psl.threshold == b.psl.threshold && a.psl.repair == b.psl.repair &&
-      a.psl.max_repair_passes == b.psl.max_repair_passes &&
-      a.psl.use_components == b.psl.use_components &&
-      a.psl.admm.rho == b.psl.admm.rho &&
-      a.psl.admm.max_iterations == b.psl.admm.max_iterations &&
-      a.psl.admm.epsilon_abs == b.psl.admm.epsilon_abs &&
-      a.psl.admm.epsilon_rel == b.psl.admm.epsilon_rel &&
-      a.psl.admm.check_every == b.psl.admm.check_every;
-  const bool grounding_same =
-      a.grounding.fact_weighting == b.grounding.fact_weighting &&
-      a.grounding.derived_prior_weight == b.grounding.derived_prior_weight &&
-      a.grounding.add_evidence_priors == b.grounding.add_evidence_priors &&
-      a.grounding.max_rounds == b.grounding.max_rounds &&
-      a.grounding.evaluate_conditions_early ==
-          b.grounding.evaluate_conditions_early &&
-      a.grounding.semi_naive == b.grounding.semi_naive;
-  return a.solver == b.solver && a.derived_threshold == b.derived_threshold &&
-         mln_same && psl_same && grounding_same;
-}
-}  // namespace
 
 Result<ResolveResult> Session::ApplyEdits(const std::vector<GraphEdit>& edits,
                                           const ResolveOptions& options) {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  if (incremental_ != nullptr &&
-      !SameResolveConfig(incremental_->options(), options)) {
-    ResetIncremental();
-  }
-  if (incremental_ == nullptr) {
-    incremental_ =
-        std::make_unique<IncrementalResolver>(&*graph_, rules_, options);
-    TECORE_RETURN_NOT_OK(incremental_->Initialize().status());
-  }
-  return incremental_->ApplyEdits(edits);
+  TECORE_ASSIGN_OR_RETURN(outcome, engine_.ApplyEdits(edits, options));
+  snap_ = std::move(outcome.snapshot);
+  return outcome.result->Clone();
 }
 
 Result<ResolveResult> Session::ApplyEditScript(std::string_view script,
                                                const ResolveOptions& options) {
-  if (!graph_) return Status::InvalidArgument("no graph loaded");
-  TECORE_ASSIGN_OR_RETURN(edits, ParseEditScript(script, &*graph_));
-  return ApplyEdits(edits, options);
-}
-
-std::string Session::DescribeConflict(const Conflict& conflict) const {
-  std::string out;
-  const rules::Rule& rule = rules_.rules[static_cast<size_t>(
-      conflict.rule_index)];
-  out += "violates " +
-         (rule.name.empty() ? std::string("<unnamed constraint>")
-                            : rule.name) +
-         ":\n";
-  for (rdf::FactId id : conflict.facts) {
-    out += "  " + graph_->FactToString(id) + "\n";
-  }
-  return out;
+  TECORE_ASSIGN_OR_RETURN(outcome, engine_.ApplyEditScript(script, options));
+  snap_ = std::move(outcome.snapshot);
+  return outcome.result->Clone();
 }
 
 }  // namespace core

@@ -73,6 +73,38 @@ TemporalGraph TemporalGraph::CompactLive() const {
   return Filter(keep);
 }
 
+TemporalGraph TemporalGraph::Clone() const {
+  TemporalGraph out;
+  // Re-interning in id order reproduces ids 0,1,2,… exactly (the
+  // dictionary's single-threaded insertion-order guarantee), so facts and
+  // indexes can be copied verbatim.
+  const size_t num_terms = dict_.Size();
+  for (TermId id = 0; id < num_terms; ++id) {
+    out.dict_.Intern(dict_.Lookup(id));
+  }
+  out.facts_ = facts_;
+  out.live_ = live_;
+  out.num_live_ = num_live_;
+  out.edit_epoch_ = edit_epoch_;
+  out.by_predicate_ = by_predicate_;
+  out.by_subject_ = by_subject_;
+  out.by_subject_predicate_ = by_subject_predicate_;
+  // temporal_index_ is left empty; callers freezing the clone warm it.
+  return out;
+}
+
+void TemporalGraph::WarmTemporalIndexes() const {
+  for (const auto& [pred, ids] : by_predicate_) {
+    if (temporal_index_.count(pred)) continue;
+    std::vector<std::pair<temporal::Interval, uint32_t>> entries;
+    entries.reserve(ids.size());
+    for (FactId id : ids) entries.emplace_back(facts_[id].interval, id);
+    temporal::IntervalTree tree;
+    tree.Build(std::move(entries));
+    temporal_index_.emplace(pred, std::move(tree));
+  }
+}
+
 Result<FactId> TemporalGraph::AddQuad(std::string_view subject,
                                       std::string_view predicate,
                                       const Term& object,
@@ -105,9 +137,14 @@ std::vector<FactId> TemporalGraph::FactsIntersecting(
     TermId predicate, const temporal::Interval& probe) const {
   auto it = temporal_index_.find(predicate);
   if (it == temporal_index_.end()) {
+    // No facts -> nothing to probe. Returning without caching keeps this
+    // path mutation-free, so a warmed (frozen) graph answers unknown
+    // predicates from concurrent readers without touching shared state.
+    const std::vector<FactId>& with_predicate = FactsWithPredicate(predicate);
+    if (with_predicate.empty()) return {};
     // Build the interval tree for this predicate on first use.
     std::vector<std::pair<temporal::Interval, uint32_t>> entries;
-    for (FactId id : FactsWithPredicate(predicate)) {
+    for (FactId id : with_predicate) {
       entries.emplace_back(facts_[id].interval, id);
     }
     temporal::IntervalTree tree;

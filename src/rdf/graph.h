@@ -82,6 +82,20 @@ class TemporalGraph {
   /// order. Equivalent to what a fresh parse of the edited KB would load.
   TemporalGraph CompactLive() const;
 
+  /// \brief Deep copy preserving term ids, fact ids and tombstones (unlike
+  /// `CompactLive`, which renumbers). Fact ids and term ids of the clone
+  /// are interchangeable with the original's — the property the snapshot
+  /// layer relies on so a cached `ResolveResult` computed against the
+  /// writer's graph can be browsed against the published clone. Must not
+  /// run concurrently with mutations of this graph.
+  TemporalGraph Clone() const;
+
+  /// \brief Eagerly build the per-predicate interval trees for every
+  /// predicate present. `FactsIntersecting` builds them lazily, which
+  /// mutates shared state; a graph published as an immutable snapshot is
+  /// warmed first so concurrent readers never write.
+  void WarmTemporalIndexes() const;
+
   /// \brief Ids of facts with the given predicate ("" -> empty).
   const std::vector<FactId>& FactsWithPredicate(TermId predicate) const;
 

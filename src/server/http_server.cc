@@ -1,0 +1,325 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace server {
+
+namespace {
+
+/// Percent-decode a URL component ('+' is a space in query strings).
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return c - 'A' + 10;
+      };
+      out += static_cast<char>((hex(s[i + 1]) << 4) | hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+/// Case-insensitive ASCII compare (HTTP header names).
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(std::string_view key,
+                                    std::string fallback) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    std::string_view k = pair.substr(0, eq);
+    if (UrlDecode(k) == key) {
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return fallback;
+}
+
+HttpServer::HttpServer(Options options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Result<int> HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StringPrintf("bad host '%s' (IPv4 literal expected)",
+                     options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IoError(StringPrintf(
+        "bind %s:%d: %s", options_.host.c_str(), options_.port,
+        std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status st =
+        Status::IoError(StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  // At least 2 executors: ThreadPool counts the constructing thread as an
+  // executor, but the acceptor thread only Submit()s — it never drains the
+  // queue — so we need >= 1 real worker.
+  const int threads =
+      std::max(2, util::ResolveThreadCount(options_.num_threads));
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started or already stopped; still reap a bound-but-unserved
+    // listener from a failed Start().
+    if (listen_fd_ >= 0 && !acceptor_.joinable()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Wake the acceptor: shutdown() makes a blocking accept() return.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // ThreadPool destruction drains queued connections and joins workers;
+  // in-flight keep-alive connections exit at their next recv timeout.
+  pool_.reset();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // Transient conditions must not kill the acceptor: a client
+      // aborting mid-handshake (ECONNABORTED) or fd exhaustion
+      // (EMFILE/ENFILE, relieved when workers close connections) are
+      // retried; only a shut-down listener ends the loop.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener shut down
+    }
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  while (running_.load(std::memory_order_acquire)) {
+    HttpRequest request;
+    bool keep_alive = true;
+    bool unsupported = false;
+    if (!ReadRequest(fd, &request, &keep_alive, &buffer, &unsupported)) {
+      if (unsupported) {
+        HttpResponse response;
+        response.status = 501;
+        response.body =
+            "{\"error\":\"Transfer-Encoding is not supported; send a "
+            "Content-Length body\",\"code\":\"Unsupported\"}\n";
+        WriteResponse(fd, response, /*keep_alive=*/false);
+      }
+      break;
+    }
+    HttpResponse response = handler_(request);
+    WriteResponse(fd, response, keep_alive);
+    if (!keep_alive) break;
+  }
+  ::close(fd);
+}
+
+bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
+                             std::string* buffer, bool* unsupported) {
+  // Accumulate until the header terminator.
+  size_t header_end;
+  while ((header_end = buffer->find("\r\n\r\n")) == std::string::npos) {
+    if (buffer->size() > options_.max_body_bytes) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // EOF, timeout or error
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  std::string_view head(*buffer);
+  head = head.substr(0, header_end);
+
+  // Request line: METHOD SP target SP version.
+  const size_t line_end = head.find("\r\n");
+  std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  request->method = std::string(request_line.substr(0, sp1));
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view http_version = request_line.substr(sp2 + 1);
+  const size_t qmark = target.find('?');
+  request->path = UrlDecode(target.substr(0, qmark));
+  request->query = qmark == std::string_view::npos
+                       ? std::string()
+                       : std::string(target.substr(qmark + 1));
+
+  // Headers we care about: Content-Length and Connection.
+  size_t content_length = 0;
+  *keep_alive = !IEquals(http_version, "HTTP/1.0");
+  std::string_view headers =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  while (!headers.empty()) {
+    const size_t eol = headers.find("\r\n");
+    std::string_view line = headers.substr(0, eol);
+    headers = eol == std::string_view::npos ? std::string_view()
+                                            : headers.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = Trim(line.substr(0, colon));
+    std::string_view value = Trim(line.substr(colon + 1));
+    if (IEquals(name, "content-length")) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0 ||
+          static_cast<size_t>(parsed) > options_.max_body_bytes) {
+        return false;
+      }
+      content_length = static_cast<size_t>(parsed);
+    } else if (IEquals(name, "connection")) {
+      if (IEquals(value, "close")) *keep_alive = false;
+      if (IEquals(value, "keep-alive")) *keep_alive = true;
+    } else if (IEquals(name, "transfer-encoding")) {
+      // Chunked bodies are not implemented; guessing the framing would
+      // desync every later request on this connection.
+      *unsupported = true;
+      return false;
+    }
+  }
+
+  // Body.
+  const size_t body_start = header_end + 4;
+  while (buffer->size() < body_start + content_length) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  request->body = buffer->substr(body_start, content_length);
+  // Keep any pipelined bytes for the next request on this connection.
+  buffer->erase(0, body_start + content_length);
+  return true;
+}
+
+void HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out = StringPrintf(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: %s\r\n"
+      "\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  out += response.body;
+  SendAll(fd, out);
+}
+
+}  // namespace server
+}  // namespace tecore

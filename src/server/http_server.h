@@ -1,0 +1,97 @@
+#ifndef TECORE_SERVER_HTTP_SERVER_H_
+#define TECORE_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tecore {
+namespace server {
+
+/// \brief One parsed HTTP request.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", "DELETE", ...
+  std::string path;    ///< decoded path, e.g. "/v1/complete"
+  std::string query;   ///< raw query string, e.g. "prefix=coa&limit=5"
+  std::string body;
+
+  /// \brief Value of a `key=value` query parameter (percent-decoded),
+  /// or `fallback` when absent.
+  std::string QueryParam(std::string_view key, std::string fallback) const;
+};
+
+/// \brief Response returned by a handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief Minimal embedded HTTP/1.1 server: one acceptor thread plus a
+/// util::ThreadPool of connection workers. Supports keep-alive,
+/// Content-Length bodies (no chunked encoding) and clean shutdown; TLS,
+/// auth and streaming are explicit non-goals of this layer (ROADMAP
+/// follow-ups). Loopback-oriented: bind it to 127.0.0.1 unless you know
+/// what you are doing.
+class HttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;          ///< 0 = pick an ephemeral port (see port()).
+    int num_threads = 0;   ///< Connection workers; 0 = auto, min 2.
+    int backlog = 64;
+    size_t max_body_bytes = 16u << 20;
+    /// Per-socket receive timeout; doubles as the keep-alive idle timeout
+    /// and bounds worst-case Stop() latency.
+    int recv_timeout_ms = 5000;
+  };
+
+  HttpServer(Options options, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief Bind, listen and start serving. Returns the bound port on
+  /// success (equal to Options::port unless that was 0).
+  Result<int> Start();
+
+  /// \brief The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  /// \brief Stop accepting, drain in-flight connections, join workers.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Read one request off `fd`; false on EOF/timeout/malformed framing.
+  /// Sets `*unsupported` (and returns false) for framing we must not
+  /// guess at, e.g. Transfer-Encoding: chunked — the caller answers 501
+  /// before closing instead of desyncing the connection.
+  bool ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
+                   std::string* buffer, bool* unsupported);
+  void WriteResponse(int fd, const HttpResponse& response, bool keep_alive);
+
+  Options options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace server
+}  // namespace tecore
+
+#endif  // TECORE_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,203 @@
+#include "server/routes.h"
+
+#include <algorithm>
+#include <string>
+
+#include "api/types.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace server {
+
+namespace {
+
+using util::Json;
+
+HttpResponse JsonResponse(int status, const Json& body) {
+  HttpResponse out;
+  out.status = status;
+  out.body = body.Dump();
+  out.body += '\n';  // curl-friendly
+  return out;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(api::HttpStatusFor(status), api::ErrorJson(status));
+}
+
+HttpResponse MethodNotAllowed(const std::string& method,
+                              const char* allowed) {
+  HttpResponse out;
+  out.status = 405;
+  Json body = Json::Object();
+  body.Set("error", Json::Str(StringPrintf(
+                        "method %s not allowed (allowed: %s)",
+                        method.c_str(), allowed)));
+  body.Set("code", Json::Str("MethodNotAllowed"));
+  out.body = body.Dump();
+  out.body += '\n';
+  return out;
+}
+
+/// Parse the request body as JSON; an empty body decodes as null (every
+/// POST body in the protocol is optional unless the DTO says otherwise).
+Result<Json> ParseBody(const HttpRequest& request) {
+  if (Trim(request.body).empty()) return Json::Null();
+  return Json::Parse(request.body);
+}
+
+HttpResponse HandleGraph(api::Engine* engine, const HttpRequest& request) {
+  if (request.method == "GET") {
+    return JsonResponse(200, api::GraphInfoJson(*engine->snapshot()));
+  }
+  if (request.method == "POST") {
+    auto body = ParseBody(request);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto req = api::GraphRequest::FromJson(*body);
+    if (!req.ok()) return ErrorResponse(req.status());
+    auto published = req->text.empty() ? engine->LoadGraphFile(req->path)
+                                       : engine->LoadGraphText(req->text);
+    if (!published.ok()) return ErrorResponse(published.status());
+    // Describe the publish this write produced, not whatever a competing
+    // writer may have published since.
+    return JsonResponse(200, api::GraphInfoJson(**published));
+  }
+  return MethodNotAllowed(request.method, "GET, POST");
+}
+
+HttpResponse HandleRules(api::Engine* engine, const HttpRequest& request) {
+  if (request.method == "GET") {
+    return JsonResponse(200, api::RulesJson(*engine->snapshot()));
+  }
+  if (request.method == "POST") {
+    auto body = ParseBody(request);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto req = api::RulesRequest::FromJson(*body);
+    if (!req.ok()) return ErrorResponse(req.status());
+    auto outcome = engine->AddRulesText(req->text);
+    if (!outcome.ok()) return ErrorResponse(outcome.status());
+    Json out = api::RulesJson(*outcome->snapshot);
+    out.Set("added", Json::Int(static_cast<int64_t>(outcome->added)));
+    return JsonResponse(200, out);
+  }
+  if (request.method == "DELETE") {
+    return JsonResponse(200, api::RulesJson(*engine->ClearRules()));
+  }
+  return MethodNotAllowed(request.method, "GET, POST, DELETE");
+}
+
+HttpResponse HandleSolve(api::Engine* engine, const HttpRequest& request) {
+  if (request.method != "POST") {
+    return MethodNotAllowed(request.method, "POST");
+  }
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto req = api::SolveRequest::FromJson(*body);
+  if (!req.ok()) return ErrorResponse(req.status());
+  auto outcome = engine->Solve(req->options);
+  if (!outcome.ok()) return ErrorResponse(outcome.status());
+  // Render against the snapshot the result was published with — version,
+  // graph and result always come from the same publish even when a
+  // concurrent write has already advanced the engine.
+  return JsonResponse(
+      200, api::SolveJson(outcome->version, *outcome->snapshot->graph,
+                          *outcome->result, req->max_facts, outcome->cached));
+}
+
+HttpResponse HandleEdits(api::Engine* engine, const HttpRequest& request) {
+  if (request.method != "POST") {
+    return MethodNotAllowed(request.method, "POST");
+  }
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto req = api::EditsRequest::FromJson(*body);
+  if (!req.ok()) return ErrorResponse(req.status());
+  auto outcome = engine->ApplyEditScript(req->script, req->solve.options);
+  if (!outcome.ok()) return ErrorResponse(outcome.status());
+  return JsonResponse(
+      200, api::EditsJson(outcome->version, *outcome->snapshot->graph,
+                          outcome->applied, *outcome->result,
+                          req->solve.max_facts));
+}
+
+HttpResponse HandleConflicts(api::Engine* engine,
+                             const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MethodNotAllowed(request.method, "GET");
+  }
+  auto snap = engine->snapshot();
+  int64_t limit = 25;
+  const std::string limit_param = request.QueryParam("limit", "");
+  if (!limit_param.empty() &&
+      (!ParseInt64(limit_param, &limit) || limit < 0)) {
+    return ErrorResponse(Status::InvalidArgument(
+        StringPrintf("bad limit '%s'", limit_param.c_str())));
+  }
+  auto report = snap->DetectConflicts();
+  if (!report.ok()) return ErrorResponse(report.status());
+  return JsonResponse(
+      200, api::ConflictsJson(*snap, **report, static_cast<size_t>(limit)));
+}
+
+HttpResponse HandleStats(api::Engine* engine, const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MethodNotAllowed(request.method, "GET");
+  }
+  auto snap = engine->snapshot();
+  if (!snap->has_graph()) {
+    return ErrorResponse(Status::InvalidArgument("no graph loaded"));
+  }
+  return JsonResponse(200, api::StatsJson(*snap));
+}
+
+HttpResponse HandleComplete(api::Engine* engine,
+                            const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MethodNotAllowed(request.method, "GET");
+  }
+  auto snap = engine->snapshot();
+  return JsonResponse(
+      200, api::CompleteJson(*snap, request.QueryParam("prefix", "")));
+}
+
+HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
+  if (request.method != "GET" && request.method != "POST") {
+    return MethodNotAllowed(request.method, "GET, POST");
+  }
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto req = api::SuggestRequest::FromJson(*body);
+  if (!req.ok()) return ErrorResponse(req.status());
+  auto snap = engine->snapshot();
+  auto suggestions = snap->SuggestConstraints(req->options);
+  if (!suggestions.ok()) return ErrorResponse(suggestions.status());
+  return JsonResponse(200, api::SuggestJson(*snap, *suggestions));
+}
+
+}  // namespace
+
+HttpResponse HandleApiRequest(api::Engine* engine,
+                              const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/v1/graph") return HandleGraph(engine, request);
+  if (path == "/v1/rules") return HandleRules(engine, request);
+  if (path == "/v1/solve") return HandleSolve(engine, request);
+  if (path == "/v1/edits") return HandleEdits(engine, request);
+  if (path == "/v1/conflicts") return HandleConflicts(engine, request);
+  if (path == "/v1/stats") return HandleStats(engine, request);
+  if (path == "/v1/complete") return HandleComplete(engine, request);
+  if (path == "/v1/suggest") return HandleSuggest(engine, request);
+  return ErrorResponse(
+      Status::NotFound(StringPrintf("no such endpoint: %s %s",
+                                    request.method.c_str(), path.c_str())));
+}
+
+HttpHandler MakeApiHandler(api::Engine* engine) {
+  return [engine](const HttpRequest& request) {
+    return HandleApiRequest(engine, request);
+  };
+}
+
+}  // namespace server
+}  // namespace tecore

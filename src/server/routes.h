@@ -1,0 +1,34 @@
+#ifndef TECORE_SERVER_ROUTES_H_
+#define TECORE_SERVER_ROUTES_H_
+
+#include "api/engine.h"
+#include "server/http_server.h"
+
+namespace tecore {
+namespace server {
+
+/// \brief Dispatch one `/v1` request against the engine.
+///
+/// Endpoints (see docs/api.md for schemas):
+///   GET  /v1/graph      — shape of the loaded KB
+///   POST /v1/graph      — load a UTKG ({"text": ".tq"} or {"path": f})
+///   GET  /v1/rules      — active rules;  POST adds, DELETE clears
+///   POST /v1/solve      — most probable conflict-free KG
+///   POST /v1/edits      — apply edit script, incremental re-solve
+///   GET  /v1/conflicts  — detection report (?limit=N)
+///   GET  /v1/stats      — graph statistics panel
+///   GET  /v1/complete   — predicate auto-completion (?prefix=p)
+///   GET|POST /v1/suggest — mined constraint suggestions
+///
+/// Reads are served from the engine's current snapshot and never block
+/// writes; every response carries the snapshot version it came from.
+HttpResponse HandleApiRequest(api::Engine* engine, const HttpRequest& request);
+
+/// \brief Handler closure for HttpServer. `engine` must outlive the
+/// server.
+HttpHandler MakeApiHandler(api::Engine* engine);
+
+}  // namespace server
+}  // namespace tecore
+
+#endif  // TECORE_SERVER_ROUTES_H_

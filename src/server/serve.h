@@ -1,0 +1,23 @@
+#ifndef TECORE_SERVER_SERVE_H_
+#define TECORE_SERVER_SERVE_H_
+
+namespace tecore {
+namespace server {
+
+/// \brief Print the `serve` flag reference to stderr.
+void PrintServeUsage();
+
+/// \brief Entry point shared by the `tecore-server` binary and
+/// `tecore-cli serve`: parse flags from argv[first_arg..), optionally
+/// preload a graph and rules, start the HTTP server and block until
+/// SIGINT/SIGTERM. Returns a process exit code.
+///
+/// Flags: --host h (default 127.0.0.1), --port n (default 8080, 0 =
+/// ephemeral), --threads n (connection workers, 0 = auto), --graph f,
+/// --rules f (preloaded into the engine before serving).
+int RunServe(int argc, char** argv, int first_arg);
+
+}  // namespace server
+}  // namespace tecore
+
+#endif  // TECORE_SERVER_SERVE_H_

@@ -1,0 +1,33 @@
+#include "util/file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tecore {
+namespace util {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
+  return buf.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace util
+}  // namespace tecore

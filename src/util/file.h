@@ -1,0 +1,20 @@
+#ifndef TECORE_UTIL_FILE_H_
+#define TECORE_UTIL_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace util {
+
+/// \brief Read a whole file into a string (IoError when unreadable).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Write a string to a file, replacing its contents.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace util
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_FILE_H_

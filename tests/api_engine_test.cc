@@ -1,0 +1,252 @@
+// api::Engine semantics: snapshot isolation, monotone versions, solve
+// caching, edit atomicity — the single-writer/many-reader contract the
+// CLI, Session and tecore-server all ride on.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/types.h"
+#include "core/resolver.h"
+#include "rules/library.h"
+#include "util/json.h"
+
+namespace tecore {
+namespace {
+
+constexpr char kFig1Utkg[] = R"(
+  CR coach Chelsea [2000,2004] 0.9 .
+  CR coach Leicester [2015,2017] 0.7 .
+  CR playsFor Palermo [1984,1986] 0.5 .
+  CR birthDate 1951 [1951,2017] 1.0 .
+  CR coach Napoli [2001,2003] 0.6 .
+)";
+
+constexpr char kDisjointConstraint[] =
+    "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+    "-> disjoint(t, t') .";
+
+TEST(ApiEngine, PristineSnapshotIsVersionZero) {
+  api::Engine engine;
+  auto snap = engine.snapshot();
+  EXPECT_EQ(snap->version, 0u);
+  EXPECT_FALSE(snap->has_graph());
+  EXPECT_FALSE(snap->has_result());
+  EXPECT_TRUE(snap->rules->Empty());
+  EXPECT_TRUE(snap->CompletePredicate("").empty());
+  EXPECT_FALSE(engine.GraphStats().ok());
+  EXPECT_FALSE(engine.Solve(core::ResolveOptions()).ok());
+  EXPECT_FALSE(
+      engine.ApplyEditScript("+ a p b [1,2] .", core::ResolveOptions()).ok());
+  EXPECT_FALSE(snap->DetectConflicts().ok());
+  EXPECT_FALSE(snap->SuggestConstraints().ok());
+}
+
+TEST(ApiEngine, WritesBumpVersionMonotonically) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  EXPECT_EQ(engine.version(), 1u);
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  EXPECT_EQ(engine.version(), 2u);
+  auto solved = engine.Solve(core::ResolveOptions());
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  EXPECT_EQ(solved->version, 3u);
+  EXPECT_FALSE(solved->cached);
+  auto edited = engine.ApplyEditScript("+ CR coach Bari [2006,2008] 0.5 .",
+                                       core::ResolveOptions());
+  ASSERT_TRUE(edited.ok()) << edited.status().ToString();
+  EXPECT_EQ(edited->version, 4u);
+  EXPECT_EQ(engine.version(), 4u);
+}
+
+TEST(ApiEngine, SolveIsCachedUntilInvalidated) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  core::ResolveOptions options;
+  auto first = engine.Solve(options);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Solve(options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cached);
+  EXPECT_EQ(second->version, first->version);
+  EXPECT_EQ(second->result.get(), first->result.get());  // same object
+
+  // Thread counts are result-irrelevant: still a cache hit.
+  core::ResolveOptions threaded = options;
+  threaded.num_threads = 4;
+  auto third = engine.Solve(threaded);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->cached);
+
+  // A result-relevant change misses the cache.
+  core::ResolveOptions psl = options;
+  psl.solver = rules::SolverKind::kPsl;
+  auto fourth = engine.Solve(psl);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_FALSE(fourth->cached);
+  EXPECT_GT(fourth->version, first->version);
+
+  // Rule edits invalidate the cached result; the returned snapshot is
+  // the publish this write produced.
+  auto cleared = engine.ClearRules();
+  EXPECT_FALSE(cleared->has_result());
+  EXPECT_TRUE(cleared->rules->Empty());
+  EXPECT_FALSE(engine.snapshot()->has_result());
+}
+
+TEST(ApiEngine, SnapshotsAreImmutableUnderLaterWrites) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  auto solved = engine.Solve(core::ResolveOptions());
+  ASSERT_TRUE(solved.ok());
+  auto old_snap = engine.snapshot();
+  const size_t old_live = old_snap->graph->NumLiveFacts();
+  const uint64_t old_version = old_snap->version;
+  const auto* old_result = old_snap->result.get();
+
+  auto edited = engine.ApplyEditScript(
+      "+ CR coach Bari [2006,2008] 0.5 .\n"
+      "- CR coach Napoli [2001,2003] .\n",
+      core::ResolveOptions());
+  ASSERT_TRUE(edited.ok()) << edited.status().ToString();
+  EXPECT_EQ(edited->applied.inserted, 1u);
+  EXPECT_EQ(edited->applied.retracted, 1u);
+
+  // The old snapshot is untouched: same version, graph and result.
+  EXPECT_EQ(old_snap->version, old_version);
+  EXPECT_EQ(old_snap->graph->NumLiveFacts(), old_live);
+  EXPECT_EQ(old_snap->result.get(), old_result);
+  // And the new one reflects the edit.
+  auto new_snap = engine.snapshot();
+  EXPECT_EQ(new_snap->graph->NumLiveFacts(), old_live);  // +1 -1
+  EXPECT_NE(new_snap->result.get(), old_result);
+  EXPECT_GT(new_snap->version, old_version);
+}
+
+TEST(ApiEngine, RuleOnlyWritesShareTheFrozenGraph) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  auto loaded = engine.snapshot();
+  // Rule writes and solves don't touch the graph: their snapshots share
+  // the frozen clone instead of paying an O(graph) republish.
+  auto with_rules = engine.AddRulesText(kDisjointConstraint);
+  ASSERT_TRUE(with_rules.ok());
+  EXPECT_EQ(with_rules->snapshot->graph.get(), loaded->graph.get());
+  EXPECT_EQ(with_rules->snapshot->stats.get(), loaded->stats.get());
+  EXPECT_EQ(with_rules->snapshot->predicates.get(),
+            loaded->predicates.get());
+  auto solved = engine.Solve(core::ResolveOptions());
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved->snapshot->graph.get(), loaded->graph.get());
+  // Edits do touch the graph: a fresh clone is published.
+  auto edited = engine.ApplyEditScript("+ CR coach Bari [2006,2008] 0.5 .",
+                                       core::ResolveOptions());
+  ASSERT_TRUE(edited.ok());
+  EXPECT_NE(edited->snapshot->graph.get(), loaded->graph.get());
+}
+
+TEST(ApiEngine, FailedEditBatchPublishesNothing) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  const uint64_t version = engine.version();
+  auto bad = engine.ApplyEditScript(
+      "+ CR coach Bari [2006,2008] 0.5 .\n"
+      "- no such fact [1,2] .\n",
+      core::ResolveOptions());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(engine.version(), version);
+  EXPECT_EQ(engine.snapshot()->graph->NumLiveFacts(), 5u);
+}
+
+TEST(ApiEngine, ConflictReportIsCachedPerSnapshot) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  auto snap = engine.snapshot();
+  auto first = snap->DetectConflicts();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ((*first)->NumConflicts(), 1u);
+  auto second = snap->DetectConflicts();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // compute-once
+
+  // Custom options bypass the cache but agree on the answer here.
+  ground::GroundingOptions custom;
+  custom.semi_naive = false;
+  auto fresh = snap->DetectConflicts(custom);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->get(), first->get());
+  EXPECT_EQ((*fresh)->NumConflicts(), 1u);
+}
+
+TEST(ApiEngine, CompletionIsSortedAndPrefixFiltered) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  auto snap = engine.snapshot();
+  EXPECT_EQ(snap->CompletePredicate("coa"),
+            std::vector<std::string>({"coach"}));
+  EXPECT_TRUE(snap->CompletePredicate("CR").empty());  // subject, not pred
+  auto all = snap->CompletePredicate("");
+  EXPECT_EQ(all, std::vector<std::string>(
+                     {"birthDate", "coach", "playsFor"}));
+}
+
+TEST(ApiEngine, ResultAndSnapshotGraphShareFactIds) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  auto solved = engine.Solve(core::ResolveOptions());
+  ASSERT_TRUE(solved.ok());
+  ASSERT_EQ(solved->result->removed_facts.size(), 1u);
+  // The removed fact renders against the outcome's snapshot graph.
+  const std::string rendered = solved->snapshot->graph->FactToString(
+      solved->result->removed_facts[0]);
+  EXPECT_NE(rendered.find("Napoli"), std::string::npos) << rendered;
+  // kept + removed partition the snapshot's live facts.
+  EXPECT_EQ(solved->result->kept_facts.size() +
+                solved->result->removed_facts.size(),
+            solved->snapshot->graph->NumLiveFacts());
+}
+
+TEST(ApiEngine, DtoJsonShapes) {
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  auto snap = engine.snapshot();
+
+  util::Json info = api::GraphInfoJson(*snap);
+  EXPECT_EQ(info.GetInt("version", -1), 2);
+  EXPECT_EQ(info.GetInt("num_facts", -1), 5);
+  EXPECT_TRUE(info.GetBool("has_graph", false));
+
+  util::Json stats = api::StatsJson(*snap);
+  ASSERT_NE(stats.Find("stats"), nullptr);
+  EXPECT_EQ(stats.Find("stats")->GetInt("num_facts", -1), 5);
+
+  util::Json rules = api::RulesJson(*snap);
+  EXPECT_EQ(rules.GetInt("num_rules", -1), 1);
+  EXPECT_EQ(rules.Find("rules")->items()[0].GetString("kind", ""),
+            "constraint");
+
+  // Round-trip a request DTO through JSON.
+  auto parsed = util::Json::Parse(
+      "{\"solver\":\"psl\",\"threshold\":0.25,\"max_facts\":7}");
+  ASSERT_TRUE(parsed.ok());
+  auto req = api::SolveRequest::FromJson(*parsed);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->options.solver, rules::SolverKind::kPsl);
+  EXPECT_EQ(req->options.derived_threshold, 0.25);
+  EXPECT_EQ(req->max_facts, 7u);
+  EXPECT_FALSE(api::SolveRequest::FromJson(
+                   *util::Json::Parse("{\"solver\":\"nope\"}"))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tecore

@@ -305,6 +305,47 @@ TEST(TemporalGraph, RetractTombstonesAndKeepsIdsStable) {
   EXPECT_EQ(compact.FactToString(1).substr(0, 2), "(e");
 }
 
+TEST(TemporalGraph, ClonePreservesIdsAndTombstones) {
+  TemporalGraph g;
+  auto a = g.AddQuad("CR", "coach", "Chelsea", {2000, 2004}, 0.9);
+  auto b = g.AddQuad("CR", "coach", "Napoli", {2001, 2003}, 0.6);
+  auto c = g.AddQuad("CR", "playsFor", "Palermo", {1984, 1986}, 0.5);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(g.Retract(*b).ok());
+
+  TemporalGraph copy = g.Clone();
+  ASSERT_EQ(copy.NumFacts(), g.NumFacts());
+  EXPECT_EQ(copy.NumLiveFacts(), g.NumLiveFacts());
+  EXPECT_EQ(copy.edit_epoch(), g.edit_epoch());
+  EXPECT_EQ(copy.dict().Size(), g.dict().Size());
+  for (TermId id = 0; id < g.dict().Size(); ++id) {
+    EXPECT_EQ(copy.dict().Lookup(id), g.dict().Lookup(id));
+  }
+  for (FactId id = 0; id < g.NumFacts(); ++id) {
+    EXPECT_EQ(copy.is_live(id), g.is_live(id));
+    EXPECT_EQ(copy.FactToString(id), g.FactToString(id));
+  }
+  // Indexes were copied too (retracted fact stays dropped).
+  EXPECT_EQ(copy.FactsWithPredicate(*g.dict().FindIri("coach")).size(), 1u);
+
+  // The clone is independent: mutating it leaves the original alone.
+  ASSERT_TRUE(copy.AddQuad("CR", "coach", "Leicester", {2015, 2017}, 0.7).ok());
+  EXPECT_EQ(copy.NumFacts(), g.NumFacts() + 1);
+  EXPECT_EQ(g.NumFacts(), 3u);
+}
+
+TEST(TemporalGraph, WarmedTemporalIndexAnswersWithoutMutation) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Chelsea", {2000, 2004}, 0.9).ok());
+  ASSERT_TRUE(g.AddQuad("CR", "coach", "Napoli", {2001, 2003}, 0.6).ok());
+  g.WarmTemporalIndexes();
+  TermId coach = *g.dict().FindIri("coach");
+  EXPECT_EQ(g.FactsIntersecting(coach, {2001, 2001}).size(), 2u);
+  // Unknown predicate: empty answer, no lazy index build.
+  TermId ghost = g.dict().InternIri("neverUsedAsPredicate");
+  EXPECT_TRUE(g.FactsIntersecting(ghost, {0, 10}).empty());
+}
+
 TEST(RdfIo, FileRoundTrip) {
   auto graph = ParseGraphText("CR coach Chelsea [2000,2004] 0.9 .\n");
   ASSERT_TRUE(graph.ok());
