@@ -1,11 +1,14 @@
 // tecore-server throughput: requests/sec over loopback HTTP against an
 // in-process server, for a read-only workload (snapshot reads: graph
-// info, stats, completion, cached conflicts) and a mixed workload (the
-// same reads while one client streams edit batches through /v1/edits).
+// info, stats, completion, cached conflicts), a mixed workload (the
+// same reads while one client streams edit batches through /v1/edits),
+// and a multi-tenant workload (reads spread over 4 KBs behind one
+// registry + shared worker pool).
 //
 // The read path never takes the writer lock — the number to watch is how
 // little read throughput degrades when the mixed workload turns writes
-// on. Keep-alive connections, one per client thread.
+// on, and how little the per-KB routing layer costs relative to the
+// legacy single-KB paths. Keep-alive connections, one per client thread.
 //
 // `--json out.json` writes the measurements machine-readably
 // (BENCH_server.json); `--smoke` shrinks the workload for CI.
@@ -22,7 +25,7 @@
 #include <thread>
 #include <vector>
 
-#include "api/engine.h"
+#include "api/registry.h"
 #include "datagen/generators.h"
 #include "rules/library.h"
 #include "server/http_server.h"
@@ -101,25 +104,28 @@ class Client {
   std::string buffer_;
 };
 
-const char* kReadPaths[] = {"/v1/graph", "/v1/stats",
-                            "/v1/complete?prefix=plays", "/v1/conflicts"};
+const std::vector<std::string> kReadPaths = {
+    "/v1/graph", "/v1/stats", "/v1/complete?prefix=plays", "/v1/conflicts"};
 
-/// Run `clients` reader threads for `requests_each` requests; returns
-/// total successful requests.
+/// Run `clients` reader threads for `requests_each` requests each,
+/// cycling through `paths`; returns total successful requests.
 size_t RunReaders(int port, int clients, size_t requests_each,
+                  const std::vector<std::string>& paths,
                   std::atomic<bool>* failed) {
   std::atomic<size_t> completed{0};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([port, requests_each, c, &completed, &failed] {
+    threads.emplace_back([port, requests_each, c, &paths, &completed,
+                          &failed] {
       Client client(port);
       if (!client.ok()) {
         failed->store(true);
         return;
       }
       for (size_t i = 0; i < requests_each; ++i) {
-        const char* path = kReadPaths[(i + static_cast<size_t>(c)) % 4];
+        const std::string& path =
+            paths[(i + static_cast<size_t>(c)) % paths.size()];
         if (client.Round("GET", path) != 200) {
           failed->store(true);
           return;
@@ -130,6 +136,25 @@ size_t RunReaders(int port, int clients, size_t requests_each,
   }
   for (std::thread& t : threads) t.join();
   return completed.load();
+}
+
+/// Seed one engine with the football workload: graph + constraints, one
+/// solve, warmed conflict cache (steady-state read traffic).
+bool SeedEngine(api::Engine* engine, size_t players, unsigned seed) {
+  datagen::FootballDbOptions gen;
+  gen.num_players = players;
+  gen.seed = seed;
+  engine->SetGraph(std::move(datagen::GenerateFootballDb(gen).graph));
+  auto constraints = rules::FootballConstraints();
+  if (!constraints.ok()) return false;
+  engine->AddRules(*constraints);
+  auto solved = engine->Solve(core::ResolveOptions());
+  if (!solved.ok()) {
+    std::fprintf(stderr, "%s\n", solved.status().ToString().c_str());
+    return false;
+  }
+  (void)engine->snapshot()->DetectConflicts();
+  return true;
 }
 
 }  // namespace
@@ -155,30 +180,34 @@ int main(int argc, char** argv) {
   const size_t players = smoke ? 100 : 400;
   const size_t requests_each = smoke ? 200 : 2000;
   const size_t edit_batches = smoke ? 10 : 50;
+  constexpr int kTenants = 4;
 
-  api::Engine engine;
-  datagen::FootballDbOptions gen;
-  gen.num_players = players;
-  engine.SetGraph(std::move(datagen::GenerateFootballDb(gen).graph));
-  auto constraints = rules::FootballConstraints();
-  if (!constraints.ok()) {
-    std::fprintf(stderr, "failed to seed rules\n");
+  // One registry: the default KB serves the legacy single-KB series, and
+  // kb0..kb3 serve the multi-tenant series. All engines share the
+  // registry's worker pool, which also runs the HTTP connections.
+  api::EngineRegistry::Options registry_options;
+  registry_options.num_threads = 8;
+  api::EngineRegistry registry(registry_options);
+  auto default_kb = registry.Create("default");
+  if (!default_kb.ok() || !SeedEngine(default_kb->get(), players, 20170901)) {
+    std::fprintf(stderr, "failed to seed default kb\n");
     return 1;
   }
-  engine.AddRules(*constraints);
-  // Seed a solve so /v1 read traffic browses a real result, and warm the
-  // conflict cache once (later GETs are cache hits, as in steady state).
-  auto seeded = engine.Solve(core::ResolveOptions());
-  if (!seeded.ok()) {
-    std::fprintf(stderr, "%s\n", seeded.status().ToString().c_str());
-    return 1;
+  for (int k = 0; k < kTenants; ++k) {
+    auto kb = registry.Create(StringPrintf("kb%d", k));
+    // Distinct seeds: tenants hold different graphs, as real tenants do.
+    if (!kb.ok() ||
+        !SeedEngine(kb->get(), players,
+                    static_cast<unsigned>(20170901 + k + 1))) {
+      std::fprintf(stderr, "failed to seed kb%d\n", k);
+      return 1;
+    }
   }
-  (void)engine.snapshot()->DetectConflicts();
 
   server::HttpServer::Options options;
   options.port = 0;
-  options.num_threads = 8;
-  server::HttpServer http(options, server::MakeApiHandler(&engine));
+  options.pool = registry.pool();
+  server::HttpServer http(options, server::MakeApiHandler(&registry));
   auto port = http.Start();
   if (!port.ok()) {
     std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
@@ -189,12 +218,12 @@ int main(int argc, char** argv) {
   std::printf("bench_server: %zu players, %zu req/client, port %d\n",
               players, requests_each, *port);
 
-  // ---- read-only scaling ----
+  // ---- read-only scaling (legacy single-KB paths → default KB) ----
   for (int clients : {1, 2, 4}) {
     std::atomic<bool> failed{false};
     Timer timer;
     const size_t completed =
-        RunReaders(*port, clients, requests_each, &failed);
+        RunReaders(*port, clients, requests_each, kReadPaths, &failed);
     const double ms = timer.ElapsedMillis();
     if (failed.load()) {
       std::fprintf(stderr, "read workload failed\n");
@@ -237,7 +266,8 @@ int main(int argc, char** argv) {
       edit_ms_total = edit_timer.ElapsedMillis();
     });
     Timer timer;
-    const size_t completed = RunReaders(*port, 3, requests_each, &failed);
+    const size_t completed =
+        RunReaders(*port, 3, requests_each, kReadPaths, &failed);
     const double ms = timer.ElapsedMillis();
     readers_done.store(true);
     editor.join();
@@ -259,6 +289,38 @@ int main(int argc, char** argv) {
         "%zu edit batches (%.1f ms/batch)\n",
         completed, ms, rps, edits,
         edits == 0 ? 0.0 : edit_ms_total / static_cast<double>(edits));
+  }
+
+  // ---- multi-tenant: 4 clients, reads spread over 4 KBs ----
+  {
+    std::vector<std::string> tenant_paths;
+    for (int k = 0; k < kTenants; ++k) {
+      for (const std::string& path : kReadPaths) {
+        // /v1/<ep>?q → /v1/kb/kbK/<ep>?q
+        tenant_paths.push_back(StringPrintf("/v1/kb/kb%d/%s", k,
+                                            path.substr(4).c_str()));
+      }
+    }
+    std::atomic<bool> failed{false};
+    Timer timer;
+    const size_t completed =
+        RunReaders(*port, kTenants, requests_each, tenant_paths, &failed);
+    const double ms = timer.ElapsedMillis();
+    if (failed.load()) {
+      std::fprintf(stderr, "multi-tenant workload failed\n");
+      return 1;
+    }
+    const double rps = 1000.0 * static_cast<double>(completed) / ms;
+    bench.NewRecord(StringPrintf("multitenant/kbs=%d/clients=%d", kTenants,
+                                 kTenants));
+    bench.Metric("kbs", kTenants);
+    bench.Metric("clients", kTenants);
+    bench.Metric("requests", static_cast<double>(completed));
+    bench.Metric("total_ms", ms);
+    bench.Metric("requests_per_sec", rps);
+    std::printf("  multitenant kbs=%d clients=%d: %zu req in %.1f ms"
+                " (%.0f req/s)\n",
+                kTenants, kTenants, completed, ms, rps);
   }
 
   http.Stop();

@@ -16,7 +16,8 @@ fi
 USAGE="$("$CLI" 2>&1)"
 
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
-       --edits --out --dataset --size --prefix --version --host --port)
+       --edits --out --dataset --size --prefix --version --host --port
+       --kb --auth-token-file)
 COMMANDS=(stats complete suggest validate detect solve gen serve version)
 
 # Token-anchored match so a flag is not satisfied by a longer flag that

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # tecore-server smoke: start the server on an ephemeral port, drive the
 # paper's demo workflow (load graph -> add rules -> detect -> solve ->
-# edit -> browse) over HTTP with curl, assert JSON shape with python3,
-# and check clean shutdown on SIGTERM.
+# edit -> browse) over HTTP with curl — through the legacy /v1 paths and
+# the tenant-scoped /v1/kb/{name} paths — then exercise multi-KB
+# isolation, SSE subscriptions, bearer-token auth (second server
+# instance) and clean shutdown on SIGTERM. JSON shapes asserted with
+# python3.
 #
 # Usage: scripts/server_smoke.sh [path/to/tecore-server]
 set -u
@@ -15,19 +18,26 @@ fi
 
 WORKDIR="$(mktemp -d)"
 LOG="$WORKDIR/server.log"
-trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+AUTH_LOG="$WORKDIR/server-auth.log"
+trap 'kill "$SERVER_PID" "$AUTH_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+AUTH_PID=""
 
 "$SERVER" --port 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
-# The startup line is stable by contract: parse the ephemeral port.
-PORT=""
-for _ in $(seq 1 50); do
-  PORT="$(grep -oE 'listening on http://127\.0\.0\.1:[0-9]+' "$LOG" \
-          | grep -oE '[0-9]+$' || true)"
-  [[ -n "$PORT" ]] && break
-  sleep 0.1
-done
+# Parse the ephemeral port off a server's startup line (stable contract).
+wait_port() {
+  local log="$1" port=""
+  for _ in $(seq 1 50); do
+    port="$(grep -oE 'listening on http://127\.0\.0\.1:[0-9]+' "$log" \
+            | grep -oE '[0-9]+$' || true)"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+
+PORT="$(wait_port "$LOG")"
 if [[ -z "$PORT" ]]; then
   echo "server did not start; log:" >&2
   cat "$LOG" >&2
@@ -63,12 +73,22 @@ assert $assertion, r
   echo "ok   $name"
 }
 
-# 1. select a UTKG.
+# 1. select a UTKG (legacy single-KB path -> the default KB).
 request "POST /v1/graph" 200 \
   "r['version'] == 1 and r['num_facts'] == 5 and r['has_graph']" \
   -X POST "$BASE/graph" -d '{"text":"CR coach Chelsea [2000,2004] 0.9 .\nCR coach Leicester [2015,2017] 0.7 .\nCR playsFor Palermo [1984,1986] 0.5 .\nCR birthDate 1951 [1951,2017] 1.0 .\nCR coach Napoli [2001,2003] 0.6 .\n"}'
 request "GET /v1/graph" 200 "r['num_live_facts'] == 5" "$BASE/graph"
 request "GET /v1/stats" 200 "r['stats']['num_facts'] == 5" "$BASE/stats"
+
+# Legacy paths answer with a deprecation pointer at the successor path.
+DEPRECATION="$(curl -sS -D - -o /dev/null "$BASE/graph" 2>>"$LOG" \
+               | grep -i '^Deprecation:' || true)"
+if [[ -z "$DEPRECATION" ]]; then
+  echo "FAIL legacy deprecation header missing" >&2
+  fail=1
+else
+  echo "ok   legacy Deprecation header"
+fi
 
 # 2. rules, with predicate auto-completion.
 request "GET /v1/complete" 200 "r['completions'] == ['coach']" \
@@ -94,11 +114,79 @@ request "POST /v1/edits" 200 \
 request "GET /v1/stats (post-edit)" 200 "r['stats']['num_facts'] == 6" \
   "$BASE/stats"
 
-# Error paths.
-request "404" 404 "r['code'] == 'NotFound'" "$BASE/nope"
-request "405" 405 "r['code'] == 'MethodNotAllowed'" -X DELETE "$BASE/solve"
-request "400 bad json" 400 "r['code'] in ('ParseError','InvalidArgument')" \
+# 5. multi-tenant lifecycle + isolation: two KBs with different contents.
+request "POST /v1/kb alpha" 201 "r['kb'] == 'alpha' and r['version'] == 0" \
+  -X POST "$BASE/kb" -d '{"name":"alpha"}'
+request "POST /v1/kb beta" 201 "r['kb'] == 'beta'" \
+  -X POST "$BASE/kb" -d '{"name":"beta"}'
+request "POST /v1/kb duplicate" 409 "r['error']['code'] == 'AlreadyExists'" \
+  -X POST "$BASE/kb" -d '{"name":"alpha"}'
+request "GET /v1/kb" 200 \
+  "r['num_kbs'] == 3 and [k['kb'] for k in r['kbs']] == ['alpha','beta','default']" \
+  "$BASE/kb"
+request "POST /v1/kb/alpha/graph" 200 "r['num_facts'] == 2" \
+  -X POST "$BASE/kb/alpha/graph" -d '{"text":"a p b [1,2] 0.9 .\na p c [3,4] 0.8 .\n"}'
+request "POST /v1/kb/beta/graph" 200 "r['num_facts'] == 1" \
+  -X POST "$BASE/kb/beta/graph" -d '{"text":"x q y [1,9] 0.5 .\n"}'
+# Isolation: fact counts differ per KB; the default KB is untouched.
+request "GET /v1/kb/alpha/graph (isolated)" 200 \
+  "r['num_facts'] == 2 and r['version'] == 1" "$BASE/kb/alpha/graph"
+request "GET /v1/kb/beta/graph (isolated)" 200 \
+  "r['num_facts'] == 1 and r['version'] == 1" "$BASE/kb/beta/graph"
+request "GET /v1/graph (default isolated)" 200 "r['num_facts'] == 6" \
+  "$BASE/graph"
+
+# Chunked request body: curl sends chunked when told to; the server must
+# decode it (bulk streaming loads).
+request "POST /v1/kb/beta/graph (chunked)" 200 "r['num_facts'] == 2" \
+  -X POST "$BASE/kb/beta/graph" -H 'Transfer-Encoding: chunked' \
+  -d '{"text":"x q y [1,9] 0.5 .\nx q z [2,3] 0.4 .\n"}'
+
+# SSE: the first subscription event is the current snapshot.
+SSE="$(curl -sSN --max-time 5 "$BASE/kb/alpha/subscribe?max_events=1" \
+       2>>"$LOG" || true)"
+if grep -q 'event: snapshot' <<<"$SSE" \
+   && grep -q '"kb":"alpha"' <<<"$SSE" \
+   && grep -q '"num_facts":2' <<<"$SSE"; then
+  echo "ok   GET /v1/kb/alpha/subscribe (first SSE event)"
+else
+  echo "FAIL SSE subscribe: $SSE" >&2
+  fail=1
+fi
+
+request "DELETE /v1/kb/beta" 200 "r['deleted'] == True" \
+  -X DELETE "$BASE/kb/beta"
+request "GET /v1/kb/beta/graph (deleted)" 404 \
+  "r['error']['code'] == 'NotFound'" "$BASE/kb/beta/graph"
+
+# Error paths: the uniform envelope everywhere.
+request "404" 404 "r['error']['code'] == 'NotFound'" "$BASE/nope"
+request "405" 405 "r['error']['code'] == 'MethodNotAllowed'" \
+  -X DELETE "$BASE/solve"
+request "400 bad json" 400 \
+  "r['error']['code'] in ('ParseError','InvalidArgument')" \
   -X POST "$BASE/graph" -d '{oops'
+
+# 6. bearer-token auth on a second server instance.
+printf 'smoke-secret\n' > "$WORKDIR/token"
+"$SERVER" --port 0 --auth-token-file "$WORKDIR/token" >"$AUTH_LOG" 2>&1 &
+AUTH_PID=$!
+AUTH_PORT="$(wait_port "$AUTH_LOG")"
+if [[ -z "$AUTH_PORT" ]]; then
+  echo "FAIL: auth server did not start" >&2
+  cat "$AUTH_LOG" >&2
+  fail=1
+else
+  ABASE="http://127.0.0.1:$AUTH_PORT/v1"
+  request "auth: 401 anonymous" 401 \
+    "r['error']['code'] == 'Unauthenticated'" "$ABASE/kb"
+  request "auth: 403 wrong token" 403 \
+    "r['error']['code'] == 'PermissionDenied'" \
+    -H 'Authorization: Bearer wrong' "$ABASE/kb"
+  request "auth: 200 right token" 200 "r['num_kbs'] == 1" \
+    -H 'Authorization: Bearer smoke-secret' "$ABASE/kb"
+  kill -TERM "$AUTH_PID" 2>/dev/null
+fi
 
 # Clean shutdown: SIGTERM must terminate the process promptly.
 kill -TERM "$SERVER_PID"
@@ -122,4 +210,4 @@ if [[ "$fail" -ne 0 ]]; then
   cat "$LOG" >&2
   exit 1
 fi
-echo "server smoke passed (all 8 /v1 endpoints + error paths + shutdown)"
+echo "server smoke passed (legacy + tenant endpoints, isolation, SSE, auth, shutdown)"

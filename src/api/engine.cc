@@ -157,9 +157,55 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   snap->result = std::move(result);
   snap->result_options = result_options;
   snap->detect_grounding_ = options_.detect_grounding;
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = snap;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = snap;
+  }
+  // Notify observers on the writer thread, after the swap: snapshot() now
+  // returns `snap`, and writer_mutex_ (held by our caller) serializes the
+  // invocations, so every listener sees versions strictly in order.
+  std::vector<PublishListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [id, listener] : listeners_) listeners.push_back(listener);
+  }
+  for (const PublishListener& listener : listeners) listener(snap);
   return snap;
+}
+
+uint64_t Engine::AddPublishListener(PublishListener listener) {
+  uint64_t id;
+  bool closed;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    id = next_listener_id_++;
+    closed = closed_;
+    if (!closed) listeners_.emplace(id, listener);
+  }
+  if (closed) listener(nullptr);
+  return id;
+}
+
+void Engine::RemovePublishListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  listeners_.erase(id);
+}
+
+void Engine::CloseForListeners() {
+  // Taking the writer lock orders the close signal after any in-flight
+  // publish: a listener never sees a version after its nullptr.
+  std::lock_guard<std::mutex> write_lock(writer_mutex_);
+  std::vector<PublishListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    if (closed_) return;
+    closed_ = true;
+    listeners.reserve(listeners_.size());
+    for (const auto& [id, listener] : listeners_) listeners.push_back(listener);
+    listeners_.clear();
+  }
+  for (const PublishListener& listener : listeners) listener(nullptr);
 }
 
 Result<std::shared_ptr<const Snapshot>> Engine::LoadGraphFile(

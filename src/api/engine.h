@@ -2,6 +2,8 @@
 #define TECORE_API_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -197,6 +199,38 @@ class Engine {
   /// \brief Drop the incremental state (next ApplyEdits re-seeds).
   void ResetIncremental();
 
+  // ---------------------------------------------------- publish observers
+  /// Called once per publish with the snapshot just made current, and once
+  /// with nullptr when the engine is retired (see CloseForListeners).
+  using PublishListener =
+      std::function<void(std::shared_ptr<const Snapshot>)>;
+
+  /// \brief Register a publish observer; returns a handle for
+  /// RemovePublishListener.
+  ///
+  /// Invocation contract: listeners run on the *writer's* thread while the
+  /// writer lock is held, strictly in publish order — a listener observes
+  /// every published version exactly once, with no gaps, reorders or
+  /// duplicates. Listeners must therefore be fast and must never call back
+  /// into Engine writes (deadlock); the intended shape is "push the
+  /// snapshot onto a queue and notify" (the SSE subscription path).
+  /// Registering does not replay the current snapshot — read `snapshot()`
+  /// after registering and dedupe by version to seed without a gap. On an
+  /// already-closed engine the listener is invoked inline with nullptr.
+  uint64_t AddPublishListener(PublishListener listener);
+
+  /// \brief Unregister; no-op for unknown handles. A publish already in
+  /// flight on the writer thread may still deliver one final invocation,
+  /// so listeners must own their target state (e.g. via shared_ptr).
+  void RemovePublishListener(uint64_t id);
+
+  /// \brief Retire the engine for observers: every registered listener is
+  /// invoked with nullptr (in publish order w.r.t. prior writes) and
+  /// dropped; later AddPublishListener calls get nullptr immediately.
+  /// Called by the registry when the KB is deleted, so subscribers can end
+  /// their streams instead of waiting forever.
+  void CloseForListeners();
+
   /// \brief The live incremental state, if any. Writer-side diagnostics
   /// for tests; not synchronized with concurrent writes.
   const core::IncrementalResolver* incremental_for_tests() const {
@@ -232,6 +266,13 @@ class Engine {
   /// Guards only the snapshot pointer swap (held for pointer-copy time).
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;
+
+  /// Guards the listener table (add/remove may race reads); invocation
+  /// happens outside this lock, serialized by writer_mutex_.
+  std::mutex listener_mutex_;
+  std::map<uint64_t, PublishListener> listeners_;
+  uint64_t next_listener_id_ = 1;
+  bool closed_ = false;
 };
 
 }  // namespace api

@@ -1,0 +1,123 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tecore {
+namespace api {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+EngineRegistry::EngineRegistry() : EngineRegistry(Options()) {}
+
+EngineRegistry::EngineRegistry(Options options)
+    : options_(std::move(options)) {}
+
+std::shared_ptr<util::ThreadPool> EngineRegistry::pool() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) {
+    // Created on first use, with the same floor as HttpServer: neither
+    // the constructing thread nor the acceptor drains the queue, and
+    // every streaming subscriber parks on a worker for its connection's
+    // lifetime — the floor keeps a subscriber from starving the writes
+    // it is watching for.
+    pool_ = std::make_shared<util::ThreadPool>(
+        std::max(6, util::ResolveThreadCount(options_.num_threads)));
+  }
+  return pool_;
+}
+
+Status EngineRegistry::ValidateName(std::string_view name) {
+  if (name.empty() || name.size() > 64) {
+    return Status::InvalidArgument(
+        "kb name must be 1..64 characters of [A-Za-z0-9_-]");
+  }
+  if (!std::isalnum(static_cast<unsigned char>(name.front()))) {
+    return Status::InvalidArgument(
+        "kb name must start with a letter or digit");
+  }
+  for (char c : name) {
+    if (!IsNameChar(c)) {
+      return Status::InvalidArgument(StringPrintf(
+          "kb name contains invalid character '%c' (allowed: [A-Za-z0-9_-])",
+          c));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Engine>> EngineRegistry::Create(
+    const std::string& name) {
+  TECORE_RETURN_NOT_OK(ValidateName(name));
+  auto engine = std::make_shared<Engine>(options_.engine);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = engines_.emplace(name, std::move(engine));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StringPrintf("kb '%s' already exists", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<Engine>> EngineRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    return Status::NotFound(StringPrintf("no such kb: '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Status EngineRegistry::Delete(const std::string& name) {
+  std::shared_ptr<Engine> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = engines_.find(name);
+    if (it == engines_.end()) {
+      return Status::NotFound(StringPrintf("no such kb: '%s'", name.c_str()));
+    }
+    removed = std::move(it->second);
+    engines_.erase(it);
+  }
+  // Outside the registry lock: CloseForListeners takes the engine's
+  // writer lock (it may wait on an in-flight solve) and calls observers.
+  removed->CloseForListeners();
+  return Status::OK();
+}
+
+std::vector<EngineRegistry::KbInfo> EngineRegistry::List() const {
+  std::vector<KbInfo> out;
+  std::vector<std::shared_ptr<Engine>> engines;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(engines_.size());
+    engines.reserve(engines_.size());
+    for (const auto& [name, engine] : engines_) {
+      out.push_back({name, nullptr});
+      engines.push_back(engine);
+    }
+  }
+  // Snapshots are grabbed outside the registry lock — per-KB atomic, and
+  // a concurrent Delete cannot invalidate the shared_ptrs we hold.
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].snapshot = engines[i]->snapshot();
+  }
+  return out;  // std::map iteration: already sorted by name
+}
+
+size_t EngineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engines_.size();
+}
+
+}  // namespace api
+}  // namespace tecore

@@ -1,0 +1,103 @@
+#ifndef TECORE_API_REGISTRY_H_
+#define TECORE_API_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tecore {
+namespace api {
+
+/// \brief Multi-tenant front door: N named `api::Engine` instances behind
+/// one shared `util::ThreadPool`.
+///
+/// Each knowledge base is an independent Engine — its own graph, rules,
+/// incremental state and snapshot chain — so tenants never observe each
+/// other's versions or edits. The registry itself is a small synchronized
+/// name table; all per-KB concurrency guarantees are the Engine's.
+///
+/// Lifecycle semantics:
+///  * `Create` / `Delete` / `Get` are individually atomic (one mutex).
+///  * `Get` hands out a shared_ptr: a KB deleted while a request is in
+///    flight stays alive until the last holder drops it, so racing reads
+///    see either NotFound or a fully self-consistent engine — never a
+///    torn one.
+///  * `Delete` retires the engine for publish observers
+///    (`Engine::CloseForListeners`), so streaming subscribers get an
+///    end-of-stream signal instead of waiting on a zombie.
+///
+/// The shared pool is the service-wide worker budget (HTTP connection
+/// workers for every tenant); per-request solver parallelism stays
+/// governed by ResolveOptions as before. One pool for N tenants is the
+/// point: creating a KB must not spawn threads.
+class EngineRegistry {
+ public:
+  struct Options {
+    /// Executors in the shared pool (0 = auto, min 6 — see
+    /// HttpServer::Options::num_threads for why the floor).
+    int num_threads = 0;
+    /// Defaults applied to every engine the registry creates.
+    Engine::Options engine;
+  };
+
+  EngineRegistry();  // defaults (GCC cannot parse `Options options = {}`
+                     // as a default argument of a nested aggregate here)
+  explicit EngineRegistry(Options options);
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// \brief KB names are DNS-label-ish: `[A-Za-z0-9][A-Za-z0-9_-]{0,63}`.
+  /// InvalidArgument otherwise.
+  static Status ValidateName(std::string_view name);
+
+  /// \brief Create a new empty KB. AlreadyExists if the name is taken,
+  /// InvalidArgument for a malformed name.
+  Result<std::shared_ptr<Engine>> Create(const std::string& name);
+
+  /// \brief Look up a KB (NotFound when absent).
+  Result<std::shared_ptr<Engine>> Get(const std::string& name) const;
+
+  /// \brief Delete a KB: unregister the name and retire the engine for
+  /// publish observers. In-flight holders keep a working engine until
+  /// they drop their reference. NotFound when absent.
+  Status Delete(const std::string& name);
+
+  /// \brief One row of `GET /v1/kb`: the name plus the KB's current
+  /// snapshot (grabbed atomically per engine).
+  struct KbInfo {
+    std::string name;
+    std::shared_ptr<const Snapshot> snapshot;
+  };
+
+  /// \brief All KBs sorted by name.
+  std::vector<KbInfo> List() const;
+
+  size_t size() const;
+
+  /// \brief The service-wide worker pool shared by every tenant, created
+  /// on first use (library embedders that only want the name table never
+  /// pay for idle workers).
+  std::shared_ptr<util::ThreadPool> pool() const;
+
+ private:
+  Options options_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::shared_ptr<util::ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Engine>> engines_;
+};
+
+}  // namespace api
+}  // namespace tecore
+
+#endif  // TECORE_API_REGISTRY_H_

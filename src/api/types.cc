@@ -104,6 +104,18 @@ Result<SuggestRequest> SuggestRequest::FromJson(const Json& json) {
   return req;
 }
 
+Result<KbCreateRequest> KbCreateRequest::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  KbCreateRequest req;
+  req.name = json.GetString("name", "");
+  if (req.name.empty()) {
+    return Status::InvalidArgument("missing 'name' (the kb to create)");
+  }
+  return req;
+}
+
 // ------------------------------------------------------------ responses
 
 Json ResponseEnvelope(uint64_t version) {
@@ -324,10 +336,30 @@ Json EditsJson(uint64_t version, const rdf::TemporalGraph& graph,
   return out;
 }
 
-Json ErrorJson(const Status& status) {
+Json KbInfoJson(const std::string& name, const Snapshot& snapshot) {
+  Json out = GraphInfoJson(snapshot);
+  out.Set("kb", Json::Str(name));
+  return out;
+}
+
+Json KbListJson(const std::vector<EngineRegistry::KbInfo>& kbs) {
   Json out = Json::Object();
-  out.Set("error", Json::Str(status.message()));
-  out.Set("code", Json::Str(StatusCodeName(status.code())));
+  out.Set("tecore", Json::Str(kTecoreVersion));
+  out.Set("num_kbs", Json::Int(static_cast<int64_t>(kbs.size())));
+  Json items = Json::Array();
+  for (const EngineRegistry::KbInfo& kb : kbs) {
+    items.Append(KbInfoJson(kb.name, *kb.snapshot));
+  }
+  out.Set("kbs", std::move(items));
+  return out;
+}
+
+Json ErrorJson(const Status& status) {
+  Json error = Json::Object();
+  error.Set("code", Json::Str(StatusCodeName(status.code())));
+  error.Set("message", Json::Str(status.message()));
+  Json out = Json::Object();
+  out.Set("error", std::move(error));
   return out;
 }
 
@@ -343,6 +375,10 @@ int HttpStatusFor(const Status& status) {
       return 404;
     case StatusCode::kAlreadyExists:
       return 409;
+    case StatusCode::kUnauthenticated:
+      return 401;
+    case StatusCode::kPermissionDenied:
+      return 403;
     case StatusCode::kUnsupported:
       return 501;
     case StatusCode::kTimeout:

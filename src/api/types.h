@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "api/registry.h"
 #include "core/conflict.h"
 #include "core/resolver.h"
 #include "core/suggest.h"
@@ -68,6 +69,13 @@ struct SuggestRequest {
   static Result<SuggestRequest> FromJson(const util::Json& json);
 };
 
+/// \brief Body of `POST /v1/kb`: `{"name": "<kb>"}`.
+struct KbCreateRequest {
+  std::string name;
+
+  static Result<KbCreateRequest> FromJson(const util::Json& json);
+};
+
 // ------------------------------------------------------------ responses
 
 /// \brief `{"version":v,"tecore":"x.y.z"}` — the envelope every response
@@ -107,7 +115,16 @@ util::Json EditsJson(uint64_t version, const rdf::TemporalGraph& graph,
                      const core::EditApplication& applied,
                      const core::ResolveResult& result, size_t max_facts);
 
-/// \brief `{"error":message,"code":name}` for a failed Status.
+/// \brief One KB's digest: the `GET /v1/graph` shape plus `"kb"` (the
+/// tenant name). Used by the lifecycle endpoints and as the SSE
+/// `snapshot` event payload.
+util::Json KbInfoJson(const std::string& name, const Snapshot& snapshot);
+
+/// \brief `GET /v1/kb` — every KB's digest, sorted by name.
+util::Json KbListJson(const std::vector<EngineRegistry::KbInfo>& kbs);
+
+/// \brief The uniform error envelope every endpoint returns on failure:
+/// `{"error": {"code": "<StatusCodeName>", "message": "<text>"}}`.
 util::Json ErrorJson(const Status& status);
 
 /// \brief Map a Status to the HTTP status code the server responds with.

@@ -6,10 +6,15 @@ namespace api {
 
 /// \brief Library/binary release version (SemVer), reported by
 /// `tecore-cli --version` and every server response envelope.
-inline constexpr const char kTecoreVersion[] = "0.4.0";
+inline constexpr const char kTecoreVersion[] = "0.5.0";
 
 /// \brief Wire-protocol major version — the `/v1` in endpoint paths.
 /// Bumped only on breaking changes to the request/response schemas.
+/// Known exception: 0.5.0 changed the error envelope in place (from
+/// `{"error": msg, "code": name}` to `{"error": {"code", "message"}}`)
+/// as part of the tenancy redesign — success schemas were untouched and
+/// the legacy paths kept answering, so `/v1` was retained; clients that
+/// parse error bodies must follow docs/api.md §Errors.
 inline constexpr int kApiMajorVersion = 1;
 
 }  // namespace api

@@ -12,7 +12,8 @@
 //                       [--threshold 0.5] [--threads N] [--out repaired.tq]
 //                       [--edits script.tq]
 //   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
-//   tecore-cli serve    [--port 8080] [--graph g.tq] [--rules r.tcr]
+//   tecore-cli serve    [--port 8080] [--kb name] [--graph g.tq]
+//                       [--rules r.tcr] [--auth-token-file f]
 //   tecore-cli version  (also: --version)
 //
 // `--edits` applies a KG edit script (lines `+ <fact>` / `- <fact>`) after
@@ -70,8 +71,10 @@ int Usage() {
                " components are re-solved)\n"
                "  results are bit-identical for every thread count and for"
                " incremental vs full re-solve\n"
-               "  serve              start the /v1 JSON HTTP service"
-               " ([--host h] [--port n]; docs/api.md)\n"
+               "  serve              start the multi-tenant /v1 JSON HTTP"
+               " service ([--host h] [--port n]\n"
+               "                     [--kb name] [--auth-token-file f];"
+               " docs/api.md)\n"
                "  version | --version  print the release version\n");
   return 2;
 }

@@ -1,0 +1,59 @@
+#include "server/auth.h"
+
+#include "util/file.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace server {
+
+Result<std::string> LoadAuthTokenFile(const std::string& path) {
+  TECORE_ASSIGN_OR_RETURN(contents, util::ReadFileToString(path));
+  std::string token(Trim(contents));
+  if (token.empty()) {
+    return Status::InvalidArgument(
+        StringPrintf("auth token file '%s' is empty", path.c_str()));
+  }
+  return token;
+}
+
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  // Fold every byte of both strings into the accumulator — no early exit
+  // on first mismatch, and the longer input is walked in full even when
+  // lengths differ.
+  volatile unsigned char acc =
+      static_cast<unsigned char>((a.size() == b.size()) ? 0 : 1);
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i])
+                                          : static_cast<unsigned char>(0);
+    const unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i])
+                                          : static_cast<unsigned char>(0);
+    acc = static_cast<unsigned char>(acc | (ca ^ cb));
+  }
+  return acc == 0;
+}
+
+Status CheckAuth(std::string_view token, const HttpRequest& request) {
+  if (token.empty()) return Status::OK();  // auth disabled
+  const std::string header = request.HeaderValue("authorization", "");
+  if (header.empty()) {
+    return Status::Unauthenticated(
+        "missing Authorization header (expected 'Bearer <token>')");
+  }
+  std::string_view value = Trim(header);
+  const size_t space = value.find(' ');
+  // Scheme match is case-insensitive per RFC 9110 §11.1.
+  if (space == std::string_view::npos ||
+      !AsciiIEquals(value.substr(0, space), "bearer")) {
+    return Status::Unauthenticated(
+        "unsupported Authorization scheme (expected 'Bearer <token>')");
+  }
+  std::string_view presented = Trim(value.substr(space + 1));
+  if (!ConstantTimeEquals(presented, token)) {
+    return Status::PermissionDenied("invalid token");
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace tecore

@@ -1,0 +1,40 @@
+#ifndef TECORE_SERVER_AUTH_H_
+#define TECORE_SERVER_AUTH_H_
+
+#include <string>
+#include <string_view>
+
+#include "server/http_server.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace server {
+
+/// \brief Bearer-token authentication for the `/v1` API.
+///
+/// One static token for the whole service (`--auth-token-file`); an empty
+/// token means auth is disabled. This is deliberately not a user model —
+/// it is the "keep the port honest" tier below TLS termination (which
+/// stays a deployment concern; see ROADMAP).
+
+/// \brief Read the token from `path`: the file's contents with
+/// surrounding whitespace trimmed (so a trailing newline from `echo` is
+/// fine). IoError when unreadable, InvalidArgument when empty after
+/// trimming.
+Result<std::string> LoadAuthTokenFile(const std::string& path);
+
+/// \brief Timing-safe equality: examines every byte of both inputs so the
+/// comparison time leaks neither the mismatch position nor (beyond
+/// equality itself) the token length.
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+/// \brief Authenticate one request against `token` (empty = auth off).
+/// OK when authorized; Unauthenticated (HTTP 401) when the Authorization
+/// header is missing or not a Bearer scheme; PermissionDenied (HTTP 403)
+/// when the presented token is wrong.
+Status CheckAuth(std::string_view token, const HttpRequest& request);
+
+}  // namespace server
+}  // namespace tecore
+
+#endif  // TECORE_SERVER_AUTH_H_

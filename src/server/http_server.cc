@@ -48,7 +48,10 @@ std::string UrlDecode(std::string_view s) {
 const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
@@ -58,18 +61,6 @@ const char* ReasonPhrase(int status) {
     case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
-}
-
-/// Case-insensitive ASCII compare (HTTP header names).
-bool IEquals(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
 }
 
 bool SendAll(int fd, std::string_view data) {
@@ -105,6 +96,27 @@ std::string HttpRequest::QueryParam(std::string_view key,
     }
   }
   return fallback;
+}
+
+std::string HttpRequest::HeaderValue(std::string_view name,
+                                     std::string fallback) const {
+  for (const auto& [header, value] : headers) {
+    if (AsciiIEquals(header, name)) return value;
+  }
+  return fallback;
+}
+
+bool ResponseStream::Write(std::string_view data) {
+  if (broken_ || !running_->load(std::memory_order_acquire)) return false;
+  if (!SendAll(fd_, data)) {
+    broken_ = true;  // client gone (or stalled past the send timeout)
+    return false;
+  }
+  return true;
+}
+
+bool ResponseStream::stopping() const {
+  return broken_ || !running_->load(std::memory_order_acquire);
 }
 
 HttpServer::HttpServer(Options options, HttpHandler handler)
@@ -150,12 +162,22 @@ Result<int> HttpServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  // At least 2 executors: ThreadPool counts the constructing thread as an
-  // executor, but the acceptor thread only Submit()s — it never drains the
-  // queue — so we need >= 1 real worker.
-  const int threads =
-      std::max(2, util::ResolveThreadCount(options_.num_threads));
-  pool_ = std::make_unique<util::ThreadPool>(threads);
+  if (options_.pool != nullptr) {
+    // Shared pool (one worker budget across every tenant of a registry).
+    pool_ = options_.pool;
+    owns_pool_ = false;
+  } else {
+    // At least 6 executors: ThreadPool counts the constructing thread as
+    // an executor but neither it nor the acceptor drains the queue, and a
+    // streaming subscriber occupies its worker for the connection's
+    // lifetime — with fewer real workers, one subscriber starves the very
+    // requests that would publish the events it is waiting for (seen on
+    // 1-core CI, where hardware concurrency alone yields 1 worker).
+    const int threads =
+        std::max(6, util::ResolveThreadCount(options_.num_threads));
+    pool_ = std::make_shared<util::ThreadPool>(threads);
+    owns_pool_ = true;
+  }
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return port_;
@@ -176,9 +198,17 @@ void HttpServer::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // ThreadPool destruction drains queued connections and joins workers;
-  // in-flight keep-alive connections exit at their next recv timeout.
-  pool_.reset();
+  // Drain this server's queued + in-flight connections (keep-alive
+  // connections exit at their next recv timeout; streaming responses
+  // observe stopping() at their next poll tick). The wait is on our own
+  // connection count, never on the pool: a shared pool may be carrying
+  // another server's long-lived streams, which must not gate our Stop.
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  if (owns_pool_) pool_.reset();  // shared pools belong to their owner
+  pool_ = nullptr;
 }
 
 void HttpServer::AcceptLoop() {
@@ -200,9 +230,20 @@ void HttpServer::AcceptLoop() {
     tv.tv_sec = options_.recv_timeout_ms / 1000;
     tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Bound sends too: a streaming subscriber that stops reading must not
+    // pin a worker past the timeout.
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    pool_->Submit([this, fd] { ServeConnection(fd); });
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      ++inflight_;
+    }
+    pool_->Submit([this, fd] {
+      ServeConnection(fd);
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      if (--inflight_ == 0) inflight_cv_.notify_all();
+    });
   }
 }
 
@@ -217,17 +258,34 @@ void HttpServer::ServeConnection(int fd) {
         HttpResponse response;
         response.status = 501;
         response.body =
-            "{\"error\":\"Transfer-Encoding is not supported; send a "
-            "Content-Length body\",\"code\":\"Unsupported\"}\n";
+            "{\"error\":{\"code\":\"Unsupported\",\"message\":"
+            "\"unsupported Transfer-Encoding; send a Content-Length or "
+            "chunked body\"}}\n";
         WriteResponse(fd, response, /*keep_alive=*/false);
       }
       break;
     }
     HttpResponse response = handler_(request);
+    if (response.stream) {
+      // Long-lived stream: headers out (unframed body, so the connection
+      // cannot be reused), then hand the socket to the streamer.
+      WriteResponse(fd, response, /*keep_alive=*/false);
+      ResponseStream stream(fd, &running_);
+      response.stream(&stream);
+      break;
+    }
     WriteResponse(fd, response, keep_alive);
     if (!keep_alive) break;
   }
   ::close(fd);
+}
+
+bool HttpServer::FillBuffer(int fd, std::string* buffer) {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n <= 0) return false;  // EOF, timeout or error
+  buffer->append(chunk, static_cast<size_t>(n));
+  return true;
 }
 
 bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
@@ -236,10 +294,7 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
   size_t header_end;
   while ((header_end = buffer->find("\r\n\r\n")) == std::string::npos) {
     if (buffer->size() > options_.max_body_bytes) return false;
-    char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;  // EOF, timeout or error
-    buffer->append(chunk, static_cast<size_t>(n));
+    if (!FillBuffer(fd, buffer)) return false;
   }
   std::string_view head(*buffer);
   head = head.substr(0, header_end);
@@ -259,9 +314,11 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
                        ? std::string()
                        : std::string(target.substr(qmark + 1));
 
-  // Headers we care about: Content-Length and Connection.
+  // Headers: all retained on the request; framing-relevant ones
+  // (Content-Length, Transfer-Encoding, Connection) interpreted here.
   size_t content_length = 0;
-  *keep_alive = !IEquals(http_version, "HTTP/1.0");
+  bool chunked = false;
+  *keep_alive = !AsciiIEquals(http_version, "HTTP/1.0");
   std::string_view headers =
       line_end == std::string_view::npos ? std::string_view()
                                          : head.substr(line_end + 2);
@@ -274,31 +331,38 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
     if (colon == std::string_view::npos) continue;
     std::string_view name = Trim(line.substr(0, colon));
     std::string_view value = Trim(line.substr(colon + 1));
-    if (IEquals(name, "content-length")) {
+    request->headers.emplace_back(std::string(name), std::string(value));
+    if (AsciiIEquals(name, "content-length")) {
       int64_t parsed = 0;
       if (!ParseInt64(value, &parsed) || parsed < 0 ||
           static_cast<size_t>(parsed) > options_.max_body_bytes) {
         return false;
       }
       content_length = static_cast<size_t>(parsed);
-    } else if (IEquals(name, "connection")) {
-      if (IEquals(value, "close")) *keep_alive = false;
-      if (IEquals(value, "keep-alive")) *keep_alive = true;
-    } else if (IEquals(name, "transfer-encoding")) {
-      // Chunked bodies are not implemented; guessing the framing would
-      // desync every later request on this connection.
-      *unsupported = true;
-      return false;
+    } else if (AsciiIEquals(name, "connection")) {
+      if (AsciiIEquals(value, "close")) *keep_alive = false;
+      if (AsciiIEquals(value, "keep-alive")) *keep_alive = true;
+    } else if (AsciiIEquals(name, "transfer-encoding")) {
+      // `chunked` alone is decoded below; any other coding (or stack of
+      // codings) is framing we must not guess at — answer 501 rather
+      // than desyncing every later request on this connection.
+      if (AsciiIEquals(value, "chunked")) {
+        chunked = true;
+      } else {
+        *unsupported = true;
+        return false;
+      }
     }
   }
 
-  // Body.
   const size_t body_start = header_end + 4;
+  if (chunked) {
+    return ReadChunkedBody(fd, buffer, body_start, request);
+  }
+
+  // Content-Length body.
   while (buffer->size() < body_start + content_length) {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
-    buffer->append(chunk, static_cast<size_t>(n));
+    if (!FillBuffer(fd, buffer)) return false;
   }
   request->body = buffer->substr(body_start, content_length);
   // Keep any pipelined bytes for the next request on this connection.
@@ -306,17 +370,88 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
   return true;
 }
 
+bool HttpServer::ReadChunkedBody(int fd, std::string* buffer,
+                                 size_t body_start, HttpRequest* request) {
+  // RFC 9112 §7.1: repeated `size-hex[;ext] CRLF data CRLF`, terminated
+  // by a zero-size chunk and an (ignored) trailer section ending in a
+  // blank line. The decoded body replaces the wire framing, so handlers
+  // never see chunk boundaries and keep-alive framing stays in sync.
+  request->body.clear();
+  size_t pos = body_start;
+  auto need_line = [&](size_t* eol) -> bool {
+    while ((*eol = buffer->find("\r\n", pos)) == std::string::npos) {
+      if (buffer->size() - pos > 1024) return false;  // absurd size line
+      if (!FillBuffer(fd, buffer)) return false;
+    }
+    return true;
+  };
+  for (;;) {
+    size_t eol;
+    if (!need_line(&eol)) return false;
+    std::string_view line(buffer->data() + pos, eol - pos);
+    // Chunk extensions (";...") are legal and ignored.
+    const size_t semi = line.find(';');
+    std::string_view hex = Trim(line.substr(0, semi));
+    if (hex.empty()) return false;
+    size_t size = 0;
+    for (char c : hex) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return false;
+      }
+      size = size * 16 + static_cast<size_t>(digit);
+      if (size > options_.max_body_bytes) return false;
+    }
+    pos = eol + 2;
+    if (size == 0) break;
+    if (request->body.size() + size > options_.max_body_bytes) return false;
+    while (buffer->size() < pos + size + 2) {
+      if (!FillBuffer(fd, buffer)) return false;
+    }
+    request->body.append(*buffer, pos, size);
+    if (buffer->compare(pos + size, 2, "\r\n") != 0) return false;
+    pos += size + 2;
+  }
+  // Trailer section: header lines we ignore, up to the blank line.
+  for (;;) {
+    size_t eol;
+    if (!need_line(&eol)) return false;
+    const bool blank = eol == pos;
+    pos = eol + 2;
+    if (blank) break;
+  }
+  buffer->erase(0, pos);
+  return true;
+}
+
 void HttpServer::WriteResponse(int fd, const HttpResponse& response,
                                bool keep_alive) {
   std::string out = StringPrintf(
       "HTTP/1.1 %d %s\r\n"
-      "Content-Type: %s\r\n"
+      "Content-Type: %s\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str());
+  for (const auto& [name, value] : response.headers) {
+    out += StringPrintf("%s: %s\r\n", name.c_str(), value.c_str());
+  }
+  if (response.stream) {
+    // Unframed streaming body: no Content-Length, connection will close
+    // when the streamer returns.
+    out += "Connection: close\r\n\r\n";
+    SendAll(fd, out);
+    return;
+  }
+  out += StringPrintf(
       "Content-Length: %zu\r\n"
       "Connection: %s\r\n"
       "\r\n",
-      response.status, ReasonPhrase(response.status),
-      response.content_type.c_str(), response.body.size(),
-      keep_alive ? "keep-alive" : "close");
+      response.body.size(), keep_alive ? "keep-alive" : "close");
   out += response.body;
   SendAll(fd, out);
 }

@@ -2,11 +2,15 @@
 #define TECORE_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -19,39 +23,90 @@ struct HttpRequest {
   std::string method;  ///< "GET", "POST", "DELETE", ...
   std::string path;    ///< decoded path, e.g. "/v1/complete"
   std::string query;   ///< raw query string, e.g. "prefix=coa&limit=5"
-  std::string body;
+  std::string body;    ///< decoded body (chunked transfer-encoding is
+                       ///< de-chunked before the handler sees it)
+  /// All request headers in wire order (names as sent; use HeaderValue
+  /// for case-insensitive lookup).
+  std::vector<std::pair<std::string, std::string>> headers;
 
   /// \brief Value of a `key=value` query parameter (percent-decoded),
   /// or `fallback` when absent.
   std::string QueryParam(std::string_view key, std::string fallback) const;
+
+  /// \brief First header with this name (ASCII case-insensitive), or
+  /// `fallback` when absent.
+  std::string HeaderValue(std::string_view name, std::string fallback) const;
+};
+
+/// \brief Handle for writing a long-lived response body incrementally
+/// (server-sent events). Passed to HttpResponse::stream on the
+/// connection worker after the response headers went out.
+class ResponseStream {
+ public:
+  /// \brief Send raw body bytes. Returns false once the client is gone
+  /// (send failed/timed out) or the server is stopping — the streamer
+  /// must then return promptly.
+  bool Write(std::string_view data);
+
+  /// \brief True once Stop() was called; streamers poll this between
+  /// blocking waits so shutdown is never gated on a client.
+  bool stopping() const;
+
+ private:
+  friend class HttpServer;
+  ResponseStream(int fd, const std::atomic<bool>* running)
+      : fd_(fd), running_(running) {}
+
+  int fd_;
+  const std::atomic<bool>* running_;
+  bool broken_ = false;
 };
 
 /// \brief Response returned by a handler.
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers (e.g. `Deprecation` on legacy routes).
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// When set, this response is a long-lived stream: the server sends
+  /// the status line, content_type and extra headers with
+  /// `Connection: close` and no Content-Length, then invokes `stream`
+  /// on the connection worker to produce the body. The connection
+  /// closes when the callback returns; `body` is ignored. Streamers
+  /// must bound their blocking waits and honor ResponseStream::stopping.
+  std::function<void(ResponseStream*)> stream;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 /// \brief Minimal embedded HTTP/1.1 server: one acceptor thread plus a
-/// util::ThreadPool of connection workers. Supports keep-alive,
-/// Content-Length bodies (no chunked encoding) and clean shutdown; TLS,
-/// auth and streaming are explicit non-goals of this layer (ROADMAP
-/// follow-ups). Loopback-oriented: bind it to 127.0.0.1 unless you know
-/// what you are doing.
+/// util::ThreadPool of connection workers (its own, or a shared pool
+/// handed in via Options — the multi-tenant registry shares one pool
+/// across every KB). Supports keep-alive, Content-Length and chunked
+/// request bodies, long-lived streaming responses (SSE) and clean
+/// shutdown; TLS is an explicit non-goal of this layer (ROADMAP).
+/// Loopback-oriented: bind it to 127.0.0.1 unless you know what you are
+/// doing.
 class HttpServer {
  public:
   struct Options {
     std::string host = "127.0.0.1";
     int port = 0;          ///< 0 = pick an ephemeral port (see port()).
-    int num_threads = 0;   ///< Connection workers; 0 = auto, min 2.
+    int num_threads = 0;   ///< Connection workers; 0 = auto, min 6 (a
+                           ///< streaming subscriber parks on a worker, so
+                           ///< the floor keeps one from starving writes).
+                           ///< Ignored when `pool` is set.
     int backlog = 64;
     size_t max_body_bytes = 16u << 20;
-    /// Per-socket receive timeout; doubles as the keep-alive idle timeout
-    /// and bounds worst-case Stop() latency.
+    /// Per-socket receive/send timeout; doubles as the keep-alive idle
+    /// timeout, bounds how long a stalled streaming client can occupy a
+    /// worker, and bounds worst-case Stop() latency.
     int recv_timeout_ms = 5000;
+    /// Externally-owned worker pool (e.g. api::EngineRegistry::pool()).
+    /// The server Submit()s connections to it but never destroys it; the
+    /// pool must outlive the server. Null = the server creates its own.
+    std::shared_ptr<util::ThreadPool> pool;
   };
 
   HttpServer(Options options, HttpHandler handler);
@@ -68,7 +123,9 @@ class HttpServer {
   int port() const { return port_; }
 
   /// \brief Stop accepting, drain in-flight connections, join workers.
-  /// Idempotent; also called by the destructor.
+  /// Idempotent; also called by the destructor. Streaming responses
+  /// observe `ResponseStream::stopping` and end within their poll
+  /// interval.
   void Stop();
 
  private:
@@ -76,10 +133,16 @@ class HttpServer {
   void ServeConnection(int fd);
   /// Read one request off `fd`; false on EOF/timeout/malformed framing.
   /// Sets `*unsupported` (and returns false) for framing we must not
-  /// guess at, e.g. Transfer-Encoding: chunked — the caller answers 501
-  /// before closing instead of desyncing the connection.
+  /// guess at, e.g. a Transfer-Encoding other than chunked — the caller
+  /// answers 501 before closing instead of desyncing the connection.
   bool ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
                    std::string* buffer, bool* unsupported);
+  /// Decode a chunked body starting at buffer[body_start] into
+  /// request->body, receiving more bytes as needed; on success erases
+  /// everything consumed from `buffer` (keeping pipelined bytes).
+  bool ReadChunkedBody(int fd, std::string* buffer, size_t body_start,
+                       HttpRequest* request);
+  bool FillBuffer(int fd, std::string* buffer);
   void WriteResponse(int fd, const HttpResponse& response, bool keep_alive);
 
   Options options_;
@@ -88,7 +151,15 @@ class HttpServer {
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  bool owns_pool_ = true;
+
+  /// Connections this server accepted that have not finished serving
+  /// (queued or running). Stop() drains on this count — not on the pool,
+  /// which may be shared with other servers whose streams outlive us.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
 };
 
 }  // namespace server

@@ -1,9 +1,17 @@
 #include "server/routes.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/types.h"
+#include "server/auth.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -23,20 +31,27 @@ HttpResponse JsonResponse(int status, const Json& body) {
 }
 
 HttpResponse ErrorResponse(const Status& status) {
-  return JsonResponse(api::HttpStatusFor(status), api::ErrorJson(status));
+  HttpResponse out =
+      JsonResponse(api::HttpStatusFor(status), api::ErrorJson(status));
+  if (status.code() == StatusCode::kUnauthenticated) {
+    out.headers.emplace_back("WWW-Authenticate", "Bearer");
+  }
+  return out;
 }
 
 HttpResponse MethodNotAllowed(const std::string& method,
                               const char* allowed) {
-  HttpResponse out;
-  out.status = 405;
+  // Same envelope as ErrorResponse, but no StatusCode maps to 405 — the
+  // wire code is the HTTP-specific "MethodNotAllowed".
+  Json error = Json::Object();
+  error.Set("code", Json::Str("MethodNotAllowed"));
+  error.Set("message",
+            Json::Str(StringPrintf("method %s not allowed (allowed: %s)",
+                                   method.c_str(), allowed)));
   Json body = Json::Object();
-  body.Set("error", Json::Str(StringPrintf(
-                        "method %s not allowed (allowed: %s)",
-                        method.c_str(), allowed)));
-  body.Set("code", Json::Str("MethodNotAllowed"));
-  out.body = body.Dump();
-  out.body += '\n';
+  body.Set("error", std::move(error));
+  HttpResponse out = JsonResponse(405, body);
+  out.headers.emplace_back("Allow", allowed);
   return out;
 }
 
@@ -46,6 +61,8 @@ Result<Json> ParseBody(const HttpRequest& request) {
   if (Trim(request.body).empty()) return Json::Null();
   return Json::Parse(request.body);
 }
+
+// --------------------------------------------------- per-KB endpoints
 
 HttpResponse HandleGraph(api::Engine* engine, const HttpRequest& request) {
   if (request.method == "GET") {
@@ -175,27 +192,265 @@ HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
   return JsonResponse(200, api::SuggestJson(*snap, *suggestions));
 }
 
+// -------------------------------------------------------- subscriptions
+
+/// Mailbox between a tenant engine's publish hook (writer thread) and the
+/// SSE connection worker draining it. Owned jointly via shared_ptr: the
+/// listener may outlive the stream by one in-flight publish.
+struct SseSubscriber {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<const api::Snapshot>> queue;
+  bool closed = false;
+};
+
+/// One wire event. SSE framing: optional `id:`/`event:` lines, one
+/// `data:` line (our payloads are single-line JSON), blank-line
+/// terminator.
+std::string SseEvent(const char* event, const Json& data,
+                     uint64_t id, bool with_id) {
+  std::string out;
+  if (with_id) out += StringPrintf("id: %llu\n", (unsigned long long)id);
+  out += StringPrintf("event: %s\ndata: ", event);
+  out += data.Dump();
+  out += "\n\n";
+  return out;
+}
+
+/// The long-lived body of `GET /v1/kb/{name}/subscribe`: push one
+/// `snapshot` event per publish, in version order, with no gaps or
+/// duplicates. Runs on a connection worker until the client disconnects,
+/// the server stops, the KB is deleted (final `close` event) or
+/// `max_events` is reached.
+void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
+                        const std::string& kb, uint64_t max_events,
+                        ResponseStream* stream) {
+  auto sub = std::make_shared<SseSubscriber>();
+  const uint64_t listener = engine->AddPublishListener(
+      [sub](std::shared_ptr<const api::Snapshot> snap) {
+        std::lock_guard<std::mutex> lock(sub->mutex);
+        if (snap == nullptr) {
+          sub->closed = true;
+        } else {
+          sub->queue.push_back(std::move(snap));
+        }
+        sub->cv.notify_all();
+      });
+  // Register-then-read closes the gap: any publish after this read lands
+  // in the queue, any publish before it is covered by `initial`, and
+  // overlap is deduped by version below.
+  auto initial = engine->snapshot();
+  uint64_t last_version = initial->version;
+  uint64_t sent = 0;
+  bool alive = stream->Write(SseEvent(
+      "snapshot", api::KbInfoJson(kb, *initial), initial->version, true));
+  if (alive) ++sent;
+
+  int idle_ticks = 0;
+  while (alive && !stream->stopping() &&
+         (max_events == 0 || sent < max_events)) {
+    std::vector<std::shared_ptr<const api::Snapshot>> batch;
+    bool closed;
+    {
+      std::unique_lock<std::mutex> lock(sub->mutex);
+      sub->cv.wait_for(lock, std::chrono::milliseconds(250), [&] {
+        return sub->closed || !sub->queue.empty();
+      });
+      batch.assign(sub->queue.begin(), sub->queue.end());
+      sub->queue.clear();
+      closed = sub->closed;
+    }
+    if (batch.empty() && !closed) {
+      // Idle: heartbeat comment roughly every 5 s so a vanished client is
+      // detected (and the worker freed) without any publish happening.
+      if (++idle_ticks >= 20) {
+        idle_ticks = 0;
+        alive = stream->Write(": keep-alive\n\n");
+      }
+      continue;
+    }
+    idle_ticks = 0;
+    for (const auto& snap : batch) {
+      if (snap->version <= last_version) continue;  // initial-event overlap
+      last_version = snap->version;
+      alive = stream->Write(SseEvent("snapshot", api::KbInfoJson(kb, *snap),
+                                     snap->version, true));
+      if (!alive) break;
+      ++sent;
+      if (max_events != 0 && sent >= max_events) break;
+    }
+    if (closed && alive) {
+      Json data = Json::Object();
+      data.Set("kb", Json::Str(kb));
+      data.Set("reason", Json::Str("deleted"));
+      stream->Write(SseEvent("close", data, 0, false));
+      break;
+    }
+  }
+  engine->RemovePublishListener(listener);
+}
+
+HttpResponse HandleSubscribe(std::shared_ptr<api::Engine> engine,
+                             const std::string& kb,
+                             const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MethodNotAllowed(request.method, "GET");
+  }
+  int64_t max_events = 0;
+  const std::string max_param = request.QueryParam("max_events", "");
+  if (!max_param.empty() &&
+      (!ParseInt64(max_param, &max_events) || max_events < 0)) {
+    return ErrorResponse(Status::InvalidArgument(
+        StringPrintf("bad max_events '%s'", max_param.c_str())));
+  }
+  HttpResponse out;
+  out.status = 200;
+  out.content_type = "text/event-stream";
+  out.headers.emplace_back("Cache-Control", "no-cache");
+  out.stream = [engine = std::move(engine), kb,
+                max = static_cast<uint64_t>(max_events)](
+                   ResponseStream* stream) {
+    StreamSubscription(engine, kb, max, stream);
+  };
+  return out;
+}
+
+// ----------------------------------------------------------- lifecycle
+
+HttpResponse HandleKbCollection(api::EngineRegistry* registry,
+                                const HttpRequest& request) {
+  if (request.method == "GET") {
+    return JsonResponse(200, api::KbListJson(registry->List()));
+  }
+  if (request.method == "POST") {
+    auto body = ParseBody(request);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto req = api::KbCreateRequest::FromJson(*body);
+    if (!req.ok()) return ErrorResponse(req.status());
+    auto created = registry->Create(req->name);
+    if (!created.ok()) return ErrorResponse(created.status());
+    return JsonResponse(
+        201, api::KbInfoJson(req->name, *(*created)->snapshot()));
+  }
+  return MethodNotAllowed(request.method, "GET, POST");
+}
+
+HttpResponse HandleKbItem(api::EngineRegistry* registry,
+                          const std::string& name,
+                          const HttpRequest& request) {
+  if (request.method == "GET") {
+    auto engine = registry->Get(name);
+    if (!engine.ok()) return ErrorResponse(engine.status());
+    return JsonResponse(200, api::KbInfoJson(name, *(*engine)->snapshot()));
+  }
+  if (request.method == "DELETE") {
+    Status deleted = registry->Delete(name);
+    if (!deleted.ok()) return ErrorResponse(deleted);
+    Json out = Json::Object();
+    out.Set("kb", Json::Str(name));
+    out.Set("deleted", Json::Bool(true));
+    return JsonResponse(200, out);
+  }
+  return MethodNotAllowed(request.method, "GET, DELETE");
+}
+
+/// Route one endpoint of a named KB. `engine` is the shared_ptr handed
+/// out by the registry — held for the whole request (and by the stream
+/// for subscriptions), so a concurrent DELETE never tears a response.
+HttpResponse DispatchEndpoint(std::shared_ptr<api::Engine> engine,
+                              const std::string& kb,
+                              const std::string& endpoint,
+                              const HttpRequest& request) {
+  if (endpoint == "graph") return HandleGraph(engine.get(), request);
+  if (endpoint == "rules") return HandleRules(engine.get(), request);
+  if (endpoint == "solve") return HandleSolve(engine.get(), request);
+  if (endpoint == "edits") return HandleEdits(engine.get(), request);
+  if (endpoint == "conflicts") return HandleConflicts(engine.get(), request);
+  if (endpoint == "stats") return HandleStats(engine.get(), request);
+  if (endpoint == "complete") return HandleComplete(engine.get(), request);
+  if (endpoint == "suggest") return HandleSuggest(engine.get(), request);
+  if (endpoint == "subscribe") {
+    return HandleSubscribe(std::move(engine), kb, request);
+  }
+  return ErrorResponse(Status::NotFound(
+      StringPrintf("no such endpoint: %s /v1/kb/%s/%s",
+                   request.method.c_str(), kb.c_str(), endpoint.c_str())));
+}
+
+/// Legacy endpoints of the single-KB protocol, still served (against the
+/// default KB) but marked deprecated.
+bool IsLegacyEndpoint(const std::string& endpoint) {
+  static const char* kLegacy[] = {"graph",     "rules", "solve",
+                                  "edits",     "conflicts", "stats",
+                                  "complete",  "suggest"};
+  for (const char* name : kLegacy) {
+    if (endpoint == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-HttpResponse HandleApiRequest(api::Engine* engine,
+HttpResponse HandleApiRequest(api::EngineRegistry* registry,
+                              const RouterOptions& options,
                               const HttpRequest& request) {
+  Status auth = CheckAuth(options.auth_token, request);
+  if (!auth.ok()) return ErrorResponse(auth);
+
   const std::string& path = request.path;
-  if (path == "/v1/graph") return HandleGraph(engine, request);
-  if (path == "/v1/rules") return HandleRules(engine, request);
-  if (path == "/v1/solve") return HandleSolve(engine, request);
-  if (path == "/v1/edits") return HandleEdits(engine, request);
-  if (path == "/v1/conflicts") return HandleConflicts(engine, request);
-  if (path == "/v1/stats") return HandleStats(engine, request);
-  if (path == "/v1/complete") return HandleComplete(engine, request);
-  if (path == "/v1/suggest") return HandleSuggest(engine, request);
+  // /v1/kb … tenant lifecycle and per-KB endpoints.
+  if (path == "/v1/kb") return HandleKbCollection(registry, request);
+  const std::string_view kb_prefix = "/v1/kb/";
+  if (path.compare(0, kb_prefix.size(), kb_prefix) == 0) {
+    std::string rest = path.substr(kb_prefix.size());
+    const size_t slash = rest.find('/');
+    const std::string name = rest.substr(0, slash);
+    if (name.empty()) {
+      return ErrorResponse(Status::NotFound("missing kb name in path"));
+    }
+    if (slash == std::string::npos) {
+      return HandleKbItem(registry, name, request);
+    }
+    const std::string endpoint = rest.substr(slash + 1);
+    auto engine = registry->Get(name);
+    if (!engine.ok()) return ErrorResponse(engine.status());
+    return DispatchEndpoint(std::move(*engine), name, endpoint, request);
+  }
+
+  // Legacy single-KB paths: /v1/<endpoint> → the default KB, plus a
+  // deprecation pointer at the tenant-scoped successor.
+  const std::string_view v1_prefix = "/v1/";
+  if (path.compare(0, v1_prefix.size(), v1_prefix) == 0) {
+    const std::string endpoint = path.substr(v1_prefix.size());
+    if (IsLegacyEndpoint(endpoint)) {
+      auto engine = registry->Get(options.default_kb);
+      if (!engine.ok()) {
+        return ErrorResponse(Status::NotFound(StringPrintf(
+            "legacy path %s needs the default kb '%s', which does not exist",
+            path.c_str(), options.default_kb.c_str())));
+      }
+      HttpResponse out = DispatchEndpoint(std::move(*engine),
+                                          options.default_kb, endpoint,
+                                          request);
+      out.headers.emplace_back("Deprecation", "true");
+      out.headers.emplace_back(
+          "Link", StringPrintf("</v1/kb/%s/%s>; rel=\"successor-version\"",
+                               options.default_kb.c_str(),
+                               endpoint.c_str()));
+      return out;
+    }
+  }
+
   return ErrorResponse(
       Status::NotFound(StringPrintf("no such endpoint: %s %s",
                                     request.method.c_str(), path.c_str())));
 }
 
-HttpHandler MakeApiHandler(api::Engine* engine) {
-  return [engine](const HttpRequest& request) {
-    return HandleApiRequest(engine, request);
+HttpHandler MakeApiHandler(api::EngineRegistry* registry,
+                           RouterOptions options) {
+  return [registry, options = std::move(options)](
+             const HttpRequest& request) {
+    return HandleApiRequest(registry, options, request);
   };
 }
 

@@ -1,32 +1,61 @@
 #ifndef TECORE_SERVER_ROUTES_H_
 #define TECORE_SERVER_ROUTES_H_
 
-#include "api/engine.h"
+#include <string>
+
+#include "api/registry.h"
 #include "server/http_server.h"
 
 namespace tecore {
 namespace server {
 
-/// \brief Dispatch one `/v1` request against the engine.
-///
-/// Endpoints (see docs/api.md for schemas):
-///   GET  /v1/graph      — shape of the loaded KB
-///   POST /v1/graph      — load a UTKG ({"text": ".tq"} or {"path": f})
-///   GET  /v1/rules      — active rules;  POST adds, DELETE clears
-///   POST /v1/solve      — most probable conflict-free KG
-///   POST /v1/edits      — apply edit script, incremental re-solve
-///   GET  /v1/conflicts  — detection report (?limit=N)
-///   GET  /v1/stats      — graph statistics panel
-///   GET  /v1/complete   — predicate auto-completion (?prefix=p)
-///   GET|POST /v1/suggest — mined constraint suggestions
-///
-/// Reads are served from the engine's current snapshot and never block
-/// writes; every response carries the snapshot version it came from.
-HttpResponse HandleApiRequest(api::Engine* engine, const HttpRequest& request);
+/// \brief Router configuration.
+struct RouterOptions {
+  /// Bearer token every request must present (`Authorization: Bearer
+  /// <token>`); empty disables auth. Missing/malformed credentials are
+  /// 401, a wrong token is 403 (constant-time compare; see auth.h).
+  std::string auth_token;
+  /// The tenant behind the legacy single-KB `/v1/<endpoint>` paths.
+  std::string default_kb = "default";
+};
 
-/// \brief Handler closure for HttpServer. `engine` must outlive the
+/// \brief Dispatch one `/v1` request against the registry.
+///
+/// Tenant lifecycle:
+///   GET    /v1/kb            — list KBs (name + snapshot digest each)
+///   POST   /v1/kb            — create a KB ({"name": n}; 201, 409 dup)
+///   GET    /v1/kb/{name}     — one KB's digest
+///   DELETE /v1/kb/{name}     — delete (in-flight reads stay consistent,
+///                              subscribers get a `close` event)
+///
+/// Per-KB endpoints, all rooted at /v1/kb/{name}/… (docs/api.md):
+///   GET|POST /v1/kb/{n}/graph      load / describe the UTKG
+///   GET|POST|DELETE /v1/kb/{n}/rules
+///   POST /v1/kb/{n}/solve          most probable conflict-free KG
+///   POST /v1/kb/{n}/edits          edit script, incremental re-solve
+///   GET  /v1/kb/{n}/conflicts      detection report (?limit=N)
+///   GET  /v1/kb/{n}/stats          statistics panel
+///   GET  /v1/kb/{n}/complete       predicate completion (?prefix=p)
+///   GET|POST /v1/kb/{n}/suggest    mined constraint suggestions
+///   GET  /v1/kb/{n}/subscribe      server-sent events: one `snapshot`
+///                                  event per publish (?max_events=N)
+///
+/// The legacy single-KB paths (`/v1/graph`, …) keep working against
+/// `options.default_kb` and answer with a `Deprecation: true` header plus
+/// a `Link: </v1/kb/{default}/…>; rel="successor-version"` pointer.
+///
+/// Reads are served from the tenant engine's current snapshot and never
+/// block writes; every response carries the snapshot version it came
+/// from. Errors are the uniform envelope
+/// `{"error": {"code": …, "message": …}}`.
+HttpResponse HandleApiRequest(api::EngineRegistry* registry,
+                              const RouterOptions& options,
+                              const HttpRequest& request);
+
+/// \brief Handler closure for HttpServer. `registry` must outlive the
 /// server.
-HttpHandler MakeApiHandler(api::Engine* engine);
+HttpHandler MakeApiHandler(api::EngineRegistry* registry,
+                           RouterOptions options = {});
 
 }  // namespace server
 }  // namespace tecore

@@ -5,9 +5,10 @@
 #include <cstring>
 #include <string>
 
-#include "api/engine.h"
+#include "api/registry.h"
 #include "api/version.h"
 #include "rules/parser.h"
+#include "server/auth.h"
 #include "server/http_server.h"
 #include "server/routes.h"
 #include "util/string_util.h"
@@ -26,27 +27,44 @@ void HandleStopSignal(int) { g_stop_requested = 1; }
 void PrintServeUsage() {
   std::fprintf(stderr,
                "usage: tecore-server [--host h] [--port n] [--threads n]"
-               " [--graph f] [--rules f]\n"
-               "  --host h     bind address (default 127.0.0.1)\n"
-               "  --port n     TCP port; 0 picks an ephemeral port"
+               " [--kb name]\n"
+               "                     [--graph f] [--rules f]"
+               " [--auth-token-file f]\n"
+               "  --host h            bind address (default 127.0.0.1)\n"
+               "  --port n            TCP port; 0 picks an ephemeral port"
                " (default 8080)\n"
-               "  --threads n  connection worker threads (0 = auto)\n"
-               "  --graph f    preload a \".tq\" UTKG before serving\n"
-               "  --rules f    preload a rule file before serving\n"
-               "serves the /v1 JSON API; see docs/api.md\n");
+               "  --threads n         shared connection-worker pool for all"
+               " KBs (0 = auto)\n"
+               "  --kb name           KB that --graph/--rules preload into"
+               " (created if\n"
+               "                      missing; default \"default\", which"
+               " also serves the\n"
+               "                      legacy /v1/... paths)\n"
+               "  --graph f           preload a \".tq\" UTKG before serving\n"
+               "  --rules f           preload a rule file before serving\n"
+               "  --auth-token-file f require 'Authorization: Bearer"
+               " <token>' on every\n"
+               "                      request (file holds the token;"
+               " 401/403 otherwise)\n"
+               "serves the multi-tenant /v1 JSON API (/v1/kb/{name}/...);"
+               " see docs/api.md\n");
 }
 
 int RunServe(int argc, char** argv, int first_arg) {
   HttpServer::Options options;
   options.port = 8080;
+  int pool_threads = 0;
   std::string graph_file;
   std::string rules_file;
+  std::string preload_kb = "default";
+  std::string auth_token_file;
   for (int i = first_arg; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     const bool known = flag == "--host" || flag == "--port" ||
                        flag == "--threads" || flag == "--graph" ||
-                       flag == "--rules";
+                       flag == "--rules" || flag == "--kb" ||
+                       flag == "--auth-token-file";
     if (!known) {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       PrintServeUsage();
@@ -67,18 +85,50 @@ int RunServe(int argc, char** argv, int first_arg) {
         PrintServeUsage();
         return 2;
       }
-      (flag == "--port" ? options.port : options.num_threads) =
+      (flag == "--port" ? options.port : pool_threads) =
           static_cast<int>(parsed);
     } else if (flag == "--graph") {
       graph_file = value;
-    } else {
+    } else if (flag == "--rules") {
       rules_file = value;
+    } else if (flag == "--kb") {
+      preload_kb = value;
+    } else {
+      auth_token_file = value;
     }
   }
 
-  api::Engine engine;
+  RouterOptions router;
+  if (!auth_token_file.empty()) {
+    auto token = LoadAuthTokenFile(auth_token_file);
+    if (!token.ok()) {
+      std::fprintf(stderr, "%s\n", token.status().ToString().c_str());
+      return 1;
+    }
+    router.auth_token = *token;
+  }
+
+  // The registry owns the shared worker pool and every tenant engine.
+  // "default" always exists so the legacy single-KB /v1/... paths work.
+  api::EngineRegistry::Options registry_options;
+  registry_options.num_threads = pool_threads;
+  api::EngineRegistry registry(registry_options);
+  auto default_kb = registry.Create(router.default_kb);
+  if (!default_kb.ok()) {
+    std::fprintf(stderr, "%s\n", default_kb.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<api::Engine> preload = *default_kb;
+  if (preload_kb != router.default_kb) {
+    auto created = registry.Create(preload_kb);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    preload = *created;
+  }
   if (!graph_file.empty()) {
-    auto loaded = engine.LoadGraphFile(graph_file);
+    auto loaded = preload->LoadGraphFile(graph_file);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
@@ -90,10 +140,11 @@ int RunServe(int argc, char** argv, int first_arg) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return 1;
     }
-    engine.AddRules(*parsed);
+    preload->AddRules(*parsed);
   }
 
-  HttpServer http(options, MakeApiHandler(&engine));
+  options.pool = registry.pool();
+  HttpServer http(options, MakeApiHandler(&registry, router));
   auto port = http.Start();
   if (!port.ok()) {
     std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
@@ -102,6 +153,13 @@ int RunServe(int argc, char** argv, int first_arg) {
   // The exact line CI's smoke script and the bench parse — keep stable.
   std::printf("tecore-server %s listening on http://%s:%d/v1\n",
               api::kTecoreVersion, options.host.c_str(), *port);
+  std::printf("  kbs: %zu (default '%s'%s) · auth: %s\n", registry.size(),
+              router.default_kb.c_str(),
+              preload_kb != router.default_kb
+                  ? StringPrintf(", preloaded '%s'", preload_kb.c_str())
+                        .c_str()
+                  : "",
+              router.auth_token.empty() ? "off" : "bearer token");
   std::fflush(stdout);
 
   // Block the stop signals, install handlers, then atomically unblock and

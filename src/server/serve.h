@@ -8,13 +8,17 @@ namespace server {
 void PrintServeUsage();
 
 /// \brief Entry point shared by the `tecore-server` binary and
-/// `tecore-cli serve`: parse flags from argv[first_arg..), optionally
-/// preload a graph and rules, start the HTTP server and block until
-/// SIGINT/SIGTERM. Returns a process exit code.
+/// `tecore-cli serve`: parse flags from argv[first_arg..), build the
+/// multi-tenant engine registry (a `default` KB always exists so the
+/// legacy `/v1/…` paths work), optionally preload a graph and rules,
+/// start the HTTP server and block until SIGINT/SIGTERM. Returns a
+/// process exit code.
 ///
 /// Flags: --host h (default 127.0.0.1), --port n (default 8080, 0 =
-/// ephemeral), --threads n (connection workers, 0 = auto), --graph f,
-/// --rules f (preloaded into the engine before serving).
+/// ephemeral), --threads n (shared connection-worker pool, 0 = auto),
+/// --kb name (the KB --graph/--rules preload into, created if missing;
+/// default "default"), --graph f, --rules f, --auth-token-file f
+/// (enables bearer-token auth for every request).
 int RunServe(int argc, char** argv, int first_arg);
 
 }  // namespace server

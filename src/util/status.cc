@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnauthenticated:
+      return "Unauthenticated";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
   }
   return "Unknown";
 }

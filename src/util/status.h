@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kTimeout,
+  kUnauthenticated,
+  kPermissionDenied,
 };
 
 /// \brief Human-readable name of a status code (e.g. "ParseError").
@@ -64,6 +66,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -67,6 +67,17 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+bool AsciiIEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool ParseInt64(std::string_view s, int64_t* out) {
   if (s.empty()) return false;
   std::string buf(s);

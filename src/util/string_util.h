@@ -29,6 +29,9 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// \brief Lower-case an ASCII string.
 std::string ToLower(std::string_view s);
 
+/// \brief ASCII case-insensitive equality (HTTP header names/schemes).
+bool AsciiIEquals(std::string_view a, std::string_view b);
+
 /// \brief Parse a signed 64-bit integer; returns false on any trailing junk.
 bool ParseInt64(std::string_view s, int64_t* out);
 

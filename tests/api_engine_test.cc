@@ -13,6 +13,7 @@
 #include "core/resolver.h"
 #include "rules/library.h"
 #include "util/json.h"
+#include "util/string_util.h"
 
 namespace tecore {
 namespace {
@@ -246,6 +247,69 @@ TEST(ApiEngine, DtoJsonShapes) {
   EXPECT_FALSE(api::SolveRequest::FromJson(
                    *util::Json::Parse("{\"solver\":\"nope\"}"))
                    .ok());
+}
+
+TEST(ApiEngine, PublishListenersSeeEveryVersionInOrder) {
+  api::Engine engine;
+  std::vector<uint64_t> seen;
+  const uint64_t id = engine.AddPublishListener(
+      [&seen](std::shared_ptr<const api::Snapshot> snap) {
+        ASSERT_NE(snap, nullptr);
+        seen.push_back(snap->version);
+      });
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  ASSERT_TRUE(engine.Solve(core::ResolveOptions()).ok());
+  for (int b = 0; b < 5; ++b) {
+    ASSERT_TRUE(engine
+                    .ApplyEditScript(
+                        StringPrintf("+ CR coach club%d [%d,%d] 0.5 .", b,
+                                     2006 + b, 2007 + b),
+                        core::ResolveOptions())
+                    .ok());
+  }
+  // One callback per publish, versions 1..8, strictly in order.
+  ASSERT_EQ(seen.size(), 8u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);
+  }
+  // After removal the listener is silent; the snapshot the callback got
+  // was the one snapshot() served at that instant.
+  engine.RemovePublishListener(id);
+  ASSERT_TRUE(engine.AddRulesText("c3: quad(x, playsFor, y, t) & "
+                                  "quad(x, playsFor, z, t') & y != z -> "
+                                  "disjoint(t, t') .")
+                  .ok());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ApiEngine, CloseForListenersSignalsAndDropsObservers) {
+  api::Engine engine;
+  int closes = 0;
+  int publishes = 0;
+  engine.AddPublishListener(
+      [&](std::shared_ptr<const api::Snapshot> snap) {
+        if (snap == nullptr) {
+          ++closes;
+        } else {
+          ++publishes;
+        }
+      });
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  engine.CloseForListeners();
+  engine.CloseForListeners();  // idempotent: one close signal only
+  EXPECT_EQ(publishes, 1);
+  EXPECT_EQ(closes, 1);
+  // Writes on a retired engine still publish snapshots (the registry has
+  // merely unlisted it) but no longer notify the dropped listeners.
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  EXPECT_EQ(publishes, 1);
+  // A listener added after close is told immediately.
+  engine.AddPublishListener(
+      [&](std::shared_ptr<const api::Snapshot> snap) {
+        if (snap == nullptr) ++closes;
+      });
+  EXPECT_EQ(closes, 2);
 }
 
 }  // namespace

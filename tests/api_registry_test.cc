@@ -1,0 +1,209 @@
+// api::EngineRegistry semantics: name validation, lifecycle, and the
+// concurrency contract — concurrent create/delete of the same name,
+// reads racing a DELETE (must see NotFound or a self-consistent engine,
+// never a torn one). Run under -DTECORE_SANITIZE=thread in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace api {
+namespace {
+
+TEST(EngineRegistryTest, ValidatesNames) {
+  EXPECT_TRUE(EngineRegistry::ValidateName("default").ok());
+  EXPECT_TRUE(EngineRegistry::ValidateName("kb-7_x").ok());
+  EXPECT_TRUE(EngineRegistry::ValidateName("0").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName("").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName("has space").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName("a/b").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName("-leading").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName("_leading").ok());
+  EXPECT_FALSE(EngineRegistry::ValidateName(std::string(65, 'a')).ok());
+  EXPECT_TRUE(EngineRegistry::ValidateName(std::string(64, 'a')).ok());
+}
+
+TEST(EngineRegistryTest, CreateGetDeleteLifecycle) {
+  EngineRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  auto created = registry.Create("alpha");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ((*created)->version(), 0u);
+
+  // Get returns the same engine; a write through one handle is visible
+  // through the other.
+  auto got = registry.Get("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(created->get(), got->get());
+  ASSERT_TRUE((*created)->LoadGraphText("a p b [1,2] 0.9 .").ok());
+  EXPECT_EQ((*got)->version(), 1u);
+
+  // Duplicate create fails and leaves the original untouched.
+  auto dup = registry.Create("alpha");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Get("alpha").value()->version(), 1u);
+
+  EXPECT_EQ(registry.Get("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Delete("ghost").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(registry.Delete("alpha").ok());
+  EXPECT_EQ(registry.Get("alpha").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+
+  // The name is reusable, and the new engine starts pristine.
+  auto recreated = registry.Create("alpha");
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ((*recreated)->version(), 0u);
+}
+
+TEST(EngineRegistryTest, ListIsSortedWithPerKbSnapshots) {
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.Create("zeta").ok());
+  ASSERT_TRUE(registry.Create("alpha").ok());
+  ASSERT_TRUE(registry.Create("mid").ok());
+  ASSERT_TRUE(
+      registry.Get("mid").value()->LoadGraphText("a p b [1,2] 0.9 .").ok());
+  auto list = registry.List();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].name, "alpha");
+  EXPECT_EQ(list[1].name, "mid");
+  EXPECT_EQ(list[2].name, "zeta");
+  EXPECT_EQ(list[0].snapshot->version, 0u);
+  EXPECT_EQ(list[1].snapshot->version, 1u);
+  EXPECT_TRUE(list[1].snapshot->has_graph());
+}
+
+TEST(EngineRegistryTest, DeleteRetiresEngineForListeners) {
+  EngineRegistry registry;
+  auto engine = registry.Create("watched").value();
+  std::atomic<int> closes{0};
+  engine->AddPublishListener(
+      [&closes](std::shared_ptr<const Snapshot> snap) {
+        if (snap == nullptr) ++closes;
+      });
+  ASSERT_TRUE(registry.Delete("watched").ok());
+  EXPECT_EQ(closes.load(), 1);
+  // Late subscribers to the retired engine get the close signal inline.
+  engine->AddPublishListener(
+      [&closes](std::shared_ptr<const Snapshot> snap) {
+        if (snap == nullptr) ++closes;
+      });
+  EXPECT_EQ(closes.load(), 2);
+}
+
+TEST(EngineRegistryTest, ConcurrentCreateDeleteOfOneName) {
+  EngineRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> creates{0};
+  std::atomic<int> deletes{0};
+  std::atomic<int> anomalies{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        if ((t + i) % 2 == 0) {
+          auto created = registry.Create("contested");
+          if (created.ok()) {
+            ++creates;
+          } else if (created.status().code() != StatusCode::kAlreadyExists) {
+            ++anomalies;  // the only legal failure is AlreadyExists
+          }
+        } else {
+          Status deleted = registry.Delete("contested");
+          if (deleted.ok()) {
+            ++deletes;
+          } else if (deleted.code() != StatusCode::kNotFound) {
+            ++anomalies;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(anomalies.load(), 0);
+  // Conservation: every successful delete consumed a successful create,
+  // and the end state accounts for the difference exactly.
+  EXPECT_EQ(creates.load() - deletes.load(),
+            registry.Get("contested").ok() ? 1 : 0);
+}
+
+TEST(EngineRegistryTest, ReadsRacingDeleteSeeNotFoundOrConsistentState) {
+  EngineRegistry registry;
+  {
+    auto seeded = registry.Create("kb");
+    ASSERT_TRUE(seeded.ok());
+    ASSERT_TRUE((*seeded)
+                    ->LoadGraphText("a p b [1,2] 0.9 .\na p c [3,4] 0.8 .")
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto engine = registry.Get("kb");
+        if (!engine.ok()) continue;  // NotFound: the legal racing outcome
+        // A handle obtained before the delete stays fully usable: the
+        // snapshot is immutable and internally consistent.
+        auto snap = (*engine)->snapshot();
+        if (snap == nullptr) {
+          ++anomalies;
+          continue;
+        }
+        if (snap->has_graph()) {
+          if (snap->graph->NumLiveFacts() > snap->graph->NumFacts() ||
+              snap->stats == nullptr) {
+            ++anomalies;
+          }
+        } else if (snap->version != 0) {
+          // Pristine recreations are the only graph-less state here.
+          ++anomalies;
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 25; ++round) {
+    ASSERT_TRUE(registry.Delete("kb").ok());
+    auto recreated = registry.Create("kb");
+    ASSERT_TRUE(recreated.ok());
+    ASSERT_TRUE((*recreated)
+                    ->LoadGraphText("a p b [1,2] 0.9 .\na p c [3,4] 0.8 .")
+                    .ok());
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST(EngineRegistryTest, SharedPoolIsOnePerRegistry) {
+  EngineRegistry::Options options;
+  options.num_threads = 8;
+  EngineRegistry registry(options);
+  ASSERT_NE(registry.pool(), nullptr);
+  EXPECT_EQ(registry.pool()->num_threads(), 8);
+  // Small requests are floored: a pool that cannot serve a streaming
+  // subscriber and the write it watches simultaneously would deadlock
+  // the subscription workflow.
+  EXPECT_GE(EngineRegistry(EngineRegistry::Options()).pool()->num_threads(),
+            6);
+  // Creating tenants does not spawn per-tenant pools: the handle stays
+  // the same object no matter how many engines exist.
+  auto before = registry.pool().get();
+  ASSERT_TRUE(registry.Create("a").ok());
+  ASSERT_TRUE(registry.Create("b").ok());
+  EXPECT_EQ(registry.pool().get(), before);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace tecore

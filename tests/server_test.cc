@@ -1,7 +1,10 @@
 // tecore-server integration: real sockets against an in-process
 // HttpServer on an ephemeral port — the full paper workflow (load graph →
-// add rules → solve → edit → browse) over HTTP, plus protocol edges
-// (404/405/400, keep-alive, concurrent clients during writes).
+// add rules → solve → edit → browse) over HTTP, the multi-tenant layer
+// (KB lifecycle, isolation, legacy-path deprecation, bearer-token auth,
+// SSE subscriptions, chunked request bodies) and protocol edges
+// (404/405/400/401/403/501 with the uniform error envelope, keep-alive,
+// concurrent clients during writes).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -10,12 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "api/engine.h"
+#include "api/registry.h"
 #include "server/http_server.h"
 #include "server/routes.h"
 #include "util/json.h"
@@ -25,18 +30,24 @@ namespace tecore {
 namespace server {
 namespace {
 
-/// Blocking one-shot HTTP client: send `request` bytes, read to EOF.
-std::string RawRequest(int port, const std::string& request) {
+int Connect(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return "";
+  if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
-    return "";
+    return -1;
   }
+  return fd;
+}
+
+/// Blocking one-shot HTTP client: send `request` bytes, read to EOF.
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = Connect(port);
+  if (fd < 0) return "";
   size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n =
@@ -55,18 +66,24 @@ std::string RawRequest(int port, const std::string& request) {
 }
 
 std::string Http(int port, const std::string& method, const std::string& path,
-                 const std::string& body = "") {
+                 const std::string& body = "",
+                 const std::string& extra_headers = "") {
   return RawRequest(
-      port, StringPrintf("%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: "
+      port, StringPrintf("%s %s HTTP/1.1\r\nHost: t\r\n%sContent-Length: "
                          "%zu\r\nConnection: close\r\n\r\n%s",
-                         method.c_str(), path.c_str(), body.size(),
-                         body.c_str()));
+                         method.c_str(), path.c_str(), extra_headers.c_str(),
+                         body.size(), body.c_str()));
 }
 
 int StatusOf(const std::string& response) {
   int status = 0;
   std::sscanf(response.c_str(), "HTTP/1.1 %d", &status);
   return status;
+}
+
+bool HasHeader(const std::string& response, const std::string& line) {
+  const size_t split = response.find("\r\n\r\n");
+  return response.substr(0, split).find(line) != std::string::npos;
 }
 
 util::Json BodyOf(const std::string& response) {
@@ -78,13 +95,25 @@ util::Json BodyOf(const std::string& response) {
   return parsed.ok() ? *parsed : util::Json::Null();
 }
 
+/// The uniform failure shape: {"error": {"code", "message"}}.
+std::string ErrorCodeOf(const util::Json& body) {
+  const util::Json* error = body.Find("error");
+  if (error == nullptr || !error->is_object()) return "<no error object>";
+  if (error->Find("message") == nullptr) return "<no message>";
+  return error->GetString("code", "<no code>");
+}
+
 class ServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    auto created = registry_.Create("default");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    engine_ = *created;
     HttpServer::Options options;
     options.port = 0;  // ephemeral
-    options.num_threads = 4;
-    server_ = std::make_unique<HttpServer>(options, MakeApiHandler(&engine_));
+    options.num_threads = 6;
+    server_ =
+        std::make_unique<HttpServer>(options, MakeApiHandler(&registry_));
     auto port = server_->Start();
     ASSERT_TRUE(port.ok()) << port.status().ToString();
     port_ = *port;
@@ -92,13 +121,14 @@ class ServerTest : public ::testing::Test {
 
   void TearDown() override { server_->Stop(); }
 
-  api::Engine engine_;
+  api::EngineRegistry registry_;
+  std::shared_ptr<api::Engine> engine_;  // the default KB
   std::unique_ptr<HttpServer> server_;
   int port_ = 0;
 };
 
 TEST_F(ServerTest, FullPaperWorkflowOverHttp) {
-  // 1. select a UTKG.
+  // 1. select a UTKG (legacy single-KB path → default KB).
   util::Json graph = BodyOf(Http(
       port_, "POST", "/v1/graph",
       "{\"text\":\"CR coach Chelsea [2000,2004] 0.9 .\\n"
@@ -149,28 +179,191 @@ TEST_F(ServerTest, FullPaperWorkflowOverHttp) {
   EXPECT_NE(suggest.Find("suggestions"), nullptr);
   util::Json info = BodyOf(Http(port_, "GET", "/v1/graph"));
   EXPECT_TRUE(info.GetBool("has_result", false));
+
+  // The same workflow is reachable at the tenant-scoped successor path.
+  util::Json scoped = BodyOf(Http(port_, "GET", "/v1/kb/default/graph"));
+  EXPECT_EQ(scoped.GetInt("num_facts", -1), 6);
 }
 
-TEST_F(ServerTest, ProtocolEdges) {
-  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/nope")), 404);
-  EXPECT_EQ(StatusOf(Http(port_, "DELETE", "/v1/solve")), 405);
-  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/graph", "{oops")), 400);
-  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/graph", "{}")), 400);
+TEST_F(ServerTest, LegacyPathsCarryDeprecationHeaders) {
+  ASSERT_TRUE(engine_->LoadGraphText("a p b [1,2] 0.9 .").ok());
+  const std::string legacy = Http(port_, "GET", "/v1/graph");
+  EXPECT_EQ(StatusOf(legacy), 200);
+  EXPECT_TRUE(HasHeader(legacy, "Deprecation: true")) << legacy;
+  EXPECT_TRUE(HasHeader(
+      legacy, "Link: </v1/kb/default/graph>; rel=\"successor-version\""))
+      << legacy;
+  // The successor path answers identically, without the deprecation mark.
+  const std::string scoped = Http(port_, "GET", "/v1/kb/default/graph");
+  EXPECT_EQ(StatusOf(scoped), 200);
+  EXPECT_FALSE(HasHeader(scoped, "Deprecation: true")) << scoped;
+  EXPECT_EQ(BodyOf(legacy).GetInt("num_facts", -1),
+            BodyOf(scoped).GetInt("num_facts", -1));
+}
+
+TEST_F(ServerTest, KbLifecycleAndIsolation) {
+  // Create two tenants.
+  const std::string created = Http(port_, "POST", "/v1/kb",
+                                   "{\"name\":\"alpha\"}");
+  EXPECT_EQ(StatusOf(created), 201);
+  EXPECT_EQ(BodyOf(created).GetString("kb", ""), "alpha");
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"beta\"}")),
+            201);
+
+  // Duplicate and malformed names are rejected.
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"alpha\"}")),
+            409);
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"no/slash\"}")),
+            400);
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{}")), 400);
+
+  // Independent contents and versions.
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/alpha/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n"
+                          "a p c [3,4] 0.8 .\\n\"}")),
+            200);
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/beta/graph",
+                          "{\"text\":\"x q y [1,9] 0.5 .\\n\"}")),
+            200);
+  util::Json alpha = BodyOf(Http(port_, "GET", "/v1/kb/alpha/graph"));
+  util::Json beta = BodyOf(Http(port_, "GET", "/v1/kb/beta/graph"));
+  EXPECT_EQ(alpha.GetInt("num_facts", -1), 2);
+  EXPECT_EQ(beta.GetInt("num_facts", -1), 1);
+  EXPECT_EQ(alpha.GetInt("version", -1), 1);
+  EXPECT_EQ(beta.GetInt("version", -1), 1);
+
+  // Editing alpha must not bump beta's version.
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/alpha/edits",
+                          "{\"script\":\"+ a p d [5,6] 0.7 .\\n\"}")),
+            200);
+  EXPECT_EQ(BodyOf(Http(port_, "GET", "/v1/kb/alpha/graph"))
+                .GetInt("version", -1),
+            2);
+  EXPECT_EQ(BodyOf(Http(port_, "GET", "/v1/kb/beta/graph"))
+                .GetInt("version", -1),
+            1);
+
+  // List shows all three, sorted.
+  util::Json list = BodyOf(Http(port_, "GET", "/v1/kb"));
+  ASSERT_EQ(list.GetInt("num_kbs", -1), 3);
+  const auto& kbs = list.Find("kbs")->items();
+  EXPECT_EQ(kbs[0].GetString("kb", ""), "alpha");
+  EXPECT_EQ(kbs[1].GetString("kb", ""), "beta");
+  EXPECT_EQ(kbs[2].GetString("kb", ""), "default");
+
+  // Delete beta: gone afterwards, alpha untouched.
+  EXPECT_EQ(StatusOf(Http(port_, "DELETE", "/v1/kb/beta")), 200);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/beta/graph")), 404);
+  EXPECT_EQ(StatusOf(Http(port_, "DELETE", "/v1/kb/beta")), 404);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/alpha/graph")), 200);
+  EXPECT_EQ(BodyOf(Http(port_, "GET", "/v1/kb")).GetInt("num_kbs", -1), 2);
+}
+
+TEST_F(ServerTest, ErrorEnvelopeIsUniform) {
+  // 404 — unknown endpoint and unknown KB.
+  util::Json nf = BodyOf(Http(port_, "GET", "/v1/nope"));
+  EXPECT_EQ(ErrorCodeOf(nf), "NotFound");
+  EXPECT_EQ(ErrorCodeOf(BodyOf(Http(port_, "GET", "/v1/kb/ghost/stats"))),
+            "NotFound");
+  // 405 — wrong method.
+  const std::string mna = Http(port_, "DELETE", "/v1/solve");
+  EXPECT_EQ(StatusOf(mna), 405);
+  EXPECT_EQ(ErrorCodeOf(BodyOf(mna)), "MethodNotAllowed");
+  EXPECT_TRUE(HasHeader(mna, "Allow: POST")) << mna;
+  // 400 — malformed JSON and domain validation.
+  util::Json bad = BodyOf(Http(port_, "POST", "/v1/graph", "{oops"));
+  EXPECT_EQ(ErrorCodeOf(bad), "ParseError");
+  EXPECT_EQ(ErrorCodeOf(BodyOf(Http(port_, "POST", "/v1/graph", "{}"))),
+            "InvalidArgument");
   EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/stats")), 400);  // no graph
   EXPECT_EQ(StatusOf(Http(port_, "POST", "/v1/solve")), 400);  // no graph
-  // Errors carry a machine-readable code.
-  EXPECT_EQ(BodyOf(Http(port_, "GET", "/v1/nope")).GetString("code", ""),
-            "NotFound");
-  // Chunked bodies are rejected explicitly (501), never mis-framed.
-  const std::string chunked = RawRequest(
+  // 501 — transfer encodings we must not guess at.
+  const std::string gzip = RawRequest(
       port_,
       "POST /v1/graph HTTP/1.1\r\nHost: t\r\n"
-      "Transfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n");
-  EXPECT_EQ(StatusOf(chunked), 501) << chunked;
+      "Transfer-Encoding: gzip\r\n\r\n");
+  EXPECT_EQ(StatusOf(gzip), 501) << gzip;
+  EXPECT_EQ(ErrorCodeOf(BodyOf(gzip)), "Unsupported");
+}
+
+TEST_F(ServerTest, AuthTokenGate) {
+  // A second server with auth on, against the same registry.
+  RouterOptions router;
+  router.auth_token = "s3cret";
+  HttpServer::Options options;
+  options.port = 0;
+  options.num_threads = 2;
+  HttpServer secured(options, MakeApiHandler(&registry_, router));
+  auto port = secured.Start();
+  ASSERT_TRUE(port.ok());
+
+  // 401 without credentials (uniform envelope + WWW-Authenticate).
+  const std::string anon = Http(*port, "GET", "/v1/kb");
+  EXPECT_EQ(StatusOf(anon), 401);
+  EXPECT_EQ(ErrorCodeOf(BodyOf(anon)), "Unauthenticated");
+  EXPECT_TRUE(HasHeader(anon, "WWW-Authenticate: Bearer")) << anon;
+  // 401 for a non-bearer scheme.
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb", "",
+                          "Authorization: Basic dXNlcjpwYXNz\r\n")),
+            401);
+  // 403 for a wrong token.
+  const std::string wrong =
+      Http(*port, "GET", "/v1/kb", "", "Authorization: Bearer nope\r\n");
+  EXPECT_EQ(StatusOf(wrong), 403);
+  EXPECT_EQ(ErrorCodeOf(BodyOf(wrong)), "PermissionDenied");
+  // 200 with the right token (scheme is case-insensitive).
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb", "",
+                          "Authorization: Bearer s3cret\r\n")),
+            200);
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb", "",
+                          "Authorization: bearer s3cret\r\n")),
+            200);
+  secured.Stop();
+}
+
+TEST_F(ServerTest, ChunkedRequestBodiesAreDecoded) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"bulk\"}")),
+            201);
+  // A chunked POST /v1/kb/bulk/graph split mid-JSON across three chunks,
+  // with a chunk extension and a trailer — the framing a streaming bulk
+  // loader would produce.
+  const std::string part1 = "{\"text\":\"a p b [1,2] 0.9 .\\n";
+  const std::string part2 = "a p c [3,4] 0.8 .\\n";
+  const std::string part3 = "\"}";
+  std::string request =
+      "POST /v1/kb/bulk/graph HTTP/1.1\r\nHost: t\r\n"
+      "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  request += StringPrintf("%zx;note=ext-ignored\r\n%s\r\n", part1.size(),
+                          part1.c_str());
+  request += StringPrintf("%zx\r\n%s\r\n", part2.size(), part2.c_str());
+  request += StringPrintf("%zx\r\n%s\r\n", part3.size(), part3.c_str());
+  request += "0\r\nX-Trailer: ignored\r\n\r\n";
+  const std::string response = RawRequest(port_, request);
+  EXPECT_EQ(StatusOf(response), 200) << response;
+  EXPECT_EQ(BodyOf(response).GetInt("num_facts", -1), 2);
+
+  // Keep-alive framing survives a chunked request: a second request on
+  // the same connection still parses.
+  std::string two =
+      "POST /v1/kb/bulk/rules HTTP/1.1\r\nHost: t\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n";
+  const std::string rules_body =
+      "{\"text\":\"c1: quad(x, p, y, t) & quad(x, p, z, t') & y != z -> "
+      "disjoint(t, t') .\"}";
+  two += StringPrintf("%zx\r\n%s\r\n0\r\n\r\n", rules_body.size(),
+                      rules_body.c_str());
+  two +=
+      "GET /v1/kb/bulk/graph HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+      "\r\n";
+  const std::string pipelined = RawRequest(port_, two);
+  size_t first = pipelined.find("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos) << pipelined;
+  EXPECT_NE(pipelined.find("HTTP/1.1 200", first + 1), std::string::npos)
+      << pipelined;
 }
 
 TEST_F(ServerTest, KeepAliveServesSequentialRequests) {
-  ASSERT_TRUE(engine_.LoadGraphText("a p b [1,2] 0.9 .").ok());
+  ASSERT_TRUE(engine_->LoadGraphText("a p b [1,2] 0.9 .").ok());
   const std::string two =
       "GET /v1/graph HTTP/1.1\r\nHost: t\r\n\r\n"
       "GET /v1/graph HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
@@ -182,13 +375,13 @@ TEST_F(ServerTest, KeepAliveServesSequentialRequests) {
 }
 
 TEST_F(ServerTest, ConcurrentReadsDuringWrites) {
-  ASSERT_TRUE(engine_.LoadGraphText(R"(
+  ASSERT_TRUE(engine_->LoadGraphText(R"(
     CR coach Chelsea [2000,2004] 0.9 .
     CR coach Napoli [2001,2003] 0.6 .
   )")
                   .ok());
   ASSERT_TRUE(engine_
-                  .AddRulesText(
+                  ->AddRulesText(
                       "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & "
                       "y != z -> disjoint(t, t') .")
                   .ok());
@@ -223,9 +416,168 @@ TEST_F(ServerTest, ConcurrentReadsDuringWrites) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---------------------------------------------------------------- SSE
+
+/// Incremental SSE reader: collects complete `\n\n`-terminated frames.
+struct SseReader {
+  int fd = -1;
+  std::string buffer;
+
+  bool Open(int port, const std::string& path) {
+    fd = Connect(port);
+    if (fd < 0) return false;
+    const std::string request = StringPrintf(
+        "GET %s HTTP/1.1\r\nHost: t\r\nAccept: text/event-stream\r\n\r\n",
+        path.c_str());
+    return ::send(fd, request.data(), request.size(), 0) ==
+           static_cast<ssize_t>(request.size());
+  }
+
+  /// Blocks until one more frame (headers skipped) or EOF; empty = EOF.
+  std::string NextFrame() {
+    for (;;) {
+      // Strip the response headers once.
+      const size_t head = buffer.find("\r\n\r\n");
+      if (head != std::string::npos) buffer.erase(0, head + 4);
+      const size_t frame_end = buffer.find("\n\n");
+      if (frame_end != std::string::npos) {
+        std::string frame = buffer.substr(0, frame_end);
+        buffer.erase(0, frame_end + 2);
+        if (frame.rfind(":", 0) == 0) continue;  // heartbeat comment
+        return frame;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+};
+
+int64_t VersionOf(const std::string& frame) {
+  const size_t data = frame.find("data: ");
+  if (data == std::string::npos) return -1;
+  auto parsed = util::Json::Parse(
+      Trim(std::string_view(frame).substr(data + 6)));
+  if (!parsed.ok()) return -1;
+  return parsed->GetInt("version", -1);
+}
+
+TEST_F(ServerTest, SseSubscriberSeesEveryVersionInOrder) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"live\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/live/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);
+
+  SseReader reader;
+  ASSERT_TRUE(reader.Open(port_, "/v1/kb/live/subscribe"));
+  // The initial event is the snapshot current at subscribe time; reading
+  // it first also guarantees the subscription is registered before any
+  // of the edits below publish.
+  const std::string initial = reader.NextFrame();
+  ASSERT_NE(initial, "");
+  EXPECT_NE(initial.find("event: snapshot"), std::string::npos) << initial;
+  const int64_t base = VersionOf(initial);
+  ASSERT_GE(base, 1);
+
+  // A 10-batch edit stream; every batch publishes exactly one version.
+  for (int b = 0; b < 10; ++b) {
+    const std::string script = StringPrintf(
+        "{\"script\":\"+ a p c%d [%d,%d] 0.5 .\\n\"}", b, 10 + b, 11 + b);
+    ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/live/edits", script)),
+              200);
+  }
+
+  // The subscriber must observe versions base+1 .. base+10, in order,
+  // with no gaps and no duplicates.
+  for (int i = 1; i <= 10; ++i) {
+    const std::string frame = reader.NextFrame();
+    ASSERT_NE(frame, "") << "stream ended early at event " << i;
+    EXPECT_NE(frame.find("event: snapshot"), std::string::npos) << frame;
+    EXPECT_EQ(VersionOf(frame), base + i) << frame;
+  }
+  reader.Close();
+}
+
+TEST_F(ServerTest, SseMaxEventsAndDigestShape) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"cap\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/cap/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);
+  SseReader reader;
+  ASSERT_TRUE(reader.Open(port_, "/v1/kb/cap/subscribe?max_events=1"));
+  const std::string frame = reader.NextFrame();
+  ASSERT_NE(frame, "");
+  EXPECT_NE(frame.find("id: 1"), std::string::npos) << frame;
+  const size_t data = frame.find("data: ");
+  ASSERT_NE(data, std::string::npos);
+  auto digest = util::Json::Parse(Trim(std::string_view(frame).substr(
+      data + 6)));
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(digest->GetString("kb", ""), "cap");
+  EXPECT_EQ(digest->GetInt("num_facts", -1), 1);
+  EXPECT_EQ(digest->GetInt("num_live_facts", -1), 1);
+  // max_events=1: the server ends the stream after the initial event.
+  EXPECT_EQ(reader.NextFrame(), "");
+  reader.Close();
+
+  // Subscribing to a deleted KB's engine ends with a close event: delete
+  // while a subscriber is attached.
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"doomed\"}")),
+            201);
+  SseReader watcher;
+  ASSERT_TRUE(watcher.Open(port_, "/v1/kb/doomed/subscribe"));
+  ASSERT_NE(watcher.NextFrame(), "");  // initial snapshot
+  ASSERT_EQ(StatusOf(Http(port_, "DELETE", "/v1/kb/doomed")), 200);
+  const std::string close_frame = watcher.NextFrame();
+  EXPECT_NE(close_frame.find("event: close"), std::string::npos)
+      << close_frame;
+  EXPECT_NE(close_frame.find("\"reason\":\"deleted\""), std::string::npos)
+      << close_frame;
+  EXPECT_EQ(watcher.NextFrame(), "");  // then EOF
+  watcher.Close();
+}
+
 TEST_F(ServerTest, StopIsIdempotentAndClean) {
   server_->Stop();
   server_->Stop();  // second stop is a no-op
+}
+
+TEST_F(ServerTest, StopOnSharedPoolIgnoresOtherServersStreams) {
+  // Two servers on one registry pool; an open-ended SSE stream on B must
+  // not gate Stop() on A — A waits only on its own connections.
+  auto pool = registry_.pool();
+  HttpServer::Options options;
+  options.port = 0;
+  options.pool = pool;
+  HttpServer a(options, MakeApiHandler(&registry_));
+  HttpServer b(options, MakeApiHandler(&registry_));
+  auto port_a = a.Start();
+  auto port_b = b.Start();
+  ASSERT_TRUE(port_a.ok());
+  ASSERT_TRUE(port_b.ok());
+
+  SseReader reader;
+  ASSERT_TRUE(reader.Open(*port_b, "/v1/kb/default/subscribe"));
+  ASSERT_NE(reader.NextFrame(), "");  // stream is live on B
+
+  const auto t0 = std::chrono::steady_clock::now();
+  a.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "Stop() blocked on another server's stream";
+
+  // B still serves (same pool, unaffected by A's stop).
+  EXPECT_EQ(StatusOf(Http(*port_b, "GET", "/v1/kb")), 200);
+  reader.Close();
+  b.Stop();  // its stream observes stopping() within a poll tick
 }
 
 }  // namespace
