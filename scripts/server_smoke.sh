@@ -19,8 +19,9 @@ fi
 WORKDIR="$(mktemp -d)"
 LOG="$WORKDIR/server.log"
 AUTH_LOG="$WORKDIR/server-auth.log"
-trap 'kill "$SERVER_PID" "$AUTH_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+trap 'kill "$SERVER_PID" "$AUTH_PID" "$DUR_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
 AUTH_PID=""
+DUR_PID=""
 
 "$SERVER" --port 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
@@ -188,6 +189,46 @@ else
   kill -TERM "$AUTH_PID" 2>/dev/null
 fi
 
+# 7. durability: a --data-dir server killed with -9 must come back with
+# every acknowledged write (WAL + checkpoint recovery).
+DUR_LOG="$WORKDIR/server-durable.log"
+"$SERVER" --port 0 --data-dir "$WORKDIR/data" >"$DUR_LOG" 2>&1 &
+DUR_PID=$!
+DUR_PORT="$(wait_port "$DUR_LOG")"
+if [[ -z "$DUR_PORT" ]]; then
+  echo "FAIL: durable server did not start" >&2
+  cat "$DUR_LOG" >&2
+  fail=1
+else
+  DBASE="http://127.0.0.1:$DUR_PORT/v1"
+  request "durable: load graph" 200 "r['num_facts'] == 1" \
+    -X POST "$DBASE/kb/default/graph" -d '{"text":"a p b [1,2] 0.9 .\n"}'
+  request "durable: edit" 200 "r['inserted'] == 1" \
+    -X POST "$DBASE/kb/default/edits" -d '{"script":"+ a p c [3,4] 0.8 .\n"}'
+  kill -9 "$DUR_PID" 2>/dev/null
+  wait "$DUR_PID" 2>/dev/null
+  "$SERVER" --port 0 --data-dir "$WORKDIR/data" >"$DUR_LOG" 2>&1 &
+  DUR_PID=$!
+  DUR_PORT="$(wait_port "$DUR_LOG")"
+  if [[ -z "$DUR_PORT" ]]; then
+    echo "FAIL: durable server did not restart" >&2
+    cat "$DUR_LOG" >&2
+    fail=1
+  else
+    DBASE="http://127.0.0.1:$DUR_PORT/v1"
+    if grep -q '1 recovered' "$DUR_LOG"; then
+      echo "ok   durable: restart recovered the KB"
+    else
+      echo "FAIL durable: startup line does not report recovery" >&2
+      cat "$DUR_LOG" >&2
+      fail=1
+    fi
+    request "durable: state survived kill -9" 200 \
+      "r['num_facts'] == 2 and r['version'] == 2" "$DBASE/kb/default/graph"
+    kill -TERM "$DUR_PID" 2>/dev/null
+  fi
+fi
+
 # Clean shutdown: SIGTERM must terminate the process promptly.
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 50); do
@@ -210,4 +251,4 @@ if [[ "$fail" -ne 0 ]]; then
   cat "$LOG" >&2
   exit 1
 fi
-echo "server smoke passed (legacy + tenant endpoints, isolation, SSE, auth, shutdown)"
+echo "server smoke passed (legacy + tenant endpoints, isolation, SSE, auth, durability, shutdown)"

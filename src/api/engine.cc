@@ -1,9 +1,11 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "rdf/io.h"
 #include "rules/parser.h"
+#include "storage/fault.h"
 
 namespace tecore {
 namespace api {
@@ -125,6 +127,10 @@ Result<kb::GraphStatistics> Engine::GraphStats() const {
 std::shared_ptr<const Snapshot> Engine::Publish(
     std::shared_ptr<const core::ResolveResult> result,
     const core::ResolveOptions& result_options, bool graph_changed) {
+  // The write is durable (WAL record fsynced) but not yet visible. A kill
+  // here must recover it — the "acknowledged after fsync, published after
+  // recovery" half of the durability contract.
+  storage::MaybeCrash("engine:before_publish");
   auto snap = std::make_shared<Snapshot>();
   snap->version = ++version_;
   if (!graph_.has_value()) {
@@ -220,8 +226,23 @@ Result<std::shared_ptr<const Snapshot>> Engine::LoadGraphText(
   return SetGraph(std::move(graph));
 }
 
-std::shared_ptr<const Snapshot> Engine::SetGraph(rdf::TemporalGraph graph) {
+Result<std::shared_ptr<const Snapshot>> Engine::SetGraph(
+    rdf::TemporalGraph graph) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (storage_ != nullptr) {
+    // A whole-graph load would dwarf the WAL, so it checkpoints directly.
+    // Serialize the *incoming* graph before touching engine state: a
+    // storage failure must leave the KB exactly as it was.
+    storage::Checkpoint cp;
+    cp.version = version_ + 1;
+    cp.has_graph = true;
+    cp.graph_text = rdf::WriteGraphText(graph);
+    cp.rules_text = rules_.ToString();
+    TECORE_RETURN_NOT_OK(storage_->WriteCheckpoint(cp));
+    // Edit scripts from before the load describe a graph that no longer
+    // exists; resuming subscribers must resync from a snapshot.
+    storage_->ResetEditTail(cp.version);
+  }
   graph_ = std::move(graph);
   incremental_.reset();
   return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/true);
@@ -232,26 +253,44 @@ Result<Engine::RulesOutcome> Engine::AddRulesText(std::string_view text) {
   RulesOutcome outcome;
   outcome.added = parsed.Size();
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  rules_.Merge(parsed);
+  // Merge into a copy so a failed WAL append leaves rules_ untouched. The
+  // log stores the full replacement set (rule writes are rare and rule
+  // sets small), so replay just adopts the latest record.
+  rules::RuleSet merged = rules_;
+  merged.Merge(parsed);
+  TECORE_RETURN_NOT_OK(
+      LogRecord(storage::WalRecordType::kRulesSet, merged.ToString()));
+  rules_ = std::move(merged);
   incremental_.reset();
   outcome.snapshot =
       Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  MaybeCheckpoint();
   return outcome;
 }
 
-std::shared_ptr<const Snapshot> Engine::AddRules(
+Result<std::shared_ptr<const Snapshot>> Engine::AddRules(
     const rules::RuleSet& rules) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  rules_.Merge(rules);
+  rules::RuleSet merged = rules_;
+  merged.Merge(rules);
+  TECORE_RETURN_NOT_OK(
+      LogRecord(storage::WalRecordType::kRulesSet, merged.ToString()));
+  rules_ = std::move(merged);
   incremental_.reset();
-  return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  auto snap = Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  MaybeCheckpoint();
+  return snap;
 }
 
-std::shared_ptr<const Snapshot> Engine::ClearRules() {
+Result<std::shared_ptr<const Snapshot>> Engine::ClearRules() {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  TECORE_RETURN_NOT_OK(
+      LogRecord(storage::WalRecordType::kRulesSet, std::string()));
   rules_ = rules::RuleSet();
   incremental_.reset();
-  return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  auto snap = Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/false);
+  MaybeCheckpoint();
+  return snap;
 }
 
 void Engine::ResetIncremental() {
@@ -286,9 +325,15 @@ Result<SolveOutcome> Engine::Solve(const core::ResolveOptions& options) {
   }
   auto shared =
       std::make_shared<const core::ResolveResult>(std::move(*seeded));
+  // The solve changed no durable content, but its publish consumes a
+  // version — mark it so the counter survives a restart and versions are
+  // never reused for different content.
+  TECORE_RETURN_NOT_OK(
+      LogRecord(storage::WalRecordType::kVersionMark, std::string()));
   // Solving never adds or retracts facts (grounding only interns terms
   // into the master dictionary), so the frozen graph is reusable.
   auto snap = Publish(shared, options, /*graph_changed=*/false);
+  MaybeCheckpoint();
   return SolveOutcome{snap->version, /*cached=*/false, std::move(shared),
                       std::move(snap)};
 }
@@ -314,6 +359,14 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
     const std::vector<core::GraphEdit>& edits,
     const core::ResolveOptions& options) {
   if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
+  if (storage_ != nullptr) {
+    // Write-ahead: validate, serialize canonically, log + fsync — all
+    // before the graph mutates. A storage failure here changes nothing; a
+    // crash after the append recovers exactly this batch.
+    TECORE_RETURN_NOT_OK(core::ValidateGraphEdits(edits, *graph_));
+    TECORE_RETURN_NOT_OK(LogRecord(storage::WalRecordType::kEditBatch,
+                                   core::EditScriptToText(edits, *graph_)));
+  }
   if (incremental_ != nullptr &&
       !core::SameResolveConfig(incremental_->options(), options)) {
     incremental_.reset();
@@ -339,10 +392,146 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
   auto shared =
       std::make_shared<const core::ResolveResult>(std::move(*result));
   auto snap = Publish(shared, options, /*graph_changed=*/true);
+  MaybeCheckpoint();
   outcome.version = snap->version;
   outcome.result = std::move(shared);
   outcome.snapshot = std::move(snap);
   return outcome;
+}
+
+// ------------------------------------------------------------- durability
+
+Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (version_ != 0) {
+    return Status::Internal("AttachStorage on an engine that already served");
+  }
+  const storage::Checkpoint& cp = storage->checkpoint();
+  uint64_t recovered = 0;
+  if (storage->has_checkpoint()) {
+    recovered = cp.version;
+    if (cp.has_graph) {
+      auto graph = rdf::ParseGraphText(cp.graph_text);
+      if (!graph.ok()) {
+        return Status::IoError("checkpoint graph in " + storage->dir() +
+                               " unparseable: " + graph.status().message());
+      }
+      graph_ = std::move(*graph);
+    }
+    if (!cp.rules_text.empty()) {
+      auto rules = rules::ParseRules(cp.rules_text);
+      if (!rules.ok()) {
+        return Status::IoError("checkpoint rules in " + storage->dir() +
+                               " unparseable: " + rules.status().message());
+      }
+      rules_ = std::move(*rules);
+    }
+  }
+  // Replay the WAL tail. Edits apply without solving — published results
+  // are caches, and the determinism contract makes the next Solve
+  // reproduce the pre-crash objective bit-for-bit.
+  for (const storage::WalRecord& record : storage->tail()) {
+    switch (record.type) {
+      case storage::WalRecordType::kEditBatch: {
+        if (!graph_.has_value()) {
+          return Status::IoError("WAL in " + storage->dir() +
+                                 " has an edit batch before any graph");
+        }
+        auto edits = core::ParseEditScript(record.payload, &*graph_);
+        if (!edits.ok()) {
+          return Status::IoError("WAL edit batch in " + storage->dir() +
+                                 " unparseable: " + edits.status().message());
+        }
+        auto applied = core::ApplyGraphEdits(*edits, &*graph_);
+        if (!applied.ok()) {
+          return Status::IoError("WAL edit batch in " + storage->dir() +
+                                 " unappliable: " +
+                                 applied.status().message());
+        }
+        break;
+      }
+      case storage::WalRecordType::kRulesSet: {
+        if (record.payload.empty()) {
+          rules_ = rules::RuleSet();
+          break;
+        }
+        auto rules = rules::ParseRules(record.payload);
+        if (!rules.ok()) {
+          return Status::IoError("WAL rule set in " + storage->dir() +
+                                 " unparseable: " + rules.status().message());
+        }
+        rules_ = std::move(*rules);
+        break;
+      }
+      case storage::WalRecordType::kVersionMark:
+        break;
+    }
+    recovered = std::max(recovered, record.version);
+  }
+  incremental_.reset();
+  {
+    std::lock_guard<std::mutex> storage_lock(storage_mutex_);
+    storage_ = std::move(storage);
+  }
+  if (recovered > 0) {
+    // Re-publish at the last durable version: Publish pre-increments, so
+    // readers see exactly the version the pre-crash engine acknowledged.
+    version_ = recovered - 1;
+    Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/true);
+  }
+  return Status::OK();
+}
+
+void Engine::DetachStorage() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::shared_ptr<storage::KbStorage> storage;
+  {
+    std::lock_guard<std::mutex> storage_lock(storage_mutex_);
+    storage = std::move(storage_);
+  }
+  // Drop our reference with pending bytes flushed; the registry unlinks
+  // the directory right after. Ignore flush errors — the files are about
+  // to be destroyed.
+  if (storage != nullptr) storage->Flush();
+}
+
+Status Engine::FlushStorage() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return storage_ != nullptr ? storage_->Flush() : Status::OK();
+}
+
+std::shared_ptr<storage::KbStorage> Engine::storage() const {
+  std::lock_guard<std::mutex> lock(storage_mutex_);
+  return storage_;
+}
+
+Status Engine::LogRecord(storage::WalRecordType type, std::string payload) {
+  if (storage_ == nullptr) return Status::OK();
+  storage::WalRecord record;
+  record.type = type;
+  record.version = version_ + 1;
+  record.payload = std::move(payload);
+  return storage_->Append(record);
+}
+
+storage::Checkpoint Engine::CheckpointState(uint64_t version) const {
+  storage::Checkpoint cp;
+  cp.version = version;
+  cp.has_graph = graph_.has_value();
+  if (graph_.has_value()) cp.graph_text = rdf::WriteGraphText(*graph_);
+  cp.rules_text = rules_.ToString();
+  return cp;
+}
+
+void Engine::MaybeCheckpoint() {
+  if (storage_ == nullptr || !storage_->ShouldCheckpoint()) return;
+  Status status = storage_->WriteCheckpoint(CheckpointState(version_));
+  if (!status.ok()) {
+    // The triggering write is already durable in the WAL; a failed
+    // checkpoint costs replay time, not data.
+    std::fprintf(stderr, "tecore: checkpoint of %s failed: %s\n",
+                 storage_->dir().c_str(), status.ToString().c_str());
+  }
 }
 
 }  // namespace api

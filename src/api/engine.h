@@ -19,6 +19,7 @@
 #include "rdf/graph.h"
 #include "rules/ast.h"
 #include "rules/validator.h"
+#include "storage/kb_storage.h"
 #include "util/status.h"
 
 namespace tecore {
@@ -163,8 +164,9 @@ class Engine {
   /// \brief Parse ".tq" text as the KB.
   Result<std::shared_ptr<const Snapshot>> LoadGraphText(
       std::string_view text);
-  /// \brief Adopt an existing graph.
-  std::shared_ptr<const Snapshot> SetGraph(rdf::TemporalGraph graph);
+  /// \brief Adopt an existing graph. Fails only on a durability error
+  /// (checkpointing the new graph), in which case nothing is published.
+  Result<std::shared_ptr<const Snapshot>> SetGraph(rdf::TemporalGraph graph);
 
   /// \brief Outcome of appending rules from text.
   struct RulesOutcome {
@@ -173,10 +175,12 @@ class Engine {
   };
   /// \brief Parse and append rules; returns how many were added.
   Result<RulesOutcome> AddRulesText(std::string_view text);
-  /// \brief Append an already-parsed rule set.
-  std::shared_ptr<const Snapshot> AddRules(const rules::RuleSet& rules);
-  /// \brief Drop all rules.
-  std::shared_ptr<const Snapshot> ClearRules();
+  /// \brief Append an already-parsed rule set. Fails only on a durability
+  /// error, in which case the rule set is unchanged.
+  Result<std::shared_ptr<const Snapshot>> AddRules(
+      const rules::RuleSet& rules);
+  /// \brief Drop all rules. Fails only on a durability error.
+  Result<std::shared_ptr<const Snapshot>> ClearRules();
 
   /// \brief Compute (or return the cached) most probable conflict-free
   /// KG. A result computed under result-equivalent options is served from
@@ -198,6 +202,28 @@ class Engine {
 
   /// \brief Drop the incremental state (next ApplyEdits re-seeds).
   void ResetIncremental();
+
+  // ----------------------------------------------------------- durability
+  /// \brief Adopt `storage` and recover its state: parse the checkpoint
+  /// graph/rules and replay the WAL tail (edit batches and rule sets, in
+  /// log order), then publish the recovered snapshot at the last durable
+  /// version. No solve runs during recovery — results are caches, and the
+  /// determinism contract guarantees the next Solve reproduces the
+  /// pre-crash objective bit-for-bit. Subsequent writes are logged to
+  /// `storage` before they publish and checkpoint per its policy. Must be
+  /// called before the engine serves traffic (it asserts version 0).
+  Status AttachStorage(std::shared_ptr<storage::KbStorage> storage);
+
+  /// \brief Flush and drop the storage handle (the registry's delete path:
+  /// detach, then destroy the directory). Later writes are in-memory only.
+  void DetachStorage();
+
+  /// \brief fsync pending WAL bytes (shutdown path under fsync=never).
+  /// OK when no storage is attached.
+  Status FlushStorage();
+
+  /// \brief The attached storage, if any (the SSE resume read path).
+  std::shared_ptr<storage::KbStorage> storage() const;
 
   // ---------------------------------------------------- publish observers
   /// Called once per publish with the snapshot just made current, and once
@@ -252,6 +278,22 @@ class Engine {
       const std::vector<core::GraphEdit>& edits,
       const core::ResolveOptions& options);
 
+  /// Append one record at version_ + 1 to the attached storage (no-op
+  /// without storage). On error nothing may be published — callers return
+  /// the status to the client with all state unchanged. Caller must hold
+  /// writer_mutex_.
+  Status LogRecord(storage::WalRecordType type, std::string payload);
+
+  /// Write a checkpoint of the current writer state when the WAL has
+  /// outgrown its policy. Best-effort: the write that triggered it is
+  /// already durable in the WAL, so a failed checkpoint is reported on
+  /// stderr, not to the client. Caller must hold writer_mutex_.
+  void MaybeCheckpoint();
+
+  /// Current writer state as a checkpoint at `version`. Caller must hold
+  /// writer_mutex_.
+  storage::Checkpoint CheckpointState(uint64_t version) const;
+
   Options options_;
 
   /// Serializes all writes (graph/rule mutations and solving).
@@ -262,6 +304,12 @@ class Engine {
   rules::RuleSet rules_;
   std::unique_ptr<core::IncrementalResolver> incremental_;
   uint64_t version_ = 0;
+
+  /// Durable storage; null for an in-memory engine. Written under both
+  /// writer_mutex_ and storage_mutex_ (attach/detach), so writers may read
+  /// it under writer_mutex_ alone while `storage()` takes storage_mutex_.
+  std::shared_ptr<storage::KbStorage> storage_;
+  mutable std::mutex storage_mutex_;
 
   /// Guards only the snapshot pointer swap (held for pointer-copy time).
   mutable std::mutex snapshot_mutex_;

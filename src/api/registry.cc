@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "storage/fs.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -54,10 +55,23 @@ Status EngineRegistry::ValidateName(std::string_view name) {
   return Status::OK();
 }
 
+std::string EngineRegistry::KbDir(const std::string& name) const {
+  if (options_.data_dir.empty()) return std::string();
+  return storage::JoinPath(storage::JoinPath(options_.data_dir, "kbs"), name);
+}
+
 Result<std::shared_ptr<Engine>> EngineRegistry::Create(
     const std::string& name) {
   TECORE_RETURN_NOT_OK(ValidateName(name));
   auto engine = std::make_shared<Engine>(options_.engine);
+  if (!options_.data_dir.empty()) {
+    // Open storage before registering the name: a failed open must not
+    // leave a registered-but-undurable KB. The name grammar
+    // ([A-Za-z0-9][A-Za-z0-9_-]*) keeps the directory name filesystem-safe.
+    TECORE_ASSIGN_OR_RETURN(
+        storage, storage::KbStorage::Open(KbDir(name), options_.storage));
+    TECORE_RETURN_NOT_OK(engine->AttachStorage(std::move(storage)));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = engines_.emplace(name, std::move(engine));
   if (!inserted) {
@@ -65,6 +79,27 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Create(
         StringPrintf("kb '%s' already exists", name.c_str()));
   }
   return it->second;
+}
+
+Result<std::vector<std::string>> EngineRegistry::RecoverKbs() {
+  std::vector<std::string> recovered;
+  if (options_.data_dir.empty()) return recovered;
+  const std::string kbs_dir =
+      storage::JoinPath(options_.data_dir, "kbs");
+  if (!storage::IsDirectory(kbs_dir)) return recovered;  // fresh data dir
+  TECORE_ASSIGN_OR_RETURN(names, storage::ListDir(kbs_dir));
+  for (const std::string& name : names) {
+    if (!storage::IsDirectory(storage::JoinPath(kbs_dir, name))) continue;
+    if (!ValidateName(name).ok()) continue;  // not one of ours
+    auto engine = Create(name);
+    if (!engine.ok()) {
+      return Status::IoError(StringPrintf(
+          "recovering kb '%s': %s", name.c_str(),
+          engine.status().ToString().c_str()));
+    }
+    recovered.push_back(name);
+  }
+  return recovered;
 }
 
 Result<std::shared_ptr<Engine>> EngineRegistry::Get(
@@ -91,6 +126,13 @@ Status EngineRegistry::Delete(const std::string& name) {
   // Outside the registry lock: CloseForListeners takes the engine's
   // writer lock (it may wait on an in-flight solve) and calls observers.
   removed->CloseForListeners();
+  // Flush + detach before unlinking, so in-flight holders of the engine
+  // keep working (in-memory, no longer logging to soon-to-vanish files).
+  removed->DetachStorage();
+  const std::string dir = KbDir(name);
+  if (!dir.empty()) {
+    TECORE_RETURN_NOT_OK(storage::KbStorage::Destroy(dir));
+  }
   return Status::OK();
 }
 

@@ -45,6 +45,14 @@ class EngineRegistry {
     int num_threads = 0;
     /// Defaults applied to every engine the registry creates.
     Engine::Options engine;
+    /// Root of the durable store. Empty = in-memory registry (the
+    /// default; library embedders and most tests). When set, each KB
+    /// lives in `<data_dir>/kbs/<name>/` — Create opens storage, boot
+    /// calls RecoverKbs, Delete flushes + retires + unlinks.
+    std::string data_dir;
+    /// Durability tunables applied to every KB (ignored without
+    /// `data_dir`).
+    storage::StorageOptions storage;
   };
 
   EngineRegistry();  // defaults (GCC cannot parse `Options options = {}`
@@ -59,15 +67,29 @@ class EngineRegistry {
   static Status ValidateName(std::string_view name);
 
   /// \brief Create a new empty KB. AlreadyExists if the name is taken,
-  /// InvalidArgument for a malformed name.
+  /// InvalidArgument for a malformed name, IoError when its durable
+  /// directory cannot be initialized (the name is then not registered).
   Result<std::shared_ptr<Engine>> Create(const std::string& name);
+
+  /// \brief Recover every KB found under `data_dir` (boot path). Each
+  /// `<data_dir>/kbs/<name>/` directory becomes a registered engine with
+  /// its checkpoint loaded and WAL tail replayed; a torn WAL tail is
+  /// truncated, but corrupt checkpoints or unreplayable records fail the
+  /// boot loudly — refusing to start beats silently dropping acknowledged
+  /// data. No-op for an in-memory registry. Returns the recovered names.
+  Result<std::vector<std::string>> RecoverKbs();
+
+  /// \brief This KB's durable directory (usable even without storage
+  /// attached; empty for an in-memory registry).
+  std::string KbDir(const std::string& name) const;
 
   /// \brief Look up a KB (NotFound when absent).
   Result<std::shared_ptr<Engine>> Get(const std::string& name) const;
 
-  /// \brief Delete a KB: unregister the name and retire the engine for
-  /// publish observers. In-flight holders keep a working engine until
-  /// they drop their reference. NotFound when absent.
+  /// \brief Delete a KB: unregister the name, retire the engine for
+  /// publish observers, detach its storage and remove its directory tree.
+  /// In-flight holders keep a working engine (now in-memory) until they
+  /// drop their reference. NotFound when absent.
   Status Delete(const std::string& name);
 
   /// \brief One row of `GET /v1/kb`: the name plus the KB's current

@@ -14,6 +14,8 @@
 //   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
 //   tecore-cli serve    [--port 8080] [--kb name] [--graph g.tq]
 //                       [--rules r.tcr] [--auth-token-file f]
+//                       [--data-dir d] [--fsync always|never]
+//   tecore-cli kb verify --data-dir d [--kb name]
 //   tecore-cli version  (also: --version)
 //
 // `--edits` applies a KG edit script (lines `+ <fact>` / `- <fact>`) after
@@ -24,6 +26,11 @@
 //
 // `serve` starts the JSON-over-HTTP service (same flags as the
 // tecore-server binary; see docs/api.md for the /v1 endpoint reference).
+//
+// `kb verify` is the offline integrity check for a --data-dir store: it
+// re-verifies every checkpoint checksum and WAL record CRC without
+// modifying anything, and reports the version recovery would restore
+// (docs/durability.md). Exit 0 = clean, 1 = integrity problems.
 //
 // Unknown subcommands and unknown or valueless flags are errors (usage to
 // stderr, exit 2); structural failures exit 1.
@@ -36,6 +43,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "api/engine.h"
 #include "api/version.h"
@@ -45,6 +53,8 @@
 #include "rules/library.h"
 #include "rules/parser.h"
 #include "server/serve.h"
+#include "storage/fs.h"
+#include "storage/verify.h"
 #include "util/file.h"
 #include "util/string_util.h"
 
@@ -56,7 +66,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: tecore-cli "
                "<stats|complete|suggest|validate|detect|solve|gen|serve"
-               "|version>\n"
+               "|kb|version>\n"
                "                  [--graph f] [--rules f] [--solver mln|psl]"
                " [--threshold x] [--threads n]\n"
                "                  [--ground-threads n] [--edits f] [--out f]"
@@ -73,8 +83,16 @@ int Usage() {
                " incremental vs full re-solve\n"
                "  serve              start the multi-tenant /v1 JSON HTTP"
                " service ([--host h] [--port n]\n"
-               "                     [--kb name] [--auth-token-file f];"
-               " docs/api.md)\n"
+               "                     [--kb name] [--auth-token-file f]"
+               " [--data-dir d]\n"
+               "                     [--fsync always|never]"
+               " [--max-body-bytes n]; docs/api.md)\n"
+               "  kb verify          check a --data-dir store offline:"
+               " checkpoint and WAL\n"
+               "                     checksums plus the recoverable version"
+               " per KB\n"
+               "                     (--data-dir d [--kb name];"
+               " docs/durability.md)\n"
                "  version | --version  print the release version\n");
   return 2;
 }
@@ -156,6 +174,69 @@ int main(int argc, char** argv) {
   if (command == "serve") {
     // serve owns its flag set (shared with the tecore-server binary).
     return server::RunServe(argc, argv, 2);
+  }
+  if (command == "kb") {
+    if (argc < 3 || std::strcmp(argv[2], "verify") != 0) {
+      std::fprintf(stderr, "unknown kb subcommand%s%s\n",
+                   argc >= 3 ? " " : "", argc >= 3 ? argv[2] : "");
+      return Usage();
+    }
+    std::map<std::string, std::string> kb_flags;
+    if (!ParseFlags(argc, argv, 3, {"data-dir", "kb"}, &kb_flags)) {
+      return Usage();
+    }
+    auto dir_it = kb_flags.find("data-dir");
+    if (dir_it == kb_flags.end()) {
+      std::fprintf(stderr, "--data-dir is required\n");
+      return Usage();
+    }
+    const std::string kbs_dir = storage::JoinPath(dir_it->second, "kbs");
+    std::vector<std::string> names;
+    if (kb_flags.count("kb")) {
+      names.push_back(kb_flags["kb"]);
+    } else if (storage::IsDirectory(kbs_dir)) {
+      auto listed = storage::ListDir(kbs_dir);
+      if (!listed.ok()) {
+        std::fprintf(stderr, "%s\n", listed.status().ToString().c_str());
+        return 1;
+      }
+      for (const std::string& name : *listed) {
+        if (storage::IsDirectory(storage::JoinPath(kbs_dir, name))) {
+          names.push_back(name);
+        }
+      }
+    }
+    size_t problem_count = 0;
+    for (const std::string& name : names) {
+      auto report = storage::VerifyKbDir(storage::JoinPath(kbs_dir, name));
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("kb '%s': %s\n", name.c_str(),
+                  report->ok() ? "OK" : "CORRUPT");
+      if (report->has_checkpoint) {
+        std::printf("  checkpoint: version %llu\n",
+                    (unsigned long long)report->checkpoint_version);
+      } else {
+        std::printf("  checkpoint: none\n");
+      }
+      std::printf("  wal: %llu record(s), %llu/%llu byte(s) intact%s\n",
+                  (unsigned long long)report->wal_records,
+                  (unsigned long long)report->wal_valid_bytes,
+                  (unsigned long long)report->wal_file_bytes,
+                  report->wal_torn_tail ? ", torn tail (recovery truncates)"
+                                        : "");
+      std::printf("  recoverable version: %llu\n",
+                  (unsigned long long)report->recoverable_version);
+      for (const std::string& problem : report->problems) {
+        std::printf("  problem: %s\n", problem.c_str());
+      }
+      problem_count += report->problems.size();
+    }
+    std::printf("%zu kb(s) verified, %zu problem(s)\n", names.size(),
+                problem_count);
+    return problem_count == 0 ? 0 : 1;
   }
 
   std::map<std::string, std::string> flags;

@@ -101,31 +101,38 @@ size_t CountLiveMatches(const rdf::TemporalGraph& graph,
 
 }  // namespace
 
-Result<EditApplication> ApplyGraphEdits(const std::vector<GraphEdit>& edits,
-                                        rdf::TemporalGraph* graph) {
-  // Validate the whole batch before touching the graph, so a failing
-  // script leaves no half-applied state behind. The simulation tracks the
-  // live count of every quad the batch mentions with the exact semantics
-  // used below: inserts add one copy, a retraction removes *all* live
-  // copies and fails on zero.
+Status ValidateGraphEdits(const std::vector<GraphEdit>& edits,
+                          const rdf::TemporalGraph& graph) {
+  // Simulate the batch without touching the graph, tracking the live
+  // count of every quad the batch mentions with the exact semantics
+  // ApplyGraphEdits uses: inserts add one copy, a retraction removes
+  // *all* live copies and fails on zero.
   std::unordered_map<QuadKey, size_t, QuadKeyHash> live;
   for (const GraphEdit& edit : edits) {
     auto [it, fresh] = live.try_emplace(KeyOf(edit.fact), 0);
-    if (fresh) it->second = CountLiveMatches(*graph, edit.fact);
+    if (fresh) it->second = CountLiveMatches(graph, edit.fact);
     if (edit.kind == GraphEdit::Kind::kInsert) {
       if (edit.fact.confidence <= 0.0 || edit.fact.confidence > 1.0) {
         return Status::InvalidArgument(
             "insert confidence must be in (0,1]: " +
-            graph->FactToString(edit.fact));
+            graph.FactToString(edit.fact));
       }
       ++it->second;
     } else if (it->second == 0) {
       return Status::InvalidArgument("retraction matches no live fact: " +
-                                     graph->FactToString(edit.fact));
+                                     graph.FactToString(edit.fact));
     } else {
       it->second = 0;
     }
   }
+  return Status::OK();
+}
+
+Result<EditApplication> ApplyGraphEdits(const std::vector<GraphEdit>& edits,
+                                        rdf::TemporalGraph* graph) {
+  // Validate the whole batch before touching the graph, so a failing
+  // script leaves no half-applied state behind.
+  TECORE_RETURN_NOT_OK(ValidateGraphEdits(edits, *graph));
 
   EditApplication applied;
   for (const GraphEdit& edit : edits) {
@@ -150,6 +157,17 @@ Result<EditApplication> ApplyGraphEdits(const std::vector<GraphEdit>& edits,
     }
   }
   return applied;
+}
+
+std::string EditScriptToText(const std::vector<GraphEdit>& edits,
+                             const rdf::TemporalGraph& graph) {
+  std::string out;
+  for (const GraphEdit& edit : edits) {
+    out += edit.kind == GraphEdit::Kind::kInsert ? "+ " : "- ";
+    out += rdf::WriteFactText(graph, edit.fact);
+    out += " .\n";
+  }
+  return out;
 }
 
 }  // namespace core

@@ -43,10 +43,26 @@ Result<std::vector<GraphEdit>> ParseEditScript(std::string_view text,
 Result<std::vector<GraphEdit>> LoadEditScriptFile(const std::string& path,
                                                   rdf::TemporalGraph* graph);
 
+/// \brief Check that the whole batch would apply cleanly to `graph`
+/// without mutating anything: every insert confidence is in (0,1] and
+/// every retraction matches at least one fact live at its point in the
+/// batch. This is the pre-flight the engine runs before writing the batch
+/// to the WAL — nothing invalid may be logged or published.
+Status ValidateGraphEdits(const std::vector<GraphEdit>& edits,
+                          const rdf::TemporalGraph& graph);
+
 /// \brief Apply edits in order. Inserts append; retracts tombstone every
 /// live match and fail if nothing matches (catching script typos early).
 Result<EditApplication> ApplyGraphEdits(const std::vector<GraphEdit>& edits,
                                         rdf::TemporalGraph* graph);
+
+/// \brief Serialize an edit batch back to canonical edit-script text —
+/// the exact format `ParseEditScript` reads, one `+`/`-` line per edit
+/// with confidences via `FormatDoubleExact`. Parsing the result against a
+/// graph with the same dictionary state reproduces `edits` bit-exactly;
+/// this is the WAL payload for `kEditBatch` records.
+std::string EditScriptToText(const std::vector<GraphEdit>& edits,
+                             const rdf::TemporalGraph& graph);
 
 }  // namespace core
 }  // namespace tecore

@@ -46,9 +46,11 @@ class Session {
   Status LoadGraphText(std::string_view text) {
     return Refresh(engine_.LoadGraphText(text));
   }
-  /// \brief Adopt an existing graph.
+  /// \brief Adopt an existing graph. (Session engines have no durable
+  /// storage attached, so the engine's storage-only failure path is
+  /// unreachable here.)
   void SetGraph(rdf::TemporalGraph graph) {
-    snap_ = engine_.SetGraph(std::move(graph));
+    snap_ = *engine_.SetGraph(std::move(graph));
   }
 
   bool HasGraph() const { return snap().has_graph(); }
@@ -72,10 +74,10 @@ class Session {
   Result<size_t> AddRulesText(std::string_view text);
   /// \brief Append an already-parsed rule set.
   void AddRules(const rules::RuleSet& rules) {
-    snap_ = engine_.AddRules(rules);
+    snap_ = *engine_.AddRules(rules);
   }
   /// \brief Drop all rules.
-  void ClearRules() { snap_ = engine_.ClearRules(); }
+  void ClearRules() { snap_ = *engine_.ClearRules(); }
 
   const rules::RuleSet& rules() const { return *snap().rules; }
 

@@ -156,23 +156,29 @@ Result<TemporalGraph> ParseGraphText(std::string_view text) {
   return graph;
 }
 
+std::string WriteFactText(const TemporalGraph& graph,
+                          const TemporalFact& fact) {
+  std::string out;
+  out += graph.dict().Lookup(fact.subject).ToString();
+  out += ' ';
+  out += graph.dict().Lookup(fact.predicate).ToString();
+  out += ' ';
+  out += graph.dict().Lookup(fact.object).ToString();
+  out += ' ';
+  out += fact.interval.ToString();
+  // Shortest round-trip-exact confidence: "%g" (6 significant digits)
+  // silently perturbed confidences on save/load and with them the
+  // resolution objective.
+  out += ' ';
+  out += FormatDoubleExact(fact.confidence);
+  return out;
+}
+
 std::string WriteGraphText(const TemporalGraph& graph) {
   std::string out;
   for (FactId id = 0; id < graph.NumFacts(); ++id) {
     if (!graph.is_live(id)) continue;
-    const TemporalFact& f = graph.fact(id);
-    out += graph.dict().Lookup(f.subject).ToString();
-    out += ' ';
-    out += graph.dict().Lookup(f.predicate).ToString();
-    out += ' ';
-    out += graph.dict().Lookup(f.object).ToString();
-    out += ' ';
-    out += f.interval.ToString();
-    // Shortest round-trip-exact confidence: "%g" (6 significant digits)
-    // silently perturbed confidences on save/load and with them the
-    // resolution objective.
-    out += ' ';
-    out += FormatDoubleExact(f.confidence);
+    out += WriteFactText(graph, graph.fact(id));
     out += " .\n";
   }
   return out;

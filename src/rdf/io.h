@@ -43,6 +43,11 @@ Result<TemporalFact> ParseFactText(std::string_view line,
 /// sequences (the exact rules the tokenizer uses).
 std::string_view StripTqComment(std::string_view line);
 
+/// \brief Serialize one fact as a ".tq" line body (no trailing " .\n").
+/// Confidence is always emitted, via `FormatDoubleExact`, so the line
+/// round-trips bit-exactly — the property the WAL and checkpoints rely on.
+std::string WriteFactText(const TemporalGraph& graph, const TemporalFact& fact);
+
 /// \brief Serialize the whole graph in ".tq" format.
 std::string WriteGraphText(const TemporalGraph& graph);
 

@@ -38,7 +38,10 @@ std::string Rule::ToString() const {
   if (hard) {
     out += " w = inf";
   } else {
-    out += StringPrintf(" w = %g", weight);
+    // Shortest round-trip-exact form: the rendered text is also the WAL /
+    // checkpoint payload, so weights must survive a parse round trip
+    // bitwise.
+    out += " w = " + FormatDoubleExact(weight);
   }
   return out + " .";
 }

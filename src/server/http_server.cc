@@ -252,15 +252,25 @@ void HttpServer::ServeConnection(int fd) {
   while (running_.load(std::memory_order_acquire)) {
     HttpRequest request;
     bool keep_alive = true;
-    bool unsupported = false;
-    if (!ReadRequest(fd, &request, &keep_alive, &buffer, &unsupported)) {
-      if (unsupported) {
+    ReadError error = ReadError::kNone;
+    if (!ReadRequest(fd, &request, &keep_alive, &buffer, &error)) {
+      // Both error replies close the connection: after refusing a body we
+      // never read, the stream position is unknowable.
+      if (error == ReadError::kUnsupported) {
         HttpResponse response;
         response.status = 501;
         response.body =
             "{\"error\":{\"code\":\"Unsupported\",\"message\":"
             "\"unsupported Transfer-Encoding; send a Content-Length or "
             "chunked body\"}}\n";
+        WriteResponse(fd, response, /*keep_alive=*/false);
+      } else if (error == ReadError::kTooLarge) {
+        HttpResponse response;
+        response.status = 413;
+        response.body = StringPrintf(
+            "{\"error\":{\"code\":\"PayloadTooLarge\",\"message\":"
+            "\"request body exceeds the %zu-byte limit\"}}\n",
+            options_.max_body_bytes);
         WriteResponse(fd, response, /*keep_alive=*/false);
       }
       break;
@@ -289,11 +299,14 @@ bool HttpServer::FillBuffer(int fd, std::string* buffer) {
 }
 
 bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
-                             std::string* buffer, bool* unsupported) {
+                             std::string* buffer, ReadError* error) {
   // Accumulate until the header terminator.
   size_t header_end;
   while ((header_end = buffer->find("\r\n\r\n")) == std::string::npos) {
-    if (buffer->size() > options_.max_body_bytes) return false;
+    if (buffer->size() > options_.max_body_bytes) {
+      *error = ReadError::kTooLarge;
+      return false;
+    }
     if (!FillBuffer(fd, buffer)) return false;
   }
   std::string_view head(*buffer);
@@ -334,8 +347,11 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
     request->headers.emplace_back(std::string(name), std::string(value));
     if (AsciiIEquals(name, "content-length")) {
       int64_t parsed = 0;
-      if (!ParseInt64(value, &parsed) || parsed < 0 ||
-          static_cast<size_t>(parsed) > options_.max_body_bytes) {
+      if (!ParseInt64(value, &parsed) || parsed < 0) return false;
+      if (static_cast<size_t>(parsed) > options_.max_body_bytes) {
+        // Refuse up front from the declared size — never buffer a body
+        // we already know is over the limit.
+        *error = ReadError::kTooLarge;
         return false;
       }
       content_length = static_cast<size_t>(parsed);
@@ -349,7 +365,7 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
       if (AsciiIEquals(value, "chunked")) {
         chunked = true;
       } else {
-        *unsupported = true;
+        *error = ReadError::kUnsupported;
         return false;
       }
     }
@@ -357,7 +373,7 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
 
   const size_t body_start = header_end + 4;
   if (chunked) {
-    return ReadChunkedBody(fd, buffer, body_start, request);
+    return ReadChunkedBody(fd, buffer, body_start, request, error);
   }
 
   // Content-Length body.
@@ -371,7 +387,8 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
 }
 
 bool HttpServer::ReadChunkedBody(int fd, std::string* buffer,
-                                 size_t body_start, HttpRequest* request) {
+                                 size_t body_start, HttpRequest* request,
+                                 ReadError* error) {
   // RFC 9112 §7.1: repeated `size-hex[;ext] CRLF data CRLF`, terminated
   // by a zero-size chunk and an (ignored) trailer section ending in a
   // blank line. The decoded body replaces the wire framing, so handlers
@@ -406,11 +423,19 @@ bool HttpServer::ReadChunkedBody(int fd, std::string* buffer,
         return false;
       }
       size = size * 16 + static_cast<size_t>(digit);
-      if (size > options_.max_body_bytes) return false;
+      if (size > options_.max_body_bytes) {
+        *error = ReadError::kTooLarge;
+        return false;
+      }
     }
     pos = eol + 2;
     if (size == 0) break;
-    if (request->body.size() + size > options_.max_body_bytes) return false;
+    if (request->body.size() + size > options_.max_body_bytes) {
+      // Chunked uploads carry no declared total; the cap bites as the
+      // decoded body accumulates past it.
+      *error = ReadError::kTooLarge;
+      return false;
+    }
     while (buffer->size() < pos + size + 2) {
       if (!FillBuffer(fd, buffer)) return false;
     }

@@ -98,6 +98,8 @@ class HttpServer {
                            ///< the floor keeps one from starving writes).
                            ///< Ignored when `pool` is set.
     int backlog = 64;
+    /// Hard cap on one request body (Content-Length or decoded chunked).
+    /// Oversized requests get 413 with the uniform error envelope.
     size_t max_body_bytes = 16u << 20;
     /// Per-socket receive/send timeout; doubles as the keep-alive idle
     /// timeout, bounds how long a stalled streaming client can occupy a
@@ -129,19 +131,30 @@ class HttpServer {
   void Stop();
 
  private:
+  /// Why ReadRequest gave up on a connection when the bytes themselves
+  /// were readable. These are the cases worth answering before closing
+  /// (as opposed to EOF/timeout/garbage, where silence is correct).
+  enum class ReadError {
+    kNone,         ///< EOF, timeout, or malformed framing — close silently
+    kUnsupported,  ///< Transfer-Encoding we must not guess at → 501
+    kTooLarge,     ///< declared or accumulated body over max_body_bytes → 413
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
   /// Read one request off `fd`; false on EOF/timeout/malformed framing.
-  /// Sets `*unsupported` (and returns false) for framing we must not
-  /// guess at, e.g. a Transfer-Encoding other than chunked — the caller
-  /// answers 501 before closing instead of desyncing the connection.
+  /// Sets `*error` (and returns false) when the connection deserves an
+  /// error response before closing: a Transfer-Encoding we must not guess
+  /// at (501 — answering on guessed framing would desync the connection)
+  /// or a body over Options::max_body_bytes (413, for both Content-Length
+  /// and chunked uploads).
   bool ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
-                   std::string* buffer, bool* unsupported);
+                   std::string* buffer, ReadError* error);
   /// Decode a chunked body starting at buffer[body_start] into
   /// request->body, receiving more bytes as needed; on success erases
   /// everything consumed from `buffer` (keeping pipelined bytes).
   bool ReadChunkedBody(int fd, std::string* buffer, size_t body_start,
-                       HttpRequest* request);
+                       HttpRequest* request, ReadError* error);
   bool FillBuffer(int fd, std::string* buffer);
   void WriteResponse(int fd, const HttpResponse& response, bool keep_alive);
 

@@ -99,7 +99,9 @@ HttpResponse HandleRules(api::Engine* engine, const HttpRequest& request) {
     return JsonResponse(200, out);
   }
   if (request.method == "DELETE") {
-    return JsonResponse(200, api::RulesJson(*engine->ClearRules()));
+    auto cleared = engine->ClearRules();
+    if (!cleared.ok()) return ErrorResponse(cleared.status());
+    return JsonResponse(200, api::RulesJson(**cleared));
   }
   return MethodNotAllowed(request.method, "GET, POST, DELETE");
 }
@@ -217,14 +219,26 @@ std::string SseEvent(const char* event, const Json& data,
   return out;
 }
 
+/// Sentinel for "no Last-Event-ID supplied" (a real resume version can
+/// never reach it: versions count publishes).
+constexpr uint64_t kNoResume = ~0ull;
+
 /// The long-lived body of `GET /v1/kb/{name}/subscribe`: push one
 /// `snapshot` event per publish, in version order, with no gaps or
 /// duplicates. Runs on a connection worker until the client disconnects,
 /// the server stops, the KB is deleted (final `close` event) or
 /// `max_events` is reached.
+///
+/// Resume: when the client reconnects with `Last-Event-ID: <version>`
+/// (or `?last_event_id=`), the edit scripts it missed are replayed from
+/// the KB's edit log as `edit` events (id = version, data carries the
+/// canonical `+`/`-` script), followed by the current `snapshot` event.
+/// When the missed range has left the log's tail — or the KB is
+/// in-memory — the stream falls back to the snapshot alone, which is
+/// always a complete resync point.
 void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
                         const std::string& kb, uint64_t max_events,
-                        ResponseStream* stream) {
+                        uint64_t resume_after, ResponseStream* stream) {
   auto sub = std::make_shared<SseSubscriber>();
   const uint64_t listener = engine->AddPublishListener(
       [sub](std::shared_ptr<const api::Snapshot> snap) {
@@ -242,9 +256,44 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
   auto initial = engine->snapshot();
   uint64_t last_version = initial->version;
   uint64_t sent = 0;
-  bool alive = stream->Write(SseEvent(
-      "snapshot", api::KbInfoJson(kb, *initial), initial->version, true));
-  if (alive) ++sent;
+  bool alive = true;
+  bool send_initial = true;
+  if (resume_after != kNoResume && resume_after >= initial->version) {
+    // The client is current (or ahead of a recovered server, which can
+    // only mean a resync is coming via live events): nothing to replay,
+    // and repeating the snapshot it already has would be a duplicate.
+    send_initial = false;
+  } else if (resume_after != kNoResume) {
+    auto storage = engine->storage();
+    bool complete = false;
+    const auto missed =
+        storage != nullptr
+            ? storage->EditsSince(resume_after, &complete)
+            : std::vector<std::pair<uint64_t, std::string>>();
+    if (complete) {
+      for (const auto& [version, script] : missed) {
+        // An in-flight write may already sit in the log unpublished; its
+        // publish will arrive through the queue, so replay stops at the
+        // snapshot we are about to send.
+        if (version > initial->version) break;
+        Json data = Json::Object();
+        data.Set("kb", Json::Str(kb));
+        data.Set("version", Json::Int(static_cast<int64_t>(version)));
+        data.Set("script", Json::Str(script));
+        alive = stream->Write(SseEvent("edit", data, version, true));
+        if (!alive) break;
+        ++sent;
+      }
+    }
+    // Whether or not edits replayed, the snapshot below reconciles
+    // everything scripts cannot carry (rule changes, solves, graph
+    // loads) — and is the whole resync when the tail was incomplete.
+  }
+  if (alive && send_initial) {
+    alive = stream->Write(SseEvent(
+        "snapshot", api::KbInfoJson(kb, *initial), initial->version, true));
+    if (alive) ++sent;
+  }
 
   int idle_ticks = 0;
   while (alive && !stream->stopping() &&
@@ -303,14 +352,27 @@ HttpResponse HandleSubscribe(std::shared_ptr<api::Engine> engine,
     return ErrorResponse(Status::InvalidArgument(
         StringPrintf("bad max_events '%s'", max_param.c_str())));
   }
+  // Reconnecting EventSource clients send the id of the last event they
+  // saw; curl and tests can use the query param instead.
+  uint64_t resume_after = kNoResume;
+  std::string last_id = request.HeaderValue("Last-Event-ID", "");
+  if (last_id.empty()) last_id = request.QueryParam("last_event_id", "");
+  if (!last_id.empty()) {
+    int64_t parsed = 0;
+    if (!ParseInt64(last_id, &parsed) || parsed < 0) {
+      return ErrorResponse(Status::InvalidArgument(
+          StringPrintf("bad Last-Event-ID '%s'", last_id.c_str())));
+    }
+    resume_after = static_cast<uint64_t>(parsed);
+  }
   HttpResponse out;
   out.status = 200;
   out.content_type = "text/event-stream";
   out.headers.emplace_back("Cache-Control", "no-cache");
   out.stream = [engine = std::move(engine), kb,
-                max = static_cast<uint64_t>(max_events)](
-                   ResponseStream* stream) {
-    StreamSubscription(engine, kb, max, stream);
+                max = static_cast<uint64_t>(max_events),
+                resume_after](ResponseStream* stream) {
+    StreamSubscription(engine, kb, max, resume_after, stream);
   };
   return out;
 }

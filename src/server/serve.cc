@@ -11,6 +11,7 @@
 #include "server/auth.h"
 #include "server/http_server.h"
 #include "server/routes.h"
+#include "storage/kb_storage.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -30,6 +31,8 @@ void PrintServeUsage() {
                " [--kb name]\n"
                "                     [--graph f] [--rules f]"
                " [--auth-token-file f]\n"
+               "                     [--data-dir d] [--fsync always|never]"
+               " [--max-body-bytes n]\n"
                "  --host h            bind address (default 127.0.0.1)\n"
                "  --port n            TCP port; 0 picks an ephemeral port"
                " (default 8080)\n"
@@ -46,8 +49,32 @@ void PrintServeUsage() {
                " <token>' on every\n"
                "                      request (file holds the token;"
                " 401/403 otherwise)\n"
+               "  --data-dir d        durable store root: every KB gets a"
+               " write-ahead\n"
+               "                      edit log + checkpoints under"
+               " d/kbs/<name>/ and is\n"
+               "                      recovered on restart (omit for"
+               " in-memory serving)\n"
+               "  --fsync p           WAL sync policy: 'always' (default;"
+               " fsync before\n"
+               "                      every ack) or 'never' (page cache"
+               " only)\n"
+               "  --max-body-bytes n  request-body cap; oversized uploads"
+               " get 413\n"
+               "                      (default 16777216)\n"
                "serves the multi-tenant /v1 JSON API (/v1/kb/{name}/...);"
                " see docs/api.md\n");
+}
+
+/// \brief Create `name`, tolerating its existence (after --data-dir
+/// recovery the KB may already be registered).
+Result<std::shared_ptr<api::Engine>> GetOrCreateKb(
+    api::EngineRegistry* registry, const std::string& name) {
+  auto created = registry->Create(name);
+  if (created.ok() || created.status().code() != StatusCode::kAlreadyExists) {
+    return created;
+  }
+  return registry->Get(name);
 }
 
 int RunServe(int argc, char** argv, int first_arg) {
@@ -58,13 +85,16 @@ int RunServe(int argc, char** argv, int first_arg) {
   std::string rules_file;
   std::string preload_kb = "default";
   std::string auth_token_file;
+  std::string data_dir;
+  storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kAlways;
   for (int i = first_arg; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     const bool known = flag == "--host" || flag == "--port" ||
                        flag == "--threads" || flag == "--graph" ||
                        flag == "--rules" || flag == "--kb" ||
-                       flag == "--auth-token-file";
+                       flag == "--auth-token-file" || flag == "--data-dir" ||
+                       flag == "--fsync" || flag == "--max-body-bytes";
     if (!known) {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       PrintServeUsage();
@@ -93,6 +123,26 @@ int RunServe(int argc, char** argv, int first_arg) {
       rules_file = value;
     } else if (flag == "--kb") {
       preload_kb = value;
+    } else if (flag == "--data-dir") {
+      data_dir = value;
+    } else if (flag == "--fsync") {
+      if (std::strcmp(value, "always") == 0) {
+        fsync_policy = storage::FsyncPolicy::kAlways;
+      } else if (std::strcmp(value, "never") == 0) {
+        fsync_policy = storage::FsyncPolicy::kNever;
+      } else {
+        std::fprintf(stderr, "invalid --fsync value '%s'\n", value);
+        PrintServeUsage();
+        return 2;
+      }
+    } else if (flag == "--max-body-bytes") {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed <= 0) {
+        std::fprintf(stderr, "invalid --max-body-bytes value '%s'\n", value);
+        PrintServeUsage();
+        return 2;
+      }
+      options.max_body_bytes = static_cast<size_t>(parsed);
     } else {
       auth_token_file = value;
     }
@@ -112,15 +162,29 @@ int RunServe(int argc, char** argv, int first_arg) {
   // "default" always exists so the legacy single-KB /v1/... paths work.
   api::EngineRegistry::Options registry_options;
   registry_options.num_threads = pool_threads;
+  registry_options.data_dir = data_dir;
+  registry_options.storage.fsync = fsync_policy;
   api::EngineRegistry registry(registry_options);
-  auto default_kb = registry.Create(router.default_kb);
+  size_t recovered_kbs = 0;
+  if (!data_dir.empty()) {
+    // Boot-time recovery: every KB under <data-dir>/kbs/ comes back with
+    // its checkpoint loaded and WAL tail replayed. Unrecoverable state is
+    // a refusal to start, not a silent empty boot.
+    auto recovered = registry.RecoverKbs();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+      return 1;
+    }
+    recovered_kbs = recovered->size();
+  }
+  auto default_kb = GetOrCreateKb(&registry, router.default_kb);
   if (!default_kb.ok()) {
     std::fprintf(stderr, "%s\n", default_kb.status().ToString().c_str());
     return 1;
   }
   std::shared_ptr<api::Engine> preload = *default_kb;
   if (preload_kb != router.default_kb) {
-    auto created = registry.Create(preload_kb);
+    auto created = GetOrCreateKb(&registry, preload_kb);
     if (!created.ok()) {
       std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
       return 1;
@@ -140,7 +204,11 @@ int RunServe(int argc, char** argv, int first_arg) {
       std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return 1;
     }
-    preload->AddRules(*parsed);
+    auto added = preload->AddRules(*parsed);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+      return 1;
+    }
   }
 
   options.pool = registry.pool();
@@ -153,13 +221,22 @@ int RunServe(int argc, char** argv, int first_arg) {
   // The exact line CI's smoke script and the bench parse — keep stable.
   std::printf("tecore-server %s listening on http://%s:%d/v1\n",
               api::kTecoreVersion, options.host.c_str(), *port);
-  std::printf("  kbs: %zu (default '%s'%s) · auth: %s\n", registry.size(),
-              router.default_kb.c_str(),
+  std::printf("  kbs: %zu (default '%s'%s) · auth: %s · durability: %s\n",
+              registry.size(), router.default_kb.c_str(),
               preload_kb != router.default_kb
                   ? StringPrintf(", preloaded '%s'", preload_kb.c_str())
                         .c_str()
                   : "",
-              router.auth_token.empty() ? "off" : "bearer token");
+              router.auth_token.empty() ? "off" : "bearer token",
+              data_dir.empty()
+                  ? "off"
+                  : StringPrintf("%s (fsync %s, %zu recovered)",
+                                 data_dir.c_str(),
+                                 fsync_policy == storage::FsyncPolicy::kAlways
+                                     ? "always"
+                                     : "never",
+                                 recovered_kbs)
+                        .c_str());
   std::fflush(stdout);
 
   // Block the stop signals, install handlers, then atomically unblock and
@@ -179,6 +256,13 @@ int RunServe(int argc, char** argv, int first_arg) {
   sigprocmask(SIG_SETMASK, &old_mask, nullptr);
   std::printf("tecore-server shutting down\n");
   http.Stop();
+  // Under --fsync never, acknowledged records may still sit in the page
+  // cache; a clean shutdown flushes them (kill -9 is what the recovery
+  // tests cover).
+  for (const auto& info : registry.List()) {
+    auto engine = registry.Get(info.name);
+    if (engine.ok()) (*engine)->FlushStorage();
+  }
   return 0;
 }
 

@@ -1,0 +1,54 @@
+#ifndef TECORE_STORAGE_CHECKPOINT_H_
+#define TECORE_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace storage {
+
+/// \brief One materialized snapshot of a KB on disk.
+///
+/// A checkpoint is a manifest (`MANIFEST`, small JSON) plus two data
+/// files named by the version they capture:
+///
+///     graph-<version>.tq    canonical `.tq` text of the live graph
+///     rules-<version>.tcr   rule-language concrete syntax of the rule set
+///
+/// The manifest records each data file's byte size and CRC32 so `verify`
+/// and recovery can detect truncation or bit rot without trusting the
+/// filesystem. Publication is atomic: data files are written and fsynced
+/// first, then the manifest replaces the old one via tmp + fsync + rename
+/// + directory fsync. A crash at any point leaves the previous checkpoint
+/// fully intact — stale data files from an unpublished attempt are swept
+/// on the next successful checkpoint.
+struct Checkpoint {
+  uint64_t version = 0;
+  /// False when no graph was ever loaded (a KB can hold rules alone);
+  /// distinct from an empty graph, which the engine treats as loaded.
+  bool has_graph = false;
+  std::string graph_text;
+  std::string rules_text;
+};
+
+/// \brief True when `dir` contains a MANIFEST file.
+bool CheckpointExists(const std::string& dir);
+
+/// \brief Write `cp` as the new checkpoint for `dir` (creating `dir` if
+/// needed) and delete data files from older checkpoints. Crash points:
+/// `checkpoint:before_manifest` (data durable, manifest not swapped) and
+/// I/O failure point `checkpoint:write`.
+Status WriteCheckpoint(const std::string& dir, const Checkpoint& cp);
+
+/// \brief Load and verify the checkpoint in `dir`. NotFound when no
+/// MANIFEST exists; IoError when a data file is missing, truncated, or
+/// fails its checksum (the KB is then unrecoverable from checkpoint —
+/// callers surface this loudly rather than booting empty).
+Result<Checkpoint> LoadCheckpoint(const std::string& dir);
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_CHECKPOINT_H_

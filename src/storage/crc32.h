@@ -1,0 +1,24 @@
+#ifndef TECORE_STORAGE_CRC32_H_
+#define TECORE_STORAGE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tecore {
+namespace storage {
+
+/// \brief CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib `crc32`),
+/// table-driven, self-contained. Guards every WAL record frame and every
+/// checkpoint data file against torn writes and bit rot; the checksum is
+/// part of the on-disk format (docs/durability.md), so the polynomial
+/// must never change.
+uint32_t Crc32(std::string_view data);
+
+/// \brief Streaming form: extend `crc` (from a previous call, or 0) with
+/// `data`.
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_CRC32_H_

@@ -1,0 +1,60 @@
+#include "storage/fault.h"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace tecore {
+namespace storage {
+
+namespace {
+
+std::string& ArmedCrashPoint() {
+  static std::string point;
+  return point;
+}
+
+std::string& ArmedIoPoint() {
+  static std::string point;
+  return point;
+}
+
+int& IoFailuresLeft() {
+  static int count = 0;
+  return count;
+}
+
+}  // namespace
+
+void ArmCrashPoint(std::string point) {
+  ArmedCrashPoint() = std::move(point);
+}
+
+bool CrashPointArmed(std::string_view point) {
+  const std::string& armed = ArmedCrashPoint();
+  if (!armed.empty() && armed == point) return true;
+  // Subprocess-style tests (and the smoke script) arm via environment.
+  const char* env = std::getenv("TECORE_CRASH_POINT");
+  return env != nullptr && point == env;
+}
+
+void MaybeCrash(std::string_view point) {
+  if (CrashPointArmed(point)) {
+    // SIGKILL, not exit(): no atexit handlers, no stream flushes, no
+    // destructors — indistinguishable from `kill -9` at this instruction.
+    ::raise(SIGKILL);
+  }
+}
+
+void InjectIoFailures(std::string point, int count) {
+  ArmedIoPoint() = std::move(point);
+  IoFailuresLeft() = count;
+}
+
+bool ShouldFailIo(std::string_view point) {
+  if (IoFailuresLeft() <= 0 || ArmedIoPoint() != point) return false;
+  --IoFailuresLeft();
+  return true;
+}
+
+}  // namespace storage
+}  // namespace tecore

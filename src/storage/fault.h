@@ -1,0 +1,63 @@
+#ifndef TECORE_STORAGE_FAULT_H_
+#define TECORE_STORAGE_FAULT_H_
+
+#include <string>
+#include <string_view>
+
+namespace tecore {
+namespace storage {
+
+/// \brief Fault injection for the durability layer — the hooks that make
+/// crash-safe recovery *testable* instead of assumed.
+///
+/// Two orthogonal mechanisms, both no-ops in production:
+///
+///  * **Crash points.** The storage code calls `MaybeCrash("wal:after_append")`
+///    at every point where a kill -9 would be interesting. When the named
+///    point is armed (via `ArmCrashPoint` in-process, typically in a forked
+///    child, or via the `TECORE_CRASH_POINT` environment variable for
+///    subprocess tests), the process dies *immediately* with SIGKILL — no
+///    destructors, no flushes, exactly like a power cut.
+///
+///  * **I/O errors.** `ShouldFailIo("wal:append")` returns true for the
+///    next `n` calls after `InjectIoFailures(point, n)`, letting tests
+///    assert that a failed append is reported as IoError and publishes
+///    nothing.
+///
+/// Points currently wired (see docs/durability.md §Fault injection):
+///   wal:before_append   — before any bytes of the record are written
+///   wal:mid_append      — after a deliberately short prefix of the record
+///   wal:after_append    — record bytes written, not yet fsynced
+///   wal:after_sync      — record durable, edit not yet applied/published
+///   engine:before_publish — state mutated, snapshot not yet swapped
+///   checkpoint:before_manifest — data files written, manifest not renamed
+///   checkpoint:before_wal_reset — manifest durable, WAL not yet reset
+/// I/O failure points: "wal:append", "wal:sync", "checkpoint:write".
+///
+/// All state is process-global and not thread-safe by design: tests arm a
+/// point, run one single-threaded storage operation, and disarm.
+
+/// \brief Arm `point` so the next `MaybeCrash(point)` SIGKILLs the
+/// process. Empty string disarms.
+void ArmCrashPoint(std::string point);
+
+/// \brief Die via SIGKILL when `point` is armed (programmatically or via
+/// the TECORE_CRASH_POINT environment variable).
+void MaybeCrash(std::string_view point);
+
+/// \brief True when `point` is currently armed. Lets code pick a
+/// fault-reachable path (e.g. the WAL's deliberately short write) only
+/// while the matching test is running.
+bool CrashPointArmed(std::string_view point);
+
+/// \brief Make the next `count` calls of `ShouldFailIo(point)` return
+/// true. count = 0 disarms.
+void InjectIoFailures(std::string point, int count);
+
+/// \brief Consume one armed I/O failure for `point`.
+bool ShouldFailIo(std::string_view point);
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_FAULT_H_

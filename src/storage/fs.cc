@@ -1,0 +1,166 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/file.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace storage {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IoError(
+      StringPrintf("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    partial.assign(path, 0, slash);
+    start = slash + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  if (!IsDirectory(path)) {
+    return Status::IoError("not a directory: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  if (!PathExists(path)) return Status::OK();
+  if (!IsDirectory(path)) return RemoveFile(path);
+  auto entries = ListDir(path);
+  if (!entries.ok()) return entries.status();
+  for (const std::string& name : *entries) {
+    TECORE_RETURN_NOT_OK(RemoveDirRecursive(JoinPath(path, name)));
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("rmdir", path);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    // Some filesystems (and /dev/null-style sinks) reject fsync with
+    // EINVAL; that is "no durability to offer", not data loss.
+    if (errno == EINVAL) return Status::OK();
+    return Errno("fsync", what);
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", path);
+  Status st = FsyncFd(fd, path);
+  ::close(fd);
+  return st;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    written += static_cast<size_t>(n);
+  }
+  Status synced = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!synced.ok()) {
+    ::unlink(tmp.c_str());
+    return synced;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return FsyncDir(DirName(path));
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  return util::ReadFileToString(path);
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (!a.empty() && a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+}  // namespace storage
+}  // namespace tecore

@@ -1,0 +1,69 @@
+#ifndef TECORE_STORAGE_FS_H_
+#define TECORE_STORAGE_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace storage {
+
+/// \brief POSIX filesystem helpers for the durability layer.
+///
+/// Everything here is crash-safety-aware: writes that must survive a
+/// kill -9 go through `AtomicWriteFile` (tmp + fsync + rename + directory
+/// fsync), and callers that append in place (the WAL) combine plain
+/// appends with explicit `FsyncFd`. All paths are '/'-joined strings; no
+/// path escaping is attempted beyond what the KB-name grammar already
+/// guarantees (`[A-Za-z0-9][A-Za-z0-9_-]*`).
+
+/// \brief True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// \brief True when `path` exists and is a directory.
+bool IsDirectory(const std::string& path);
+
+/// \brief Size of a regular file; IoError when absent/unreadable.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief mkdir -p. OK when the directory already exists.
+Status MakeDirs(const std::string& path);
+
+/// \brief Names of the entries directly under `path` (no "."/".."),
+/// sorted. IoError when `path` is not a listable directory.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// \brief Unlink one file. OK when already absent.
+Status RemoveFile(const std::string& path);
+
+/// \brief rm -rf: remove `path` and everything under it. OK when absent.
+Status RemoveDirRecursive(const std::string& path);
+
+/// \brief fsync an open descriptor (fatal-error aware: EIO is reported,
+/// EINVAL on fsync-less filesystems is tolerated).
+Status FsyncFd(int fd, const std::string& what);
+
+/// \brief Open + fsync + close a directory so a rename/unlink inside it
+/// is durable.
+Status FsyncDir(const std::string& path);
+
+/// \brief Durably replace `path` with `contents`: write `path.tmp`,
+/// fsync it, rename over `path`, fsync the parent directory. The target
+/// is either the old or the new contents after any crash, never a mix.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief Read a whole file (IoError when unreadable).
+Result<std::string> ReadFile(const std::string& path);
+
+/// \brief Parent directory of `path` ("." when it has no '/').
+std::string DirName(const std::string& path);
+
+/// \brief Join two path segments with '/'.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_FS_H_

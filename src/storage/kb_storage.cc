@@ -1,0 +1,114 @@
+#include "storage/kb_storage.h"
+
+#include <algorithm>
+
+#include "storage/fault.h"
+#include "storage/fs.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace storage {
+
+namespace {
+constexpr char kWalName[] = "wal.log";
+}  // namespace
+
+Result<std::shared_ptr<KbStorage>> KbStorage::Open(
+    const std::string& dir, const StorageOptions& options) {
+  TECORE_RETURN_NOT_OK(MakeDirs(dir));
+  std::shared_ptr<KbStorage> storage(new KbStorage(dir, options));
+
+  auto cp = LoadCheckpoint(dir);
+  if (cp.ok()) {
+    storage->checkpoint_ = std::move(cp).value();
+    storage->has_checkpoint_ = true;
+  } else if (cp.status().code() != StatusCode::kNotFound) {
+    // A manifest exists but its data is unreadable or corrupt. Refusing to
+    // open beats silently booting an empty KB over acknowledged data.
+    return cp.status();
+  }
+
+  TECORE_RETURN_NOT_OK(storage->wal_.Open(JoinPath(dir, kWalName)));
+  const WalScan& scan = storage->wal_.scan();
+  storage->torn_tail_ = scan.torn_tail;
+  storage->wal_records_ = 0;
+  storage->edit_floor_ = storage->checkpoint_.version;
+  for (const WalRecord& record : scan.records) {
+    ++storage->wal_records_;
+    // Records at or below the checkpoint version are leftovers from a
+    // crash between manifest publish and WAL reset — already captured.
+    if (record.version <= storage->checkpoint_.version) continue;
+    if (record.type == WalRecordType::kEditBatch) {
+      storage->RememberEdit(record.version, record.payload);
+    }
+    storage->tail_.push_back(record);
+  }
+  return storage;
+}
+
+Status KbStorage::Destroy(const std::string& dir) {
+  return RemoveDirRecursive(dir);
+}
+
+Status KbStorage::Append(const WalRecord& record) {
+  TECORE_RETURN_NOT_OK(
+      wal_.Append(record, options_.fsync == FsyncPolicy::kAlways));
+  ++wal_records_;
+  if (record.type == WalRecordType::kEditBatch) {
+    RememberEdit(record.version, record.payload);
+  }
+  return Status::OK();
+}
+
+bool KbStorage::ShouldCheckpoint() const {
+  return wal_.bytes() >= options_.checkpoint_wal_bytes ||
+         wal_records_ >= options_.checkpoint_wal_records;
+}
+
+Status KbStorage::WriteCheckpoint(const Checkpoint& cp) {
+  TECORE_RETURN_NOT_OK(storage::WriteCheckpoint(dir_, cp));
+  // The manifest is durable; these records are now redundant. A crash
+  // before the reset is harmless — recovery skips records whose version
+  // is covered by the checkpoint.
+  MaybeCrash("checkpoint:before_wal_reset");
+  TECORE_RETURN_NOT_OK(wal_.Reset());
+  wal_records_ = 0;
+  checkpoint_ = cp;
+  has_checkpoint_ = true;
+  tail_.clear();
+  return Status::OK();
+}
+
+Status KbStorage::Flush() { return wal_.Sync(); }
+
+std::vector<std::pair<uint64_t, std::string>> KbStorage::EditsSince(
+    uint64_t after_version, bool* complete) const {
+  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  // Complete only when every version since `after_version` that carried
+  // edits is still in the tail — i.e. the caller is not asking for history
+  // below the floor.
+  *complete = after_version >= edit_floor_;
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const auto& entry : edit_tail_) {
+    if (entry.first > after_version) out.push_back(entry);
+  }
+  return out;
+}
+
+void KbStorage::ResetEditTail(uint64_t version) {
+  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  edit_tail_.clear();
+  edit_floor_ = std::max(edit_floor_, version);
+}
+
+void KbStorage::RememberEdit(uint64_t version, const std::string& script) {
+  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  edit_tail_.emplace_back(version, script);
+  while (edit_tail_.size() > options_.edit_tail_limit) {
+    edit_floor_ = std::max(edit_floor_, edit_tail_.front().first);
+    edit_tail_.erase(edit_tail_.begin());
+  }
+}
+
+}  // namespace storage
+}  // namespace tecore

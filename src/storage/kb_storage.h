@@ -1,0 +1,130 @@
+#ifndef TECORE_STORAGE_KB_STORAGE_H_
+#define TECORE_STORAGE_KB_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace tecore {
+namespace storage {
+
+/// \brief When WAL appends reach the disk platter.
+enum class FsyncPolicy {
+  /// fsync before every acknowledgement — the durability guarantee the
+  /// docs promise. Default.
+  kAlways,
+  /// Never fsync on append (OS page cache decides). Survives process
+  /// crashes but not power loss; for benchmarks and bulk loads.
+  kNever,
+};
+
+/// \brief Tunables for one KB's durability.
+struct StorageOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// Checkpoint when the WAL exceeds this many bytes…
+  uint64_t checkpoint_wal_bytes = 4ull << 20;
+  /// …or this many records, whichever comes first.
+  uint64_t checkpoint_wal_records = 4096;
+  /// How many recent edit scripts to keep in memory for SSE
+  /// `Last-Event-ID` resume. Older resumes fall back to a snapshot.
+  size_t edit_tail_limit = 1024;
+};
+
+/// \brief Durable storage for one knowledge base: checkpoint + WAL.
+///
+/// Layout under the KB directory (`<data_dir>/kbs/<name>/`):
+///
+///     MANIFEST           checkpoint manifest (JSON, atomically replaced)
+///     graph-<v>.tq       checkpointed live graph, canonical `.tq` text
+///     rules-<v>.tcr      checkpointed rule set
+///     wal.log            edit batches / rule sets / version marks since
+///
+/// `Open` performs recovery: load + verify the checkpoint (absent on a
+/// fresh KB), scan the WAL (truncating a torn tail), and expose the
+/// checkpoint plus the ordered record tail with versions newer than the
+/// checkpoint for the engine to replay. Appends and checkpoints are
+/// serialized by the engine's writer lock; `EditsSince` (the SSE resume
+/// read path) is guarded by its own mutex so subscriber threads never
+/// touch the writer's state.
+class KbStorage {
+ public:
+  /// \brief Open `dir` (creating it for a fresh KB) and recover.
+  static Result<std::shared_ptr<KbStorage>> Open(const std::string& dir,
+                                                 const StorageOptions& options);
+
+  /// \brief Remove a KB's directory tree (after the engine retired it).
+  static Status Destroy(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const StorageOptions& options() const { return options_; }
+  /// \brief True when the directory held a checkpoint at open time (or one
+  /// has been written since).
+  bool has_checkpoint() const { return has_checkpoint_; }
+  /// \brief Recovered checkpoint (version 0 + empty texts on a fresh KB).
+  const Checkpoint& checkpoint() const { return checkpoint_; }
+  /// \brief WAL records newer than the checkpoint, in log order.
+  const std::vector<WalRecord>& tail() const { return tail_; }
+  /// \brief True when Open had to truncate a torn WAL tail.
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+  /// \brief Append one record, fsyncing per policy. On OK the record is
+  /// durable (under kAlways) and the caller may acknowledge; on error
+  /// nothing may be published.
+  Status Append(const WalRecord& record);
+
+  /// \brief True when the WAL has grown past the checkpoint policy.
+  bool ShouldCheckpoint() const;
+
+  /// \brief Write a new checkpoint and reset the WAL it supersedes.
+  /// Crash between manifest publish and WAL reset is safe: recovery skips
+  /// WAL records with version <= checkpoint version.
+  Status WriteCheckpoint(const Checkpoint& cp);
+
+  /// \brief fsync the WAL (shutdown path under fsync=never).
+  Status Flush();
+
+  /// \brief Edit scripts with version > `after_version`, oldest first,
+  /// for SSE resume. `*complete` is set to false when `after_version`
+  /// predates the in-memory tail (the caller should resync via snapshot).
+  std::vector<std::pair<uint64_t, std::string>> EditsSince(
+      uint64_t after_version, bool* complete) const;
+
+  /// \brief Drop the resume tail and raise its floor to `version` — called
+  /// when the graph is replaced wholesale (load/set), after which replaying
+  /// older edit scripts would describe a graph that no longer exists.
+  void ResetEditTail(uint64_t version);
+
+ private:
+  KbStorage(std::string dir, StorageOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  void RememberEdit(uint64_t version, const std::string& script);
+
+  std::string dir_;
+  StorageOptions options_;
+  bool has_checkpoint_ = false;
+  Checkpoint checkpoint_;
+  std::vector<WalRecord> tail_;
+  bool torn_tail_ = false;
+  Wal wal_;
+  uint64_t wal_records_ = 0;  ///< records in the WAL since last reset
+
+  /// SSE resume tail: recent (version, edit script) pairs. `edit_floor_`
+  /// is the highest version known to be *before* the tail's first entry —
+  /// resume below it is incomplete.
+  mutable std::mutex edit_tail_mutex_;
+  std::vector<std::pair<uint64_t, std::string>> edit_tail_;
+  uint64_t edit_floor_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_KB_STORAGE_H_

@@ -1,0 +1,52 @@
+#include "storage/verify.h"
+
+#include <algorithm>
+
+#include "storage/checkpoint.h"
+#include "storage/fs.h"
+#include "storage/wal.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace storage {
+
+Result<KbVerifyReport> VerifyKbDir(const std::string& dir) {
+  if (!IsDirectory(dir)) {
+    return Status::IoError(StringPrintf("%s is not a directory", dir.c_str()));
+  }
+  KbVerifyReport report;
+  report.dir = dir;
+
+  if (CheckpointExists(dir)) {
+    auto cp = LoadCheckpoint(dir);
+    if (cp.ok()) {
+      report.has_checkpoint = true;
+      report.checkpoint_version = cp->version;
+      report.recoverable_version = cp->version;
+    } else {
+      report.problems.push_back(cp.status().ToString());
+    }
+  }
+
+  const std::string wal_path = JoinPath(dir, "wal.log");
+  if (PathExists(wal_path)) {
+    auto scan = Wal::ScanFile(wal_path);
+    if (!scan.ok()) {
+      report.problems.push_back(scan.status().ToString());
+      return report;
+    }
+    report.wal_valid_bytes = scan->valid_bytes;
+    report.wal_file_bytes = scan->file_bytes;
+    report.wal_torn_tail = scan->torn_tail;
+    for (const WalRecord& record : scan->records) {
+      if (record.version <= report.checkpoint_version) continue;
+      ++report.wal_records;
+      report.recoverable_version =
+          std::max(report.recoverable_version, record.version);
+    }
+  }
+  return report;
+}
+
+}  // namespace storage
+}  // namespace tecore

@@ -1,0 +1,42 @@
+#ifndef TECORE_STORAGE_VERIFY_H_
+#define TECORE_STORAGE_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace storage {
+
+/// \brief Outcome of a read-only integrity check of one KB directory
+/// (`tecore-cli kb verify`). Unlike recovery, verification never repairs:
+/// a torn WAL tail is reported, not truncated.
+struct KbVerifyReport {
+  std::string dir;
+  bool has_checkpoint = false;
+  uint64_t checkpoint_version = 0;
+  uint64_t wal_records = 0;      ///< intact records in the log
+  uint64_t wal_valid_bytes = 0;  ///< CRC-covered prefix length
+  uint64_t wal_file_bytes = 0;   ///< physical log size
+  bool wal_torn_tail = false;    ///< trailing garbage recovery would drop
+  /// Highest version recovery would reconstruct (checkpoint version when
+  /// the log is empty; 0 for a fresh KB).
+  uint64_t recoverable_version = 0;
+  /// Human-readable integrity failures; empty means the KB is clean
+  /// (a torn tail alone is recoverable-but-noted, not a failure).
+  std::vector<std::string> problems;
+
+  bool ok() const { return problems.empty(); }
+};
+
+/// \brief Verify one KB directory without modifying it. Only fails
+/// (IoError) when the directory itself is unreadable; integrity findings
+/// land in the report.
+Result<KbVerifyReport> VerifyKbDir(const std::string& dir);
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_VERIFY_H_

@@ -1,0 +1,200 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/crc32.h"
+#include "storage/fault.h"
+#include "storage/fs.h"
+#include "util/string_util.h"
+
+namespace tecore {
+namespace storage {
+
+namespace {
+
+/// Frame header: u32 frame_len + u32 crc.
+constexpr size_t kFrameHeaderBytes = 8;
+/// Fixed part after the header: u8 type + u64 version.
+constexpr size_t kRecordFixedBytes = 9;
+/// Upper bound on one frame — anything larger is treated as corruption,
+/// not as a real record (a torn length field must not make the scanner
+/// wait for gigabytes that never existed).
+constexpr uint64_t kMaxFrameBytes = 1ull << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+bool ValidType(uint8_t type) {
+  return type == static_cast<uint8_t>(WalRecordType::kEditBatch) ||
+         type == static_cast<uint8_t>(WalRecordType::kRulesSet) ||
+         type == static_cast<uint8_t>(WalRecordType::kVersionMark);
+}
+
+/// Decode records from `data`; shared by Open (truncating) and ScanFile
+/// (read-only verify).
+WalScan ScanBytes(const std::string& data) {
+  WalScan scan;
+  scan.file_bytes = data.size();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeaderBytes) break;  // torn header
+    const uint64_t frame_len = GetU32(data.data() + pos);
+    const uint32_t crc = GetU32(data.data() + pos + 4);
+    if (frame_len < kRecordFixedBytes || frame_len > kMaxFrameBytes) break;
+    if (data.size() - pos - kFrameHeaderBytes < frame_len) break;  // torn body
+    const std::string_view body(data.data() + pos + kFrameHeaderBytes,
+                                frame_len);
+    if (Crc32(body) != crc) break;  // flipped bits or recycled space
+    const uint8_t type = static_cast<uint8_t>(body[0]);
+    if (!ValidType(type)) break;
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type);
+    record.version = GetU64(body.data() + 1);
+    record.payload.assign(body.substr(kRecordFixedBytes));
+    scan.records.push_back(std::move(record));
+    pos += kFrameHeaderBytes + frame_len;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_tail = pos != data.size();
+  return scan;
+}
+
+}  // namespace
+
+Wal::~Wal() { Close(); }
+
+void Wal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Wal::EncodeRecord(const WalRecord& record) {
+  std::string body;
+  body.reserve(kRecordFixedBytes + record.payload.size());
+  body.push_back(static_cast<char>(record.type));
+  PutU64(&body, record.version);
+  body += record.payload;
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  PutU32(&frame, Crc32(body));
+  frame += body;
+  return frame;
+}
+
+Result<WalScan> Wal::ScanFile(const std::string& path) {
+  TECORE_ASSIGN_OR_RETURN(data, ReadFile(path));
+  return ScanBytes(data);
+}
+
+Status Wal::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  scan_ = WalScan();
+  std::string data;
+  if (PathExists(path)) {
+    TECORE_ASSIGN_OR_RETURN(existing, ReadFile(path));
+    data = std::move(existing);
+  }
+  scan_ = ScanBytes(data);
+
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IoError(StringPrintf("open wal %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  if (scan_.torn_tail) {
+    // Torn-tail protocol: physically discard the unacknowledged suffix so
+    // appends continue from a clean, CRC-covered prefix.
+    if (::ftruncate(fd_, static_cast<off_t>(scan_.valid_bytes)) != 0) {
+      return Status::IoError(StringPrintf("truncate wal %s: %s", path.c_str(),
+                                          std::strerror(errno)));
+    }
+    TECORE_RETURN_NOT_OK(FsyncFd(fd_, path));
+  }
+  if (::lseek(fd_, static_cast<off_t>(scan_.valid_bytes), SEEK_SET) < 0) {
+    return Status::IoError(StringPrintf("seek wal %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  bytes_ = scan_.valid_bytes;
+  return Status::OK();
+}
+
+Status Wal::Append(const WalRecord& record, bool sync) {
+  if (fd_ < 0) return Status::Internal("wal not open");
+  if (ShouldFailIo("wal:append")) {
+    return Status::IoError("injected wal append failure");
+  }
+  const std::string frame = EncodeRecord(record);
+  MaybeCrash("wal:before_append");
+  // When the mid-append crash point is armed, split the frame so the
+  // process dies holding a genuinely torn record; production appends are a
+  // single write().
+  const bool tear = CrashPointArmed("wal:mid_append") && frame.size() > 1;
+  size_t written = 0;
+  while (written < frame.size()) {
+    if (written > 0) MaybeCrash("wal:mid_append");
+    size_t want = frame.size() - written;
+    if (tear && written == 0) want = frame.size() / 2;
+    const ssize_t n = ::write(fd_, frame.data() + written, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StringPrintf("append wal %s: %s", path_.c_str(),
+                                          std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  bytes_ += frame.size();
+  MaybeCrash("wal:after_append");
+  if (sync) {
+    TECORE_RETURN_NOT_OK(Sync());
+    MaybeCrash("wal:after_sync");
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::Internal("wal not open");
+  if (ShouldFailIo("wal:sync")) {
+    return Status::IoError("injected wal sync failure");
+  }
+  return FsyncFd(fd_, path_);
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) return Status::Internal("wal not open");
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IoError(StringPrintf("reset wal %s: %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  bytes_ = 0;
+  return FsyncFd(fd_, path_);
+}
+
+}  // namespace storage
+}  // namespace tecore

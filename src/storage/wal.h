@@ -1,0 +1,115 @@
+#ifndef TECORE_STORAGE_WAL_H_
+#define TECORE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tecore {
+namespace storage {
+
+/// \brief What one write-ahead-log record describes.
+enum class WalRecordType : uint8_t {
+  /// A `.tq` edit script (`+`/`-` fact lines) — one acknowledged
+  /// `ApplyEdits` batch, bit-exact (PR 3's round-trip contract is what
+  /// makes the text form a valid WAL payload).
+  kEditBatch = 1,
+  /// Full replacement rule set in the rule-language concrete syntax
+  /// (rule writes are rare and rule sets are small, so the log stores
+  /// state, not deltas — replay just takes the latest).
+  kRulesSet = 2,
+  /// A publish that changed no durable content (a fresh Solve). Logged so
+  /// the version counter survives a restart and snapshot versions are
+  /// never reused for different content.
+  kVersionMark = 3,
+};
+
+/// \brief One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kVersionMark;
+  /// The snapshot version this record's publish produced.
+  uint64_t version = 0;
+  std::string payload;
+};
+
+/// \brief Outcome of scanning a log file.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< every intact record, in log order
+  uint64_t valid_bytes = 0;        ///< prefix length covered by `records`
+  uint64_t file_bytes = 0;         ///< physical file size at scan time
+  /// True when trailing bytes after `valid_bytes` had to be discarded
+  /// (short frame, impossible length, or CRC mismatch) — the torn-tail
+  /// signature of a crash mid-append.
+  bool torn_tail = false;
+};
+
+/// \brief Append-only write-ahead log with length + CRC32 record framing.
+///
+/// On-disk format (little-endian, docs/durability.md §WAL):
+///
+///     record := u32 frame_len   // bytes after the crc field: 1 + 8 + |payload|
+///               u32 crc32      // over (type, version, payload) bytes
+///               u8  type       // WalRecordType
+///               u64 version
+///               payload bytes
+///
+/// Torn-tail protocol: `Open` scans the file and truncates it physically
+/// at the first record that is short, oversized or fails its checksum.
+/// Everything before that point is intact by CRC; everything after it was
+/// never acknowledged (records are fsynced before the write publishes),
+/// so dropping it is exactly "recover the acknowledged prefix".
+///
+/// Not thread-safe; the engine serializes access on its writer lock.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Open (creating if absent) and scan `path`, truncating a torn
+  /// tail. The scan result (including every intact record, for replay) is
+  /// available via `scan()` afterwards.
+  Status Open(const std::string& path);
+
+  /// \brief Append one record. When `sync` is set the record is fsynced
+  /// before returning — the caller may acknowledge the write after this
+  /// returns OK, and only then.
+  Status Append(const WalRecord& record, bool sync);
+
+  /// \brief fsync the log fd (used by flush paths and fsync=never mode
+  /// shutdown).
+  Status Sync();
+
+  /// \brief Truncate the log to empty (after a checkpoint made its
+  /// records redundant) and fsync the truncation.
+  Status Reset();
+
+  /// \brief Close the fd (idempotent; destructor calls it).
+  void Close();
+
+  const WalScan& scan() const { return scan_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// \brief Encode one record in the on-disk frame format (exposed for
+  /// tests and the verify tool).
+  static std::string EncodeRecord(const WalRecord& record);
+
+  /// \brief Decode-only scan of a log file (the verify tool's read path;
+  /// never truncates).
+  static Result<WalScan> ScanFile(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;  ///< current physical size (valid prefix)
+  WalScan scan_;
+};
+
+}  // namespace storage
+}  // namespace tecore
+
+#endif  // TECORE_STORAGE_WAL_H_

@@ -94,8 +94,9 @@ TEST(ApiEngine, SolveIsCachedUntilInvalidated) {
   // Rule edits invalidate the cached result; the returned snapshot is
   // the publish this write produced.
   auto cleared = engine.ClearRules();
-  EXPECT_FALSE(cleared->has_result());
-  EXPECT_TRUE(cleared->rules->Empty());
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_FALSE((*cleared)->has_result());
+  EXPECT_TRUE((*cleared)->rules->Empty());
   EXPECT_FALSE(engine.snapshot()->has_result());
 }
 

@@ -1,0 +1,393 @@
+// Crash-safe recovery: the property the durability layer exists for is
+// "kill -9 at any instant loses no acknowledged write". Covered here
+// three ways:
+//
+//  * a truncation sweep that cuts the WAL at every byte offset of its
+//    final record and checks recovery restores exactly the acknowledged
+//    prefix, with a bit-identical solve objective;
+//  * real SIGKILLs delivered at every armed crash point in a forked
+//    child, with the parent recovering the store afterwards;
+//  * injected I/O errors, which must surface as IoError with nothing
+//    published.
+//
+// Plus registry-level boot recovery and checkpoint compaction.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/registry.h"
+#include "core/resolver.h"
+#include "rdf/io.h"
+#include "storage/fault.h"
+#include "storage/fs.h"
+#include "storage/kb_storage.h"
+#include "storage/wal.h"
+#include "util/file.h"
+
+namespace tecore {
+namespace {
+
+constexpr char kGraph[] = R"(
+  CR coach Chelsea [2000,2004] 0.9 .
+  CR coach Leicester [2015,2017] 0.7 .
+  CR playsFor Palermo [1984,1986] 0.5 .
+)";
+
+constexpr char kConstraint[] =
+    "c2: quad(x, coach, y, t) & quad(x, coach, z, t') & y != z "
+    "-> disjoint(t, t') .";
+
+std::string TestDir(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Open (or recover) a durable engine rooted at `dir`.
+std::shared_ptr<api::Engine> OpenEngine(const std::string& dir,
+                                        storage::StorageOptions options = {}) {
+  auto opened = storage::KbStorage::Open(dir, options);
+  if (!opened.ok()) return nullptr;
+  auto engine = std::make_shared<api::Engine>();
+  if (!engine->AttachStorage(*opened).ok()) return nullptr;
+  return engine;
+}
+
+std::string GraphText(const api::Engine& engine) {
+  auto snap = engine.snapshot();
+  return snap->has_graph() ? rdf::WriteGraphText(*snap->graph) : "";
+}
+
+/// Copy every regular file of a KB dir (MANIFEST, data files, wal.log)
+/// into a fresh directory, so destructive recovery runs on a clone.
+void CloneKbDir(const std::string& from, const std::string& to) {
+  ASSERT_TRUE(storage::RemoveDirRecursive(to).ok());
+  ASSERT_TRUE(storage::MakeDirs(to).ok());
+  auto entries = storage::ListDir(from);
+  ASSERT_TRUE(entries.ok());
+  for (const std::string& entry : *entries) {
+    auto contents = storage::ReadFile(storage::JoinPath(from, entry));
+    ASSERT_TRUE(contents.ok());
+    ASSERT_TRUE(
+        util::WriteStringToFile(storage::JoinPath(to, entry), *contents)
+            .ok());
+  }
+}
+
+TEST(Recovery, AcknowledgedWritesSurviveReopen) {
+  const std::string dir = TestDir("recover_basic");
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  uint64_t version = 0;
+  double objective = 0.0;
+  std::string graph_text;
+  {
+    auto engine = OpenEngine(dir);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+    ASSERT_TRUE(engine->AddRulesText(kConstraint).ok());
+    ASSERT_TRUE(engine
+                    ->ApplyEditScript("+ CR coach Napoli [2001,2003] 0.6 .",
+                                      core::ResolveOptions())
+                    .ok());
+    auto solved = engine->Solve(core::ResolveOptions());
+    ASSERT_TRUE(solved.ok());
+    version = engine->version();
+    objective = solved->result->objective;
+    graph_text = GraphText(*engine);
+  }
+  auto recovered = OpenEngine(dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->version(), version);
+  EXPECT_EQ(GraphText(*recovered), graph_text);
+  EXPECT_EQ(recovered->snapshot()->rules->Size(), 1u);
+  // Results are caches, not durable state: recovery does not re-solve,
+  // but the determinism contract makes the next solve bit-identical.
+  EXPECT_FALSE(recovered->snapshot()->has_result());
+  auto resolved = recovered->Solve(core::ResolveOptions());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->result->objective, objective);
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+}
+
+// Cut the WAL at every byte offset inside its final record: recovery must
+// restore exactly the acknowledged prefix (the full final batch when the
+// cut is at the record boundary, the previous batch otherwise) and solve
+// to the reference objective of that prefix.
+TEST(Recovery, TruncatedFinalRecordRecoversAcknowledgedPrefix) {
+  const std::string dir = TestDir("recover_truncate");
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  const char* kBatches[] = {
+      "+ CR coach Napoli [2001,2003] 0.6 .",
+      "+ CR coach Lazio [2005,2007] 0.4 .",
+      "+ CR playsFor Juventus [1980,1983] 0.8 .",
+  };
+  std::vector<std::string> graph_after;  // canonical text after each batch
+  {
+    auto engine = OpenEngine(dir);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+    ASSERT_TRUE(engine->AddRulesText(kConstraint).ok());
+    for (const char* batch : kBatches) {
+      ASSERT_TRUE(
+          engine->ApplyEditScript(batch, core::ResolveOptions()).ok());
+      graph_after.push_back(GraphText(*engine));
+    }
+  }
+  const std::string wal_path = storage::JoinPath(dir, "wal.log");
+  auto scan = storage::Wal::ScanFile(wal_path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_FALSE(scan->torn_tail);
+  ASSERT_GE(scan->records.size(), 2u);
+  const std::string last_frame =
+      storage::Wal::EncodeRecord(scan->records.back());
+  const uint64_t boundary = scan->valid_bytes - last_frame.size();
+  auto full_log = storage::ReadFile(wal_path);
+  ASSERT_TRUE(full_log.ok());
+
+  // Reference objectives, computed on in-memory engines so the on-disk
+  // store under test contributes nothing to them.
+  auto ObjectiveOf = [](const std::string& graph_text) {
+    api::Engine reference;
+    EXPECT_TRUE(reference.LoadGraphText(graph_text).ok());
+    EXPECT_TRUE(reference.AddRulesText(kConstraint).ok());
+    auto solved = reference.Solve(core::ResolveOptions());
+    EXPECT_TRUE(solved.ok());
+    return solved->result->objective;
+  };
+  const double objective_full = ObjectiveOf(graph_after[2]);
+  const double objective_prev = ObjectiveOf(graph_after[1]);
+
+  const std::string clone = TestDir("recover_truncate_clone");
+  for (size_t cut = 0; cut <= last_frame.size(); ++cut) {
+    CloneKbDir(dir, clone);
+    ASSERT_TRUE(util::WriteStringToFile(
+                    storage::JoinPath(clone, "wal.log"),
+                    full_log->substr(0, boundary + cut))
+                    .ok());
+    auto recovered = OpenEngine(clone);
+    ASSERT_NE(recovered, nullptr) << "cut=" << cut;
+    const bool full = cut == last_frame.size();
+    EXPECT_EQ(GraphText(*recovered), full ? graph_after[2] : graph_after[1])
+        << "cut=" << cut;
+    auto solved = recovered->Solve(core::ResolveOptions());
+    ASSERT_TRUE(solved.ok()) << "cut=" << cut;
+    EXPECT_EQ(solved->result->objective,
+              full ? objective_full : objective_prev)
+        << "cut=" << cut;
+  }
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  ASSERT_TRUE(storage::KbStorage::Destroy(clone).ok());
+}
+
+/// Fork, arm `point` in the child, run one edit batch against a durable
+/// engine at `dir`, and require the child to die by SIGKILL at the point.
+/// Returns false when the child survived (point never reached).
+bool CrashChildAt(const std::string& point, const std::string& dir,
+                  const storage::StorageOptions& options) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Arm only after recovery: AttachStorage publishes too, and the test
+    // wants the kill inside the *edit*, not inside boot replay.
+    auto engine = OpenEngine(dir, options);
+    if (engine == nullptr) _exit(2);
+    storage::ArmCrashPoint(point);
+    engine->ApplyEditScript("+ CR coach Napoli [2001,2003] 0.6 .",
+                            core::ResolveOptions());
+    _exit(1);  // survived: the crash point was never reached
+  }
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) != pid) return false;
+  return WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+}
+
+TEST(Recovery, SigkillAtEveryCrashPointLosesNoAcknowledgedWrite) {
+  struct Case {
+    const char* point;
+    bool edit_must_survive;  // record fully in the log before the kill
+  };
+  const Case kCases[] = {
+      {"wal:before_append", false},
+      {"wal:mid_append", false},
+      {"wal:after_append", true},
+      {"wal:after_sync", true},
+      {"engine:before_publish", true},
+  };
+  for (const Case& c : kCases) {
+    const std::string dir =
+        TestDir(std::string("recover_kill_") +
+                (c.point + std::string(c.point).find(':') + 1));
+    ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+    std::string graph_before;
+    uint64_t version_before = 0;
+    {
+      auto engine = OpenEngine(dir);
+      ASSERT_NE(engine, nullptr);
+      ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+      graph_before = GraphText(*engine);
+      version_before = engine->version();
+    }
+    ASSERT_TRUE(CrashChildAt(c.point, dir, storage::StorageOptions()))
+        << c.point;
+    auto recovered = OpenEngine(dir);
+    ASSERT_NE(recovered, nullptr) << c.point;
+    if (c.edit_must_survive) {
+      // The record hit the log before the kill; recovery replays it.
+      EXPECT_EQ(recovered->version(), version_before + 1) << c.point;
+      EXPECT_NE(GraphText(*recovered), graph_before) << c.point;
+    } else {
+      // Nothing durable happened; the store is exactly the pre-edit state
+      // (for mid_append, after truncating the torn half-record).
+      EXPECT_EQ(recovered->version(), version_before) << c.point;
+      EXPECT_EQ(GraphText(*recovered), graph_before) << c.point;
+    }
+    ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  }
+}
+
+TEST(Recovery, SigkillDuringCheckpointIsInvisibleAfterRecovery) {
+  for (const char* point :
+       {"checkpoint:before_manifest", "checkpoint:before_wal_reset"}) {
+    const std::string dir = TestDir(std::string("recover_ckpt_") +
+                                    (point + std::string(point).find(':') + 1));
+    ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+    storage::StorageOptions options;
+    options.checkpoint_wal_records = 1;  // checkpoint right after the edit
+    std::string graph_before;
+    {
+      auto engine = OpenEngine(dir, options);
+      ASSERT_NE(engine, nullptr);
+      ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+      graph_before = GraphText(*engine);
+    }
+    ASSERT_TRUE(CrashChildAt(point, dir, options)) << point;
+    // Both points are after the WAL append + publish would have happened;
+    // whether the manifest made it or not, the edit must be recovered —
+    // from the new checkpoint, or from the old one plus the WAL.
+    auto recovered = OpenEngine(dir, options);
+    ASSERT_NE(recovered, nullptr) << point;
+    EXPECT_NE(GraphText(*recovered), graph_before) << point;
+    EXPECT_NE(GraphText(*recovered).find("Napoli"), std::string::npos)
+        << point;
+    ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  }
+}
+
+TEST(Recovery, InjectedWalFailurePublishesNothing) {
+  const std::string dir = TestDir("recover_iofail");
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  auto engine = OpenEngine(dir);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+  const uint64_t version = engine->version();
+  const std::string graph_text = GraphText(*engine);
+
+  storage::InjectIoFailures("wal:append", 1);
+  auto failed = engine->ApplyEditScript("+ CR coach Napoli [2001,2003] 0.6 .",
+                                        core::ResolveOptions());
+  storage::InjectIoFailures("wal:append", 0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(engine->version(), version);
+  EXPECT_EQ(GraphText(*engine), graph_text);
+
+  // The same write goes through once the fault clears, and survives.
+  ASSERT_TRUE(engine->ApplyEditScript("+ CR coach Napoli [2001,2003] 0.6 .",
+                                      core::ResolveOptions())
+                  .ok());
+  EXPECT_EQ(engine->version(), version + 1);
+  engine.reset();
+  auto recovered = OpenEngine(dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->version(), version + 1);
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+}
+
+TEST(Recovery, CheckpointCompactionKeepsRecoveryExact) {
+  const std::string dir = TestDir("recover_compact");
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+  storage::StorageOptions options;
+  options.checkpoint_wal_records = 2;
+  std::string graph_text;
+  uint64_t version = 0;
+  {
+    auto engine = OpenEngine(dir, options);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->LoadGraphText(kGraph).ok());
+    const char* kBatches[] = {
+        "+ CR coach Napoli [2001,2003] 0.6 .",
+        "+ CR coach Lazio [2005,2007] 0.4 .",
+        "+ CR playsFor Juventus [1980,1983] 0.8 .",
+        "- CR coach Lazio [2005,2007] 0.4 .",
+        "+ CR coach Milan [2009,2010] 0.3 .",
+    };
+    for (const char* batch : kBatches) {
+      ASSERT_TRUE(
+          engine->ApplyEditScript(batch, core::ResolveOptions()).ok());
+    }
+    graph_text = GraphText(*engine);
+    version = engine->version();
+    // The threshold must have compacted at least once: the log is shorter
+    // than five batches' worth of records.
+    auto scan =
+        storage::Wal::ScanFile(storage::JoinPath(dir, "wal.log"));
+    ASSERT_TRUE(scan.ok());
+    EXPECT_LT(scan->records.size(), 5u);
+  }
+  auto recovered = OpenEngine(dir, options);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->version(), version);
+  EXPECT_EQ(GraphText(*recovered), graph_text);
+  ASSERT_TRUE(storage::KbStorage::Destroy(dir).ok());
+}
+
+TEST(Recovery, RegistryRecoversEveryKbOnBoot) {
+  const std::string data_dir = TestDir("recover_registry");
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+  api::EngineRegistry::Options options;
+  options.data_dir = data_dir;
+  uint64_t alpha_version = 0;
+  std::string alpha_graph;
+  {
+    api::EngineRegistry registry(options);
+    auto alpha = registry.Create("alpha");
+    ASSERT_TRUE(alpha.ok());
+    auto beta = registry.Create("beta");
+    ASSERT_TRUE(beta.ok());
+    ASSERT_TRUE((*alpha)->LoadGraphText(kGraph).ok());
+    ASSERT_TRUE((*alpha)
+                    ->ApplyEditScript("+ CR coach Napoli [2001,2003] 0.6 .",
+                                      core::ResolveOptions())
+                    .ok());
+    ASSERT_TRUE((*beta)->AddRulesText(kConstraint).ok());
+    alpha_version = (*alpha)->version();
+    alpha_graph = GraphText(**alpha);
+  }
+  api::EngineRegistry registry(options);
+  auto recovered = registry.RecoverKbs();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), 2u);
+  auto alpha = registry.Get("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ((*alpha)->version(), alpha_version);
+  EXPECT_EQ(GraphText(**alpha), alpha_graph);
+  auto beta = registry.Get("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ((*beta)->snapshot()->rules->Size(), 1u);
+
+  // Deleting a KB removes its directory; a later boot does not resurrect.
+  ASSERT_TRUE(registry.Delete("beta").ok());
+  EXPECT_FALSE(
+      storage::PathExists(storage::JoinPath(data_dir, "kbs/beta")));
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+}
+
+}  // namespace
+}  // namespace tecore
