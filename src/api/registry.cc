@@ -63,21 +63,39 @@ std::string EngineRegistry::KbDir(const std::string& name) const {
 Result<std::shared_ptr<Engine>> EngineRegistry::Create(
     const std::string& name) {
   TECORE_RETURN_NOT_OK(ValidateName(name));
+  {
+    // Claim the name before touching the filesystem: a concurrent Delete
+    // may still be unlinking this directory, and opening storage into it
+    // would attach a WAL whose files are about to vanish (acknowledged
+    // writes into unlinked inodes — lost on restart). Waiting until the
+    // name is neither registered nor mid-lifecycle closes that race and
+    // keeps two racing Creates from ever holding the same wal.log.
+    std::unique_lock<std::mutex> lock(mutex_);
+    lifecycle_cv_.wait(lock,
+                       [&] { return lifecycle_busy_.count(name) == 0; });
+    if (engines_.count(name) != 0) {
+      return Status::AlreadyExists(
+          StringPrintf("kb '%s' already exists", name.c_str()));
+    }
+    lifecycle_busy_.insert(name);
+  }
   auto engine = std::make_shared<Engine>(options_.engine);
+  Status status = Status::OK();
   if (!options_.data_dir.empty()) {
     // Open storage before registering the name: a failed open must not
     // leave a registered-but-undurable KB. The name grammar
     // ([A-Za-z0-9][A-Za-z0-9_-]*) keeps the directory name filesystem-safe.
-    TECORE_ASSIGN_OR_RETURN(
-        storage, storage::KbStorage::Open(KbDir(name), options_.storage));
-    TECORE_RETURN_NOT_OK(engine->AttachStorage(std::move(storage)));
+    auto storage = storage::KbStorage::Open(KbDir(name), options_.storage);
+    status = storage.ok()
+                 ? engine->AttachStorage(std::move(storage).value())
+                 : storage.status();
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  lifecycle_busy_.erase(name);
+  lifecycle_cv_.notify_all();
+  if (!status.ok()) return status;
   auto [it, inserted] = engines_.emplace(name, std::move(engine));
-  if (!inserted) {
-    return Status::AlreadyExists(
-        StringPrintf("kb '%s' already exists", name.c_str()));
-  }
+  (void)inserted;  // the reservation made the name unclaimable meanwhile
   return it->second;
 }
 
@@ -115,13 +133,20 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Get(
 Status EngineRegistry::Delete(const std::string& name) {
   std::shared_ptr<Engine> removed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait out any in-flight Create/Delete of this name (see Create for
+    // why the lifecycle is serialized per name).
+    lifecycle_cv_.wait(lock,
+                       [&] { return lifecycle_busy_.count(name) == 0; });
     auto it = engines_.find(name);
     if (it == engines_.end()) {
       return Status::NotFound(StringPrintf("no such kb: '%s'", name.c_str()));
     }
     removed = std::move(it->second);
     engines_.erase(it);
+    // Keep the name reserved until Destroy completes, so a concurrent
+    // Create cannot recreate the directory while it is being unlinked.
+    lifecycle_busy_.insert(name);
   }
   // Outside the registry lock: CloseForListeners takes the engine's
   // writer lock (it may wait on an in-flight solve) and calls observers.
@@ -130,10 +155,14 @@ Status EngineRegistry::Delete(const std::string& name) {
   // keep working (in-memory, no longer logging to soon-to-vanish files).
   removed->DetachStorage();
   const std::string dir = KbDir(name);
+  Status status = Status::OK();
   if (!dir.empty()) {
-    TECORE_RETURN_NOT_OK(storage::KbStorage::Destroy(dir));
+    status = storage::KbStorage::Destroy(dir);
   }
-  return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  lifecycle_busy_.erase(name);
+  lifecycle_cv_.notify_all();
+  return status;
 }
 
 std::vector<EngineRegistry::KbInfo> EngineRegistry::List() const {

@@ -1,9 +1,11 @@
 #ifndef TECORE_API_REGISTRY_H_
 #define TECORE_API_REGISTRY_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +27,10 @@ namespace api {
 ///
 /// Lifecycle semantics:
 ///  * `Create` / `Delete` / `Get` are individually atomic (one mutex).
+///    Storage open/teardown happens outside that mutex, but the name stays
+///    reserved for the whole lifecycle step: a Create racing a Delete of
+///    the same name waits until the old directory is fully unlinked rather
+///    than attaching a fresh WAL to files mid-removal.
 ///  * `Get` hands out a shared_ptr: a KB deleted while a request is in
 ///    flight stays alive until the last holder drops it, so racing reads
 ///    see either NotFound or a fully self-consistent engine — never a
@@ -116,7 +122,14 @@ class EngineRegistry {
   mutable std::shared_ptr<util::ThreadPool> pool_;
 
   mutable std::mutex mutex_;
+  mutable std::condition_variable lifecycle_cv_;
   std::map<std::string, std::shared_ptr<Engine>> engines_;
+  /// Names whose storage is being opened (Create) or destroyed (Delete)
+  /// outside `mutex_`. A name in here is neither free nor registered:
+  /// Create/Delete wait on `lifecycle_cv_` until it clears, which
+  /// serializes the per-name lifecycle without holding the registry lock
+  /// across filesystem work.
+  std::set<std::string> lifecycle_busy_;
 };
 
 }  // namespace api

@@ -56,6 +56,7 @@ const char* ReasonPhrase(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 504: return "Gateway Timeout";
@@ -272,6 +273,14 @@ void HttpServer::ServeConnection(int fd) {
             "\"request body exceeds the %zu-byte limit\"}}\n",
             options_.max_body_bytes);
         WriteResponse(fd, response, /*keep_alive=*/false);
+      } else if (error == ReadError::kHeadersTooLarge) {
+        HttpResponse response;
+        response.status = 431;
+        response.body = StringPrintf(
+            "{\"error\":{\"code\":\"HeadersTooLarge\",\"message\":"
+            "\"request headers exceed the %zu-byte limit\"}}\n",
+            options_.max_header_bytes);
+        WriteResponse(fd, response, /*keep_alive=*/false);
       }
       break;
     }
@@ -303,8 +312,10 @@ bool HttpServer::ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
   // Accumulate until the header terminator.
   size_t header_end;
   while ((header_end = buffer->find("\r\n\r\n")) == std::string::npos) {
-    if (buffer->size() > options_.max_body_bytes) {
-      *error = ReadError::kTooLarge;
+    // Everything before the blank line is request line + headers: the
+    // header cap applies, not the (much larger) body cap.
+    if (buffer->size() > options_.max_header_bytes) {
+      *error = ReadError::kHeadersTooLarge;
       return false;
     }
     if (!FillBuffer(fd, buffer)) return false;

@@ -101,6 +101,10 @@ class HttpServer {
     /// Hard cap on one request body (Content-Length or decoded chunked).
     /// Oversized requests get 413 with the uniform error envelope.
     size_t max_body_bytes = 16u << 20;
+    /// Hard cap on the request line + headers of one request. Oversized
+    /// headers get 431 (they are a different client bug than an oversized
+    /// body, and arrive before any body byte is read).
+    size_t max_header_bytes = 64u << 10;
     /// Per-socket receive/send timeout; doubles as the keep-alive idle
     /// timeout, bounds how long a stalled streaming client can occupy a
     /// worker, and bounds worst-case Stop() latency.
@@ -138,6 +142,7 @@ class HttpServer {
     kNone,         ///< EOF, timeout, or malformed framing — close silently
     kUnsupported,  ///< Transfer-Encoding we must not guess at → 501
     kTooLarge,     ///< declared or accumulated body over max_body_bytes → 413
+    kHeadersTooLarge,  ///< headers alone over max_header_bytes → 431
   };
 
   void AcceptLoop();
@@ -145,9 +150,9 @@ class HttpServer {
   /// Read one request off `fd`; false on EOF/timeout/malformed framing.
   /// Sets `*error` (and returns false) when the connection deserves an
   /// error response before closing: a Transfer-Encoding we must not guess
-  /// at (501 — answering on guessed framing would desync the connection)
-  /// or a body over Options::max_body_bytes (413, for both Content-Length
-  /// and chunked uploads).
+  /// at (501 — answering on guessed framing would desync the connection),
+  /// a body over Options::max_body_bytes (413, for both Content-Length
+  /// and chunked uploads), or headers over Options::max_header_bytes (431).
   bool ReadRequest(int fd, HttpRequest* request, bool* keep_alive,
                    std::string* buffer, ReadError* error);
   /// Decode a chunked body starting at buffer[body_start] into

@@ -258,12 +258,16 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
   uint64_t sent = 0;
   bool alive = true;
   bool send_initial = true;
-  if (resume_after != kNoResume && resume_after >= initial->version) {
-    // The client is current (or ahead of a recovered server, which can
-    // only mean a resync is coming via live events): nothing to replay,
-    // and repeating the snapshot it already has would be a duplicate.
+  if (resume_after != kNoResume && resume_after == initial->version) {
+    // The client is exactly current: nothing to replay, and repeating the
+    // snapshot it already has would be a duplicate. A client *ahead* of
+    // the server (resume_after > version — possible only when the server
+    // lost state, e.g. a restart under --fsync never) instead falls
+    // through to the snapshot below: on an idle KB no publish may ever
+    // come, so staying silent would leave it on stale state indefinitely,
+    // and the snapshot is the resync point.
     send_initial = false;
-  } else if (resume_after != kNoResume) {
+  } else if (resume_after != kNoResume && resume_after < initial->version) {
     auto storage = engine->storage();
     bool complete = false;
     const auto missed =

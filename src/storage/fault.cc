@@ -23,6 +23,18 @@ int& IoFailuresLeft() {
   return count;
 }
 
+/// TECORE_CRASH_POINT sampled exactly once. CrashPointArmed sits on the
+/// hot write path (every WAL append consults it), so it must not pay a
+/// getenv per call — and a long-lived process must not become armable by
+/// an environment mutation after startup.
+const std::string& EnvCrashPoint() {
+  static const std::string point = [] {
+    const char* env = std::getenv("TECORE_CRASH_POINT");
+    return env == nullptr ? std::string() : std::string(env);
+  }();
+  return point;
+}
+
 }  // namespace
 
 void ArmCrashPoint(std::string point) {
@@ -32,9 +44,10 @@ void ArmCrashPoint(std::string point) {
 bool CrashPointArmed(std::string_view point) {
   const std::string& armed = ArmedCrashPoint();
   if (!armed.empty() && armed == point) return true;
-  // Subprocess-style tests (and the smoke script) arm via environment.
-  const char* env = std::getenv("TECORE_CRASH_POINT");
-  return env != nullptr && point == env;
+  // Subprocess-style tests (and the smoke script) arm via environment,
+  // sampled once at first use.
+  const std::string& env = EnvCrashPoint();
+  return !env.empty() && point == env;
 }
 
 void MaybeCrash(std::string_view point) {

@@ -16,8 +16,10 @@ namespace storage {
 ///    at every point where a kill -9 would be interesting. When the named
 ///    point is armed (via `ArmCrashPoint` in-process, typically in a forked
 ///    child, or via the `TECORE_CRASH_POINT` environment variable for
-///    subprocess tests), the process dies *immediately* with SIGKILL — no
-///    destructors, no flushes, exactly like a power cut.
+///    subprocess tests — sampled once at first use, so arming is a
+///    launch-time decision and the hot write path never pays a getenv),
+///    the process dies *immediately* with SIGKILL — no destructors, no
+///    flushes, exactly like a power cut.
 ///
 ///  * **I/O errors.** `ShouldFailIo("wal:append")` returns true for the
 ///    next `n` calls after `InjectIoFailures(point, n)`, letting tests

@@ -112,9 +112,19 @@ Result<WalScan> Wal::ScanFile(const std::string& path) {
   return ScanBytes(data);
 }
 
+Status Wal::Poison(Status status) {
+  if (!poisoned_) {
+    poisoned_ = true;
+    poison_status_ = status;
+  }
+  return status;
+}
+
 Status Wal::Open(const std::string& path) {
   Close();
   path_ = path;
+  poisoned_ = false;
+  poison_status_ = Status::OK();
   scan_ = WalScan();
   std::string data;
   if (PathExists(path)) {
@@ -147,6 +157,7 @@ Status Wal::Open(const std::string& path) {
 
 Status Wal::Append(const WalRecord& record, bool sync) {
   if (fd_ < 0) return Status::Internal("wal not open");
+  if (poisoned_) return poison_status_;
   if (ShouldFailIo("wal:append")) {
     return Status::IoError("injected wal append failure");
   }
@@ -164,8 +175,19 @@ Status Wal::Append(const WalRecord& record, bool sync) {
     const ssize_t n = ::write(fd_, frame.data() + written, want);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(StringPrintf("append wal %s: %s", path_.c_str(),
-                                          std::strerror(errno)));
+      Status status = Status::IoError(StringPrintf(
+          "append wal %s: %s", path_.c_str(), std::strerror(errno)));
+      // Roll the torn frame back out of the file. Leaving it in place
+      // would let later appends land *behind* a frame recovery truncates
+      // at — acknowledged, fsynced, and then silently discarded on boot.
+      if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+          ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+        return Poison(Status::IoError(StringPrintf(
+            "append wal %s: %s; rollback of torn frame failed (%s), log "
+            "poisoned",
+            path_.c_str(), status.message().c_str(), std::strerror(errno))));
+      }
+      return status;
     }
     written += static_cast<size_t>(n);
   }
@@ -180,20 +202,29 @@ Status Wal::Append(const WalRecord& record, bool sync) {
 
 Status Wal::Sync() {
   if (fd_ < 0) return Status::Internal("wal not open");
+  if (poisoned_) return poison_status_;
   if (ShouldFailIo("wal:sync")) {
-    return Status::IoError("injected wal sync failure");
+    return Poison(Status::IoError("injected wal sync failure"));
   }
-  return FsyncFd(fd_, path_);
+  Status status = FsyncFd(fd_, path_);
+  // After a failed fsync the kernel may drop the dirty pages and report
+  // the *next* fsync as clean (the fsyncgate hazard) — a retry succeeding
+  // proves nothing, so the log must stop acknowledging writes.
+  if (!status.ok()) return Poison(std::move(status));
+  return status;
 }
 
 Status Wal::Reset() {
   if (fd_ < 0) return Status::Internal("wal not open");
+  if (poisoned_) return poison_status_;
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
-    return Status::IoError(StringPrintf("reset wal %s: %s", path_.c_str(),
-                                        std::strerror(errno)));
+    return Poison(Status::IoError(StringPrintf(
+        "reset wal %s: %s", path_.c_str(), std::strerror(errno))));
   }
   bytes_ = 0;
-  return FsyncFd(fd_, path_);
+  Status status = FsyncFd(fd_, path_);
+  if (!status.ok()) return Poison(std::move(status));
+  return status;
 }
 
 }  // namespace storage

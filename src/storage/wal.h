@@ -77,10 +77,20 @@ class Wal {
   /// \brief Append one record. When `sync` is set the record is fsynced
   /// before returning — the caller may acknowledge the write after this
   /// returns OK, and only then.
+  ///
+  /// A failed write() mid-frame is rolled back (ftruncate to the last
+  /// intact prefix) so the file never holds a torn frame that later
+  /// successful appends would land *behind* — recovery truncates at the
+  /// first torn frame, so such records would be acknowledged yet
+  /// unrecoverable. When the rollback itself fails, or after any fsync
+  /// failure (post-EIO fsync can report success for pages that were
+  /// dropped), the log is poisoned: every further Append/Sync fails until
+  /// the WAL is reopened, rather than acknowledging writes whose
+  /// durability can no longer be trusted.
   Status Append(const WalRecord& record, bool sync);
 
   /// \brief fsync the log fd (used by flush paths and fsync=never mode
-  /// shutdown).
+  /// shutdown). A failure poisons the log (see Append).
   Status Sync();
 
   /// \brief Truncate the log to empty (after a checkpoint made its
@@ -93,6 +103,7 @@ class Wal {
   const WalScan& scan() const { return scan_; }
   uint64_t bytes() const { return bytes_; }
   const std::string& path() const { return path_; }
+  bool poisoned() const { return poisoned_; }
 
   /// \brief Encode one record in the on-disk frame format (exposed for
   /// tests and the verify tool).
@@ -103,9 +114,15 @@ class Wal {
   static Result<WalScan> ScanFile(const std::string& path);
 
  private:
+  /// Mark the log unusable after a failure that may have left torn bytes
+  /// in place or lied about durability; records the first such error.
+  Status Poison(Status status);
+
   std::string path_;
   int fd_ = -1;
   uint64_t bytes_ = 0;  ///< current physical size (valid prefix)
+  bool poisoned_ = false;
+  Status poison_status_ = Status::OK();
   WalScan scan_;
 };
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/registry.h"
+#include "storage/fs.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -134,6 +135,51 @@ TEST(EngineRegistryTest, ConcurrentCreateDeleteOfOneName) {
   // and the end state accounts for the difference exactly.
   EXPECT_EQ(creates.load() - deletes.load(),
             registry.Get("contested").ok() ? 1 : 0);
+}
+
+TEST(EngineRegistryTest, DurableCreateDeleteRaceKeepsSurvivorDurable) {
+  const std::string data_dir = ::testing::TempDir() + "/registry_race";
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+  EngineRegistry::Options options;
+  options.data_dir = data_dir;
+  {
+    EngineRegistry registry(options);
+    // Race Create against Delete of one name over durable storage. The
+    // per-name lifecycle serialization must prevent a Create from
+    // attaching a WAL inside a directory a Delete is still unlinking —
+    // otherwise the survivor's writes land in unlinked files and vanish
+    // on the reboot below.
+    std::thread deleter([&] {
+      for (int i = 0; i < 25; ++i) {
+        Status deleted = registry.Delete("contested");
+        ASSERT_TRUE(deleted.ok() ||
+                    deleted.code() == StatusCode::kNotFound);
+      }
+    });
+    for (int i = 0; i < 25; ++i) {
+      auto created = registry.Create("contested");
+      ASSERT_TRUE(created.ok() ||
+                  created.status().code() == StatusCode::kAlreadyExists);
+    }
+    deleter.join();
+    auto survivor = registry.Get("contested");
+    if (!survivor.ok()) {
+      auto recreated = registry.Create("contested");
+      ASSERT_TRUE(recreated.ok());
+      survivor = recreated;
+    }
+    ASSERT_TRUE((*survivor)->LoadGraphText("a p b [1,2] 0.9 .").ok());
+  }
+  // The acknowledged write recovers on reboot: its storage directory was
+  // attached only after any concurrent Delete fully finished unlinking.
+  EngineRegistry registry(options);
+  auto recovered = registry.RecoverKbs();
+  ASSERT_TRUE(recovered.ok());
+  auto engine = registry.Get("contested");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->version(), 1u);
+  EXPECT_EQ((*engine)->snapshot()->graph->NumFacts(), 1u);
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
 }
 
 TEST(EngineRegistryTest, ReadsRacingDeleteSeeNotFoundOrConsistentState) {

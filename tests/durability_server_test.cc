@@ -268,6 +268,51 @@ TEST(DurabilityServer, OversizedBodiesGet413) {
   ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
 }
 
+TEST(DurabilityServer, OversizedHeadersGet431) {
+  const std::string data_dir = ::testing::TempDir() + "/durable_431";
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+  Generation gen(data_dir);
+  ASSERT_GT(gen.port(), 0);
+
+  // Headers alone over the header cap (64 KiB default): refused as a
+  // header problem (431), not blamed on a body that was never sent.
+  const std::string response = RawRequest(
+      gen.port(), "GET /v1/kb HTTP/1.1\r\nHost: t\r\nX-Big: " +
+                      std::string(70000, 'x') +
+                      "\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), 431) << response.substr(0, 200);
+  util::Json body = BodyOf(response);
+  const util::Json* error = body.Find("error");
+  ASSERT_NE(error, nullptr) << response;
+  EXPECT_EQ(error->GetString("code", ""), "HeadersTooLarge");
+  EXPECT_NE(error->GetString("message", "").find("headers"),
+            std::string::npos);
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+}
+
+TEST(DurabilityServer, ResumeAheadOfServerGetsImmediateSnapshot) {
+  const std::string data_dir = ::testing::TempDir() + "/durable_ahead";
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+  Generation gen(data_dir);
+  ASSERT_GT(gen.port(), 0);
+  ASSERT_EQ(StatusOf(Http(gen.port(), "POST", "/v1/kb/default/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);  // version 1
+
+  // A client resuming from a version this server never published can only
+  // mean the server lost state (e.g. a restart under --fsync never). On
+  // an idle KB no publish may ever arrive, so the stream must send the
+  // current snapshot immediately as the resync point instead of leaving
+  // the client on stale state indefinitely.
+  const std::string response =
+      Http(gen.port(), "GET", "/v1/kb/default/subscribe?max_events=1", "",
+           "Last-Event-ID: 999\r\n");
+  EXPECT_EQ(CountOccurrences(response, "event: edit"), 0u) << response;
+  EXPECT_EQ(CountOccurrences(response, "event: snapshot"), 1u) << response;
+  EXPECT_NE(response.find("id: 1"), std::string::npos) << response;
+  ASSERT_TRUE(storage::RemoveDirRecursive(data_dir).ok());
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace tecore

@@ -210,6 +210,38 @@ TEST(Wal, InjectedAppendFailureIsIoError) {
   EXPECT_EQ(reopened.scan().records.size(), 1u);
 }
 
+TEST(Wal, FailedSyncPoisonsLog) {
+  const std::string path = TestPath("wal_poison.log");
+  RemoveFile(path);
+  Wal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(
+      wal.Append(Rec(WalRecordType::kEditBatch, 1, "+ a\n"), true).ok());
+  // A failed fsync may have dropped dirty pages while the *next* fsync
+  // reports clean, so a sync failure must poison the log: acknowledging
+  // later appends would claim durability the kernel no longer guarantees.
+  InjectIoFailures("wal:sync", 1);
+  Status failed = wal.Append(Rec(WalRecordType::kEditBatch, 2, "+ b\n"), true);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  InjectIoFailures("wal:sync", 0);
+  EXPECT_TRUE(wal.poisoned());
+  // Even with injection disarmed, the poisoned log refuses all writes.
+  EXPECT_EQ(
+      wal.Append(Rec(WalRecordType::kEditBatch, 3, "+ c\n"), true).code(),
+      StatusCode::kIoError);
+  EXPECT_EQ(wal.Sync().code(), StatusCode::kIoError);
+  EXPECT_EQ(wal.Reset().code(), StatusCode::kIoError);
+  // Reopen rescans the on-disk state from scratch and clears the poison;
+  // the acknowledged record (version 1) is intact.
+  Wal reopened;
+  ASSERT_TRUE(reopened.Open(path).ok());
+  EXPECT_FALSE(reopened.poisoned());
+  ASSERT_GE(reopened.scan().records.size(), 1u);
+  EXPECT_EQ(reopened.scan().records[0].version, 1u);
+  ASSERT_TRUE(
+      reopened.Append(Rec(WalRecordType::kEditBatch, 4, "+ d\n"), true).ok());
+}
+
 // ------------------------------------------------------------ KbStorage
 
 TEST(KbStorage, EditTailServesSseResume) {
