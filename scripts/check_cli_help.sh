@@ -17,7 +17,7 @@ USAGE="$("$CLI" 2>&1)"
 
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
        --edits --out --dataset --size --prefix --version --host --port
-       --kb --auth-token-file --data-dir --fsync --max-body-bytes)
+       --kb --auth-token-file --data-dir --fsync --max-body-bytes --retain)
 COMMANDS=(stats complete suggest validate detect solve gen serve kb verify
           version)
 

@@ -6,6 +6,7 @@
 #include "rdf/io.h"
 #include "rules/parser.h"
 #include "storage/fault.h"
+#include "util/string_util.h"
 
 namespace tecore {
 namespace api {
@@ -25,6 +26,46 @@ bool SameDetectConfig(const ground::GroundingOptions& a,
          a.evaluate_conditions_early == b.evaluate_conditions_early &&
          a.semi_naive == b.semi_naive &&
          a.canonical_network == b.canonical_network;
+}
+
+/// Lexical names of every predicate mentioned by a rule atom (bodies and
+/// quad heads). Returns false when some atom's predicate is a variable —
+/// such a rule can match any predicate, so predicate-disjointness reasoning
+/// is off the table.
+bool CollectRulePredicates(const rules::RuleSet& rules,
+                           std::vector<std::string>* out) {
+  auto collect = [&out](const logic::QuadAtom& atom) {
+    if (atom.predicate.is_variable()) return false;
+    out->push_back(atom.predicate.constant().ToString());
+    return true;
+  };
+  for (const rules::Rule& rule : rules.rules) {
+    for (const logic::QuadAtom& atom : rule.body) {
+      if (!collect(atom)) return false;
+    }
+    for (const logic::QuadAtom& atom : rule.head.quads) {
+      if (!collect(atom)) return false;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+/// True when two sorted string vectors share no element.
+bool SortedDisjoint(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) return false;
+    if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -111,11 +152,58 @@ Engine::Engine(Options options) : options_(std::move(options)) {
   snap->predicates = std::make_shared<const std::vector<std::string>>();
   snap->detect_grounding_ = options_.detect_grounding;
   snapshot_ = std::move(snap);
+  retained_.push_back(snapshot_);
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   return snapshot_;
+}
+
+Result<std::shared_ptr<const Snapshot>> Engine::SnapshotAt(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (version > snapshot_->version) {
+    return Status::NotFound(StringPrintf(
+        "version %llu has not been published (current is %llu)",
+        static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(snapshot_->version)));
+  }
+  for (const auto& snap : retained_) {
+    if (snap->version == version) return snap;
+  }
+  return Status::Gone(StringPrintf(
+      "version %llu is no longer retained (retained: %llu..%llu)",
+      static_cast<unsigned long long>(version),
+      static_cast<unsigned long long>(retained_.front()->version),
+      static_cast<unsigned long long>(retained_.back()->version)));
+}
+
+std::vector<std::shared_ptr<const Snapshot>> Engine::RetainedSince(
+    uint64_t after) const {
+  std::vector<std::shared_ptr<const Snapshot>> out;
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  for (const auto& snap : retained_) {
+    if (snap->version > after) out.push_back(snap);
+  }
+  if (out.empty() || out.front()->version != after + 1) return {};
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i]->version != out[i - 1]->version + 1) return {};
+  }
+  return out;
+}
+
+std::pair<uint64_t, uint64_t> Engine::RetainedRange() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return {retained_.front()->version, retained_.back()->version};
+}
+
+Engine::CacheCounters Engine::cache_counters() const {
+  CacheCounters out;
+  out.completion_reused = completion_reused_.load(std::memory_order_relaxed);
+  out.completion_rebuilt = completion_rebuilt_.load(std::memory_order_relaxed);
+  out.conflict_carried = conflict_carried_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Result<kb::GraphStatistics> Engine::GraphStats() const {
@@ -126,7 +214,8 @@ Result<kb::GraphStatistics> Engine::GraphStats() const {
 
 std::shared_ptr<const Snapshot> Engine::Publish(
     std::shared_ptr<const core::ResolveResult> result,
-    const core::ResolveOptions& result_options, bool graph_changed) {
+    const core::ResolveOptions& result_options, bool graph_changed,
+    const std::vector<std::string>* touched_predicates) {
   // The write is durable (WAL record fsynced) but not yet visible. A kill
   // here must recover it — the "acknowledged after fsync, published after
   // recovery" half of the durability contract.
@@ -138,34 +227,77 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   } else if (!graph_changed && snapshot_->has_graph()) {
     // Rule-only write: the previous snapshot's frozen graph, statistics
     // and completion index are immutable and still describe the KB —
-    // share them instead of paying an O(graph) clone under the writer
-    // lock. (snapshot_ is only replaced under writer_mutex_, which we
-    // hold, so the unlocked read is safe.)
+    // share them instead of paying a new fork under the writer lock.
+    // (snapshot_ is only replaced by the writer thread, which we are, so
+    // the unlocked read is safe.)
     snap->graph = snapshot_->graph;
+    snap->num_terms = snapshot_->num_terms;
     snap->stats = snapshot_->stats;
     snap->predicates = snapshot_->predicates;
   } else {
+    // O(delta) publish: the fork copies the chunk table (pointers) only —
+    // the columns themselves are shared with the writer and with earlier
+    // retained versions until the writer mutates them. Statistics come
+    // from the incremental accumulator (bit-identical to a from-scratch
+    // ComputeStatistics by construction), so nothing here walks the graph.
     auto frozen = std::make_shared<rdf::TemporalGraph>(graph_->Clone());
-    frozen->WarmTemporalIndexes();
-    auto stats = std::make_shared<const kb::GraphStatistics>(
-        kb::ComputeStatistics(*frozen));
-    auto predicates = std::make_shared<std::vector<std::string>>();
-    for (const auto& [pred, count] : frozen->PredicateCounts()) {
-      if (count == 0) continue;  // all facts of this predicate retracted
-      predicates->push_back(frozen->dict().Lookup(pred).lexical());
-    }
-    std::sort(predicates->begin(), predicates->end());
     snap->graph = std::move(frozen);
-    snap->stats = std::move(stats);
-    snap->predicates = std::move(predicates);
+    snap->num_terms = graph_->dict().Size();
+    snap->stats = std::make_shared<const kb::GraphStatistics>(
+        stats_acc_.Emit(*graph_));
+    if (snapshot_->has_graph() &&
+        published_pred_set_epoch_ == graph_->pred_set_epoch()) {
+      // No predicate appeared or lost its last live fact since the last
+      // graph-bearing publish: the completion index is still exact.
+      snap->predicates = snapshot_->predicates;
+      completion_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto predicates = std::make_shared<std::vector<std::string>>();
+      for (const auto& [pred, count] : graph_->PredicateCounts()) {
+        if (count == 0) continue;  // all facts of this predicate retracted
+        predicates->push_back(graph_->dict().Lookup(pred).lexical());
+      }
+      std::sort(predicates->begin(), predicates->end());
+      snap->predicates = std::move(predicates);
+      published_pred_set_epoch_ = graph_->pred_set_epoch();
+      completion_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   snap->rules = std::make_shared<const rules::RuleSet>(rules_);
   snap->result = std::move(result);
   snap->result_options = result_options;
   snap->detect_grounding_ = options_.detect_grounding;
+  // Conflict carry-forward: when the caller knows which predicates this
+  // write touched (and the rule set is unchanged — the caller's contract
+  // for passing non-null), a cached conflict report survives the write iff
+  // those predicates are disjoint from every predicate any rule can match:
+  // no grounding gains or loses a matched fact, so the conflict set is
+  // unchanged. Only the live-fact denominator needs patching.
+  if (touched_predicates != nullptr && graph_.has_value()) {
+    std::shared_ptr<const core::ConflictReport> prior;
+    {
+      std::lock_guard<std::mutex> lock(snapshot_->conflict_mutex_);
+      if (snapshot_->conflict_status_.has_value() &&
+          snapshot_->conflict_status_->ok()) {
+        prior = snapshot_->conflict_report_;
+      }
+    }
+    std::vector<std::string> rule_predicates;
+    if (prior != nullptr && CollectRulePredicates(rules_, &rule_predicates) &&
+        SortedDisjoint(*touched_predicates, rule_predicates)) {
+      auto carried = std::make_shared<core::ConflictReport>(*prior);
+      carried->num_input_facts = graph_->NumLiveFacts();
+      snap->conflict_report_ = std::move(carried);
+      snap->conflict_status_ = Status::OK();
+      conflict_carried_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     snapshot_ = snap;
+    retained_.push_back(snap);
+    const size_t cap = std::max<size_t>(1, options_.retain_versions);
+    while (retained_.size() > cap) retained_.pop_front();
   }
   // Notify observers on the writer thread, after the swap: snapshot() now
   // returns `snap`, and writer_mutex_ (held by our caller) serializes the
@@ -245,7 +377,26 @@ Result<std::shared_ptr<const Snapshot>> Engine::SetGraph(
   }
   graph_ = std::move(graph);
   incremental_.reset();
+  AdoptGraphLocked();
   return Publish(nullptr, core::ResolveOptions(), /*graph_changed=*/true);
+}
+
+void Engine::AdoptGraphLocked() {
+  if (!graph_.has_value()) {
+    stats_acc_.Reset();
+    return;
+  }
+  stats_acc_.SeedFrom(*graph_);
+  // The observer outlives neither graph_ nor this engine: it is cleared on
+  // every re-adoption and graph_ only mutates under writer_mutex_.
+  graph_->SetMutationObserver(
+      [this](const rdf::TemporalFact& fact, bool inserted) {
+        if (inserted) {
+          stats_acc_.OnInsert(fact);
+        } else {
+          stats_acc_.OnRetract(fact);
+        }
+      });
 }
 
 Result<Engine::RulesOutcome> Engine::AddRulesText(std::string_view text) {
@@ -331,8 +482,10 @@ Result<SolveOutcome> Engine::Solve(const core::ResolveOptions& options) {
   TECORE_RETURN_NOT_OK(
       LogRecord(storage::WalRecordType::kVersionMark, std::string()));
   // Solving never adds or retracts facts (grounding only interns terms
-  // into the master dictionary), so the frozen graph is reusable.
-  auto snap = Publish(shared, options, /*graph_changed=*/false);
+  // into the master dictionary), so the frozen graph is reusable — and
+  // with zero touched predicates, so is a cached conflict report.
+  static const std::vector<std::string> kNoTouched;
+  auto snap = Publish(shared, options, /*graph_changed=*/false, &kNoTouched);
   MaybeCheckpoint();
   return SolveOutcome{snap->version, /*cached=*/false, std::move(shared),
                       std::move(snap)};
@@ -380,6 +533,16 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
       return seeded.status();
     }
   }
+  // Lexical names of every predicate this batch touches — the conflict
+  // carry-forward key. Collected before application (the term ids are
+  // already interned) and sorted for the disjointness merge in Publish.
+  std::vector<std::string> touched;
+  touched.reserve(edits.size());
+  for (const core::GraphEdit& edit : edits) {
+    touched.push_back(graph_->dict().Lookup(edit.fact.predicate).ToString());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   const size_t live_before = graph_->NumLiveFacts();
   auto result = incremental_->ApplyEdits(edits);
   if (!result.ok()) return result.status();  // atomic: nothing published
@@ -391,7 +554,7 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
       live_before + outcome.applied.inserted - graph_->NumLiveFacts();
   auto shared =
       std::make_shared<const core::ResolveResult>(std::move(*result));
-  auto snap = Publish(shared, options, /*graph_changed=*/true);
+  auto snap = Publish(shared, options, /*graph_changed=*/true, &touched);
   MaybeCheckpoint();
   outcome.version = snap->version;
   outcome.result = std::move(shared);
@@ -469,6 +632,7 @@ Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
     recovered = std::max(recovered, record.version);
   }
   incremental_.reset();
+  AdoptGraphLocked();
   {
     std::lock_guard<std::mutex> storage_lock(storage_mutex_);
     storage_ = std::move(storage);

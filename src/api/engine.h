@@ -1,7 +1,9 @@
 #ifndef TECORE_API_ENGINE_H_
 #define TECORE_API_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -43,11 +45,17 @@ class Snapshot {
  public:
   /// Monotonically increasing publish version; 0 = pristine engine.
   uint64_t version = 0;
-  /// The frozen UTKG; null until a graph was loaded. Temporal indexes are
-  /// pre-warmed, so all graph reads (including interval probes) are
-  /// mutation-free; grounding against it only ever *interns* new terms,
-  /// which the sharded dictionary supports concurrently.
+  /// The frozen UTKG; null until a graph was loaded. A copy-on-write fork
+  /// of the writer's graph: it shares unchanged column chunks with the
+  /// writer and with neighboring versions, so publishing it is O(delta).
+  /// Interval probes build per-predicate trees lazily under an internal
+  /// mutex; grounding against it only ever *interns* new terms, which the
+  /// shared, internally-synchronized dictionary supports concurrently.
   std::shared_ptr<const rdf::TemporalGraph> graph;
+  /// Dictionary size frozen at publish time (the dictionary itself is
+  /// shared with concurrent readers whose grounding may intern more terms,
+  /// so live `dict().Size()` is not stable for a frozen version).
+  size_t num_terms = 0;
   /// The rule set active at publish time.
   std::shared_ptr<const rules::RuleSet> rules;
   /// Precomputed graph statistics (null iff `graph` is null).
@@ -139,9 +147,16 @@ class Engine {
   struct Options {
     /// Grounding options used by the cached conflict-detection path.
     ground::GroundingOptions detect_grounding;
+    /// How many recent snapshots stay reachable through `SnapshotAt` /
+    /// `RetainedSince` (time-travel reads, SSE resume). Retention is
+    /// near-free under copy-on-write chunk sharing — a retained version
+    /// pins only the chunks that later writes touched. Minimum 1 (the
+    /// current snapshot is always retained).
+    size_t retain_versions = 8;
   };
 
-  explicit Engine(Options options = {});
+  Engine() : Engine(Options()) {}
+  explicit Engine(Options options);
 
   // --------------------------------------------------------------- reads
   /// \brief The current snapshot (never null; version 0 when pristine).
@@ -149,8 +164,38 @@ class Engine {
   /// \brief Version of the current snapshot.
   uint64_t version() const { return snapshot()->version; }
 
+  /// \brief Time-travel read: the snapshot published at `version`, served
+  /// from the bounded retention ring. NotFound when `version` is ahead of
+  /// the current snapshot (never published), Gone when it was published
+  /// but has been evicted from retention (or fell inside a recovery gap).
+  Result<std::shared_ptr<const Snapshot>> SnapshotAt(uint64_t version) const;
+
+  /// \brief Retained versions strictly after `after`, oldest first, iff
+  /// they form a gap-free chain `after+1 .. current` (the SSE-resume
+  /// contract: a subscriber replays every missed version in order or none).
+  /// Empty when the chain is broken, evicted, or `after` is current/ahead.
+  std::vector<std::shared_ptr<const Snapshot>> RetainedSince(
+      uint64_t after) const;
+
+  /// \brief [oldest, newest] retained versions (equal when only the
+  /// current snapshot is retained).
+  std::pair<uint64_t, uint64_t> RetainedRange() const;
+
   /// \brief Statistics of the current graph.
   Result<kb::GraphStatistics> GraphStats() const;
+
+  /// \brief Publish-path cache effectiveness counters (tests/metrics).
+  struct CacheCounters {
+    /// Completion index shared with the previous snapshot because the set
+    /// of live predicates did not change.
+    uint64_t completion_reused = 0;
+    /// Completion index rebuilt (predicate set changed, or first graph).
+    uint64_t completion_rebuilt = 0;
+    /// Conflict report carried over from the previous snapshot because the
+    /// touched predicates are disjoint from every rule predicate.
+    uint64_t conflict_carried = 0;
+  };
+  CacheCounters cache_counters() const;
 
   // -------------------------------------------------------------- writes
   // Each write returns the exact snapshot it published, so callers can
@@ -263,14 +308,36 @@ class Engine {
     return incremental_.get();
   }
 
+  /// \brief The writer-side master graph, if any. Writer-side diagnostics
+  /// for tests (chunk-sharing invariants); not synchronized with
+  /// concurrent writes.
+  const rdf::TemporalGraph* graph_for_tests() const {
+    return graph_.has_value() ? &*graph_ : nullptr;
+  }
+
  private:
   /// Build a snapshot from the current writer state and publish it,
   /// returning it. When `graph_changed` is false the previous snapshot's
   /// frozen graph/stats/completion data are reused (rule-only writes must
-  /// not pay an O(graph) clone). Caller must hold writer_mutex_.
+  /// not pay an O(graph) clone); when true, the graph is forked
+  /// copy-on-write (O(#chunks) pointer copies), statistics come from the
+  /// incremental accumulator, and the completion index is shared with the
+  /// previous snapshot unless the predicate set changed.
+  ///
+  /// `touched_predicates`, when non-null, lists the lexical predicate
+  /// names this write could have affected (sorted, empty = none) and
+  /// enables carrying the previous snapshot's cached conflict report
+  /// forward when those names are disjoint from every rule predicate.
+  /// Null = unknown impact, never carry. Caller must hold writer_mutex_.
   std::shared_ptr<const Snapshot> Publish(
       std::shared_ptr<const core::ResolveResult> result,
-      const core::ResolveOptions& result_options, bool graph_changed);
+      const core::ResolveOptions& result_options, bool graph_changed,
+      const std::vector<std::string>* touched_predicates = nullptr);
+
+  /// Seed the statistics accumulator from graph_ and install the mutation
+  /// observer feeding it. Called whenever graph_ is (re)adopted. Caller
+  /// must hold writer_mutex_.
+  void AdoptGraphLocked();
 
   /// Edit-application body shared by ApplyEdits/ApplyEditScript.
   /// Caller must hold writer_mutex_.
@@ -304,6 +371,16 @@ class Engine {
   rules::RuleSet rules_;
   std::unique_ptr<core::IncrementalResolver> incremental_;
   uint64_t version_ = 0;
+  /// Incremental statistics over graph_ (fed by its mutation observer).
+  kb::StatsAccumulator stats_acc_;
+  /// graph_->pred_set_epoch() at the last graph-bearing publish; the
+  /// completion index is reusable while it does not move.
+  uint64_t published_pred_set_epoch_ = 0;
+
+  /// Publish-path cache counters (relaxed: diagnostics only).
+  std::atomic<uint64_t> completion_reused_{0};
+  std::atomic<uint64_t> completion_rebuilt_{0};
+  std::atomic<uint64_t> conflict_carried_{0};
 
   /// Durable storage; null for an in-memory engine. Written under both
   /// writer_mutex_ and storage_mutex_ (attach/detach), so writers may read
@@ -311,9 +388,13 @@ class Engine {
   std::shared_ptr<storage::KbStorage> storage_;
   mutable std::mutex storage_mutex_;
 
-  /// Guards only the snapshot pointer swap (held for pointer-copy time).
+  /// Guards the snapshot pointer swap and the retention ring (held for
+  /// pointer-copy time).
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;
+  /// Bounded ring of recent snapshots, oldest first; always ends with the
+  /// current snapshot. Contiguous versions except across a recovery jump.
+  std::deque<std::shared_ptr<const Snapshot>> retained_;
 
   /// Guards the listener table (add/remove may race reads); invocation
   /// happens outside this lock, serialized by writer_mutex_.

@@ -133,8 +133,10 @@ Json GraphInfoJson(const Snapshot& snapshot) {
             Json::Int(static_cast<int64_t>(snapshot.graph->NumFacts())));
     out.Set("num_live_facts",
             Json::Int(static_cast<int64_t>(snapshot.graph->NumLiveFacts())));
+    // Frozen at publish: the shared dictionary may grow under concurrent
+    // readers' grounding, so the live size is not stable for this version.
     out.Set("num_terms",
-            Json::Int(static_cast<int64_t>(snapshot.graph->dict().Size())));
+            Json::Int(static_cast<int64_t>(snapshot.num_terms)));
     out.Set("edit_epoch", Json::Int(static_cast<int64_t>(
                               snapshot.graph->edit_epoch())));
   }
@@ -375,6 +377,8 @@ int HttpStatusFor(const Status& status) {
       return 404;
     case StatusCode::kAlreadyExists:
       return 409;
+    case StatusCode::kGone:
+      return 410;
     case StatusCode::kUnauthenticated:
       return 401;
     case StatusCode::kPermissionDenied:

@@ -86,7 +86,8 @@ int Usage() {
                "                     [--kb name] [--auth-token-file f]"
                " [--data-dir d]\n"
                "                     [--fsync always|never]"
-               " [--max-body-bytes n]; docs/api.md)\n"
+               " [--max-body-bytes n] [--retain n];\n"
+               "                     docs/api.md)\n"
                "  kb verify          check a --data-dir store offline:"
                " checkpoint and WAL\n"
                "                     checksums plus the recoverable version"

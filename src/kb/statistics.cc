@@ -1,7 +1,6 @@
 #include "kb/statistics.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -9,41 +8,97 @@
 namespace tecore {
 namespace kb {
 
-GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph) {
-  GraphStatistics stats;
-  stats.num_facts = graph.NumLiveFacts();
-  std::unordered_set<rdf::TermId> subjects, objects;
-  double conf_sum = 0.0;
-  double duration_sum = 0.0;
-  stats.min_time = stats.num_facts == 0 ? 0 : INT64_MAX;
-  stats.max_time = stats.num_facts == 0 ? 0 : INT64_MIN;
+namespace {
+
+int ConfidenceBin(double confidence) {
+  int bin = static_cast<int>(confidence * 10.0 - 1e-9);
+  return std::clamp(bin, 0, 9);
+}
+
+}  // namespace
+
+void StatsAccumulator::Reset() { *this = StatsAccumulator(); }
+
+void StatsAccumulator::SeedFrom(const rdf::TemporalGraph& graph) {
+  Reset();
   for (rdf::FactId id = 0; id < graph.NumFacts(); ++id) {
-    if (!graph.is_live(id)) continue;
-    const rdf::TemporalFact& f = graph.fact(id);
-    subjects.insert(f.subject);
-    objects.insert(f.object);
-    conf_sum += f.confidence;
-    duration_sum += static_cast<double>(f.interval.Duration());
-    stats.min_time = std::min(stats.min_time, f.interval.begin());
-    stats.max_time = std::max(stats.max_time, f.interval.end());
-    int bin = static_cast<int>(f.confidence * 10.0 - 1e-9);
-    bin = std::clamp(bin, 0, 9);
-    ++stats.confidence_histogram[static_cast<size_t>(bin)];
+    if (graph.is_live(id)) OnInsert(graph.fact(id));
   }
-  stats.num_distinct_subjects = subjects.size();
-  stats.num_distinct_objects = objects.size();
+}
+
+void StatsAccumulator::OnInsert(const rdf::TemporalFact& fact) {
+  if (num_facts_ == 0) {
+    min_time_ = fact.interval.begin();
+    max_time_ = fact.interval.end();
+  } else {
+    min_time_ = std::min(min_time_, fact.interval.begin());
+    max_time_ = std::max(max_time_, fact.interval.end());
+  }
+  ++num_facts_;
+  ++subject_refs_[fact.subject];
+  ++object_refs_[fact.object];
+  ++histogram_[static_cast<size_t>(ConfidenceBin(fact.confidence))];
+  conf_sum_.Add(fact.confidence);
+  duration_sum_.Add(static_cast<double>(fact.interval.Duration()));
+}
+
+void StatsAccumulator::OnRetract(const rdf::TemporalFact& fact) {
+  --num_facts_;
+  auto subject = subject_refs_.find(fact.subject);
+  if (subject != subject_refs_.end() && --subject->second == 0) {
+    subject_refs_.erase(subject);
+  }
+  auto object = object_refs_.find(fact.object);
+  if (object != object_refs_.end() && --object->second == 0) {
+    object_refs_.erase(object);
+  }
+  --histogram_[static_cast<size_t>(ConfidenceBin(fact.confidence))];
+  conf_sum_.Subtract(fact.confidence);
+  duration_sum_.Subtract(static_cast<double>(fact.interval.Duration()));
+  if (fact.interval.begin() == min_time_ || fact.interval.end() == max_time_) {
+    extremes_dirty_ = true;
+  }
+}
+
+GraphStatistics StatsAccumulator::Emit(const rdf::TemporalGraph& graph) {
+  if (extremes_dirty_) {
+    min_time_ = INT64_MAX;
+    max_time_ = INT64_MIN;
+    for (rdf::FactId id = 0; id < graph.NumFacts(); ++id) {
+      if (!graph.is_live(id)) continue;
+      const rdf::TemporalFact f = graph.fact(id);
+      min_time_ = std::min(min_time_, f.interval.begin());
+      max_time_ = std::max(max_time_, f.interval.end());
+    }
+    extremes_dirty_ = false;
+  }
+  GraphStatistics stats;
+  stats.num_facts = num_facts_;
+  stats.num_distinct_subjects = subject_refs_.size();
+  stats.num_distinct_objects = object_refs_.size();
+  stats.confidence_histogram = histogram_;
+  stats.min_time = num_facts_ == 0 ? 0 : min_time_;
+  stats.max_time = num_facts_ == 0 ? 0 : max_time_;
   auto pred_counts = graph.PredicateCounts();
   stats.num_distinct_predicates = pred_counts.size();
+  stats.predicate_counts.reserve(pred_counts.size());
   for (const auto& [pred, count] : pred_counts) {
     stats.predicate_counts.emplace_back(graph.dict().Lookup(pred).ToString(),
                                         count);
   }
-  if (stats.num_facts > 0) {
-    stats.mean_confidence = conf_sum / static_cast<double>(stats.num_facts);
+  if (num_facts_ > 0) {
+    stats.mean_confidence =
+        conf_sum_.ToDouble() / static_cast<double>(num_facts_);
     stats.mean_interval_duration =
-        duration_sum / static_cast<double>(stats.num_facts);
+        duration_sum_.ToDouble() / static_cast<double>(num_facts_);
   }
   return stats;
+}
+
+GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph) {
+  StatsAccumulator acc;
+  acc.SeedFrom(graph);
+  return acc.Emit(graph);
 }
 
 std::string GraphStatistics::ToString() const {

@@ -4,9 +4,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rdf/graph.h"
+#include "util/exact_sum.h"
 
 namespace tecore {
 namespace kb {
@@ -32,7 +34,53 @@ struct GraphStatistics {
   std::string ToString() const;
 };
 
-/// \brief Compute statistics in one pass over the graph.
+/// \brief Incrementally-maintained graph statistics.
+///
+/// The service layer publishes a snapshot per write; recomputing statistics
+/// from scratch makes every publish O(graph). The accumulator instead
+/// observes each insert/retract and keeps enough state to emit
+/// `GraphStatistics` in O(#predicates): distinct subject/object reference
+/// counts, the confidence histogram, and exact order-independent sums
+/// (util::ExactSum) for the means — so the emitted statistics are
+/// bit-identical to `ComputeStatistics` on the same graph, which is itself
+/// implemented as seed-then-emit on a fresh accumulator.
+///
+/// The one non-O(1) maintenance case: retracting a fact that carries the
+/// current minimum begin or maximum end marks the time extremes dirty, and
+/// the next `Emit` rescans the graph once to re-establish them.
+class StatsAccumulator {
+ public:
+  /// \brief Forget everything (empty-graph state).
+  void Reset();
+
+  /// \brief Reset, then absorb every live fact of `graph`.
+  void SeedFrom(const rdf::TemporalGraph& graph);
+
+  /// \brief Observe one fact insertion.
+  void OnInsert(const rdf::TemporalFact& fact);
+
+  /// \brief Observe one fact retraction (must have been inserted before).
+  void OnRetract(const rdf::TemporalFact& fact);
+
+  /// \brief Emit statistics for `graph`, which must be the graph whose
+  /// mutations this accumulator observed. O(#predicates), except when the
+  /// time extremes are dirty (one O(n) rescan).
+  GraphStatistics Emit(const rdf::TemporalGraph& graph);
+
+ private:
+  size_t num_facts_ = 0;
+  std::unordered_map<rdf::TermId, size_t> subject_refs_;
+  std::unordered_map<rdf::TermId, size_t> object_refs_;
+  std::array<size_t, 10> histogram_{};
+  util::ExactSum conf_sum_;
+  util::ExactSum duration_sum_;
+  int64_t min_time_ = 0;
+  int64_t max_time_ = 0;
+  /// A retraction removed a fact on the current extreme; Emit rescans.
+  bool extremes_dirty_ = false;
+};
+
+/// \brief Compute statistics from scratch (seed an accumulator and emit).
 GraphStatistics ComputeStatistics(const rdf::TemporalGraph& graph);
 
 }  // namespace kb

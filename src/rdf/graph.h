@@ -1,8 +1,13 @@
 #ifndef TECORE_RDF_GRAPH_H_
 #define TECORE_RDF_GRAPH_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -14,30 +19,86 @@
 namespace tecore {
 namespace rdf {
 
-/// \brief In-memory uncertain temporal knowledge graph (UTKG).
+/// \brief One fixed-size slice of the fact store, laid out as SoA columns.
 ///
-/// A dictionary-encoded quad store with secondary indexes:
-///  * by predicate           — drives per-relation grounding scans,
-///  * by (predicate,subject) — drives join lookups while grounding,
-///  * per-predicate interval tree — drives temporal-overlap probes.
+/// Chunks are the unit of copy-on-write sharing between graph versions: a
+/// published snapshot and the writer's graph reference the same chunk
+/// objects until the writer touches one, at which point only that chunk is
+/// copied (see TemporalGraph::Clone). A chunk that is full ("frozen")
+/// additionally carries sorted term -> local-row postings so subject /
+/// predicate probes don't scan the columns.
+struct FactChunk {
+  std::vector<TermId> subject;
+  std::vector<TermId> predicate;
+  std::vector<TermId> object;
+  std::vector<temporal::Interval> interval;
+  std::vector<double> confidence;
+  /// Tombstone column: 1 = retracted. Parallel to the value columns.
+  std::vector<uint8_t> dead;
+  uint32_t num_dead = 0;
+
+  /// Sorted (term, local row) postings; valid iff `indexed`. Postings keep
+  /// tombstoned rows (retraction never rewrites them) — probes filter on
+  /// the `dead` column.
+  std::vector<std::pair<TermId, uint16_t>> subj_idx;
+  std::vector<std::pair<TermId, uint16_t>> pred_idx;
+  bool indexed = false;
+
+  size_t size() const { return subject.size(); }
+  uint32_t num_live() const {
+    return static_cast<uint32_t>(size()) - num_dead;
+  }
+  /// Build subj_idx / pred_idx from the columns (called when a chunk
+  /// freezes at kChunkSize rows).
+  void BuildIndex();
+};
+
+/// \brief In-memory uncertain temporal knowledge graph (UTKG), stored as a
+/// persistent chunked columnar structure.
+///
+/// Facts live in SoA columns (s / p / o / interval / confidence / dead)
+/// split into fixed-size chunks referenced through a per-version chunk
+/// table of shared pointers. `Clone()` copies only the table — O(#chunks)
+/// pointer copies — and subsequent mutations copy-on-write exactly the
+/// chunks they touch, so publishing an immutable snapshot after an edit of
+/// k facts costs O(k / kChunkSize) chunk copies instead of O(graph). The
+/// term dictionary is shared between versions outright: it is append-only
+/// and internally synchronized, so concurrent readers interning terms
+/// (grounding) never invalidate anything a snapshot sees.
 ///
 /// Facts are stored append-only; `Retract` tombstones a fact in place
-/// (indexes drop it, iteration must skip it via `is_live`) so fact ids
-/// stay stable across edits — the property the incremental re-solve
-/// pipeline keys its caches on. Every mutation bumps `edit_epoch`.
-/// Resolution still produces *new* graphs (via `Filter`).
+/// (iteration must skip it via `is_live`) so fact ids stay stable across
+/// edits — the property the incremental re-solve pipeline keys its caches
+/// on. Every mutation bumps `edit_epoch`. Resolution still produces *new*
+/// graphs (via `Filter`).
+///
+/// Secondary indexes:
+///  * per-chunk sorted postings by subject and by predicate — probes walk
+///    the chunk table (O(#chunks · log kChunkSize) per lookup),
+///  * per-predicate interval trees, built lazily under an internal mutex
+///    (thread-safe on frozen snapshots) and shared across versions until a
+///    mutation of that predicate invalidates them.
 class TemporalGraph {
  public:
-  TemporalGraph() = default;
+  static constexpr size_t kChunkShift = 10;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 1024
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+
+  /// Observes every Add (insert=true) / Retract (insert=false) applied to
+  /// *this* graph object — the hook the service layer uses to maintain
+  /// incremental statistics. Not propagated by Clone/DeepCopy/Filter.
+  using MutationObserver = std::function<void(const TemporalFact&, bool)>;
+
+  TemporalGraph();
 
   TemporalGraph(const TemporalGraph&) = delete;
   TemporalGraph& operator=(const TemporalGraph&) = delete;
-  TemporalGraph(TemporalGraph&&) = default;
-  TemporalGraph& operator=(TemporalGraph&&) = default;
+  TemporalGraph(TemporalGraph&& other) noexcept;
+  TemporalGraph& operator=(TemporalGraph&& other) noexcept;
 
   /// \brief The term dictionary (mutable: interning happens through it).
-  Dictionary& dict() { return dict_; }
-  const Dictionary& dict() const { return dict_; }
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
 
   /// \brief Append a fact; returns its id. Confidence must be in (0,1].
   Result<FactId> Add(const TemporalFact& fact);
@@ -56,62 +117,95 @@ class TemporalGraph {
                    interval, confidence);
   }
 
-  /// \brief Tombstone a fact: drops it from every index and from live
-  /// iteration while keeping ids of later facts stable. Retracting an
-  /// already-dead or out-of-range id is an error.
+  /// \brief Tombstone a fact: drops it from live iteration and index probes
+  /// while keeping ids of later facts stable. Retracting an already-dead or
+  /// out-of-range id is an error.
   Status Retract(FactId id);
 
-  size_t NumFacts() const { return facts_.size(); }
-  const TemporalFact& fact(FactId id) const { return facts_[id]; }
-  const std::vector<TemporalFact>& facts() const { return facts_; }
+  size_t NumFacts() const { return num_facts_; }
+
+  /// \brief The fact at `id`, assembled from the columns. By value: the
+  /// columnar store has no row object to reference. Binding the result to
+  /// `const TemporalFact&` at call sites remains valid (lifetime
+  /// extension).
+  TemporalFact fact(FactId id) const {
+    const FactChunk& c = *chunks_[id >> kChunkShift];
+    const size_t l = id & kChunkMask;
+    return TemporalFact(c.subject[l], c.predicate[l], c.object[l],
+                        c.interval[l], c.confidence[l]);
+  }
+
+  /// \brief All facts (including tombstoned ones) materialized in id order.
+  /// O(n); meant for whole-graph passes, not point access.
+  std::vector<TemporalFact> facts() const;
 
   /// \brief True when `id` has not been retracted.
   bool is_live(FactId id) const {
-    return id < facts_.size() && (id >= live_.size() || live_[id]);
+    if (id >= num_facts_) return false;
+    const FactChunk& c = *chunks_[id >> kChunkShift];
+    return c.dead[id & kChunkMask] == 0;
   }
   /// \brief Number of live (non-retracted) facts.
   size_t NumLiveFacts() const { return num_live_; }
   /// \brief Position of a live fact among live facts in id order — the id
-  /// the fact would have in `CompactLive()`'s output.
+  /// the fact would have in `CompactLive()`'s output. O(#chunks).
   size_t LiveRank(FactId id) const;
   /// \brief Monotone counter bumped by every Add/Retract; lets cached
   /// derived state (grounding, MAP solutions) detect staleness.
   uint64_t edit_epoch() const { return edit_epoch_; }
+  /// \brief Monotone counter bumped only when the *set* of live predicates
+  /// changes (a predicate's live count transitions 0 <-> nonzero). Lets the
+  /// service layer reuse completion indexes across publishes that didn't
+  /// change which predicates exist.
+  uint64_t pred_set_epoch() const { return pred_set_epoch_; }
 
   /// \brief New self-contained graph holding exactly the live facts, in id
   /// order. Equivalent to what a fresh parse of the edited KB would load.
   TemporalGraph CompactLive() const;
 
-  /// \brief Deep copy preserving term ids, fact ids and tombstones (unlike
-  /// `CompactLive`, which renumbers). Fact ids and term ids of the clone
-  /// are interchangeable with the original's — the property the snapshot
-  /// layer relies on so a cached `ResolveResult` computed against the
-  /// writer's graph can be browsed against the published clone. Must not
-  /// run concurrently with mutations of this graph.
+  /// \brief O(#chunks) copy-on-write fork: the new graph shares the term
+  /// dictionary, every fact chunk and the interval-tree cache with this
+  /// one. Fact ids and term ids are interchangeable between the two — the
+  /// property the snapshot layer relies on. Later mutations of either side
+  /// copy only the chunks they touch. Must not run concurrently with
+  /// mutations of this graph.
   TemporalGraph Clone() const;
 
-  /// \brief Eagerly build the per-predicate interval trees for every
-  /// predicate present. `FactsIntersecting` builds them lazily, which
-  /// mutates shared state; a graph published as an immutable snapshot is
-  /// warmed first so concurrent readers never write.
+  /// \brief Deep copy preserving term ids, fact ids and tombstones, sharing
+  /// nothing — every chunk is copied and the dictionary re-interned in id
+  /// order. O(graph). This is the pre-COW `Clone()` semantics, kept as the
+  /// reference baseline for the differential snapshot tests and the
+  /// clone-vs-COW publish benchmark. Must not run concurrently with
+  /// mutations of this graph.
+  TemporalGraph DeepCopy() const;
+
+  /// \brief Eagerly build the per-predicate interval trees for every live
+  /// predicate. Optional: `FactsIntersecting` builds them lazily under an
+  /// internal mutex, so concurrent readers of a frozen graph are safe
+  /// either way.
   void WarmTemporalIndexes() const;
 
-  /// \brief Ids of facts with the given predicate ("" -> empty).
-  const std::vector<FactId>& FactsWithPredicate(TermId predicate) const;
+  /// \brief Ids of live facts with the given predicate, ascending.
+  std::vector<FactId> FactsWithPredicate(TermId predicate) const;
 
-  /// \brief Ids of facts with the given subject.
-  const std::vector<FactId>& FactsWithSubject(TermId subject) const;
+  /// \brief Ids of live facts with the given subject, ascending.
+  std::vector<FactId> FactsWithSubject(TermId subject) const;
 
-  /// \brief Ids of facts with the given (subject, predicate) pair.
-  const std::vector<FactId>& FactsWithSubjectPredicate(TermId subject,
-                                                       TermId predicate) const;
+  /// \brief Ids of live facts with the given (subject, predicate) pair.
+  std::vector<FactId> FactsWithSubjectPredicate(TermId subject,
+                                                TermId predicate) const;
 
-  /// \brief Ids of facts with predicate `p` whose interval intersects
-  /// `probe` (uses the per-predicate interval tree; built lazily).
+  /// \brief Ids of live facts with predicate `p` whose interval intersects
+  /// `probe` (uses the per-predicate interval tree; built lazily,
+  /// thread-safe).
   std::vector<FactId> FactsIntersecting(TermId predicate,
                                         const temporal::Interval& probe) const;
 
-  /// \brief Distinct predicates with their fact counts, most frequent first.
+  /// \brief Distinct predicates with their live fact counts, most frequent
+  /// first; ties broken by the predicate's lexical form (not term id, which
+  /// is interleaving-dependent once the dictionary is shared with
+  /// concurrent readers). Predicates whose facts were all retracted stay
+  /// listed with count 0.
   std::vector<std::pair<TermId, size_t>> PredicateCounts() const;
 
   /// \brief New graph containing exactly the facts where keep[id] is true.
@@ -122,27 +216,63 @@ class TemporalGraph {
   std::string FactToString(FactId id) const;
   std::string FactToString(const TemporalFact& fact) const;
 
- private:
-  struct PairHash {
-    size_t operator()(const std::pair<TermId, TermId>& p) const {
-      return std::hash<uint64_t>()(
-          (static_cast<uint64_t>(p.first) << 32) | p.second);
-    }
-  };
+  /// \brief Install (or clear, with nullptr) the mutation observer.
+  void SetMutationObserver(MutationObserver observer) {
+    observer_ = std::move(observer);
+  }
 
-  Dictionary dict_;
-  std::vector<TemporalFact> facts_;
-  /// Liveness bitmap, grown lazily: ids >= live_.size() are live. Kept in
-  /// lockstep with num_live_ and edit_epoch_ by Add/Retract.
-  std::vector<bool> live_;
+  // ------------------------------------------------- sharing diagnostics
+  /// \brief Number of chunks in the table.
+  size_t NumChunks() const { return chunks_.size(); }
+  /// \brief Chunks copy-on-written by mutations of this graph object since
+  /// construction / Clone (a Clone starts at 0). The differential harness
+  /// asserts an edit of k facts copies O(k / kChunkSize) chunks.
+  uint64_t chunk_copies() const { return chunks_copied_; }
+  /// \brief Chunk pointers `a` and `b` share (pointer equality).
+  static size_t CountSharedChunks(const TemporalGraph& a,
+                                  const TemporalGraph& b);
+
+  /// \brief Structural self-check: column sizes per chunk, frozen-chunk
+  /// index validity, tombstone/live counts, per-predicate live counts.
+  /// O(n); meant for tests and debug builds.
+  Status CheckInvariants() const;
+
+  /// \brief Tombstone monotonicity across versions: every fact dead in
+  /// `base` must be dead in `derived` (a derived version never resurrects
+  /// a retracted fact), and `derived` extends `base`.
+  static Status CheckTombstoneMonotone(const TemporalGraph& base,
+                                       const TemporalGraph& derived);
+
+ private:
+  /// The chunk at `ci`, private to this graph version: copied first if it
+  /// is shared with another version (the COW step).
+  FactChunk* MutableChunk(size_t ci);
+
+  /// Interval tree for `predicate`, building and caching it if absent.
+  /// Returns nullptr when the predicate has no live facts. Thread-safe.
+  std::shared_ptr<const temporal::IntervalTree> EnsureTree(
+      TermId predicate) const;
+
+  /// Drop the cached tree for a predicate about to change.
+  void InvalidateTree(TermId predicate);
+
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<std::shared_ptr<FactChunk>> chunks_;
+  size_t num_facts_ = 0;
   size_t num_live_ = 0;
   uint64_t edit_epoch_ = 0;
-  std::unordered_map<TermId, std::vector<FactId>> by_predicate_;
-  std::unordered_map<TermId, std::vector<FactId>> by_subject_;
-  std::unordered_map<std::pair<TermId, TermId>, std::vector<FactId>, PairHash>
-      by_subject_predicate_;
-  // Lazily-built per-predicate temporal indexes.
-  mutable std::unordered_map<TermId, temporal::IntervalTree> temporal_index_;
+  uint64_t pred_set_epoch_ = 0;
+  /// Live fact count per predicate ever seen (entries may be 0).
+  std::unordered_map<TermId, size_t> pred_live_counts_;
+  uint64_t chunks_copied_ = 0;
+  MutationObserver observer_;
+
+  /// Lazily-built per-predicate temporal indexes, shared across versions
+  /// (Clone copies the map, sharing the immutable trees). The mutex makes
+  /// lazy builds safe on frozen snapshots read concurrently.
+  mutable std::mutex tree_mutex_;
+  mutable std::unordered_map<TermId, std::shared_ptr<const temporal::IntervalTree>>
+      trees_;
 };
 
 }  // namespace rdf

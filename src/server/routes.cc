@@ -62,11 +62,29 @@ Result<Json> ParseBody(const HttpRequest& request) {
   return Json::Parse(request.body);
 }
 
+/// The snapshot a read endpoint should serve: the current one, or — with
+/// `?as_of=<version>` — a retained historical version (time travel).
+/// InvalidArgument on a malformed version, NotFound when it was never
+/// published, Gone when it fell out of the retention ring.
+Result<std::shared_ptr<const api::Snapshot>> ResolveReadSnapshot(
+    api::Engine* engine, const HttpRequest& request) {
+  const std::string as_of = request.QueryParam("as_of", "");
+  if (as_of.empty()) return engine->snapshot();
+  int64_t version = 0;
+  if (!ParseInt64(as_of, &version) || version < 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "bad as_of '%s' (expected a non-negative version)", as_of.c_str()));
+  }
+  return engine->SnapshotAt(static_cast<uint64_t>(version));
+}
+
 // --------------------------------------------------- per-KB endpoints
 
 HttpResponse HandleGraph(api::Engine* engine, const HttpRequest& request) {
   if (request.method == "GET") {
-    return JsonResponse(200, api::GraphInfoJson(*engine->snapshot()));
+    auto snap = ResolveReadSnapshot(engine, request);
+    if (!snap.ok()) return ErrorResponse(snap.status());
+    return JsonResponse(200, api::GraphInfoJson(**snap));
   }
   if (request.method == "POST") {
     auto body = ParseBody(request);
@@ -85,7 +103,9 @@ HttpResponse HandleGraph(api::Engine* engine, const HttpRequest& request) {
 
 HttpResponse HandleRules(api::Engine* engine, const HttpRequest& request) {
   if (request.method == "GET") {
-    return JsonResponse(200, api::RulesJson(*engine->snapshot()));
+    auto snap = ResolveReadSnapshot(engine, request);
+    if (!snap.ok()) return ErrorResponse(snap.status());
+    return JsonResponse(200, api::RulesJson(**snap));
   }
   if (request.method == "POST") {
     auto body = ParseBody(request);
@@ -145,7 +165,9 @@ HttpResponse HandleConflicts(api::Engine* engine,
   if (request.method != "GET") {
     return MethodNotAllowed(request.method, "GET");
   }
-  auto snap = engine->snapshot();
+  auto resolved = ResolveReadSnapshot(engine, request);
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  const auto& snap = *resolved;
   int64_t limit = 25;
   const std::string limit_param = request.QueryParam("limit", "");
   if (!limit_param.empty() &&
@@ -163,7 +185,9 @@ HttpResponse HandleStats(api::Engine* engine, const HttpRequest& request) {
   if (request.method != "GET") {
     return MethodNotAllowed(request.method, "GET");
   }
-  auto snap = engine->snapshot();
+  auto resolved = ResolveReadSnapshot(engine, request);
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  const auto& snap = *resolved;
   if (!snap->has_graph()) {
     return ErrorResponse(Status::InvalidArgument("no graph loaded"));
   }
@@ -175,9 +199,10 @@ HttpResponse HandleComplete(api::Engine* engine,
   if (request.method != "GET") {
     return MethodNotAllowed(request.method, "GET");
   }
-  auto snap = engine->snapshot();
+  auto snap = ResolveReadSnapshot(engine, request);
+  if (!snap.ok()) return ErrorResponse(snap.status());
   return JsonResponse(
-      200, api::CompleteJson(*snap, request.QueryParam("prefix", "")));
+      200, api::CompleteJson(**snap, request.QueryParam("prefix", "")));
 }
 
 HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
@@ -188,7 +213,9 @@ HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
   if (!body.ok()) return ErrorResponse(body.status());
   auto req = api::SuggestRequest::FromJson(*body);
   if (!req.ok()) return ErrorResponse(req.status());
-  auto snap = engine->snapshot();
+  auto resolved = ResolveReadSnapshot(engine, request);
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  const auto& snap = *resolved;
   auto suggestions = snap->SuggestConstraints(req->options);
   if (!suggestions.ok()) return ErrorResponse(suggestions.status());
   return JsonResponse(200, api::SuggestJson(*snap, *suggestions));
@@ -268,30 +295,52 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
     // and the snapshot is the resync point.
     send_initial = false;
   } else if (resume_after != kNoResume && resume_after < initial->version) {
-    auto storage = engine->storage();
-    bool complete = false;
-    const auto missed =
-        storage != nullptr
-            ? storage->EditsSince(resume_after, &complete)
-            : std::vector<std::pair<uint64_t, std::string>>();
-    if (complete) {
-      for (const auto& [version, script] : missed) {
-        // An in-flight write may already sit in the log unpublished; its
-        // publish will arrive through the queue, so replay stops at the
-        // snapshot we are about to send.
-        if (version > initial->version) break;
-        Json data = Json::Object();
-        data.Set("kb", Json::Str(kb));
-        data.Set("version", Json::Int(static_cast<int64_t>(version)));
-        data.Set("script", Json::Str(script));
-        alive = stream->Write(SseEvent("edit", data, version, true));
+    // Preferred resume path: replay the retained snapshot chain — every
+    // missed version as its own `snapshot` event, gap-free or nothing by
+    // RetainedSince's contract. Retention makes this O(missed) pointer
+    // chasing with no WAL read, and it covers writes edit scripts cannot
+    // express (rule changes, solves, graph loads).
+    const auto retained = engine->RetainedSince(resume_after);
+    if (!retained.empty()) {
+      for (const auto& snap : retained) {
+        alive = stream->Write(SseEvent("snapshot", api::KbInfoJson(kb, *snap),
+                                       snap->version, true));
         if (!alive) break;
         ++sent;
+        last_version = snap->version;
       }
+      // The chain ends at (or after) `initial`; repeating it would be a
+      // duplicate. Anything newer arrives through the queue, deduped by
+      // last_version.
+      send_initial = false;
+    } else {
+      // Fallback for gaps older than retention: replay the missed edit
+      // scripts from the KB's durable edit log.
+      auto storage = engine->storage();
+      bool complete = false;
+      const auto missed =
+          storage != nullptr
+              ? storage->EditsSince(resume_after, &complete)
+              : std::vector<std::pair<uint64_t, std::string>>();
+      if (complete) {
+        for (const auto& [version, script] : missed) {
+          // An in-flight write may already sit in the log unpublished; its
+          // publish will arrive through the queue, so replay stops at the
+          // snapshot we are about to send.
+          if (version > initial->version) break;
+          Json data = Json::Object();
+          data.Set("kb", Json::Str(kb));
+          data.Set("version", Json::Int(static_cast<int64_t>(version)));
+          data.Set("script", Json::Str(script));
+          alive = stream->Write(SseEvent("edit", data, version, true));
+          if (!alive) break;
+          ++sent;
+        }
+      }
+      // Whether or not edits replayed, the snapshot below reconciles
+      // everything scripts cannot carry (rule changes, solves, graph
+      // loads) — and is the whole resync when the tail was incomplete.
     }
-    // Whether or not edits replayed, the snapshot below reconciles
-    // everything scripts cannot carry (rule changes, solves, graph
-    // loads) — and is the whole resync when the tail was incomplete.
   }
   if (alive && send_initial) {
     alive = stream->Write(SseEvent(

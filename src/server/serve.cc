@@ -33,6 +33,7 @@ void PrintServeUsage() {
                " [--auth-token-file f]\n"
                "                     [--data-dir d] [--fsync always|never]"
                " [--max-body-bytes n]\n"
+               "                     [--retain n]\n"
                "  --host h            bind address (default 127.0.0.1)\n"
                "  --port n            TCP port; 0 picks an ephemeral port"
                " (default 8080)\n"
@@ -62,6 +63,13 @@ void PrintServeUsage() {
                "  --max-body-bytes n  request-body cap; oversized uploads"
                " get 413\n"
                "                      (default 16777216)\n"
+               "  --retain n          snapshot versions kept reachable per KB"
+               " for\n"
+               "                      '?as_of=' time-travel reads and SSE"
+               " resume\n"
+               "                      (default 8, minimum 1; cheap under"
+               " copy-on-write\n"
+               "                      chunk sharing)\n"
                "serves the multi-tenant /v1 JSON API (/v1/kb/{name}/...);"
                " see docs/api.md\n");
 }
@@ -87,6 +95,7 @@ int RunServe(int argc, char** argv, int first_arg) {
   std::string auth_token_file;
   std::string data_dir;
   storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kAlways;
+  int64_t retain_versions = 8;
   for (int i = first_arg; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -94,7 +103,8 @@ int RunServe(int argc, char** argv, int first_arg) {
                        flag == "--threads" || flag == "--graph" ||
                        flag == "--rules" || flag == "--kb" ||
                        flag == "--auth-token-file" || flag == "--data-dir" ||
-                       flag == "--fsync" || flag == "--max-body-bytes";
+                       flag == "--fsync" || flag == "--max-body-bytes" ||
+                       flag == "--retain";
     if (!known) {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       PrintServeUsage();
@@ -143,6 +153,12 @@ int RunServe(int argc, char** argv, int first_arg) {
         return 2;
       }
       options.max_body_bytes = static_cast<size_t>(parsed);
+    } else if (flag == "--retain") {
+      if (!ParseInt64(value, &retain_versions) || retain_versions < 1) {
+        std::fprintf(stderr, "invalid --retain value '%s'\n", value);
+        PrintServeUsage();
+        return 2;
+      }
     } else {
       auth_token_file = value;
     }
@@ -164,6 +180,8 @@ int RunServe(int argc, char** argv, int first_arg) {
   registry_options.num_threads = pool_threads;
   registry_options.data_dir = data_dir;
   registry_options.storage.fsync = fsync_policy;
+  registry_options.engine.retain_versions =
+      static_cast<size_t>(retain_versions);
   api::EngineRegistry registry(registry_options);
   size_t recovered_kbs = 0;
   if (!data_dir.empty()) {

@@ -1,0 +1,86 @@
+#include "util/exact_sum.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tecore {
+namespace util {
+
+void ExactSum::Accumulate(double value, int sign) {
+  assert(std::isfinite(value));
+  if (value == 0.0) return;
+  if (value < 0.0) {
+    value = -value;
+    sign = -sign;
+  }
+  // value = mantissa * 2^(exp - 53) with mantissa a 53-bit integer; ldexp
+  // of a frexp mantissa is exact.
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);
+  const uint64_t mantissa = static_cast<uint64_t>(std::ldexp(frac, 53));
+  const int pos = exp - 53 + kBias;  // >= 26 for the smallest subnormal
+  const int limb = pos >> 5;
+  const int shift = pos & 31;
+  // mantissa << shift spans at most 53 + 31 = 84 bits: three 32-bit pieces.
+  const unsigned __int128 wide = static_cast<unsigned __int128>(mantissa)
+                                 << shift;
+  limbs_[limb] += sign * static_cast<int64_t>(static_cast<uint32_t>(wide));
+  limbs_[limb + 1] +=
+      sign * static_cast<int64_t>(static_cast<uint32_t>(wide >> 32));
+  limbs_[limb + 2] +=
+      sign * static_cast<int64_t>(static_cast<uint32_t>(wide >> 64));
+  if (++pending_ >= kMaxPending) Normalize();
+}
+
+void ExactSum::NormalizeLimbs(std::array<int64_t, kNumLimbs>* limbs) {
+  int64_t carry = 0;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    const int64_t v = (*limbs)[i] + carry;
+    if (i + 1 == kNumLimbs) {
+      (*limbs)[i] = v;  // top limb keeps the sign of the whole sum
+    } else {
+      carry = v >> 32;  // arithmetic shift: floors negative values
+      (*limbs)[i] = v & 0xFFFFFFFFll;
+    }
+  }
+}
+
+void ExactSum::Normalize() {
+  NormalizeLimbs(&limbs_);
+  pending_ = 0;
+}
+
+double ExactSum::ToDouble() const {
+  std::array<int64_t, kNumLimbs> limbs = limbs_;
+  NormalizeLimbs(&limbs);
+  // Canonical form is two's-complement-like (sign carried by the top
+  // limb). Convert to sign-magnitude so the limb cutoff below sees the
+  // true magnitude, not a borrow chain of 0xFFFFFFFF limbs.
+  const bool negative = limbs[kNumLimbs - 1] < 0;
+  if (negative) {
+    for (int64_t& limb : limbs) limb = -limb;
+    NormalizeLimbs(&limbs);
+  }
+  int top = kNumLimbs - 1;
+  while (top >= 0 && limbs[top] == 0) --top;
+  if (top < 0) return 0.0;
+  // Compose the top limbs, most significant first. Limbs below the first
+  // five are > 2^96 smaller than the leading one and cannot move the
+  // result; the cutoff keeps this a pure function of the canonical state.
+  double out = 0.0;
+  for (int i = top; i >= 0 && i > top - 5; --i) {
+    out += std::ldexp(static_cast<double>(limbs[i]), 32 * i - kBias);
+  }
+  return negative ? -out : out;
+}
+
+bool ExactSum::operator==(const ExactSum& other) const {
+  std::array<int64_t, kNumLimbs> a = limbs_;
+  std::array<int64_t, kNumLimbs> b = other.limbs_;
+  NormalizeLimbs(&a);
+  NormalizeLimbs(&b);
+  return a == b;
+}
+
+}  // namespace util
+}  // namespace tecore

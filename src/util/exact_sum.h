@@ -1,0 +1,63 @@
+#ifndef TECORE_UTIL_EXACT_SUM_H_
+#define TECORE_UTIL_EXACT_SUM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace tecore {
+namespace util {
+
+/// \brief Exact, order-independent accumulator for sums of doubles.
+///
+/// Floating-point addition is not associative, so a sum maintained
+/// incrementally (add on insert, subtract on retract) drifts from the same
+/// sum recomputed front-to-back — which would break the contract that
+/// incrementally-maintained statistics are bit-identical to
+/// computed-from-scratch statistics. ExactSum sidesteps rounding entirely:
+/// every double is a 53-bit integer times a power of two, so the running
+/// sum is kept in a wide fixed-point accumulator (the "superaccumulator"
+/// of exact-summation literature) where Add and Subtract are exact integer
+/// operations. Two ExactSums over the same multiset of values — in any
+/// order, with any interleaving of additions and removals — hold the same
+/// state, and `ToDouble()` is a pure function of that state.
+///
+/// Values must be finite. The accumulator covers the entire finite double
+/// range (subnormals included) with headroom for 2^30 pending additions
+/// between internal normalizations.
+class ExactSum {
+ public:
+  /// \brief Add a finite double to the sum. Exact.
+  void Add(double value) { Accumulate(value, +1); }
+
+  /// \brief Subtract a finite double from the sum. Exact.
+  void Subtract(double value) { Accumulate(value, -1); }
+
+  /// \brief The sum, rounded once to double. Deterministic: depends only on
+  /// the exact accumulated value, never on the order of operations.
+  double ToDouble() const;
+
+  bool operator==(const ExactSum& other) const;
+
+ private:
+  // Fixed-point layout: limb i carries bits [32*i, 32*(i+1)) of the sum
+  // scaled by 2^kBias. kBias places the least significant bit of the
+  // smallest subnormal (2^-1074) at bit 78 >= 0; 72 limbs * 32 bits cover
+  // the largest double (~2^1024 * 2^52 mantissa span) with carry headroom.
+  static constexpr int kBias = 1152;
+  static constexpr int kNumLimbs = 72;
+  static constexpr int kMaxPending = 1 << 30;
+
+  void Accumulate(double value, int sign);
+  /// Carry-propagate into the canonical form: limbs in [0, 2^32), any
+  /// overall negativity absorbed by the (signed) top limb.
+  void Normalize();
+  static void NormalizeLimbs(std::array<int64_t, kNumLimbs>* limbs);
+
+  std::array<int64_t, kNumLimbs> limbs_{};
+  int pending_ = 0;
+};
+
+}  // namespace util
+}  // namespace tecore
+
+#endif  // TECORE_UTIL_EXACT_SUM_H_

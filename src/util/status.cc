@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unauthenticated";
     case StatusCode::kPermissionDenied:
       return "PermissionDenied";
+    case StatusCode::kGone:
+      return "Gone";
   }
   return "Unknown";
 }

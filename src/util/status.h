@@ -26,6 +26,10 @@ enum class StatusCode {
   kTimeout,
   kUnauthenticated,
   kPermissionDenied,
+  /// The resource existed but has been discarded and will not return
+  /// (e.g. a snapshot version evicted from the retention ring). Maps to
+  /// HTTP 410, where kNotFound maps to 404.
+  kGone,
 };
 
 /// \brief Human-readable name of a status code (e.g. "ParseError").
@@ -72,6 +76,9 @@ class Status {
   }
   static Status PermissionDenied(std::string msg) {
     return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Gone(std::string msg) {
+    return Status(StatusCode::kGone, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

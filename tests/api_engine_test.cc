@@ -313,5 +313,62 @@ TEST(ApiEngine, CloseForListenersSignalsAndDropsObservers) {
   EXPECT_EQ(closes, 2);
 }
 
+TEST(ApiEngine, PublishCachesReuseAcrossEdits) {
+  // Publish-path caches: the completion index is shared between snapshots
+  // while the set of live predicates is stable, and a cached conflict
+  // report is carried forward when an edit touches no rule predicate.
+  api::Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText(kFig1Utkg).ok());
+  ASSERT_TRUE(engine.AddRulesText(kDisjointConstraint).ok());
+  auto counters = engine.cache_counters();
+  EXPECT_EQ(counters.completion_rebuilt, 1u);  // the initial load
+  EXPECT_EQ(counters.completion_reused, 0u);
+  EXPECT_EQ(counters.conflict_carried, 0u);
+
+  // Compute (and cache) the conflict report for the current snapshot.
+  auto baseline_report = engine.snapshot()->DetectConflicts();
+  ASSERT_TRUE(baseline_report.ok());
+  const size_t baseline_conflicts = (*baseline_report)->NumConflicts();
+  EXPECT_GT(baseline_conflicts, 0u);
+
+  // An edit on a predicate no rule mentions: the completion index is
+  // rebuilt (new predicate => predicate set changed) but the conflict
+  // report carries over with its input-fact count patched.
+  auto hobby = engine.ApplyEditScript("+ CR hobby golf [1970,2017] 0.8 .",
+                                      core::ResolveOptions());
+  ASSERT_TRUE(hobby.ok()) << hobby.status().ToString();
+  counters = engine.cache_counters();
+  EXPECT_EQ(counters.completion_rebuilt, 2u);
+  EXPECT_EQ(counters.conflict_carried, 1u);
+  auto carried = hobby->snapshot->DetectConflicts();
+  ASSERT_TRUE(carried.ok());
+  EXPECT_EQ((*carried)->NumConflicts(), baseline_conflicts);
+  EXPECT_EQ((*carried)->num_input_facts,
+            hobby->snapshot->graph->NumLiveFacts());
+
+  // Same predicate again: predicate set unchanged, completion index is
+  // shared with the previous snapshot (same object), report carried again.
+  auto again = engine.ApplyEditScript("+ CR hobby chess [1960,2017] 0.7 .",
+                                      core::ResolveOptions());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  counters = engine.cache_counters();
+  EXPECT_EQ(counters.completion_reused, 1u);
+  EXPECT_EQ(counters.completion_rebuilt, 2u);
+  EXPECT_EQ(counters.conflict_carried, 2u);
+  EXPECT_EQ(again->snapshot->predicates, hobby->snapshot->predicates);
+
+  // An edit on a rule predicate must NOT carry the report: the new coach
+  // spell overlaps both existing ones and creates new conflicts.
+  auto coach = engine.ApplyEditScript("+ CR coach Bari [2000,2003] 0.5 .",
+                                      core::ResolveOptions());
+  ASSERT_TRUE(coach.ok()) << coach.status().ToString();
+  counters = engine.cache_counters();
+  EXPECT_EQ(counters.conflict_carried, 2u);  // unchanged
+  EXPECT_EQ(counters.completion_reused, 2u);  // coach already existed
+  auto recomputed = coach->snapshot->DetectConflicts();
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_GT((*recomputed)->NumConflicts(), baseline_conflicts);
+}
+
 }  // namespace
 }  // namespace tecore

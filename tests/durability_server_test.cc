@@ -100,6 +100,10 @@ class Generation {
   explicit Generation(const std::string& data_dir) {
     api::EngineRegistry::Options options;
     options.data_dir = data_dir;
+    // Retain only the live snapshot so SSE resumes cannot be served from
+    // the retained-version ring: these tests pin down the WAL edit-script
+    // replay path (the ring path is covered in server_test.cc).
+    options.engine.retain_versions = 1;
     registry_ = std::make_unique<api::EngineRegistry>(options);
     auto recovered = registry_->RecoverKbs();
     EXPECT_TRUE(recovered.ok());

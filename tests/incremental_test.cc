@@ -65,6 +65,10 @@ std::vector<rdf::FactId> ToLiveRanks(const rdf::TemporalGraph& graph,
 void ExpectResolutionBitIdentical(const core::ResolveResult& incremental,
                                   const rdf::TemporalGraph& edited_graph,
                                   const core::ResolveResult& scratch) {
+  // The chunked columnar store must stay structurally sound under the
+  // incremental pipeline's in-place mutations.
+  Status invariants = edited_graph.CheckInvariants();
+  EXPECT_TRUE(invariants.ok()) << invariants.ToString();
   EXPECT_EQ(incremental.objective, scratch.objective);  // bitwise
   EXPECT_EQ(incremental.feasible, scratch.feasible);
   EXPECT_EQ(incremental.optimal, scratch.optimal);

@@ -459,6 +459,15 @@ struct SseReader {
   }
 };
 
+size_t CountOf(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
 int64_t VersionOf(const std::string& frame) {
   const size_t data = frame.find("data: ");
   if (data == std::string::npos) return -1;
@@ -543,6 +552,109 @@ TEST_F(ServerTest, SseMaxEventsAndDigestShape) {
       << close_frame;
   EXPECT_EQ(watcher.NextFrame(), "");  // then EOF
   watcher.Close();
+}
+
+TEST_F(ServerTest, AsOfTimeTravelReads) {
+  // Every read endpoint accepts ?as_of=<version> and serves the retained
+  // snapshot of that version: valid → 200, garbage → 400, never-published
+  // → 404, evicted from the retention ring → 410.
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"tt\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/tt/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);  // version 1
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/tt/rules",
+                          "{\"text\":\"c1: quad(x, p, y, t) & quad(x, p, "
+                          "z, t') & y != z -> disjoint(t, t') .\"}")),
+            200);  // version 2
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/tt/edits",
+                          "{\"script\":\"+ a p c [1,3] 0.5 .\\n\"}")),
+            200);  // version 3
+
+  // Happy path: the frozen version, not the current one.
+  util::Json old_graph =
+      BodyOf(Http(port_, "GET", "/v1/kb/tt/graph?as_of=1"));
+  EXPECT_EQ(old_graph.GetInt("version", -1), 1);
+  EXPECT_EQ(old_graph.GetInt("num_live_facts", -1), 1);
+  util::Json now_graph = BodyOf(Http(port_, "GET", "/v1/kb/tt/graph"));
+  EXPECT_EQ(now_graph.GetInt("version", -1), 3);
+  EXPECT_EQ(now_graph.GetInt("num_live_facts", -1), 2);
+  util::Json old_stats =
+      BodyOf(Http(port_, "GET", "/v1/kb/tt/stats?as_of=1"));
+  EXPECT_EQ(old_stats.GetInt("version", -1), 1);
+  const util::Json* stats_body = old_stats.Find("stats");
+  ASSERT_NE(stats_body, nullptr);
+  EXPECT_EQ(stats_body->GetInt("num_facts", -1), 1);
+  // Version 1 predates the rule upload, so its conflict set is empty and
+  // its rule list too — every other read endpoint resolves the same way.
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/rules?as_of=1")), 200);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/conflicts?as_of=1")),
+            200);
+  EXPECT_EQ(
+      StatusOf(Http(port_, "GET", "/v1/kb/tt/complete?prefix=p&as_of=1")),
+      200);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/suggest?as_of=1")), 200);
+
+  // Garbage and out-of-range versions.
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/graph?as_of=banana")),
+            400);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/graph?as_of=-1")), 400);
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/graph?as_of=99")), 404);
+
+  // Push version 1 out of the default 8-deep retention ring; it answers
+  // 410 Gone from then on while a still-retained version keeps serving.
+  for (int b = 0; b < 9; ++b) {
+    const std::string script = StringPrintf(
+        "{\"script\":\"+ a p d%d [%d,%d] 0.5 .\\n\"}", b, 10 + b, 11 + b);
+    ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/tt/edits", script)),
+              200);
+  }
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/graph?as_of=1")), 410);
+  EXPECT_EQ(ErrorCodeOf(BodyOf(Http(port_, "GET",
+                                    "/v1/kb/tt/graph?as_of=1"))),
+            "Gone");
+  EXPECT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/tt/stats?as_of=12")), 200);
+}
+
+TEST_F(ServerTest, SseResumeFromRetainedVersions) {
+  // An in-memory KB has no WAL, but a reconnecting subscriber whose
+  // missed versions are all still in the retention ring gets them
+  // replayed as snapshot events — in order, no gaps, no duplicates.
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"ring\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/ring/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);  // version 1
+  for (int b = 0; b < 2; ++b) {
+    const std::string script = StringPrintf(
+        "{\"script\":\"+ a p c%d [%d,%d] 0.5 .\\n\"}", b, 10 + b, 11 + b);
+    ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/ring/edits", script)),
+              200);  // versions 2, 3
+  }
+
+  const std::string resumed =
+      Http(port_, "GET", "/v1/kb/ring/subscribe?max_events=2", "",
+           "Last-Event-ID: 1\r\n");
+  EXPECT_EQ(resumed.find("event: edit"), std::string::npos) << resumed;
+  const size_t v2 = resumed.find("id: 2");
+  const size_t v3 = resumed.find("id: 3");
+  ASSERT_NE(v2, std::string::npos) << resumed;
+  ASSERT_NE(v3, std::string::npos) << resumed;
+  EXPECT_LT(v2, v3);
+
+  // A resume whose chain fell out of the ring cannot replay; it degrades
+  // to the plain initial-snapshot resync.
+  for (int b = 0; b < 9; ++b) {
+    const std::string script = StringPrintf(
+        "{\"script\":\"+ a p e%d [%d,%d] 0.5 .\\n\"}", b, 30 + b, 31 + b);
+    ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/ring/edits", script)),
+              200);  // versions 4..12; version 2 leaves the ring
+  }
+  const std::string resync =
+      Http(port_, "GET", "/v1/kb/ring/subscribe?max_events=1", "",
+           "Last-Event-ID: 1\r\n");
+  EXPECT_EQ(CountOf(resync, "event: snapshot"), 1u) << resync;
+  EXPECT_NE(resync.find("id: 12"), std::string::npos) << resync;
 }
 
 TEST_F(ServerTest, StopIsIdempotentAndClean) {

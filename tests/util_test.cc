@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "util/csv.h"
+#include "util/exact_sum.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -188,6 +190,55 @@ TEST(Timer, MeasuresElapsedTime) {
   double before = timer.ElapsedSeconds();
   timer.Reset();
   EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(ExactSum, OrderIndependentAndBitExact) {
+  // The same multiset of values, accumulated in different orders with
+  // different add/remove interleavings, must land on identical state —
+  // the property that makes incremental statistics bit-identical to
+  // from-scratch ones.
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back((rng.NextDouble() - 0.5) * 1e12);
+    values.push_back(rng.NextDouble() * 1e-300);  // tiny magnitudes too
+  }
+  util::ExactSum forward;
+  for (double v : values) forward.Add(v);
+  util::ExactSum backward;
+  for (size_t i = values.size(); i-- > 0;) backward.Add(values[i]);
+  EXPECT_TRUE(forward == backward);
+  EXPECT_EQ(forward.ToDouble(), backward.ToDouble());  // bitwise
+
+  // Adding then subtracting extra values is a perfect no-op.
+  util::ExactSum churn = forward;
+  std::vector<double> extra;
+  for (int i = 0; i < 100; ++i) extra.push_back(rng.NextGaussian(0.0, 1e6));
+  for (double v : extra) churn.Add(v);
+  rng.Shuffle(&extra);
+  for (double v : extra) churn.Subtract(v);
+  EXPECT_TRUE(churn == forward);
+}
+
+TEST(ExactSum, NegativeTotalsAndCancellation) {
+  util::ExactSum sum;
+  sum.Add(1e308);
+  sum.Add(-1e308);
+  EXPECT_EQ(sum.ToDouble(), 0.0);
+  sum.Subtract(3.5);
+  EXPECT_EQ(sum.ToDouble(), -3.5);
+  // Catastrophic cancellation that naive running sums get wrong: the
+  // small term survives the huge transient exactly.
+  util::ExactSum cancel;
+  cancel.Add(1e16);
+  cancel.Add(1.0);
+  cancel.Subtract(1e16);
+  EXPECT_EQ(cancel.ToDouble(), 1.0);
+  // Subnormals accumulate exactly as well.
+  util::ExactSum tiny;
+  const double subnormal = 4.9406564584124654e-324;  // 2^-1074
+  for (int i = 0; i < 8; ++i) tiny.Add(subnormal);
+  EXPECT_EQ(tiny.ToDouble(), 8 * subnormal);
 }
 
 }  // namespace
