@@ -314,14 +314,16 @@ std::shared_ptr<const Snapshot> Engine::Publish(
 
 uint64_t Engine::AddPublishListener(PublishListener listener) {
   uint64_t id;
-  bool closed;
   {
     std::lock_guard<std::mutex> lock(listener_mutex_);
     id = next_listener_id_++;
-    closed = closed_;
-    if (!closed) listeners_.emplace(id, listener);
+    if (!closed_) {
+      listeners_.emplace(id, std::move(listener));
+      return id;
+    }
   }
-  if (closed) listener(nullptr);
+  // Already retired: deliver the close signal inline (see header).
+  listener(nullptr);
   return id;
 }
 
