@@ -98,7 +98,7 @@ Result<std::shared_ptr<const core::ConflictReport>> Snapshot::DetectConflicts(
   rdf::TemporalGraph* g = const_cast<rdf::TemporalGraph*>(graph.get());
   const bool cacheable = SameDetectConfig(grounding, detect_grounding_);
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(conflict_mutex_);
+    util::MutexLock lock(conflict_mutex_);
     if (conflict_status_.has_value()) {
       if (!conflict_status_->ok()) return *conflict_status_;
       return conflict_report_;
@@ -151,18 +151,19 @@ Engine::Engine(Options options) : options_(std::move(options)) {
   snap->rules = std::make_shared<const rules::RuleSet>();
   snap->predicates = std::make_shared<const std::vector<std::string>>();
   snap->detect_grounding_ = options_.detect_grounding;
+  util::MutexLock lock(snapshot_mutex_);
   snapshot_ = std::move(snap);
   retained_.push_back(snapshot_);
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  util::MutexLock lock(snapshot_mutex_);
   return snapshot_;
 }
 
 Result<std::shared_ptr<const Snapshot>> Engine::SnapshotAt(
     uint64_t version) const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  util::MutexLock lock(snapshot_mutex_);
   if (version > snapshot_->version) {
     return Status::NotFound(StringPrintf(
         "version %llu has not been published (current is %llu)",
@@ -182,7 +183,7 @@ Result<std::shared_ptr<const Snapshot>> Engine::SnapshotAt(
 std::vector<std::shared_ptr<const Snapshot>> Engine::RetainedSince(
     uint64_t after) const {
   std::vector<std::shared_ptr<const Snapshot>> out;
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  util::MutexLock lock(snapshot_mutex_);
   for (const auto& snap : retained_) {
     if (snap->version > after) out.push_back(snap);
   }
@@ -194,7 +195,7 @@ std::vector<std::shared_ptr<const Snapshot>> Engine::RetainedSince(
 }
 
 std::pair<uint64_t, uint64_t> Engine::RetainedRange() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  util::MutexLock lock(snapshot_mutex_);
   return {retained_.front()->version, retained_.back()->version};
 }
 
@@ -220,20 +221,27 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   // here must recover it — the "acknowledged after fsync, published after
   // recovery" half of the durability contract.
   storage::MaybeCrash("engine:before_publish");
+  // The previous snapshot, read under its lock. Only the writer thread
+  // (us) replaces it, so `prev` stays current for the whole publish; the
+  // analysis used to have to take that argument on faith for a handful of
+  // bare snapshot_ reads below.
+  std::shared_ptr<const Snapshot> prev;
+  {
+    util::MutexLock lock(snapshot_mutex_);
+    prev = snapshot_;
+  }
   auto snap = std::make_shared<Snapshot>();
   snap->version = ++version_;
   if (!graph_.has_value()) {
     snap->predicates = std::make_shared<const std::vector<std::string>>();
-  } else if (!graph_changed && snapshot_->has_graph()) {
+  } else if (!graph_changed && prev->has_graph()) {
     // Rule-only write: the previous snapshot's frozen graph, statistics
     // and completion index are immutable and still describe the KB —
     // share them instead of paying a new fork under the writer lock.
-    // (snapshot_ is only replaced by the writer thread, which we are, so
-    // the unlocked read is safe.)
-    snap->graph = snapshot_->graph;
-    snap->num_terms = snapshot_->num_terms;
-    snap->stats = snapshot_->stats;
-    snap->predicates = snapshot_->predicates;
+    snap->graph = prev->graph;
+    snap->num_terms = prev->num_terms;
+    snap->stats = prev->stats;
+    snap->predicates = prev->predicates;
   } else {
     // O(delta) publish: the fork copies the chunk table (pointers) only —
     // the columns themselves are shared with the writer and with earlier
@@ -245,11 +253,11 @@ std::shared_ptr<const Snapshot> Engine::Publish(
     snap->num_terms = graph_->dict().Size();
     snap->stats = std::make_shared<const kb::GraphStatistics>(
         stats_acc_.Emit(*graph_));
-    if (snapshot_->has_graph() &&
+    if (prev->has_graph() &&
         published_pred_set_epoch_ == graph_->pred_set_epoch()) {
       // No predicate appeared or lost its last live fact since the last
       // graph-bearing publish: the completion index is still exact.
-      snap->predicates = snapshot_->predicates;
+      snap->predicates = prev->predicates;
       completion_reused_.fetch_add(1, std::memory_order_relaxed);
     } else {
       auto predicates = std::make_shared<std::vector<std::string>>();
@@ -276,10 +284,9 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   if (touched_predicates != nullptr && graph_.has_value()) {
     std::shared_ptr<const core::ConflictReport> prior;
     {
-      std::lock_guard<std::mutex> lock(snapshot_->conflict_mutex_);
-      if (snapshot_->conflict_status_.has_value() &&
-          snapshot_->conflict_status_->ok()) {
-        prior = snapshot_->conflict_report_;
+      util::MutexLock lock(prev->conflict_mutex_);
+      if (prev->conflict_status_.has_value() && prev->conflict_status_->ok()) {
+        prior = prev->conflict_report_;
       }
     }
     std::vector<std::string> rule_predicates;
@@ -287,13 +294,16 @@ std::shared_ptr<const Snapshot> Engine::Publish(
         SortedDisjoint(*touched_predicates, rule_predicates)) {
       auto carried = std::make_shared<core::ConflictReport>(*prior);
       carried->num_input_facts = graph_->NumLiveFacts();
+      // `snap` is not shared yet, but its cache fields are guarded and
+      // the lock is uncontended — cheaper than an analysis exemption.
+      util::MutexLock lock(snap->conflict_mutex_);
       snap->conflict_report_ = std::move(carried);
       snap->conflict_status_ = Status::OK();
       conflict_carried_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    util::MutexLock lock(snapshot_mutex_);
     snapshot_ = snap;
     retained_.push_back(snap);
     const size_t cap = std::max<size_t>(1, options_.retain_versions);
@@ -304,7 +314,7 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   // invocations, so every listener sees versions strictly in order.
   std::vector<PublishListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(listener_mutex_);
+    util::MutexLock lock(listener_mutex_);
     listeners.reserve(listeners_.size());
     for (const auto& [id, listener] : listeners_) listeners.push_back(listener);
   }
@@ -315,7 +325,7 @@ std::shared_ptr<const Snapshot> Engine::Publish(
 uint64_t Engine::AddPublishListener(PublishListener listener) {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(listener_mutex_);
+    util::MutexLock lock(listener_mutex_);
     id = next_listener_id_++;
     if (!closed_) {
       listeners_.emplace(id, std::move(listener));
@@ -328,17 +338,17 @@ uint64_t Engine::AddPublishListener(PublishListener listener) {
 }
 
 void Engine::RemovePublishListener(uint64_t id) {
-  std::lock_guard<std::mutex> lock(listener_mutex_);
+  util::MutexLock lock(listener_mutex_);
   listeners_.erase(id);
 }
 
 void Engine::CloseForListeners() {
   // Taking the writer lock orders the close signal after any in-flight
   // publish: a listener never sees a version after its nullptr.
-  std::lock_guard<std::mutex> write_lock(writer_mutex_);
+  util::MutexLock write_lock(writer_mutex_);
   std::vector<PublishListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(listener_mutex_);
+    util::MutexLock lock(listener_mutex_);
     if (closed_) return;
     closed_ = true;
     listeners.reserve(listeners_.size());
@@ -362,8 +372,9 @@ Result<std::shared_ptr<const Snapshot>> Engine::LoadGraphText(
 
 Result<std::shared_ptr<const Snapshot>> Engine::SetGraph(
     rdf::TemporalGraph graph) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  if (storage_ != nullptr) {
+  util::MutexLock lock(writer_mutex_);
+  const std::shared_ptr<storage::KbStorage> stg = storage();
+  if (stg != nullptr) {
     // A whole-graph load would dwarf the WAL, so it checkpoints directly.
     // Serialize the *incoming* graph before touching engine state: a
     // storage failure must leave the KB exactly as it was.
@@ -372,10 +383,10 @@ Result<std::shared_ptr<const Snapshot>> Engine::SetGraph(
     cp.has_graph = true;
     cp.graph_text = rdf::WriteGraphText(graph);
     cp.rules_text = rules_.ToString();
-    TECORE_RETURN_NOT_OK(storage_->WriteCheckpoint(cp));
+    TECORE_RETURN_NOT_OK(stg->WriteCheckpoint(cp));
     // Edit scripts from before the load describe a graph that no longer
     // exists; resuming subscribers must resync from a snapshot.
-    storage_->ResetEditTail(cp.version);
+    stg->ResetEditTail(cp.version);
   }
   graph_ = std::move(graph);
   incremental_.reset();
@@ -405,7 +416,7 @@ Result<Engine::RulesOutcome> Engine::AddRulesText(std::string_view text) {
   TECORE_ASSIGN_OR_RETURN(parsed, rules::ParseRules(text));
   RulesOutcome outcome;
   outcome.added = parsed.Size();
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   // Merge into a copy so a failed WAL append leaves rules_ untouched. The
   // log stores the full replacement set (rule writes are rare and rule
   // sets small), so replay just adopts the latest record.
@@ -423,7 +434,7 @@ Result<Engine::RulesOutcome> Engine::AddRulesText(std::string_view text) {
 
 Result<std::shared_ptr<const Snapshot>> Engine::AddRules(
     const rules::RuleSet& rules) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   rules::RuleSet merged = rules_;
   merged.Merge(rules);
   TECORE_RETURN_NOT_OK(
@@ -436,7 +447,7 @@ Result<std::shared_ptr<const Snapshot>> Engine::AddRules(
 }
 
 Result<std::shared_ptr<const Snapshot>> Engine::ClearRules() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   TECORE_RETURN_NOT_OK(
       LogRecord(storage::WalRecordType::kRulesSet, std::string()));
   rules_ = rules::RuleSet();
@@ -447,7 +458,7 @@ Result<std::shared_ptr<const Snapshot>> Engine::ClearRules() {
 }
 
 void Engine::ResetIncremental() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   incremental_.reset();
 }
 
@@ -459,7 +470,7 @@ Result<SolveOutcome> Engine::Solve(const core::ResolveOptions& options) {
       return SolveOutcome{snap->version, /*cached=*/true, snap->result, snap};
     }
   }
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
   // Re-check: a competing writer may have solved while we waited.
   {
@@ -496,13 +507,13 @@ Result<SolveOutcome> Engine::Solve(const core::ResolveOptions& options) {
 Result<EditOutcome> Engine::ApplyEdits(
     const std::vector<core::GraphEdit>& edits,
     const core::ResolveOptions& options) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   return ApplyEditsLocked(edits, options);
 }
 
 Result<EditOutcome> Engine::ApplyEditScript(
     std::string_view script, const core::ResolveOptions& options) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
   // Interns new terms into the master dictionary; published snapshots own
   // cloned dictionaries, so readers never observe the interning.
@@ -514,7 +525,7 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
     const std::vector<core::GraphEdit>& edits,
     const core::ResolveOptions& options) {
   if (!graph_.has_value()) return Status::InvalidArgument("no graph loaded");
-  if (storage_ != nullptr) {
+  if (storage() != nullptr) {
     // Write-ahead: validate, serialize canonically, log + fsync — all
     // before the graph mutates. A storage failure here changes nothing; a
     // crash after the append recovers exactly this batch.
@@ -567,11 +578,11 @@ Result<EditOutcome> Engine::ApplyEditsLocked(
 // ------------------------------------------------------------- durability
 
 Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   if (version_ != 0) {
     return Status::Internal("AttachStorage on an engine that already served");
   }
-  const storage::Checkpoint& cp = storage->checkpoint();
+  const storage::Checkpoint cp = storage->checkpoint();
   uint64_t recovered = 0;
   if (storage->has_checkpoint()) {
     recovered = cp.version;
@@ -595,7 +606,8 @@ Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
   // Replay the WAL tail. Edits apply without solving — published results
   // are caches, and the determinism contract makes the next Solve
   // reproduce the pre-crash objective bit-for-bit.
-  for (const storage::WalRecord& record : storage->tail()) {
+  const std::vector<storage::WalRecord> tail = storage->tail();
+  for (const storage::WalRecord& record : tail) {
     switch (record.type) {
       case storage::WalRecordType::kEditBatch: {
         if (!graph_.has_value()) {
@@ -636,7 +648,7 @@ Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
   incremental_.reset();
   AdoptGraphLocked();
   {
-    std::lock_guard<std::mutex> storage_lock(storage_mutex_);
+    util::MutexLock storage_lock(storage_mutex_);
     storage_ = std::move(storage);
   }
   if (recovered > 0) {
@@ -649,10 +661,10 @@ Status Engine::AttachStorage(std::shared_ptr<storage::KbStorage> storage) {
 }
 
 void Engine::DetachStorage() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  util::MutexLock lock(writer_mutex_);
   std::shared_ptr<storage::KbStorage> storage;
   {
-    std::lock_guard<std::mutex> storage_lock(storage_mutex_);
+    util::MutexLock storage_lock(storage_mutex_);
     storage = std::move(storage_);
   }
   // Drop our reference with pending bytes flushed; the registry unlinks
@@ -662,22 +674,25 @@ void Engine::DetachStorage() {
 }
 
 Status Engine::FlushStorage() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  return storage_ != nullptr ? storage_->Flush() : Status::OK();
+  // The writer lock orders the flush after any in-flight write.
+  util::MutexLock lock(writer_mutex_);
+  const std::shared_ptr<storage::KbStorage> stg = storage();
+  return stg != nullptr ? stg->Flush() : Status::OK();
 }
 
 std::shared_ptr<storage::KbStorage> Engine::storage() const {
-  std::lock_guard<std::mutex> lock(storage_mutex_);
+  util::MutexLock lock(storage_mutex_);
   return storage_;
 }
 
 Status Engine::LogRecord(storage::WalRecordType type, std::string payload) {
-  if (storage_ == nullptr) return Status::OK();
+  const std::shared_ptr<storage::KbStorage> stg = storage();
+  if (stg == nullptr) return Status::OK();
   storage::WalRecord record;
   record.type = type;
   record.version = version_ + 1;
   record.payload = std::move(payload);
-  return storage_->Append(record);
+  return stg->Append(record);
 }
 
 storage::Checkpoint Engine::CheckpointState(uint64_t version) const {
@@ -690,13 +705,14 @@ storage::Checkpoint Engine::CheckpointState(uint64_t version) const {
 }
 
 void Engine::MaybeCheckpoint() {
-  if (storage_ == nullptr || !storage_->ShouldCheckpoint()) return;
-  Status status = storage_->WriteCheckpoint(CheckpointState(version_));
+  const std::shared_ptr<storage::KbStorage> stg = storage();
+  if (stg == nullptr || !stg->ShouldCheckpoint()) return;
+  Status status = stg->WriteCheckpoint(CheckpointState(version_));
   if (!status.ok()) {
     // The triggering write is already durable in the WAL; a failed
     // checkpoint costs replay time, not data.
     std::fprintf(stderr, "tecore: checkpoint of %s failed: %s\n",
-                 storage_->dir().c_str(), status.ToString().c_str());
+                 stg->dir().c_str(), status.ToString().c_str());
   }
 }
 

@@ -7,7 +7,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +22,7 @@
 #include "rules/validator.h"
 #include "storage/kb_storage.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace api {
@@ -98,9 +98,11 @@ class Snapshot {
   ground::GroundingOptions detect_grounding_;
 
   // Lazy conflict-report cache (default detection options only).
-  mutable std::mutex conflict_mutex_;
-  mutable std::shared_ptr<const core::ConflictReport> conflict_report_;
-  mutable std::optional<Status> conflict_status_;
+  mutable util::Mutex conflict_mutex_;
+  mutable std::shared_ptr<const core::ConflictReport> conflict_report_
+      TECORE_GUARDED_BY(conflict_mutex_);
+  mutable std::optional<Status> conflict_status_
+      TECORE_GUARDED_BY(conflict_mutex_);
 };
 
 /// \brief A (version, result) pair from Solve — the two always come from
@@ -303,15 +305,19 @@ class Engine {
   void CloseForListeners();
 
   /// \brief The live incremental state, if any. Writer-side diagnostics
-  /// for tests; not synchronized with concurrent writes.
-  const core::IncrementalResolver* incremental_for_tests() const {
+  /// for tests; the returned pointer is only stable while no write runs.
+  const core::IncrementalResolver* incremental_for_tests() const
+      TECORE_EXCLUDES(writer_mutex_) {
+    util::MutexLock lock(writer_mutex_);
     return incremental_.get();
   }
 
   /// \brief The writer-side master graph, if any. Writer-side diagnostics
-  /// for tests (chunk-sharing invariants); not synchronized with
-  /// concurrent writes.
-  const rdf::TemporalGraph* graph_for_tests() const {
+  /// for tests (chunk-sharing invariants); the returned pointer is only
+  /// stable while no write runs.
+  const rdf::TemporalGraph* graph_for_tests() const
+      TECORE_EXCLUDES(writer_mutex_) {
+    util::MutexLock lock(writer_mutex_);
     return graph_.has_value() ? &*graph_ : nullptr;
   }
 
@@ -328,80 +334,91 @@ class Engine {
   /// names this write could have affected (sorted, empty = none) and
   /// enables carrying the previous snapshot's cached conflict report
   /// forward when those names are disjoint from every rule predicate.
-  /// Null = unknown impact, never carry. Caller must hold writer_mutex_.
+  /// Null = unknown impact, never carry.
   std::shared_ptr<const Snapshot> Publish(
       std::shared_ptr<const core::ResolveResult> result,
       const core::ResolveOptions& result_options, bool graph_changed,
-      const std::vector<std::string>* touched_predicates = nullptr);
+      const std::vector<std::string>* touched_predicates = nullptr)
+      TECORE_REQUIRES(writer_mutex_);
 
   /// Seed the statistics accumulator from graph_ and install the mutation
-  /// observer feeding it. Called whenever graph_ is (re)adopted. Caller
-  /// must hold writer_mutex_.
-  void AdoptGraphLocked();
+  /// observer feeding it. Called whenever graph_ is (re)adopted.
+  void AdoptGraphLocked() TECORE_REQUIRES(writer_mutex_);
 
   /// Edit-application body shared by ApplyEdits/ApplyEditScript.
-  /// Caller must hold writer_mutex_.
   Result<EditOutcome> ApplyEditsLocked(
       const std::vector<core::GraphEdit>& edits,
-      const core::ResolveOptions& options);
+      const core::ResolveOptions& options) TECORE_REQUIRES(writer_mutex_);
 
   /// Append one record at version_ + 1 to the attached storage (no-op
   /// without storage). On error nothing may be published — callers return
-  /// the status to the client with all state unchanged. Caller must hold
-  /// writer_mutex_.
-  Status LogRecord(storage::WalRecordType type, std::string payload);
+  /// the status to the client with all state unchanged.
+  Status LogRecord(storage::WalRecordType type, std::string payload)
+      TECORE_REQUIRES(writer_mutex_);
 
   /// Write a checkpoint of the current writer state when the WAL has
   /// outgrown its policy. Best-effort: the write that triggered it is
   /// already durable in the WAL, so a failed checkpoint is reported on
-  /// stderr, not to the client. Caller must hold writer_mutex_.
-  void MaybeCheckpoint();
+  /// stderr, not to the client.
+  void MaybeCheckpoint() TECORE_REQUIRES(writer_mutex_);
 
-  /// Current writer state as a checkpoint at `version`. Caller must hold
-  /// writer_mutex_.
-  storage::Checkpoint CheckpointState(uint64_t version) const;
+  /// Current writer state as a checkpoint at `version`.
+  storage::Checkpoint CheckpointState(uint64_t version) const
+      TECORE_REQUIRES(writer_mutex_);
 
   Options options_;
 
-  /// Serializes all writes (graph/rule mutations and solving).
-  std::mutex writer_mutex_;
+  /// Serializes all writes (graph/rule mutations and solving). Mutable so
+  /// const diagnostics accessors can take a momentary lock.
+  mutable util::Mutex writer_mutex_;
   // Writer-side master state. The master graph is mutated in place by the
   // incremental resolver; published snapshots hold id-preserving clones.
-  std::optional<rdf::TemporalGraph> graph_;
-  rules::RuleSet rules_;
-  std::unique_ptr<core::IncrementalResolver> incremental_;
-  uint64_t version_ = 0;
-  /// Incremental statistics over graph_ (fed by its mutation observer).
+  std::optional<rdf::TemporalGraph> graph_ TECORE_GUARDED_BY(writer_mutex_);
+  rules::RuleSet rules_ TECORE_GUARDED_BY(writer_mutex_);
+  std::unique_ptr<core::IncrementalResolver> incremental_
+      TECORE_GUARDED_BY(writer_mutex_);
+  uint64_t version_ TECORE_GUARDED_BY(writer_mutex_) = 0;
+  /// Incremental statistics over graph_, also writer_mutex_ state — but
+  /// carrying no annotation: it is fed through graph_'s mutation-observer
+  /// std::function (installed in AdoptGraphLocked, fired only while the
+  /// resolver mutates graph_ under the writer lock), and the analysis
+  /// cannot see capabilities across that indirect call, so an annotation
+  /// here would force a suppression in the observer body.
   kb::StatsAccumulator stats_acc_;
   /// graph_->pred_set_epoch() at the last graph-bearing publish; the
   /// completion index is reusable while it does not move.
-  uint64_t published_pred_set_epoch_ = 0;
+  uint64_t published_pred_set_epoch_ TECORE_GUARDED_BY(writer_mutex_) = 0;
 
   /// Publish-path cache counters (relaxed: diagnostics only).
   std::atomic<uint64_t> completion_reused_{0};
   std::atomic<uint64_t> completion_rebuilt_{0};
   std::atomic<uint64_t> conflict_carried_{0};
 
-  /// Durable storage; null for an in-memory engine. Written under both
-  /// writer_mutex_ and storage_mutex_ (attach/detach), so writers may read
-  /// it under writer_mutex_ alone while `storage()` takes storage_mutex_.
-  std::shared_ptr<storage::KbStorage> storage_;
-  mutable std::mutex storage_mutex_;
+  /// Durable storage; null for an in-memory engine. Guarded by
+  /// storage_mutex_ alone (attach/detach/storage() all take it); writer
+  /// paths grab a shared_ptr copy via storage() and work on that — the
+  /// handle is immutable behind the pointer and internally synchronized.
+  mutable util::Mutex storage_mutex_;
+  std::shared_ptr<storage::KbStorage> storage_
+      TECORE_GUARDED_BY(storage_mutex_);
 
   /// Guards the snapshot pointer swap and the retention ring (held for
   /// pointer-copy time).
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable util::Mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_
+      TECORE_GUARDED_BY(snapshot_mutex_);
   /// Bounded ring of recent snapshots, oldest first; always ends with the
   /// current snapshot. Contiguous versions except across a recovery jump.
-  std::deque<std::shared_ptr<const Snapshot>> retained_;
+  std::deque<std::shared_ptr<const Snapshot>> retained_
+      TECORE_GUARDED_BY(snapshot_mutex_);
 
   /// Guards the listener table (add/remove may race reads); invocation
   /// happens outside this lock, serialized by writer_mutex_.
-  std::mutex listener_mutex_;
-  std::map<uint64_t, PublishListener> listeners_;
-  uint64_t next_listener_id_ = 1;
-  bool closed_ = false;
+  util::Mutex listener_mutex_;
+  std::map<uint64_t, PublishListener> listeners_
+      TECORE_GUARDED_BY(listener_mutex_);
+  uint64_t next_listener_id_ TECORE_GUARDED_BY(listener_mutex_) = 1;
+  bool closed_ TECORE_GUARDED_BY(listener_mutex_) = false;
 };
 
 }  // namespace api

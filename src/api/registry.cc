@@ -23,7 +23,7 @@ EngineRegistry::EngineRegistry(Options options)
     : options_(std::move(options)) {}
 
 std::shared_ptr<util::ThreadPool> EngineRegistry::pool() const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  util::MutexLock lock(pool_mutex_);
   if (pool_ == nullptr) {
     // Created on first use, with the same floor as HttpServer: neither
     // the constructing thread nor the acceptor drains the queue, and
@@ -70,9 +70,8 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Create(
     // writes into unlinked inodes — lost on restart). Waiting until the
     // name is neither registered nor mid-lifecycle closes that race and
     // keeps two racing Creates from ever holding the same wal.log.
-    std::unique_lock<std::mutex> lock(mutex_);
-    lifecycle_cv_.wait(lock,
-                       [&] { return lifecycle_busy_.count(name) == 0; });
+    util::MutexLock lock(mutex_);
+    while (lifecycle_busy_.count(name) != 0) lifecycle_cv_.Wait(mutex_);
     if (engines_.count(name) != 0) {
       return Status::AlreadyExists(
           StringPrintf("kb '%s' already exists", name.c_str()));
@@ -90,9 +89,9 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Create(
                  ? engine->AttachStorage(std::move(storage).value())
                  : storage.status();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   lifecycle_busy_.erase(name);
-  lifecycle_cv_.notify_all();
+  lifecycle_cv_.NotifyAll();
   if (!status.ok()) return status;
   auto [it, inserted] = engines_.emplace(name, std::move(engine));
   (void)inserted;  // the reservation made the name unclaimable meanwhile
@@ -122,7 +121,7 @@ Result<std::vector<std::string>> EngineRegistry::RecoverKbs() {
 
 Result<std::shared_ptr<Engine>> EngineRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = engines_.find(name);
   if (it == engines_.end()) {
     return Status::NotFound(StringPrintf("no such kb: '%s'", name.c_str()));
@@ -133,11 +132,10 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Get(
 Status EngineRegistry::Delete(const std::string& name) {
   std::shared_ptr<Engine> removed;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // Wait out any in-flight Create/Delete of this name (see Create for
     // why the lifecycle is serialized per name).
-    lifecycle_cv_.wait(lock,
-                       [&] { return lifecycle_busy_.count(name) == 0; });
+    while (lifecycle_busy_.count(name) != 0) lifecycle_cv_.Wait(mutex_);
     auto it = engines_.find(name);
     if (it == engines_.end()) {
       return Status::NotFound(StringPrintf("no such kb: '%s'", name.c_str()));
@@ -159,9 +157,9 @@ Status EngineRegistry::Delete(const std::string& name) {
   if (!dir.empty()) {
     status = storage::KbStorage::Destroy(dir);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   lifecycle_busy_.erase(name);
-  lifecycle_cv_.notify_all();
+  lifecycle_cv_.NotifyAll();
   return status;
 }
 
@@ -169,7 +167,7 @@ std::vector<EngineRegistry::KbInfo> EngineRegistry::List() const {
   std::vector<KbInfo> out;
   std::vector<std::shared_ptr<Engine>> engines;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     out.reserve(engines_.size());
     engines.reserve(engines_.size());
     for (const auto& [name, engine] : engines_) {
@@ -186,7 +184,7 @@ std::vector<EngineRegistry::KbInfo> EngineRegistry::List() const {
 }
 
 size_t EngineRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return engines_.size();
 }
 

@@ -1,10 +1,8 @@
 #ifndef TECORE_API_REGISTRY_H_
 #define TECORE_API_REGISTRY_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -12,6 +10,7 @@
 
 #include "api/engine.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace tecore {
@@ -118,18 +117,20 @@ class EngineRegistry {
  private:
   Options options_;
 
-  mutable std::mutex pool_mutex_;
-  mutable std::shared_ptr<util::ThreadPool> pool_;
+  mutable util::Mutex pool_mutex_;
+  mutable std::shared_ptr<util::ThreadPool> pool_
+      TECORE_GUARDED_BY(pool_mutex_);
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable lifecycle_cv_;
-  std::map<std::string, std::shared_ptr<Engine>> engines_;
+  mutable util::Mutex mutex_;
+  mutable util::CondVar lifecycle_cv_;
+  std::map<std::string, std::shared_ptr<Engine>> engines_
+      TECORE_GUARDED_BY(mutex_);
   /// Names whose storage is being opened (Create) or destroyed (Delete)
   /// outside `mutex_`. A name in here is neither free nor registered:
   /// Create/Delete wait on `lifecycle_cv_` until it clears, which
   /// serializes the per-name lifecycle without holding the registry lock
   /// across filesystem work.
-  std::set<std::string> lifecycle_busy_;
+  std::set<std::string> lifecycle_busy_ TECORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace api

@@ -74,7 +74,7 @@ Term* Dictionary::SlotFor(TermId id) {
   Locate(id, &bucket, &offset);
   Term* base = buckets_[bucket].load(std::memory_order_acquire);
   if (base == nullptr) {
-    std::lock_guard<std::mutex> lock(bucket_alloc_mutex_);
+    util::MutexLock lock(bucket_alloc_mutex_);
     base = buckets_[bucket].load(std::memory_order_relaxed);
     if (base == nullptr) {
       base = new Term[1ULL << (kFirstBucketBits + bucket)];
@@ -86,7 +86,7 @@ Term* Dictionary::SlotFor(TermId id) {
 
 TermId Dictionary::Intern(const Term& term) {
   Shard& shard = shards_[ShardFor(term)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.index.find(term);
   if (it != shard.index.end()) return it->second;
   const TermId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
@@ -97,7 +97,7 @@ TermId Dictionary::Intern(const Term& term) {
 
 Result<TermId> Dictionary::Find(const Term& term) const {
   Shard& shard = shards_[ShardFor(term)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.index.find(term);
   if (it == shard.index.end()) {
     return Status::NotFound("term not in dictionary: " + term.ToString());

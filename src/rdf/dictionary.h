@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "rdf/term.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace rdf {
@@ -91,8 +91,9 @@ class Dictionary {
   static constexpr size_t kNumBuckets = 32 - kFirstBucketBits + 1;
 
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<Term, TermId, TermHash> index;
+    util::Mutex mutex;
+    std::unordered_map<Term, TermId, TermHash> index
+        TECORE_GUARDED_BY(mutex);
   };
 
   static size_t ShardFor(const Term& term) {
@@ -109,8 +110,12 @@ class Dictionary {
   Term* SlotFor(TermId id);
 
   std::unique_ptr<Shard[]> shards_;
+  // Lock-free read path: the bucket directory is atomic pointers published
+  // with release stores, so it carries no capability annotation. Writes
+  // (bucket allocation) are serialized by bucket_alloc_mutex_ via the
+  // double-checked pattern in SlotFor.
   std::unique_ptr<std::atomic<Term*>[]> buckets_;
-  std::mutex bucket_alloc_mutex_;
+  util::Mutex bucket_alloc_mutex_;
   std::atomic<TermId> next_id_{0};
 };
 

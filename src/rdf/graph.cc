@@ -194,7 +194,7 @@ TemporalGraph TemporalGraph::Clone() const {
   out.pred_set_epoch_ = pred_set_epoch_;
   out.pred_live_counts_ = pred_live_counts_;
   {
-    std::lock_guard<std::mutex> lock(tree_mutex_);
+    util::MutexLock lock(tree_mutex_);
     out.trees_ = trees_;
   }
   return out;
@@ -224,7 +224,7 @@ TemporalGraph TemporalGraph::DeepCopy() const {
 
 std::shared_ptr<const temporal::IntervalTree> TemporalGraph::EnsureTree(
     TermId predicate) const {
-  std::lock_guard<std::mutex> lock(tree_mutex_);
+  util::MutexLock lock(tree_mutex_);
   auto it = trees_.find(predicate);
   if (it != trees_.end()) return it->second;
   std::vector<FactId> ids = FactsWithPredicate(predicate);
@@ -239,7 +239,7 @@ std::shared_ptr<const temporal::IntervalTree> TemporalGraph::EnsureTree(
 }
 
 void TemporalGraph::InvalidateTree(TermId predicate) {
-  std::lock_guard<std::mutex> lock(tree_mutex_);
+  util::MutexLock lock(tree_mutex_);
   trees_.erase(predicate);
 }
 

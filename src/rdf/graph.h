@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "temporal/interval.h"
 #include "temporal/interval_tree.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace rdf {
@@ -270,9 +270,10 @@ class TemporalGraph {
   /// Lazily-built per-predicate temporal indexes, shared across versions
   /// (Clone copies the map, sharing the immutable trees). The mutex makes
   /// lazy builds safe on frozen snapshots read concurrently.
-  mutable std::mutex tree_mutex_;
-  mutable std::unordered_map<TermId, std::shared_ptr<const temporal::IntervalTree>>
-      trees_;
+  mutable util::Mutex tree_mutex_;
+  mutable std::unordered_map<TermId,
+                             std::shared_ptr<const temporal::IntervalTree>>
+      trees_ TECORE_GUARDED_BY(tree_mutex_);
 };
 
 }  // namespace rdf

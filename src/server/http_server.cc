@@ -126,6 +126,7 @@ HttpServer::HttpServer(Options options, HttpHandler handler)
 HttpServer::~HttpServer() { Stop(); }
 
 Result<int> HttpServer::Start() {
+  util::MutexLock lock(lifecycle_mutex_);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IoError(StringPrintf("socket: %s", std::strerror(errno)));
@@ -180,11 +181,20 @@ Result<int> HttpServer::Start() {
     owns_pool_ = true;
   }
   running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  // The acceptor gets copies of the fd and pool handle: it must never
+  // read lifecycle-guarded fields, which Stop() rewrites while the loop
+  // is still blocked in accept().
+  acceptor_ = std::thread(
+      [this, fd = listen_fd_, pool = pool_] { AcceptLoop(fd, pool); });
   return port_;
 }
 
 void HttpServer::Stop() {
+  // Serializing the whole body makes concurrent Stop() calls (e.g. a
+  // signal handler thread racing the destructor) safe: the loser blocks
+  // until the winner has joined the acceptor and closed the listener,
+  // instead of reading both mid-teardown.
+  util::MutexLock lock(lifecycle_mutex_);
   if (!running_.exchange(false)) {
     // Never started or already stopped; still reap a bound-but-unserved
     // listener from a failed Start().
@@ -205,16 +215,17 @@ void HttpServer::Stop() {
   // connection count, never on the pool: a shared pool may be carrying
   // another server's long-lived streams, which must not gate our Stop.
   {
-    std::unique_lock<std::mutex> lock(inflight_mutex_);
-    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+    util::MutexLock inflight_lock(inflight_mutex_);
+    while (inflight_ != 0) inflight_cv_.Wait(inflight_mutex_);
   }
   if (owns_pool_) pool_.reset();  // shared pools belong to their owner
   pool_ = nullptr;
 }
 
-void HttpServer::AcceptLoop() {
+void HttpServer::AcceptLoop(int listen_fd,
+                            std::shared_ptr<util::ThreadPool> pool) {
   while (running_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       // Transient conditions must not kill the acceptor: a client
       // aborting mid-handshake (ECONNABORTED) or fd exhaustion
@@ -237,13 +248,13 @@ void HttpServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      util::MutexLock lock(inflight_mutex_);
       ++inflight_;
     }
-    pool_->Submit([this, fd] {
+    pool->Submit([this, fd] {
       ServeConnection(fd);
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
-      if (--inflight_ == 0) inflight_cv_.notify_all();
+      util::MutexLock lock(inflight_mutex_);
+      if (--inflight_ == 0) inflight_cv_.NotifyAll();
     });
   }
 }

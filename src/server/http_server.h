@@ -2,10 +2,8 @@
 #define TECORE_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -13,6 +11,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace tecore {
@@ -123,16 +122,20 @@ class HttpServer {
 
   /// \brief Bind, listen and start serving. Returns the bound port on
   /// success (equal to Options::port unless that was 0).
-  Result<int> Start();
+  Result<int> Start() TECORE_EXCLUDES(lifecycle_mutex_);
 
   /// \brief The bound port (valid after a successful Start()).
-  int port() const { return port_; }
+  int port() const TECORE_EXCLUDES(lifecycle_mutex_) {
+    util::MutexLock lock(lifecycle_mutex_);
+    return port_;
+  }
 
   /// \brief Stop accepting, drain in-flight connections, join workers.
-  /// Idempotent; also called by the destructor. Streaming responses
-  /// observe `ResponseStream::stopping` and end within their poll
-  /// interval.
-  void Stop();
+  /// Idempotent and safe to race with itself and with the destructor
+  /// (concurrent callers serialize on the lifecycle mutex; losers return
+  /// once the winner has fully stopped). Streaming responses observe
+  /// `ResponseStream::stopping` and end within their poll interval.
+  void Stop() TECORE_EXCLUDES(lifecycle_mutex_);
 
  private:
   /// Why ReadRequest gave up on a connection when the bytes themselves
@@ -145,7 +148,10 @@ class HttpServer {
     kHeadersTooLarge,  ///< headers alone over max_header_bytes → 431
   };
 
-  void AcceptLoop();
+  /// Runs on the acceptor thread with its *own copies* of the listen fd
+  /// and pool handle, so it never touches lifecycle_mutex_-guarded fields
+  /// (Stop() may be rewriting them while we are mid-accept).
+  void AcceptLoop(int listen_fd, std::shared_ptr<util::ThreadPool> pool);
   void ServeConnection(int fd);
   /// Read one request off `fd`; false on EOF/timeout/malformed framing.
   /// Sets `*error` (and returns false) when the connection deserves an
@@ -165,19 +171,26 @@ class HttpServer {
 
   Options options_;
   HttpHandler handler_;
-  int listen_fd_ = -1;
-  int port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
-  std::shared_ptr<util::ThreadPool> pool_;
-  bool owns_pool_ = true;
+
+  /// Serializes Start/Stop/port(). Before this existed, two racing Stop()
+  /// calls were a real data race: the exchange(false) loser read
+  /// listen_fd_ and acceptor_.joinable() while the winner was join()ing
+  /// the thread object and close()ing the fd.
+  mutable util::Mutex lifecycle_mutex_;
+  int listen_fd_ TECORE_GUARDED_BY(lifecycle_mutex_) = -1;
+  int port_ TECORE_GUARDED_BY(lifecycle_mutex_) = 0;
+  std::thread acceptor_ TECORE_GUARDED_BY(lifecycle_mutex_);
+  std::shared_ptr<util::ThreadPool> pool_
+      TECORE_GUARDED_BY(lifecycle_mutex_);
+  bool owns_pool_ TECORE_GUARDED_BY(lifecycle_mutex_) = true;
 
   /// Connections this server accepted that have not finished serving
   /// (queued or running). Stop() drains on this count — not on the pool,
   /// which may be shared with other servers whose streams outlive us.
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  size_t inflight_ = 0;
+  util::Mutex inflight_mutex_;
+  util::CondVar inflight_cv_;
+  size_t inflight_ TECORE_GUARDED_BY(inflight_mutex_) = 0;
 };
 
 }  // namespace server

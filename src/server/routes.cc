@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "server/auth.h"
 #include "util/json.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace server {
@@ -227,10 +226,11 @@ HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
 /// SSE connection worker draining it. Owned jointly via shared_ptr: the
 /// listener may outlive the stream by one in-flight publish.
 struct SseSubscriber {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::shared_ptr<const api::Snapshot>> queue;
-  bool closed = false;
+  util::Mutex mutex;
+  util::CondVar cv;
+  std::deque<std::shared_ptr<const api::Snapshot>> queue
+      TECORE_GUARDED_BY(mutex);
+  bool closed TECORE_GUARDED_BY(mutex) = false;
 };
 
 /// One wire event. SSE framing: optional `id:`/`event:` lines, one
@@ -269,13 +269,13 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
   auto sub = std::make_shared<SseSubscriber>();
   const uint64_t listener = engine->AddPublishListener(
       [sub](std::shared_ptr<const api::Snapshot> snap) {
-        std::lock_guard<std::mutex> lock(sub->mutex);
+        util::MutexLock lock(sub->mutex);
         if (snap == nullptr) {
           sub->closed = true;
         } else {
           sub->queue.push_back(std::move(snap));
         }
-        sub->cv.notify_all();
+        sub->cv.NotifyAll();
       });
   // Register-then-read closes the gap: any publish after this read lands
   // in the queue, any publish before it is covered by `initial`, and
@@ -354,10 +354,14 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
     std::vector<std::shared_ptr<const api::Snapshot>> batch;
     bool closed;
     {
-      std::unique_lock<std::mutex> lock(sub->mutex);
-      sub->cv.wait_for(lock, std::chrono::milliseconds(250), [&] {
-        return sub->closed || !sub->queue.empty();
-      });
+      util::MutexLock lock(sub->mutex);
+      // No predicate: a spurious or heartbeat wake just produces an empty
+      // batch and the outer polling loop re-checks everything. (Clang's
+      // thread-safety analysis cannot see capabilities inside a predicate
+      // lambda, so the explicit form keeps this path checkable.)
+      if (sub->queue.empty() && !sub->closed) {
+        sub->cv.WaitFor(sub->mutex, std::chrono::milliseconds(250));
+      }
       batch.assign(sub->queue.begin(), sub->queue.end());
       sub->queue.clear();
       closed = sub->closed;

@@ -18,6 +18,10 @@ Result<std::shared_ptr<KbStorage>> KbStorage::Open(
   TECORE_RETURN_NOT_OK(MakeDirs(dir));
   std::shared_ptr<KbStorage> storage(new KbStorage(dir, options));
 
+  // The object is not yet shared, but recovery writes guarded fields, so
+  // take its locks — the analysis does not special-case construction.
+  util::MutexLock io_lock(storage->io_mutex_);
+
   auto cp = LoadCheckpoint(dir);
   if (cp.ok()) {
     storage->checkpoint_ = std::move(cp).value();
@@ -32,7 +36,10 @@ Result<std::shared_ptr<KbStorage>> KbStorage::Open(
   const WalScan& scan = storage->wal_.scan();
   storage->torn_tail_ = scan.torn_tail;
   storage->wal_records_ = 0;
-  storage->edit_floor_ = storage->checkpoint_.version;
+  {
+    util::MutexLock tail_lock(storage->edit_tail_mutex_);
+    storage->edit_floor_ = storage->checkpoint_.version;
+  }
   for (const WalRecord& record : scan.records) {
     ++storage->wal_records_;
     // Records at or below the checkpoint version are leftovers from a
@@ -51,6 +58,7 @@ Status KbStorage::Destroy(const std::string& dir) {
 }
 
 Status KbStorage::Append(const WalRecord& record) {
+  util::MutexLock lock(io_mutex_);
   TECORE_RETURN_NOT_OK(
       wal_.Append(record, options_.fsync == FsyncPolicy::kAlways));
   ++wal_records_;
@@ -61,11 +69,13 @@ Status KbStorage::Append(const WalRecord& record) {
 }
 
 bool KbStorage::ShouldCheckpoint() const {
+  util::MutexLock lock(io_mutex_);
   return wal_.bytes() >= options_.checkpoint_wal_bytes ||
          wal_records_ >= options_.checkpoint_wal_records;
 }
 
 Status KbStorage::WriteCheckpoint(const Checkpoint& cp) {
+  util::MutexLock lock(io_mutex_);
   TECORE_RETURN_NOT_OK(storage::WriteCheckpoint(dir_, cp));
   // The manifest is durable; these records are now redundant. A crash
   // before the reset is harmless — recovery skips records whose version
@@ -79,11 +89,14 @@ Status KbStorage::WriteCheckpoint(const Checkpoint& cp) {
   return Status::OK();
 }
 
-Status KbStorage::Flush() { return wal_.Sync(); }
+Status KbStorage::Flush() {
+  util::MutexLock lock(io_mutex_);
+  return wal_.Sync();
+}
 
 std::vector<std::pair<uint64_t, std::string>> KbStorage::EditsSince(
     uint64_t after_version, bool* complete) const {
-  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  util::MutexLock lock(edit_tail_mutex_);
   // Complete only when every version since `after_version` that carried
   // edits is still in the tail — i.e. the caller is not asking for history
   // below the floor.
@@ -96,13 +109,13 @@ std::vector<std::pair<uint64_t, std::string>> KbStorage::EditsSince(
 }
 
 void KbStorage::ResetEditTail(uint64_t version) {
-  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  util::MutexLock lock(edit_tail_mutex_);
   edit_tail_.clear();
   edit_floor_ = std::max(edit_floor_, version);
 }
 
 void KbStorage::RememberEdit(uint64_t version, const std::string& script) {
-  std::lock_guard<std::mutex> lock(edit_tail_mutex_);
+  util::MutexLock lock(edit_tail_mutex_);
   edit_tail_.emplace_back(version, script);
   while (edit_tail_.size() > options_.edit_tail_limit) {
     edit_floor_ = std::max(edit_floor_, edit_tail_.front().first);

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "storage/checkpoint.h"
 #include "storage/wal.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace storage {
@@ -49,10 +49,14 @@ struct StorageOptions {
 /// `Open` performs recovery: load + verify the checkpoint (absent on a
 /// fresh KB), scan the WAL (truncating a torn tail), and expose the
 /// checkpoint plus the ordered record tail with versions newer than the
-/// checkpoint for the engine to replay. Appends and checkpoints are
-/// serialized by the engine's writer lock; `EditsSince` (the SSE resume
-/// read path) is guarded by its own mutex so subscriber threads never
-/// touch the writer's state.
+/// checkpoint for the engine to replay.
+///
+/// Locking: the WAL handle and checkpoint state are guarded by
+/// `io_mutex_` — historically the engine's writer lock was trusted to
+/// serialize them, now the compiler checks it. `EditsSince` (the SSE
+/// resume read path) is guarded by its own `edit_tail_mutex_` so
+/// subscriber threads never contend with the writer's I/O. Lock order:
+/// `io_mutex_` before `edit_tail_mutex_`, never the reverse.
 class KbStorage {
  public:
   /// \brief Open `dir` (creating it for a fresh KB) and recover.
@@ -66,62 +70,87 @@ class KbStorage {
   const StorageOptions& options() const { return options_; }
   /// \brief True when the directory held a checkpoint at open time (or one
   /// has been written since).
-  bool has_checkpoint() const { return has_checkpoint_; }
+  bool has_checkpoint() const TECORE_EXCLUDES(io_mutex_) {
+    util::MutexLock lock(io_mutex_);
+    return has_checkpoint_;
+  }
   /// \brief Recovered checkpoint (version 0 + empty texts on a fresh KB).
-  const Checkpoint& checkpoint() const { return checkpoint_; }
+  /// Returned by value: the internal copy may be replaced by a later
+  /// WriteCheckpoint, and callers (engine attach) read it exactly once.
+  Checkpoint checkpoint() const TECORE_EXCLUDES(io_mutex_) {
+    util::MutexLock lock(io_mutex_);
+    return checkpoint_;
+  }
   /// \brief WAL records newer than the checkpoint, in log order.
-  const std::vector<WalRecord>& tail() const { return tail_; }
+  /// Returned by value for the same reason as checkpoint().
+  std::vector<WalRecord> tail() const TECORE_EXCLUDES(io_mutex_) {
+    util::MutexLock lock(io_mutex_);
+    return tail_;
+  }
   /// \brief True when Open had to truncate a torn WAL tail.
-  bool recovered_torn_tail() const { return torn_tail_; }
+  bool recovered_torn_tail() const TECORE_EXCLUDES(io_mutex_) {
+    util::MutexLock lock(io_mutex_);
+    return torn_tail_;
+  }
 
   /// \brief Append one record, fsyncing per policy. On OK the record is
   /// durable (under kAlways) and the caller may acknowledge; on error
   /// nothing may be published.
-  Status Append(const WalRecord& record);
+  Status Append(const WalRecord& record) TECORE_EXCLUDES(io_mutex_);
 
   /// \brief True when the WAL has grown past the checkpoint policy.
-  bool ShouldCheckpoint() const;
+  bool ShouldCheckpoint() const TECORE_EXCLUDES(io_mutex_);
 
   /// \brief Write a new checkpoint and reset the WAL it supersedes.
   /// Crash between manifest publish and WAL reset is safe: recovery skips
   /// WAL records with version <= checkpoint version.
-  Status WriteCheckpoint(const Checkpoint& cp);
+  Status WriteCheckpoint(const Checkpoint& cp) TECORE_EXCLUDES(io_mutex_);
 
   /// \brief fsync the WAL (shutdown path under fsync=never).
-  Status Flush();
+  Status Flush() TECORE_EXCLUDES(io_mutex_);
 
   /// \brief Edit scripts with version > `after_version`, oldest first,
   /// for SSE resume. `*complete` is set to false when `after_version`
   /// predates the in-memory tail (the caller should resync via snapshot).
   std::vector<std::pair<uint64_t, std::string>> EditsSince(
-      uint64_t after_version, bool* complete) const;
+      uint64_t after_version, bool* complete) const
+      TECORE_EXCLUDES(edit_tail_mutex_);
 
   /// \brief Drop the resume tail and raise its floor to `version` — called
   /// when the graph is replaced wholesale (load/set), after which replaying
   /// older edit scripts would describe a graph that no longer exists.
-  void ResetEditTail(uint64_t version);
+  void ResetEditTail(uint64_t version) TECORE_EXCLUDES(edit_tail_mutex_);
 
  private:
   KbStorage(std::string dir, StorageOptions options)
       : dir_(std::move(dir)), options_(options) {}
 
-  void RememberEdit(uint64_t version, const std::string& script);
+  void RememberEdit(uint64_t version, const std::string& script)
+      TECORE_EXCLUDES(edit_tail_mutex_);
 
   std::string dir_;
   StorageOptions options_;
-  bool has_checkpoint_ = false;
-  Checkpoint checkpoint_;
-  std::vector<WalRecord> tail_;
-  bool torn_tail_ = false;
-  Wal wal_;
-  uint64_t wal_records_ = 0;  ///< records in the WAL since last reset
+
+  /// Guards the checkpoint/WAL state below. The engine's writer lock
+  /// already serializes Append/WriteCheckpoint, but the annotation makes
+  /// "WAL poison state is never read unguarded" a compile-time fact
+  /// instead of a calling convention.
+  mutable util::Mutex io_mutex_;
+  bool has_checkpoint_ TECORE_GUARDED_BY(io_mutex_) = false;
+  Checkpoint checkpoint_ TECORE_GUARDED_BY(io_mutex_);
+  std::vector<WalRecord> tail_ TECORE_GUARDED_BY(io_mutex_);
+  bool torn_tail_ TECORE_GUARDED_BY(io_mutex_) = false;
+  Wal wal_ TECORE_GUARDED_BY(io_mutex_);
+  /// Records in the WAL since last reset.
+  uint64_t wal_records_ TECORE_GUARDED_BY(io_mutex_) = 0;
 
   /// SSE resume tail: recent (version, edit script) pairs. `edit_floor_`
   /// is the highest version known to be *before* the tail's first entry —
   /// resume below it is incomplete.
-  mutable std::mutex edit_tail_mutex_;
-  std::vector<std::pair<uint64_t, std::string>> edit_tail_;
-  uint64_t edit_floor_ = 0;
+  mutable util::Mutex edit_tail_mutex_;
+  std::vector<std::pair<uint64_t, std::string>> edit_tail_
+      TECORE_GUARDED_BY(edit_tail_mutex_);
+  uint64_t edit_floor_ TECORE_GUARDED_BY(edit_tail_mutex_) = 0;
 };
 
 }  // namespace storage

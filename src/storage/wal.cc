@@ -113,6 +113,9 @@ Result<WalScan> Wal::ScanFile(const std::string& path) {
 }
 
 Status Wal::Poison(Status status) {
+  // poisoned_/poison_status_ need no atomics: every production access to
+  // this object happens under KbStorage::io_mutex_ (wal_ is GUARDED_BY
+  // it), so a reader can never observe poisoned_ set without its status.
   if (!poisoned_) {
     poisoned_ = true;
     poison_status_ = status;

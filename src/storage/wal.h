@@ -61,7 +61,12 @@ struct WalScan {
 /// never acknowledged (records are fsynced before the write publishes),
 /// so dropping it is exactly "recover the acknowledged prefix".
 ///
-/// Not thread-safe; the engine serializes access on its writer lock.
+/// Not internally synchronized. The only production instance is
+/// `KbStorage::wal_`, declared `TECORE_GUARDED_BY(io_mutex_)` — every
+/// access to this object (including poison-state reads through
+/// `poisoned()`) is therefore checked by Clang Thread Safety Analysis at
+/// the owner, which is why this class carries no locks of its own. Tests
+/// and the verify tool use standalone instances single-threaded.
 class Wal {
  public:
   Wal() = default;

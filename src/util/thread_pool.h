@@ -1,13 +1,13 @@
 #ifndef TECORE_UTIL_THREAD_POOL_H_
 #define TECORE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace tecore {
 namespace util {
@@ -49,15 +49,15 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TECORE_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + running tasks
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ TECORE_GUARDED_BY(mutex_);
+  size_t in_flight_ TECORE_GUARDED_BY(mutex_) = 0;  // queued + running tasks
+  bool shutting_down_ TECORE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace util

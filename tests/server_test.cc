@@ -662,6 +662,24 @@ TEST_F(ServerTest, StopIsIdempotentAndClean) {
   server_->Stop();  // second stop is a no-op
 }
 
+TEST_F(ServerTest, ConcurrentStopsRaceCleanly) {
+  // Regression: before Stop() serialized on the lifecycle mutex, the
+  // exchange(false) loser read listen_fd_ and acceptor_.joinable() while
+  // the winner was join()ing the thread and close()ing the fd — a data
+  // race (caught by the TSan CI job running this test) and a potential
+  // double-close. Losers must block until the winner has fully stopped.
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    stoppers.emplace_back([this] { server_->Stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+
+  // After every Stop() returned the server is really down: the port no
+  // longer accepts (Http returns an empty response on connect failure).
+  EXPECT_EQ(Http(port_, "GET", "/v1/kb"), "");
+}
+
 TEST_F(ServerTest, StopOnSharedPoolIgnoresOtherServersStreams) {
   // Two servers on one registry pool; an open-ended SSE stream on B must
   // not gate Stop() on A — A waits only on its own connections.
