@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Determinism lint: static scan of src/ for constructs that leak
+nondeterminism into canonical outputs.
+
+The engine's core contract (docs/architecture.md, "Determinism") is that
+every canonical artifact — N-Quads serialization, JSON responses, WDIMACS
+solver input, published snapshots — is a pure function of the KB state.
+Three construct families silently break that:
+
+  float-format         printf-style float conversions (%f/%g/%e) or
+                       float-ish std::to_string in a serialization path.
+                       Canonical doubles must go through
+                       util::FormatDoubleExact (shortest round-trip-exact
+                       form); fixed precision makes distinct values
+                       collide and round-trips inexact.
+  unordered-iteration  iterating a std::unordered_{map,set} in a
+                       serialization path with no sort before the output
+                       escapes. Hash-iteration order is
+                       libstdc++-version- and address-dependent.
+  unstable-source      rand()/srand()/time() anywhere, and
+                       pointer-keyed std::{map,set,...} anywhere (address
+                       order varies run to run).
+
+"Serialization path" is a heuristic: the enclosing function name matches
+Serialize|Canonical|Encode|Decode|Publish|Json|Dump|Snapshot|Wire, or the
+file is a known wire-format module (rdf/io.cc, util/json.cc,
+maxsat/wcnf.cc, storage/). util::FormatDoubleExact's own implementation
+(src/util/string_util.cc) is the designated formatter and is exempt.
+
+False positives are silenced in place, with a mandatory reason:
+
+    // determinism-ok(float-format): weights feed the solver, not a parser
+
+on the flagged line or the line directly above. A suppression naming a
+rule this script does not know is itself an error (catches typos that
+would silently suppress nothing).
+
+Usage: scripts/check_determinism.py [--root DIR]
+Exit:  0 when src/ is clean, 1 otherwise.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = ("float-format", "unordered-iteration", "unstable-source")
+
+# determinism-ok(<rule>): <non-empty reason>
+SUPPRESS_RE = re.compile(r"determinism-ok\(([a-z-]+)\)\s*:\s*(\S.*)")
+
+# %[flags][width][.precision][e|f|g] — conversion letter must not be
+# followed by another letter ("100%effort" in prose is not a format).
+FLOAT_FMT_RE = re.compile(r"%[-+ #0-9.*]*[efgEFG](?![A-Za-z])")
+TO_STRING_RE = re.compile(r"std::to_string\s*\(([^;]*)\)")
+FLOAT_HINT_RE = re.compile(
+    r"(?i)(double|float|confidence|weight|prob|score|_ms\b|duration|\d\.\d)")
+
+# `std::unordered_map<K, V> name` / `std::unordered_set<K> name` member or
+# local declarations; the optional trailing macro is TECORE_GUARDED_BY.
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<.*?>\s+(\w+)")
+RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?auto\s*[^:;)]*:\s*([A-Za-z_][\w.>-]*)\s*\)")
+SORT_RE = re.compile(r"\b(?:std::)?(?:stable_)?sort\s*\(")
+
+UNSTABLE_CALL_RE = re.compile(r"\b(?:std::)?(rand|srand|time)\s*\(")
+PTR_KEY_RE = re.compile(
+    r"std::(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+
+CANONICAL_FILE_RE = re.compile(
+    r"(rdf/io\.cc|util/json\.cc|maxsat/wcnf\.cc|storage/)")
+CANONICAL_FN_RE = re.compile(
+    r"(Serialize|Canonical|Encode|Decode|Publish|Json|Dump|Snapshot|Wire)")
+EXEMPT_FN_RE = re.compile(r"FormatDouble")
+
+# A plausible function/method definition opener: `Type Class::Name(...)`
+# or `Type Name(...)` with no trailing `;` (declarations don't open a
+# body). Matched against the lstripped line so in-class definitions
+# count; control-flow keywords and assignments are excluded separately.
+FN_DEF_RE = re.compile(
+    r"^[A-Za-z_][\w:<>,&*\s]*?\s[&*]?(?:[\w~]+::)?(\w+)\s*\([^;]*$"
+    r"|^[A-Za-z_][\w:<>,&*\s]*?\s[&*]?(?:[\w~]+::)?(\w+)\s*\(.*\)"
+    r"\s*(?:const)?\s*\{")
+FN_DEF_KEYWORDS = ("return", "if", "else", "while", "for", "switch",
+                   "case", "do", "throw", "delete", "new", "co_return")
+
+# How many lines after an unordered range-for a sort() still counts as
+# ordering the output before it escapes (PredicateCounts collects into a
+# vector and sorts it a few lines later).
+SORT_WINDOW = 12
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(lines):
+    """Code-only view of each line: // and /* */ comments blanked out
+    (suppressions are read from the raw lines, not this view)."""
+    out = []
+    in_block = False
+    for raw in lines:
+        chars = []
+        i = 0
+        while i < len(raw):
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = len(raw)
+                else:
+                    i = end + 2
+                    in_block = False
+                continue
+            if raw.startswith("//", i):
+                break
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            chars.append(raw[i])
+            i += 1
+        out.append("".join(chars))
+    return out
+
+
+def suppressions(lines):
+    """Two maps: comment line -> suppressed rule, and code line ->
+    [comment lines that cover it]. A determinism-ok comment covers its
+    own line and the line directly below (so it can sit above the flagged
+    statement)."""
+    rule_at = {}
+    covering = {}
+    for i, raw in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(raw)
+        if m:
+            rule_at[i] = m.group(1)
+            covering.setdefault(i, []).append(i)
+            covering.setdefault(i + 1, []).append(i)
+    return rule_at, covering
+
+
+def scan_file(path, relpath):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    code = strip_comments(lines)
+    rule_at, covering = suppressions(lines)
+    findings = []
+    used = set()
+
+    # Unknown rule names in suppressions are themselves findings (a typo
+    # would otherwise silently suppress nothing).
+    for comment_line, rule in sorted(rule_at.items()):
+        if rule not in RULES:
+            findings.append(Finding(
+                relpath, comment_line, "unstable-source",
+                f"suppression names unknown rule '{rule}' "
+                f"(known: {', '.join(RULES)})"))
+            used.add(comment_line)  # don't also report it as unused
+
+    def emit(lineno, rule, message):
+        for comment_line in covering.get(lineno, []):
+            if rule_at[comment_line] == rule:
+                used.add(comment_line)
+                return
+        findings.append(Finding(relpath, lineno, rule, message))
+
+    canonical_file = CANONICAL_FILE_RE.search(relpath) is not None
+
+    # Track the enclosing function name as we walk the file.
+    current_fn = ""
+    unordered_names = set(
+        m.group(1) for line in code for m in UNORDERED_DECL_RE.finditer(line))
+
+    for i, line in enumerate(code, start=1):
+        stripped = line.lstrip()
+        first_word = re.match(r"\w+", stripped)
+        is_statement = (
+            first_word and first_word.group(0) in FN_DEF_KEYWORDS) or \
+            "=" in stripped.split("(", 1)[0]
+        if not is_statement:
+            m = FN_DEF_RE.match(stripped)
+            if m:
+                current_fn = m.group(1) or m.group(2) or ""
+        in_canonical = (canonical_file or CANONICAL_FN_RE.search(current_fn)) \
+            and not EXEMPT_FN_RE.search(current_fn)
+
+        # ---- unstable-source: global, no context needed
+        um = UNSTABLE_CALL_RE.search(line)
+        if um:
+            emit(i, "unstable-source",
+                 f"call to {um.group(1)}() — nondeterministic across runs; "
+                 "derive values from KB state or inject them")
+        if PTR_KEY_RE.search(line):
+            emit(i, "unstable-source",
+                 "pointer-keyed ordered container — iteration follows "
+                 "allocation addresses, which vary run to run")
+
+        if not in_canonical:
+            continue
+
+        # ---- float-format: fixed-precision doubles in canonical output
+        if FLOAT_FMT_RE.search(line):
+            emit(i, "float-format",
+                 "printf float conversion in a serialization path — "
+                 "canonical doubles must use util::FormatDoubleExact")
+        tm = TO_STRING_RE.search(line)
+        if tm and FLOAT_HINT_RE.search(tm.group(1)):
+            emit(i, "float-format",
+                 "std::to_string of a floating-point-looking value in a "
+                 "serialization path — use util::FormatDoubleExact")
+
+        # ---- unordered-iteration: hash-order leaking into output
+        fm = RANGE_FOR_RE.search(line)
+        if fm:
+            target = fm.group(1).split(".")[-1].split(">")[-1]
+            if target in unordered_names:
+                window = "\n".join(
+                    code[i:min(len(code), i + SORT_WINDOW)])
+                if not SORT_RE.search(window):
+                    emit(i, "unordered-iteration",
+                         f"iterating unordered container '{target}' in a "
+                         "serialization path with no sort in the next "
+                         f"{SORT_WINDOW} lines — hash order is not stable")
+
+    # A suppression that silenced nothing is dead weight (or a leftover
+    # after a fix) — report it so they cannot accumulate.
+    for comment_line, rule in sorted(rule_at.items()):
+        if comment_line not in used:
+            findings.append(Finding(
+                relpath, comment_line, rule,
+                "suppression comment matches no finding — delete it"))
+    return findings
+
+
+def scan_tree(root):
+    src = root / "src"
+    findings = []
+    count = 0
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        count += 1
+        findings.extend(scan_file(path, path.relative_to(root).as_posix()))
+    return findings, count
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's parent's parent)")
+    args = parser.parse_args(argv)
+
+    findings, count = scan_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"check_determinism: {len(findings)} finding(s) "
+              f"in {count} files", file=sys.stderr)
+        return 1
+    print(f"check_determinism: {count} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

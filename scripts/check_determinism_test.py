@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Self-test for the determinism lint (check_determinism.py).
+
+Each case writes a fixture C++ file and asserts which findings the lint
+produces — both directions: the constructs it exists to catch ARE caught,
+and the idiomatic patterns it must tolerate (sort-after-collect, display
+formatting outside serialization paths, FormatDoubleExact itself) are NOT.
+Runs under ctest as `determinism_lint_selftest` and in the
+static-analysis CI job.
+
+Usage: scripts/check_determinism_test.py
+Exit:  0 on success (standard unittest).
+"""
+
+import tempfile
+import unittest
+from pathlib import Path
+
+import check_determinism as lint
+
+
+def scan(source, relpath="src/core/example.cc"):
+    """Run the lint over one fixture; returns [(line, rule), ...]."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "fixture.cc"
+        path.write_text(source)
+        findings = lint.scan_file(path, relpath)
+    return [(f.line, f.rule) for f in findings]
+
+
+class FloatFormatTest(unittest.TestCase):
+    def test_flags_printf_float_in_serialization_function(self):
+        src = (
+            "std::string SerializeWeights(double w) {\n"
+            '  return StringPrintf("%.6g", w);\n'
+            "}\n")
+        self.assertEqual(scan(src), [(2, "float-format")])
+
+    def test_flags_float_format_anywhere_in_canonical_file(self):
+        src = (
+            "std::string Helper(double w) {\n"
+            '  return StringPrintf("%f", w);\n'
+            "}\n")
+        self.assertEqual(scan(src, "src/maxsat/wcnf.cc"),
+                         [(2, "float-format")])
+
+    def test_ignores_display_formatting_outside_serialization(self):
+        src = (
+            "std::string DescribeTiming(double ms) {\n"
+            '  return StringPrintf("solved in %.1f ms", ms);\n'
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+    def test_ignores_integer_conversions_in_canonical_code(self):
+        src = (
+            "std::string SerializeHeader(int n) {\n"
+            '  return StringPrintf("p wcnf %d %zu", n, n);\n'
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+    def test_ignores_format_double_exact_itself(self):
+        src = (
+            "std::string FormatDoubleExact(double value) {\n"
+            '  return StringPrintf("%.17g", value);\n'
+            "}\n")
+        self.assertEqual(scan(src, "src/util/json.cc"), [])
+
+    def test_percent_sign_in_prose_is_not_a_conversion(self):
+        src = (
+            "std::string SerializeNote() {\n"
+            '  return "100%efficient";\n'
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+    def test_flags_float_to_string_in_serialization(self):
+        src = (
+            "std::string DumpScores(double score) {\n"
+            "  return std::to_string(score);\n"
+            "}\n")
+        self.assertEqual(scan(src), [(2, "float-format")])
+
+    def test_ignores_integral_to_string_in_serialization(self):
+        src = (
+            "std::string DumpCount(const std::vector<int>& v) {\n"
+            "  return std::to_string(v.size());\n"
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    UNSORTED = (
+        "struct S {\n"
+        "  std::unordered_map<int, int> counts_;\n"
+        "  std::string SerializeCounts() const {\n"
+        "    std::string out;\n"
+        "    for (const auto& [k, v] : counts_) {\n"
+        "      out += Row(k, v);\n"
+        "    }\n"
+        "    return out;\n"
+        "  }\n"
+        "};\n")
+
+    def test_flags_unsorted_iteration_in_serialization(self):
+        self.assertEqual(scan(self.UNSORTED), [(5, "unordered-iteration")])
+
+    def test_accepts_sort_after_collect(self):
+        src = (
+            "struct S {\n"
+            "  std::unordered_map<int, int> counts_;\n"
+            "  std::vector<int> SnapshotKeys() const {\n"
+            "    std::vector<int> out;\n"
+            "    for (const auto& [k, v] : counts_) {\n"
+            "      out.push_back(k);\n"
+            "    }\n"
+            "    std::sort(out.begin(), out.end());\n"
+            "    return out;\n"
+            "  }\n"
+            "};\n")
+        self.assertEqual(scan(src), [])
+
+    def test_ignores_iteration_outside_serialization(self):
+        src = (
+            "struct S {\n"
+            "  std::unordered_map<int, int> counts_;\n"
+            "  void WarmCaches() const {\n"
+            "    for (const auto& [k, v] : counts_) {\n"
+            "      Touch(k);\n"
+            "    }\n"
+            "  }\n"
+            "};\n")
+        self.assertEqual(scan(src), [])
+
+    def test_ignores_ordered_map_iteration(self):
+        src = (
+            "struct S {\n"
+            "  std::map<std::string, int> by_name_;\n"
+            "  std::string SerializeAll() const {\n"
+            "    std::string out;\n"
+            "    for (const auto& [k, v] : by_name_) {\n"
+            "      out += k;\n"
+            "    }\n"
+            "    return out;\n"
+            "  }\n"
+            "};\n")
+        self.assertEqual(scan(src), [])
+
+
+class UnstableSourceTest(unittest.TestCase):
+    def test_flags_rand_anywhere(self):
+        src = "int Pick() { return rand() % 4; }\n"
+        self.assertEqual(scan(src), [(1, "unstable-source")])
+
+    def test_flags_time_anywhere(self):
+        src = "long Stamp() { return time(nullptr); }\n"
+        self.assertEqual(scan(src), [(1, "unstable-source")])
+
+    def test_does_not_flag_identifiers_containing_time(self):
+        src = ("long Budget() { return wait_time(options); }\n"
+               "long Tick() { return runtime_.count(); }\n")
+        self.assertEqual(scan(src), [])
+
+    def test_flags_pointer_keyed_map(self):
+        src = "std::map<Node*, int> order_;\n"
+        self.assertEqual(scan(src), [(1, "unstable-source")])
+
+    def test_ignores_time_in_comments(self):
+        src = "// measured wall time (see bench/)\nint x = 0;\n"
+        self.assertEqual(scan(src), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_same_line_suppression_silences_finding(self):
+        src = (
+            "std::string SerializeW(double w) {\n"
+            '  return StringPrintf("%.3f", w);'
+            "  // determinism-ok(float-format): display only\n"
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+    def test_line_above_suppression_silences_finding(self):
+        src = (
+            "std::string SerializeW(double w) {\n"
+            "  // determinism-ok(float-format): display only\n"
+            '  return StringPrintf("%.3f", w);\n'
+            "}\n")
+        self.assertEqual(scan(src), [])
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = (
+            "std::string SerializeW(double w) {\n"
+            "  // determinism-ok(unstable-source): wrong rule\n"
+            '  return StringPrintf("%.3f", w);\n'
+            "}\n")
+        lines_rules = scan(src)
+        self.assertIn((3, "float-format"), lines_rules)
+        # ...and the mismatched suppression is reported as unused.
+        self.assertIn((2, "unstable-source"), lines_rules)
+
+    def test_unknown_rule_is_a_finding(self):
+        src = "// determinism-ok(flaot-format): typo\nint x = 0;\n"
+        self.assertEqual(scan(src), [(1, "unstable-source")])
+
+    def test_unused_suppression_is_a_finding(self):
+        src = "// determinism-ok(float-format): leftover\nint x = 0;\n"
+        self.assertEqual(scan(src), [(1, "float-format")])
+
+
+class TreeScanTest(unittest.TestCase):
+    def test_scan_tree_walks_src_and_counts_files(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "src" / "core").mkdir(parents=True)
+            (root / "src" / "core" / "a.cc").write_text(
+                "int Pick() { return rand(); }\n")
+            (root / "src" / "core" / "b.h").write_text("int clean();\n")
+            (root / "src" / "core" / "notes.md").write_text("%g\n")
+            findings, count = lint.scan_tree(root)
+        self.assertEqual(count, 2)  # .md not scanned
+        self.assertEqual([(f.rule) for f in findings], ["unstable-source"])
+        self.assertEqual(findings[0].path, "src/core/a.cc")
+
+
+if __name__ == "__main__":
+    unittest.main()

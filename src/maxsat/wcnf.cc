@@ -69,7 +69,11 @@ std::string Wcnf::ToString() const {
   std::string out =
       StringPrintf("p wcnf %d %zu\n", num_vars_, clauses_.size());
   for (const WClause& clause : clauses_) {
-    out += clause.hard ? "h" : StringPrintf("%.6g", clause.weight);
+    // Round-trip-exact weights: two soft clauses with distinct weights
+    // must stay distinct in the WDIMACS dump (%.6g collided them past six
+    // significant digits, making the dump an inexact record of the
+    // problem the solver actually saw).
+    out += clause.hard ? "h" : FormatDoubleExact(clause.weight);
     for (Literal lit : clause.lits) out += StringPrintf(" %d", lit);
     out += " 0\n";
   }

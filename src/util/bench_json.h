@@ -37,6 +37,9 @@ class BenchJson {
     for (size_t ri = 0; ri < records_.size(); ++ri) {
       out += "    {\"name\": \"" + Escape(records_[ri].first) + "\"";
       for (const auto& [key, value] : records_[ri].second) {
+        // Bench metrics are measurements — timings vary run to run
+        // anyway, and 6 significant digits is plot precision.
+        // determinism-ok(float-format): measurement output, not canonical
         out += StringPrintf(", \"%s\": %.6g", Escape(key).c_str(), value);
       }
       out += ri + 1 < records_.size() ? "},\n" : "}\n";
