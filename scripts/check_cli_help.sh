@@ -17,9 +17,10 @@ USAGE="$("$CLI" 2>&1)"
 
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
        --edits --out --dataset --size --prefix --version --host --port
-       --kb --auth-token-file --data-dir --fsync --max-body-bytes --retain)
-COMMANDS=(stats complete suggest validate detect solve gen serve kb verify
-          version)
+       --kb --auth-token-file --data-dir --fsync --max-body-bytes --retain
+       --min-support --min-confidence --max-patterns)
+COMMANDS=(stats complete suggest mine validate detect solve gen serve kb
+          verify version)
 
 # Token-anchored match so a flag is not satisfied by a longer flag that
 # merely contains it (or a subcommand by an unrelated word).

@@ -137,6 +137,21 @@ request "GET /v1/kb/beta/graph (isolated)" 200 \
 request "GET /v1/graph (default isolated)" 200 "r['num_facts'] == 6" \
   "$BASE/graph"
 
+# 5b. constraint mining: mine rules from a KB's own facts (read-only),
+# adopt them through the rule write path, then detect with them.
+request "POST /v1/kb gamma" 201 "r['kb'] == 'gamma'" \
+  -X POST "$BASE/kb" -d '{"name":"gamma"}'
+request "POST /v1/kb/gamma/graph" 200 "r['num_facts'] == 4" \
+  -X POST "$BASE/kb/gamma/graph" -d '{"text":"CR coach Chelsea [2000,2004] 0.9 .\nCR coach Napoli [2001,2003] 0.6 .\nCR coach Leicester [2015,2017] 0.7 .\nAF coach Milan [1990,1995] 0.8 .\n"}'
+request "POST /v1/kb/gamma/mine" 200 \
+  "r['num_rules'] >= 1 and r['rules'][0]['name'] == 'disjoint_coach' and not r['adopted'] and 'disjoint_coach' in r['tcr']" \
+  -X POST "$BASE/kb/gamma/mine" -d '{"min_support":2}'
+request "POST /v1/kb/gamma/mine (adopt)" 200 \
+  "r['adopted'] and r['added'] >= 1 and r['adopted_version'] > r['version']" \
+  -X POST "$BASE/kb/gamma/mine" -d '{"min_support":2,"adopt":true}'
+request "GET /v1/kb/gamma/conflicts (mined rules detect)" 200 \
+  "r['num_conflicts'] == 1" "$BASE/kb/gamma/conflicts"
+
 # Chunked request body: curl sends chunked when told to; the server must
 # decode it (bulk streaming loads).
 request "POST /v1/kb/beta/graph (chunked)" 200 "r['num_facts'] == 2" \

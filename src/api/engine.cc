@@ -144,6 +144,15 @@ Result<std::vector<core::Suggestion>> Snapshot::SuggestConstraints(
   return core::SuggestConstraints(*graph, options);
 }
 
+Result<mine::MiningReport> Snapshot::MineConstraints(
+    const mine::MiningOptions& options) const {
+  if (!graph) return Status::InvalidArgument("no graph loaded");
+  // Mining is read-only over the frozen graph (index scans and interval
+  // probes; no interning, no mutation), so the const snapshot graph is the
+  // right input: the pass can never block or be torn by the writer.
+  return mine::Miner(options).Mine(*graph);
+}
+
 // ------------------------------------------------------------------ Engine
 
 Engine::Engine(Options options) : options_(std::move(options)) {
@@ -275,6 +284,12 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   snap->result = std::move(result);
   snap->result_options = result_options;
   snap->detect_grounding_ = options_.detect_grounding;
+  if (touched_predicates != nullptr) {
+    // Publish the write's predicate footprint for filtered subscribers
+    // (null stays null: unknown impact must match every filter).
+    snap->touched =
+        std::make_shared<const std::vector<std::string>>(*touched_predicates);
+  }
   // Conflict carry-forward: when the caller knows which predicates this
   // write touched (and the rule set is unchanged — the caller's contract
   // for passing non-null), a cached conflict report survives the write iff

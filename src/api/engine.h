@@ -17,6 +17,7 @@
 #include "core/resolver.h"
 #include "core/suggest.h"
 #include "kb/statistics.h"
+#include "mine/miner.h"
 #include "rdf/graph.h"
 #include "rules/ast.h"
 #include "rules/validator.h"
@@ -69,6 +70,11 @@ class Snapshot {
   /// computed under.
   std::shared_ptr<const core::ResolveResult> result;
   core::ResolveOptions result_options;
+  /// Sorted lexical predicate names the write producing this version could
+  /// have affected (empty = none, e.g. a solve). Null when the impact is
+  /// unknown (graph loads, rule writes, recovery) — filtered subscribers
+  /// must treat null as "matches any filter".
+  std::shared_ptr<const std::vector<std::string>> touched;
 
   bool has_graph() const { return graph != nullptr; }
   bool has_result() const { return result != nullptr; }
@@ -90,6 +96,13 @@ class Snapshot {
   /// \brief Mine candidate constraints (read-only).
   Result<std::vector<core::Suggestion>> SuggestConstraints(
       const core::SuggestOptions& options = {}) const;
+
+  /// \brief Pattern-based constraint mining over this frozen version
+  /// (src/mine/): exact support/violation counting, canonical ranking,
+  /// `.tcr`-ready rules. Read-only and snapshot-local, so it never blocks
+  /// the writer; safe to call concurrently.
+  Result<mine::MiningReport> MineConstraints(
+      const mine::MiningOptions& options = {}) const;
 
  private:
   friend class Engine;

@@ -104,6 +104,33 @@ Result<SuggestRequest> SuggestRequest::FromJson(const Json& json) {
   return req;
 }
 
+Result<MineRequest> MineRequest::FromJson(const Json& json) {
+  MineRequest req;
+  if (json.is_null()) return req;  // empty body -> defaults
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  req.options.min_support = static_cast<size_t>(json.GetInt(
+      "min_support", static_cast<int64_t>(req.options.min_support)));
+  req.options.min_confidence =
+      json.GetNumber("min_confidence", req.options.min_confidence);
+  req.options.max_patterns = static_cast<size_t>(json.GetInt(
+      "max_patterns", static_cast<int64_t>(req.options.max_patterns)));
+  req.options.max_predicate_pairs = static_cast<size_t>(
+      json.GetInt("max_predicate_pairs",
+                  static_cast<int64_t>(req.options.max_predicate_pairs)));
+  req.options.max_bucket_facts = static_cast<size_t>(
+      json.GetInt("max_bucket_facts",
+                  static_cast<int64_t>(req.options.max_bucket_facts)));
+  req.options.num_threads = static_cast<int>(
+      json.GetInt("threads", req.options.num_threads));
+  req.adopt = json.GetBool("adopt", req.adopt);
+  if (req.options.min_confidence < 0.0 || req.options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0,1]");
+  }
+  return req;
+}
+
 Result<KbCreateRequest> KbCreateRequest::FromJson(const Json& json) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request body must be a JSON object");
@@ -220,6 +247,62 @@ Json SuggestJson(const Snapshot& snapshot,
   }
   out.Set("num_suggestions", Json::Int(static_cast<int64_t>(items.Size())));
   out.Set("suggestions", std::move(items));
+  return out;
+}
+
+Json MineJson(uint64_t version, const mine::MiningReport& report,
+              const mine::MiningOptions& options) {
+  Json out = ResponseEnvelope(version);
+  Json opts = Json::Object();
+  opts.Set("min_support",
+           Json::Int(static_cast<int64_t>(options.min_support)));
+  opts.Set("min_confidence", Json::Number(options.min_confidence));
+  opts.Set("max_patterns",
+           Json::Int(static_cast<int64_t>(options.max_patterns)));
+  opts.Set("max_predicate_pairs",
+           Json::Int(static_cast<int64_t>(options.max_predicate_pairs)));
+  opts.Set("max_bucket_facts",
+           Json::Int(static_cast<int64_t>(options.max_bucket_facts)));
+  out.Set("options", std::move(opts));
+  Json counters = Json::Object();
+  counters.Set("predicates_profiled",
+               Json::Int(static_cast<int64_t>(report.predicates_profiled)));
+  counters.Set("predicates_skipped",
+               Json::Int(static_cast<int64_t>(report.predicates_skipped)));
+  counters.Set("pairs_examined",
+               Json::Int(static_cast<int64_t>(report.pairs_examined)));
+  counters.Set("pairs_dropped",
+               Json::Int(static_cast<int64_t>(report.pairs_dropped)));
+  counters.Set("patterns_considered",
+               Json::Int(static_cast<int64_t>(report.patterns_considered)));
+  counters.Set("patterns_dropped",
+               Json::Int(static_cast<int64_t>(report.patterns_dropped)));
+  counters.Set("truncated_buckets",
+               Json::Int(static_cast<int64_t>(report.truncated_buckets)));
+  out.Set("counters", std::move(counters));
+  out.Set("mine_time_ms", Json::Number(report.mine_time_ms));
+  Json rules = Json::Array();
+  for (const mine::MinedRule& mined : report.rules) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(mined.rule.name));
+    entry.Set("kind", Json::Str(mine::PatternKindName(mined.kind)));
+    entry.Set("predicate", Json::Str(mined.predicate));
+    if (!mined.second_predicate.empty()) {
+      entry.Set("second_predicate", Json::Str(mined.second_predicate));
+    }
+    entry.Set("support", Json::Int(static_cast<int64_t>(mined.support)));
+    entry.Set("violations",
+              Json::Int(static_cast<int64_t>(mined.violations)));
+    entry.Set("confidence", Json::Number(mined.confidence));
+    entry.Set("violation_mass", Json::Number(mined.violation_mass));
+    entry.Set("hard", Json::Bool(mined.rule.hard));
+    if (!mined.rule.hard) entry.Set("weight", Json::Number(mined.rule.weight));
+    entry.Set("text", Json::Str(mined.rule.ToString()));
+    rules.Append(std::move(entry));
+  }
+  out.Set("num_rules", Json::Int(static_cast<int64_t>(rules.Size())));
+  out.Set("rules", std::move(rules));
+  out.Set("tcr", Json::Str(mine::WriteMinedRulesText(report, options)));
   return out;
 }
 

@@ -69,6 +69,16 @@ struct SuggestRequest {
   static Result<SuggestRequest> FromJson(const util::Json& json);
 };
 
+/// \brief Body of `POST /v1/kb/{name}/mine` (all fields optional).
+struct MineRequest {
+  mine::MiningOptions options;
+  /// Install the mined rules through the normal AddRules write path
+  /// (WAL-logged, crash-safe) after mining.
+  bool adopt = false;
+
+  static Result<MineRequest> FromJson(const util::Json& json);
+};
+
 /// \brief Body of `POST /v1/kb`: `{"name": "<kb>"}`.
 struct KbCreateRequest {
   std::string name;
@@ -97,6 +107,14 @@ util::Json CompleteJson(const Snapshot& snapshot, const std::string& prefix);
 /// \brief `GET|POST /v1/suggest` — mined constraint suggestions.
 util::Json SuggestJson(const Snapshot& snapshot,
                        const std::vector<core::Suggestion>& suggestions);
+
+/// \brief `POST /v1/kb/{name}/mine` — the mining report: ranked rules
+/// with evidence, exact work counters, and the canonical `.tcr` document
+/// (`tcr`) ready to save or POST back to `/rules`. `version` is the
+/// snapshot the pass ran on; the handler adds `adopted`/`adopted_version`
+/// when the rules were installed.
+util::Json MineJson(uint64_t version, const mine::MiningReport& report,
+                    const mine::MiningOptions& options);
 
 /// \brief `GET /v1/conflicts?limit=N` — detection report; at most `limit`
 /// conflicts are listed (counts always cover the full report).

@@ -11,6 +11,8 @@
 //   tecore-cli solve    --graph g.tq --rules r.tcr --solver mln
 //                       [--threshold 0.5] [--threads N] [--out repaired.tq]
 //                       [--edits script.tq]
+//   tecore-cli mine     --graph g.tq [--out rules.tcr] [--min-support N]
+//                       [--min-confidence X] [--max-patterns N] [--threads N]
 //   tecore-cli gen      --dataset football|wikidata|example --out g.tq [--size N]
 //   tecore-cli serve    [--port 8080] [--kb name] [--graph g.tq]
 //                       [--rules r.tcr] [--auth-token-file f]
@@ -49,6 +51,7 @@
 #include "api/version.h"
 #include "core/session.h"
 #include "datagen/generators.h"
+#include "mine/miner.h"
 #include "rdf/io.h"
 #include "rules/library.h"
 #include "rules/parser.h"
@@ -65,12 +68,20 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: tecore-cli "
-               "<stats|complete|suggest|validate|detect|solve|gen|serve"
+               "<stats|complete|suggest|mine|validate|detect|solve|gen|serve"
                "|kb|version>\n"
                "                  [--graph f] [--rules f] [--solver mln|psl]"
                " [--threshold x] [--threads n]\n"
                "                  [--ground-threads n] [--edits f] [--out f]"
                " [--dataset d] [--size n] [--prefix p]\n"
+               "  mine               mine temporal constraints from the KB"
+               " itself and emit them as a\n"
+               "                     weighted .tcr rule file (--graph g.tq"
+               " [--out f.tcr] [--min-support n]\n"
+               "                     [--min-confidence x] [--max-patterns n]"
+               " [--threads n]; docs/mining.md;\n"
+               "                     output is byte-identical at every"
+               " --threads value)\n"
                "  --threads n        executors for per-component MAP solving"
                " (0 = auto)\n"
                "  --ground-threads n executors for the semi-naive grounding"
@@ -309,6 +320,77 @@ int main(int argc, char** argv) {
       std::printf("%s\n# evidence: %s\n", s.rule.ToString().c_str(),
                   s.rationale.c_str());
     }
+    return 0;
+  }
+
+  if (command == "mine") {
+    if (!ParseFlags(argc, argv, 2,
+                    {"graph", "out", "min-support", "min-confidence",
+                     "max-patterns", "threads"},
+                    &flags)) {
+      return Usage();
+    }
+    auto graph_it = flags.find("graph");
+    if (graph_it == flags.end()) {
+      std::fprintf(stderr, "--graph is required\n");
+      return Usage();
+    }
+    mine::MiningOptions options;
+    if (flags.count("min-support")) {
+      int value = 0;
+      if (!ParseIntFlag(flags["min-support"], &value) || value < 0) {
+        std::fprintf(stderr, "invalid --min-support value '%s'\n",
+                     flags["min-support"].c_str());
+        return 2;
+      }
+      options.min_support = static_cast<size_t>(value);
+    }
+    if (flags.count("min-confidence") &&
+        (!ParseDouble(flags["min-confidence"], &options.min_confidence) ||
+         options.min_confidence < 0.0 || options.min_confidence > 1.0)) {
+      std::fprintf(stderr, "invalid --min-confidence value '%s'\n",
+                   flags["min-confidence"].c_str());
+      return 2;
+    }
+    if (flags.count("max-patterns")) {
+      int value = 0;
+      if (!ParseIntFlag(flags["max-patterns"], &value) || value < 0) {
+        std::fprintf(stderr, "invalid --max-patterns value '%s'\n",
+                     flags["max-patterns"].c_str());
+        return 2;
+      }
+      options.max_patterns = static_cast<size_t>(value);
+    }
+    if (flags.count("threads") &&
+        !ParseIntFlag(flags["threads"], &options.num_threads)) {
+      std::fprintf(stderr, "invalid --threads value '%s'\n",
+                   flags["threads"].c_str());
+      return 2;
+    }
+    // The same thread budget drives the chunked parallel load; both are
+    // deterministic, so the emitted document is byte-identical at any
+    // --threads value.
+    rdf::ParseOptions parse_options;
+    parse_options.num_threads = options.num_threads;
+    auto graph = rdf::LoadGraphFile(graph_it->second, parse_options);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    const mine::MiningReport report = mine::Miner(options).Mine(*graph);
+    const std::string text = mine::WriteMinedRulesText(report, options);
+    if (!flags.count("out")) {
+      std::fputs(text.c_str(), stdout);
+      return 0;
+    }
+    Status saved = util::WriteStringToFile(flags["out"], text);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("mined %zu rule(s) from %zu predicate(s), wrote %s\n",
+                report.rules.size(), report.predicates_profiled,
+                flags["out"].c_str());
     return 0;
   }
 

@@ -1,5 +1,7 @@
 #include "rules/ast.h"
 
+#include <fstream>
+
 #include "util/string_util.h"
 
 namespace tecore {
@@ -69,6 +71,17 @@ std::string RuleSet::ToString() const {
     out += "\n";
   }
   return out;
+}
+
+std::string WriteRulesText(const RuleSet& rules) { return rules.ToString(); }
+
+Status SaveRulesFile(const RuleSet& rules, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << WriteRulesText(rules);
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
 }
 
 }  // namespace rules

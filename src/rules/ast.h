@@ -7,6 +7,7 @@
 
 #include "logic/atom.h"
 #include "logic/variable.h"
+#include "util/status.h"
 
 namespace tecore {
 namespace rules {
@@ -82,6 +83,17 @@ struct RuleSet {
 
   std::string ToString() const;
 };
+
+/// \brief Canonical `.tcr` serialization of a rule set: one rule per line
+/// in `Rule::ToString` form, trailing newline. This is the official
+/// emitter for machine-written rule files (the WAL/checkpoint payload and
+/// the miner's output): weights render via `FormatDoubleExact`, so
+/// `ParseRules(WriteRulesText(set))` reproduces `set` and re-emits
+/// bit-identically.
+std::string WriteRulesText(const RuleSet& rules);
+
+/// \brief Write `WriteRulesText(rules)` to `path`.
+Status SaveRulesFile(const RuleSet& rules, const std::string& path);
 
 }  // namespace rules
 }  // namespace tecore

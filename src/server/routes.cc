@@ -220,6 +220,36 @@ HttpResponse HandleSuggest(api::Engine* engine, const HttpRequest& request) {
   return JsonResponse(200, api::SuggestJson(*snap, *suggestions));
 }
 
+HttpResponse HandleMine(api::Engine* engine, const HttpRequest& request) {
+  if (request.method != "POST") {
+    return MethodNotAllowed(request.method, "POST");
+  }
+  auto body = ParseBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto req = api::MineRequest::FromJson(*body);
+  if (!req.ok()) return ErrorResponse(req.status());
+  auto resolved = ResolveReadSnapshot(engine, request);
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  const auto& snap = *resolved;
+  auto report = snap->MineConstraints(req->options);
+  if (!report.ok()) return ErrorResponse(report.status());
+  Json out = api::MineJson(snap->version, *report, req->options);
+  if (req->adopt) {
+    // Adoption goes through the normal rule write path: WAL-logged,
+    // serialized with other writers, published as a new version.
+    auto adopted = engine->AddRules(report->ToRuleSet());
+    if (!adopted.ok()) return ErrorResponse(adopted.status());
+    out.Set("adopted", Json::Bool(true));
+    out.Set("added",
+            Json::Int(static_cast<int64_t>(report->rules.size())));
+    out.Set("adopted_version",
+            Json::Int(static_cast<int64_t>((*adopted)->version)));
+  } else {
+    out.Set("adopted", Json::Bool(false));
+  }
+  return JsonResponse(200, out);
+}
+
 // -------------------------------------------------------- subscriptions
 
 /// Mailbox between a tenant engine's publish hook (writer thread) and the
@@ -250,6 +280,31 @@ std::string SseEvent(const char* event, const Json& data,
 /// never reach it: versions count publishes).
 constexpr uint64_t kNoResume = ~0ull;
 
+/// Does a `?predicates=` filter match this snapshot's publish? True when
+/// the filter is empty (unfiltered stream), when the snapshot does not
+/// know what its write touched (`touched == nullptr` — graph loads, rule
+/// writes, recovery: conservatively deliver), or when the sorted
+/// touched-predicate list intersects the sorted filter. A snapshot with
+/// an *empty* touched list (e.g. a solve) touched no predicate, so a
+/// filtered stream skips it.
+bool FilterMatches(const std::vector<std::string>& filter,
+                   const api::Snapshot& snap) {
+  if (filter.empty()) return true;
+  if (snap.touched == nullptr) return true;
+  const std::vector<std::string>& touched = *snap.touched;
+  size_t i = 0, j = 0;
+  while (i < filter.size() && j < touched.size()) {
+    const int cmp = filter[i].compare(touched[j]);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
 /// The long-lived body of `GET /v1/kb/{name}/subscribe`: push one
 /// `snapshot` event per publish, in version order, with no gaps or
 /// duplicates. Runs on a connection worker until the client disconnects,
@@ -263,9 +318,19 @@ constexpr uint64_t kNoResume = ~0ull;
 /// When the missed range has left the log's tail — or the KB is
 /// in-memory — the stream falls back to the snapshot alone, which is
 /// always a complete resync point.
+///
+/// Filtering: `?predicates=p1,p2` narrows the stream to versions whose
+/// write touched one of the listed predicates (see FilterMatches for the
+/// exact semantics). Suppressed versions still advance the stream's
+/// resume cursor via a `: skip <version>` comment, so `Last-Event-ID`
+/// reconnects stay gap-free; they do not count toward `max_events`. The
+/// initial snapshot and the edit-log fallback replay are always
+/// unfiltered (both are resync points, not publish notifications).
 void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
                         const std::string& kb, uint64_t max_events,
-                        uint64_t resume_after, ResponseStream* stream) {
+                        uint64_t resume_after,
+                        const std::vector<std::string>& predicates,
+                        ResponseStream* stream) {
   auto sub = std::make_shared<SseSubscriber>();
   const uint64_t listener = engine->AddPublishListener(
       [sub](std::shared_ptr<const api::Snapshot> snap) {
@@ -303,6 +368,13 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
     const auto retained = engine->RetainedSince(resume_after);
     if (!retained.empty()) {
       for (const auto& snap : retained) {
+        if (!FilterMatches(predicates, *snap)) {
+          alive = stream->Write(StringPrintf(
+              ": skip %llu\n\n", (unsigned long long)snap->version));
+          if (!alive) break;
+          last_version = snap->version;
+          continue;
+        }
         alive = stream->Write(SseEvent("snapshot", api::KbInfoJson(kb, *snap),
                                        snap->version, true));
         if (!alive) break;
@@ -379,6 +451,14 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
     for (const auto& snap : batch) {
       if (snap->version <= last_version) continue;  // initial-event overlap
       last_version = snap->version;
+      if (!FilterMatches(predicates, *snap)) {
+        // Comment, not event: clients' Last-Event-ID is unchanged, but the
+        // connection shows liveness and tests can observe the suppression.
+        alive = stream->Write(StringPrintf(
+            ": skip %llu\n\n", (unsigned long long)snap->version));
+        if (!alive) break;
+        continue;
+      }
       alive = stream->Write(SseEvent("snapshot", api::KbInfoJson(kb, *snap),
                                      snap->version, true));
       if (!alive) break;
@@ -422,14 +502,32 @@ HttpResponse HandleSubscribe(std::shared_ptr<api::Engine> engine,
     }
     resume_after = static_cast<uint64_t>(parsed);
   }
+  // ?predicates=p1,p2 — narrow the stream to publishes touching one of
+  // these predicates. Sorted + deduped here so the per-event match is a
+  // linear merge.
+  std::vector<std::string> predicates;
+  const std::string predicates_param = request.QueryParam("predicates", "");
+  if (!predicates_param.empty()) {
+    for (const std::string& part : Split(predicates_param, ',')) {
+      std::string name(Trim(part));
+      if (!name.empty()) predicates.push_back(std::move(name));
+    }
+    std::sort(predicates.begin(), predicates.end());
+    predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                     predicates.end());
+    if (predicates.empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "bad predicates filter: no non-empty names"));
+    }
+  }
   HttpResponse out;
   out.status = 200;
   out.content_type = "text/event-stream";
   out.headers.emplace_back("Cache-Control", "no-cache");
   out.stream = [engine = std::move(engine), kb,
-                max = static_cast<uint64_t>(max_events),
-                resume_after](ResponseStream* stream) {
-    StreamSubscription(engine, kb, max, resume_after, stream);
+                max = static_cast<uint64_t>(max_events), resume_after,
+                predicates = std::move(predicates)](ResponseStream* stream) {
+    StreamSubscription(engine, kb, max, resume_after, predicates, stream);
   };
   return out;
 }
@@ -488,6 +586,7 @@ HttpResponse DispatchEndpoint(std::shared_ptr<api::Engine> engine,
   if (endpoint == "stats") return HandleStats(engine.get(), request);
   if (endpoint == "complete") return HandleComplete(engine.get(), request);
   if (endpoint == "suggest") return HandleSuggest(engine.get(), request);
+  if (endpoint == "mine") return HandleMine(engine.get(), request);
   if (endpoint == "subscribe") {
     return HandleSubscribe(std::move(engine), kb, request);
   }
@@ -501,7 +600,7 @@ HttpResponse DispatchEndpoint(std::shared_ptr<api::Engine> engine,
 bool IsLegacyEndpoint(const std::string& endpoint) {
   static const char* kLegacy[] = {"graph",     "rules", "solve",
                                   "edits",     "conflicts", "stats",
-                                  "complete",  "suggest"};
+                                  "complete",  "suggest", "mine"};
   for (const char* name : kLegacy) {
     if (endpoint == name) return true;
   }

@@ -434,7 +434,9 @@ struct SseReader {
   }
 
   /// Blocks until one more frame (headers skipped) or EOF; empty = EOF.
-  std::string NextFrame() {
+  /// Comment frames (keep-alives, `: skip <v>` suppressions) are dropped
+  /// unless `keep_comments` is set.
+  std::string NextFrame(bool keep_comments = false) {
     for (;;) {
       // Strip the response headers once.
       const size_t head = buffer.find("\r\n\r\n");
@@ -443,7 +445,7 @@ struct SseReader {
       if (frame_end != std::string::npos) {
         std::string frame = buffer.substr(0, frame_end);
         buffer.erase(0, frame_end + 2);
-        if (frame.rfind(":", 0) == 0) continue;  // heartbeat comment
+        if (!keep_comments && frame.rfind(":", 0) == 0) continue;
         return frame;
       }
       char chunk[4096];
@@ -552,6 +554,108 @@ TEST_F(ServerTest, SseMaxEventsAndDigestShape) {
       << close_frame;
   EXPECT_EQ(watcher.NextFrame(), "");  // then EOF
   watcher.Close();
+}
+
+TEST_F(ServerTest, SsePredicateFilterSkipsUntouchedVersions) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"filt\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/filt/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);
+
+  SseReader reader;
+  ASSERT_TRUE(reader.Open(port_, "/v1/kb/filt/subscribe?predicates=q,r"));
+  const std::string initial = reader.NextFrame();
+  ASSERT_NE(initial, "");  // initial snapshot is always delivered
+  const int64_t base = VersionOf(initial);
+  ASSERT_GE(base, 1);
+
+  // One edit touching only p (filtered out), then one touching q
+  // (delivered).
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/filt/edits",
+                          "{\"script\":\"+ a p c [3,4] 0.5 .\\n\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/filt/edits",
+                          "{\"script\":\"+ a q d [5,6] 0.5 .\\n\"}")),
+            200);
+
+  // The p-only version surfaces as a `: skip` comment (resume cursor
+  // still advances), the q version as a real snapshot event.
+  bool saw_skip = false;
+  std::string frame;
+  for (;;) {
+    frame = reader.NextFrame(/*keep_comments=*/true);
+    ASSERT_NE(frame, "") << "stream ended before the q edit arrived";
+    if (frame.rfind(":", 0) == 0) {
+      saw_skip = saw_skip ||
+                 frame.find(StringPrintf(": skip %lld",
+                                         (long long)(base + 1))) == 0;
+      continue;
+    }
+    break;
+  }
+  EXPECT_TRUE(saw_skip);
+  EXPECT_NE(frame.find("event: snapshot"), std::string::npos) << frame;
+  EXPECT_EQ(VersionOf(frame), base + 2) << frame;
+  reader.Close();
+
+  // Malformed filter: only empty names.
+  EXPECT_EQ(StatusOf(Http(port_, "GET",
+                          "/v1/kb/filt/subscribe?predicates=%2C")),
+            400);
+}
+
+TEST_F(ServerTest, MineEndpointDiscoversAndAdoptsRules) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"miner\"}")),
+            201);
+  // 30 players with two non-overlapping club spells each: textbook
+  // disjointness evidence.
+  std::string tq;
+  for (int i = 0; i < 30; ++i) {
+    tq += StringPrintf("pl%d playsFor club%d [2000,2003] 0.9 .\\n", i,
+                       i % 5);
+    tq += StringPrintf("pl%d playsFor club%d [2005,2008] 0.8 .\\n", i,
+                       5 + i % 5);
+  }
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/miner/graph",
+                          "{\"text\":\"" + tq + "\"}")),
+            200);
+
+  // Read-only mine: report + canonical .tcr document, nothing installed.
+  const std::string response =
+      Http(port_, "POST", "/v1/kb/miner/mine", "{\"min_support\":5}");
+  ASSERT_EQ(StatusOf(response), 200) << response;
+  const util::Json body = BodyOf(response);
+  EXPECT_FALSE(body.GetBool("adopted", true));
+  ASSERT_GE(body.GetInt("num_rules", 0), 1) << response;
+  const util::Json* rules = body.Find("rules");
+  ASSERT_NE(rules, nullptr);
+  ASSERT_TRUE(rules->is_array());
+  ASSERT_FALSE(rules->items().empty());
+  const util::Json& top = rules->items().front();
+  EXPECT_EQ(top.GetString("name", ""), "disjoint_playsFor");
+  EXPECT_EQ(top.GetString("kind", ""), "disjointness");
+  EXPECT_TRUE(top.GetBool("hard", false));  // clean data
+  EXPECT_NE(body.GetString("tcr", "").find("disjoint_playsFor"),
+            std::string::npos);
+  ASSERT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/miner/mine")), 405);
+
+  // Adopt: the mined rules land via the normal WAL'd rule write and the
+  // conflicts endpoint detects with them.
+  const std::string adopt = Http(port_, "POST", "/v1/kb/miner/mine",
+                                 "{\"min_support\":5,\"adopt\":true}");
+  ASSERT_EQ(StatusOf(adopt), 200) << adopt;
+  const util::Json adopted = BodyOf(adopt);
+  EXPECT_TRUE(adopted.GetBool("adopted", false));
+  EXPECT_GE(adopted.GetInt("added", 0), 1);
+  EXPECT_GT(adopted.GetInt("adopted_version", 0),
+            adopted.GetInt("version", 0));
+  const util::Json rules_now =
+      BodyOf(Http(port_, "GET", "/v1/kb/miner/rules"));
+  EXPECT_GE(rules_now.GetInt("num_rules", 0), 1);
+  const util::Json conflicts =
+      BodyOf(Http(port_, "GET", "/v1/kb/miner/conflicts"));
+  EXPECT_EQ(conflicts.GetInt("num_conflicts", -1), 0);  // clean data
 }
 
 TEST_F(ServerTest, AsOfTimeTravelReads) {
