@@ -27,6 +27,7 @@
 
 #include "api/registry.h"
 #include "datagen/generators.h"
+#include "obs/metrics.h"
 #include "rules/library.h"
 #include "server/http_server.h"
 #include "server/routes.h"
@@ -106,6 +107,80 @@ class Client {
 
 const std::vector<std::string> kReadPaths = {
     "/v1/graph", "/v1/stats", "/v1/complete?prefix=plays", "/v1/conflicts"};
+
+/// Endpoint labels the workloads above exercise, as recorded by the
+/// server's own `tecore_http_request_duration_micros{endpoint=…}`
+/// histogram (the bench runs in-process, so the default metrics registry
+/// is the server's).
+const std::vector<std::string> kTimedEndpoints = {
+    "graph", "stats", "complete", "conflicts", "edits"};
+
+obs::Histogram::Snapshot SnapEndpoint(const std::string& endpoint) {
+  return obs::Registry::Default()
+      ->GetHistogram("tecore_http_request_duration_micros",
+                     {{"endpoint", endpoint}},
+                     obs::Histogram::DefaultLatencyBounds())
+      ->Snap();
+}
+
+/// Cumulative-histogram delta: observations between two scrapes.
+obs::Histogram::Snapshot Minus(obs::Histogram::Snapshot now,
+                               const obs::Histogram::Snapshot& base) {
+  for (size_t i = 0; i < now.counts.size(); ++i) {
+    now.counts[i] -= base.counts[i];
+  }
+  now.count -= base.count;
+  now.sum -= base.sum;
+  return now;
+}
+
+/// Merge per-endpoint deltas into one distribution (identical bounds).
+obs::Histogram::Snapshot Merge(
+    const std::vector<obs::Histogram::Snapshot>& parts) {
+  obs::Histogram::Snapshot out = parts.front();
+  for (size_t p = 1; p < parts.size(); ++p) {
+    for (size_t i = 0; i < out.counts.size(); ++i) {
+      out.counts[i] += parts[p].counts[i];
+    }
+    out.count += parts[p].count;
+    out.sum += parts[p].sum;
+  }
+  return out;
+}
+
+/// Records server-side p50/p95/p99 (µs) of one distribution into the
+/// current bench record and echoes them on stdout.
+void RecordLatency(BenchJson* bench, const obs::Histogram::Snapshot& snap) {
+  bench->Metric("p50_micros", static_cast<double>(snap.Quantile(0.50)));
+  bench->Metric("p95_micros", static_cast<double>(snap.Quantile(0.95)));
+  bench->Metric("p99_micros", static_cast<double>(snap.Quantile(0.99)));
+  std::printf("    server-side latency: p50=%llu µs p95=%llu µs p99=%llu µs\n",
+              static_cast<unsigned long long>(snap.Quantile(0.50)),
+              static_cast<unsigned long long>(snap.Quantile(0.95)),
+              static_cast<unsigned long long>(snap.Quantile(0.99)));
+}
+
+/// One snapshot per timed endpoint, in kTimedEndpoints order.
+std::vector<obs::Histogram::Snapshot> SnapAll() {
+  std::vector<obs::Histogram::Snapshot> out;
+  out.reserve(kTimedEndpoints.size());
+  for (const std::string& endpoint : kTimedEndpoints) {
+    out.push_back(SnapEndpoint(endpoint));
+  }
+  return out;
+}
+
+/// Delta of every timed endpoint since `base`, merged.
+obs::Histogram::Snapshot DeltaSince(
+    const std::vector<obs::Histogram::Snapshot>& base) {
+  std::vector<obs::Histogram::Snapshot> deltas;
+  deltas.reserve(kTimedEndpoints.size());
+  const std::vector<obs::Histogram::Snapshot> now = SnapAll();
+  for (size_t i = 0; i < now.size(); ++i) {
+    deltas.push_back(Minus(now[i], base[i]));
+  }
+  return Merge(deltas);
+}
 
 /// Run `clients` reader threads for `requests_each` requests each,
 /// cycling through `paths`; returns total successful requests.
@@ -221,6 +296,7 @@ int main(int argc, char** argv) {
   // ---- read-only scaling (legacy single-KB paths → default KB) ----
   for (int clients : {1, 2, 4}) {
     std::atomic<bool> failed{false};
+    const auto base = SnapAll();
     Timer timer;
     const size_t completed =
         RunReaders(*port, clients, requests_each, kReadPaths, &failed);
@@ -237,6 +313,7 @@ int main(int argc, char** argv) {
     bench.Metric("requests_per_sec", rps);
     std::printf("  readonly clients=%d: %zu req in %.1f ms (%.0f req/s)\n",
                 clients, completed, ms, rps);
+    RecordLatency(&bench, DeltaSince(base));
   }
 
   // ---- mixed: 3 readers + 1 edit client ----
@@ -245,6 +322,7 @@ int main(int argc, char** argv) {
     std::atomic<bool> readers_done{false};
     std::atomic<size_t> edits_done{0};
     double edit_ms_total = 0.0;
+    const auto base = SnapAll();
     std::thread editor([&] {
       Client client(*port);
       if (!client.ok()) {
@@ -289,6 +367,7 @@ int main(int argc, char** argv) {
         "%zu edit batches (%.1f ms/batch)\n",
         completed, ms, rps, edits,
         edits == 0 ? 0.0 : edit_ms_total / static_cast<double>(edits));
+    RecordLatency(&bench, DeltaSince(base));
   }
 
   // ---- multi-tenant: 4 clients, reads spread over 4 KBs ----
@@ -302,6 +381,7 @@ int main(int argc, char** argv) {
       }
     }
     std::atomic<bool> failed{false};
+    const auto base = SnapAll();
     Timer timer;
     const size_t completed =
         RunReaders(*port, kTenants, requests_each, tenant_paths, &failed);
@@ -321,6 +401,26 @@ int main(int argc, char** argv) {
     std::printf("  multitenant kbs=%d clients=%d: %zu req in %.1f ms"
                 " (%.0f req/s)\n",
                 kTenants, kTenants, completed, ms, rps);
+    RecordLatency(&bench, DeltaSince(base));
+  }
+
+  // ---- per-endpoint latency distribution over the whole run ----
+  for (const std::string& endpoint : kTimedEndpoints) {
+    const obs::Histogram::Snapshot snap = SnapEndpoint(endpoint);
+    if (snap.count == 0) continue;
+    bench.NewRecord(StringPrintf("latency/%s", endpoint.c_str()));
+    bench.Metric("requests", static_cast<double>(snap.count));
+    bench.Metric("mean_micros", static_cast<double>(snap.sum) /
+                                    static_cast<double>(snap.count));
+    bench.Metric("p50_micros", static_cast<double>(snap.Quantile(0.50)));
+    bench.Metric("p95_micros", static_cast<double>(snap.Quantile(0.95)));
+    bench.Metric("p99_micros", static_cast<double>(snap.Quantile(0.99)));
+    std::printf("  latency %s: n=%llu p50=%llu µs p95=%llu µs p99=%llu µs\n",
+                endpoint.c_str(),
+                static_cast<unsigned long long>(snap.count),
+                static_cast<unsigned long long>(snap.Quantile(0.50)),
+                static_cast<unsigned long long>(snap.Quantile(0.95)),
+                static_cast<unsigned long long>(snap.Quantile(0.99)));
   }
 
   http.Stop();

@@ -18,6 +18,7 @@ USAGE="$("$CLI" 2>&1)"
 FLAGS=(--graph --rules --solver --threshold --threads --ground-threads
        --edits --out --dataset --size --prefix --version --host --port
        --kb --auth-token-file --data-dir --fsync --max-body-bytes --retain
+       --kb-tokens-file --access-log
        --min-support --min-confidence --max-patterns)
 COMMANDS=(stats complete suggest mine validate detect solve gen serve kb
           verify version)

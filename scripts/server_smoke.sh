@@ -23,7 +23,9 @@ trap 'kill "$SERVER_PID" "$AUTH_PID" "$DUR_PID" 2>/dev/null; rm -rf "$WORKDIR"' 
 AUTH_PID=""
 DUR_PID=""
 
-"$SERVER" --port 0 >"$LOG" 2>&1 &
+# --access-log (no path) writes one line per request to stderr -> $LOG,
+# asserted in the observability phase below.
+"$SERVER" --port 0 --access-log >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Parse the ephemeral port off a server's startup line (stable contract).
@@ -115,6 +117,38 @@ request "POST /v1/edits" 200 \
 request "GET /v1/stats (post-edit)" 200 "r['stats']['num_facts'] == 6" \
   "$BASE/stats"
 
+# 4b. observability: /metrics exposes asserted values (not just a 200).
+METRICS="$(curl -sS "http://127.0.0.1:$PORT/metrics" 2>>"$LOG")"
+# metric <series-with-labels> -> value (empty if absent)
+metric() { grep -F "$1 " <<<"$METRICS" | awk '{print $2}'; }
+if [[ "$(metric 'tecore_kb_facts{kb="default"}')" == "6" ]]; then
+  echo "ok   /metrics tecore_kb_facts{kb=default} == 6"
+else
+  echo "FAIL /metrics kb facts gauge: got '$(metric 'tecore_kb_facts{kb="default"}')'" >&2
+  fail=1
+fi
+GRAPH_2XX="$(metric 'tecore_http_requests_total{endpoint="graph",status="2xx"}')"
+if [[ -n "$GRAPH_2XX" && "$GRAPH_2XX" -ge 2 ]]; then
+  echo "ok   /metrics graph request counter ($GRAPH_2XX)"
+else
+  echo "FAIL /metrics graph request counter: got '$GRAPH_2XX'" >&2
+  fail=1
+fi
+SOLVES="$(metric 'tecore_stage_duration_micros_count{stage="solve"}')"
+if [[ -n "$SOLVES" && "$SOLVES" -ge 1 ]]; then
+  echo "ok   /metrics solve stage timer ($SOLVES observations)"
+else
+  echo "FAIL /metrics solve stage timer: got '$SOLVES'" >&2
+  fail=1
+fi
+# The access log (stderr) carries one structured line per request.
+if grep -qE 'method=POST path=/v1/solve status=200 bytes=[0-9]+ micros=[0-9]+ request_id=r-' "$LOG"; then
+  echo "ok   access log line for POST /v1/solve"
+else
+  echo "FAIL access log missing structured line for POST /v1/solve" >&2
+  fail=1
+fi
+
 # 5. multi-tenant lifecycle + isolation: two KBs with different contents.
 request "POST /v1/kb alpha" 201 "r['kb'] == 'alpha' and r['version'] == 0" \
   -X POST "$BASE/kb" -d '{"name":"alpha"}'
@@ -183,9 +217,12 @@ request "400 bad json" 400 \
   "r['error']['code'] in ('ParseError','InvalidArgument')" \
   -X POST "$BASE/graph" -d '{oops'
 
-# 6. bearer-token auth on a second server instance.
+# 6. bearer-token auth on a second server instance: a service token plus
+# one per-KB token scoped to KB 'alpha'.
 printf 'smoke-secret\n' > "$WORKDIR/token"
-"$SERVER" --port 0 --auth-token-file "$WORKDIR/token" >"$AUTH_LOG" 2>&1 &
+printf '# kb tokens\nalpha alpha-tok\n' > "$WORKDIR/kb-tokens"
+"$SERVER" --port 0 --auth-token-file "$WORKDIR/token" \
+  --kb-tokens-file "$WORKDIR/kb-tokens" >"$AUTH_LOG" 2>&1 &
 AUTH_PID=$!
 AUTH_PORT="$(wait_port "$AUTH_LOG")"
 if [[ -z "$AUTH_PORT" ]]; then
@@ -201,6 +238,28 @@ else
     -H 'Authorization: Bearer wrong' "$ABASE/kb"
   request "auth: 200 right token" 200 "r['num_kbs'] == 1" \
     -H 'Authorization: Bearer smoke-secret' "$ABASE/kb"
+  # The per-KB token reaches its own KB and nothing else.
+  request "auth: create alpha (service token)" 201 "r['kb'] == 'alpha'" \
+    -X POST -H 'Authorization: Bearer smoke-secret' "$ABASE/kb" \
+    -d '{"name":"alpha"}'
+  request "auth: kb token writes own kb" 200 "r['num_facts'] == 1" \
+    -X POST -H 'Authorization: Bearer alpha-tok' "$ABASE/kb/alpha/graph" \
+    -d '{"text":"a p b [1,2] 0.9 .\n"}'
+  request "auth: kb token denied cross-kb" 403 \
+    "r['error']['code'] == 'PermissionDenied'" \
+    -H 'Authorization: Bearer alpha-tok' "$ABASE/kb/default/graph"
+  request "auth: kb token denied admin" 403 \
+    "r['error']['code'] == 'PermissionDenied'" \
+    -H 'Authorization: Bearer alpha-tok' "$ABASE/kb"
+  # /metrics is auth-exempt: scrapers hold no tokens.
+  AUTH_METRICS_STATUS="$(curl -sS -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$AUTH_PORT/metrics" 2>>"$LOG")"
+  if [[ "$AUTH_METRICS_STATUS" == "200" ]]; then
+    echo "ok   /metrics auth-exempt on secured server"
+  else
+    echo "FAIL /metrics on secured server: HTTP $AUTH_METRICS_STATUS" >&2
+    fail=1
+  fi
   kill -TERM "$AUTH_PID" 2>/dev/null
 fi
 
@@ -240,6 +299,14 @@ else
     fi
     request "durable: state survived kill -9" 200 \
       "r['num_facts'] == 2 and r['version'] == 2" "$DBASE/kb/default/graph"
+    # The restarted process counted exactly one storage recovery.
+    DUR_METRICS="$(curl -sS "http://127.0.0.1:$DUR_PORT/metrics" 2>>"$LOG")"
+    if grep -qF 'tecore_storage_recoveries_total 1' <<<"$DUR_METRICS"; then
+      echo "ok   /metrics storage recovery counter == 1"
+    else
+      echo "FAIL /metrics storage recovery counter: $(grep -F 'tecore_storage_recoveries_total' <<<"$DUR_METRICS")" >&2
+      fail=1
+    fi
     kill -TERM "$DUR_PID" 2>/dev/null
   fi
 fi
@@ -266,4 +333,4 @@ if [[ "$fail" -ne 0 ]]; then
   cat "$LOG" >&2
   exit 1
 fi
-echo "server smoke passed (legacy + tenant endpoints, isolation, SSE, auth, durability, shutdown)"
+echo "server smoke passed (legacy + tenant endpoints, isolation, SSE, auth, metrics, durability, shutdown)"

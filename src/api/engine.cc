@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "rdf/io.h"
 #include "rules/parser.h"
 #include "storage/fault.h"
@@ -230,6 +231,8 @@ std::shared_ptr<const Snapshot> Engine::Publish(
   // here must recover it — the "acknowledged after fsync, published after
   // recovery" half of the durability contract.
   storage::MaybeCrash("engine:before_publish");
+  static const auto stage_hist = obs::StageHistogram("publish");
+  obs::ScopedTimer stage_timer(stage_hist);
   // The previous snapshot, read under its lock. Only the writer thread
   // (us) replaces it, so `prev` stays current for the whole publish; the
   // analysis used to have to take that argument on faith for a handful of

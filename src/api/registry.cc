@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/metrics.h"
 #include "storage/fs.h"
 #include "util/string_util.h"
 
@@ -13,6 +14,37 @@ namespace {
 
 bool IsNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+/// Keep `tecore_kb_facts{kb=…}` and `tecore_kb_version{kb=…}` tracking
+/// this engine: seeded from the current snapshot (recovery included),
+/// then refreshed on the writer thread at every publish. The listener
+/// stays registered for the engine's lifetime — it dies with the KB.
+void InstallKbGauges(const std::string& name, Engine* engine) {
+  obs::Registry* metrics = obs::Registry::Default();
+  auto facts = metrics->GetGauge("tecore_kb_facts", {{"kb", name}});
+  auto version = metrics->GetGauge("tecore_kb_version", {{"kb", name}});
+  // Register the subscriber gauge too, so the series scrapes as 0 from
+  // birth instead of appearing on first subscribe.
+  metrics->GetGauge("tecore_kb_sse_subscribers", {{"kb", name}});
+  const auto update = [facts,
+                       version](std::shared_ptr<const Snapshot> snap) {
+    if (snap == nullptr) return;  // KB closing
+    facts->Set(snap->has_graph()
+                   ? static_cast<int64_t>(snap->graph->NumLiveFacts())
+                   : 0);
+    version->Set(static_cast<int64_t>(snap->version));
+  };
+  update(engine->snapshot());
+  engine->AddPublishListener(update);
+}
+
+/// Forget a deleted KB's series; a recreated namesake starts fresh.
+void RemoveKbSeries(const std::string& name) {
+  obs::Registry* metrics = obs::Registry::Default();
+  metrics->RemoveLabeled("tecore_kb_facts", "kb", name);
+  metrics->RemoveLabeled("tecore_kb_version", "kb", name);
+  metrics->RemoveLabeled("tecore_kb_sse_subscribers", "kb", name);
 }
 
 }  // namespace
@@ -89,6 +121,7 @@ Result<std::shared_ptr<Engine>> EngineRegistry::Create(
                  ? engine->AttachStorage(std::move(storage).value())
                  : storage.status();
   }
+  if (status.ok()) InstallKbGauges(name, engine.get());
   util::MutexLock lock(mutex_);
   lifecycle_busy_.erase(name);
   lifecycle_cv_.NotifyAll();
@@ -157,6 +190,7 @@ Status EngineRegistry::Delete(const std::string& name) {
   if (!dir.empty()) {
     status = storage::KbStorage::Destroy(dir);
   }
+  RemoveKbSeries(name);
   util::MutexLock lock(mutex_);
   lifecycle_busy_.erase(name);
   lifecycle_cv_.NotifyAll();

@@ -95,10 +95,11 @@ int Usage() {
                "  serve              start the multi-tenant /v1 JSON HTTP"
                " service ([--host h] [--port n]\n"
                "                     [--kb name] [--auth-token-file f]"
-               " [--data-dir d]\n"
+               " [--kb-tokens-file f] [--data-dir d]\n"
                "                     [--fsync always|never]"
-               " [--max-body-bytes n] [--retain n];\n"
-               "                     docs/api.md)\n"
+               " [--max-body-bytes n] [--retain n]\n"
+               "                     [--access-log[=f]];"
+               " docs/api.md, docs/observability.md)\n"
                "  kb verify          check a --data-dir store offline:"
                " checkpoint and WAL\n"
                "                     checksums plus the recoverable version"

@@ -4,6 +4,7 @@
 
 #include "core/translator.h"
 #include "kb/weighting.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -21,6 +22,8 @@ Result<ResolveResult> SolveAndAssemble(rdf::TemporalGraph* graph,
                                        const ResolveOptions& options,
                                        mln::MlnComponentCache* mln_cache,
                                        psl::PslComponentCache* psl_cache) {
+  static const auto stage_hist = obs::StageHistogram("solve");
+  obs::ScopedTimer stage_timer(stage_hist);
   ResolveResult result;
   result.ground_atoms = net.NumAtoms();
   result.ground_clauses = net.NumClauses();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -218,6 +219,8 @@ void SortAtomIdsLexical(const GroundNetwork& network,
 }
 
 std::vector<AtomId> GroundNetwork::Canonicalize(const rdf::Dictionary& dict) {
+  static const auto stage_hist = obs::StageHistogram("canonicalize");
+  obs::ScopedTimer stage_timer(stage_hist);
   const AtomId n = static_cast<AtomId>(atoms_.size());
   // Evidence atoms are a prefix (seeded before any rule fires) and are
   // already canonically ordered: first-supporting-fact order.
@@ -275,6 +278,8 @@ void GroundNetwork::SortClausesCanonical() {
 
 std::vector<AtomId> GroundNetwork::CanonicalizeAppendedEvidence(
     AtomId appended_begin) {
+  static const auto stage_hist = obs::StageHistogram("canonicalize");
+  obs::ScopedTimer stage_timer(stage_hist);
   const AtomId n = static_cast<AtomId>(atoms_.size());
   const AtomId k = n - appended_begin;
   std::vector<AtomId> remap(n);

@@ -7,6 +7,7 @@
 
 #include "kb/weighting.h"
 #include "logic/eval.h"
+#include "obs/metrics.h"
 #include "rules/validator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -149,6 +150,8 @@ class GroundingEngine {
 
   Status Execute() {
     Timer timer;
+    static const auto stage_hist = obs::StageHistogram("ground");
+    obs::ScopedTimer stage_timer(stage_hist);
     net_ = &result_->network;
     if (options_.collect_groundings) collected_ = &result_->groundings;
     TECORE_RETURN_NOT_OK(Compile());
@@ -178,6 +181,8 @@ class GroundingEngine {
   Status ExecuteDelta(GroundNetwork* network, rdf::FactId first_new_fact,
                       DeltaGroundingResult* delta) {
     Timer timer;
+    static const auto stage_hist = obs::StageHistogram("ground");
+    obs::ScopedTimer stage_timer(stage_hist);
     net_ = network;
     collected_ = &delta->groundings;
     add_clauses_ = false;

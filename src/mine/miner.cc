@@ -6,6 +6,7 @@
 #include <tuple>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "rules/library.h"
 #include "rules/parser.h"
 #include "util/exact_sum.h"
@@ -169,6 +170,8 @@ rules::RuleSet MiningReport::ToRuleSet() const {
 
 MiningReport Miner::Mine(const rdf::TemporalGraph& graph) const {
   const auto start = std::chrono::steady_clock::now();
+  static const auto stage_hist = obs::StageHistogram("mine");
+  obs::ScopedTimer stage_timer(stage_hist);
   MiningReport report;
 
   // ---- canonical task list: live predicates in (count desc, lexical)

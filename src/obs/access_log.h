@@ -1,0 +1,64 @@
+// Structured one-line access logging for tecore-server.
+//
+// Each completed HTTP request emits a single logfmt-style line:
+//
+//   2026-08-08T12:34:56.123456Z method=GET path=/v1/kb/default/stats
+//     status=200 bytes=164 micros=412 request_id=r-17efab12c4d9-1
+//
+// (all on one line). Timestamps are wall-clock UTC and, like every other
+// part of the obs layer, outside the determinism contract — the log is
+// for humans diagnosing a live process, never an input to the pipeline.
+#ifndef TECORE_OBS_ACCESS_LOG_H_
+#define TECORE_OBS_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace tecore {
+namespace obs {
+
+class AccessLog {
+ public:
+  /// Opens `path` for appending; an empty path logs to stderr. The
+  /// returned handle is safe to share across server worker threads.
+  static Result<std::shared_ptr<AccessLog>> Open(const std::string& path);
+
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  struct Entry {
+    std::string method;
+    std::string path;
+    int status = 0;
+    size_t response_bytes = 0;
+    uint64_t duration_micros = 0;
+    std::string request_id;
+  };
+
+  /// Formats and writes one line, then flushes. Serialized internally.
+  void Write(const Entry& entry);
+
+ private:
+  AccessLog(FILE* file, bool owns_file);
+
+  util::Mutex mutex_;
+  FILE* file_ TECORE_GUARDED_BY(mutex_);
+  const bool owns_file_;
+};
+
+/// Process-unique request id: "r-<boot-micros-hex>-<seq>". Used when a
+/// request carries no X-Request-Id header. Not random — uniqueness comes
+/// from the process boot timestamp plus an atomic sequence number.
+std::string GenerateRequestId();
+
+}  // namespace obs
+}  // namespace tecore
+
+#endif  // TECORE_OBS_ACCESS_LOG_H_

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tecore {
+namespace obs {
+
+namespace internal {
+
+int ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kShards);
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// `a=1,b=2` form used as the series key and (escaped) in exposition.
+/// Labels are sorted by name so {{a,1},{b,2}} and {{b,2},{a,1}} are the
+/// same series.
+std::string CanonicalLabelString(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [name, value] : sorted) {
+    if (!out.empty()) out.push_back(',');
+    out.append(name);
+    out.append("=\"");
+    for (char c : value) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') {
+        out.append("\\n");
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+/// True if `label_string` (canonical form) contains the exact label
+/// `name="value"` — anchored at a comma boundary, not a substring match.
+bool HasLabel(const std::string& label_string, const std::string& name,
+              const std::string& value) {
+  const std::string needle = CanonicalLabelString({{name, value}});
+  size_t pos = 0;
+  while ((pos = label_string.find(needle, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || label_string[pos - 1] == ',';
+    const size_t end = pos + needle.size();
+    const bool end_ok =
+        end == label_string.size() || label_string[end] == ',';
+    if (start_ok && end_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+void AppendSeriesLine(std::string* out, const std::string& name,
+                      const std::string& label_string,
+                      const std::string& extra_label, uint64_t value) {
+  out->append(name);
+  if (!label_string.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(label_string);
+    if (!label_string.empty() && !extra_label.empty()) out->push_back(',');
+    out->append(extra_label);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+void AppendSignedSeriesLine(std::string* out, const std::string& name,
+                            const std::string& label_string, int64_t value) {
+  out->append(name);
+  if (!label_string.empty()) {
+    out->push_back('{');
+    out->append(label_string);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; at least 1 so q=0 lands in
+  // the first non-empty bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: best estimate is its lower edge.
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    const uint64_t lower = i == 0 ? 0 : bounds[i - 1];
+    const uint64_t upper = bounds[i];
+    if (in_bucket == 0) return upper;
+    const double within =
+        static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower +
+           static_cast<uint64_t>(within * static_cast<double>(upper - lower));
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  // Per shard: one cell per finite bucket, one +Inf bucket, one sum slot.
+  stride_ = bounds_.size() + 2;
+  cells_ = std::vector<internal::ShardCell>(internal::kShards * stride_);
+}
+
+void Histogram::Observe(uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  internal::ShardCell* shard =
+      &cells_[internal::ThisThreadShard() * stride_];
+  shard[bucket].value.fetch_add(1, std::memory_order_relaxed);
+  shard[stride_ - 1].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (int s = 0; s < internal::kShards; ++s) {
+    const internal::ShardCell* shard = &cells_[s * stride_];
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += shard[b].value.load(std::memory_order_relaxed);
+    }
+    snap.sum += shard[stride_ - 1].value.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+std::vector<uint64_t> Histogram::DefaultLatencyBounds() {
+  return {10,     20,     50,      100,     200,     500,     1000,
+          2000,   5000,   10000,   20000,   50000,   100000,  200000,
+          500000, 1000000, 2000000, 5000000, 10000000};
+}
+
+std::shared_ptr<Counter> Registry::GetCounter(const std::string& name,
+                                              const Labels& labels) {
+  const std::string key = CanonicalLabelString(labels);
+  util::MutexLock lock(mutex_);
+  Family& family = families_[name];
+  if (family.type == '?') family.type = 'c';
+  if (family.type != 'c') {
+    assert(false && "metric family re-registered with a different type");
+    return std::make_shared<Counter>();  // detached, never scraped
+  }
+  Series& series = family.series[key];
+  if (series.counter == nullptr) series.counter = std::make_shared<Counter>();
+  return series.counter;
+}
+
+std::shared_ptr<Gauge> Registry::GetGauge(const std::string& name,
+                                          const Labels& labels) {
+  const std::string key = CanonicalLabelString(labels);
+  util::MutexLock lock(mutex_);
+  Family& family = families_[name];
+  if (family.type == '?') family.type = 'g';
+  if (family.type != 'g') {
+    assert(false && "metric family re-registered with a different type");
+    return std::make_shared<Gauge>();
+  }
+  Series& series = family.series[key];
+  if (series.gauge == nullptr) series.gauge = std::make_shared<Gauge>();
+  return series.gauge;
+}
+
+std::shared_ptr<Histogram> Registry::GetHistogram(const std::string& name,
+                                                  const Labels& labels,
+                                                  std::vector<uint64_t> bounds) {
+  const std::string key = CanonicalLabelString(labels);
+  util::MutexLock lock(mutex_);
+  Family& family = families_[name];
+  if (family.type == '?') family.type = 'h';
+  if (family.type != 'h') {
+    assert(false && "metric family re-registered with a different type");
+    return std::make_shared<Histogram>(std::move(bounds));
+  }
+  Series& series = family.series[key];
+  if (series.histogram == nullptr) {
+    series.histogram = std::make_shared<Histogram>(std::move(bounds));
+  }
+  return series.histogram;
+}
+
+void Registry::RemoveLabeled(const std::string& name,
+                             const std::string& label_name,
+                             const std::string& label_value) {
+  util::MutexLock lock(mutex_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end()) return;
+  auto& series = family_it->second.series;
+  for (auto it = series.begin(); it != series.end();) {
+    if (HasLabel(it->first, label_name, label_value)) {
+      it = series.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (series.empty()) families_.erase(family_it);
+}
+
+std::string Registry::RenderPrometheusText() const {
+  util::MutexLock lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out.append("# TYPE ");
+    out.append(name);
+    switch (family.type) {
+      case 'c':
+        out.append(" counter\n");
+        break;
+      case 'g':
+        out.append(" gauge\n");
+        break;
+      default:
+        out.append(" histogram\n");
+        break;
+    }
+    for (const auto& [label_string, series] : family.series) {
+      if (series.counter != nullptr) {
+        AppendSeriesLine(&out, name, label_string, "",
+                         series.counter->Value());
+      } else if (series.gauge != nullptr) {
+        AppendSignedSeriesLine(&out, name, label_string,
+                               series.gauge->Value());
+      } else if (series.histogram != nullptr) {
+        const Histogram::Snapshot snap = series.histogram->Snap();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.counts.size(); ++b) {
+          cumulative += snap.counts[b];
+          const std::string le =
+              b < snap.bounds.size()
+                  ? "le=\"" + std::to_string(snap.bounds[b]) + "\""
+                  : std::string("le=\"+Inf\"");
+          AppendSeriesLine(&out, name + "_bucket", label_string, le,
+                           cumulative);
+        }
+        AppendSeriesLine(&out, name + "_sum", label_string, "", snap.sum);
+        AppendSeriesLine(&out, name + "_count", label_string, "", snap.count);
+      }
+    }
+  }
+  return out;
+}
+
+Registry* Registry::Default() {
+  static Registry* registry = new Registry();
+  return registry;
+}
+
+std::shared_ptr<Histogram> StageHistogram(const char* stage) {
+  return Registry::Default()->GetHistogram("tecore_stage_duration_micros",
+                                           {{"stage", stage}},
+                                           Histogram::DefaultLatencyBounds());
+}
+
+}  // namespace obs
+}  // namespace tecore

@@ -1,0 +1,215 @@
+// Lock-cheap process metrics: counters, gauges and fixed-bucket latency
+// histograms collected in sharded atomic cells and merged at scrape time.
+//
+// Metrics are observational runtime state and sit explicitly OUTSIDE the
+// determinism contract: values depend on wall-clock time, thread timing
+// and request interleaving. Nothing in the solve/publish pipeline may
+// read a metric back to make a decision. See docs/observability.md.
+//
+// Usage:
+//   auto* reg = obs::Registry::Default();
+//   static auto requests = reg->GetCounter("tecore_http_requests_total",
+//                                          {{"endpoint", "solve"}});
+//   requests->Inc();
+//
+//   static auto latency = reg->GetHistogram(
+//       "tecore_stage_duration_micros", {{"stage", "ground"}},
+//       obs::Histogram::DefaultLatencyBounds());
+//   { obs::ScopedTimer t(latency); ... }  // observes elapsed µs on scope exit
+//
+// Handles are shared_ptr so a scrape or an in-flight timer can never
+// dangle even if the series is concurrently removed (e.g. KB deletion).
+#ifndef TECORE_OBS_METRICS_H_
+#define TECORE_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace tecore {
+namespace obs {
+
+/// Label set attached to one time series, e.g. {{"endpoint","solve"}}.
+/// Order-insensitive: the registry canonicalizes by label name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+/// One cache-line-padded atomic cell. Counters and histograms keep
+/// kShards of these per logical value so concurrent writers on different
+/// cores rarely contend on the same line; readers sum across shards.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+inline constexpr int kShards = 8;
+
+/// Stable per-thread shard index in [0, kShards). Threads are assigned
+/// round-robin on first use; the assignment is arbitrary but fixed for
+/// the thread's lifetime, so increments are spread without hashing.
+int ThisThreadShard();
+
+}  // namespace internal
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum across shards. Monotone between calls but not a point-in-time
+  /// snapshot with respect to concurrent writers.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : shards_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::ShardCell shards_[internal::kShards];
+};
+
+/// Signed instantaneous value (in-flight requests, live facts, ...).
+/// Single atomic: gauges are set/adjusted rarely relative to counters.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer observations
+/// (latencies in microseconds). Bucket upper bounds are inclusive and
+/// strictly ascending; an implicit +Inf bucket catches the tail. All
+/// cells are sharded atomics, merged by Snapshot().
+class Histogram {
+ public:
+  /// Cumulative state merged across shards at one scrape.
+  struct Snapshot {
+    std::vector<uint64_t> bounds;       ///< finite upper bounds, ascending
+    std::vector<uint64_t> counts;       ///< per-bucket counts, bounds.size()+1
+    uint64_t count = 0;                 ///< total observations
+    uint64_t sum = 0;                   ///< sum of observed values
+
+    /// Estimated q-quantile (q in [0,1]) via linear interpolation within
+    /// the containing bucket. Returns 0 for an empty histogram; the +Inf
+    /// bucket reports its lower bound (the last finite bound).
+    uint64_t Quantile(double q) const;
+  };
+
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t value);
+
+  Snapshot Snap() const;
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+
+  /// 10µs .. 10s in roughly 1-2-5 steps — wide enough for both a cached
+  /// read (tens of µs) and a full cold solve (seconds).
+  static std::vector<uint64_t> DefaultLatencyBounds();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  /// shard-major: cells_[shard * stride + bucket]; last slot per shard
+  /// is the running sum for that shard.
+  std::vector<internal::ShardCell> cells_;
+  size_t stride_;  ///< buckets (incl. +Inf) + 1 sum slot
+};
+
+/// Named metric registry. Getter calls are idempotent per
+/// (name, canonical labels): the same series handle is returned every
+/// time, so call sites may cache function-local statics. Series of
+/// different types may not share a name.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  std::shared_ptr<Counter> GetCounter(const std::string& name,
+                                      const Labels& labels = {});
+  std::shared_ptr<Gauge> GetGauge(const std::string& name,
+                                  const Labels& labels = {});
+  std::shared_ptr<Histogram> GetHistogram(const std::string& name,
+                                          const Labels& labels,
+                                          std::vector<uint64_t> bounds);
+
+  /// Drops every series of `name` whose labels contain `label_name` ==
+  /// `label_value` (e.g. the per-KB gauges of a deleted KB). Handles
+  /// already held elsewhere stay valid; they just stop being scraped.
+  void RemoveLabeled(const std::string& name, const std::string& label_name,
+                     const std::string& label_value);
+
+  /// Prometheus text exposition (version 0.0.4). Deterministically
+  /// ordered: families by name, series by canonical label string. All
+  /// values are integers — the exposition never formats a float.
+  std::string RenderPrometheusText() const;
+
+  /// Process-wide registry used by all built-in instrumentation.
+  static Registry* Default();
+
+ private:
+  struct Series {
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+  struct Family {
+    char type = '?';  ///< 'c' counter, 'g' gauge, 'h' histogram
+    // Keyed by canonical label string ("" for no labels); std::map keeps
+    // exposition order deterministic.
+    std::map<std::string, Series> series;
+  };
+
+  mutable util::Mutex mutex_;
+  std::map<std::string, Family> families_ TECORE_GUARDED_BY(mutex_);
+};
+
+/// Handle to one pipeline-stage latency series
+/// (`tecore_stage_duration_micros{stage="<stage>"}`) in the default
+/// registry. Call sites cache it in a function-local static.
+std::shared_ptr<Histogram> StageHistogram(const char* stage);
+
+/// Observes elapsed wall time in microseconds into a histogram when the
+/// scope exits. Movable-from disarmament is intentionally not provided:
+/// keep instrumented scopes simple.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::shared_ptr<Histogram> histogram)
+      : histogram_(std::move(histogram)),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+    histogram_->Observe(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+  }
+
+ private:
+  std::shared_ptr<Histogram> histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace tecore
+
+#endif  // TECORE_OBS_METRICS_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -92,6 +93,11 @@ TermId Dictionary::Intern(const Term& term) {
   const TermId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
   *SlotFor(id) = term;
   shard.index.emplace(term, id);
+  // Count only genuinely new terms — the miss path. Hits (the common
+  // case at steady state) pay nothing.
+  static const auto interned = obs::Registry::Default()->GetCounter(
+      "tecore_dict_terms_interned_total");
+  interned->Inc();
   return id;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace tecore {
@@ -86,6 +87,11 @@ FactChunk* TemporalGraph::MutableChunk(size_t ci) {
   if (slot.use_count() > 1) {
     slot = std::make_shared<FactChunk>(*slot);
     ++chunks_copied_;
+    // Process-wide COW pressure: how often writers pay a full chunk copy
+    // because a retained snapshot still shares the column.
+    static const auto copies = obs::Registry::Default()->GetCounter(
+        "tecore_graph_chunk_copies_total");
+    copies->Inc();
   }
   return slot.get();
 }

@@ -1,6 +1,7 @@
 #ifndef TECORE_SERVER_AUTH_H_
 #define TECORE_SERVER_AUTH_H_
 
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -33,6 +34,38 @@ bool ConstantTimeEquals(std::string_view a, std::string_view b);
 /// header is missing or not a Bearer scheme; PermissionDenied (HTTP 403)
 /// when the presented token is wrong.
 Status CheckAuth(std::string_view token, const HttpRequest& request);
+
+/// \brief Per-KB tokens (`--kb-tokens-file`): KB name → bearer token.
+/// std::map so iteration (startup log, tests) is deterministic.
+using KbTokenMap = std::map<std::string, std::string>;
+
+/// \brief Parse a KB-tokens file: one `<kb-name> <token>` pair per line,
+/// whitespace-separated; blank lines and `#` comments ignored.
+/// InvalidArgument on malformed lines or duplicate KB names.
+Result<KbTokenMap> LoadKbTokensFile(const std::string& path);
+
+/// \brief What a request is allowed to touch, derived from its path.
+/// `admin` covers tenant lifecycle (list/create/delete) and unrouted
+/// paths; otherwise `kb` names the one tenant the request reads or
+/// writes (legacy paths resolve to the default KB).
+struct AuthScope {
+  bool admin = false;
+  std::string kb;
+};
+
+/// \brief Two-tier authentication. The service token (when set) grants
+/// everything; a per-KB token grants exactly its own KB's endpoints.
+/// Rules:
+///  - both `service_token` and `kb_tokens` empty → auth disabled, OK;
+///  - missing/malformed credentials → Unauthenticated (401);
+///  - the service token authorizes any scope;
+///  - KB `k`'s token authorizes scope {kb: k} only — admin scopes and
+///    other KBs (cross-KB access) are PermissionDenied (403);
+///  - anything else → PermissionDenied (403).
+/// All token comparisons are constant-time.
+Status CheckScopedAuth(std::string_view service_token,
+                       const KbTokenMap& kb_tokens, const AuthScope& scope,
+                       const HttpRequest& request);
 
 }  // namespace server
 }  // namespace tecore

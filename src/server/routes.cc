@@ -9,10 +9,13 @@
 #include <vector>
 
 #include "api/types.h"
+#include "obs/access_log.h"
+#include "obs/metrics.h"
 #include "server/auth.h"
 #include "util/json.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
+#include "util/timer.h"
 
 namespace tecore {
 namespace server {
@@ -331,6 +334,12 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
                         uint64_t resume_after,
                         const std::vector<std::string>& predicates,
                         ResponseStream* stream) {
+  // Live-stream gauge: up for the lifetime of this connection worker.
+  // The shared_ptr handle stays valid even if the KB (and its series)
+  // is deleted mid-stream.
+  const auto subscribers = obs::Registry::Default()->GetGauge(
+      "tecore_kb_sse_subscribers", {{"kb", kb}});
+  subscribers->Add(1);
   auto sub = std::make_shared<SseSubscriber>();
   const uint64_t listener = engine->AddPublishListener(
       [sub](std::shared_ptr<const api::Snapshot> snap) {
@@ -474,6 +483,7 @@ void StreamSubscription(const std::shared_ptr<api::Engine>& engine,
     }
   }
   engine->RemovePublishListener(listener);
+  subscribers->Add(-1);
 }
 
 HttpResponse HandleSubscribe(std::shared_ptr<api::Engine> engine,
@@ -607,12 +617,96 @@ bool IsLegacyEndpoint(const std::string& endpoint) {
   return false;
 }
 
+// ------------------------------------------------------- observability
+
+/// GET /metrics — Prometheus text exposition of the process registry.
+/// Auth-exempt: scrapers hold no tokens, and the surface is read-only
+/// operational state (no KB contents beyond aggregate counts).
+HttpResponse HandleMetrics(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MethodNotAllowed(request.method, "GET");
+  }
+  HttpResponse out;
+  out.status = 200;
+  out.content_type = "text/plain; version=0.0.4";
+  out.body = obs::Registry::Default()->RenderPrometheusText();
+  return out;
+}
+
+/// The auth scope a path resolves to; mirrors the routing below. Admin
+/// scope covers tenant lifecycle (the /v1/kb collection, DELETE of a KB)
+/// and every unrouted path — so a per-KB token probing outside its KB
+/// sees 403, never 404.
+AuthScope ScopeFor(const HttpRequest& request,
+                   const std::string& default_kb) {
+  AuthScope scope;
+  const std::string& path = request.path;
+  if (path == "/v1/kb") {
+    scope.admin = true;
+    return scope;
+  }
+  const std::string_view kb_prefix = "/v1/kb/";
+  if (path.compare(0, kb_prefix.size(), kb_prefix) == 0) {
+    const std::string rest = path.substr(kb_prefix.size());
+    const size_t slash = rest.find('/');
+    scope.kb = rest.substr(0, slash);
+    if (slash == std::string::npos) {
+      // KB item: reading the digest is KB-scoped, deleting is admin.
+      scope.admin = request.method != "GET";
+    }
+    return scope;
+  }
+  const std::string_view v1_prefix = "/v1/";
+  if (path.compare(0, v1_prefix.size(), v1_prefix) == 0 &&
+      IsLegacyEndpoint(path.substr(v1_prefix.size()))) {
+    scope.kb = default_kb;
+    return scope;
+  }
+  scope.admin = true;
+  return scope;
+}
+
+/// Bounded-cardinality endpoint label for request metrics: one of the
+/// known per-KB endpoint names, "kb" for tenant lifecycle, "metrics",
+/// or "other" — never raw request paths (KB names and typo'd paths must
+/// not mint new series).
+std::string EndpointLabel(const std::string& path) {
+  if (path == "/metrics") return "metrics";
+  if (path == "/v1/kb") return "kb";
+  std::string endpoint;
+  const std::string_view kb_prefix = "/v1/kb/";
+  const std::string_view v1_prefix = "/v1/";
+  if (path.compare(0, kb_prefix.size(), kb_prefix) == 0) {
+    const std::string rest = path.substr(kb_prefix.size());
+    const size_t slash = rest.find('/');
+    if (slash == std::string::npos) return "kb";
+    endpoint = rest.substr(slash + 1);
+  } else if (path.compare(0, v1_prefix.size(), v1_prefix) == 0) {
+    endpoint = path.substr(v1_prefix.size());
+  }
+  if (IsLegacyEndpoint(endpoint) || endpoint == "subscribe") return endpoint;
+  return "other";
+}
+
+const char* StatusClass(int status) {
+  if (status >= 500) return "5xx";
+  if (status >= 400) return "4xx";
+  if (status >= 300) return "3xx";
+  return "2xx";
+}
+
 }  // namespace
 
 HttpResponse HandleApiRequest(api::EngineRegistry* registry,
                               const RouterOptions& options,
                               const HttpRequest& request) {
-  Status auth = CheckAuth(options.auth_token, request);
+  // Metrics are exempt from auth and routed before it: a scraper must
+  // never be locked out by a token rotation.
+  if (request.path == "/metrics") return HandleMetrics(request);
+
+  Status auth = CheckScopedAuth(options.auth_token, options.kb_tokens,
+                                ScopeFor(request, options.default_kb),
+                                request);
   if (!auth.ok()) return ErrorResponse(auth);
 
   const std::string& path = request.path;
@@ -666,9 +760,44 @@ HttpResponse HandleApiRequest(api::EngineRegistry* registry,
 
 HttpHandler MakeApiHandler(api::EngineRegistry* registry,
                            RouterOptions options) {
-  return [registry, options = std::move(options)](
-             const HttpRequest& request) {
-    return HandleApiRequest(registry, options, request);
+  obs::Registry* metrics = obs::Registry::Default();
+  auto in_flight = metrics->GetGauge("tecore_http_requests_in_flight");
+  return [registry, options = std::move(options), metrics,
+          in_flight](const HttpRequest& request) {
+    in_flight->Add(1);
+    std::string request_id = request.HeaderValue("X-Request-Id", "");
+    if (request_id.empty()) request_id = obs::GenerateRequestId();
+
+    Timer timer;
+    HttpResponse response = HandleApiRequest(registry, options, request);
+    const uint64_t micros = static_cast<uint64_t>(timer.ElapsedMicros());
+
+    // For SSE subscriptions this measures route setup, not the stream's
+    // lifetime — live streams show up in tecore_kb_sse_subscribers.
+    const std::string endpoint = EndpointLabel(request.path);
+    metrics
+        ->GetHistogram("tecore_http_request_duration_micros",
+                       {{"endpoint", endpoint}},
+                       obs::Histogram::DefaultLatencyBounds())
+        ->Observe(micros);
+    metrics
+        ->GetCounter("tecore_http_requests_total",
+                     {{"endpoint", endpoint},
+                      {"status", StatusClass(response.status)}})
+        ->Inc();
+    response.headers.emplace_back("X-Request-Id", request_id);
+    if (options.access_log != nullptr) {
+      obs::AccessLog::Entry entry;
+      entry.method = request.method;
+      entry.path = request.path;
+      entry.status = response.status;
+      entry.response_bytes = response.body.size();
+      entry.duration_micros = micros;
+      entry.request_id = request_id;
+      options.access_log->Write(entry);
+    }
+    in_flight->Add(-1);
+    return response;
   };
 }
 

@@ -1,9 +1,12 @@
 #ifndef TECORE_SERVER_ROUTES_H_
 #define TECORE_SERVER_ROUTES_H_
 
+#include <memory>
 #include <string>
 
 #include "api/registry.h"
+#include "obs/access_log.h"
+#include "server/auth.h"
 #include "server/http_server.h"
 
 namespace tecore {
@@ -11,12 +14,21 @@ namespace server {
 
 /// \brief Router configuration.
 struct RouterOptions {
-  /// Bearer token every request must present (`Authorization: Bearer
-  /// <token>`); empty disables auth. Missing/malformed credentials are
-  /// 401, a wrong token is 403 (constant-time compare; see auth.h).
+  /// Service bearer token (`Authorization: Bearer <token>`); empty plus
+  /// an empty `kb_tokens` disables auth. Missing/malformed credentials
+  /// are 401, a wrong token is 403 (constant-time compare; see auth.h).
+  /// When per-KB tokens are configured, the service token is the admin
+  /// tier: it alone authorizes tenant lifecycle (list/create/delete).
   std::string auth_token;
+  /// Per-KB tokens (`--kb-tokens-file`): KB name → token. A KB's token
+  /// authorizes exactly that KB's endpoints; presenting it against
+  /// another KB or an admin endpoint is 403 (see CheckScopedAuth).
+  KbTokenMap kb_tokens;
   /// The tenant behind the legacy single-KB `/v1/<endpoint>` paths.
   std::string default_kb = "default";
+  /// When set, every completed request is logged as one structured line
+  /// (see obs/access_log.h). Null disables access logging.
+  std::shared_ptr<obs::AccessLog> access_log;
 };
 
 /// \brief Dispatch one `/v1` request against the registry.
@@ -44,6 +56,10 @@ struct RouterOptions {
 /// `options.default_kb` and answer with a `Deprecation: true` header plus
 /// a `Link: </v1/kb/{default}/…>; rel="successor-version"` pointer.
 ///
+/// `GET /metrics` serves the Prometheus text exposition of the process
+/// metrics registry. It is auth-exempt (scrapers hold no tokens) and
+/// read-only; see docs/observability.md.
+///
 /// Reads are served from the tenant engine's current snapshot and never
 /// block writes; every response carries the snapshot version it came
 /// from. Errors are the uniform envelope
@@ -53,7 +69,10 @@ HttpResponse HandleApiRequest(api::EngineRegistry* registry,
                               const HttpRequest& request);
 
 /// \brief Handler closure for HttpServer. `registry` must outlive the
-/// server.
+/// server. The closure wraps HandleApiRequest with per-request
+/// instrumentation: request counters and latency histograms labeled by
+/// endpoint, an in-flight gauge, an `X-Request-Id` response header
+/// (echoed from the request or generated), and the optional access log.
 HttpHandler MakeApiHandler(api::EngineRegistry* registry,
                            RouterOptions options = {});
 

@@ -7,6 +7,7 @@
 
 #include "api/registry.h"
 #include "api/version.h"
+#include "obs/access_log.h"
 #include "rules/parser.h"
 #include "server/auth.h"
 #include "server/http_server.h"
@@ -33,7 +34,8 @@ void PrintServeUsage() {
                " [--auth-token-file f]\n"
                "                     [--data-dir d] [--fsync always|never]"
                " [--max-body-bytes n]\n"
-               "                     [--retain n]\n"
+               "                     [--retain n] [--kb-tokens-file f]"
+               " [--access-log[=f]]\n"
                "  --host h            bind address (default 127.0.0.1)\n"
                "  --port n            TCP port; 0 picks an ephemeral port"
                " (default 8080)\n"
@@ -70,7 +72,21 @@ void PrintServeUsage() {
                "                      (default 8, minimum 1; cheap under"
                " copy-on-write\n"
                "                      chunk sharing)\n"
-               "serves the multi-tenant /v1 JSON API (/v1/kb/{name}/...);"
+               "  --kb-tokens-file f  per-KB bearer tokens: one '<kb>"
+               " <token>' per line;\n"
+               "                      a KB token authorizes only that KB"
+               " (cross-KB and\n"
+               "                      lifecycle requests get 403; the"
+               " --auth-token-file\n"
+               "                      service token keeps full access)\n"
+               "  --access-log[=f]    log one structured line per request"
+               " to f\n"
+               "                      (default stderr): ISO timestamp,"
+               " method, path,\n"
+               "                      status, bytes, micros, request id\n"
+               "serves the multi-tenant /v1 JSON API (/v1/kb/{name}/...)"
+               " and the\n"
+               "Prometheus text exposition at GET /metrics (auth-exempt);"
                " see docs/api.md\n");
 }
 
@@ -93,16 +109,32 @@ int RunServe(int argc, char** argv, int first_arg) {
   std::string rules_file;
   std::string preload_kb = "default";
   std::string auth_token_file;
+  std::string kb_tokens_file;
   std::string data_dir;
   storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kAlways;
   int64_t retain_versions = 8;
+  bool access_log_enabled = false;
+  std::string access_log_path;
   for (int i = first_arg; i < argc; ++i) {
     const std::string flag = argv[i];
+    // --access-log takes an *optional* value, so it uses the
+    // --access-log=path form and is handled before the value check.
+    const std::string_view access_log_eq = "--access-log=";
+    if (flag == "--access-log") {
+      access_log_enabled = true;
+      continue;
+    }
+    if (flag.compare(0, access_log_eq.size(), access_log_eq) == 0) {
+      access_log_enabled = true;
+      access_log_path = flag.substr(access_log_eq.size());
+      continue;
+    }
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     const bool known = flag == "--host" || flag == "--port" ||
                        flag == "--threads" || flag == "--graph" ||
                        flag == "--rules" || flag == "--kb" ||
-                       flag == "--auth-token-file" || flag == "--data-dir" ||
+                       flag == "--auth-token-file" ||
+                       flag == "--kb-tokens-file" || flag == "--data-dir" ||
                        flag == "--fsync" || flag == "--max-body-bytes" ||
                        flag == "--retain";
     if (!known) {
@@ -159,6 +191,8 @@ int RunServe(int argc, char** argv, int first_arg) {
         PrintServeUsage();
         return 2;
       }
+    } else if (flag == "--kb-tokens-file") {
+      kb_tokens_file = value;
     } else {
       auth_token_file = value;
     }
@@ -172,6 +206,22 @@ int RunServe(int argc, char** argv, int first_arg) {
       return 1;
     }
     router.auth_token = *token;
+  }
+  if (!kb_tokens_file.empty()) {
+    auto tokens = LoadKbTokensFile(kb_tokens_file);
+    if (!tokens.ok()) {
+      std::fprintf(stderr, "%s\n", tokens.status().ToString().c_str());
+      return 1;
+    }
+    router.kb_tokens = std::move(*tokens);
+  }
+  if (access_log_enabled) {
+    auto log = obs::AccessLog::Open(access_log_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    router.access_log = std::move(*log);
   }
 
   // The registry owns the shared worker pool and every tenant engine.
@@ -239,13 +289,22 @@ int RunServe(int argc, char** argv, int first_arg) {
   // The exact line CI's smoke script and the bench parse — keep stable.
   std::printf("tecore-server %s listening on http://%s:%d/v1\n",
               api::kTecoreVersion, options.host.c_str(), *port);
+  std::string auth_desc = "off";
+  if (!router.auth_token.empty() && !router.kb_tokens.empty()) {
+    auth_desc = StringPrintf("bearer token + %zu kb tokens",
+                             router.kb_tokens.size());
+  } else if (!router.auth_token.empty()) {
+    auth_desc = "bearer token";
+  } else if (!router.kb_tokens.empty()) {
+    auth_desc = StringPrintf("%zu kb tokens", router.kb_tokens.size());
+  }
   std::printf("  kbs: %zu (default '%s'%s) · auth: %s · durability: %s\n",
               registry.size(), router.default_kb.c_str(),
               preload_kb != router.default_kb
                   ? StringPrintf(", preloaded '%s'", preload_kb.c_str())
                         .c_str()
                   : "",
-              router.auth_token.empty() ? "off" : "bearer token",
+              auth_desc.c_str(),
               data_dir.empty()
                   ? "off"
                   : StringPrintf("%s (fsync %s, %zu recovered)",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "storage/fault.h"
 #include "storage/fs.h"
 #include "util/string_util.h"
@@ -35,6 +36,18 @@ Result<std::shared_ptr<KbStorage>> KbStorage::Open(
   TECORE_RETURN_NOT_OK(storage->wal_.Open(JoinPath(dir, kWalName)));
   const WalScan& scan = storage->wal_.scan();
   storage->torn_tail_ = scan.torn_tail;
+  {
+    // Every successful Open is a boot-time recovery: checkpoint loaded
+    // (when present) and WAL tail scanned.
+    static const auto recoveries = obs::Registry::Default()->GetCounter(
+        "tecore_storage_recoveries_total");
+    recoveries->Inc();
+    if (scan.torn_tail) {
+      static const auto torn = obs::Registry::Default()->GetCounter(
+          "tecore_wal_torn_tails_total");
+      torn->Inc();
+    }
+  }
   storage->wal_records_ = 0;
   {
     util::MutexLock tail_lock(storage->edit_tail_mutex_);
@@ -86,6 +99,9 @@ Status KbStorage::WriteCheckpoint(const Checkpoint& cp) {
   checkpoint_ = cp;
   has_checkpoint_ = true;
   tail_.clear();
+  static const auto checkpoints =
+      obs::Registry::Default()->GetCounter("tecore_checkpoints_total");
+  checkpoints->Inc();
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/crc32.h"
 #include "storage/fault.h"
 #include "storage/fs.h"
@@ -195,6 +196,14 @@ Status Wal::Append(const WalRecord& record, bool sync) {
     written += static_cast<size_t>(n);
   }
   bytes_ += frame.size();
+  {
+    static const auto appends =
+        obs::Registry::Default()->GetCounter("tecore_wal_appends_total");
+    static const auto append_bytes =
+        obs::Registry::Default()->GetCounter("tecore_wal_append_bytes_total");
+    appends->Inc();
+    append_bytes->Inc(frame.size());
+  }
   MaybeCrash("wal:after_append");
   if (sync) {
     TECORE_RETURN_NOT_OK(Sync());
@@ -214,6 +223,9 @@ Status Wal::Sync() {
   // the *next* fsync as clean (the fsyncgate hazard) — a retry succeeding
   // proves nothing, so the log must stop acknowledging writes.
   if (!status.ok()) return Poison(std::move(status));
+  static const auto fsyncs =
+      obs::Registry::Default()->GetCounter("tecore_wal_fsyncs_total");
+  fsyncs->Inc();
   return status;
 }
 

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -101,6 +102,30 @@ std::string ErrorCodeOf(const util::Json& body) {
   if (error == nullptr || !error->is_object()) return "<no error object>";
   if (error->Find("message") == nullptr) return "<no message>";
   return error->GetString("code", "<no code>");
+}
+
+/// Raw (non-JSON) response body — used for /metrics exposition text.
+std::string TextBodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+/// Value of one exposition line, e.g.
+/// MetricValue(text, "tecore_kb_facts{kb=\"default\"}"). -1 if absent.
+/// The default registry is process-global, so tests assert deltas of
+/// cumulative series between two scrapes, not absolute values.
+long long MetricValue(const std::string& exposition,
+                      const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while ((pos = exposition.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || exposition[pos - 1] == '\n') {
+      return std::stoll(exposition.substr(pos + needle.size()));
+    }
+    pos += 1;
+  }
+  return -1;
 }
 
 class ServerTest : public ::testing::Test {
@@ -812,6 +837,248 @@ TEST_F(ServerTest, StopOnSharedPoolIgnoresOtherServersStreams) {
   EXPECT_EQ(StatusOf(Http(*port_b, "GET", "/v1/kb")), 200);
   reader.Close();
   b.Stop();  // its stream observes stopping() within a poll tick
+}
+
+// ---------------------------------------------------------- observability
+
+TEST_F(ServerTest, MetricsEndpointExposesAssertedValues) {
+  // The default registry is process-global: assert deltas of cumulative
+  // series between two scrapes, and absolutes only for per-KB gauges of
+  // a KB this test created.
+  const std::string first = Http(port_, "GET", "/metrics");
+  ASSERT_EQ(StatusOf(first), 200);
+  EXPECT_TRUE(HasHeader(first, "Content-Type: text/plain; version=0.0.4"))
+      << first;
+  const std::string before = TextBodyOf(first);
+  // The scrape itself is in flight while it renders.
+  EXPECT_GE(MetricValue(before, "tecore_http_requests_in_flight"), 1);
+
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"met\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/met/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n"
+                          "a p c [3,4] 0.8 .\\n\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/met/stats")), 200);
+  ASSERT_EQ(StatusOf(Http(port_, "GET", "/v1/kb/ghost/stats")), 404);
+
+  const std::string after = TextBodyOf(Http(port_, "GET", "/metrics"));
+  const auto delta = [&](const std::string& series) {
+    const long long b = MetricValue(before, series);
+    const long long a = MetricValue(after, series);
+    return a - (b < 0 ? 0 : b);
+  };
+  // Request counters, labelled by endpoint and status class.
+  EXPECT_GE(delta("tecore_http_requests_total{endpoint=\"graph\","
+                  "status=\"2xx\"}"),
+            1);
+  EXPECT_GE(delta("tecore_http_requests_total{endpoint=\"stats\","
+                  "status=\"2xx\"}"),
+            1);
+  EXPECT_GE(delta("tecore_http_requests_total{endpoint=\"stats\","
+                  "status=\"4xx\"}"),
+            1);
+  EXPECT_GE(delta("tecore_http_requests_total{endpoint=\"metrics\","
+                  "status=\"2xx\"}"),
+            1);
+  // Latency histogram observed each of those requests.
+  EXPECT_GE(
+      delta("tecore_http_request_duration_micros_count{endpoint=\"graph\"}"),
+      1);
+  // Per-KB gauges are absolute truths about the KB just created.
+  EXPECT_EQ(MetricValue(after, "tecore_kb_facts{kb=\"met\"}"), 2);
+  EXPECT_EQ(MetricValue(after, "tecore_kb_version{kb=\"met\"}"), 1);
+
+  // Deleting the KB retires its series.
+  ASSERT_EQ(StatusOf(Http(port_, "DELETE", "/v1/kb/met")), 200);
+  const std::string gone = TextBodyOf(Http(port_, "GET", "/metrics"));
+  EXPECT_EQ(MetricValue(gone, "tecore_kb_facts{kb=\"met\"}"), -1);
+
+  // The exposition endpoint is GET-only.
+  EXPECT_EQ(StatusOf(Http(port_, "POST", "/metrics")), 405);
+}
+
+TEST_F(ServerTest, MetricsCountPipelineStages) {
+  const std::string before = TextBodyOf(Http(port_, "GET", "/metrics"));
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/graph",
+                          "{\"text\":\"x coach a [1,5] 0.9 .\\n"
+                          "x coach b [2,6] 0.8 .\\n\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(
+                port_, "POST", "/v1/rules",
+                "{\"text\":\"c1: quad(x, coach, y, t) & "
+                "quad(x, coach, z, t') & y != z -> disjoint(t, t') .\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/solve", "{}")), 200);
+  const std::string after = TextBodyOf(Http(port_, "GET", "/metrics"));
+  const auto delta = [&](const char* stage) {
+    const std::string series = StringPrintf(
+        "tecore_stage_duration_micros_count{stage=\"%s\"}", stage);
+    const long long b = MetricValue(before, series);
+    const long long a = MetricValue(after, series);
+    return a - (b < 0 ? 0 : b);
+  };
+  EXPECT_GE(delta("ground"), 1);
+  EXPECT_GE(delta("canonicalize"), 1);
+  EXPECT_GE(delta("solve"), 1);
+  EXPECT_GE(delta("publish"), 1);  // graph/rules/solve all publish
+}
+
+TEST_F(ServerTest, SseSubscriberGaugeTracksOpenStreams) {
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb", "{\"name\":\"obs\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(port_, "POST", "/v1/kb/obs/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);
+  const std::string series = "tecore_kb_sse_subscribers{kb=\"obs\"}";
+  const long long base =
+      MetricValue(TextBodyOf(Http(port_, "GET", "/metrics")), series);
+  ASSERT_EQ(base, 0);
+
+  SseReader reader;
+  ASSERT_TRUE(reader.Open(port_, "/v1/kb/obs/subscribe"));
+  ASSERT_NE(reader.NextFrame(), "");  // stream registered and live
+  EXPECT_EQ(MetricValue(TextBodyOf(Http(port_, "GET", "/metrics")), series),
+            1);
+  reader.Close();
+  // The worker only notices the dead socket when it next writes — push
+  // edits until the failed send retires the stream and the gauge drops.
+  long long live = 1;
+  for (int i = 0; i < 100 && live != 0; ++i) {
+    ASSERT_EQ(
+        StatusOf(Http(port_, "POST", "/v1/kb/obs/edits",
+                      StringPrintf("{\"script\":\"+ a p b%d [1,2] 0.5 .\\n\"}",
+                                   i))),
+        200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    live = MetricValue(TextBodyOf(Http(port_, "GET", "/metrics")), series);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST_F(ServerTest, MetricsCountWalActivityForDurableKbs) {
+  // A durable registry of its own: checkpoint after every record so the
+  // checkpoint counter provably moves inside the test.
+  const std::string data_dir = ::testing::TempDir() + "/obs_metrics_dur";
+  std::filesystem::remove_all(data_dir);
+  api::EngineRegistry::Options reg_options;
+  reg_options.data_dir = data_dir;
+  reg_options.storage.checkpoint_wal_records = 1;
+  api::EngineRegistry durable(reg_options);
+  HttpServer::Options options;
+  options.port = 0;
+  options.num_threads = 2;
+  HttpServer server(options, MakeApiHandler(&durable));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  const std::string before = TextBodyOf(Http(*port, "GET", "/metrics"));
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb", "{\"name\":\"dur\"}")),
+            201);
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb/dur/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb/dur/edits",
+                          "{\"script\":\"+ a p c [3,4] 0.5 .\\n\"}")),
+            200);
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb/dur/edits",
+                          "{\"script\":\"+ a p d [5,6] 0.5 .\\n\"}")),
+            200);
+  const std::string after = TextBodyOf(Http(*port, "GET", "/metrics"));
+  const auto delta = [&](const std::string& series) {
+    const long long b = MetricValue(before, series);
+    const long long a = MetricValue(after, series);
+    return a - (b < 0 ? 0 : b);
+  };
+  EXPECT_GE(delta("tecore_storage_recoveries_total"), 1);  // the Open
+  // The graph replacement checkpoints directly; each edit batch appends
+  // one fsynced WAL record.
+  EXPECT_GE(delta("tecore_wal_appends_total"), 2);
+  EXPECT_GT(delta("tecore_wal_append_bytes_total"), 0);
+  EXPECT_GE(delta("tecore_wal_fsyncs_total"), 2);
+  EXPECT_GE(delta("tecore_checkpoints_total"), 1);
+  server.Stop();
+}
+
+TEST_F(ServerTest, RequestIdEchoedOrGenerated) {
+  // A client-supplied id is echoed back verbatim.
+  const std::string echoed = Http(port_, "GET", "/v1/kb", "",
+                                  "X-Request-Id: client-req-42\r\n");
+  EXPECT_EQ(StatusOf(echoed), 200);
+  EXPECT_TRUE(HasHeader(echoed, "X-Request-Id: client-req-42")) << echoed;
+  // Without one the server mints an id (r-<boot>-<seq>).
+  const std::string minted = Http(port_, "GET", "/v1/kb");
+  EXPECT_TRUE(HasHeader(minted, "X-Request-Id: r-")) << minted;
+}
+
+TEST_F(ServerTest, MetricsAreAuthExempt) {
+  RouterOptions router;
+  router.auth_token = "s3cret";
+  HttpServer::Options options;
+  options.port = 0;
+  options.num_threads = 2;
+  HttpServer secured(options, MakeApiHandler(&registry_, router));
+  auto port = secured.Start();
+  ASSERT_TRUE(port.ok());
+  // API requires the token; the scrape never does.
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb")), 401);
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/metrics")), 200);
+  secured.Stop();
+}
+
+TEST_F(ServerTest, PerKbTokensScopeAccessToTheirKb) {
+  RouterOptions router;
+  router.auth_token = "s3cret";
+  router.kb_tokens = {{"alpha", "alpha-tok"}, {"beta", "beta-tok"}};
+  HttpServer::Options options;
+  options.port = 0;
+  options.num_threads = 2;
+  HttpServer secured(options, MakeApiHandler(&registry_, router));
+  auto port = secured.Start();
+  ASSERT_TRUE(port.ok());
+  const std::string service = "Authorization: Bearer s3cret\r\n";
+  const std::string alpha = "Authorization: Bearer alpha-tok\r\n";
+
+  // Tenant lifecycle needs the service token.
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb", "{\"name\":\"alpha\"}",
+                          service)),
+            201);
+  ASSERT_EQ(StatusOf(Http(*port, "POST", "/v1/kb", "{\"name\":\"beta\"}",
+                          service)),
+            201);
+
+  // The KB token works inside its own KB — writes and reads.
+  EXPECT_EQ(StatusOf(Http(*port, "POST", "/v1/kb/alpha/graph",
+                          "{\"text\":\"a p b [1,2] 0.9 .\\n\"}", alpha)),
+            200);
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb/alpha/stats", "", alpha)),
+            200);
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb/alpha", "", alpha)), 200);
+
+  // …and nowhere else: sibling KBs, the legacy default KB, admin surface.
+  const std::string cross =
+      Http(*port, "GET", "/v1/kb/beta/stats", "", alpha);
+  EXPECT_EQ(StatusOf(cross), 403);
+  EXPECT_EQ(ErrorCodeOf(BodyOf(cross)), "PermissionDenied");
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/stats", "", alpha)), 403);
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb", "", alpha)), 403);
+  EXPECT_EQ(StatusOf(Http(*port, "DELETE", "/v1/kb/alpha", "", alpha)), 403);
+  EXPECT_EQ(StatusOf(Http(*port, "POST", "/v1/kb", "{\"name\":\"x\"}",
+                          alpha)),
+            403);
+  // Probing an unknown KB with a KB token is denied, not 404: the scope
+  // check runs before routing can reveal what exists.
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb/ghost/stats", "", alpha)),
+            403);
+
+  // No credentials at all is 401, not 403.
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb/alpha/stats")), 401);
+
+  // The service token retains full access, including other KBs.
+  EXPECT_EQ(StatusOf(Http(*port, "GET", "/v1/kb/beta", "", service)), 200);
+  EXPECT_EQ(StatusOf(Http(*port, "DELETE", "/v1/kb/beta", "", service)),
+            200);
+  secured.Stop();
 }
 
 }  // namespace
